@@ -1,0 +1,274 @@
+//! Assertion simplification: constant folding and the evident sequence
+//! laws, used to keep rendered proof obligations readable and to give
+//! the validity oracle smaller inputs.
+//!
+//! Simplification is *sound in both directions* — the result is
+//! logically equivalent to the input in every environment — and
+//! idempotent (tested). It performs:
+//!
+//! * boolean constant folding (`true and R → R`, `false ⇒ R → true`,
+//!   `not not R → R`, …),
+//! * sequence laws (`<> ≤ s → true`, `s ≤ s → true`, `s == s → true`,
+//!   `#<e₁…eₙ> → n` for rigid literals),
+//! * rigid-comparison folding: a comparison whose operands contain no
+//!   channels and no variables is evaluated outright,
+//! * vacuous-quantifier elimination (`∀x:M. true → true`).
+
+use csp_lang::Env;
+use csp_semantics::Universe;
+use csp_trace::History;
+
+use crate::{Assertion, EvalCtx, FuncTable, STerm, Term};
+
+/// Simplifies an assertion to an equivalent, usually smaller one.
+///
+/// # Examples
+///
+/// ```
+/// use csp_assert::{simplify, Assertion, STerm};
+///
+/// let r = Assertion::True.and(Assertion::prefix(STerm::Empty, STerm::chan("wire")));
+/// assert_eq!(simplify(&r), Assertion::True);
+///
+/// let keep = Assertion::prefix(STerm::chan("wire"), STerm::chan("input"));
+/// assert_eq!(simplify(&keep), keep);
+/// ```
+pub fn simplify(a: &Assertion) -> Assertion {
+    match a {
+        Assertion::True | Assertion::False => a.clone(),
+        Assertion::Prefix(s, t) => {
+            let (s, t) = (simplify_sterm(s), simplify_sterm(t));
+            if s == STerm::Empty || s == t {
+                Assertion::True
+            } else {
+                Assertion::Prefix(s, t)
+            }
+        }
+        Assertion::SeqEq(s, t) => {
+            let (s, t) = (simplify_sterm(s), simplify_sterm(t));
+            if s == t {
+                Assertion::True
+            } else {
+                Assertion::SeqEq(s, t)
+            }
+        }
+        Assertion::Cmp(op, x, y) => {
+            let (x, y) = (simplify_term(x), simplify_term(y));
+            let folded = Assertion::Cmp(*op, x, y);
+            match fold_rigid(&folded) {
+                Some(b) => {
+                    if b {
+                        Assertion::True
+                    } else {
+                        Assertion::False
+                    }
+                }
+                None => folded,
+            }
+        }
+        Assertion::Not(inner) => match simplify(inner) {
+            Assertion::True => Assertion::False,
+            Assertion::False => Assertion::True,
+            Assertion::Not(inner2) => *inner2,
+            other => Assertion::Not(Box::new(other)),
+        },
+        Assertion::And(p, q) => match (simplify(p), simplify(q)) {
+            (Assertion::True, r) | (r, Assertion::True) => r,
+            (Assertion::False, _) | (_, Assertion::False) => Assertion::False,
+            (p, q) if p == q => p,
+            (p, q) => p.and(q),
+        },
+        Assertion::Or(p, q) => match (simplify(p), simplify(q)) {
+            (Assertion::False, r) | (r, Assertion::False) => r,
+            (Assertion::True, _) | (_, Assertion::True) => Assertion::True,
+            (p, q) if p == q => p,
+            (p, q) => p.or(q),
+        },
+        Assertion::Implies(p, q) => match (simplify(p), simplify(q)) {
+            (Assertion::False, _) | (_, Assertion::True) => Assertion::True,
+            (Assertion::True, r) => r,
+            (p, q) if p == q => Assertion::True,
+            (p, q) => p.implies(q),
+        },
+        Assertion::ForallIn(x, m, body) => match simplify(body) {
+            Assertion::True => Assertion::True,
+            other => Assertion::ForallIn(x.clone(), m.clone(), Box::new(other)),
+        },
+        Assertion::ExistsIn(x, m, body) => match simplify(body) {
+            Assertion::False => Assertion::False,
+            other => Assertion::ExistsIn(x.clone(), m.clone(), Box::new(other)),
+        },
+    }
+}
+
+fn simplify_sterm(s: &STerm) -> STerm {
+    match s {
+        STerm::Hist(_) | STerm::Empty => s.clone(),
+        STerm::Lit(ts) => STerm::Lit(ts.iter().map(simplify_term).collect()),
+        STerm::Cons(x, rest) => STerm::Cons(
+            Box::new(simplify_term(x)),
+            Box::new(simplify_sterm(rest)),
+        ),
+        STerm::Concat(a, b) => {
+            let (a, b) = (simplify_sterm(a), simplify_sterm(b));
+            match (a, b) {
+                (STerm::Empty, r) | (r, STerm::Empty) => r,
+                (a, b) => STerm::Concat(Box::new(a), Box::new(b)),
+            }
+        }
+        STerm::App(name, arg) => {
+            STerm::App(name.clone(), Box::new(simplify_sterm(arg)))
+        }
+    }
+}
+
+fn simplify_term(t: &Term) -> Term {
+    match t {
+        Term::Expr(_) => t.clone(),
+        Term::Length(s) => {
+            let s = simplify_sterm(s);
+            match &s {
+                STerm::Empty => Term::int(0),
+                STerm::Lit(ts) => Term::int(ts.len() as i64),
+                _ => Term::Length(Box::new(s)),
+            }
+        }
+        Term::Index(s, i) => Term::Index(
+            Box::new(simplify_sterm(s)),
+            Box::new(simplify_term(i)),
+        ),
+        Term::Bin(op, a, b) => Term::Bin(
+            *op,
+            Box::new(simplify_term(a)),
+            Box::new(simplify_term(b)),
+        ),
+        Term::Un(op, a) => Term::Un(*op, Box::new(simplify_term(a))),
+    }
+}
+
+/// Evaluates a comparison outright when it is *rigid*: no channels, no
+/// free variables, no function applications whose argument could vary.
+fn fold_rigid(a: &Assertion) -> Option<bool> {
+    if !a.channels().is_empty() || !crate::free_vars(a).is_empty() {
+        return None;
+    }
+    let env = Env::new();
+    let history = History::empty();
+    let funcs = FuncTable::with_builtins();
+    let uni = Universe::new(0);
+    EvalCtx::new(&env, &history, &funcs, &uni).assertion(a).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CmpOp;
+    use csp_lang::Env;
+    use csp_trace::{Trace, Value};
+
+    fn eval(a: &Assertion, trace: &[(&'static str, u32)]) -> bool {
+        let t = Trace::parse_like(trace.iter().map(|&(c, n)| (c, Value::nat(n))));
+        let env = Env::new().bind("x", Value::nat(1));
+        let h = t.history();
+        let funcs = FuncTable::with_builtins();
+        let uni = Universe::new(2);
+        EvalCtx::new(&env, &h, &funcs, &uni).assertion(a).unwrap()
+    }
+
+    #[test]
+    fn boolean_folding() {
+        let r = Assertion::prefix(STerm::chan("a"), STerm::chan("b"));
+        assert_eq!(simplify(&Assertion::True.and(r.clone())), r);
+        assert_eq!(simplify(&Assertion::False.and(r.clone())), Assertion::False);
+        assert_eq!(simplify(&Assertion::False.or(r.clone())), r);
+        assert_eq!(
+            simplify(&Assertion::False.implies(r.clone())),
+            Assertion::True
+        );
+        assert_eq!(
+            simplify(&r.clone().negate().negate()),
+            r
+        );
+        assert_eq!(simplify(&r.clone().implies(r.clone())), Assertion::True);
+    }
+
+    #[test]
+    fn sequence_laws() {
+        assert_eq!(
+            simplify(&Assertion::prefix(STerm::Empty, STerm::chan("a"))),
+            Assertion::True
+        );
+        assert_eq!(
+            simplify(&Assertion::prefix(STerm::chan("a"), STerm::chan("a"))),
+            Assertion::True
+        );
+        // #<1,2> folds to 2; the whole comparison folds to true.
+        let r = Assertion::Cmp(
+            CmpOp::Le,
+            Term::length(STerm::Lit(vec![Term::int(1), Term::int(2)])),
+            Term::int(2),
+        );
+        assert_eq!(simplify(&r), Assertion::True);
+        // <> ++ s collapses.
+        let c = Assertion::SeqEq(
+            STerm::Concat(Box::new(STerm::Empty), Box::new(STerm::chan("a"))),
+            STerm::chan("a"),
+        );
+        assert_eq!(simplify(&c), Assertion::True);
+    }
+
+    #[test]
+    fn rigid_comparisons_fold() {
+        let r = Assertion::Cmp(CmpOp::Lt, Term::int(1), Term::int(2));
+        assert_eq!(simplify(&r), Assertion::True);
+        let r = Assertion::Cmp(CmpOp::Gt, Term::int(1), Term::int(2));
+        assert_eq!(simplify(&r), Assertion::False);
+        // Non-rigid comparisons stay.
+        let keep = Assertion::Cmp(
+            CmpOp::Le,
+            Term::length(STerm::chan("a")),
+            Term::int(2),
+        );
+        assert_eq!(simplify(&keep), keep);
+    }
+
+    #[test]
+    fn quantifier_elimination() {
+        let r = Assertion::ForallIn(
+            "i".into(),
+            csp_lang::SetExpr::Nat,
+            Box::new(Assertion::prefix(STerm::chan("a"), STerm::chan("a"))),
+        );
+        assert_eq!(simplify(&r), Assertion::True);
+    }
+
+    #[test]
+    fn simplification_preserves_meaning() {
+        // Spot-check equivalence on a few histories for a compound
+        // assertion that partially folds.
+        let r = Assertion::True
+            .and(Assertion::prefix(STerm::chan("wire"), STerm::chan("input")))
+            .or(Assertion::Cmp(CmpOp::Lt, Term::int(2), Term::int(1)));
+        let s = simplify(&r);
+        for trace in [
+            vec![],
+            vec![("input", 1), ("wire", 1)],
+            vec![("wire", 1)],
+        ] {
+            assert_eq!(eval(&r, &trace), eval(&s, &trace), "{trace:?}");
+        }
+    }
+
+    #[test]
+    fn simplify_is_idempotent() {
+        let r = Assertion::True
+            .and(Assertion::prefix(STerm::Empty, STerm::chan("a")))
+            .implies(Assertion::Cmp(
+                CmpOp::Le,
+                Term::length(STerm::chan("a")),
+                Term::length(STerm::chan("b")).add(Term::int(1)),
+            ));
+        let once = simplify(&r);
+        assert_eq!(simplify(&once), once);
+    }
+}

@@ -1,0 +1,88 @@
+//! Ablation benches for the design choices called out in `DESIGN.md`:
+//!
+//! * the hide-depth multiplier (how much deeper concealed bodies are
+//!   explored than the requested visible depth) — correctness insurance
+//!   vs. cost;
+//! * the pure-premise oracle's history-length bound — confidence vs.
+//!   cost of the bounded validity check;
+//! * denotational (whole-set merge) vs. operational (on-the-fly)
+//!   parallel composition — the optimisation that makes the multiplier
+//!   tractable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csp_core::{decide_valid, Assertion, DecideConfig, FuncTable, STerm};
+use csp_bench::pipeline_workbench;
+use csp_core::prelude::*;
+use csp_core::{Lts, Semantics};
+
+/// Hide-multiplier sweep: the pipeline needs ≥2 raw events per visible
+/// event; multipliers beyond that only cost time.
+fn hide_multiplier(c: &mut Criterion) {
+    let wb = pipeline_workbench();
+    let defs = wb.definitions().clone();
+    let uni = wb.universe().clone();
+    let env = Env::new();
+    let mut group = c.benchmark_group("ablation/hide_multiplier");
+    group.sample_size(10);
+    for m in [2usize, 3, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let sem = Semantics::new(&defs, &uni).with_hide_multiplier(m);
+            b.iter(|| sem.denote_name("pipeline", &env, 3).expect("denote"));
+        });
+    }
+    group.finish();
+}
+
+/// Oracle history-length sweep on the protocol proof's heaviest premise
+/// (transitivity of ≤ through f over three channels).
+fn oracle_history_len(c: &mut Criterion) {
+    let transitivity = Assertion::prefix(
+        STerm::chan("a").app("f"),
+        STerm::chan("b"),
+    )
+    .and(Assertion::prefix(STerm::chan("c"), STerm::chan("a").app("f")))
+    .implies(Assertion::prefix(STerm::chan("c"), STerm::chan("b")));
+    let uni = Universe::new(1);
+    let funcs = FuncTable::with_builtins();
+    let mut group = c.benchmark_group("ablation/oracle_history_len");
+    group.sample_size(10);
+    for len in [1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            let cfg = DecideConfig {
+                max_history_len: len,
+                max_cases: 50_000_000,
+            };
+            b.iter(|| {
+                assert!(decide_valid(&transitivity, &uni, &funcs, cfg).is_valid());
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Reference (denotational merge) vs. engine (LTS on-the-fly) parallel
+/// composition on the same network and depth.
+fn parallel_strategies(c: &mut Criterion) {
+    let wb = pipeline_workbench();
+    let defs = wb.definitions().clone();
+    let uni = wb.universe().clone();
+    let env = Env::new();
+    let p = csp_core::parse_process("copier || recopier").unwrap();
+    let mut group = c.benchmark_group("ablation/parallel_strategy");
+    group.sample_size(10);
+    group.bench_function("denotational_merge", |b| {
+        let sem = Semantics::new(&defs, &uni);
+        b.iter(|| sem.denote(&p, &env, 4).expect("denote"));
+    });
+    group.bench_function("lts_on_the_fly", |b| {
+        let lts = Lts::new(&defs, &uni);
+        b.iter(|| {
+            lts.traces(&csp_core::Config::new(p.clone(), env.clone()), 4)
+                .expect("lts")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, hide_multiplier, oracle_history_len, parallel_strategies);
+criterion_main!(benches);

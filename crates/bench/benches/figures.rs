@@ -1,0 +1,44 @@
+//! Benches regenerating the data behind the paper's figures (F1/F2):
+//! pipeline trace enumeration by depth, and multiplier-network
+//! exploration by width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csp_bench::{chain_workbench, multiplier_workbench, pipeline_workbench};
+
+fn pipeline_traces(c: &mut Criterion) {
+    let wb = pipeline_workbench();
+    let mut group = c.benchmark_group("figures/pipeline_traces");
+    for depth in [2usize, 4, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter(|| wb.traces("pipeline", d).expect("traces"));
+        });
+    }
+    group.finish();
+}
+
+fn multiplier_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/multiplier_scaling");
+    group.sample_size(10);
+    for width in [1usize, 2, 3] {
+        let wb = multiplier_workbench(width);
+        group.bench_with_input(BenchmarkId::from_parameter(width), &width, |b, _| {
+            b.iter(|| wb.traces("multiplier", 3).expect("traces"));
+        });
+    }
+    group.finish();
+}
+
+fn chain_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/chain_scaling");
+    group.sample_size(10);
+    for stages in [1usize, 2, 3, 4] {
+        let wb = chain_workbench(stages);
+        group.bench_with_input(BenchmarkId::from_parameter(stages), &stages, |b, _| {
+            b.iter(|| wb.traces("chain", 3).expect("traces"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pipeline_traces, multiplier_scaling, chain_scaling);
+criterion_main!(benches);

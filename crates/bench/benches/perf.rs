@@ -1,0 +1,98 @@
+//! Performance characterisation (P1–P4): enumeration scaling, parallel
+//! composition & hiding, proof-checker throughput, and concurrent
+//! runtime throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use csp_bench::{chain_workbench, pipeline_workbench};
+use csp_core::prelude::*;
+use csp_core::proofs;
+
+/// P1 — trace enumeration vs. depth and universe size.
+fn enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf/enumeration");
+    for bound in [1u32, 2, 3] {
+        let mut wb = Workbench::new().with_universe(Universe::new(bound));
+        wb.define_source(csp_core::examples::PIPELINE_SRC)
+            .expect("parses");
+        group.bench_with_input(
+            BenchmarkId::new("universe", bound),
+            &bound,
+            |b, _| {
+                b.iter(|| wb.traces("copier", 5).expect("traces"));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// P2 — parallel composition and hiding cost vs. chain length.
+fn parallel_hiding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("perf/parallel_hiding");
+    group.sample_size(10);
+    for stages in [2usize, 3, 4, 5] {
+        let wb = chain_workbench(stages);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(stages),
+            &stages,
+            |b, _| {
+                b.iter(|| wb.traces("chain", 4).expect("traces"));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// P3 — proof-checker throughput across the whole script suite.
+fn proof_throughput(c: &mut Criterion) {
+    let scripts = proofs::all_scripts();
+    let total_rules: usize = scripts
+        .iter()
+        .map(|s| s.check().expect("checks").rule_count())
+        .sum();
+    let mut group = c.benchmark_group("perf/proof_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(total_rules as u64));
+    group.bench_function("all_scripts", |b| {
+        b.iter(|| {
+            for script in &scripts {
+                script.check().expect("checks");
+            }
+        });
+    });
+    group.finish();
+}
+
+/// P4 — concurrent runtime throughput (events per second through the
+/// thread-per-component executor).
+fn runtime_throughput(c: &mut Criterion) {
+    let wb = pipeline_workbench();
+    let mut group = c.benchmark_group("perf/runtime");
+    group.sample_size(10);
+    for steps in [32usize, 128] {
+        group.throughput(Throughput::Elements(steps as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(steps), &steps, |b, &n| {
+            b.iter(|| {
+                let res = wb
+                    .run(
+                        "pipeline",
+                        RunOptions {
+                            max_steps: n,
+                            scheduler: Scheduler::seeded(5),
+                        },
+                    )
+                    .expect("runs");
+                assert_eq!(res.steps, n);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    enumeration,
+    parallel_hiding,
+    proof_throughput,
+    runtime_throughput
+);
+criterion_main!(benches);

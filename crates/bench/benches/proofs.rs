@@ -1,0 +1,39 @@
+//! Benches for the proof checker (T1/E2/E3): how fast each paper proof
+//! checks, including all pure-premise discharges.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csp_core::proofs;
+
+fn table1_check(c: &mut Criterion) {
+    let script = proofs::protocol::sender_table1();
+    c.bench_function("proofs/table1_check", |b| {
+        b.iter(|| script.check().expect("Table 1 checks"));
+    });
+}
+
+fn receiver_check(c: &mut Criterion) {
+    let script = proofs::protocol::receiver_exercise();
+    c.bench_function("proofs/receiver_check", |b| {
+        b.iter(|| script.check().expect("receiver checks"));
+    });
+}
+
+fn protocol_check(c: &mut Criterion) {
+    let script = proofs::protocol::protocol_output_le_input();
+    let mut group = c.benchmark_group("proofs");
+    group.sample_size(10); // the transitivity oracle enumerates 3 channels
+    group.bench_function("protocol_check", |b| {
+        b.iter(|| script.check().expect("protocol checks"));
+    });
+    group.finish();
+}
+
+fn copier_check(c: &mut Criterion) {
+    let script = proofs::pipeline::copier_wire_le_input();
+    c.bench_function("proofs/copier_check", |b| {
+        b.iter(|| script.check().expect("copier checks"));
+    });
+}
+
+criterion_group!(benches, table1_check, receiver_check, protocol_check, copier_check);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Benches for the bounded model checker (E1/E4): `sat` checking of the
+//! paper's invariants by depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csp_bench::{
+    multiplier_invariant, multiplier_workbench, pipeline_workbench, protocol_workbench,
+};
+
+fn copier_sat(c: &mut Criterion) {
+    let wb = pipeline_workbench();
+    let mut group = c.benchmark_group("sat/copier_wire_le_input");
+    for depth in [3usize, 5, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter(|| {
+                assert!(wb
+                    .check_sat("copier", "wire <= input", d)
+                    .expect("check runs")
+                    .holds());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn protocol_sat(c: &mut Criterion) {
+    let wb = protocol_workbench();
+    let mut group = c.benchmark_group("sat/protocol_output_le_input");
+    group.sample_size(10);
+    for depth in [2usize, 3] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter(|| {
+                assert!(wb
+                    .check_sat("protocol", "output <= input", d)
+                    .expect("check runs")
+                    .holds());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn multiplier_sat(c: &mut Criterion) {
+    let wb = multiplier_workbench(3);
+    let inv = multiplier_invariant(3);
+    let mut group = c.benchmark_group("sat/multiplier_invariant");
+    group.sample_size(10);
+    group.bench_function("width3_depth4", |b| {
+        b.iter(|| {
+            assert!(wb.check_sat("multiplier", &inv, 4).expect("check runs").holds());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, copier_sat, protocol_sat, multiplier_sat);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Benches for the semantic engines (E5/E7): fixpoint iteration,
+//! denotational vs. operational evaluation, and the §4 identity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use csp_bench::pipeline_workbench;
+use csp_core::prelude::*;
+use csp_core::{compare, Lts, Semantics};
+
+fn fixpoint_convergence(c: &mut Criterion) {
+    let wb = pipeline_workbench();
+    let mut group = c.benchmark_group("semantics/fixpoint_convergence");
+    group.sample_size(10);
+    for depth in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &d| {
+            b.iter(|| {
+                let run = wb.fixpoint(d, 24).expect("fixpoint runs");
+                assert!(run.converged_at.is_some());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn denotational_vs_operational(c: &mut Criterion) {
+    let wb = pipeline_workbench();
+    let defs = wb.definitions().clone();
+    let uni = wb.universe().clone();
+    let env = Env::new();
+    let mut group = c.benchmark_group("semantics/engines");
+    group.bench_function("denote_pipeline_d4", |b| {
+        let sem = Semantics::new(&defs, &uni);
+        b.iter(|| sem.denote_name("pipeline", &env, 4).expect("denote"));
+    });
+    group.bench_function("lts_pipeline_d4", |b| {
+        let lts = Lts::new(&defs, &uni);
+        b.iter(|| lts.traces(&lts.initial("pipeline", &env), 4).expect("lts"));
+    });
+    group.finish();
+}
+
+fn stop_choice_identity(c: &mut Criterion) {
+    let wb = pipeline_workbench();
+    let defs = wb.definitions().clone();
+    let uni = wb.universe().clone();
+    c.bench_function("semantics/stop_choice_identity", |b| {
+        let sem = Semantics::new(&defs, &uni);
+        let env = Env::new();
+        b.iter(|| {
+            let plain = sem.denote_name("copier", &env, 4).expect("denote");
+            let with_stop = sem
+                .denote(&Process::Stop.or(Process::call("copier")), &env, 4)
+                .expect("denote");
+            assert!(compare(&plain, &with_stop).is_none());
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    fixpoint_convergence,
+    denotational_vs_operational,
+    stop_choice_identity
+);
+criterion_main!(benches);

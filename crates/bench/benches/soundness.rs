@@ -1,0 +1,20 @@
+//! Bench for experiment E6: per-rule empirical soundness validation
+//! throughput (instances checked per second across all ten rules).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use csp_core::validate_all_rules;
+
+fn rules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("soundness/rules");
+    group.sample_size(10);
+    group.bench_function("all_rules_10_instances", |b| {
+        b.iter(|| {
+            let reports = validate_all_rules(99, 10).expect("validation runs");
+            assert!(reports.iter().all(|r| r.sound()));
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, rules);
+criterion_main!(benches);

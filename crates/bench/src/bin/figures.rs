@@ -1,0 +1,100 @@
+//! Experiments **F1/F2**: regenerates the paper's two network figures —
+//! the copier pipeline (§1.0/§1.2) and the multiplier array (§1.3(5)) —
+//! as ASCII diagrams derived from the *parsed definitions* (components
+//! and alphabets come from `flatten`, not from hand-drawn text), together
+//! with the example traces the paper prints beneath them.
+//!
+//! `cargo run -p csp-bench --bin figures`
+
+use csp_bench::{multiplier_workbench, pipeline_workbench};
+use csp_core::prelude::*;
+use csp_core::{flatten, Channel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    figure1()?;
+    figure2()?;
+    Ok(())
+}
+
+/// F1 — §1.0/§1.2: input → copier → wire → recopier → output, and its
+/// black-box form with the wire concealed.
+fn figure1() -> Result<(), Box<dyn std::error::Error>> {
+    let wb = pipeline_workbench();
+    println!("Figure 1 (§1.0/§1.2): the copier pipeline\n");
+    render_network(&wb, "copier || recopier")?;
+    println!("\nwith `chan wire` the box closes over the internal channel:\n");
+    render_network(&wb, "pipeline")?;
+
+    // The traces the paper lists under the figure (§1.0 (i)–(iii)).
+    let mut wide = Workbench::new().with_universe(Universe::new(27));
+    wide.define_source(csp_core::examples::PIPELINE_SRC)?;
+    let traces = wide.traces("copier", 5)?;
+    println!("\nexample copier traces (as in §1.0):");
+    for t in [
+        Trace::empty(),
+        Trace::parse_like([("input", Value::nat(3)), ("wire", Value::nat(3))]),
+        Trace::parse_like([
+            ("input", Value::nat(27)),
+            ("wire", Value::nat(27)),
+            ("input", Value::nat(0)),
+            ("wire", Value::nat(0)),
+            ("input", Value::nat(3)),
+        ]),
+    ] {
+        assert!(traces.contains(&t), "semantics must admit {t}");
+        println!("  {t}");
+    }
+    println!();
+    Ok(())
+}
+
+/// F2 — §1.3(5): the multiplier array with its row/col channel grid.
+fn figure2() -> Result<(), Box<dyn std::error::Error>> {
+    let wb = multiplier_workbench(3);
+    println!("Figure 2 (§1.3(5)): the multiplier network\n");
+    render_network(&wb, "multiplier")?;
+    println!(
+        "\nfirst-round check: with v = (1,2,3) and rows ≤ 1 the network's\n\
+         outputs equal Σⱼ v[j]·row[j]ᵢ — verified by `experiments` (E4).\n"
+    );
+    Ok(())
+}
+
+/// Draws a network as component boxes with their connecting channels,
+/// derived from the flattened structure.
+fn render_network(wb: &Workbench, expr: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let p = csp_core::parse_process(expr)?;
+    let net = flatten(&p, wb.definitions(), wb.env())?;
+
+    // Channel → connected component indices.
+    let mut channels: Vec<(Channel, Vec<usize>)> = Vec::new();
+    for (i, c) in net.components.iter().enumerate() {
+        for ch in c.alphabet.iter() {
+            match channels.iter_mut().find(|(x, _)| x == ch) {
+                Some((_, v)) => v.push(i),
+                None => channels.push((ch.clone(), vec![i])),
+            }
+        }
+    }
+
+    for (i, c) in net.components.iter().enumerate() {
+        let name = c
+            .label
+            .split([' ', '?'])
+            .next()
+            .unwrap_or(&c.label);
+        println!("  [{i}] {name:<12}  alphabet {}", c.alphabet);
+    }
+    println!("  channels:");
+    for (ch, comps) in &channels {
+        let hidden = if net.hidden.contains(ch) { " (concealed)" } else { "" };
+        let ends = comps
+            .iter()
+            .map(|i| format!("[{i}]"))
+            .collect::<Vec<_>>()
+            .join(" ── ");
+        let external = if comps.len() == 1 { " ── env" } else { "" };
+        println!("    {ch:<8} {ends}{external}{hidden}");
+    }
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! # csp-core
+//!
+//! Facade for the `hoare-csp` reproduction of Zhou Chao Chen & C. A. R.
+//! Hoare, *Partial Correctness of Communicating Sequential Processes*
+//! (1981): one crate that pulls together the whole stack —
+//!
+//! * the **language** of §1 (`csp-lang`): process equations over named
+//!   channels, with a parser for the paper's notation;
+//! * the **trace semantics** of §3 (`csp-semantics`): prefix-closed
+//!   denotations, the fixpoint construction, and an agreeing operational
+//!   semantics;
+//! * the **assertion language** of §2 (`csp-assert`): channel-history
+//!   predicates such as `f(wire) <= input`;
+//! * the **proof system** of §2.1 (`csp-proof`): all ten rules, plus
+//!   machine-checked scripts for every proof in the paper (including
+//!   Table 1);
+//! * the **model checker** (`csp-verify`): bounded `sat` checking with
+//!   counterexamples, per-rule empirical soundness, proof/model
+//!   cross-validation;
+//! * the **runtime** (`csp-runtime`): networks executed on real threads
+//!   with multi-party rendezvous, with conformance checking back against
+//!   the semantics.
+//!
+//! The [`Workbench`] is the high-level entry point:
+//!
+//! ```
+//! use csp_core::prelude::*;
+//!
+//! let mut wb = Workbench::new();
+//! wb.define_source(
+//!     "copier = input?x:NAT -> wire!x -> copier
+//!      recopier = wire?y:NAT -> output!y -> recopier
+//!      pipeline = chan wire; (copier || recopier)",
+//! )?;
+//! assert!(wb.check_sat("pipeline", "output <= input", 3)?.holds());
+//! # Ok::<(), csp_core::WorkbenchError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod workbench;
+
+pub use workbench::{Workbench, WorkbenchError};
+
+/// The paper's example systems (re-exported from `csp-lang`).
+pub mod examples {
+    pub use csp_lang::examples::*;
+}
+
+/// Machine-checked proof scripts for every proof in the paper
+/// (re-exported from `csp-proof`).
+pub mod proofs {
+    pub use csp_proof::scripts::*;
+}
+
+pub use csp_assert::{
+    decide_valid, parse_assertion, protocol_cancel, simplify, subst_chan_cons, subst_empty,
+    subst_var, Assertion, AssertError, ChannelInfo, CmpOp, DecideConfig, Decision,
+    EvalCtx, FuncTable, STerm, Term,
+};
+pub use csp_lang::{
+    channel_alphabet, parse_definitions, parse_expr, parse_process, validate, ChanRef,
+    Definition, Definitions, Env, EvalError, Expr, MsgSet, ParseError, Process, SetExpr,
+    ValidationIssue,
+};
+pub use csp_proof::{
+    check, render_report, spec_goal, synthesize, CheckReport, Context, Discharge,
+    Judgement, Obligation, Proof, ProofError, SynthError,
+};
+pub use csp_runtime::{
+    check_conformance, flatten, Component, ConformanceReport, Executor, Network,
+    RunError, RunOptions, RunResult, Scheduler,
+};
+pub use csp_semantics::{
+    compare, fixpoint, refines, Config, Discrepancy, FixpointRun, Lts, Semantics, Step,
+    Universe,
+};
+pub use csp_trace::{timeline, Channel, ChannelSet, Event, History, Seq, Trace, TraceSet, Value};
+pub use csp_verify::{
+    cross_validate_scripts, find_deadlocks, stop_choice_identity, validate_all_rules,
+    CrossValidation, Deadlock, DeadlockReport, InstanceGen, RuleReport, SatChecker,
+    SatResult,
+};
+
+/// Convenient glob-import surface: `use csp_core::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        Assertion, Channel, Definitions, Env, Event, Judgement, Process, Proof,
+        RunOptions, SatResult, Scheduler, Trace, TraceSet, Universe, Value, Workbench,
+        WorkbenchError,
+    };
+}

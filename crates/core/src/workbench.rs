@@ -1,0 +1,578 @@
+//! The high-level [`Workbench`]: define processes, state invariants,
+//! prove, model-check, execute, and cross-validate — one handle over the
+//! whole reproduction.
+
+use csp_assert::{Assertion, ChannelInfo, FuncTable};
+use csp_lang::{
+    parse_definitions, validate, ChanRef, Definition, Definitions, Env, Process,
+    ValidationIssue,
+};
+use csp_proof::{check, CheckReport, Context, Judgement, Proof, ProofError};
+use csp_runtime::{check_conformance, ConformanceReport, Executor, RunOptions, RunResult};
+use csp_semantics::{fixpoint, FixpointRun, Lts, Semantics, Universe};
+use csp_trace::{TraceSet, Value};
+use csp_verify::{find_deadlocks, DeadlockReport, SatChecker, SatResult};
+
+/// Errors surfaced by the workbench.
+#[derive(Debug)]
+pub enum WorkbenchError {
+    /// Process-definition parse failure.
+    Parse(csp_lang::ParseError),
+    /// Assertion parse failure.
+    AssertParse(csp_assert::AssertParseError),
+    /// Evaluation failure (undefined names, unbound variables, …).
+    Eval(csp_lang::EvalError),
+    /// Assertion evaluation failure.
+    Assert(csp_assert::AssertError),
+    /// Proof failure.
+    Proof(ProofError),
+    /// Runtime failure.
+    Run(csp_runtime::RunError),
+}
+
+impl std::fmt::Display for WorkbenchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkbenchError::Parse(e) => e.fmt(f),
+            WorkbenchError::AssertParse(e) => e.fmt(f),
+            WorkbenchError::Eval(e) => e.fmt(f),
+            WorkbenchError::Assert(e) => e.fmt(f),
+            WorkbenchError::Proof(e) => e.fmt(f),
+            WorkbenchError::Run(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for WorkbenchError {}
+
+macro_rules! from_err {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for WorkbenchError {
+            fn from(e: $ty) -> Self {
+                WorkbenchError::$variant(e)
+            }
+        }
+    };
+}
+
+from_err!(Parse, csp_lang::ParseError);
+from_err!(AssertParse, csp_assert::AssertParseError);
+from_err!(Eval, csp_lang::EvalError);
+from_err!(Assert, csp_assert::AssertError);
+from_err!(Proof, ProofError);
+from_err!(Run, csp_runtime::RunError);
+
+/// A self-contained workspace: definitions + universe + host environment
+/// + sequence functions.
+///
+/// # Examples
+///
+/// ```
+/// use csp_core::Workbench;
+///
+/// let mut wb = Workbench::new();
+/// wb.define_source(
+///     "copier = input?x:NAT -> wire!x -> copier
+///      recopier = wire?y:NAT -> output!y -> recopier
+///      pipeline = chan wire; (copier || recopier)",
+/// ).unwrap();
+/// // Model-check an invariant stated in the paper's notation:
+/// let verdict = wb.check_sat("pipeline", "output <= input", 3).unwrap();
+/// assert!(verdict.holds());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Workbench {
+    defs: Definitions,
+    universe: Universe,
+    env: Env,
+    funcs: FuncTable,
+    extra_channels: Vec<String>,
+    extra_arrays: Vec<String>,
+}
+
+impl Default for Workbench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Workbench {
+    /// An empty workbench with the small default universe and the
+    /// built-in sequence functions.
+    pub fn new() -> Self {
+        Workbench {
+            defs: Definitions::new(),
+            universe: Universe::small(),
+            env: Env::new(),
+            funcs: FuncTable::with_builtins(),
+            extra_channels: Vec::new(),
+            extra_arrays: Vec::new(),
+        }
+    }
+
+    /// Replaces the enumeration universe.
+    #[must_use]
+    pub fn with_universe(mut self, universe: Universe) -> Self {
+        self.universe = universe;
+        self
+    }
+
+    /// The current definitions.
+    pub fn definitions(&self) -> &Definitions {
+        &self.defs
+    }
+
+    /// The current universe.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// The host environment.
+    pub fn env(&self) -> &Env {
+        &self.env
+    }
+
+    /// Parses and adds equations written in the paper's notation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse error on malformed input; on success earlier
+    /// definitions with the same names are replaced.
+    pub fn define_source(&mut self, src: &str) -> Result<(), WorkbenchError> {
+        let defs = parse_definitions(src)?;
+        self.defs.extend_with(defs);
+        Ok(())
+    }
+
+    /// Adds one pre-built equation.
+    pub fn define(&mut self, def: Definition) {
+        self.defs.define(def);
+    }
+
+    /// Binds a host constant (visible to processes and assertions).
+    pub fn bind(&mut self, name: &str, value: Value) {
+        self.env.bind_mut(name, value);
+    }
+
+    /// Binds the cells of a constant vector `name[1]`, `name[2]`, … —
+    /// e.g. the multiplier's `v`.
+    pub fn bind_vector(&mut self, name: &str, values: &[i64]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.env
+                .bind_mut(&format!("{name}[{}]", i + 1), Value::Int(v));
+        }
+    }
+
+    /// Declares channel names that assertions may mention even though no
+    /// current definition communicates on them (e.g. when specifying a
+    /// process that deliberately does nothing, §4's STOP discussion).
+    pub fn declare_channels<'a, I: IntoIterator<Item = &'a str>>(&mut self, names: I) {
+        self.extra_channels
+            .extend(names.into_iter().map(String::from));
+    }
+
+    /// Declares channel-array names for assertion parsing.
+    pub fn declare_channel_arrays<'a, I: IntoIterator<Item = &'a str>>(&mut self, names: I) {
+        self.extra_arrays.extend(names.into_iter().map(String::from));
+    }
+
+    /// Static well-formedness issues in the current definitions.
+    pub fn validate(&self) -> Vec<ValidationIssue> {
+        let hosts: Vec<String> = self
+            .env
+            .iter()
+            .map(|(k, _)| k.split('[').next().unwrap_or(k).to_string())
+            .collect();
+        let host_refs: Vec<&str> = hosts.iter().map(String::as_str).collect();
+        validate(&self.defs, &host_refs)
+    }
+
+    /// Derives the channel classification (plain names vs. arrays) from
+    /// the definitions, for assertion parsing.
+    pub fn channel_info(&self) -> ChannelInfo {
+        let mut plain = Vec::new();
+        let mut arrays: std::collections::BTreeMap<String, usize> =
+            std::collections::BTreeMap::new();
+        for def in self.defs.iter() {
+            collect_chanrefs(def.body(), &mut |c: &ChanRef| {
+                if c.indices().is_empty() {
+                    plain.push(c.base().to_string());
+                } else {
+                    let e = arrays.entry(c.base().to_string()).or_insert(0);
+                    *e = (*e).max(c.indices().len());
+                }
+            });
+        }
+        plain.extend(self.extra_channels.iter().cloned());
+        for a in &self.extra_arrays {
+            arrays.entry(a.clone()).or_insert(1);
+        }
+        let funcs: Vec<&str> = self.funcs.names().collect();
+        let mut info = ChannelInfo::new()
+            .with_channels(plain.iter().map(String::as_str))
+            .with_funcs(funcs);
+        for (name, arity) in &arrays {
+            info = info.with_array_of_arity(name, *arity);
+        }
+        info
+    }
+
+    /// Parses an assertion in the context of the current definitions.
+    ///
+    /// # Errors
+    ///
+    /// Returns the assertion parser's error.
+    pub fn assertion(&self, src: &str) -> Result<Assertion, WorkbenchError> {
+        Ok(csp_assert::parse_assertion(src, &self.channel_info())?)
+    }
+
+    /// The traces of a named process to the given depth (operational
+    /// exploration; agrees with the denotational semantics).
+    ///
+    /// # Errors
+    ///
+    /// Fails on undefined names or evaluation errors.
+    pub fn traces(&self, name: &str, depth: usize) -> Result<TraceSet, WorkbenchError> {
+        let lts = Lts::new(&self.defs, &self.universe);
+        Ok(lts.traces(&lts.initial(name, &self.env), depth)?)
+    }
+
+    /// The denotational trace set (reference implementation; exponential
+    /// for parallel compositions).
+    ///
+    /// # Errors
+    ///
+    /// Fails on undefined names or evaluation errors.
+    pub fn denote(&self, name: &str, depth: usize) -> Result<TraceSet, WorkbenchError> {
+        let sem = Semantics::new(&self.defs, &self.universe);
+        Ok(sem.denote_name(name, &self.env, depth)?)
+    }
+
+    /// Bounded model checking of `name sat assertion`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on parse or evaluation errors (a counterexample is a
+    /// successful result, not an error).
+    pub fn check_sat(
+        &self,
+        name: &str,
+        assertion_src: &str,
+        depth: usize,
+    ) -> Result<SatResult, WorkbenchError> {
+        let assertion = self.assertion(assertion_src)?;
+        let checker = SatChecker::new(&self.defs, &self.universe)
+            .with_env(self.env.clone())
+            .with_funcs(self.funcs.clone())
+            .with_internal_budget_factor(4);
+        Ok(checker.check_name(name, &assertion, depth)?)
+    }
+
+    /// Checks a proof tree against a goal with this workbench's
+    /// definitions and universe.
+    ///
+    /// # Errors
+    ///
+    /// Returns the proof checker's error on an invalid derivation.
+    pub fn prove(&self, goal: &Judgement, proof: &Proof) -> Result<CheckReport, WorkbenchError> {
+        let mut ctx = Context::new(self.defs.clone(), self.universe.clone());
+        ctx.env = self.env.clone();
+        ctx.funcs = self.funcs.clone();
+        Ok(check(&ctx, goal, proof)?)
+    }
+
+    /// Executes the named process as a concurrent network.
+    ///
+    /// # Errors
+    ///
+    /// Fails on non-static networks or evaluation errors.
+    pub fn run(&self, name: &str, opts: RunOptions) -> Result<RunResult, WorkbenchError> {
+        let exec = Executor::new(&self.defs, &self.universe);
+        Ok(exec.run_name(name, &self.env, opts)?)
+    }
+
+    /// Verifies a recorded run against the semantics and a list of
+    /// invariants (given in assertion syntax).
+    ///
+    /// # Errors
+    ///
+    /// Fails on parse or evaluation errors.
+    pub fn conformance(
+        &self,
+        name: &str,
+        result: &RunResult,
+        invariant_srcs: &[&str],
+    ) -> Result<ConformanceReport, WorkbenchError> {
+        let invariants = invariant_srcs
+            .iter()
+            .map(|s| self.assertion(s))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(check_conformance(
+            &Process::call(name),
+            &self.env,
+            &self.defs,
+            &self.universe,
+            &result.visible,
+            &invariants,
+            result.full.len().max(8),
+        )?)
+    }
+
+    /// Synthesises and checks a joint-recursion proof for the given
+    /// `(name, invariant-source)` specs, concluding the first one — the
+    /// automated form of the paper's proof discipline (see
+    /// `csp_proof::synthesize`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if an invariant does not parse, synthesis falls outside the
+    /// sequential fragment, or the synthesised proof does not check
+    /// (i.e. the invariants are not inductive).
+    pub fn prove_auto(&self, specs: &[(&str, &str)]) -> Result<CheckReport, WorkbenchError> {
+        let parsed: Vec<(String, Assertion)> = specs
+            .iter()
+            .map(|(n, src)| Ok((n.to_string(), self.assertion(src)?)))
+            .collect::<Result<_, WorkbenchError>>()?;
+        let mut ctx = Context::new(self.defs.clone(), self.universe.clone());
+        ctx.env = self.env.clone();
+        ctx.funcs = self.funcs.clone();
+        let proof = csp_proof::synthesize(&ctx, &parsed, 0).map_err(|e| {
+            WorkbenchError::Proof(ProofError::BadRecursion(e.to_string()))
+        })?;
+        let goal = csp_proof::spec_goal(&ctx, &parsed[0])?;
+        Ok(check(&ctx, &goal, &proof)?)
+    }
+
+    /// Bounded deadlock search over the operational semantics — the
+    /// analysis §4 says the trace model cannot express.
+    ///
+    /// # Errors
+    ///
+    /// Fails on undefined names or evaluation errors.
+    pub fn deadlocks(&self, name: &str, depth: usize) -> Result<DeadlockReport, WorkbenchError> {
+        Ok(find_deadlocks(
+            &self.defs,
+            &self.universe,
+            &Process::call(name),
+            &self.env,
+            depth,
+        )?)
+    }
+
+    /// Bounded trace refinement: every behaviour of `implementation` is
+    /// a behaviour of `specification`, up to `depth`. Returns the first
+    /// counterexample trace on failure.
+    ///
+    /// # Errors
+    ///
+    /// Fails on undefined names or evaluation errors.
+    pub fn refines(
+        &self,
+        implementation: &str,
+        specification: &str,
+        depth: usize,
+    ) -> Result<Result<(), csp_trace::Trace>, WorkbenchError> {
+        let lts = csp_semantics::Lts::new(&self.defs, &self.universe);
+        let impl_ts = lts.traces(&lts.initial(implementation, &self.env), depth)?;
+        let spec_ts = lts.traces(&lts.initial(specification, &self.env), depth)?;
+        Ok(csp_semantics::refines(&impl_ts, &spec_ts))
+    }
+
+    /// Runs the paper's fixpoint construction (§3.3) over all current
+    /// definitions.
+    ///
+    /// # Errors
+    ///
+    /// Fails on evaluation errors while iterating.
+    pub fn fixpoint(&self, depth: usize, max_iters: usize) -> Result<FixpointRun, WorkbenchError> {
+        Ok(fixpoint(
+            &self.defs,
+            &self.universe,
+            &self.env,
+            depth,
+            max_iters,
+        )?)
+    }
+}
+
+fn collect_chanrefs(p: &Process, f: &mut impl FnMut(&ChanRef)) {
+    match p {
+        Process::Stop | Process::Call { .. } => {}
+        Process::Output { chan, then, .. } => {
+            f(chan);
+            collect_chanrefs(then, f);
+        }
+        Process::Input { chan, then, .. } => {
+            f(chan);
+            collect_chanrefs(then, f);
+        }
+        Process::Choice(a, b) => {
+            collect_chanrefs(a, f);
+            collect_chanrefs(b, f);
+        }
+        Process::Parallel { left, right, .. } => {
+            collect_chanrefs(left, f);
+            collect_chanrefs(right, f);
+        }
+        Process::Hide { channels, body } => {
+            for c in channels {
+                f(c);
+            }
+            collect_chanrefs(body, f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_runtime::Scheduler;
+
+    fn pipeline_wb() -> Workbench {
+        let mut wb = Workbench::new().with_universe(Universe::new(1));
+        wb.define_source(csp_lang::examples::PIPELINE_SRC).unwrap();
+        wb
+    }
+
+    #[test]
+    fn define_check_run_conform_cycle() {
+        let wb = pipeline_wb();
+        assert!(wb.validate().is_empty());
+        // Model check.
+        assert!(wb.check_sat("pipeline", "output <= input", 3).unwrap().holds());
+        // Execute.
+        let res = wb
+            .run(
+                "pipeline",
+                RunOptions {
+                    max_steps: 20,
+                    scheduler: Scheduler::seeded(2),
+                },
+            )
+            .unwrap();
+        // Conform.
+        let report = wb
+            .conformance("pipeline", &res, &["output <= input"])
+            .unwrap();
+        assert!(report.conforms());
+    }
+
+    #[test]
+    fn assertion_parsing_uses_definition_channels() {
+        let wb = pipeline_wb();
+        let a = wb.assertion("wire <= input").unwrap();
+        assert_eq!(a.to_string(), "wire <= input");
+    }
+
+    #[test]
+    fn channel_info_classifies_arrays() {
+        let mut wb = Workbench::new();
+        wb.define_source(csp_lang::examples::MULTIPLIER_SRC).unwrap();
+        wb.bind_vector("v", &[1, 2, 3]);
+        let a = wb
+            .assertion("forall i:NAT. 1 <= i and i <= #output => output[i] == v[1]*row[1][i]")
+            .unwrap();
+        assert!(a.to_string().contains("row[1][i]"));
+    }
+
+    #[test]
+    fn prove_through_workbench() {
+        use csp_assert::{Assertion, STerm};
+        let wb = pipeline_wb();
+        let inv = Assertion::prefix(STerm::chan("wire"), STerm::chan("input"));
+        let goal = Judgement::sat(Process::call("copier"), inv.clone());
+        let proof = Proof::recursion(
+            "copier",
+            inv.clone(),
+            Proof::input("v", Proof::output(Proof::consequence(inv, Proof::Hypothesis))),
+        );
+        let report = wb.prove(&goal, &proof).unwrap();
+        assert!(report.rule_count() >= 4);
+    }
+
+    #[test]
+    fn traces_and_denote_agree() {
+        let wb = pipeline_wb();
+        let a = wb.traces("copier", 4).unwrap();
+        let b = wb.denote("copier", 4).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fixpoint_through_workbench() {
+        let wb = pipeline_wb();
+        let run = wb.fixpoint(4, 16).unwrap();
+        assert!(run.converged_at.is_some());
+    }
+
+    #[test]
+    fn validation_reports_missing_names() {
+        let mut wb = Workbench::new();
+        wb.define_source("p = c!0 -> ghost").unwrap();
+        assert_eq!(wb.validate().len(), 1);
+    }
+
+    #[test]
+    fn counterexamples_are_reported_not_errors() {
+        let wb = pipeline_wb();
+        let verdict = wb.check_sat("copier", "input <= wire", 3).unwrap();
+        assert!(!verdict.holds());
+    }
+
+    #[test]
+    fn prove_auto_synthesises_paper_proofs() {
+        let wb = pipeline_wb();
+        let report = wb
+            .prove_auto(&[("copier", "wire <= input")])
+            .expect("auto proof of copier");
+        assert!(report.rule_count() >= 4);
+        // The joint Table-1 pair through the high-level API:
+        let mut pwb = Workbench::new().with_universe(
+            Universe::new(1).with_named("M", [Value::nat(0), Value::nat(1)]),
+        );
+        pwb.define_source(csp_lang::examples::PROTOCOL_SRC).unwrap();
+        let report = pwb
+            .prove_auto(&[
+                ("sender", "f(wire) <= input"),
+                ("q", "f(wire) <= x^input"),
+            ])
+            .expect("auto Table 1");
+        assert!(report.rule_count() >= 9);
+    }
+
+    #[test]
+    fn prove_auto_rejects_non_inductive_invariants() {
+        let wb = pipeline_wb();
+        assert!(wb.prove_auto(&[("copier", "input <= wire")]).is_err());
+    }
+
+    #[test]
+    fn deadlock_search_through_workbench() {
+        let wb = pipeline_wb();
+        let report = wb.deadlocks("pipeline", 3).unwrap();
+        assert!(report.deadlocks.is_empty());
+        let mut jammed = Workbench::new().with_universe(Universe::new(3));
+        jammed
+            .define_source(
+                "left = w!1 -> STOP\nright = w?x:{2} -> STOP\nnet = left || right",
+            )
+            .unwrap();
+        let report = jammed.deadlocks("net", 3).unwrap();
+        assert!(!report.deadlock_free());
+    }
+
+    #[test]
+    fn refinement_through_workbench() {
+        let mut wb = Workbench::new().with_universe(Universe::new(1));
+        wb.define_source(
+            "spec = a?x:NAT -> spec | b!0 -> spec
+             impl = a?x:NAT -> impl
+             bad = c!9 -> bad",
+        )
+        .unwrap();
+        assert!(wb.refines("impl", "spec", 3).unwrap().is_ok());
+        let cex = wb.refines("bad", "spec", 3).unwrap().unwrap_err();
+        assert_eq!(cex.len(), 1);
+    }
+}
+

@@ -1,0 +1,183 @@
+//! Error types for parsing and evaluation.
+
+use std::fmt;
+
+/// An error produced while parsing the concrete syntax.
+///
+/// Reported with a byte position and 1-based line/column so callers can
+/// point at the offending token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    line: usize,
+    column: usize,
+}
+
+impl ParseError {
+    pub(crate) fn new(message: impl Into<String>, line: usize, column: usize) -> Self {
+        ParseError {
+            message: message.into(),
+            line,
+            column,
+        }
+    }
+
+    /// Human-readable description of what went wrong.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// 1-based line of the offending token.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// 1-based column of the offending token.
+    pub fn column(&self) -> usize {
+        self.column
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// An error produced while evaluating an expression or set expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A variable had no value in the environment.
+    UnboundVariable(String),
+    /// An operator was applied to operands of the wrong kind, e.g. `ACK + 1`.
+    TypeMismatch {
+        /// What was being evaluated.
+        context: String,
+    },
+    /// Division or modulus by zero.
+    DivisionByZero,
+    /// A set was required to be finite (for enumeration) but was `NAT`
+    /// without a universe bound.
+    UnboundedSet(String),
+    /// A subscripted reference evaluated to a non-integer subscript.
+    BadSubscript {
+        /// The array name being subscripted.
+        name: String,
+    },
+    /// A value fell outside the set it was required to belong to, e.g.
+    /// calling `q[e]` where the value of `e` is not in `M` (§1.2(3)).
+    NotInSet {
+        /// Rendering of the offending value.
+        value: String,
+        /// Rendering of the set.
+        set: String,
+    },
+    /// Reference to a process name with no defining equation.
+    UndefinedProcess(String),
+    /// A process name was called with the wrong number of subscripts.
+    ArityMismatch {
+        /// The process name.
+        name: String,
+        /// Number of subscripts at the call site.
+        got: usize,
+        /// Number of parameters in the definition.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVariable(x) => write!(f, "unbound variable `{x}`"),
+            EvalError::TypeMismatch { context } => write!(f, "type mismatch in {context}"),
+            EvalError::DivisionByZero => write!(f, "division by zero"),
+            EvalError::UnboundedSet(s) => {
+                write!(f, "set `{s}` is unbounded; supply a finite universe")
+            }
+            EvalError::BadSubscript { name } => {
+                write!(f, "subscript of `{name}` is not an integer")
+            }
+            EvalError::NotInSet { value, set } => {
+                write!(f, "value {value} is not in set {set}")
+            }
+            EvalError::UndefinedProcess(p) => write!(f, "undefined process name `{p}`"),
+            EvalError::ArityMismatch { name, got, expected } => write!(
+                f,
+                "process `{name}` applied to {got} subscript(s), definition has {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Umbrella error for operations that may fail either way.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangError {
+    /// A parse failure.
+    Parse(ParseError),
+    /// An evaluation failure.
+    Eval(EvalError),
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LangError::Parse(e) => e.fmt(f),
+            LangError::Eval(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for LangError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LangError::Parse(e) => Some(e),
+            LangError::Eval(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseError> for LangError {
+    fn from(e: ParseError) -> Self {
+        LangError::Parse(e)
+    }
+}
+
+impl From<EvalError> for LangError {
+    fn from(e: EvalError) -> Self {
+        LangError::Eval(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms_are_lowercase_and_concise() {
+        let e = EvalError::UnboundVariable("x".into());
+        assert_eq!(e.to_string(), "unbound variable `x`");
+        let p = ParseError::new("expected `->`", 2, 7);
+        assert_eq!(p.to_string(), "parse error at 2:7: expected `->`");
+        let a = EvalError::ArityMismatch {
+            name: "q".into(),
+            got: 2,
+            expected: 1,
+        };
+        assert!(a.to_string().contains("q"));
+    }
+
+    #[test]
+    fn lang_error_wraps_both() {
+        let e: LangError = ParseError::new("x", 1, 1).into();
+        assert!(matches!(e, LangError::Parse(_)));
+        let e: LangError = EvalError::DivisionByZero.into();
+        assert!(matches!(e, LangError::Eval(_)));
+        // Error source chains are present.
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,1018 @@
+//! Parser for the paper's concrete syntax.
+//!
+//! The grammar follows §1.2 with the paper's stated conventions:
+//!
+//! * `->` is right-associative and binds tighter than `|`;
+//! * `|` binds tighter than `||`;
+//! * `chan L; P` extends to the end of the enclosing group;
+//! * identifiers starting with an upper-case letter are symbolic atoms
+//!   (`ACK`, `NACK`) in expression position and named abstract sets (`M`)
+//!   in set position; lower-case identifiers are variables;
+//! * `--` and `//` start line comments.
+//!
+//! ```text
+//! definitions := definition*
+//! definition  := name ('[' var ':' set ']')? '=' process
+//! process     := 'chan' chanlist ';' process | par
+//! par         := choice ('||' choice)*
+//! choice      := prefix ('|' prefix)*
+//! prefix      := 'STOP'
+//!              | chanref '!' expr '->' prefix
+//!              | chanref '?' var ':' set '->' prefix
+//!              | name ('[' expr ']')*
+//!              | '(' process ')'
+//! set         := 'NAT' | Uname | expr '..' expr | '{' elems? '}'
+//! elems       := expr '..' expr | expr (',' expr)*
+//! ```
+
+use csp_trace::Value;
+
+use crate::{
+    BinOp, ChanRef, Definition, Definitions, Expr, ParseError, Process, SetExpr, UnOp,
+};
+
+/// Parses a list of process equations.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with line/column on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// use csp_lang::parse_definitions;
+///
+/// let defs = parse_definitions(
+///     "-- the protocol of §1.3
+///      sender = input?y:M -> q[y]
+///      q[x:M] = wire!x -> (wire?y:{ACK} -> sender | wire?y:{NACK} -> q[x])
+///      receiver = wire?z:M -> (wire!ACK -> output!z -> receiver
+///                              | wire!NACK -> receiver)
+///      protocol = chan wire; (sender || receiver)",
+/// ).unwrap();
+/// assert_eq!(defs.len(), 4);
+/// ```
+pub fn parse_definitions(src: &str) -> Result<Definitions, ParseError> {
+    let mut p = Parser::new(src)?;
+    let mut defs = Definitions::new();
+    while !p.at_end() {
+        defs.define(p.definition()?);
+    }
+    Ok(defs)
+}
+
+/// Parses a single process expression.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input or trailing tokens.
+pub fn parse_process(src: &str) -> Result<Process, ParseError> {
+    let mut p = Parser::new(src)?;
+    let proc = p.process()?;
+    p.expect_end()?;
+    Ok(proc)
+}
+
+/// Parses a single value expression.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input or trailing tokens.
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let mut p = Parser::new(src)?;
+    let e = p.expr()?;
+    p.expect_end()?;
+    Ok(e)
+}
+
+/// Parses a set expression such as `NAT`, `{ACK, NACK}`, `0..3`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input or trailing tokens.
+pub fn parse_set_expr(src: &str) -> Result<SetExpr, ParseError> {
+    let mut p = Parser::new(src)?;
+    let s = p.set_expr()?;
+    p.expect_end()?;
+    Ok(s)
+}
+
+// ---------------------------------------------------------------- lexer --
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Arrow,     // ->
+    Query,     // ?
+    Bang,      // !
+    Colon,     // :
+    Semi,      // ;
+    Comma,     // ,
+    Bar,       // |
+    BarBar,    // ||
+    LParen,
+    RParen,
+    LBrack,
+    RBrack,
+    LBrace,
+    RBrace,
+    Eq,        // =
+    EqEq,      // ==
+    Ne,        // !=
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    DotDot,    // ..
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Tok::Ident(s) => return write!(f, "`{s}`"),
+            Tok::Int(n) => return write!(f, "`{n}`"),
+            Tok::Arrow => "`->`",
+            Tok::Query => "`?`",
+            Tok::Bang => "`!`",
+            Tok::Colon => "`:`",
+            Tok::Semi => "`;`",
+            Tok::Comma => "`,`",
+            Tok::Bar => "`|`",
+            Tok::BarBar => "`||`",
+            Tok::LParen => "`(`",
+            Tok::RParen => "`)`",
+            Tok::LBrack => "`[`",
+            Tok::RBrack => "`]`",
+            Tok::LBrace => "`{`",
+            Tok::RBrace => "`}`",
+            Tok::Eq => "`=`",
+            Tok::EqEq => "`==`",
+            Tok::Ne => "`!=`",
+            Tok::Lt => "`<`",
+            Tok::Le => "`<=`",
+            Tok::Gt => "`>`",
+            Tok::Ge => "`>=`",
+            Tok::Plus => "`+`",
+            Tok::Minus => "`-`",
+            Tok::Star => "`*`",
+            Tok::Slash => "`/`",
+            Tok::Percent => "`%`",
+            Tok::DotDot => "`..`",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    tok: Tok,
+    line: usize,
+    column: usize,
+}
+
+fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut out = Vec::new();
+    let mut line = 1usize;
+    let mut column = 1usize;
+    let mut chars = src.chars().peekable();
+
+    macro_rules! push {
+        ($tok:expr, $len:expr) => {{
+            out.push(Spanned {
+                tok: $tok,
+                line,
+                column,
+            });
+            column += $len;
+        }};
+    }
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                column = 1;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+                column += 1;
+            }
+            '-' => {
+                chars.next();
+                match chars.peek() {
+                    Some('>') => {
+                        chars.next();
+                        push!(Tok::Arrow, 0);
+                        column += 2;
+                    }
+                    Some('-') => {
+                        // line comment
+                        for c in chars.by_ref() {
+                            if c == '\n' {
+                                line += 1;
+                                column = 1;
+                                break;
+                            }
+                        }
+                    }
+                    _ => {
+                        push!(Tok::Minus, 1);
+                    }
+                }
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            column = 1;
+                            break;
+                        }
+                    }
+                } else {
+                    push!(Tok::Slash, 1);
+                }
+            }
+            '|' => {
+                chars.next();
+                if chars.peek() == Some(&'|') {
+                    chars.next();
+                    push!(Tok::BarBar, 2);
+                } else {
+                    push!(Tok::Bar, 1);
+                }
+            }
+            '=' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(Tok::EqEq, 2);
+                } else {
+                    push!(Tok::Eq, 1);
+                }
+            }
+            '!' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(Tok::Ne, 2);
+                } else {
+                    push!(Tok::Bang, 1);
+                }
+            }
+            '<' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(Tok::Le, 2);
+                } else {
+                    push!(Tok::Lt, 1);
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    push!(Tok::Ge, 2);
+                } else {
+                    push!(Tok::Gt, 1);
+                }
+            }
+            '.' => {
+                chars.next();
+                if chars.peek() == Some(&'.') {
+                    chars.next();
+                    push!(Tok::DotDot, 2);
+                } else {
+                    return Err(ParseError::new("stray `.` (did you mean `..`?)", line, column));
+                }
+            }
+            '?' => {
+                chars.next();
+                push!(Tok::Query, 1);
+            }
+            ':' => {
+                chars.next();
+                push!(Tok::Colon, 1);
+            }
+            ';' => {
+                chars.next();
+                push!(Tok::Semi, 1);
+            }
+            ',' => {
+                chars.next();
+                push!(Tok::Comma, 1);
+            }
+            '(' => {
+                chars.next();
+                push!(Tok::LParen, 1);
+            }
+            ')' => {
+                chars.next();
+                push!(Tok::RParen, 1);
+            }
+            '[' => {
+                chars.next();
+                push!(Tok::LBrack, 1);
+            }
+            ']' => {
+                chars.next();
+                push!(Tok::RBrack, 1);
+            }
+            '{' => {
+                chars.next();
+                push!(Tok::LBrace, 1);
+            }
+            '}' => {
+                chars.next();
+                push!(Tok::RBrace, 1);
+            }
+            '+' => {
+                chars.next();
+                push!(Tok::Plus, 1);
+            }
+            '*' => {
+                chars.next();
+                push!(Tok::Star, 1);
+            }
+            '%' => {
+                chars.next();
+                push!(Tok::Percent, 1);
+            }
+            c if c.is_ascii_digit() => {
+                let mut n = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        n.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let len = n.len();
+                let val: i64 = n
+                    .parse()
+                    .map_err(|_| ParseError::new("integer literal too large", line, column))?;
+                push!(Tok::Int(val), len);
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' || d == '\'' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let len = s.len();
+                push!(Tok::Ident(s), len);
+            }
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character `{other}`"),
+                    line,
+                    column,
+                ));
+            }
+        }
+    }
+    Ok(out)
+}
+
+// --------------------------------------------------------------- parser --
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(src: &str) -> Result<Self, ParseError> {
+        Ok(Parser {
+            toks: lex(src)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|s| &s.tok)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|s| &s.tok)
+    }
+
+    fn here(&self) -> (usize, usize) {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|s| (s.line, s.column))
+            .unwrap_or((1, 1))
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|s| s.tok.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        let (l, c) = self.here();
+        ParseError::new(msg, l, c)
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == tok => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => Err(self.err(format!("expected {tok}, found {t}"))),
+            None => Err(self.err(format!("expected {tok}, found end of input"))),
+        }
+    }
+
+    fn expect_end(&self) -> Result<(), ParseError> {
+        if self.at_end() {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "unexpected trailing {}",
+                self.peek().expect("non-empty")
+            )))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            Some(t) => Err(self.err(format!("expected identifier, found {t}"))),
+            None => Err(self.err("expected identifier, found end of input")),
+        }
+    }
+
+    // definition := name ('[' var ':' set ']')? '=' process
+    fn definition(&mut self) -> Result<Definition, ParseError> {
+        let name = self.ident()?;
+        if is_keyword(&name) {
+            return Err(self.err(format!("`{name}` is reserved and cannot be defined")));
+        }
+        if self.peek() == Some(&Tok::LBrack) {
+            self.bump();
+            let param = self.ident()?;
+            self.expect(&Tok::Colon)?;
+            let set = self.set_expr()?;
+            self.expect(&Tok::RBrack)?;
+            self.expect(&Tok::Eq)?;
+            let body = self.process()?;
+            Ok(Definition::array(&name, &param, set, body))
+        } else {
+            self.expect(&Tok::Eq)?;
+            let body = self.process()?;
+            Ok(Definition::plain(&name, body))
+        }
+    }
+
+    // process := 'chan' chanlist ';' process | par
+    fn process(&mut self) -> Result<Process, ParseError> {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s == "chan" {
+                self.bump();
+                let channels = self.chan_list()?;
+                self.expect(&Tok::Semi)?;
+                let body = self.process()?;
+                return Ok(Process::Hide {
+                    channels,
+                    body: Box::new(body),
+                });
+            }
+        }
+        self.parallel()
+    }
+
+    fn parallel(&mut self) -> Result<Process, ParseError> {
+        let mut left = self.choice()?;
+        while self.peek() == Some(&Tok::BarBar) {
+            self.bump();
+            let right = self.choice()?;
+            left = left.par(right);
+        }
+        Ok(left)
+    }
+
+    fn choice(&mut self) -> Result<Process, ParseError> {
+        let mut left = self.prefix()?;
+        while self.peek() == Some(&Tok::Bar) {
+            self.bump();
+            let right = self.prefix()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn prefix(&mut self) -> Result<Process, ParseError> {
+        match self.peek() {
+            Some(Tok::LParen) => {
+                self.bump();
+                let p = self.process()?;
+                self.expect(&Tok::RParen)?;
+                Ok(p)
+            }
+            Some(Tok::Ident(s)) if s == "STOP" => {
+                self.bump();
+                Ok(Process::Stop)
+            }
+            Some(Tok::Ident(s)) if s == "chan" => self.process(),
+            Some(Tok::Ident(_)) => self.prefix_from_name(),
+            Some(t) => Err(self.err(format!("expected a process, found {t}"))),
+            None => Err(self.err("expected a process, found end of input")),
+        }
+    }
+
+    /// Something starting with a (possibly subscripted) name: an output
+    /// `c[..]!e -> P`, an input `c[..]?x:M -> P`, or a call `p[..]`.
+    fn prefix_from_name(&mut self) -> Result<Process, ParseError> {
+        let name = self.ident()?;
+        let mut subs: Vec<Expr> = Vec::new();
+        while self.peek() == Some(&Tok::LBrack) {
+            self.bump();
+            let e = self.expr()?;
+            self.expect(&Tok::RBrack)?;
+            subs.push(e);
+        }
+        match self.peek() {
+            Some(Tok::Bang) => {
+                self.bump();
+                let msg = self.expr()?;
+                self.expect(&Tok::Arrow)?;
+                let then = self.prefix()?;
+                Ok(Process::Output {
+                    chan: ChanRef::with_indices(&name, subs),
+                    msg,
+                    then: Box::new(then),
+                })
+            }
+            Some(Tok::Query) => {
+                self.bump();
+                let var = self.ident()?;
+                self.expect(&Tok::Colon)?;
+                let set = self.set_expr()?;
+                self.expect(&Tok::Arrow)?;
+                let then = self.prefix()?;
+                Ok(Process::Input {
+                    chan: ChanRef::with_indices(&name, subs),
+                    var,
+                    set,
+                    then: Box::new(then),
+                })
+            }
+            _ => Ok(Process::Call { name, args: subs }),
+        }
+    }
+
+    // chanlist := chanitem (',' chanitem)*
+    // chanitem := name ('[' (expr | expr '..' expr) ']')*
+    fn chan_list(&mut self) -> Result<Vec<ChanRef>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            out.extend(self.chan_item()?);
+            if self.peek() == Some(&Tok::Comma) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn chan_item(&mut self) -> Result<Vec<ChanRef>, ParseError> {
+        let name = self.ident()?;
+        if self.peek() != Some(&Tok::LBrack) {
+            return Ok(vec![ChanRef::simple(&name)]);
+        }
+        self.bump();
+        let lo = self.expr()?;
+        if self.peek() == Some(&Tok::DotDot) {
+            // A family like col[0..3], expanded when bounds are constant.
+            self.bump();
+            let hi = self.expr()?;
+            self.expect(&Tok::RBrack)?;
+            let (l, h) = match (constant_int(&lo), constant_int(&hi)) {
+                (Some(l), Some(h)) => (l, h),
+                _ => {
+                    return Err(
+                        self.err("channel-family bounds in `chan` lists must be constant")
+                    )
+                }
+            };
+            Ok((l..=h)
+                .map(|i| ChanRef::indexed(&name, Expr::int(i)))
+                .collect())
+        } else {
+            self.expect(&Tok::RBrack)?;
+            Ok(vec![ChanRef::indexed(&name, lo)])
+        }
+    }
+
+    // set := 'NAT' | Uname | '{' elems? '}' | expr '..' expr
+    fn set_expr(&mut self) -> Result<SetExpr, ParseError> {
+        match self.peek() {
+            Some(Tok::Ident(s)) if s == "NAT" => {
+                self.bump();
+                Ok(SetExpr::Nat)
+            }
+            Some(Tok::LBrace) => {
+                self.bump();
+                if self.peek() == Some(&Tok::RBrace) {
+                    self.bump();
+                    return Ok(SetExpr::Enum(Vec::new()));
+                }
+                let first = self.expr()?;
+                if self.peek() == Some(&Tok::DotDot) {
+                    self.bump();
+                    let hi = self.expr()?;
+                    self.expect(&Tok::RBrace)?;
+                    return Ok(SetExpr::Range(Box::new(first), Box::new(hi)));
+                }
+                let mut elems = vec![first];
+                while self.peek() == Some(&Tok::Comma) {
+                    self.bump();
+                    elems.push(self.expr()?);
+                }
+                self.expect(&Tok::RBrace)?;
+                Ok(SetExpr::Enum(elems))
+            }
+            Some(Tok::Ident(s))
+                if starts_upper(s) && self.peek2() != Some(&Tok::DotDot) =>
+            {
+                // A named abstract set such as `M`.
+                let n = s.clone();
+                self.bump();
+                Ok(SetExpr::Named(n))
+            }
+            _ => {
+                let lo = self.expr()?;
+                self.expect(&Tok::DotDot)?;
+                let hi = self.expr()?;
+                Ok(SetExpr::Range(Box::new(lo), Box::new(hi)))
+            }
+        }
+    }
+
+    // ------------------------------------------------------ expressions --
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.and_expr()?;
+        while matches!(self.peek(), Some(Tok::Ident(s)) if s == "or") {
+            self.bump();
+            let right = self.and_expr()?;
+            left = Expr::Bin(BinOp::Or, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.cmp_expr()?;
+        while matches!(self.peek(), Some(Tok::Ident(s)) if s == "and") {
+            self.bump();
+            let right = self.cmp_expr()?;
+            left = Expr::Bin(BinOp::And, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let left = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Tok::EqEq) => Some(BinOp::Eq),
+            Some(Tok::Ne) => Some(BinOp::Ne),
+            Some(Tok::Lt) => Some(BinOp::Lt),
+            Some(Tok::Le) => Some(BinOp::Le),
+            Some(Tok::Gt) => Some(BinOp::Gt),
+            Some(Tok::Ge) => Some(BinOp::Ge),
+            _ => None,
+        };
+        match op {
+            None => Ok(left),
+            Some(op) => {
+                self.bump();
+                let right = self.add_expr()?;
+                Ok(Expr::Bin(op, Box::new(left), Box::new(right)))
+            }
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Plus) => BinOp::Add,
+                Some(Tok::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let right = self.mul_expr()?;
+            left = Expr::Bin(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Tok::Star) => BinOp::Mul,
+                Some(Tok::Slash) => BinOp::Div,
+                Some(Tok::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let right = self.unary_expr()?;
+            left = Expr::Bin(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.peek() {
+            Some(Tok::Minus) => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::Un(UnOp::Neg, Box::new(e)))
+            }
+            Some(Tok::Ident(s)) if s == "not" => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::Un(UnOp::Not, Box::new(e)))
+            }
+            _ => self.atom_expr(),
+        }
+    }
+
+    fn atom_expr(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Some(Tok::Int(n)) => Ok(Expr::int(n)),
+            Some(Tok::Ident(s)) if s == "true" => Ok(Expr::Const(Value::Bool(true))),
+            Some(Tok::Ident(s)) if s == "false" => Ok(Expr::Const(Value::Bool(false))),
+            Some(Tok::Ident(s)) => {
+                if self.peek() == Some(&Tok::LBrack) {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(&Tok::RBrack)?;
+                    Ok(Expr::ArrayRef(s, Box::new(idx)))
+                } else if starts_upper(&s) && s != "NAT" {
+                    Ok(Expr::sym(&s))
+                } else {
+                    Ok(Expr::var(&s))
+                }
+            }
+            Some(Tok::LParen) => {
+                let first = self.expr()?;
+                if self.peek() == Some(&Tok::Comma) {
+                    let mut es = vec![first];
+                    while self.peek() == Some(&Tok::Comma) {
+                        self.bump();
+                        es.push(self.expr()?);
+                    }
+                    self.expect(&Tok::RParen)?;
+                    Ok(Expr::Tuple(es))
+                } else {
+                    self.expect(&Tok::RParen)?;
+                    Ok(first)
+                }
+            }
+            Some(t) => Err(self.err(format!("expected an expression, found {t}"))),
+            None => Err(self.err("expected an expression, found end of input")),
+        }
+    }
+}
+
+fn starts_upper(s: &str) -> bool {
+    s.chars().next().is_some_and(char::is_uppercase)
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(s, "STOP" | "chan" | "NAT" | "and" | "or" | "not" | "true" | "false")
+}
+
+fn constant_int(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::Const(Value::Int(n)) => Some(*n),
+        Expr::Un(UnOp::Neg, inner) => constant_int(inner).map(|n| -n),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_copier() {
+        let p = parse_process("input?x:NAT -> wire!x -> copier").unwrap();
+        match p {
+            Process::Input { var, set, then, .. } => {
+                assert_eq!(var, "x");
+                assert_eq!(set, SetExpr::Nat);
+                assert!(matches!(*then, Process::Output { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arrow_is_right_associative() {
+        // wire?x:NAT -> output!x -> copier parses as wire?x -> (output!x -> copier).
+        let p = parse_process("wire?x:NAT -> output!x -> copier").unwrap();
+        assert_eq!(p.size(), 3);
+    }
+
+    #[test]
+    fn arrow_binds_tighter_than_bar() {
+        // a!1 -> STOP | b!2 -> STOP  ==  (a!1 -> STOP) | (b!2 -> STOP)
+        let p = parse_process("a!1 -> STOP | b!2 -> STOP").unwrap();
+        assert!(matches!(p, Process::Choice(_, _)));
+    }
+
+    #[test]
+    fn bar_binds_tighter_than_barbar() {
+        let p = parse_process("a!1 -> STOP | b!1 -> STOP || c!1 -> STOP").unwrap();
+        match p {
+            Process::Parallel { left, right, .. } => {
+                assert!(matches!(*left, Process::Choice(_, _)));
+                assert!(matches!(*right, Process::Output { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chan_extends_over_parallel() {
+        let p = parse_process("chan wire; copier || recopier").unwrap();
+        match p {
+            Process::Hide { channels, body } => {
+                assert_eq!(channels.len(), 1);
+                assert!(matches!(*body, Process::Parallel { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chan_family_expansion() {
+        let p = parse_process("chan col[0..3]; network").unwrap();
+        match p {
+            Process::Hide { channels, .. } => {
+                assert_eq!(channels.len(), 4);
+                assert_eq!(channels[0].to_string(), "col[0]");
+                assert_eq!(channels[3].to_string(), "col[3]");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_constant_family_bounds_rejected() {
+        assert!(parse_process("chan col[0..n]; network").is_err());
+    }
+
+    #[test]
+    fn subscripted_call_and_channels() {
+        let p = parse_process("row[i]?x:NAT -> col[i-1]?y:NAT -> col[i]!(v[i]*x+y) -> mult[i]")
+            .unwrap();
+        assert_eq!(p.size(), 4);
+        // Round-trip through printing re-parses (see printer tests).
+        let text = p.to_string();
+        assert!(text.contains("col[(i - 1)]"), "{text}");
+    }
+
+    #[test]
+    fn uppercase_atoms_and_named_sets() {
+        let p = parse_process("wire?y:{ACK} -> sender | wire?y:{NACK} -> q[x]").unwrap();
+        match &p {
+            Process::Choice(a, _) => match a.as_ref() {
+                Process::Input { set, .. } => {
+                    assert_eq!(set, &SetExpr::Enum(vec![Expr::sym("ACK")]));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+        // Named set in input position:
+        let q = parse_process("input?y:M -> q[y]").unwrap();
+        match q {
+            Process::Input { set, .. } => assert_eq!(set, SetExpr::Named("M".into())),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn set_expressions() {
+        assert_eq!(parse_set_expr("NAT").unwrap(), SetExpr::Nat);
+        assert_eq!(
+            parse_set_expr("0..3").unwrap(),
+            SetExpr::Range(Box::new(Expr::int(0)), Box::new(Expr::int(3)))
+        );
+        assert_eq!(
+            parse_set_expr("{0..3}").unwrap(),
+            SetExpr::Range(Box::new(Expr::int(0)), Box::new(Expr::int(3)))
+        );
+        assert_eq!(
+            parse_set_expr("{ACK, NACK}").unwrap(),
+            SetExpr::Enum(vec![Expr::sym("ACK"), Expr::sym("NACK")])
+        );
+        assert_eq!(parse_set_expr("M").unwrap(), SetExpr::Named("M".into()));
+        assert_eq!(parse_set_expr("{}").unwrap(), SetExpr::Enum(vec![]));
+    }
+
+    #[test]
+    fn expr_precedence() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(e.eval(&crate::Env::new()).unwrap(), Value::Int(7));
+        let e = parse_expr("(1 + 2) * 3").unwrap();
+        assert_eq!(e.eval(&crate::Env::new()).unwrap(), Value::Int(9));
+        let e = parse_expr("-2 + 1").unwrap();
+        assert_eq!(e.eval(&crate::Env::new()).unwrap(), Value::Int(-1));
+        let e = parse_expr("1 < 2 and not false").unwrap();
+        assert_eq!(e.eval(&crate::Env::new()).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn definitions_with_arrays_and_comments() {
+        let defs = parse_definitions(
+            "-- multiplier network of §1.3(5)
+             mult[i:1..3] = row[i]?x:NAT -> col[i-1]?y:NAT -> col[i]!(v[i]*x+y) -> mult[i]
+             zeroes = col[0]!0 -> zeroes // boundary
+             last = col[3]?y:NAT -> output!y -> last",
+        )
+        .unwrap();
+        assert_eq!(defs.len(), 3);
+        let m = defs.get("mult").unwrap();
+        assert_eq!(m.arity(), 1);
+        assert_eq!(m.param().unwrap().0, "i");
+    }
+
+    #[test]
+    fn keywords_cannot_be_defined() {
+        assert!(parse_definitions("STOP = STOP").is_err());
+        assert!(parse_definitions("chan = STOP").is_err());
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse_process("input?x NAT -> STOP").unwrap_err();
+        assert_eq!(err.line(), 1);
+        assert!(err.column() > 1);
+        assert!(err.message().contains("expected"));
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(parse_process("STOP STOP").is_err());
+        assert!(parse_expr("1 2").is_err());
+    }
+
+    #[test]
+    fn tuples_parse() {
+        let e = parse_expr("(1, ACK)").unwrap();
+        assert_eq!(e, Expr::Tuple(vec![Expr::int(1), Expr::sym("ACK")]));
+    }
+
+    #[test]
+    fn empty_input_yields_empty_definitions() {
+        assert!(parse_definitions("").unwrap().is_empty());
+        assert!(parse_definitions("-- only a comment").unwrap().is_empty());
+    }
+
+    #[test]
+    fn explicit_parens_override_choice_grouping() {
+        let p = parse_process("a!1 -> (b!2 -> STOP | c!3 -> STOP)").unwrap();
+        match p {
+            Process::Output { then, .. } => assert!(matches!(*then, Process::Choice(_, _))),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Pretty-printer for process expressions.
+//!
+//! Prints with the minimum bracketing that re-parses to the same tree
+//! under the paper's conventions (`->` right-associative, tighter than
+//! `|`, tighter than `||`; `chan` extends to the end of the group). The
+//! round-trip property `parse(print(p)) == p` is tested here and by
+//! property tests in the crate root.
+
+use std::fmt;
+
+use crate::Process;
+
+/// Binding strength of each construct; larger binds tighter.
+const PREC_HIDE: u8 = 0;
+const PREC_PAR: u8 = 1;
+const PREC_CHOICE: u8 = 2;
+const PREC_PREFIX: u8 = 3;
+
+fn fmt_process(p: &Process, f: &mut fmt::Formatter<'_>, ctx: u8) -> fmt::Result {
+    match p {
+        Process::Stop => write!(f, "STOP"),
+        Process::Call { name, args } => {
+            write!(f, "{name}")?;
+            for a in args {
+                write!(f, "[{a}]")?;
+            }
+            Ok(())
+        }
+        Process::Output { chan, msg, then } => {
+            let parens = ctx > PREC_PREFIX;
+            if parens {
+                write!(f, "(")?;
+            }
+            write!(f, "{chan}!{msg} -> ")?;
+            fmt_process(then, f, PREC_PREFIX)?;
+            if parens {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Process::Input {
+            chan,
+            var,
+            set,
+            then,
+        } => {
+            let parens = ctx > PREC_PREFIX;
+            if parens {
+                write!(f, "(")?;
+            }
+            write!(f, "{chan}?{var}:{set} -> ")?;
+            fmt_process(then, f, PREC_PREFIX)?;
+            if parens {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Process::Choice(a, b) => {
+            let parens = ctx > PREC_CHOICE;
+            if parens {
+                write!(f, "(")?;
+            }
+            fmt_process(a, f, PREC_CHOICE)?;
+            write!(f, " | ")?;
+            // Right operand one level tighter: `a | (b | c)` keeps its
+            // explicit grouping, while left-nested choices print flat.
+            fmt_process(b, f, PREC_CHOICE + 1)?;
+            if parens {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Process::Parallel { left, right, .. } => {
+            let parens = ctx > PREC_PAR;
+            if parens {
+                write!(f, "(")?;
+            }
+            fmt_process(left, f, PREC_PAR)?;
+            write!(f, " || ")?;
+            fmt_process(right, f, PREC_PAR + 1)?;
+            if parens {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        Process::Hide { channels, body } => {
+            let parens = ctx > PREC_HIDE;
+            if parens {
+                write!(f, "(")?;
+            }
+            write!(f, "chan ")?;
+            for (i, c) in channels.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{c}")?;
+            }
+            write!(f, "; ")?;
+            fmt_process(body, f, PREC_HIDE)?;
+            if parens {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+impl fmt::Display for Process {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_process(self, f, PREC_HIDE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{parse_definitions, parse_process};
+
+    #[track_caller]
+    fn roundtrip(src: &str) {
+        let p = parse_process(src).expect("parses");
+        let printed = p.to_string();
+        let reparsed = parse_process(&printed)
+            .unwrap_or_else(|e| panic!("printed form failed to parse: {printed}: {e}"));
+        assert_eq!(reparsed, p, "round-trip changed the tree: {printed}");
+    }
+
+    #[test]
+    fn roundtrip_paper_processes() {
+        roundtrip("STOP");
+        roundtrip("input?x:NAT -> wire!x -> copier");
+        roundtrip("wire!x -> (wire?y:{ACK} -> sender | wire?y:{NACK} -> q[x])");
+        roundtrip(
+            "wire?z:M -> (wire!ACK -> output!z -> receiver | wire!NACK -> receiver)",
+        );
+        roundtrip("chan wire; (sender || receiver)");
+        roundtrip("row[i]?x:NAT -> col[i-1]?y:NAT -> col[i]!(v[i]*x+y) -> mult[i]");
+        roundtrip("zeroes || mult[1] || mult[2] || mult[3] || last");
+        roundtrip("chan col[0..3]; network");
+    }
+
+    #[test]
+    fn roundtrip_nested_grouping() {
+        roundtrip("(a!1 -> STOP | b!2 -> STOP) || c!3 -> STOP");
+        roundtrip("a!1 -> (b!2 -> STOP | c!3 -> STOP)");
+        roundtrip("a!1 -> STOP | (b!2 -> STOP | c!3 -> STOP)");
+        roundtrip("(chan h; a!1 -> h!2 -> STOP) || h?x:NAT -> STOP");
+    }
+
+    #[test]
+    fn choice_prints_without_redundant_parens() {
+        let p = parse_process("a!1 -> STOP | b!2 -> STOP | c!3 -> STOP").unwrap();
+        let s = p.to_string();
+        assert!(!s.contains('('), "unexpected parens in {s}");
+    }
+
+    #[test]
+    fn prefix_to_choice_keeps_parens() {
+        let p = parse_process("a!1 -> (b!2 -> STOP | c!3 -> STOP)").unwrap();
+        assert_eq!(p.to_string(), "a!1 -> (b!2 -> STOP | c!3 -> STOP)");
+    }
+
+    #[test]
+    fn definitions_display_reparses() {
+        let src = "sender = input?y:M -> q[y]
+                   q[x:M] = wire!x -> (wire?y:{ACK} -> sender | wire?y:{NACK} -> q[x])";
+        let defs = parse_definitions(src).unwrap();
+        let printed = defs.to_string();
+        let defs2 = parse_definitions(&printed).unwrap();
+        assert_eq!(defs2, defs);
+    }
+}

@@ -1,0 +1,312 @@
+//! Static validation of definition lists.
+//!
+//! Checks the well-formedness conditions the paper assumes implicitly:
+//! every referenced process name is defined with the right number of
+//! subscripts, every variable is bound (by an input prefix or an array
+//! parameter), and recursion is guarded by at least one communication —
+//! unguarded equations like `p = p` are legal in the model (they denote
+//! `STOP`'s trace set) but almost always a mistake, so they are flagged.
+
+use std::collections::BTreeSet;
+
+use crate::{Definitions, Expr, Process};
+
+/// A problem found in a definition list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationIssue {
+    /// A call to a process name with no defining equation.
+    UndefinedProcess {
+        /// The definition whose body contains the call.
+        in_def: String,
+        /// The missing name.
+        name: String,
+    },
+    /// A call whose subscript count disagrees with the definition.
+    ArityMismatch {
+        /// The definition whose body contains the call.
+        in_def: String,
+        /// The called name.
+        name: String,
+        /// Subscripts supplied.
+        got: usize,
+        /// Subscripts expected.
+        expected: usize,
+    },
+    /// A variable used without a binding input prefix or array parameter.
+    /// Array names (like the constant vector `v` of the multiplier) are
+    /// reported too: hosts must bind their cells in the environment.
+    UnboundVariable {
+        /// The definition whose body uses the variable.
+        in_def: String,
+        /// The variable name.
+        var: String,
+    },
+    /// The equation can reach a recursive call without performing any
+    /// communication, e.g. `p = p` or `p = p | c!0 -> p`.
+    UnguardedRecursion {
+        /// The offending definition.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for ValidationIssue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationIssue::UndefinedProcess { in_def, name } => {
+                write!(f, "in `{in_def}`: call to undefined process `{name}`")
+            }
+            ValidationIssue::ArityMismatch {
+                in_def,
+                name,
+                got,
+                expected,
+            } => write!(
+                f,
+                "in `{in_def}`: `{name}` called with {got} subscript(s), defined with {expected}"
+            ),
+            ValidationIssue::UnboundVariable { in_def, var } => {
+                write!(f, "in `{in_def}`: unbound variable `{var}`")
+            }
+            ValidationIssue::UnguardedRecursion { name } => {
+                write!(f, "`{name}` can recurse without communicating")
+            }
+        }
+    }
+}
+
+/// Validates a definition list, returning all issues found (empty when
+/// clean).
+///
+/// `host_vars` names variables the embedding program promises to bind in
+/// the evaluation environment — e.g. the constant vector `v` of the
+/// multiplier example (§1.3(5)).
+///
+/// # Examples
+///
+/// ```
+/// use csp_lang::{parse_definitions, validate};
+///
+/// let defs = parse_definitions("p = c!0 -> q").unwrap();
+/// let issues = validate(&defs, &[]);
+/// assert_eq!(issues.len(), 1); // q is undefined
+/// ```
+pub fn validate(defs: &Definitions, host_vars: &[&str]) -> Vec<ValidationIssue> {
+    let mut issues = Vec::new();
+    let host: BTreeSet<&str> = host_vars.iter().copied().collect();
+
+    for def in defs.iter() {
+        // Unbound variables: free vars of the body minus the array param
+        // and host-supplied names.
+        let mut fv = crate::free_vars_process(def.body());
+        if let Some((param, _)) = def.param() {
+            fv.remove(param);
+        }
+        for v in fv {
+            if !host.contains(v.as_str()) {
+                issues.push(ValidationIssue::UnboundVariable {
+                    in_def: def.name().to_string(),
+                    var: v,
+                });
+            }
+        }
+
+        // Call-site checks.
+        check_calls(def.name(), def.body(), defs, &mut issues);
+
+        // Guardedness.
+        let mut visited = BTreeSet::new();
+        if unguarded_reaches(def.body(), defs, def.name(), &mut visited) {
+            issues.push(ValidationIssue::UnguardedRecursion {
+                name: def.name().to_string(),
+            });
+        }
+    }
+    issues
+}
+
+fn check_calls(
+    in_def: &str,
+    p: &Process,
+    defs: &Definitions,
+    issues: &mut Vec<ValidationIssue>,
+) {
+    match p {
+        Process::Stop => {}
+        Process::Call { name, args } => match defs.get(name) {
+            None => issues.push(ValidationIssue::UndefinedProcess {
+                in_def: in_def.to_string(),
+                name: name.clone(),
+            }),
+            Some(def) if def.arity() != args.len() => {
+                issues.push(ValidationIssue::ArityMismatch {
+                    in_def: in_def.to_string(),
+                    name: name.clone(),
+                    got: args.len(),
+                    expected: def.arity(),
+                });
+            }
+            Some(_) => {}
+        },
+        Process::Output { then, .. } | Process::Input { then, .. } => {
+            check_calls(in_def, then, defs, issues);
+        }
+        Process::Choice(a, b) => {
+            check_calls(in_def, a, defs, issues);
+            check_calls(in_def, b, defs, issues);
+        }
+        Process::Parallel { left, right, .. } => {
+            check_calls(in_def, left, defs, issues);
+            check_calls(in_def, right, defs, issues);
+        }
+        Process::Hide { body, .. } => check_calls(in_def, body, defs, issues),
+    }
+}
+
+/// True if, starting from `p`, a call to `target` is reachable without
+/// crossing a communication prefix.
+fn unguarded_reaches(
+    p: &Process,
+    defs: &Definitions,
+    target: &str,
+    visited: &mut BTreeSet<String>,
+) -> bool {
+    match p {
+        Process::Stop | Process::Output { .. } | Process::Input { .. } => false,
+        Process::Call { name, .. } => {
+            if name == target {
+                return true;
+            }
+            if !visited.insert(name.clone()) {
+                return false;
+            }
+            defs.get(name)
+                .is_some_and(|d| unguarded_reaches(d.body(), defs, target, visited))
+        }
+        Process::Choice(a, b) => {
+            unguarded_reaches(a, defs, target, visited)
+                || unguarded_reaches(b, defs, target, visited)
+        }
+        Process::Parallel { left, right, .. } => {
+            unguarded_reaches(left, defs, target, visited)
+                || unguarded_reaches(right, defs, target, visited)
+        }
+        Process::Hide { body, .. } => unguarded_reaches(body, defs, target, visited),
+    }
+}
+
+/// Convenience: true when [`validate`] reports nothing.
+pub fn is_well_formed(defs: &Definitions, host_vars: &[&str]) -> bool {
+    validate(defs, host_vars).is_empty()
+}
+
+#[allow(dead_code)]
+fn _suppress_unused_expr_import(e: &Expr) -> String {
+    e.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_definitions;
+
+    #[test]
+    fn clean_definitions_have_no_issues() {
+        let defs = parse_definitions(
+            "copier = input?x:NAT -> wire!x -> copier
+             recopier = wire?y:NAT -> output!y -> recopier
+             pipeline = chan wire; (copier || recopier)",
+        )
+        .unwrap();
+        assert!(validate(&defs, &[]).is_empty());
+    }
+
+    #[test]
+    fn undefined_process_detected() {
+        let defs = parse_definitions("p = c!0 -> ghost").unwrap();
+        let issues = validate(&defs, &[]);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::UndefinedProcess { name, .. } if name == "ghost")));
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let defs = parse_definitions(
+            "q[x:0..3] = wire!x -> q[x]
+             p = c!0 -> q",
+        )
+        .unwrap();
+        let issues = validate(&defs, &[]);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::ArityMismatch { got: 0, expected: 1, .. })));
+    }
+
+    #[test]
+    fn unbound_variable_detected_and_host_vars_allowed() {
+        let defs = parse_definitions("p = c!x -> p").unwrap();
+        let issues = validate(&defs, &[]);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::UnboundVariable { var, .. } if var == "x")));
+        // Declaring x host-supplied silences it.
+        assert!(validate(&defs, &["x"]).is_empty());
+    }
+
+    #[test]
+    fn array_param_binds_variable() {
+        let defs = parse_definitions("q[x:0..3] = wire!x -> q[x]").unwrap();
+        assert!(validate(&defs, &[]).is_empty());
+    }
+
+    #[test]
+    fn multiplier_needs_v_declared() {
+        let defs = parse_definitions(
+            "mult[i:1..3] = row[i]?x:NAT -> col[i-1]?y:NAT -> col[i]!(v[i]*x+y) -> mult[i]",
+        )
+        .unwrap();
+        assert!(!validate(&defs, &[]).is_empty());
+        assert!(validate(&defs, &["v"]).is_empty());
+    }
+
+    #[test]
+    fn unguarded_recursion_flagged() {
+        let defs = parse_definitions("p = p").unwrap();
+        let issues = validate(&defs, &[]);
+        assert!(issues
+            .iter()
+            .any(|i| matches!(i, ValidationIssue::UnguardedRecursion { name } if name == "p")));
+        // Guarded recursion is fine.
+        let ok = parse_definitions("p = c!0 -> p").unwrap();
+        assert!(validate(&ok, &[]).is_empty());
+        // Unguarded through a choice arm.
+        let half = parse_definitions("p = c!0 -> p | p").unwrap();
+        assert!(!validate(&half, &[]).is_empty());
+    }
+
+    #[test]
+    fn mutual_unguarded_recursion_flagged() {
+        let defs = parse_definitions(
+            "p = q
+             q = p",
+        )
+        .unwrap();
+        let issues = validate(&defs, &[]);
+        assert_eq!(
+            issues
+                .iter()
+                .filter(|i| matches!(i, ValidationIssue::UnguardedRecursion { .. }))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn issue_display_is_informative() {
+        let i = ValidationIssue::UndefinedProcess {
+            in_def: "p".into(),
+            name: "ghost".into(),
+        };
+        assert!(i.to_string().contains("ghost"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Judgements — the conclusions and hypotheses of the proof system.
+//!
+//! The paper's sequents `Γ ⊢ Δ` contain predicates of the form `P sat R`
+//! and universally quantified families `∀x:M. q[x] sat S` (the
+//! process-array form of the recursion rule).
+
+use std::fmt;
+
+use csp_assert::Assertion;
+use csp_lang::{Process, SetExpr};
+
+/// A provable statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Judgement {
+    /// `P sat R` — the assertion `R` is true before and after every
+    /// communication of `P` (§2).
+    Sat {
+        /// The process expression.
+        process: Process,
+        /// The invariant assertion.
+        assertion: Assertion,
+    },
+    /// `∀x:M. J` — a family of judgements indexed by a set, as used for
+    /// process arrays.
+    Forall {
+        /// The bound variable.
+        var: String,
+        /// Its range.
+        set: SetExpr,
+        /// The body judgement (mentions `var`).
+        body: Box<Judgement>,
+    },
+}
+
+impl Judgement {
+    /// `P sat R`.
+    pub fn sat(process: Process, assertion: Assertion) -> Judgement {
+        Judgement::Sat { process, assertion }
+    }
+
+    /// `∀var:set. body`.
+    pub fn forall(var: &str, set: SetExpr, body: Judgement) -> Judgement {
+        Judgement::Forall {
+            var: var.to_string(),
+            set,
+            body: Box::new(body),
+        }
+    }
+
+    /// The `sat` core, looking through quantifiers.
+    pub fn core(&self) -> (&Process, &Assertion) {
+        match self {
+            Judgement::Sat { process, assertion } => (process, assertion),
+            Judgement::Forall { body, .. } => body.core(),
+        }
+    }
+}
+
+impl fmt::Display for Judgement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Judgement::Sat { process, assertion } => {
+                write!(f, "{process} sat {assertion}")
+            }
+            Judgement::Forall { var, set, body } => {
+                write!(f, "forall {var}:{set}. {body}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_assert::STerm;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let j = Judgement::sat(
+            Process::call("copier"),
+            Assertion::prefix(STerm::chan("wire"), STerm::chan("input")),
+        );
+        assert_eq!(j.to_string(), "copier sat wire <= input");
+        let q = Judgement::forall("x", SetExpr::Named("M".into()), j.clone());
+        assert_eq!(
+            q.to_string(),
+            "forall x:M. copier sat wire <= input"
+        );
+        assert_eq!(q.core().0, &Process::call("copier"));
+    }
+}

@@ -1,0 +1,47 @@
+//! # csp-proof
+//!
+//! The ten-rule inference system of Zhou & Hoare (1981) §2.1 for partial
+//! correctness of communicating processes, as a checkable proof calculus.
+//!
+//! A claim `P sat R` means "R is true before and after every
+//! communication by P". Proofs are explicit [`Proof`] trees whose nodes
+//! are the paper's rules — triviality, consequence, conjunction,
+//! emptiness, output, input, alternative, parallelism, channel hiding,
+//! and (joint/array) recursion — plus the natural-deduction plumbing the
+//! paper takes for granted (hypothesis use, ∀-introduction and
+//! -elimination). [`check`] verifies a tree against a goal [`Judgement`]
+//! in a [`Context`], discharging every *pure* premise (the `R_<>`s and
+//! `(def f)` facts) through `csp-assert`'s validity oracle and recording
+//! the method in a [`CheckReport`].
+//!
+//! The [`scripts`] module contains machine-checked encodings of **every
+//! proof in the paper**: the copier examples of §2.1, Table 1's sender
+//! lemma, the §2.2(2) receiver exercise, and the six-step protocol
+//! theorem of §2.2(3).
+//!
+//! ```
+//! use csp_proof::{render_report, scripts};
+//!
+//! let table1 = scripts::protocol::sender_table1();
+//! let report = table1.check().expect("the paper's Table 1 proof checks");
+//! println!("{}", render_report(table1.paper_ref, &report));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod checker;
+mod judgement;
+mod proof;
+mod render;
+mod synth;
+
+pub mod scripts;
+
+pub use checker::{
+    check, CheckReport, Context, Discharge, Obligation, ProofError,
+};
+pub use judgement::Judgement;
+pub use proof::Proof;
+pub use render::render_report;
+pub use synth::{spec_goal, synthesize, SynthError};

@@ -1,0 +1,214 @@
+//! Proof trees — one node per application of a §2.1 inference rule.
+//!
+//! A [`Proof`] does not carry its conclusion; the checker
+//! ([`crate::check`]) is handed the goal judgement and verifies that the
+//! tree derives exactly that goal, computing sub-goals on the way down
+//! and discharging pure premises with the
+//! [`decide_valid`](csp_assert::decide_valid) oracle.
+
+use csp_assert::Assertion;
+use csp_lang::Expr;
+
+/// One node of a proof tree. Variant names follow the paper's rule names
+/// (§2.1 (1)–(10)); `Hypothesis`, `Instantiate` and `ForallIntro` are the
+/// natural-deduction plumbing the paper takes for granted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Proof {
+    /// Close the goal against a hypothesis in Γ (syntactic match).
+    Hypothesis,
+    /// ∀-elimination: a hypothesis `∀x:M. q[x] sat S` specialised at
+    /// `arg`, concluding `q[arg] sat S^x_arg`. Emits the membership
+    /// obligation `arg ∈ M`.
+    Instantiate {
+        /// The instantiating expression.
+        arg: Expr,
+    },
+    /// ∀-introduction: proves `∀x:M. J` from a proof of `J` with `x`
+    /// held abstract (ranging over `M`).
+    ForallIntro {
+        /// Proof of the body with the variable abstract.
+        body: Box<Proof>,
+    },
+    /// Rule 1 (triviality): `P sat T` for a `T` that is valid outright.
+    Triviality,
+    /// Rule 2 (consequence): from `P sat stronger` and the validity of
+    /// `stronger ⇒ goal`, conclude `P sat goal`.
+    Consequence {
+        /// The stronger invariant actually proven.
+        stronger: Assertion,
+        /// Proof of `P sat stronger`.
+        premise: Box<Proof>,
+    },
+    /// Rule 3 (conjunction): `P sat R` and `P sat S` give
+    /// `P sat (R & S)`.
+    Conjunction {
+        /// Proof of the left conjunct.
+        left: Box<Proof>,
+        /// Proof of the right conjunct.
+        right: Box<Proof>,
+    },
+    /// Rule 4 (emptiness): `STOP sat R` provided `R_<>` is valid.
+    Emptiness,
+    /// Rule 5 (output): `(c!e → P) sat R` from `R_<>` valid and
+    /// `P sat R^c_{e^c}`.
+    Output {
+        /// Proof of the continuation's substituted invariant.
+        body: Box<Proof>,
+    },
+    /// Rule 6 (input): `(c?x:M → P) sat R` from `R_<>` valid and
+    /// `∀v:M. P^x_v sat R^c_{v^c}` with `v` fresh. The body proof runs
+    /// with `v` abstract (the ∀-introduction is folded in).
+    Input {
+        /// The fresh variable name standing for the received value.
+        fresh: String,
+        /// Proof of the substituted judgement, generic in `fresh`.
+        body: Box<Proof>,
+    },
+    /// Rule 7 (alternative): `(P | Q) sat R` from both arms satisfying
+    /// `R`.
+    Alternative {
+        /// Proof for the left arm.
+        left: Box<Proof>,
+        /// Proof for the right arm.
+        right: Box<Proof>,
+    },
+    /// Rule 8 (parallelism): `(P ‖ Q) sat (R & S)` from `P sat R` and
+    /// `Q sat S`, provided the channels of `R` are among `P`'s and those
+    /// of `S` among `Q`'s.
+    Parallelism {
+        /// Proof of `P sat R`.
+        left: Box<Proof>,
+        /// Proof of `Q sat S`.
+        right: Box<Proof>,
+    },
+    /// Rule 9 (channel hiding): `(chan L; P) sat R` from `P sat R`,
+    /// provided `R` mentions no channel of `L`.
+    Hiding {
+        /// Proof of the body's invariant.
+        body: Box<Proof>,
+    },
+    /// Rule 10 (recursion), in its general joint form covering plain
+    /// names, process arrays, and mutual recursion. Each spec pairs a
+    /// defined name with the invariant claimed for it; all specs become
+    /// hypotheses while each body is proven; the node concludes the
+    /// `select`ed spec's judgement.
+    ///
+    /// The base premises `R_<>` (one per spec) are emitted as pure
+    /// obligations automatically.
+    Recursion {
+        /// `(name, invariant)` pairs; a name defined as an array
+        /// `q[x:M] = Q` claims `∀x:M. q[x] sat S`.
+        specs: Vec<(String, Assertion)>,
+        /// One proof per spec, of the definition body's judgement under
+        /// all spec hypotheses.
+        bodies: Vec<Proof>,
+        /// Which spec this node concludes.
+        select: usize,
+    },
+}
+
+impl Proof {
+    /// Convenience: single-equation recursion.
+    pub fn recursion(name: &str, invariant: Assertion, body: Proof) -> Proof {
+        Proof::Recursion {
+            specs: vec![(name.to_string(), invariant)],
+            bodies: vec![body],
+            select: 0,
+        }
+    }
+
+    /// Convenience: consequence node.
+    pub fn consequence(stronger: Assertion, premise: Proof) -> Proof {
+        Proof::Consequence {
+            stronger,
+            premise: Box::new(premise),
+        }
+    }
+
+    /// Convenience: input node.
+    pub fn input(fresh: &str, body: Proof) -> Proof {
+        Proof::Input {
+            fresh: fresh.to_string(),
+            body: Box::new(body),
+        }
+    }
+
+    /// Convenience: output node.
+    pub fn output(body: Proof) -> Proof {
+        Proof::Output {
+            body: Box::new(body),
+        }
+    }
+
+    /// Convenience: alternative node.
+    pub fn alternative(left: Proof, right: Proof) -> Proof {
+        Proof::Alternative {
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Number of rule applications in the tree (a proof-size metric used
+    /// by the benchmarks).
+    pub fn size(&self) -> usize {
+        match self {
+            Proof::Hypothesis
+            | Proof::Instantiate { .. }
+            | Proof::Triviality
+            | Proof::Emptiness => 1,
+            Proof::ForallIntro { body }
+            | Proof::Output { body }
+            | Proof::Input { body, .. }
+            | Proof::Hiding { body } => 1 + body.size(),
+            Proof::Consequence { premise, .. } => 1 + premise.size(),
+            Proof::Conjunction { left, right }
+            | Proof::Alternative { left, right }
+            | Proof::Parallelism { left, right } => 1 + left.size() + right.size(),
+            Proof::Recursion { bodies, .. } => {
+                1 + bodies.iter().map(Proof::size).sum::<usize>()
+            }
+        }
+    }
+
+    /// The paper rule (or plumbing step) this node applies.
+    pub fn rule_name(&self) -> &'static str {
+        match self {
+            Proof::Hypothesis => "hypothesis",
+            Proof::Instantiate { .. } => "forall-elim",
+            Proof::ForallIntro { .. } => "forall-intro",
+            Proof::Triviality => "triviality (1)",
+            Proof::Consequence { .. } => "consequence (2)",
+            Proof::Conjunction { .. } => "conjunction (3)",
+            Proof::Emptiness => "emptiness (4)",
+            Proof::Output { .. } => "output (5)",
+            Proof::Input { .. } => "input (6)",
+            Proof::Alternative { .. } => "alternative (7)",
+            Proof::Parallelism { .. } => "parallelism (8)",
+            Proof::Hiding { .. } => "hiding (9)",
+            Proof::Recursion { .. } => "recursion (10)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_assert::STerm;
+
+    #[test]
+    fn size_counts_rule_applications() {
+        let p = Proof::recursion(
+            "copier",
+            Assertion::prefix(STerm::chan("wire"), STerm::chan("input")),
+            Proof::input(
+                "v",
+                Proof::output(Proof::consequence(
+                    Assertion::prefix(STerm::chan("wire"), STerm::chan("input")),
+                    Proof::Hypothesis,
+                )),
+            ),
+        );
+        assert_eq!(p.size(), 5);
+        assert_eq!(p.rule_name(), "recursion (10)");
+    }
+}

@@ -1,0 +1,178 @@
+//! Composed-network proofs for the buffer chain — the pipeline proof
+//! pattern (§2.1 rules (8)–(10)) applied to a system the paper does not
+//! spell out, demonstrating that the rule set composes beyond the
+//! worked examples.
+//!
+//! `buffer2 = chan link; (cell0 || cell1)` with
+//! `cell0 = in?x:NAT -> link!x -> cell0` and
+//! `cell1 = link?y:NAT -> out!y -> cell1`. We prove the per-cell copier
+//! invariants by synthesis-shaped trees and compose them to
+//! `buffer2 sat out ≤ in`, plus the buffering bound
+//! `#in ≤ #out + 2` (at most two messages in flight).
+
+use csp_assert::{Assertion, CmpOp, STerm, Term};
+use csp_lang::{examples, Process};
+use csp_semantics::Universe;
+
+use super::Script;
+use crate::{Context, Judgement, Proof};
+
+fn ctx() -> Context {
+    let mut c = Context::new(examples::buffer2(), Universe::new(1));
+    // The capacity proof's consequence obligation ranges over three
+    // channels; histories of length ≤ 2 already exercise every shape a
+    // length-arithmetic implication can distinguish, and keep the oracle
+    // at ~9k cases instead of ~600k.
+    c.decide_config.max_history_len = 2;
+    c
+}
+
+fn link_le_in() -> Assertion {
+    Assertion::prefix(STerm::chan("link"), STerm::chan("in"))
+}
+
+fn out_le_link() -> Assertion {
+    Assertion::prefix(STerm::chan("out"), STerm::chan("link"))
+}
+
+/// `buffer2 sat out ≤ in` — FIFO delivery through the hidden link.
+pub fn buffer2_out_le_in() -> Script {
+    let goal_inv = Assertion::prefix(STerm::chan("out"), STerm::chan("in"));
+    let cell0 = Proof::recursion(
+        "cell0",
+        link_le_in(),
+        Proof::input(
+            "v",
+            Proof::output(Proof::consequence(link_le_in(), Proof::Hypothesis)),
+        ),
+    );
+    let cell1 = Proof::recursion(
+        "cell1",
+        out_le_link(),
+        Proof::input(
+            "v",
+            Proof::output(Proof::consequence(out_le_link(), Proof::Hypothesis)),
+        ),
+    );
+    Script {
+        name: "buffer2",
+        paper_ref: "buffer chain: (chan link; cell0 || cell1) sat out <= in",
+        context: ctx(),
+        goal: Judgement::sat(Process::call("buffer2"), goal_inv.clone()),
+        proof: Proof::recursion(
+            "buffer2",
+            goal_inv,
+            Proof::Hiding {
+                body: Box::new(Proof::consequence(
+                    link_le_in().and(out_le_link()),
+                    Proof::Parallelism {
+                        left: Box::new(cell0),
+                        right: Box::new(cell1),
+                    },
+                )),
+            },
+        ),
+    }
+}
+
+/// `buffer2 sat #in ≤ #out + 2` — the capacity bound: a two-cell chain
+/// holds at most two undelivered messages.
+pub fn buffer2_capacity_bound() -> Script {
+    // Per-cell length invariants, chained through the link:
+    //   cell0 sat #in ≤ #link + 1
+    //   cell1 sat #link ≤ #out + 1
+    // together give #in ≤ #out + 2 by consequence.
+    let c0 = Assertion::Cmp(
+        CmpOp::Le,
+        Term::length(STerm::chan("in")),
+        Term::length(STerm::chan("link")).add(Term::int(1)),
+    );
+    let c1 = Assertion::Cmp(
+        CmpOp::Le,
+        Term::length(STerm::chan("link")),
+        Term::length(STerm::chan("out")).add(Term::int(1)),
+    );
+    let goal_inv = Assertion::Cmp(
+        CmpOp::Le,
+        Term::length(STerm::chan("in")),
+        Term::length(STerm::chan("out")).add(Term::int(2)),
+    );
+    let cell0 = Proof::recursion(
+        "cell0",
+        c0.clone(),
+        Proof::input(
+            "v",
+            Proof::output(Proof::consequence(c0.clone(), Proof::Hypothesis)),
+        ),
+    );
+    let cell1 = Proof::recursion(
+        "cell1",
+        c1.clone(),
+        Proof::input(
+            "v",
+            Proof::output(Proof::consequence(c1.clone(), Proof::Hypothesis)),
+        ),
+    );
+    Script {
+        name: "buffer2-capacity",
+        paper_ref: "buffer chain: buffer2 sat #in <= #out + 2 (capacity bound)",
+        context: ctx(),
+        goal: Judgement::sat(Process::call("buffer2"), goal_inv.clone()),
+        proof: Proof::recursion(
+            "buffer2",
+            goal_inv,
+            Proof::Hiding {
+                body: Box::new(Proof::consequence(
+                    c0.and(c1),
+                    Proof::Parallelism {
+                        left: Box::new(cell0),
+                        right: Box::new(cell1),
+                    },
+                )),
+            },
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_fifo_proof_checks() {
+        let report = buffer2_out_le_in().check().expect("buffer2 proof");
+        assert!(report.rule_count() >= 10);
+    }
+
+    #[test]
+    fn capacity_bound_proof_checks() {
+        let report = buffer2_capacity_bound().check().expect("capacity proof");
+        assert!(report.rule_count() >= 10);
+    }
+
+    #[test]
+    fn hiding_blocks_capacity_claims_about_the_link() {
+        // #in ≤ #link + 1 mentions the concealed link: rule 9 must
+        // refuse to push it through the hiding.
+        let leaky = Assertion::Cmp(
+            CmpOp::Le,
+            Term::length(STerm::chan("in")),
+            Term::length(STerm::chan("link")).add(Term::int(1)),
+        );
+        let script = Script {
+            name: "leaky-buffer",
+            paper_ref: "negative test",
+            context: ctx(),
+            goal: Judgement::sat(Process::call("buffer2"), leaky.clone()),
+            proof: Proof::recursion(
+                "buffer2",
+                leaky,
+                Proof::Hiding {
+                    body: Box::new(Proof::Triviality),
+                },
+            ),
+        };
+        assert!(script.check().is_err());
+    }
+
+}

@@ -1,0 +1,93 @@
+//! Machine-checked encodings of every proof in the paper.
+//!
+//! Each script bundles a [`Context`], a goal [`Judgement`], and a
+//! [`Proof`] tree, and exposes a `check()` that runs the checker. The
+//! scripts are:
+//!
+//! | Script | Paper artifact |
+//! |---|---|
+//! | [`pipeline::copier_wire_le_input`] | §2.1(10) example: `copier sat wire ≤ input` |
+//! | [`pipeline::recopier_output_le_wire`] | §2.1(8) example premise |
+//! | [`pipeline::copier_length_bound`] | §2's `copier sat #input ≤ #wire + 1` |
+//! | [`pipeline::pipeline_output_le_input`] | §2.1(8)–(9) example: the hidden pipeline |
+//! | [`protocol::sender_table1`] | **Table 1**: `sender sat f(wire) ≤ input` |
+//! | [`protocol::receiver_exercise`] | §2.2(2), "left as an exercise" |
+//! | [`protocol::protocol_output_le_input`] | §2.2(3): the 6-step protocol proof |
+//! | [`multiplier::zeroes_all_zero`] | §1.3(5) boundary process invariant |
+//! | [`multiplier::last_output_le_col`] | §1.3(5) boundary process invariant |
+//! | [`buffer::buffer2_out_le_in`] | buffer chain (composition beyond the worked examples) |
+//! | [`buffer::buffer2_capacity_bound`] | buffer capacity `#in ≤ #out + 2` |
+
+pub mod buffer;
+pub mod multiplier;
+pub mod pipeline;
+pub mod protocol;
+
+use crate::{check, CheckReport, Context, Judgement, Proof, ProofError};
+
+/// A packaged, checkable proof of one paper claim.
+pub struct Script {
+    /// Short identifier, e.g. `"table1"`.
+    pub name: &'static str,
+    /// What the paper calls this result.
+    pub paper_ref: &'static str,
+    /// The checking context (definitions, universe, functions).
+    pub context: Context,
+    /// The claim.
+    pub goal: Judgement,
+    /// The derivation.
+    pub proof: Proof,
+}
+
+impl Script {
+    /// Runs the checker on this script.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`ProofError`] — a failure means the reproduction
+    /// of the paper's proof is broken, so tests treat it as fatal.
+    pub fn check(&self) -> Result<CheckReport, ProofError> {
+        check(&self.context, &self.goal, &self.proof)
+    }
+}
+
+/// All scripts, in paper order.
+pub fn all_scripts() -> Vec<Script> {
+    vec![
+        pipeline::copier_wire_le_input(),
+        pipeline::recopier_output_le_wire(),
+        pipeline::copier_length_bound(),
+        pipeline::pipeline_output_le_input(),
+        protocol::sender_table1(),
+        protocol::receiver_exercise(),
+        protocol::protocol_output_le_input(),
+        multiplier::zeroes_all_zero(),
+        multiplier::last_output_le_col(),
+        buffer::buffer2_out_le_in(),
+        buffer::buffer2_capacity_bound(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_script_checks() {
+        for script in all_scripts() {
+            let report = script
+                .check()
+                .unwrap_or_else(|e| panic!("script `{}` failed: {e}", script.name));
+            assert!(report.rule_count() > 0, "{} proved nothing", script.name);
+        }
+    }
+
+    #[test]
+    fn scripts_have_distinct_names() {
+        let scripts = all_scripts();
+        let mut names: Vec<_> = scripts.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), scripts.len());
+    }
+}

@@ -1,0 +1,107 @@
+//! Proofs about the multiplier network's boundary processes (§1.3(5)).
+//!
+//! The paper *states* the full scalar-product invariant of the multiplier
+//! but gives no formal proof; the full invariant is verified by bounded
+//! model checking in `csp-verify` (experiment E4 of `DESIGN.md`). The
+//! boundary processes, however, have copier-shaped invariants that the
+//! proof system handles directly, and they exercise subscripted channels
+//! in assertions.
+
+use csp_assert::{Assertion, CmpOp, STerm, Term};
+use csp_lang::{examples, Expr, Process, SetExpr};
+use csp_semantics::Universe;
+
+use super::Script;
+use crate::{Context, Judgement, Proof};
+
+fn ctx() -> Context {
+    let mut c = Context::new(examples::multiplier(), Universe::new(1));
+    c.env = examples::multiplier_env(&[1, 1, 1]);
+    c
+}
+
+/// `zeroes sat ∀i:NAT. 1 ≤ i ≤ #col[0] ⇒ col[0]_i = 0` — everything the
+/// boundary process ever sends on `col[0]` is zero.
+pub fn zeroes_all_zero() -> Script {
+    let col0 = || STerm::chan_at("col", Expr::int(0));
+    let guard = Assertion::Cmp(CmpOp::Le, Term::int(1), Term::var("i")).and(
+        Assertion::Cmp(CmpOp::Le, Term::var("i"), Term::length(col0())),
+    );
+    let body = Assertion::Cmp(
+        CmpOp::Eq,
+        Term::Index(Box::new(col0()), Box::new(Term::var("i"))),
+        Term::int(0),
+    );
+    let inv = Assertion::ForallIn("i".into(), SetExpr::Nat, Box::new(guard.implies(body)));
+    Script {
+        name: "zeroes",
+        paper_ref: "§1.3(5) boundary: zeroes only ever outputs 0 on col[0]",
+        context: ctx(),
+        goal: Judgement::sat(Process::call("zeroes"), inv.clone()),
+        proof: Proof::recursion(
+            "zeroes",
+            inv.clone(),
+            Proof::output(Proof::consequence(inv, Proof::Hypothesis)),
+        ),
+    }
+}
+
+/// `last sat output ≤ col[3]` — the drain process copies the final
+/// column to the output channel.
+pub fn last_output_le_col() -> Script {
+    let inv = Assertion::prefix(STerm::chan("output"), STerm::chan_at("col", Expr::int(3)));
+    Script {
+        name: "last",
+        paper_ref: "§1.3(5) boundary: last sat output <= col[3]",
+        context: ctx(),
+        goal: Judgement::sat(Process::call("last"), inv.clone()),
+        proof: Proof::recursion(
+            "last",
+            inv.clone(),
+            Proof::input(
+                "v",
+                Proof::output(Proof::consequence(inv, Proof::Hypothesis)),
+            ),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroes_invariant_checks() {
+        let report = zeroes_all_zero().check().expect("zeroes proof");
+        assert!(report.rule_count() >= 3);
+    }
+
+    #[test]
+    fn last_invariant_checks() {
+        let report = last_output_le_col().check().expect("last proof");
+        assert!(report.rule_count() >= 4);
+    }
+
+    #[test]
+    fn subscripted_channels_are_distinct_in_assertions() {
+        // last sat output ≤ col[2] is false (it reads col[3]); the
+        // consequence obligation must be refuted.
+        let wrong =
+            Assertion::prefix(STerm::chan("output"), STerm::chan_at("col", Expr::int(2)));
+        let script = Script {
+            name: "bad-last",
+            paper_ref: "negative test",
+            context: ctx(),
+            goal: Judgement::sat(Process::call("last"), wrong.clone()),
+            proof: Proof::recursion(
+                "last",
+                wrong.clone(),
+                Proof::input(
+                    "v",
+                    Proof::output(Proof::consequence(wrong, Proof::Hypothesis)),
+                ),
+            ),
+        };
+        assert!(script.check().is_err());
+    }
+}

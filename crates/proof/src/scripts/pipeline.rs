@@ -1,0 +1,196 @@
+//! Proofs about the copier pipeline (§1.3(1), §2, §2.1 examples).
+
+use csp_assert::{Assertion, CmpOp, STerm, Term};
+use csp_lang::{examples, Process};
+use csp_semantics::Universe;
+
+use super::Script;
+use crate::{Context, Judgement, Proof};
+
+fn ctx() -> Context {
+    Context::new(examples::pipeline(), Universe::new(1))
+}
+
+/// `wire ≤ input`.
+fn wire_le_input() -> Assertion {
+    Assertion::prefix(STerm::chan("wire"), STerm::chan("input"))
+}
+
+/// `output ≤ wire`.
+fn output_le_wire() -> Assertion {
+    Assertion::prefix(STerm::chan("output"), STerm::chan("wire"))
+}
+
+/// §2.1(10): `copier sat wire ≤ input`, by recursion, input, output, and
+/// consequence — the proof the paper says to "read backwards" in rule
+/// (6)'s example.
+pub fn copier_wire_le_input() -> Script {
+    let inv = wire_le_input();
+    Script {
+        name: "copier",
+        paper_ref: "§2.1 rules (6)/(10) example: copier sat wire <= input",
+        context: ctx(),
+        goal: Judgement::sat(Process::call("copier"), inv.clone()),
+        proof: Proof::recursion(
+            "copier",
+            inv.clone(),
+            Proof::input(
+                "v",
+                Proof::output(Proof::consequence(inv, Proof::Hypothesis)),
+            ),
+        ),
+    }
+}
+
+/// The symmetric claim `recopier sat output ≤ wire` assumed in the
+/// parallelism example of §2.1(8).
+pub fn recopier_output_le_wire() -> Script {
+    let inv = output_le_wire();
+    Script {
+        name: "recopier",
+        paper_ref: "§2.1 rule (8) example premise: recopier sat output <= wire",
+        context: ctx(),
+        goal: Judgement::sat(Process::call("recopier"), inv.clone()),
+        proof: Proof::recursion(
+            "recopier",
+            inv.clone(),
+            Proof::input(
+                "v",
+                Proof::output(Proof::consequence(inv, Proof::Hypothesis)),
+            ),
+        ),
+    }
+}
+
+/// §2 operator (2) example: `copier sat #input ≤ #wire + 1`.
+pub fn copier_length_bound() -> Script {
+    let inv = Assertion::Cmp(
+        CmpOp::Le,
+        Term::length(STerm::chan("input")),
+        Term::length(STerm::chan("wire")).add(Term::int(1)),
+    );
+    Script {
+        name: "copier-length",
+        paper_ref: "§2 example: copier sat #input <= #wire + 1",
+        context: ctx(),
+        goal: Judgement::sat(Process::call("copier"), inv.clone()),
+        proof: Proof::recursion(
+            "copier",
+            inv.clone(),
+            Proof::input(
+                "v",
+                Proof::output(Proof::consequence(inv, Proof::Hypothesis)),
+            ),
+        ),
+    }
+}
+
+/// §2.1 rules (8)–(9) example: the hidden pipeline satisfies
+/// `output ≤ input` — parallelism, consequence (transitivity of ≤), and
+/// channel hiding.
+pub fn pipeline_output_le_input() -> Script {
+    let goal_inv = Assertion::prefix(STerm::chan("output"), STerm::chan("input"));
+    let stronger = wire_le_input().and(output_le_wire());
+    // Sub-proofs for the two components, inlined (their own scripts prove
+    // the same judgements standalone).
+    let copier_proof = copier_wire_le_input().proof;
+    let recopier_proof = recopier_output_le_wire().proof;
+    Script {
+        name: "pipeline",
+        paper_ref: "§2.1 rules (8)/(9) example: (chan wire; copier || recopier) sat output <= input",
+        context: ctx(),
+        goal: Judgement::sat(Process::call("pipeline"), goal_inv.clone()),
+        proof: Proof::recursion(
+            "pipeline",
+            goal_inv,
+            Proof::Hiding {
+                body: Box::new(Proof::consequence(
+                    stronger,
+                    Proof::Parallelism {
+                        left: Box::new(copier_proof),
+                        right: Box::new(recopier_proof),
+                    },
+                )),
+            },
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Discharge;
+
+    #[test]
+    fn copier_proof_checks_and_uses_cons_monotonicity() {
+        let report = copier_wire_le_input().check().expect("copier proof");
+        // The key step is the consequence obligation discharged by the
+        // syntactic cons-monotonicity law.
+        assert!(report.obligations.iter().any(|o| matches!(
+            o.discharge,
+            Discharge::Syntactic("cons-monotonicity")
+        )));
+        assert!(report.fully_discharged());
+    }
+
+    #[test]
+    fn length_bound_proof_checks() {
+        let report = copier_length_bound().check().expect("length proof");
+        assert!(report.rule_count() >= 4);
+    }
+
+    #[test]
+    fn pipeline_proof_checks_with_transitivity() {
+        let report = pipeline_output_le_input().check().expect("pipeline proof");
+        // Parallelism, hiding, consequence, and both component proofs.
+        assert!(report.rule_count() >= 10);
+        assert!(report
+            .steps
+            .iter()
+            .any(|s| s.starts_with("parallelism (8)")));
+        assert!(report.steps.iter().any(|s| s.starts_with("hiding (9)")));
+    }
+
+    #[test]
+    fn wrong_invariant_is_rejected() {
+        // copier sat input ≤ wire is false; the proof attempt must fail.
+        let bad = Assertion::prefix(STerm::chan("input"), STerm::chan("wire"));
+        let script = Script {
+            name: "bad",
+            paper_ref: "negative test",
+            context: ctx(),
+            goal: Judgement::sat(Process::call("copier"), bad.clone()),
+            proof: Proof::recursion(
+                "copier",
+                bad.clone(),
+                Proof::input(
+                    "v",
+                    Proof::output(Proof::consequence(bad, Proof::Hypothesis)),
+                ),
+            ),
+        };
+        assert!(script.check().is_err());
+    }
+
+    #[test]
+    fn hiding_rejects_assertions_about_hidden_channels() {
+        // (chan wire; …) sat wire ≤ input violates rule 9's side
+        // condition.
+        let leaky = wire_le_input();
+        let script = Script {
+            name: "leaky",
+            paper_ref: "negative test",
+            context: ctx(),
+            goal: Judgement::sat(Process::call("pipeline"), leaky.clone()),
+            proof: Proof::recursion(
+                "pipeline",
+                leaky,
+                Proof::Hiding {
+                    body: Box::new(Proof::Triviality),
+                },
+            ),
+        };
+        let err = script.check().unwrap_err();
+        assert!(err.to_string().contains("hiding"), "{err}");
+    }
+}

@@ -1,0 +1,388 @@
+//! Proof synthesis: automatic construction of `sat` proofs for guarded
+//! recursive definitions.
+//!
+//! The paper's proofs all follow one discipline: apply the recursion
+//! rule, then walk the definition body — input/output rules down each
+//! prefix, the alternative rule at each choice — and close every
+//! recursive call with the hypothesis (weakened by consequence) or, for
+//! array elements, with ∀-elimination. [`synthesize`] mechanises exactly
+//! that discipline, so invariants that are *inductive* in the paper's
+//! sense prove themselves:
+//!
+//! ```
+//! use csp_assert::{Assertion, STerm};
+//! use csp_lang::parse_definitions;
+//! use csp_proof::{check, synthesize, Context, Judgement};
+//! use csp_semantics::Universe;
+//!
+//! let defs = parse_definitions("copier = input?x:NAT -> wire!x -> copier").unwrap();
+//! let ctx = Context::new(defs, Universe::new(1));
+//! let inv = Assertion::prefix(STerm::chan("wire"), STerm::chan("input"));
+//! let specs = vec![("copier".to_string(), inv)];
+//! let proof = synthesize(&ctx, &specs, 0).unwrap();
+//! let goal = csp_proof::spec_goal(&ctx, &specs[0]).unwrap();
+//! assert!(check(&ctx, &goal, &proof).is_ok());
+//! ```
+//!
+//! Synthesis produces a *candidate* tree; [`check`](crate::check) remains
+//! the judge. A non-inductive invariant yields a candidate whose
+//! consequence obligations the oracle refutes — synthesis never makes an
+//! unsound claim, it only saves the writing.
+
+use csp_assert::{subst_var, Assertion};
+use csp_lang::{Expr, Process};
+
+use crate::{Context, Judgement, Proof, ProofError};
+
+/// Why synthesis gave up (before checking).
+#[derive(Debug, Clone)]
+pub enum SynthError {
+    /// A name in the specs has no defining equation.
+    Undefined(String),
+    /// The body calls a process that has no spec to close against.
+    NoSpecFor {
+        /// The called name.
+        name: String,
+        /// The spec being synthesised when it was encountered.
+        within: String,
+    },
+    /// The body contains network structure (`‖`, `chan`), which the
+    /// prefix-walking discipline does not cover — compose those proofs
+    /// manually with the parallelism/hiding rules.
+    NetworkStructure {
+        /// The spec being synthesised.
+        within: String,
+    },
+}
+
+impl std::fmt::Display for SynthError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SynthError::Undefined(n) => write!(f, "no definition for `{n}`"),
+            SynthError::NoSpecFor { name, within } => write!(
+                f,
+                "body of `{within}` calls `{name}`, which has no spec in the recursion"
+            ),
+            SynthError::NetworkStructure { within } => write!(
+                f,
+                "body of `{within}` contains || or chan; synthesis covers sequential bodies"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+/// The judgement a spec pair claims (public so callers can hand the goal
+/// to [`check`](crate::check)); plain names give `p sat R`, array names
+/// give `∀x:M. q[x] sat R`.
+///
+/// # Errors
+///
+/// Fails if the name is undefined.
+pub fn spec_goal(ctx: &Context, spec: &(String, Assertion)) -> Result<Judgement, ProofError> {
+    let (name, inv) = spec;
+    let def = ctx
+        .defs
+        .get(name)
+        .ok_or_else(|| ProofError::BadRecursion(format!("`{name}` undefined")))?;
+    Ok(match def.param() {
+        None => Judgement::sat(Process::call(name), inv.clone()),
+        Some((var, set)) => Judgement::forall(
+            var,
+            set.clone(),
+            Judgement::sat(Process::call1(name, Expr::var(var)), inv.clone()),
+        ),
+    })
+}
+
+/// Synthesises a joint recursion proof for the given specs, concluding
+/// spec `select`.
+///
+/// # Errors
+///
+/// Returns a [`SynthError`] when the bodies fall outside the covered
+/// fragment. The produced proof must still be passed through
+/// [`check`](crate::check); invariants that are not inductive fail there.
+pub fn synthesize(
+    ctx: &Context,
+    specs: &[(String, Assertion)],
+    select: usize,
+) -> Result<Proof, SynthError> {
+    let mut bodies = Vec::with_capacity(specs.len());
+    let mut fresh_counter = 0usize;
+    for (name, _) in specs {
+        let def = ctx
+            .defs
+            .get(name)
+            .ok_or_else(|| SynthError::Undefined(name.clone()))?;
+        let inner = synth_body(
+            ctx,
+            specs,
+            name,
+            def.body(),
+            &mut fresh_counter,
+            &mut Vec::new(),
+        )?;
+        let body = match def.param() {
+            None => inner,
+            Some(_) => Proof::ForallIntro {
+                body: Box::new(inner),
+            },
+        };
+        bodies.push(body);
+    }
+    Ok(Proof::Recursion {
+        specs: specs.to_vec(),
+        bodies,
+        select,
+    })
+}
+
+/// Walks a definition body, emitting one rule application per syntactic
+/// construct and closing calls against the spec hypotheses. `renames`
+/// maps body input variables to the fresh variables the input rule
+/// introduces, so call arguments are stated in the checker's vocabulary.
+fn synth_body(
+    ctx: &Context,
+    specs: &[(String, Assertion)],
+    within: &str,
+    p: &Process,
+    fresh: &mut usize,
+    renames: &mut Vec<(String, Expr)>,
+) -> Result<Proof, SynthError> {
+    match p {
+        Process::Stop => Ok(Proof::Emptiness),
+        Process::Output { then, .. } => Ok(Proof::output(synth_body(
+            ctx, specs, within, then, fresh, renames,
+        )?)),
+        Process::Input { var, then, .. } => {
+            *fresh += 1;
+            let v = format!("v{fresh}");
+            renames.push((var.clone(), Expr::var(&v)));
+            let body = synth_body(ctx, specs, within, then, fresh, renames)?;
+            renames.pop();
+            Ok(Proof::input(&v, body))
+        }
+        Process::Choice(a, b) => Ok(Proof::alternative(
+            synth_body(ctx, specs, within, a, fresh, renames)?,
+            synth_body(ctx, specs, within, b, fresh, renames)?,
+        )),
+        Process::Call { name, args } => {
+            let (_, inv) = specs
+                .iter()
+                .find(|(n, _)| n == name)
+                .ok_or_else(|| SynthError::NoSpecFor {
+                    name: name.clone(),
+                    within: within.to_string(),
+                })?;
+            let def = ctx
+                .defs
+                .get(name)
+                .ok_or_else(|| SynthError::Undefined(name.clone()))?;
+            // The hypothesis gives `inv` (instantiated at the call's
+            // argument for arrays); the local goal generally differs by
+            // the channel substitutions accumulated on the way down, so
+            // close with a consequence whose obligation the oracle
+            // discharges iff the invariant is inductive.
+            match def.param() {
+                None => Ok(Proof::consequence(inv.clone(), Proof::Hypothesis)),
+                Some((param, _)) => {
+                    let mut arg =
+                        args.first().cloned().unwrap_or_else(|| Expr::var(param));
+                    // Re-state the argument with the fresh variables the
+                    // input rule introduced on the way down (latest
+                    // binding of a shadowed name wins).
+                    for (from, to) in renames.iter().rev() {
+                        arg = csp_lang::subst_expr_with(&arg, from, to);
+                    }
+                    let instantiated = subst_var(inv, param, &arg);
+                    Ok(Proof::consequence(
+                        instantiated,
+                        Proof::Instantiate { arg },
+                    ))
+                }
+            }
+        }
+        Process::Parallel { .. } | Process::Hide { .. } => Err(SynthError::NetworkStructure {
+            within: within.to_string(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check;
+    use csp_assert::STerm;
+    use csp_lang::{examples, parse_definitions};
+    use csp_semantics::Universe;
+    use csp_trace::Value;
+
+    fn prove_auto(ctx: &Context, specs: Vec<(String, Assertion)>, select: usize) {
+        let proof = synthesize(ctx, &specs, select)
+            .unwrap_or_else(|e| panic!("synthesis failed: {e}"));
+        let goal = spec_goal(ctx, &specs[select]).unwrap();
+        check(ctx, &goal, &proof)
+            .unwrap_or_else(|e| panic!("synthesised proof failed to check: {e}"));
+    }
+
+    #[test]
+    fn synthesises_copier_and_recopier() {
+        let ctx = Context::new(examples::pipeline(), Universe::new(1));
+        prove_auto(
+            &ctx,
+            vec![(
+                "copier".to_string(),
+                Assertion::prefix(STerm::chan("wire"), STerm::chan("input")),
+            )],
+            0,
+        );
+        prove_auto(
+            &ctx,
+            vec![(
+                "recopier".to_string(),
+                Assertion::prefix(STerm::chan("output"), STerm::chan("wire")),
+            )],
+            0,
+        );
+    }
+
+    #[test]
+    fn synthesises_length_bound() {
+        use csp_assert::{CmpOp, Term};
+        let ctx = Context::new(examples::pipeline(), Universe::new(1));
+        prove_auto(
+            &ctx,
+            vec![(
+                "copier".to_string(),
+                Assertion::Cmp(
+                    CmpOp::Le,
+                    Term::length(STerm::chan("input")),
+                    Term::length(STerm::chan("wire")).add(Term::int(1)),
+                ),
+            )],
+            0,
+        );
+    }
+
+    #[test]
+    fn regenerates_table1_automatically() {
+        // The headline: the joint sender/q recursion of Table 1 is
+        // synthesised from the definitions and the two invariants alone.
+        let ctx = Context::new(
+            examples::protocol(),
+            Universe::new(1).with_named("M", [Value::nat(0), Value::nat(1)]),
+        );
+        let specs = vec![
+            (
+                "sender".to_string(),
+                Assertion::prefix(STerm::chan("wire").app("f"), STerm::chan("input")),
+            ),
+            (
+                "q".to_string(),
+                Assertion::prefix(
+                    STerm::chan("wire").app("f"),
+                    STerm::chan("input").cons(csp_assert::Term::var("x")),
+                ),
+            ),
+        ];
+        prove_auto(&ctx, specs.clone(), 0);
+        // And the q-family conclusion too.
+        prove_auto(&ctx, specs, 1);
+    }
+
+    #[test]
+    fn synthesises_receiver_exercise() {
+        let ctx = Context::new(
+            examples::protocol(),
+            Universe::new(1).with_named("M", [Value::nat(0), Value::nat(1)]),
+        );
+        prove_auto(
+            &ctx,
+            vec![(
+                "receiver".to_string(),
+                Assertion::prefix(STerm::chan("output"), STerm::chan("wire").app("f")),
+            )],
+            0,
+        );
+    }
+
+    #[test]
+    fn non_inductive_invariant_fails_at_check_not_unsoundly() {
+        let ctx = Context::new(examples::pipeline(), Universe::new(1));
+        let specs = vec![(
+            "copier".to_string(),
+            Assertion::prefix(STerm::chan("input"), STerm::chan("wire")),
+        )];
+        let proof = synthesize(&ctx, &specs, 0).expect("synthesis itself succeeds");
+        let goal = spec_goal(&ctx, &specs[0]).unwrap();
+        assert!(check(&ctx, &goal, &proof).is_err());
+    }
+
+    #[test]
+    fn network_bodies_are_rejected_with_guidance() {
+        let ctx = Context::new(examples::pipeline(), Universe::new(1));
+        let specs = vec![(
+            "pipeline".to_string(),
+            Assertion::prefix(STerm::chan("output"), STerm::chan("input")),
+        )];
+        match synthesize(&ctx, &specs, 0) {
+            Err(SynthError::NetworkStructure { within }) => assert_eq!(within, "pipeline"),
+            other => panic!("expected NetworkStructure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_spec_for_called_process_reported() {
+        let defs = parse_definitions(
+            "a = c!0 -> b
+             b = c!1 -> a",
+        )
+        .unwrap();
+        let ctx = Context::new(defs, Universe::new(1));
+        let specs = vec![(
+            "a".to_string(),
+            Assertion::prefix(STerm::Empty, STerm::chan("c")),
+        )];
+        assert!(matches!(
+            synthesize(&ctx, &specs, 0),
+            Err(SynthError::NoSpecFor { .. })
+        ));
+    }
+
+    #[test]
+    fn mutual_recursion_synthesises_with_both_specs() {
+        use csp_assert::{CmpOp, Term};
+        let defs = parse_definitions(
+            "ping = a!0 -> pong
+             pong = b!0 -> ping",
+        )
+        .unwrap();
+        let ctx = Context::new(defs, Universe::new(1));
+        // The mutually inductive pair (both true of <>):
+        //   ping sat (#b ≤ #a ∧ #a ≤ #b + 1)
+        //   pong sat (#a ≤ #b ∧ #b ≤ #a + 1)
+        let le = |x: STerm, y: Term| {
+            Assertion::Cmp(CmpOp::Le, Term::length(x), y)
+        };
+        let specs = vec![
+            (
+                "ping".to_string(),
+                le(STerm::chan("b"), Term::length(STerm::chan("a"))).and(le(
+                    STerm::chan("a"),
+                    Term::length(STerm::chan("b")).add(Term::int(1)),
+                )),
+            ),
+            (
+                "pong".to_string(),
+                le(STerm::chan("a"), Term::length(STerm::chan("b"))).and(le(
+                    STerm::chan("b"),
+                    Term::length(STerm::chan("a")).add(Term::int(1)),
+                )),
+            ),
+        ];
+        prove_auto(&ctx, specs.clone(), 0);
+        prove_auto(&ctx, specs, 1);
+    }
+}

@@ -1,0 +1,455 @@
+//! The concurrent executor: one OS thread per network component, joined
+//! by a coordinator implementing the paper's simultaneous-participation
+//! rule for channel events.
+//!
+//! §1.0: a communication "occurs only when both processes are ready for
+//! it" — generalised per the §1.2(8) note to *every* process connected
+//! to the channel. Each step, every component reports the events it is
+//! ready for (its *offers*); an event is enabled iff every component
+//! whose alphabet contains its channel offers it; the scheduler picks one
+//! enabled event; exactly the participating components advance.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use csp_lang::{Definitions, Env, EvalError, Process};
+use csp_semantics::{Config, Lts, Step, Universe};
+use csp_trace::{Event, Trace};
+
+use crate::net::{flatten, NetError};
+use crate::Scheduler;
+
+/// Options controlling a run.
+#[derive(Debug)]
+pub struct RunOptions {
+    /// Stop after this many events (hidden ones included).
+    pub max_steps: usize,
+    /// How non-determinism is resolved.
+    pub scheduler: Scheduler,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            max_steps: 64,
+            scheduler: Scheduler::seeded(0),
+        }
+    }
+}
+
+/// The outcome of a run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The externally visible trace (hidden channels removed), as the
+    /// paper's observer would record it.
+    pub visible: Trace,
+    /// The full trace including concealed communications.
+    pub full: Trace,
+    /// True if the network stopped because no event was enabled.
+    pub deadlocked: bool,
+    /// Number of events that occurred.
+    pub steps: usize,
+}
+
+/// Errors from the executor.
+#[derive(Debug)]
+pub enum RunError {
+    /// The process is not a static network.
+    Net(NetError),
+    /// A component failed to evaluate.
+    Eval(EvalError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Net(e) => e.fmt(f),
+            RunError::Eval(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<NetError> for RunError {
+    fn from(e: NetError) -> Self {
+        RunError::Net(e)
+    }
+}
+
+impl From<EvalError> for RunError {
+    fn from(e: EvalError) -> Self {
+        RunError::Eval(e)
+    }
+}
+
+/// Message from coordinator to a component.
+enum Decision {
+    /// The given event occurred and involves you: advance past it.
+    Advance(Event),
+    /// An event occurred that does not involve you: re-offer.
+    Stay,
+    /// The run is over.
+    Halt,
+}
+
+/// Executes networks built from a definition list.
+#[derive(Debug, Clone)]
+pub struct Executor<'a> {
+    defs: &'a Definitions,
+    universe: &'a Universe,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor.
+    pub fn new(defs: &'a Definitions, universe: &'a Universe) -> Self {
+        Executor { defs, universe }
+    }
+
+    /// Runs the named process.
+    ///
+    /// # Errors
+    ///
+    /// Fails on non-static networks and on evaluation errors inside
+    /// components.
+    pub fn run_name(
+        &self,
+        name: &str,
+        env: &Env,
+        opts: RunOptions,
+    ) -> Result<RunResult, RunError> {
+        self.run(&Process::call(name), env, opts)
+    }
+
+    /// Runs a process expression as a concurrent network.
+    ///
+    /// # Errors
+    ///
+    /// Fails on non-static networks and on evaluation errors inside
+    /// components.
+    pub fn run(
+        &self,
+        process: &Process,
+        env: &Env,
+        mut opts: RunOptions,
+    ) -> Result<RunResult, RunError> {
+        let net = flatten(process, self.defs, env)?;
+        let n = net.components.len();
+
+        // Channel pairs per component.
+        let mut offer_rxs: Vec<Receiver<Result<Vec<Event>, EvalError>>> = Vec::new();
+        let mut decision_txs: Vec<Sender<Decision>> = Vec::new();
+
+        let mut full = Vec::new();
+        let mut deadlocked = false;
+
+        crossbeam::scope(|scope| -> Result<(), RunError> {
+            for comp in &net.components {
+                let (offer_tx, offer_rx) = unbounded();
+                let (decision_tx, decision_rx) = unbounded::<Decision>();
+                offer_rxs.push(offer_rx);
+                decision_txs.push(decision_tx);
+                let defs = self.defs;
+                let universe = self.universe;
+                let comp = comp.clone();
+                scope.spawn(move |_| {
+                    component_thread(comp, defs, universe, &offer_tx, &decision_rx);
+                });
+            }
+
+            // Coordinator loop.
+            for _ in 0..opts.max_steps {
+                // Gather offers.
+                let mut offers: Vec<Vec<Event>> = Vec::with_capacity(n);
+                for rx in &offer_rxs {
+                    match rx.recv() {
+                        Ok(Ok(events)) => offers.push(events),
+                        Ok(Err(e)) => {
+                            halt_all(&decision_txs);
+                            return Err(RunError::Eval(e));
+                        }
+                        Err(_) => {
+                            halt_all(&decision_txs);
+                            return Err(RunError::Eval(EvalError::UndefinedProcess(
+                                "component thread died".to_string(),
+                            )));
+                        }
+                    }
+                }
+
+                // Enabled events: offered by someone and matched by every
+                // component whose alphabet contains the channel.
+                let mut enabled: Vec<Event> = Vec::new();
+                for (i, comp_offers) in offers.iter().enumerate() {
+                    for e in comp_offers {
+                        if enabled.contains(e) {
+                            continue;
+                        }
+                        let ok = net.components.iter().enumerate().all(|(j, c)| {
+                            !c.alphabet.contains(e.channel()) || offers[j].contains(e)
+                        });
+                        // The offering component's own alphabet always
+                        // contains the channel, so `i` participates.
+                        let _ = i;
+                        if ok {
+                            enabled.push(e.clone());
+                        }
+                    }
+                }
+                enabled.sort();
+                enabled.dedup();
+
+                if enabled.is_empty() {
+                    deadlocked = true;
+                    break;
+                }
+
+                let chosen = enabled[opts.scheduler.pick(&enabled)].clone();
+                full.push(chosen.clone());
+                for (j, tx) in decision_txs.iter().enumerate() {
+                    let involved = net.components[j].alphabet.contains(chosen.channel());
+                    let msg = if involved {
+                        Decision::Advance(chosen.clone())
+                    } else {
+                        Decision::Stay
+                    };
+                    let _ = tx.send(msg);
+                }
+            }
+
+            halt_all(&decision_txs);
+            Ok(())
+        })
+        .expect("component thread panicked")?;
+
+        let full = Trace::from_events(full);
+        let visible = full.restrict(&net.hidden);
+        Ok(RunResult {
+            steps: full.len(),
+            visible,
+            full,
+            deadlocked,
+        })
+    }
+}
+
+fn halt_all(txs: &[Sender<Decision>]) {
+    for tx in txs {
+        let _ = tx.send(Decision::Halt);
+    }
+}
+
+/// The per-component loop: offer, await decision, advance.
+fn component_thread(
+    comp: crate::net::Component,
+    defs: &Definitions,
+    universe: &Universe,
+    offer_tx: &Sender<Result<Vec<Event>, EvalError>>,
+    decision_rx: &Receiver<Decision>,
+) {
+    let lts = Lts::new(defs, universe);
+    let mut config = Config::new(comp.process, comp.env);
+    loop {
+        let steps = match lts.steps(&config) {
+            Ok(s) => s,
+            Err(e) => {
+                let _ = offer_tx.send(Err(e));
+                return;
+            }
+        };
+        // Components are sequential: every step is visible.
+        let mut events: Vec<Event> = steps
+            .iter()
+            .map(|s| match s {
+                Step::Visible(e, _) => e.clone(),
+                Step::Internal(_) => unreachable!("sequential components have no hiding"),
+            })
+            .collect();
+        events.sort();
+        events.dedup();
+        if offer_tx.send(Ok(events)).is_err() {
+            return;
+        }
+        match decision_rx.recv() {
+            Ok(Decision::Advance(e)) => {
+                let next = steps.into_iter().find_map(|s| match s {
+                    Step::Visible(ev, c) if ev == e => Some(c),
+                    _ => None,
+                });
+                match next {
+                    Some(c) => config = c,
+                    None => {
+                        // Coordinator advanced us past an event we did not
+                        // offer — a coordinator bug; fail loudly via the
+                        // offer channel on the next loop.
+                        let _ = offer_tx.send(Err(EvalError::UndefinedProcess(
+                            format!("component advanced past unoffered event {e}"),
+                        )));
+                        return;
+                    }
+                }
+            }
+            Ok(Decision::Stay) => {}
+            Ok(Decision::Halt) | Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_lang::examples;
+    use csp_trace::Channel;
+
+    #[test]
+    fn pipeline_runs_and_copies() {
+        let defs = examples::pipeline();
+        let uni = Universe::new(1);
+        let exec = Executor::new(&defs, &uni);
+        let res = exec
+            .run_name(
+                "pipeline",
+                &Env::new(),
+                RunOptions {
+                    max_steps: 30,
+                    scheduler: Scheduler::seeded(42),
+                },
+            )
+            .unwrap();
+        assert!(!res.deadlocked);
+        assert_eq!(res.steps, 30);
+        // The invariant output ≤ input holds on the visible trace.
+        let h = res.visible.history();
+        let output = h.on(&Channel::simple("output"));
+        let input = h.on(&Channel::simple("input"));
+        assert!(output.is_prefix_of(&input), "visible: {}", res.visible);
+        // Hidden wire events were recorded in the full trace only.
+        assert!(res.full.len() > res.visible.len());
+        assert!(!res
+            .visible
+            .iter()
+            .any(|e| e.channel() == &Channel::simple("wire")));
+    }
+
+    #[test]
+    fn runs_are_reproducible_per_seed() {
+        let defs = examples::pipeline();
+        let uni = Universe::new(1);
+        let exec = Executor::new(&defs, &uni);
+        let run = |seed| {
+            exec.run_name(
+                "pipeline",
+                &Env::new(),
+                RunOptions {
+                    max_steps: 20,
+                    scheduler: Scheduler::seeded(seed),
+                },
+            )
+            .unwrap()
+            .full
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn protocol_delivers_messages_in_order() {
+        let defs = examples::protocol();
+        let uni = Universe::new(0).with_named(
+            "M",
+            [csp_trace::Value::nat(0), csp_trace::Value::nat(1)],
+        );
+        let exec = Executor::new(&defs, &uni);
+        let res = exec
+            .run_name(
+                "protocol",
+                &Env::new(),
+                RunOptions {
+                    max_steps: 40,
+                    scheduler: Scheduler::seeded(3),
+                },
+            )
+            .unwrap();
+        let h = res.visible.history();
+        let output = h.on(&Channel::simple("output"));
+        let input = h.on(&Channel::simple("input"));
+        assert!(output.is_prefix_of(&input), "visible: {}", res.visible);
+    }
+
+    #[test]
+    fn multiplier_computes_scalar_products_live() {
+        // Rows restricted to {0..2} so that the column partial sums stay
+        // within the NAT bound used for the col-channel input sets
+        // (max 2*2 + 3*2 + 5*2 = 20).
+        let defs = csp_lang::parse_definitions(
+            "mult[i:1..3] = row[i]?x:{0..2} -> col[i-1]?y:NAT -> col[i]!(v[i]*x + y) -> mult[i]
+             zeroes = col[0]!0 -> zeroes
+             last = col[3]?y:NAT -> output!y -> last
+             network = zeroes || mult[1] || mult[2] || mult[3] || last
+             multiplier = chan col[0..3]; network",
+        )
+        .unwrap();
+        let env = examples::multiplier_env(&[2, 3, 5]);
+        let uni = Universe::new(20);
+        let exec = Executor::new(&defs, &uni);
+        let res = exec
+            .run_name(
+                "multiplier",
+                &env,
+                RunOptions {
+                    max_steps: 64,
+                    scheduler: Scheduler::seeded(11),
+                },
+            )
+            .unwrap();
+        let h = res.visible.history();
+        let out = h.on(&Channel::simple("output"));
+        assert!(!out.is_empty(), "no outputs in {}", res.visible);
+        for i in 1..=out.len() {
+            let expected: i64 = (1..=3)
+                .map(|j| {
+                    let vj = [2, 3, 5][j - 1];
+                    let row = h.on(&Channel::indexed("row", j as i64));
+                    vj * row.at(i).expect("row consumed").as_int().unwrap()
+                })
+                .sum();
+            assert_eq!(out.at(i).unwrap().as_int().unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn mismatched_network_deadlocks() {
+        let defs = csp_lang::parse_definitions(
+            "left = w!1 -> STOP
+             right = w?x:{2} -> STOP
+             net = left || right",
+        )
+        .unwrap();
+        let uni = Universe::new(3);
+        let exec = Executor::new(&defs, &uni);
+        let res = exec
+            .run_name("net", &Env::new(), RunOptions::default())
+            .unwrap();
+        assert!(res.deadlocked);
+        assert_eq!(res.steps, 0);
+    }
+
+    #[test]
+    fn round_robin_scheduler_also_works() {
+        let defs = examples::buffer2();
+        let uni = Universe::new(1);
+        let exec = Executor::new(&defs, &uni);
+        let res = exec
+            .run_name(
+                "buffer2",
+                &Env::new(),
+                RunOptions {
+                    max_steps: 12,
+                    scheduler: Scheduler::round_robin(),
+                },
+            )
+            .unwrap();
+        assert!(!res.deadlocked);
+        let h = res.visible.history();
+        assert!(h
+            .on(&Channel::simple("out"))
+            .is_prefix_of(&h.on(&Channel::simple("in"))));
+    }
+}

@@ -1,0 +1,224 @@
+//! Network extraction: flattening a process expression into sequential
+//! components, their alphabets, and the concealed channels.
+//!
+//! The paper's networks are *static*: `‖` and `chan` appear outside all
+//! communication prefixes (e.g. `multiplier = chan col[0..3]; (zeroes ||
+//! mult[1] || … || last)`). The runtime executes exactly this class —
+//! each component becomes a thread; parallel composition inside a prefix
+//! would require dynamic process creation the paper's language cannot
+//! express anyway (recursion is the only control structure).
+
+use csp_lang::{channel_alphabet, Definitions, Env, EvalError, Process};
+use csp_trace::ChannelSet;
+
+/// One sequential component of a network.
+#[derive(Debug, Clone)]
+pub struct Component {
+    /// Display name (the call text or a positional label).
+    pub label: String,
+    /// The component's process term (contains no `‖` or `chan`).
+    pub process: Process,
+    /// The environment it runs in.
+    pub env: Env,
+    /// Its channel alphabet — every event on these channels requires its
+    /// participation.
+    pub alphabet: ChannelSet,
+}
+
+/// A flattened network ready for execution.
+#[derive(Debug, Clone)]
+pub struct Network {
+    /// The sequential components.
+    pub components: Vec<Component>,
+    /// Channels concealed by enclosing `chan L; …` layers.
+    pub hidden: ChannelSet,
+}
+
+/// Errors raised while flattening.
+#[derive(Debug)]
+pub enum NetError {
+    /// The process nests `‖` or `chan` under a communication prefix or
+    /// choice, which the thread-per-component runtime cannot execute.
+    NotStatic {
+        /// The offending sub-term.
+        offending: String,
+    },
+    /// Evaluation failed (undefined name, unbound subscript, …).
+    Eval(EvalError),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::NotStatic { offending } => write!(
+                f,
+                "network is not static: `{offending}` nests || or chan under a prefix"
+            ),
+            NetError::Eval(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<EvalError> for NetError {
+    fn from(e: EvalError) -> Self {
+        NetError::Eval(e)
+    }
+}
+
+/// Flattens `p` into a [`Network`]. Name references are unfolded only
+/// when they expand to network structure (parallel/hiding at the top of
+/// their bodies); sequential names stay folded and unfold lazily during
+/// execution.
+///
+/// # Errors
+///
+/// Returns [`NetError::NotStatic`] for dynamic networks and
+/// [`NetError::Eval`] for resolution failures.
+pub fn flatten(p: &Process, defs: &Definitions, env: &Env) -> Result<Network, NetError> {
+    let mut components = Vec::new();
+    let mut hidden = ChannelSet::new();
+    walk(p, defs, env, &mut components, &mut hidden, &mut Vec::new())?;
+    Ok(Network { components, hidden })
+}
+
+fn walk(
+    p: &Process,
+    defs: &Definitions,
+    env: &Env,
+    components: &mut Vec<Component>,
+    hidden: &mut ChannelSet,
+    unfold_stack: &mut Vec<String>,
+) -> Result<(), NetError> {
+    match p {
+        Process::Parallel { left, right, .. } => {
+            walk(left, defs, env, components, hidden, unfold_stack)?;
+            walk(right, defs, env, components, hidden, unfold_stack)
+        }
+        Process::Hide { channels, body } => {
+            for c in channels {
+                hidden.insert(c.resolve(env)?);
+            }
+            walk(body, defs, env, components, hidden, unfold_stack)
+        }
+        Process::Call { name, args } => {
+            // Unfold once to see whether the body is network structure.
+            if unfold_stack.iter().any(|n| n == name) {
+                // Recursive through a call without communication —
+                // treat as a sequential component (the executor's fuel
+                // handles it).
+                return push_component(p, defs, env, components);
+            }
+            let vals = args
+                .iter()
+                .map(|e| e.eval(env))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(NetError::Eval)?;
+            let (body, scope) = defs.resolve_call(name, &vals, env)?;
+            if contains_network_structure(body) {
+                unfold_stack.push(name.clone());
+                let r = walk(body, defs, &scope, components, hidden, unfold_stack);
+                unfold_stack.pop();
+                r
+            } else {
+                push_component(p, defs, env, components)
+            }
+        }
+        Process::Stop
+        | Process::Output { .. }
+        | Process::Input { .. }
+        | Process::Choice(_, _) => {
+            if contains_network_structure(p) {
+                return Err(NetError::NotStatic {
+                    offending: p.to_string(),
+                });
+            }
+            push_component(p, defs, env, components)
+        }
+    }
+}
+
+fn push_component(
+    p: &Process,
+    defs: &Definitions,
+    env: &Env,
+    components: &mut Vec<Component>,
+) -> Result<(), NetError> {
+    let alphabet = channel_alphabet(p, defs, env)?;
+    components.push(Component {
+        label: p.to_string(),
+        process: p.clone(),
+        env: env.clone(),
+        alphabet,
+    });
+    Ok(())
+}
+
+/// True if the term contains `‖` or `chan` anywhere below a prefix or
+/// choice (directly; calls are checked at unfold time).
+fn contains_network_structure(p: &Process) -> bool {
+    match p {
+        Process::Stop | Process::Call { .. } => false,
+        Process::Output { then, .. } | Process::Input { then, .. } => {
+            contains_network_structure(then)
+        }
+        Process::Choice(a, b) => {
+            contains_network_structure(a) || contains_network_structure(b)
+        }
+        Process::Parallel { .. } | Process::Hide { .. } => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_lang::examples;
+    use csp_trace::Channel;
+
+    #[test]
+    fn pipeline_flattens_to_two_components() {
+        let defs = examples::pipeline();
+        let net = flatten(&Process::call("pipeline"), &defs, &Env::new()).unwrap();
+        assert_eq!(net.components.len(), 2);
+        assert!(net.hidden.contains(&Channel::simple("wire")));
+        let copier = &net.components[0];
+        assert!(copier.alphabet.contains(&Channel::simple("input")));
+        assert!(copier.alphabet.contains(&Channel::simple("wire")));
+    }
+
+    #[test]
+    fn multiplier_flattens_to_five_components() {
+        let defs = examples::multiplier();
+        let env = examples::multiplier_env(&[1, 1, 1]);
+        let net = flatten(&Process::call("multiplier"), &defs, &env).unwrap();
+        assert_eq!(net.components.len(), 5);
+        assert_eq!(net.hidden.len(), 4); // col[0..3]
+        // mult[2]'s alphabet: row[2], col[1], col[2].
+        let m2 = net
+            .components
+            .iter()
+            .find(|c| c.label.contains("mult[2]"))
+            .expect("mult[2] present");
+        assert!(m2.alphabet.contains(&Channel::indexed("row", 2)));
+        assert!(m2.alphabet.contains(&Channel::indexed("col", 1)));
+        assert!(m2.alphabet.contains(&Channel::indexed("col", 2)));
+        assert_eq!(m2.alphabet.len(), 3);
+    }
+
+    #[test]
+    fn sequential_process_is_single_component() {
+        let defs = examples::pipeline();
+        let net = flatten(&Process::call("copier"), &defs, &Env::new()).unwrap();
+        assert_eq!(net.components.len(), 1);
+        assert!(net.hidden.is_empty());
+    }
+
+    #[test]
+    fn protocol_flattens_with_hidden_wire() {
+        let defs = examples::protocol();
+        let net = flatten(&Process::call("protocol"), &defs, &Env::new()).unwrap();
+        assert_eq!(net.components.len(), 2);
+        assert!(net.hidden.contains(&Channel::simple("wire")));
+    }
+}

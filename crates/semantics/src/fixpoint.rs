@@ -1,0 +1,378 @@
+//! The paper's fixpoint construction for recursive definitions — §3.3.
+//!
+//! "We define `ρ⟦p ⊜ P⟧` as being true iff the value ascribed by ρ to the
+//! name `p` is … the least solution to the equation `p = P` … computed as
+//! the union of a series of successive approximations `a₀, a₁, a₂, …`:
+//! `a₀ = ρ⟦STOP⟧`, `a_{i+1} = (ρ[a_i/p])⟦P⟧`." Process arrays iterate a
+//! λ-indexed family the same way.
+//!
+//! [`fixpoint`] materialises that sequence (depth-bounded so every iterate
+//! is finite), reports the iteration at which it converges, and exposes
+//! each iterate for inspection — experiment **E5** of `DESIGN.md` prints
+//! the growing iterate sizes, and the crate tests confirm the limit equals
+//! the unfolding semantics of [`Semantics`](crate::Semantics).
+
+use std::collections::BTreeMap;
+
+use csp_lang::{Definitions, Env, EvalError, Process};
+use csp_trace::{Event, TraceSet, Value};
+
+use crate::{Semantics, Universe};
+
+/// Identifies one process instance: a plain name, or an array element
+/// with its subscript values.
+pub type ProcKey = (String, Vec<Value>);
+
+/// One approximation `a_i`: the trace set ascribed to every process
+/// instance at iteration `i`.
+pub type Approximation = BTreeMap<ProcKey, TraceSet>;
+
+/// The computed approximation sequence.
+#[derive(Debug, Clone)]
+pub struct FixpointRun {
+    /// `a₀, a₁, …` in order. Always non-empty (`a₀` maps every instance
+    /// to `{<>}`).
+    pub iterates: Vec<Approximation>,
+    /// The first `i` with `a_{i+1} = a_i` (at the requested depth), if
+    /// convergence was reached within the iteration budget.
+    pub converged_at: Option<usize>,
+}
+
+impl FixpointRun {
+    /// The final approximation — the depth-`d` least fixed point when
+    /// [`converged_at`](Self::converged_at) is `Some`.
+    pub fn limit(&self) -> &Approximation {
+        self.iterates.last().expect("iterates never empty")
+    }
+
+    /// The per-iteration sizes of one instance's trace set — the data
+    /// series of experiment E5.
+    pub fn growth_of(&self, key: &ProcKey) -> Vec<usize> {
+        self.iterates
+            .iter()
+            .map(|a| a.get(key).map_or(1, TraceSet::len))
+            .collect()
+    }
+}
+
+/// Computes the approximation sequence for *all* definitions (the paper's
+/// mutual-recursion form of rule 10 iterates all equations jointly),
+/// truncating every trace set at `depth` and stopping at the earlier of
+/// convergence or `max_iters` additional iterations after `a₀`.
+///
+/// # Errors
+///
+/// Fails when instantiating an array index set that cannot be enumerated
+/// under `universe`, or on evaluation errors inside a body.
+///
+/// # Examples
+///
+/// ```
+/// use csp_lang::{examples, Env};
+/// use csp_semantics::{fixpoint, Universe};
+///
+/// let defs = examples::pipeline();
+/// let uni = Universe::new(1);
+/// let run = fixpoint(&defs, &uni, &Env::new(), 4, 16).unwrap();
+/// assert!(run.converged_at.is_some());
+/// let growth = run.growth_of(&("copier".to_string(), vec![]));
+/// // a₀ ⊆ a₁ ⊆ … : sizes are non-decreasing.
+/// assert!(growth.windows(2).all(|w| w[0] <= w[1]));
+/// ```
+pub fn fixpoint(
+    defs: &Definitions,
+    universe: &Universe,
+    env: &Env,
+    depth: usize,
+    max_iters: usize,
+) -> Result<FixpointRun, EvalError> {
+    let keys = instance_keys(defs, universe, env)?;
+
+    // Hidden communications do not count toward visible trace length, so
+    // iterates must be carried at an amplified working depth: each level
+    // of `chan L; …` nesting may need up to 3× more raw events (matching
+    // the Semantics default hide multiplier). The reported iterates are
+    // truncated back to the requested depth.
+    let nesting = keys
+        .iter()
+        .map(|k| {
+            defs.get(&k.0)
+                .map_or(0, |d| hide_nesting(d.body(), defs, &mut Vec::new()))
+        })
+        .max()
+        .unwrap_or(0);
+    let work_depth = depth * 3usize.saturating_pow(nesting as u32);
+
+    // a₀ = STOP for every instance.
+    let mut current: Approximation = keys
+        .iter()
+        .cloned()
+        .map(|k| (k, TraceSet::stop()))
+        .collect();
+    let truncate = |a: &Approximation| -> Approximation {
+        a.iter()
+            .map(|(k, t)| (k.clone(), t.up_to_depth(depth)))
+            .collect()
+    };
+    let mut iterates = vec![truncate(&current)];
+    let mut converged_at = None;
+
+    let sem = Semantics::new(defs, universe);
+
+    for i in 0..max_iters {
+        let mut next = Approximation::new();
+        for key in &keys {
+            let (body, scope) = defs.resolve_call(&key.0, &key.1, env)?;
+            let t = eval_approx(&sem, body, &scope, work_depth, &current)?;
+            next.insert(key.clone(), t.up_to_depth(work_depth));
+        }
+        let done = next == current;
+        current = next;
+        iterates.push(truncate(&current));
+        if done {
+            converged_at = Some(i);
+            break;
+        }
+    }
+
+    Ok(FixpointRun {
+        iterates,
+        converged_at,
+    })
+}
+
+/// Maximum nesting depth of `chan L; …` reachable from `p`, following
+/// process-name references (cycle-safe).
+fn hide_nesting(p: &Process, defs: &Definitions, stack: &mut Vec<String>) -> usize {
+    match p {
+        Process::Stop => 0,
+        Process::Call { name, .. } => {
+            if stack.iter().any(|n| n == name) {
+                return 0;
+            }
+            stack.push(name.clone());
+            let n = defs
+                .get(name)
+                .map_or(0, |d| hide_nesting(d.body(), defs, stack));
+            stack.pop();
+            n
+        }
+        Process::Output { then, .. } | Process::Input { then, .. } => {
+            hide_nesting(then, defs, stack)
+        }
+        Process::Choice(a, b) => {
+            hide_nesting(a, defs, stack).max(hide_nesting(b, defs, stack))
+        }
+        Process::Parallel { left, right, .. } => {
+            hide_nesting(left, defs, stack).max(hide_nesting(right, defs, stack))
+        }
+        Process::Hide { body, .. } => 1 + hide_nesting(body, defs, stack),
+    }
+}
+
+/// All process instances: plain names, and array elements for every
+/// subscript value the universe can enumerate from the parameter set.
+fn instance_keys(
+    defs: &Definitions,
+    universe: &Universe,
+    env: &Env,
+) -> Result<Vec<ProcKey>, EvalError> {
+    let mut keys = Vec::new();
+    for def in defs.iter() {
+        match def.param() {
+            None => keys.push((def.name().to_string(), Vec::new())),
+            Some((_, set)) => {
+                let m = set.eval(env)?;
+                for v in universe.enumerate(&m)? {
+                    keys.push((def.name().to_string(), vec![v]));
+                }
+            }
+        }
+    }
+    Ok(keys)
+}
+
+/// Evaluates a body with process names interpreted by the current
+/// approximation (the environment `ρ[a_i/p]` of §3.3) instead of by
+/// unfolding.
+fn eval_approx(
+    sem: &Semantics<'_>,
+    p: &Process,
+    env: &Env,
+    depth: usize,
+    approx: &Approximation,
+) -> Result<TraceSet, EvalError> {
+    match p {
+        Process::Stop => Ok(TraceSet::stop()),
+        Process::Call { name, args } => {
+            let vals = args
+                .iter()
+                .map(|e| e.eval(env))
+                .collect::<Result<Vec<_>, _>>()?;
+            let key = (name.clone(), vals);
+            // Instances outside the enumerated family (or whose subscript
+            // the universe did not cover) default to a₀ = STOP.
+            Ok(approx
+                .get(&key)
+                .cloned()
+                .unwrap_or_else(TraceSet::stop)
+                .up_to_depth(depth))
+        }
+        Process::Output { chan, msg, then } => {
+            if depth == 0 {
+                return Ok(TraceSet::stop());
+            }
+            let c = chan.resolve(env)?;
+            let v = msg.eval(env)?;
+            let inner = eval_approx(sem, then, env, depth - 1, approx)?;
+            Ok(inner.prefixed(Event::new(c, v)))
+        }
+        Process::Input {
+            chan,
+            var,
+            set,
+            then,
+        } => {
+            if depth == 0 {
+                return Ok(TraceSet::stop());
+            }
+            let c = chan.resolve(env)?;
+            let m = set.eval(env)?;
+            let mut out = TraceSet::stop();
+            for v in sem.universe().enumerate(&m)? {
+                let scope = env.bind(var, v.clone());
+                let inner = eval_approx(sem, then, &scope, depth - 1, approx)?;
+                out = out.union(&inner.prefixed(Event::new(c.clone(), v)));
+            }
+            Ok(out)
+        }
+        Process::Choice(a, b) => Ok(eval_approx(sem, a, env, depth, approx)?
+            .union(&eval_approx(sem, b, env, depth, approx)?)),
+        Process::Parallel {
+            left,
+            right,
+            left_alpha,
+            right_alpha,
+        } => {
+            let (x, y) = sem.parallel_alphabets(
+                left,
+                right,
+                left_alpha.as_deref(),
+                right_alpha.as_deref(),
+                env,
+            )?;
+            let tl = eval_approx(sem, left, env, depth, approx)?;
+            let tr = eval_approx(sem, right, env, depth, approx)?;
+            Ok(tl.parallel(&x, &tr, &y).up_to_depth(depth))
+        }
+        Process::Hide { channels, body } => {
+            let hidden: csp_trace::ChannelSet = channels
+                .iter()
+                .map(|c| c.resolve(env))
+                .collect::<Result<_, _>>()?;
+            // Iterate bodies at triple depth, mirroring Semantics' default
+            // hide handling.
+            let tb = eval_approx(sem, body, env, depth * 3, approx)?;
+            Ok(tb.hide(&hidden).up_to_depth(depth))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_lang::{examples, parse_definitions};
+
+    fn key(name: &str) -> ProcKey {
+        (name.to_string(), Vec::new())
+    }
+
+    #[test]
+    fn copier_iterates_grow_and_converge() {
+        let defs = parse_definitions("copier = input?x:NAT -> wire!x -> copier").unwrap();
+        let uni = Universe::new(1);
+        let run = fixpoint(&defs, &uni, &Env::new(), 4, 16).unwrap();
+        assert!(run.converged_at.is_some());
+        let growth = run.growth_of(&key("copier"));
+        assert_eq!(growth[0], 1); // a₀ = {<>}
+        assert!(growth.windows(2).all(|w| w[0] <= w[1]), "{growth:?}");
+        // One unfolding contributes two events, so depth 4 needs a₂ = limit.
+        let limit = run.limit().get(&key("copier")).unwrap();
+        assert_eq!(limit.depth(), 4);
+    }
+
+    #[test]
+    fn limit_agrees_with_unfolding_semantics() {
+        let defs = examples::pipeline();
+        let uni = Universe::new(1);
+        let env = Env::new();
+        let run = fixpoint(&defs, &uni, &env, 4, 16).unwrap();
+        let sem = Semantics::new(&defs, &uni);
+        for name in ["copier", "recopier", "pipeline"] {
+            let via_fix = run.limit().get(&key(name)).unwrap();
+            let via_unfold = sem.denote_name(name, &env, 4).unwrap();
+            assert_eq!(via_fix, &via_unfold, "disagreement on {name}");
+        }
+    }
+
+    #[test]
+    fn unguarded_equation_converges_to_stop_immediately() {
+        let defs = parse_definitions("p = p").unwrap();
+        let uni = Universe::small();
+        let run = fixpoint(&defs, &uni, &Env::new(), 5, 8).unwrap();
+        assert_eq!(run.converged_at, Some(0));
+        assert_eq!(run.limit().get(&key("p")).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn array_instances_iterate_jointly() {
+        let defs = parse_definitions(
+            "q[x:0..1] = wire!x -> q[1-x]",
+        )
+        .unwrap();
+        let uni = Universe::small();
+        let run = fixpoint(&defs, &uni, &Env::new(), 3, 16).unwrap();
+        assert!(run.converged_at.is_some());
+        let q0 = run
+            .limit()
+            .get(&("q".to_string(), vec![Value::Int(0)]))
+            .unwrap();
+        // q[0] alternates 0,1,0,…
+        let t = csp_trace::Trace::parse_like([
+            ("wire", Value::nat(0)),
+            ("wire", Value::nat(1)),
+            ("wire", Value::nat(0)),
+        ]);
+        assert!(q0.contains(&t));
+    }
+
+    #[test]
+    fn mutual_recursion_converges() {
+        let defs = parse_definitions(
+            "ping = a!0 -> pong
+             pong = b!1 -> ping",
+        )
+        .unwrap();
+        let uni = Universe::small();
+        let run = fixpoint(&defs, &uni, &Env::new(), 4, 16).unwrap();
+        assert!(run.converged_at.is_some());
+        let ping = run.limit().get(&key("ping")).unwrap();
+        let t = csp_trace::Trace::parse_like([
+            ("a", Value::nat(0)),
+            ("b", Value::nat(1)),
+            ("a", Value::nat(0)),
+            ("b", Value::nat(1)),
+        ]);
+        assert!(ping.contains(&t));
+    }
+
+    #[test]
+    fn non_convergence_within_budget_is_reported() {
+        let defs = parse_definitions("copier = input?x:NAT -> wire!x -> copier").unwrap();
+        let uni = Universe::new(1);
+        // Depth 10 needs ~5 iterations; budget 2 is insufficient.
+        let run = fixpoint(&defs, &uni, &Env::new(), 10, 2).unwrap();
+        assert_eq!(run.converged_at, None);
+        assert_eq!(run.iterates.len(), 3); // a₀, a₁, a₂
+    }
+}

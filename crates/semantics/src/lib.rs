@@ -1,0 +1,47 @@
+//! # csp-semantics
+//!
+//! The denotational model of Zhou & Hoare (1981) §3, plus a derived
+//! operational semantics.
+//!
+//! * [`Semantics`] — the paper's semantic equations: every process
+//!   expression denotes a prefix-closed trace set, computed here to a
+//!   requested depth over a finite [`Universe`].
+//! * [`fixpoint`] — the explicit approximation sequence `a₀ ⊆ a₁ ⊆ …` of
+//!   §3.3 for (mutually) recursive definitions and process arrays, with
+//!   convergence detection.
+//! * [`Lts`] — a labelled transition system derived from the syntax; its
+//!   traces provably (by test) agree with the denotational model, and it
+//!   composes networks on the fly, which is what the larger experiments
+//!   use.
+//! * [`compare`]/[`refines`] — trace-set equality and refinement with
+//!   counterexample reporting (e.g. the §4 identity `STOP | P = P`).
+//!
+//! ```
+//! use csp_lang::{examples, Env};
+//! use csp_semantics::{Lts, Semantics, Universe};
+//!
+//! let defs = examples::pipeline();
+//! let uni = Universe::new(1);
+//! let sem = Semantics::new(&defs, &uni);
+//! let lts = Lts::new(&defs, &uni);
+//! let env = Env::new();
+//! let d = sem.denote_name("pipeline", &env, 3).unwrap();
+//! let o = lts.traces(&lts.initial("pipeline", &env), 3).unwrap();
+//! assert_eq!(d, o);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod denote;
+mod equiv;
+mod lts;
+mod universe;
+
+pub mod fixpoint;
+
+pub use denote::Semantics;
+pub use equiv::{compare, refines, Discrepancy};
+pub use fixpoint::{fixpoint, Approximation, FixpointRun, ProcKey};
+pub use lts::{Config, Lts, Step};
+pub use universe::Universe;

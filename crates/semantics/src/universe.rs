@@ -1,0 +1,153 @@
+//! Finite universes for enumeration.
+//!
+//! The paper's message sets may be unbounded (`NAT`) or abstract (`M`).
+//! The denotational model itself is set-theoretic and has no trouble with
+//! that; *enumeration-based tools* (bounded trace computation, model
+//! checking, simulation) need a finite carrier. A [`Universe`] supplies
+//! one: an inclusive bound for `NAT` and a table resolving named abstract
+//! sets to finite sets. This is substitution 3 of `DESIGN.md`: proofs stay
+//! symbolic, the model is explored on a finite restriction.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use csp_lang::{EvalError, MsgSet};
+use csp_trace::Value;
+
+/// A finite restriction of the value space used when enumerating traces.
+///
+/// # Examples
+///
+/// ```
+/// use csp_semantics::Universe;
+/// use csp_trace::Value;
+///
+/// let uni = Universe::new(2).with_named("M", [Value::nat(0), Value::nat(1)]);
+/// assert_eq!(uni.nat_bound(), 2);
+/// assert_eq!(uni.resolve_named("M").unwrap().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Universe {
+    nat_bound: u32,
+    named: BTreeMap<String, BTreeSet<Value>>,
+}
+
+impl Universe {
+    /// A universe where `NAT` is restricted to `{0, …, nat_bound}` and no
+    /// named sets are known.
+    pub fn new(nat_bound: u32) -> Self {
+        Universe {
+            nat_bound,
+            named: BTreeMap::new(),
+        }
+    }
+
+    /// A small default universe (`NAT ↾ {0, 1, 2}`) that keeps trace sets
+    /// comfortably small; suitable for unit tests and quick checks.
+    pub fn small() -> Self {
+        Universe::new(2)
+    }
+
+    /// The inclusive upper bound used for `NAT`.
+    pub fn nat_bound(&self) -> u32 {
+        self.nat_bound
+    }
+
+    /// Registers a finite interpretation for a named abstract set such as
+    /// the paper's `M`.
+    #[must_use]
+    pub fn with_named<I: IntoIterator<Item = Value>>(mut self, name: &str, vals: I) -> Self {
+        self.named.insert(name.to_string(), vals.into_iter().collect());
+        self
+    }
+
+    /// Looks up the interpretation of a named set.
+    pub fn resolve_named(&self, name: &str) -> Option<&BTreeSet<Value>> {
+        self.named.get(name)
+    }
+
+    /// Enumerates the members of a message set under this universe, in
+    /// deterministic order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::UnboundedSet`] if `set` names an abstract set
+    /// with no registered interpretation.
+    pub fn enumerate(&self, set: &MsgSet) -> Result<Vec<Value>, EvalError> {
+        set.enumerate(self.nat_bound, &|n| self.named.get(n).cloned())
+    }
+
+    /// Membership of `v` in `set` under this universe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::UnboundedSet`] for unresolvable named sets.
+    pub fn contains(&self, set: &MsgSet, v: &Value) -> Result<bool, EvalError> {
+        match set.contains(v) {
+            Some(b) => Ok(b),
+            None => match set {
+                MsgSet::Named(n) => self
+                    .named
+                    .get(n)
+                    .map(|s| s.contains(v))
+                    .ok_or_else(|| EvalError::UnboundedSet(n.clone())),
+                _ => unreachable!("only named sets are undecidable"),
+            },
+        }
+    }
+}
+
+impl Default for Universe {
+    fn default() -> Self {
+        Universe::small()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nat_enumeration_respects_bound() {
+        let uni = Universe::new(3);
+        let vs = uni.enumerate(&MsgSet::Nat).unwrap();
+        assert_eq!(vs.len(), 4);
+        assert_eq!(vs[0], Value::nat(0));
+        assert_eq!(vs[3], Value::nat(3));
+    }
+
+    #[test]
+    fn named_sets_resolve_through_table() {
+        let uni = Universe::new(1).with_named("M", [Value::sym("a"), Value::sym("b")]);
+        let vs = uni.enumerate(&MsgSet::Named("M".into())).unwrap();
+        assert_eq!(vs.len(), 2);
+        assert!(uni
+            .contains(&MsgSet::Named("M".into()), &Value::sym("a"))
+            .unwrap());
+        assert!(!uni
+            .contains(&MsgSet::Named("M".into()), &Value::sym("z"))
+            .unwrap());
+    }
+
+    #[test]
+    fn unknown_named_set_errors() {
+        let uni = Universe::new(1);
+        assert!(uni.enumerate(&MsgSet::Named("M".into())).is_err());
+        assert!(uni
+            .contains(&MsgSet::Named("M".into()), &Value::nat(0))
+            .is_err());
+    }
+
+    #[test]
+    fn finite_sets_pass_through() {
+        let uni = Universe::new(0);
+        let m = MsgSet::Finite([Value::nat(5), Value::nat(7)].into_iter().collect());
+        assert_eq!(uni.enumerate(&m).unwrap().len(), 2);
+        assert!(uni.contains(&m, &Value::nat(5)).unwrap());
+    }
+
+    #[test]
+    fn default_is_small() {
+        assert_eq!(Universe::default().nat_bound(), 2);
+    }
+}

@@ -1,0 +1,316 @@
+//! Channel names and channel sets.
+//!
+//! §1.1(10)–(13) of the paper introduces channel names (`input`, `wire`),
+//! channel array names with subscripts (`col[0]`, `row[2]`), and lists of
+//! channels used to declare the connections of a network. [`Channel`] is a
+//! concrete, fully-subscripted channel name; [`ChannelSet`] is the finite
+//! set of channels used for the alphabets `X`, `Y` of parallel composition
+//! and the lists `L` of `chan L; P`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A concrete channel name, possibly subscripted: `wire`, `col[0]`,
+/// `grid[1][2]`.
+///
+/// Subscripts are fully evaluated integers — a *channel array* (§1.1(12))
+/// is a family of [`Channel`]s, one per subscript value; expansion of
+/// symbolic subscripts happens in `csp-lang`/`csp-semantics`.
+///
+/// # Examples
+///
+/// ```
+/// use csp_trace::Channel;
+///
+/// let wire = Channel::simple("wire");
+/// let col0 = Channel::indexed("col", 0);
+/// assert_eq!(wire.to_string(), "wire");
+/// assert_eq!(col0.to_string(), "col[0]");
+/// assert_eq!(col0.base(), "col");
+/// assert_eq!(col0.indices(), &[0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Channel {
+    base: Arc<str>,
+    indices: Vec<i64>,
+}
+
+impl Channel {
+    /// Creates an unsubscripted channel name.
+    pub fn simple(base: &str) -> Self {
+        Channel {
+            base: Arc::from(base),
+            indices: Vec::new(),
+        }
+    }
+
+    /// Creates a singly-subscripted channel name, e.g. `col[3]`.
+    pub fn indexed(base: &str, index: i64) -> Self {
+        Channel {
+            base: Arc::from(base),
+            indices: vec![index],
+        }
+    }
+
+    /// Creates a channel name with an arbitrary subscript path.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use csp_trace::Channel;
+    /// let c = Channel::with_indices("grid", vec![1, 2]);
+    /// assert_eq!(c.to_string(), "grid[1][2]");
+    /// ```
+    pub fn with_indices(base: &str, indices: Vec<i64>) -> Self {
+        Channel {
+            base: Arc::from(base),
+            indices,
+        }
+    }
+
+    /// The array (or plain) name without subscripts.
+    pub fn base(&self) -> &str {
+        &self.base
+    }
+
+    /// The subscript path; empty for a plain channel name.
+    pub fn indices(&self) -> &[i64] {
+        &self.indices
+    }
+
+    /// True if this channel is an element of the array `base`, i.e. has the
+    /// given base name and at least one subscript.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use csp_trace::Channel;
+    /// assert!(Channel::indexed("col", 1).is_element_of("col"));
+    /// assert!(!Channel::simple("col").is_element_of("col"));
+    /// ```
+    pub fn is_element_of(&self, base: &str) -> bool {
+        self.base() == base && !self.indices.is_empty()
+    }
+}
+
+impl fmt::Display for Channel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.base)?;
+        for i in &self.indices {
+            write!(f, "[{i}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl From<&str> for Channel {
+    fn from(base: &str) -> Self {
+        Channel::simple(base)
+    }
+}
+
+/// A finite set of channels: an *alphabet* in the sense of the parallel
+/// operator `P ‖_{X,Y} Q` (§1.2(7)) or the local-channel list of
+/// `chan L; P` (§1.2(8)).
+///
+/// # Examples
+///
+/// ```
+/// use csp_trace::{Channel, ChannelSet};
+///
+/// let x: ChannelSet = ["input", "wire"].into_iter().collect();
+/// let y: ChannelSet = ["wire", "output"].into_iter().collect();
+/// let common = x.intersection(&y);
+/// assert!(common.contains(&Channel::simple("wire")));
+/// assert_eq!(common.len(), 1);
+/// assert_eq!(x.difference(&y).iter().next().unwrap().to_string(), "input");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelSet {
+    channels: BTreeSet<Channel>,
+}
+
+impl ChannelSet {
+    /// Creates an empty channel set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of channels in the set.
+    pub fn len(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// True if the set contains no channels.
+    pub fn is_empty(&self) -> bool {
+        self.channels.is_empty()
+    }
+
+    /// Inserts a channel; returns `true` if it was not already present.
+    pub fn insert(&mut self, c: Channel) -> bool {
+        self.channels.insert(c)
+    }
+
+    /// True if `c` is a member.
+    pub fn contains(&self, c: &Channel) -> bool {
+        self.channels.contains(c)
+    }
+
+    /// Set union `X ∪ Y`.
+    pub fn union(&self, other: &ChannelSet) -> ChannelSet {
+        ChannelSet {
+            channels: self.channels.union(&other.channels).cloned().collect(),
+        }
+    }
+
+    /// Set intersection `X ∩ Y` — the internal channels connecting the two
+    /// operands of `‖`.
+    pub fn intersection(&self, other: &ChannelSet) -> ChannelSet {
+        ChannelSet {
+            channels: self
+                .channels
+                .intersection(&other.channels)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Set difference `X − Y` — the channels on which the left process of a
+    /// parallel composition communicates privately.
+    pub fn difference(&self, other: &ChannelSet) -> ChannelSet {
+        ChannelSet {
+            channels: self
+                .channels
+                .difference(&other.channels)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// True if every channel of `self` is in `other`.
+    pub fn is_subset(&self, other: &ChannelSet) -> bool {
+        self.channels.is_subset(&other.channels)
+    }
+
+    /// True if the two sets share no channel.
+    pub fn is_disjoint(&self, other: &ChannelSet) -> bool {
+        self.channels.is_disjoint(&other.channels)
+    }
+
+    /// Iterates over the channels in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &Channel> {
+        self.channels.iter()
+    }
+}
+
+impl FromIterator<Channel> for ChannelSet {
+    fn from_iter<I: IntoIterator<Item = Channel>>(iter: I) -> Self {
+        ChannelSet {
+            channels: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<'a> FromIterator<&'a str> for ChannelSet {
+    fn from_iter<I: IntoIterator<Item = &'a str>>(iter: I) -> Self {
+        iter.into_iter().map(Channel::simple).collect()
+    }
+}
+
+impl Extend<Channel> for ChannelSet {
+    fn extend<I: IntoIterator<Item = Channel>>(&mut self, iter: I) {
+        self.channels.extend(iter);
+    }
+}
+
+impl IntoIterator for ChannelSet {
+    type Item = Channel;
+    type IntoIter = std::collections::btree_set::IntoIter<Channel>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.channels.into_iter()
+    }
+}
+
+impl fmt::Display for ChannelSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, c) in self.channels.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_of_subscripted_channels() {
+        assert_eq!(Channel::simple("wire").to_string(), "wire");
+        assert_eq!(Channel::indexed("col", 0).to_string(), "col[0]");
+        assert_eq!(
+            Channel::with_indices("grid", vec![1, 2]).to_string(),
+            "grid[1][2]"
+        );
+    }
+
+    #[test]
+    fn subscripted_channels_are_distinct() {
+        // §1.1(11): row[e] denotes a particular distinct channel for each
+        // distinct value of e.
+        assert_ne!(Channel::indexed("col", 0), Channel::indexed("col", 1));
+        assert_ne!(Channel::simple("col"), Channel::indexed("col", 0));
+    }
+
+    #[test]
+    fn element_of_checks_base_and_subscript() {
+        assert!(Channel::indexed("row", 2).is_element_of("row"));
+        assert!(!Channel::indexed("row", 2).is_element_of("col"));
+        assert!(!Channel::simple("row").is_element_of("row"));
+    }
+
+    #[test]
+    fn alphabet_algebra_matches_paper_pipeline() {
+        // X = {input, wire}, Y = {wire, output} from §1.2(7).
+        let x: ChannelSet = ["input", "wire"].into_iter().collect();
+        let y: ChannelSet = ["wire", "output"].into_iter().collect();
+        assert_eq!(x.intersection(&y).len(), 1);
+        assert!(x.intersection(&y).contains(&Channel::simple("wire")));
+        assert!(x.difference(&y).contains(&Channel::simple("input")));
+        assert!(y.difference(&x).contains(&Channel::simple("output")));
+        assert_eq!(x.union(&y).len(), 3);
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let x: ChannelSet = ["a", "b"].into_iter().collect();
+        let y: ChannelSet = ["a", "b", "c"].into_iter().collect();
+        let z: ChannelSet = ["d"].into_iter().collect();
+        assert!(x.is_subset(&y));
+        assert!(!y.is_subset(&x));
+        assert!(x.is_disjoint(&z));
+        assert!(!x.is_disjoint(&y));
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = ChannelSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(Channel::simple("wire")));
+        assert!(!s.insert(Channel::simple("wire")));
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&Channel::simple("wire")));
+    }
+
+    #[test]
+    fn display_of_sets_is_sorted() {
+        let s: ChannelSet = ["wire", "input", "output"].into_iter().collect();
+        assert_eq!(s.to_string(), "{input, output, wire}");
+    }
+}

@@ -1,0 +1,111 @@
+//! Timeline rendering of traces.
+//!
+//! The paper reads traces as "the sequence of communications … up to
+//! some moment in time"; [`timeline`] renders that reading as a
+//! message-sequence-style chart with one column per channel and one row
+//! per moment, which makes recorded runs (especially interleavings of a
+//! network's channels) much easier to inspect than the flat
+//! `⟨c₁.m₁, …⟩` form.
+
+use crate::Trace;
+
+/// Renders a trace as a channel/time grid.
+///
+/// # Examples
+///
+/// ```
+/// use csp_trace::{timeline, Trace, Value};
+///
+/// let t = Trace::parse_like([
+///     ("input", Value::nat(3)),
+///     ("wire", Value::nat(3)),
+///     ("input", Value::nat(5)),
+/// ]);
+/// let chart = timeline(&t);
+/// assert!(chart.contains("input"));
+/// assert!(chart.lines().count() >= 4); // header + 3 moments
+/// ```
+pub fn timeline(trace: &Trace) -> String {
+    let channels: Vec<_> = trace.channels().into_iter().collect();
+    if channels.is_empty() {
+        return "  (empty trace)\n".to_string();
+    }
+    let names: Vec<String> = channels.iter().map(|c| c.to_string()).collect();
+    let widths: Vec<usize> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            trace
+                .iter()
+                .filter(|e| e.channel() == &channels[i])
+                .map(|e| e.value().to_string().len())
+                .chain([n.len()])
+                .max()
+                .unwrap_or(n.len())
+        })
+        .collect();
+
+    let mut out = String::new();
+    out.push_str("  t  ");
+    for (n, w) in names.iter().zip(&widths) {
+        out.push_str(&format!("{n:>w$}  "));
+    }
+    out.push('\n');
+    for (i, e) in trace.iter().enumerate() {
+        out.push_str(&format!("{:>3}  ", i + 1));
+        for (c, w) in channels.iter().zip(&widths) {
+            if e.channel() == c {
+                out.push_str(&format!("{:>w$}  ", e.value().to_string()));
+            } else {
+                out.push_str(&format!("{:>w$}  ", "."));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        assert!(timeline(&Trace::empty()).contains("empty"));
+    }
+
+    #[test]
+    fn events_land_in_their_channel_column() {
+        let t = Trace::parse_like([
+            ("a", Value::nat(1)),
+            ("b", Value::nat(2)),
+            ("a", Value::nat(3)),
+        ]);
+        let chart = timeline(&t);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Row 1 has the value under `a` and a dot under `b`.
+        assert!(lines[1].contains('1'));
+        assert!(lines[1].contains('.'));
+        // Row ordering matches trace ordering.
+        assert!(lines[3].contains('3'));
+    }
+
+    #[test]
+    fn column_widths_accommodate_values() {
+        let t = Trace::parse_like([("c", Value::Int(12345))]);
+        let chart = timeline(&t);
+        assert!(chart.contains("12345"));
+    }
+
+    #[test]
+    fn signals_render_in_grid() {
+        let t = Trace::from_events([
+            ("wire", Value::nat(1)).into(),
+            ("wire", Value::sym("NACK")).into(),
+        ]);
+        let chart = timeline(&t);
+        assert!(chart.contains("NACK"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Communications (events).
+//!
+//! §1.0: "Each communication between a process and one of its neighbours
+//! … is denoted as a pair `c.m`, where `m` is the value of the message and
+//! `c` is the name of the channel along which it passes." Transmission and
+//! receipt are *the same event*, occurring only when all parties are ready.
+
+use std::fmt;
+
+use crate::{Channel, Value};
+
+/// A single communication `c.m`: message value `m` passing on channel `c`.
+///
+/// # Examples
+///
+/// ```
+/// use csp_trace::{Channel, Event, Value};
+///
+/// let e = Event::new(Channel::simple("wire"), Value::sym("ACK"));
+/// assert_eq!(e.to_string(), "wire.ACK");
+/// assert_eq!(e.channel().base(), "wire");
+/// assert_eq!(e.value(), &Value::sym("ACK"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Event {
+    channel: Channel,
+    value: Value,
+}
+
+impl Event {
+    /// Creates the communication `channel.value`.
+    pub fn new(channel: Channel, value: Value) -> Self {
+        Event { channel, value }
+    }
+
+    /// The channel the message passed on.
+    pub fn channel(&self) -> &Channel {
+        &self.channel
+    }
+
+    /// The message value.
+    pub fn value(&self) -> &Value {
+        &self.value
+    }
+
+    /// Splits the event into its channel and value.
+    pub fn into_parts(self) -> (Channel, Value) {
+        (self.channel, self.value)
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.channel, self.value)
+    }
+}
+
+/// Convenience constructor used pervasively in tests and examples:
+/// `ev("wire", Value::nat(3))` is `wire.3`.
+impl From<(&str, Value)> for Event {
+    fn from((c, v): (&str, Value)) -> Self {
+        Event::new(Channel::simple(c), v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_channel_dot_message() {
+        // "output.3" denotes communication of the value 3 on the channel
+        // named "output" (§1.0).
+        let e = Event::new(Channel::simple("output"), Value::nat(3));
+        assert_eq!(e.to_string(), "output.3");
+        let w = Event::new(Channel::simple("wire"), Value::sym("ACK"));
+        assert_eq!(w.to_string(), "wire.ACK");
+    }
+
+    #[test]
+    fn same_value_different_channel_is_different_event() {
+        // §1.0: "input.3" denotes communication of the same value on a
+        // *different* channel.
+        let a = Event::new(Channel::simple("output"), Value::nat(3));
+        let b = Event::new(Channel::simple("input"), Value::nat(3));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn into_parts_roundtrip() {
+        let e = Event::new(Channel::indexed("col", 2), Value::nat(5));
+        let (c, v) = e.clone().into_parts();
+        assert_eq!(Event::new(c, v), e);
+    }
+
+    #[test]
+    fn tuple_conversion() {
+        let e: Event = ("wire", Value::nat(1)).into();
+        assert_eq!(e.channel(), &Channel::simple("wire"));
+    }
+}

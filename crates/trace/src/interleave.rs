@@ -1,0 +1,155 @@
+//! Trace interleavings.
+//!
+//! §3.1 uses interleaving implicitly: if `P` contains no communication on
+//! channels of `C`, the padded set `P↑C` "is the set of traces formed by
+//! interleaving a trace of `P` with an arbitrary sequence of communications
+//! on the channels of `C`". [`interleave_pair`] enumerates all order-
+//! preserving merges of two traces; the semantics crate builds the padding
+//! operator from it.
+
+use crate::Trace;
+
+/// An iterator over all interleavings of two traces, produced in a
+/// deterministic (left-biased, depth-first) order.
+///
+/// The number of interleavings of traces of lengths `m` and `n` is the
+/// binomial coefficient `C(m+n, m)`, so callers should keep operand traces
+/// short (they are bounded by the enumeration depth everywhere this is
+/// used).
+#[derive(Debug)]
+pub struct Interleavings {
+    /// Stack of partial merges: (built-prefix, remaining-left-index,
+    /// remaining-right-index), explored depth-first.
+    stack: Vec<(Vec<usize>, usize, usize)>,
+    left: Trace,
+    right: Trace,
+}
+
+impl Interleavings {
+    /// Creates the iterator over all interleavings of `left` and `right`.
+    pub fn new(left: Trace, right: Trace) -> Self {
+        Interleavings {
+            stack: vec![(Vec::new(), 0, 0)],
+            left,
+            right,
+        }
+    }
+}
+
+impl Iterator for Interleavings {
+    type Item = Trace;
+
+    fn next(&mut self) -> Option<Trace> {
+        while let Some((prefix, i, j)) = self.stack.pop() {
+            let nl = self.left.len();
+            let nr = self.right.len();
+            if i == nl && j == nr {
+                // prefix encodes a complete merge; decode choice bits.
+                let mut li = 0usize;
+                let mut ri = 0usize;
+                let mut out = Vec::with_capacity(nl + nr);
+                for &choice in &prefix {
+                    if choice == 0 {
+                        out.push(self.left.at(li + 1).expect("left index in range").clone());
+                        li += 1;
+                    } else {
+                        out.push(self.right.at(ri + 1).expect("right index in range").clone());
+                        ri += 1;
+                    }
+                }
+                return Some(Trace::from_events(out));
+            }
+            // Push right-choice first so left-biased orders pop first.
+            if j < nr {
+                let mut p = prefix.clone();
+                p.push(1);
+                self.stack.push((p, i, j + 1));
+            }
+            if i < nl {
+                let mut p = prefix;
+                p.push(0);
+                self.stack.push((p, i + 1, j));
+            }
+        }
+        None
+    }
+}
+
+/// Collects every order-preserving merge of `left` and `right`.
+///
+/// # Examples
+///
+/// ```
+/// use csp_trace::{interleave_pair, Trace, Value};
+///
+/// let l = Trace::parse_like([("a", Value::nat(1))]);
+/// let r = Trace::parse_like([("b", Value::nat(2))]);
+/// let merges = interleave_pair(&l, &r);
+/// assert_eq!(merges.len(), 2); // <a.1,b.2> and <b.2,a.1>
+/// ```
+pub fn interleave_pair(left: &Trace, right: &Trace) -> Vec<Trace> {
+    Interleavings::new(left.clone(), right.clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Value;
+
+    fn tr(pairs: &[(&'static str, u32)]) -> Trace {
+        Trace::parse_like(pairs.iter().map(|&(c, n)| (c, Value::nat(n))))
+    }
+
+    #[test]
+    fn interleave_with_empty_is_identity() {
+        let t = tr(&[("a", 1), ("b", 2)]);
+        assert_eq!(interleave_pair(&t, &Trace::empty()), vec![t.clone()]);
+        assert_eq!(interleave_pair(&Trace::empty(), &t), vec![t]);
+    }
+
+    #[test]
+    fn counts_are_binomial() {
+        let l = tr(&[("a", 1), ("a", 2)]);
+        let r = tr(&[("b", 1), ("b", 2), ("b", 3)]);
+        // C(5, 2) = 10.
+        assert_eq!(interleave_pair(&l, &r).len(), 10);
+    }
+
+    #[test]
+    fn merges_preserve_relative_order() {
+        let l = tr(&[("a", 1), ("a", 2)]);
+        let r = tr(&[("b", 9)]);
+        for m in interleave_pair(&l, &r) {
+            let positions: Vec<usize> = m
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.channel().base() == "a")
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(positions.len(), 2);
+            assert!(positions[0] < positions[1]);
+            // a.1 before a.2:
+            assert_eq!(m.at(positions[0] + 1).unwrap().value(), &Value::nat(1));
+        }
+    }
+
+    #[test]
+    fn all_merges_distinct_for_distinct_events() {
+        let l = tr(&[("a", 1)]);
+        let r = tr(&[("b", 2), ("c", 3)]);
+        let ms = interleave_pair(&l, &r);
+        assert_eq!(ms.len(), 3);
+        let mut sorted = ms.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+    }
+
+    #[test]
+    fn left_biased_first_result() {
+        let l = tr(&[("a", 1)]);
+        let r = tr(&[("b", 2)]);
+        let first = Interleavings::new(l, r).next().unwrap();
+        assert_eq!(first.to_string(), "<a.1, b.2>");
+    }
+}

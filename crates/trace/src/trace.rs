@@ -1,0 +1,340 @@
+//! Traces of process behaviour.
+//!
+//! §1.0: "The sequence of communications in which a process engages up to
+//! some moment in time can be recorded as a trace of the behaviour of that
+//! process." A [`Trace`] is a finite sequence of [`Event`]s together with
+//! the trace-specific operators of §3.1/§3.3: the restriction `s\C`
+//! (omitting all communications on channels of `C`), the projection
+//! `ch(s)(c)` of the messages passed on one channel, and the full history
+//! map `ch(s)`.
+
+use std::fmt;
+
+use crate::{Channel, ChannelSet, Event, History, Seq, Value};
+
+/// A finite trace `⟨c₁.m₁, …, cₙ.mₙ⟩` of communications.
+///
+/// # Examples
+///
+/// The example trace of §3.3:
+///
+/// ```
+/// use csp_trace::{Channel, Trace, Value};
+///
+/// let t = Trace::parse_like([
+///     ("input", Value::nat(27)),
+///     ("wire", Value::nat(27)),
+///     ("input", Value::nat(0)),
+///     ("wire", Value::nat(0)),
+///     ("input", Value::nat(3)),
+/// ]);
+/// let h = t.history();
+/// assert_eq!(h.on(&Channel::simple("input")).to_string(), "<27, 0, 3>");
+/// assert_eq!(h.on(&Channel::simple("wire")).to_string(), "<27, 0>");
+/// assert_eq!(h.on(&Channel::simple("output")).to_string(), "<>");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Trace {
+    events: Seq<Event>,
+}
+
+impl Trace {
+    /// The empty trace `<>` — a possible behaviour of every process.
+    pub fn empty() -> Self {
+        Trace { events: Seq::empty() }
+    }
+
+    /// Builds a trace from any sequence of events.
+    pub fn from_events<I: IntoIterator<Item = Event>>(events: I) -> Self {
+        Trace {
+            events: events.into_iter().collect(),
+        }
+    }
+
+    /// Convenience constructor from `(channel-name, value)` pairs on
+    /// unsubscripted channels, mirroring the paper's `⟨input.3, wire.3⟩`
+    /// notation.
+    pub fn parse_like<'a, I: IntoIterator<Item = (&'a str, Value)>>(pairs: I) -> Self {
+        Trace::from_events(
+            pairs
+                .into_iter()
+                .map(|(c, v)| Event::new(Channel::simple(c), v)),
+        )
+    }
+
+    /// `#s` — the number of communications recorded.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if this is the empty trace.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The `i`th communication, **1-based** as in the paper.
+    pub fn at(&self, i: usize) -> Option<&Event> {
+        self.events.at(i)
+    }
+
+    /// The first communication, if any.
+    pub fn head(&self) -> Option<&Event> {
+        self.events.head()
+    }
+
+    /// The trace after its first communication; `None` on `<>`.
+    pub fn tail(&self) -> Option<Trace> {
+        self.events.tail().map(|events| Trace { events })
+    }
+
+    /// The last communication, if any.
+    pub fn last(&self) -> Option<&Event> {
+        self.events.last()
+    }
+
+    /// Iterates over the events front to back.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.events.iter()
+    }
+
+    /// A view of the underlying events.
+    pub fn events(&self) -> &[Event] {
+        self.events.as_slice()
+    }
+
+    /// The underlying generic sequence.
+    pub fn as_seq(&self) -> &Seq<Event> {
+        &self.events
+    }
+
+    /// `e^s` — the trace with `e` prepended (the shape produced by the
+    /// prefix operator `(a → P)` of §3.1).
+    pub fn cons(&self, e: Event) -> Trace {
+        Trace {
+            events: self.events.cons(e),
+        }
+    }
+
+    /// The trace with `e` appended — how a recorder extends a trace as a
+    /// run proceeds.
+    pub fn snoc(&self, e: Event) -> Trace {
+        Trace {
+            events: self.events.snoc(e),
+        }
+    }
+
+    /// Concatenation `s⌢t`.
+    pub fn concat(&self, other: &Trace) -> Trace {
+        Trace {
+            events: self.events.concat(&other.events),
+        }
+    }
+
+    /// The prefix order on traces: `s ≤ t ⇔ ∃u. s⌢u = t`.
+    pub fn is_prefix_of(&self, other: &Trace) -> bool {
+        self.events.is_prefix_of(&other.events)
+    }
+
+    /// The prefix consisting of the first `n` events.
+    pub fn take(&self, n: usize) -> Trace {
+        Trace {
+            events: self.events.take(n),
+        }
+    }
+
+    /// All prefixes, shortest first (`#s + 1` of them).
+    pub fn prefixes(&self) -> Vec<Trace> {
+        self.events
+            .prefixes()
+            .into_iter()
+            .map(|events| Trace { events })
+            .collect()
+    }
+
+    /// `s\C` — §3.1: "the sequence formed from `s` by omitting all
+    /// communications along any of the channels of `C`".
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use csp_trace::{ChannelSet, Trace, Value};
+    ///
+    /// let s = Trace::parse_like([
+    ///     ("input", Value::nat(1)),
+    ///     ("wire", Value::nat(1)),
+    ///     ("output", Value::nat(1)),
+    /// ]);
+    /// let hidden: ChannelSet = ["wire"].into_iter().collect();
+    /// assert_eq!(s.restrict(&hidden).to_string(), "<input.1, output.1>");
+    /// ```
+    pub fn restrict(&self, hidden: &ChannelSet) -> Trace {
+        Trace {
+            events: self.events.filter(|e| !hidden.contains(e.channel())),
+        }
+    }
+
+    /// The complement of [`restrict`](Self::restrict): keeps only the
+    /// communications on channels of `kept`. `s\X` in the parallel-composition
+    /// definition of §3.1 is `project` onto the *other* side's channels; we
+    /// provide both directions because both readings occur in the paper.
+    pub fn project(&self, kept: &ChannelSet) -> Trace {
+        Trace {
+            events: self.events.filter(|e| kept.contains(e.channel())),
+        }
+    }
+
+    /// `ch(s)(c)` — the sequence of messages whose communication along `c`
+    /// is recorded in `s` (§3.3).
+    pub fn messages_on(&self, c: &Channel) -> Seq<Value> {
+        self.events
+            .iter()
+            .filter(|e| e.channel() == c)
+            .map(|e| e.value().clone())
+            .collect()
+    }
+
+    /// `ch(s)` — the full channel-history map of §3.3.
+    pub fn history(&self) -> History {
+        History::of_trace(self)
+    }
+
+    /// The set of channels on which this trace communicates.
+    pub fn channels(&self) -> ChannelSet {
+        self.events.iter().map(|e| e.channel().clone()).collect()
+    }
+
+    /// True if every communication in the trace is on a channel of `alphabet`.
+    pub fn is_over(&self, alphabet: &ChannelSet) -> bool {
+        self.events.iter().all(|e| alphabet.contains(e.channel()))
+    }
+}
+
+impl FromIterator<Event> for Trace {
+    fn from_iter<I: IntoIterator<Item = Event>>(iter: I) -> Self {
+        Trace::from_events(iter)
+    }
+}
+
+impl IntoIterator for Trace {
+    type Item = Event;
+    type IntoIter = std::vec::IntoIter<Event>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.into_vec().into_iter()
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.events.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nat(n: u32) -> Value {
+        Value::nat(n)
+    }
+
+    /// Traces (i)–(iii) of §1.0 for the copier process.
+    #[test]
+    fn copier_traces_display_as_in_paper() {
+        assert_eq!(Trace::empty().to_string(), "<>");
+        let t2 = Trace::parse_like([("input", nat(3)), ("wire", nat(3))]);
+        assert_eq!(t2.to_string(), "<input.3, wire.3>");
+        let t3 = Trace::parse_like([
+            ("input", nat(27)),
+            ("wire", nat(27)),
+            ("input", nat(0)),
+            ("wire", nat(0)),
+            ("input", nat(3)),
+        ]);
+        assert_eq!(t3.len(), 5);
+        assert_eq!(
+            t3.to_string(),
+            "<input.27, wire.27, input.0, wire.0, input.3>"
+        );
+    }
+
+    #[test]
+    fn restriction_removes_hidden_channels() {
+        let s = Trace::parse_like([
+            ("input", nat(1)),
+            ("wire", nat(1)),
+            ("wire", nat(2)),
+            ("output", nat(1)),
+        ]);
+        let c: ChannelSet = ["wire"].into_iter().collect();
+        assert_eq!(s.restrict(&c).to_string(), "<input.1, output.1>");
+        // Restricting by nothing is the identity.
+        assert_eq!(s.restrict(&ChannelSet::new()), s);
+        // Projection is the complementary filter.
+        assert_eq!(s.project(&c).to_string(), "<wire.1, wire.2>");
+    }
+
+    #[test]
+    fn restriction_distributes_over_concat() {
+        let a = Trace::parse_like([("x", nat(1)), ("h", nat(9))]);
+        let b = Trace::parse_like([("h", nat(8)), ("y", nat(2))]);
+        let c: ChannelSet = ["h"].into_iter().collect();
+        assert_eq!(
+            a.concat(&b).restrict(&c),
+            a.restrict(&c).concat(&b.restrict(&c))
+        );
+    }
+
+    #[test]
+    fn messages_on_extracts_per_channel_history() {
+        let t = Trace::parse_like([
+            ("input", nat(27)),
+            ("wire", nat(27)),
+            ("input", nat(0)),
+        ]);
+        assert_eq!(
+            t.messages_on(&Channel::simple("input")).to_string(),
+            "<27, 0>"
+        );
+        assert_eq!(t.messages_on(&Channel::simple("wire")).to_string(), "<27>");
+        assert!(t.messages_on(&Channel::simple("nowhere")).is_empty());
+    }
+
+    #[test]
+    fn prefixes_are_all_prefixes() {
+        let t = Trace::parse_like([("a", nat(1)), ("b", nat(2))]);
+        let ps = t.prefixes();
+        assert_eq!(ps.len(), 3);
+        assert!(ps.iter().all(|p| p.is_prefix_of(&t)));
+        assert_eq!(ps[0], Trace::empty());
+        assert_eq!(ps[2], t);
+    }
+
+    #[test]
+    fn channels_and_is_over() {
+        let t = Trace::parse_like([("a", nat(1)), ("b", nat(2)), ("a", nat(3))]);
+        let cs = t.channels();
+        assert_eq!(cs.len(), 2);
+        assert!(t.is_over(&cs));
+        let just_a: ChannelSet = ["a"].into_iter().collect();
+        assert!(!t.is_over(&just_a));
+        assert!(Trace::empty().is_over(&ChannelSet::new()));
+    }
+
+    #[test]
+    fn cons_and_snoc() {
+        let t = Trace::parse_like([("b", nat(2))]);
+        let e = Event::new(Channel::simple("a"), nat(1));
+        assert_eq!(t.cons(e.clone()).to_string(), "<a.1, b.2>");
+        assert_eq!(t.snoc(e).to_string(), "<b.2, a.1>");
+    }
+
+    #[test]
+    fn one_based_event_indexing() {
+        let t = Trace::parse_like([("a", nat(1)), ("b", nat(2))]);
+        assert_eq!(t.at(1).unwrap().to_string(), "a.1");
+        assert_eq!(t.at(2).unwrap().to_string(), "b.2");
+        assert!(t.at(0).is_none());
+        assert!(t.at(3).is_none());
+    }
+}

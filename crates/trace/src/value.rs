@@ -1,0 +1,212 @@
+//! Message values.
+//!
+//! The paper deliberately leaves the type system open (§1.1 note); message
+//! values range over naturals (`NAT`), signal atoms such as `ACK`/`NACK`,
+//! and in principle structured data. [`Value`] covers all of these with a
+//! total order so values can live in ordered sets and be enumerated
+//! deterministically.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A message value communicated along a channel.
+///
+/// Values are cheap to clone (`Sym` shares its backing string) and totally
+/// ordered so that trace sets and message sets can be stored in ordered
+/// collections with deterministic iteration order.
+///
+/// # Examples
+///
+/// ```
+/// use csp_trace::Value;
+///
+/// let three = Value::nat(3);
+/// let ack = Value::sym("ACK");
+/// assert_eq!(three.to_string(), "3");
+/// assert_eq!(ack.to_string(), "ACK");
+/// assert!(three.as_int().is_some());
+/// assert!(ack.as_int().is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// An integer. The paper's examples use `NAT`, but intermediate
+    /// arithmetic (e.g. `3 × i + j`) is naturally integer-valued.
+    Int(i64),
+    /// A boolean, used by derived expressions in assertions.
+    Bool(bool),
+    /// A signal atom such as `ACK` or `NACK` (§1.1 example (4)).
+    Sym(Arc<str>),
+    /// A tuple of values, for structured messages.
+    Tuple(Vec<Value>),
+}
+
+impl Value {
+    /// Creates a natural-number value.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use csp_trace::Value;
+    /// assert_eq!(Value::nat(7), Value::Int(7));
+    /// ```
+    pub fn nat(n: u32) -> Self {
+        Value::Int(i64::from(n))
+    }
+
+    /// Creates a signal atom such as `ACK`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use csp_trace::Value;
+    /// let a = Value::sym("ACK");
+    /// let b = Value::sym("ACK");
+    /// assert_eq!(a, b);
+    /// ```
+    pub fn sym(name: &str) -> Self {
+        Value::Sym(Arc::from(name))
+    }
+
+    /// Returns the integer content, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean content, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the symbol name, if this is a [`Value::Sym`].
+    pub fn as_sym(&self) -> Option<&str> {
+        match self {
+            Value::Sym(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// True if the value is a non-negative integer, i.e. an element of the
+    /// paper's `NAT`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use csp_trace::Value;
+    /// assert!(Value::nat(0).is_nat());
+    /// assert!(!Value::Int(-1).is_nat());
+    /// assert!(!Value::sym("ACK").is_nat());
+    /// ```
+    pub fn is_nat(&self) -> bool {
+        matches!(self, Value::Int(n) if *n >= 0)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Int(n)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::sym(s)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(n) => write!(f, "{n}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Sym(s) => write!(f, "{s}"),
+            Value::Tuple(vs) => {
+                write!(f, "(")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nat_constructor_yields_int() {
+        assert_eq!(Value::nat(3), Value::Int(3));
+        assert_eq!(Value::nat(0), Value::Int(0));
+    }
+
+    #[test]
+    fn sym_equality_is_structural() {
+        assert_eq!(Value::sym("ACK"), Value::sym("ACK"));
+        assert_ne!(Value::sym("ACK"), Value::sym("NACK"));
+    }
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::sym("x").as_int(), None);
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(1).as_bool(), None);
+        assert_eq!(Value::sym("ACK").as_sym(), Some("ACK"));
+        assert_eq!(Value::Int(1).as_sym(), None);
+    }
+
+    #[test]
+    fn is_nat_excludes_negatives_and_symbols() {
+        assert!(Value::Int(0).is_nat());
+        assert!(Value::Int(41).is_nat());
+        assert!(!Value::Int(-3).is_nat());
+        assert!(!Value::Bool(true).is_nat());
+        assert!(!Value::sym("NACK").is_nat());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Int(-2).to_string(), "-2");
+        assert_eq!(Value::Bool(false).to_string(), "false");
+        assert_eq!(Value::sym("ACK").to_string(), "ACK");
+        assert_eq!(
+            Value::Tuple(vec![Value::Int(1), Value::sym("a")]).to_string(),
+            "(1, a)"
+        );
+    }
+
+    #[test]
+    fn ordering_is_total_and_deterministic() {
+        let mut vs = vec![Value::sym("b"), Value::Int(2), Value::Int(1), Value::sym("a")];
+        vs.sort();
+        // All ints sort before all syms (variant order), ints numerically,
+        // syms lexicographically.
+        assert_eq!(
+            vs,
+            vec![Value::Int(1), Value::Int(2), Value::sym("a"), Value::sym("b")]
+        );
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(9i64), Value::Int(9));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("ACK"), Value::sym("ACK"));
+    }
+}

@@ -1,0 +1,491 @@
+//! Empirical soundness validation of the inference rules — experiment E6.
+//!
+//! §3.4 proves each rule of §2.1 as a theorem about the prefix-closure
+//! model. This module validates the same statements *empirically*: for
+//! each rule, generate seeded random instances, test the rule's premises
+//! by bounded model checking, and whenever they hold, test the
+//! conclusion. A sound rule never shows a premise-holding,
+//! conclusion-failing instance; any such instance is reported as a
+//! violation (and would indicate a bug in the semantics, the checker, or
+//! the paper's theorem — the tests assert there are none).
+
+use csp_assert::{
+    decide_valid, subst_chan_cons, subst_empty, Assertion, DecideConfig, EvalCtx,
+    FuncTable, Term,
+};
+use csp_lang::{
+    channel_alphabet, ChanRef, Definition, Definitions, Env, Expr, Process, SetExpr,
+};
+use csp_semantics::{fixpoint, Universe};
+use csp_trace::TraceSet;
+
+use crate::gen::InstanceGen;
+use crate::{SatChecker, SatResult};
+
+/// Outcome of validating one rule on a population of instances.
+#[derive(Debug, Clone)]
+pub struct RuleReport {
+    /// The rule's paper name.
+    pub rule: &'static str,
+    /// Instances generated.
+    pub instances: usize,
+    /// Instances whose premises all held (the informative cases).
+    pub premises_held: usize,
+    /// Premise-holding instances whose conclusion failed — soundness
+    /// violations. Always empty for a correct implementation.
+    pub violations: Vec<String>,
+}
+
+impl RuleReport {
+    /// True when no violation was observed.
+    pub fn sound(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Validates all ten rules with `instances` instances each.
+///
+/// # Errors
+///
+/// Propagates assertion-evaluation failures (which would themselves be
+/// implementation bugs, since generated instances are well-formed).
+pub fn validate_all_rules(
+    seed: u64,
+    instances: usize,
+) -> Result<Vec<RuleReport>, csp_assert::AssertError> {
+    Ok(vec![
+        validate_triviality(seed, instances)?,
+        validate_consequence(seed.wrapping_add(1), instances)?,
+        validate_conjunction(seed.wrapping_add(2), instances)?,
+        validate_emptiness(seed.wrapping_add(3), instances)?,
+        validate_output(seed.wrapping_add(4), instances)?,
+        validate_input(seed.wrapping_add(5), instances)?,
+        validate_alternative(seed.wrapping_add(6), instances)?,
+        validate_parallelism(seed.wrapping_add(7), instances)?,
+        validate_hiding(seed.wrapping_add(8), instances)?,
+        validate_recursion(seed.wrapping_add(9), instances)?,
+    ])
+}
+
+const DEPTH: usize = 4;
+
+fn universe() -> Universe {
+    Universe::new(1)
+}
+
+fn holds(
+    defs: &Definitions,
+    p: &Process,
+    r: &Assertion,
+) -> Result<bool, csp_assert::AssertError> {
+    let uni = universe();
+    let checker = SatChecker::new(defs, &uni);
+    Ok(matches!(checker.check(p, r, DEPTH)?, SatResult::Holds { .. }))
+}
+
+fn valid(r: &Assertion) -> bool {
+    decide_valid(
+        r,
+        &universe(),
+        &FuncTable::with_builtins(),
+        DecideConfig {
+            max_history_len: 2,
+            ..DecideConfig::default()
+        },
+    )
+    .is_valid()
+}
+
+/// Rule 1 (triviality): a valid `T` is satisfied by every process.
+fn validate_triviality(
+    seed: u64,
+    instances: usize,
+) -> Result<RuleReport, csp_assert::AssertError> {
+    let mut g = InstanceGen::new(seed);
+    let defs = Definitions::new();
+    let mut report = new_report("triviality (1)", instances);
+    for _ in 0..instances {
+        let p = g.process(3);
+        let t = g.assertion();
+        if !valid(&t) {
+            continue; // premise fails; uninformative
+        }
+        report.premises_held += 1;
+        if !holds(&defs, &p, &t)? {
+            report.violations.push(format!("{p} !sat {t}"));
+        }
+    }
+    Ok(report)
+}
+
+/// Rule 2 (consequence): `P sat R` and `R ⇒ S` valid give `P sat S`.
+fn validate_consequence(
+    seed: u64,
+    instances: usize,
+) -> Result<RuleReport, csp_assert::AssertError> {
+    let mut g = InstanceGen::new(seed);
+    let defs = Definitions::new();
+    let mut report = new_report("consequence (2)", instances);
+    for _ in 0..instances {
+        let p = g.process(3);
+        let r = g.assertion();
+        // Catalogue weakening: a prefix relation implies the length
+        // relation; any R implies R; any R implies R or-extended.
+        let s = match &r {
+            Assertion::Prefix(a, b) => Assertion::Cmp(
+                csp_assert::CmpOp::Le,
+                Term::length(a.clone()),
+                Term::length(b.clone()),
+            ),
+            other => other.clone().or(g.assertion()),
+        };
+        if !valid(&r.clone().implies(s.clone())) || !holds(&defs, &p, &r)? {
+            continue;
+        }
+        report.premises_held += 1;
+        if !holds(&defs, &p, &s)? {
+            report.violations.push(format!("{p}: {r} but not {s}"));
+        }
+    }
+    Ok(report)
+}
+
+/// Rule 3 (conjunction).
+fn validate_conjunction(
+    seed: u64,
+    instances: usize,
+) -> Result<RuleReport, csp_assert::AssertError> {
+    let mut g = InstanceGen::new(seed);
+    let defs = Definitions::new();
+    let mut report = new_report("conjunction (3)", instances);
+    for _ in 0..instances {
+        let p = g.process(3);
+        let r = g.assertion();
+        let s = g.assertion();
+        if !holds(&defs, &p, &r)? || !holds(&defs, &p, &s)? {
+            continue;
+        }
+        report.premises_held += 1;
+        if !holds(&defs, &p, &r.clone().and(s.clone()))? {
+            report.violations.push(format!("{p}: conjunction failed"));
+        }
+    }
+    Ok(report)
+}
+
+/// Rule 4 (emptiness): `R_<>` valid gives `STOP sat R`.
+fn validate_emptiness(
+    seed: u64,
+    instances: usize,
+) -> Result<RuleReport, csp_assert::AssertError> {
+    let mut g = InstanceGen::new(seed);
+    let defs = Definitions::new();
+    let mut report = new_report("emptiness (4)", instances);
+    for _ in 0..instances {
+        let r = g.assertion();
+        if !valid(&subst_empty(&r)) {
+            continue;
+        }
+        report.premises_held += 1;
+        if !holds(&defs, &Process::Stop, &r)? {
+            report.violations.push(format!("STOP !sat {r}"));
+        }
+    }
+    Ok(report)
+}
+
+/// Rule 5 (output): `R_<>` valid and `P sat R^c_{e^c}` give
+/// `(c!e → P) sat R`.
+fn validate_output(
+    seed: u64,
+    instances: usize,
+) -> Result<RuleReport, csp_assert::AssertError> {
+    let mut g = InstanceGen::new(seed);
+    let defs = Definitions::new();
+    let mut report = new_report("output (5)", instances);
+    for _ in 0..instances {
+        let p = g.process(2);
+        let r = g.assertion();
+        let c = ChanRef::simple(g.channel());
+        let e = Expr::int(g.value());
+        let r_sub = subst_chan_cons(&r, &c, &Term::Expr(e.clone()));
+        if !valid(&subst_empty(&r)) || !holds(&defs, &p, &r_sub)? {
+            continue;
+        }
+        report.premises_held += 1;
+        let out = Process::Output {
+            chan: c,
+            msg: e,
+            then: Box::new(p.clone()),
+        };
+        if !holds(&defs, &out, &r)? {
+            report.violations.push(format!("{out} !sat {r}"));
+        }
+    }
+    Ok(report)
+}
+
+/// Rule 6 (input): `R_<>` valid and `∀v∈M. P^x_v sat R^c_{v^c}` give
+/// `(c?x:M → P) sat R`. Generated continuations do not use the bound
+/// variable, so `P^x_v = P`; the per-value premise still varies through
+/// the substituted assertion.
+fn validate_input(
+    seed: u64,
+    instances: usize,
+) -> Result<RuleReport, csp_assert::AssertError> {
+    let mut g = InstanceGen::new(seed);
+    let defs = Definitions::new();
+    let uni = universe();
+    let mut report = new_report("input (6)", instances);
+    for _ in 0..instances {
+        let p = g.process(2);
+        let r = g.assertion();
+        let c = ChanRef::simple(g.channel());
+        let set = SetExpr::range(0, 1);
+        if !valid(&subst_empty(&r)) {
+            continue;
+        }
+        let members = uni
+            .enumerate(&set.eval(&Env::new()).expect("closed set"))
+            .expect("finite set");
+        let mut all_hold = true;
+        for v in &members {
+            let r_sub = subst_chan_cons(
+                &r,
+                &c,
+                &Term::Expr(Expr::Const(v.clone())),
+            );
+            if !holds(&defs, &p, &r_sub)? {
+                all_hold = false;
+                break;
+            }
+        }
+        if !all_hold {
+            continue;
+        }
+        report.premises_held += 1;
+        let inp = Process::Input {
+            chan: c,
+            var: "fresh_x".to_string(),
+            set,
+            then: Box::new(p.clone()),
+        };
+        if !holds(&defs, &inp, &r)? {
+            report.violations.push(format!("{inp} !sat {r}"));
+        }
+    }
+    Ok(report)
+}
+
+/// Rule 7 (alternative).
+fn validate_alternative(
+    seed: u64,
+    instances: usize,
+) -> Result<RuleReport, csp_assert::AssertError> {
+    let mut g = InstanceGen::new(seed);
+    let defs = Definitions::new();
+    let mut report = new_report("alternative (7)", instances);
+    for _ in 0..instances {
+        let p = g.process(3);
+        let q = g.process(3);
+        let r = g.assertion();
+        if !holds(&defs, &p, &r)? || !holds(&defs, &q, &r)? {
+            continue;
+        }
+        report.premises_held += 1;
+        if !holds(&defs, &p.clone().or(q.clone()), &r)? {
+            report.violations.push(format!("({p} | {q}) !sat {r}"));
+        }
+    }
+    Ok(report)
+}
+
+/// Rule 8 (parallelism): with `R` over `P`'s channels and `S` over
+/// `Q`'s, `P sat R` and `Q sat S` give `(P ‖ Q) sat (R & S)`.
+fn validate_parallelism(
+    seed: u64,
+    instances: usize,
+) -> Result<RuleReport, csp_assert::AssertError> {
+    let mut g = InstanceGen::new(seed);
+    let defs = Definitions::new();
+    let mut report = new_report("parallelism (8)", instances);
+    for _ in 0..instances {
+        let p = g.process(3);
+        let q = g.process(3);
+        let r = g.assertion();
+        let s = g.assertion();
+        // Occurrence side conditions.
+        let (Ok(x), Ok(y)) = (
+            channel_alphabet(&p, &defs, &Env::new()),
+            channel_alphabet(&q, &defs, &Env::new()),
+        ) else {
+            continue;
+        };
+        let within = |a: &Assertion, cs: &csp_trace::ChannelSet| {
+            a.channels().iter().all(|c| {
+                c.resolve(&Env::new())
+                    .map(|ch| cs.contains(&ch))
+                    .unwrap_or(false)
+            })
+        };
+        if !within(&r, &x) || !within(&s, &y) {
+            continue;
+        }
+        if !holds(&defs, &p, &r)? || !holds(&defs, &q, &s)? {
+            continue;
+        }
+        report.premises_held += 1;
+        let par = p.clone().par(q.clone());
+        if !holds(&defs, &par, &r.clone().and(s.clone()))? {
+            report
+                .violations
+                .push(format!("({p} || {q}) !sat ({r} and {s})"));
+        }
+    }
+    Ok(report)
+}
+
+/// Rule 9 (hiding): if `R` avoids the concealed channels, `P sat R`
+/// gives `(chan L; P) sat R`.
+fn validate_hiding(
+    seed: u64,
+    instances: usize,
+) -> Result<RuleReport, csp_assert::AssertError> {
+    let mut g = InstanceGen::new(seed);
+    let defs = Definitions::new();
+    let mut report = new_report("hiding (9)", instances);
+    for _ in 0..instances {
+        let p = g.process(3);
+        let r = g.assertion();
+        let hidden = g.channel();
+        if r.channel_bases().contains(hidden) {
+            continue; // side condition fails
+        }
+        if !holds(&defs, &p, &r)? {
+            continue;
+        }
+        report.premises_held += 1;
+        let hid = p.clone().hide(vec![ChanRef::simple(hidden)]);
+        if !holds(&defs, &hid, &r)? {
+            report
+                .violations
+                .push(format!("(chan {hidden}; {p}) !sat {r}"));
+        }
+    }
+    Ok(report)
+}
+
+/// Rule 10 (recursion), validated through the fixpoint construction of
+/// §3.3: for a random guarded equation `p ≜ P`, if every iterate `a_i`
+/// satisfies `R` (with `a₀ ⊨ R` being the `R_<>` premise), the limit
+/// must; additionally the chain must be increasing (`a_i ⊆ a_{i+1}`).
+fn validate_recursion(
+    seed: u64,
+    instances: usize,
+) -> Result<RuleReport, csp_assert::AssertError> {
+    let mut g = InstanceGen::new(seed);
+    let mut report = new_report("recursion (10)", instances);
+    let uni = universe();
+    for _ in 0..instances {
+        // p = <prefix chain> -> p, guarded by construction.
+        let chain_len = 1 + (g.value() as usize % 2) + 1;
+        let mut body = Process::call("p");
+        for _ in 0..chain_len {
+            body = Process::output(g.channel(), Expr::int(g.value()), body);
+        }
+        let mut defs = Definitions::new();
+        defs.define(Definition::plain("p", body));
+        let r = g.assertion();
+
+        let run = fixpoint(&defs, &uni, &Env::new(), DEPTH, 12)
+            .expect("fixpoint on closed defs");
+        // Chain property.
+        for w in run.iterates.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            for (k, t) in a {
+                if !t.is_subset(b.get(k).expect("same keys")) {
+                    report
+                        .violations
+                        .push(format!("iterate chain not increasing for {k:?}"));
+                }
+            }
+        }
+        // If all iterates satisfy R, the limit must.
+        let key = ("p".to_string(), Vec::new());
+        let all_sat = run
+            .iterates
+            .iter()
+            .map(|a| traceset_sat(a.get(&key).expect("p present"), &r, &uni))
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .all(|b| b);
+        if !all_sat {
+            continue;
+        }
+        report.premises_held += 1;
+        if !traceset_sat(run.limit().get(&key).expect("p present"), &r, &uni)? {
+            report.violations.push(format!("limit of p violates {r}"));
+        }
+    }
+    Ok(report)
+}
+
+/// Evaluates `sat` directly over a concrete trace set.
+pub fn traceset_sat(
+    ts: &TraceSet,
+    r: &Assertion,
+    universe: &Universe,
+) -> Result<bool, csp_assert::AssertError> {
+    let env = Env::new();
+    let funcs = FuncTable::with_builtins();
+    for t in ts.iter() {
+        let h = t.history();
+        let ctx = EvalCtx::new(&env, &h, &funcs, universe);
+        if !ctx.assertion(r)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+fn new_report(rule: &'static str, instances: usize) -> RuleReport {
+    RuleReport {
+        rule,
+        instances,
+        premises_held: 0,
+        violations: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_rules_empirically_sound() {
+        let reports = validate_all_rules(2026, 40).expect("validation runs");
+        assert_eq!(reports.len(), 10);
+        for r in &reports {
+            assert!(
+                r.sound(),
+                "rule {} violated on {} instance(s): {:?}",
+                r.rule,
+                r.violations.len(),
+                r.violations.first()
+            );
+        }
+        // The experiment is only meaningful if premises actually held on
+        // a reasonable share of instances.
+        let informative: usize = reports.iter().map(|r| r.premises_held).sum();
+        assert!(informative >= 40, "only {informative} informative cases");
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let a = validate_all_rules(7, 10).unwrap();
+        let b = validate_all_rules(7, 10).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.premises_held, y.premises_held);
+        }
+    }
+}

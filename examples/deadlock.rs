@@ -1,0 +1,78 @@
+//! §4's blind spot, made concrete: the trace model cannot express
+//! deadlock, but the operational tools built beside it can find one.
+//!
+//! This example demonstrates:
+//! 1. a network that *jams* (mismatched rendezvous) — found by bounded
+//!    deadlock search with a shortest witness trace;
+//! 2. the §4 identity: `STOP | P` and `P` have identical trace sets, so
+//!    no assertion (and no trace-based tool) can tell them apart;
+//! 3. that `STOP` satisfies every satisfiable invariant — the reason the
+//!    paper's title says *partial* correctness.
+//!
+//! Run with: `cargo run --example deadlock`
+
+use csp::prelude::*;
+use csp::{compare, timeline};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- 1. A jammable network --------------------------------------
+    let mut wb = Workbench::new().with_universe(Universe::new(9));
+    wb.define_source(
+        "-- the peers agree on the first exchange but not the second
+         left  = w!1 -> w!2 -> STOP
+         right = w?x:{1} -> w?y:{9} -> STOP
+         net   = left || right",
+    )?;
+    let report = wb.deadlocks("net", 4)?;
+    println!("deadlock search over `net` ({} states explored):", report.states_explored);
+    for d in &report.deadlocks {
+        println!(
+            "  {} after {} — stuck at `{}`",
+            if d.terminated { "terminates" } else { "DEADLOCKS" },
+            d.trace,
+            d.state
+        );
+        println!("{}", timeline(&d.trace));
+    }
+    assert!(!report.deadlock_free());
+
+    // The runtime hits the same wall:
+    let run = wb.run("net", RunOptions::default())?;
+    println!(
+        "executor: {} event(s) then deadlocked = {}\n",
+        run.steps, run.deadlocked
+    );
+    assert!(run.deadlocked);
+
+    // ---- 2. The §4 identity -----------------------------------------
+    let mut pipe = Workbench::new().with_universe(Universe::new(1));
+    pipe.define_source(csp::examples::PIPELINE_SRC)?;
+    let plain = pipe.denote("copier", 4)?;
+    let mut with_stop = Workbench::new().with_universe(Universe::new(1));
+    with_stop.define_source(csp::examples::PIPELINE_SRC)?;
+    with_stop.define_source("maybe = STOP | copier")?;
+    let chosen = with_stop.denote("maybe", 4)?;
+    println!(
+        "§4 identity: traces(STOP | copier) == traces(copier)?  {}",
+        compare(&plain, &chosen).is_none()
+    );
+    assert!(compare(&plain, &chosen).is_none());
+
+    // ---- 3. STOP satisfies everything satisfiable --------------------
+    let mut idle = Workbench::new();
+    idle.define_source("donothing = STOP")?;
+    idle.declare_channels(["input", "output"]);
+    let verdict = idle.check_sat("donothing", "output <= input", 4)?;
+    println!(
+        "STOP sat output <= input?  {}   (hence: *partial* correctness only)",
+        verdict.holds()
+    );
+    assert!(verdict.holds());
+
+    println!(
+        "\nthe deadlock finder sees what the trace model provably cannot —\n\
+         the §4 gap this reproduction keeps faithfully open in the theory\n\
+         and closes operationally in the tooling."
+    );
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Quickstart: define a network in the paper's notation, model-check an
+//! invariant, prove it with the paper's inference rules, execute the
+//! network on real threads, and confirm the run conforms.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use csp::prelude::*;
+use csp::{render_report, STerm};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Define the copier pipeline of §1.3(1) in the paper's notation.
+    let mut wb = Workbench::new().with_universe(Universe::new(2));
+    wb.define_source(
+        "copier = input?x:NAT -> wire!x -> copier
+         recopier = wire?y:NAT -> output!y -> recopier
+         pipeline = chan wire; (copier || recopier)",
+    )?;
+    println!("definitions:\n{}", wb.definitions());
+
+    // 2. Enumerate a few traces of the denotation (§3).
+    let traces = wb.traces("pipeline", 4)?;
+    println!("pipeline has {} traces to depth 4, e.g.:", traces.len());
+    for t in traces.maximal_traces().iter().take(3) {
+        println!("  {t}");
+    }
+
+    // 3. Model-check the §2 invariant `output ≤ input`.
+    match wb.check_sat("pipeline", "output <= input", 4)? {
+        SatResult::Holds { traces_checked, .. } => {
+            println!("\nmodel check: output <= input holds on {traces_checked} traces");
+        }
+        SatResult::Counterexample { trace } => {
+            println!("\nmodel check FAILED: {trace}");
+            return Ok(());
+        }
+    }
+
+    // 4. Prove `copier sat wire ≤ input` with the rules of §2.1
+    //    (recursion → input → output → consequence → hypothesis).
+    let inv = Assertion::prefix(STerm::chan("wire"), STerm::chan("input"));
+    let goal = Judgement::sat(Process::call("copier"), inv.clone());
+    let proof = Proof::recursion(
+        "copier",
+        inv.clone(),
+        Proof::input(
+            "v",
+            Proof::output(Proof::consequence(inv, Proof::Hypothesis)),
+        ),
+    );
+    let report = wb.prove(&goal, &proof)?;
+    println!("\n{}", render_report("proof: copier sat wire <= input", &report));
+
+    // 5. Execute on real threads with a seeded scheduler and check the
+    //    recorded run against the semantics and the invariant.
+    let run = wb.run(
+        "pipeline",
+        RunOptions {
+            max_steps: 24,
+            scheduler: Scheduler::seeded(42),
+        },
+    )?;
+    println!("executed {} events; visible trace:\n  {}", run.steps, run.visible);
+    let conf = wb.conformance("pipeline", &run, &["output <= input"])?;
+    println!(
+        "conformance: trace admitted = {}, invariants held = {}",
+        conf.trace_admitted,
+        conf.invariants.iter().all(|(_, v)| v.is_none()),
+    );
+    Ok(())
+}

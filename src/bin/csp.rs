@@ -1,0 +1,332 @@
+//! `csp` — command-line driver for the hoare-csp reproduction.
+//!
+//! ```text
+//! csp validate  <file.csp>
+//! csp traces    <file.csp> --process NAME [--depth N] [--nat-bound K]
+//! csp check     <file.csp> --process NAME --assert EXPR [--depth N]
+//! csp prove     <file.csp> --spec NAME=EXPR [--spec NAME=EXPR ...]
+//! csp run       <file.csp> --process NAME [--steps N] [--seed S]
+//! csp deadlock  <file.csp> --process NAME [--depth N]
+//! ```
+//!
+//! Common options: `--nat-bound K` (finite carrier for NAT, default 2),
+//! `--set M=v1,v2,…` (interpret a named abstract set), `--bind v=1,2,3`
+//! (host constant vector, cells `v[1]…`), `--channels a,b` (declare
+//! assertion-only channels).
+//!
+//! Exit status: 0 on success; 1 when the requested analysis found a
+//! refutation (counterexample, deadlock, failed proof); 2 on usage or
+//! input errors.
+
+use std::process::ExitCode;
+
+use csp::prelude::*;
+use csp::{render_report, timeline};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  csp validate  <file.csp>
+  csp traces    <file.csp> --process NAME [--depth N]
+  csp check     <file.csp> --process NAME --assert EXPR [--depth N]
+  csp prove     <file.csp> --spec NAME=EXPR [--spec NAME=EXPR ...]
+  csp run       <file.csp> --process NAME [--steps N] [--seed S]
+  csp deadlock  <file.csp> --process NAME [--depth N]
+options:
+  --nat-bound K      finite carrier for NAT (default 2)
+  --set M=v1,v2      interpretation for a named abstract set
+  --bind v=1,2,3     host constant vector (cells v[1], v[2], …)
+  --channels a,b     declare assertion-only channel names";
+
+/// Parsed command-line options shared by all subcommands.
+struct Opts {
+    file: String,
+    process: Option<String>,
+    assertion: Option<String>,
+    specs: Vec<(String, String)>,
+    depth: usize,
+    steps: usize,
+    seed: u64,
+    nat_bound: u32,
+    sets: Vec<(String, Vec<Value>)>,
+    binds: Vec<(String, Vec<i64>)>,
+    channels: Vec<String>,
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        file: String::new(),
+        process: None,
+        assertion: None,
+        specs: Vec::new(),
+        depth: 4,
+        steps: 32,
+        seed: 0,
+        nat_bound: 2,
+        sets: Vec::new(),
+        binds: Vec::new(),
+        channels: Vec::new(),
+    };
+    let mut it = args.iter();
+    let mut positional = Vec::new();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--process" => opts.process = Some(value("--process")?),
+            "--assert" => opts.assertion = Some(value("--assert")?),
+            "--spec" => {
+                let v = value("--spec")?;
+                let (name, inv) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--spec expects NAME=EXPR, got `{v}`"))?;
+                opts.specs.push((name.trim().to_string(), inv.trim().to_string()));
+            }
+            "--depth" => {
+                opts.depth = value("--depth")?
+                    .parse()
+                    .map_err(|_| "--depth expects a number".to_string())?;
+            }
+            "--steps" => {
+                opts.steps = value("--steps")?
+                    .parse()
+                    .map_err(|_| "--steps expects a number".to_string())?;
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects a number".to_string())?;
+            }
+            "--nat-bound" => {
+                opts.nat_bound = value("--nat-bound")?
+                    .parse()
+                    .map_err(|_| "--nat-bound expects a number".to_string())?;
+            }
+            "--set" => {
+                let v = value("--set")?;
+                let (name, vals) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--set expects NAME=v1,v2, got `{v}`"))?;
+                let parsed = vals
+                    .split(',')
+                    .map(parse_value)
+                    .collect::<Result<Vec<_>, _>>()?;
+                opts.sets.push((name.trim().to_string(), parsed));
+            }
+            "--bind" => {
+                let v = value("--bind")?;
+                let (name, vals) = v
+                    .split_once('=')
+                    .ok_or_else(|| format!("--bind expects NAME=1,2,3, got `{v}`"))?;
+                let parsed = vals
+                    .split(',')
+                    .map(|x| {
+                        x.trim()
+                            .parse::<i64>()
+                            .map_err(|_| format!("bad integer `{x}` in --bind"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                opts.binds.push((name.trim().to_string(), parsed));
+            }
+            "--channels" => {
+                let v = value("--channels")?;
+                opts.channels
+                    .extend(v.split(',').map(|c| c.trim().to_string()));
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown option `{other}`"));
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    match positional.as_slice() {
+        [file] => {
+            opts.file = file.clone();
+            Ok(opts)
+        }
+        [] => Err("missing <file.csp>".to_string()),
+        more => Err(format!("unexpected arguments: {more:?}")),
+    }
+}
+
+fn parse_value(s: &str) -> Result<Value, String> {
+    let s = s.trim();
+    if let Ok(n) = s.parse::<i64>() {
+        Ok(Value::Int(n))
+    } else if s.chars().next().is_some_and(char::is_uppercase) {
+        Ok(Value::sym(s))
+    } else {
+        Err(format!("bad value `{s}` (integers or Uppercase atoms)"))
+    }
+}
+
+fn build_workbench(opts: &Opts) -> Result<Workbench, String> {
+    let mut uni = Universe::new(opts.nat_bound);
+    for (name, vals) in &opts.sets {
+        uni = uni.with_named(name, vals.iter().cloned());
+    }
+    let mut wb = Workbench::new().with_universe(uni);
+    let src = std::fs::read_to_string(&opts.file)
+        .map_err(|e| format!("cannot read {}: {e}", opts.file))?;
+    wb.define_source(&src).map_err(|e| e.to_string())?;
+    for (name, vals) in &opts.binds {
+        wb.bind_vector(name, vals);
+    }
+    if !opts.channels.is_empty() {
+        wb.declare_channels(opts.channels.iter().map(String::as_str));
+    }
+    Ok(wb)
+}
+
+fn need_process(opts: &Opts) -> Result<&str, String> {
+    opts.process
+        .as_deref()
+        .ok_or_else(|| "--process NAME is required".to_string())
+}
+
+/// Returns Ok(true) when the analysis found no refutation.
+fn dispatch(args: &[String]) -> Result<bool, String> {
+    let (cmd, rest) = args
+        .split_first()
+        .ok_or_else(|| "missing subcommand".to_string())?;
+    let opts = parse_opts(rest)?;
+    let wb = build_workbench(&opts)?;
+    match cmd.as_str() {
+        "validate" => {
+            let issues = wb.validate();
+            if issues.is_empty() {
+                println!("ok: {} definition(s), no issues", wb.definitions().len());
+                Ok(true)
+            } else {
+                for i in &issues {
+                    println!("issue: {i}");
+                }
+                Ok(false)
+            }
+        }
+        "traces" => {
+            let name = need_process(&opts)?;
+            let traces = wb.traces(name, opts.depth).map_err(|e| e.to_string())?;
+            println!(
+                "{} traces of `{name}` to depth {} ({} maximal):",
+                traces.len(),
+                opts.depth,
+                traces.maximal_traces().len()
+            );
+            for t in traces.maximal_traces().iter().take(20) {
+                println!("  {t}");
+            }
+            Ok(true)
+        }
+        "check" => {
+            let name = need_process(&opts)?;
+            let assertion = opts
+                .assertion
+                .as_deref()
+                .ok_or_else(|| "--assert EXPR is required".to_string())?;
+            match wb
+                .check_sat(name, assertion, opts.depth)
+                .map_err(|e| e.to_string())?
+            {
+                SatResult::Holds { traces_checked, depth } => {
+                    println!(
+                        "holds: {name} sat {assertion} on {traces_checked} traces (depth {depth})"
+                    );
+                    Ok(true)
+                }
+                SatResult::Counterexample { trace } => {
+                    println!("REFUTED: {name} sat {assertion}");
+                    println!("counterexample: {trace}");
+                    print!("{}", timeline(&trace));
+                    Ok(false)
+                }
+            }
+        }
+        "prove" => {
+            if opts.specs.is_empty() {
+                return Err("at least one --spec NAME=EXPR is required".to_string());
+            }
+            let specs: Vec<(&str, &str)> = opts
+                .specs
+                .iter()
+                .map(|(n, a)| (n.as_str(), a.as_str()))
+                .collect();
+            match wb.prove_auto(&specs) {
+                Ok(report) => {
+                    let title = format!(
+                        "proof: {} sat {}",
+                        specs[0].0, specs[0].1
+                    );
+                    println!("{}", render_report(&title, &report));
+                    Ok(true)
+                }
+                Err(e) => {
+                    println!("proof failed: {e}");
+                    Ok(false)
+                }
+            }
+        }
+        "run" => {
+            let name = need_process(&opts)?;
+            let res = wb
+                .run(
+                    name,
+                    RunOptions {
+                        max_steps: opts.steps,
+                        scheduler: Scheduler::seeded(opts.seed),
+                    },
+                )
+                .map_err(|e| e.to_string())?;
+            println!(
+                "{} event(s){}; visible trace:",
+                res.steps,
+                if res.deadlocked { " then DEADLOCK" } else { "" }
+            );
+            println!("  {}", res.visible);
+            print!("{}", timeline(&res.visible));
+            Ok(!res.deadlocked)
+        }
+        "deadlock" => {
+            let name = need_process(&opts)?;
+            let report = wb.deadlocks(name, opts.depth).map_err(|e| e.to_string())?;
+            println!(
+                "explored {} state(s) to depth {}",
+                report.states_explored, opts.depth
+            );
+            if report.deadlocks.is_empty() {
+                println!("no dead states reachable within the bound");
+                return Ok(true);
+            }
+            for d in &report.deadlocks {
+                println!(
+                    "  {} after {} at `{}`",
+                    if d.terminated { "terminates" } else { "DEADLOCK" },
+                    d.trace,
+                    d.state
+                );
+            }
+            Ok(report.deadlock_free())
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}

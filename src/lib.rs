@@ -1,0 +1,16 @@
+//! Root facade crate: re-exports the full public API of [`csp_core`].
+//!
+//! See the `README.md` for a tour and `DESIGN.md` for the architecture.
+//!
+//! ```
+//! use csp::prelude::*;
+//!
+//! let mut wb = Workbench::new();
+//! wb.define_source("copier = input?x:NAT -> wire!x -> copier").unwrap();
+//! let traces = wb.traces("copier", 4).unwrap();
+//! assert!(traces.len() > 1);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use csp_core::*;

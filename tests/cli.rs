@@ -1,0 +1,163 @@
+//! End-to-end tests of the `csp` command-line driver.
+
+use std::io::Write;
+use std::process::Command;
+
+fn write_fixture(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("hoare-csp-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).expect("create fixture");
+    f.write_all(contents.as_bytes()).expect("write fixture");
+    path
+}
+
+fn csp(args: &[&str]) -> (String, String, Option<i32>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_csp"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+const PIPELINE: &str = "copier = input?x:NAT -> wire!x -> copier
+recopier = wire?y:NAT -> output!y -> recopier
+pipeline = chan wire; (copier || recopier)
+";
+
+#[test]
+fn validate_clean_file() {
+    let f = write_fixture("pipeline.csp", PIPELINE);
+    let (stdout, _, code) = csp(&["validate", f.to_str().unwrap()]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("no issues"));
+}
+
+#[test]
+fn validate_reports_issues_with_exit_1() {
+    let f = write_fixture("broken.csp", "p = c!0 -> ghost\n");
+    let (stdout, _, code) = csp(&["validate", f.to_str().unwrap()]);
+    assert_eq!(code, Some(1));
+    assert!(stdout.contains("ghost"));
+}
+
+#[test]
+fn check_holds_and_refutes() {
+    let f = write_fixture("pipeline2.csp", PIPELINE);
+    let path = f.to_str().unwrap();
+    let (stdout, _, code) = csp(&[
+        "check", path, "--process", "pipeline", "--assert", "output <= input",
+        "--depth", "3", "--nat-bound", "1",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("holds"));
+
+    let (stdout, _, code) = csp(&[
+        "check", path, "--process", "copier", "--assert", "input <= wire",
+        "--depth", "3",
+    ]);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("counterexample"));
+}
+
+#[test]
+fn prove_synthesises_from_the_command_line() {
+    let f = write_fixture("pipeline3.csp", PIPELINE);
+    let (stdout, _, code) = csp(&[
+        "prove",
+        f.to_str().unwrap(),
+        "--spec",
+        "copier=wire <= input",
+        "--nat-bound",
+        "1",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("recursion (10)"), "{stdout}");
+    assert!(stdout.contains("cons-monotonicity"), "{stdout}");
+}
+
+#[test]
+fn prove_rejects_false_invariants() {
+    let f = write_fixture("pipeline4.csp", PIPELINE);
+    let (stdout, _, code) = csp(&[
+        "prove",
+        f.to_str().unwrap(),
+        "--spec",
+        "copier=input <= wire",
+    ]);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("proof failed"));
+}
+
+#[test]
+fn run_executes_with_seed() {
+    let f = write_fixture("pipeline5.csp", PIPELINE);
+    let (stdout, _, code) = csp(&[
+        "run", f.to_str().unwrap(), "--process", "pipeline", "--steps", "12",
+        "--seed", "7", "--nat-bound", "1",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("12 event(s)"));
+    assert!(stdout.contains("input"));
+}
+
+#[test]
+fn deadlock_finds_jams() {
+    let f = write_fixture(
+        "jam.csp",
+        "left = w!1 -> STOP\nright = w?x:{2} -> STOP\nnet = left || right\n",
+    );
+    let (stdout, _, code) = csp(&[
+        "deadlock", f.to_str().unwrap(), "--process", "net", "--depth", "3",
+        "--nat-bound", "3",
+    ]);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("DEADLOCK"));
+}
+
+#[test]
+fn traces_lists_maximal_behaviours() {
+    let f = write_fixture("pipeline6.csp", PIPELINE);
+    let (stdout, _, code) = csp(&[
+        "traces", f.to_str().unwrap(), "--process", "copier", "--depth", "2",
+        "--nat-bound", "1",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("traces of `copier`"));
+}
+
+#[test]
+fn named_sets_via_flag() {
+    let f = write_fixture(
+        "proto.csp",
+        "sender = input?y:M -> q[y]
+         q[x:M] = wire!x -> (wire?y:{ACK} -> sender | wire?y:{NACK} -> q[x])
+         receiver = wire?z:M -> (wire!ACK -> output!z -> receiver | wire!NACK -> receiver)
+         protocol = chan wire; (sender || receiver)\n",
+    );
+    let (stdout, _, code) = csp(&[
+        "check", f.to_str().unwrap(), "--process", "protocol",
+        "--assert", "output <= input", "--depth", "3",
+        "--set", "M=0,1", "--nat-bound", "0",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("holds"));
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let (_, stderr, code) = csp(&["frobnicate"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("usage"));
+    let (_, stderr, code) = csp(&[]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("missing subcommand"));
+    let f = write_fixture("pipeline7.csp", PIPELINE);
+    let (_, stderr, code) = csp(&["check", f.to_str().unwrap()]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--process"));
+}

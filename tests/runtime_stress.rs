@@ -1,0 +1,147 @@
+//! Stress/robustness tests for the concurrent runtime: many seeds, every
+//! paper network, every run conformant. Catches scheduler-dependent
+//! synchronisation bugs that single-seed tests would miss.
+
+use csp::prelude::*;
+
+#[test]
+fn pipeline_conforms_across_many_seeds_and_schedulers() {
+    let mut wb = Workbench::new().with_universe(Universe::new(1));
+    wb.define_source(csp::examples::PIPELINE_SRC).unwrap();
+    for seed in 0..12u64 {
+        let run = wb
+            .run(
+                "pipeline",
+                RunOptions {
+                    max_steps: 18,
+                    scheduler: Scheduler::seeded(seed),
+                },
+            )
+            .unwrap();
+        assert!(!run.deadlocked, "seed {seed} deadlocked");
+        let conf = wb
+            .conformance("pipeline", &run, &["output <= input"])
+            .unwrap();
+        assert!(conf.conforms(), "seed {seed}: {conf:?}");
+    }
+    // Round-robin too.
+    let run = wb
+        .run(
+            "pipeline",
+            RunOptions {
+                max_steps: 18,
+                scheduler: Scheduler::round_robin(),
+            },
+        )
+        .unwrap();
+    assert!(wb
+        .conformance("pipeline", &run, &["output <= input"])
+        .unwrap()
+        .conforms());
+}
+
+#[test]
+fn protocol_retransmissions_never_break_delivery_order() {
+    let mut wb = Workbench::new()
+        .with_universe(Universe::new(0).with_named("M", [Value::nat(0), Value::nat(1)]));
+    wb.define_source(csp::examples::PROTOCOL_SRC).unwrap();
+    let mut saw_retransmission = false;
+    for seed in 0..10u64 {
+        let run = wb
+            .run(
+                "protocol",
+                RunOptions {
+                    max_steps: 30,
+                    scheduler: Scheduler::seeded(seed),
+                },
+            )
+            .unwrap();
+        saw_retransmission |= run
+            .full
+            .iter()
+            .any(|e| e.value() == &Value::sym("NACK"));
+        let conf = wb
+            .conformance("protocol", &run, &["output <= input", "output <= f(wire)"])
+            .unwrap();
+        // `output <= f(wire)` mentions the hidden wire, which the visible
+        // trace cannot see — it holds vacuously there (empty wire
+        // history gives f(<>) = <> only when output is also empty), so
+        // only check the main invariant strictly:
+        assert!(conf.trace_admitted, "seed {seed}: {conf:?}");
+        assert!(
+            conf.invariants[0].1.is_none(),
+            "seed {seed} violated output <= input: {conf:?}"
+        );
+    }
+    assert!(
+        saw_retransmission,
+        "no NACK across 10 seeds — scheduler never exercised retransmission"
+    );
+}
+
+#[test]
+fn multiplier_runs_correctly_across_seeds() {
+    let mut wb = Workbench::new().with_universe(Universe::new(20));
+    wb.bind_vector("v", &[2, 3, 5]);
+    wb.define_source(
+        "mult[i:1..3] = row[i]?x:{0..2} -> col[i-1]?y:NAT -> col[i]!(v[i]*x + y) -> mult[i]
+         zeroes = col[0]!0 -> zeroes
+         last = col[3]?y:NAT -> output!y -> last
+         network = zeroes || mult[1] || mult[2] || mult[3] || last
+         multiplier = chan col[0..3]; network",
+    )
+    .unwrap();
+    for seed in 0..6u64 {
+        let run = wb
+            .run(
+                "multiplier",
+                RunOptions {
+                    max_steps: 48,
+                    scheduler: Scheduler::seeded(seed),
+                },
+            )
+            .unwrap();
+        assert!(!run.deadlocked, "seed {seed} deadlocked: {}", run.full);
+        let h = run.visible.history();
+        let out = h.on(&Channel::simple("output"));
+        for i in 1..=out.len() {
+            let expected: i64 = (1..=3)
+                .map(|j| {
+                    [2, 3, 5][j - 1]
+                        * h.on(&Channel::indexed("row", j as i64))
+                            .at(i)
+                            .expect("row value present")
+                            .as_int()
+                            .unwrap()
+                })
+                .sum();
+            assert_eq!(
+                out.at(i).unwrap().as_int().unwrap(),
+                expected,
+                "seed {seed}, output {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn long_runs_stay_linear_and_consistent() {
+    let mut wb = Workbench::new().with_universe(Universe::new(1));
+    wb.define_source(csp::examples::BUFFER2_SRC).unwrap();
+    let run = wb
+        .run(
+            "buffer2",
+            RunOptions {
+                max_steps: 300,
+                scheduler: Scheduler::seeded(9),
+            },
+        )
+        .unwrap();
+    assert_eq!(run.steps, 300);
+    let h = run.visible.history();
+    let outs = h.on(&Channel::simple("out"));
+    let ins = h.on(&Channel::simple("in"));
+    assert!(outs.is_prefix_of(&ins));
+    // A 2-cell buffer holds at most 2 in-flight messages.
+    assert!(ins.len() - outs.len() <= 2);
+}
