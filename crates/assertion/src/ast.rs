@@ -272,9 +272,7 @@ impl Assertion {
                 a.collect_channels(out);
                 b.collect_channels(out);
             }
-            Assertion::ForallIn(_, _, a) | Assertion::ExistsIn(_, _, a) => {
-                a.collect_channels(out)
-            }
+            Assertion::ForallIn(_, _, a) | Assertion::ExistsIn(_, _, a) => a.collect_channels(out),
         }
     }
 }
@@ -400,10 +398,7 @@ mod tests {
             SetExpr::Nat,
             Box::new(Assertion::Cmp(
                 CmpOp::Eq,
-                Term::Index(
-                    Box::new(STerm::chan("output")),
-                    Box::new(Term::var("i")),
-                ),
+                Term::Index(Box::new(STerm::chan("output")), Box::new(Term::var("i"))),
                 Term::Index(
                     Box::new(STerm::chan_at("row", Expr::int(1))),
                     Box::new(Term::var("i")),

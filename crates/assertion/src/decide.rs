@@ -131,9 +131,7 @@ pub fn syntactic_valid(a: &Assertion) -> Option<&'static str> {
                 return Some("implication-of-valid");
             }
             // cons-monotonicity: (s ≤ t) ⇒ (x^s ≤ x^t).
-            if let (Assertion::Prefix(s, t), Assertion::Prefix(s2, t2)) =
-                (p.as_ref(), q.as_ref())
-            {
+            if let (Assertion::Prefix(s, t), Assertion::Prefix(s2, t2)) = (p.as_ref(), q.as_ref()) {
                 if let (STerm::Cons(x1, s1), STerm::Cons(x2, t1)) = (s2, t2) {
                     if x1 == x2 && s1.as_ref() == s && t1.as_ref() == t {
                         return Some("cons-monotonicity");

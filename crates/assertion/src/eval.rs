@@ -106,11 +106,11 @@ impl<'a> EvalCtx<'a> {
                 Ok(Seq::from_vec(out))
             }
             STerm::Cons(x, rest) => {
-                let v = self.term(x)?.ok_or(AssertError::Eval(
-                    EvalError::TypeMismatch {
+                let v = self
+                    .term(x)?
+                    .ok_or(AssertError::Eval(EvalError::TypeMismatch {
                         context: "cons head".to_string(),
-                    },
-                ))?;
+                    }))?;
                 Ok(self.sterm(rest)?.cons(v))
             }
             STerm::Concat(a, b) => Ok(self.sterm(a)?.concat(&self.sterm(b)?)),
@@ -184,9 +184,7 @@ impl<'a> EvalCtx<'a> {
         match a {
             Assertion::True => Ok(true),
             Assertion::False => Ok(false),
-            Assertion::Prefix(s, t) => {
-                Ok(self.sterm(s)?.is_prefix_of(&self.sterm(t)?))
-            }
+            Assertion::Prefix(s, t) => Ok(self.sterm(s)?.is_prefix_of(&self.sterm(t)?)),
             Assertion::SeqEq(s, t) => Ok(self.sterm(s)? == self.sterm(t)?),
             Assertion::Cmp(op, x, y) => {
                 let (vx, vy) = match (self.term(x)?, self.term(y)?) {
@@ -246,8 +244,7 @@ impl<'a> EvalCtx<'a> {
         let set = m.eval(self.env)?;
         match &set {
             csp_lang::MsgSet::Nat => {
-                let bound = (self.universe.nat_bound() as usize)
-                    .max(self.history.total_messages());
+                let bound = (self.universe.nat_bound() as usize).max(self.history.total_messages());
                 Ok((0..=bound as u32).map(Value::nat).collect())
             }
             _ => Ok(self.universe.enumerate(&set)?),
@@ -392,11 +389,7 @@ mod tests {
         let r = Assertion::ForallIn(
             "x".into(),
             SetExpr::range(0, 3),
-            Box::new(Assertion::Cmp(
-                CmpOp::Le,
-                Term::var("x"),
-                Term::int(3),
-            )),
+            Box::new(Assertion::Cmp(CmpOp::Le, Term::var("x"), Term::int(3))),
         );
         assert!(ctx.assertion(&r).unwrap());
         // ∃x:{0..3}. x == 2
@@ -417,13 +410,11 @@ mod tests {
         assert!(h.total_messages() > u.nat_bound() as usize);
         let ctx = EvalCtx::new(&env, &h, &f, &u);
         // ∀i:NAT. 1 ≤ i and i ≤ #c ⇒ c[i] == 1
-        let guard = Assertion::Cmp(CmpOp::Le, Term::int(1), Term::var("i")).and(
-            Assertion::Cmp(
-                CmpOp::Le,
-                Term::var("i"),
-                Term::length(STerm::chan("c")),
-            ),
-        );
+        let guard = Assertion::Cmp(CmpOp::Le, Term::int(1), Term::var("i")).and(Assertion::Cmp(
+            CmpOp::Le,
+            Term::var("i"),
+            Term::length(STerm::chan("c")),
+        ));
         let body = Assertion::Cmp(
             CmpOp::Eq,
             Term::Index(Box::new(STerm::chan("c")), Box::new(Term::var("i"))),
@@ -451,13 +442,11 @@ mod tests {
         let ctx = EvalCtx::new(&env, &h, &f, &u);
         // ∀i:NAT. 1 ≤ i ≤ #output ⇒
         //   output[i] == v[1]*row[1][i] + v[2]*row[2][i]
-        let guard = Assertion::Cmp(CmpOp::Le, Term::int(1), Term::var("i")).and(
-            Assertion::Cmp(
-                CmpOp::Le,
-                Term::var("i"),
-                Term::length(STerm::chan("output")),
-            ),
-        );
+        let guard = Assertion::Cmp(CmpOp::Le, Term::int(1), Term::var("i")).and(Assertion::Cmp(
+            CmpOp::Le,
+            Term::var("i"),
+            Term::length(STerm::chan("output")),
+        ));
         let lhs = Term::Index(Box::new(STerm::chan("output")), Box::new(Term::var("i")));
         let prod = |j: i64| {
             Term::mul(

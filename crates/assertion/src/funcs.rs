@@ -152,10 +152,7 @@ mod tests {
         // f(<x>) = <x>
         assert_eq!(protocol_cancel(&seq(&["x"])), seq(&["x"]));
         // f(x^ACK^s) = x^f(s)
-        assert_eq!(
-            protocol_cancel(&seq(&["x", "ACK", "y"])),
-            seq(&["x", "y"])
-        );
+        assert_eq!(protocol_cancel(&seq(&["x", "ACK", "y"])), seq(&["x", "y"]));
         // f(x^NACK^s) = f(s)
         assert_eq!(protocol_cancel(&seq(&["x", "NACK", "y"])), seq(&["y"]));
     }

@@ -133,11 +133,7 @@ impl std::error::Error for AssertParseError {}
 /// ```
 pub fn parse_assertion(src: &str, info: &ChannelInfo) -> Result<Assertion, AssertParseError> {
     let toks = tokenize(src)?;
-    let mut p = AParser {
-        toks,
-        pos: 0,
-        info,
-    };
+    let mut p = AParser { toks, pos: 0, info };
     let a = p.assertion()?;
     if p.pos < p.toks.len() {
         return Err(p.err("unexpected trailing tokens"));
@@ -500,30 +496,22 @@ impl AParser<'_> {
         if self.eat_sym("^") {
             let head = match first {
                 Operand::Val(t) => t,
-                Operand::Seq(_) => {
-                    return Err(self.err("left of `^` must be a value"))
-                }
+                Operand::Seq(_) => return Err(self.err("left of `^` must be a value")),
             };
             let tail = match self.operand()? {
                 Operand::Seq(s) => s,
-                Operand::Val(_) => {
-                    return Err(self.err("right of `^` must be a sequence"))
-                }
+                Operand::Val(_) => return Err(self.err("right of `^` must be a sequence")),
             };
             return Ok(Operand::Seq(STerm::Cons(Box::new(head), Box::new(tail))));
         }
         if self.eat_sym("++") {
             let a = match first {
                 Operand::Seq(s) => s,
-                Operand::Val(_) => {
-                    return Err(self.err("left of `++` must be a sequence"))
-                }
+                Operand::Val(_) => return Err(self.err("left of `++` must be a sequence")),
             };
             let b = match self.operand()? {
                 Operand::Seq(s) => s,
-                Operand::Val(_) => {
-                    return Err(self.err("right of `++` must be a sequence"))
-                }
+                Operand::Val(_) => return Err(self.err("right of `++` must be a sequence")),
             };
             return Ok(Operand::Seq(STerm::Concat(Box::new(a), Box::new(b))));
         }
@@ -577,9 +565,9 @@ impl AParser<'_> {
     fn val(&self, o: Operand) -> Result<Term, AssertParseError> {
         match o {
             Operand::Val(t) => Ok(t),
-            Operand::Seq(s) => Err(self.err(format!(
-                "sequence `{s}` used where a value is required"
-            ))),
+            Operand::Seq(s) => {
+                Err(self.err(format!("sequence `{s}` used where a value is required")))
+            }
         }
     }
 
@@ -610,10 +598,7 @@ impl AParser<'_> {
                     self.pos += 1;
                     let idx = self.operand()?;
                     self.expect_sym("]")?;
-                    base = Operand::Val(Term::Index(
-                        Box::new(s),
-                        Box::new(self.val(idx)?),
-                    ));
+                    base = Operand::Val(Term::Index(Box::new(s), Box::new(self.val(idx)?)));
                 }
                 Operand::Val(_) => break,
             }
@@ -663,9 +648,7 @@ impl AParser<'_> {
                     let s = match arg {
                         Operand::Seq(s) => s,
                         Operand::Val(_) => {
-                            return Err(
-                                self.err(format!("`{name}(…)` needs a sequence argument"))
-                            )
+                            return Err(self.err(format!("`{name}(…)` needs a sequence argument")))
                         }
                     };
                     return Ok(Operand::Seq(STerm::App(name, Box::new(s))));
@@ -697,13 +680,9 @@ impl AParser<'_> {
                     let idx = self.operand()?;
                     self.expect_sym("]")?;
                     let idx = self.val(idx)?;
-                    let e = term_to_expr(&idx).ok_or_else(|| {
-                        self.err("array subscripts must be plain expressions")
-                    })?;
-                    return Ok(Operand::Val(Term::Expr(Expr::ArrayRef(
-                        name,
-                        Box::new(e),
-                    ))));
+                    let e = term_to_expr(&idx)
+                        .ok_or_else(|| self.err("array subscripts must be plain expressions"))?;
+                    return Ok(Operand::Val(Term::Expr(Expr::ArrayRef(name, Box::new(e)))));
                 }
                 // Atom or variable by capitalisation, as in csp-lang.
                 if name.chars().next().is_some_and(char::is_uppercase) {
@@ -725,13 +704,14 @@ impl AParser<'_> {
                 return Ok(SetExpr::Enum(Vec::new()));
             }
             let first = self.operand()?;
-            let first = self
-                .val(first)
-                .and_then(|t| term_to_expr(&t).ok_or_else(|| self.err("set elements must be plain expressions")))?;
+            let first = self.val(first).and_then(|t| {
+                term_to_expr(&t).ok_or_else(|| self.err("set elements must be plain expressions"))
+            })?;
             if self.eat_sym("..") {
                 let hi = self.operand()?;
                 let hi = self.val(hi).and_then(|t| {
-                    term_to_expr(&t).ok_or_else(|| self.err("range bound must be a plain expression"))
+                    term_to_expr(&t)
+                        .ok_or_else(|| self.err("range bound must be a plain expression"))
                 })?;
                 self.expect_sym("}")?;
                 return Ok(SetExpr::Range(Box::new(first), Box::new(hi)));
@@ -740,7 +720,8 @@ impl AParser<'_> {
             while self.eat_sym(",") {
                 let o = self.operand()?;
                 elems.push(self.val(o).and_then(|t| {
-                    term_to_expr(&t).ok_or_else(|| self.err("set elements must be plain expressions"))
+                    term_to_expr(&t)
+                        .ok_or_else(|| self.err("set elements must be plain expressions"))
                 })?);
             }
             self.expect_sym("}")?;
@@ -810,10 +791,8 @@ mod tests {
 
     #[test]
     fn multiplier_invariant_parses() {
-        let r = ok(
-            "forall i:NAT. 1 <= i and i <= #output => \
-             output[i] == v[1]*row[1][i] + v[2]*row[2][i]",
-        );
+        let r = ok("forall i:NAT. 1 <= i and i <= #output => \
+             output[i] == v[1]*row[1][i] + v[2]*row[2][i]");
         match &r {
             Assertion::ForallIn(x, m, _) => {
                 assert_eq!(x, "i");

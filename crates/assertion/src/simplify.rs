@@ -105,10 +105,9 @@ fn simplify_sterm(s: &STerm) -> STerm {
     match s {
         STerm::Hist(_) | STerm::Empty => s.clone(),
         STerm::Lit(ts) => STerm::Lit(ts.iter().map(simplify_term).collect()),
-        STerm::Cons(x, rest) => STerm::Cons(
-            Box::new(simplify_term(x)),
-            Box::new(simplify_sterm(rest)),
-        ),
+        STerm::Cons(x, rest) => {
+            STerm::Cons(Box::new(simplify_term(x)), Box::new(simplify_sterm(rest)))
+        }
         STerm::Concat(a, b) => {
             let (a, b) = (simplify_sterm(a), simplify_sterm(b));
             match (a, b) {
@@ -116,9 +115,7 @@ fn simplify_sterm(s: &STerm) -> STerm {
                 (a, b) => STerm::Concat(Box::new(a), Box::new(b)),
             }
         }
-        STerm::App(name, arg) => {
-            STerm::App(name.clone(), Box::new(simplify_sterm(arg)))
-        }
+        STerm::App(name, arg) => STerm::App(name.clone(), Box::new(simplify_sterm(arg))),
     }
 }
 
@@ -133,15 +130,10 @@ fn simplify_term(t: &Term) -> Term {
                 _ => Term::Length(Box::new(s)),
             }
         }
-        Term::Index(s, i) => Term::Index(
-            Box::new(simplify_sterm(s)),
-            Box::new(simplify_term(i)),
-        ),
-        Term::Bin(op, a, b) => Term::Bin(
-            *op,
-            Box::new(simplify_term(a)),
-            Box::new(simplify_term(b)),
-        ),
+        Term::Index(s, i) => Term::Index(Box::new(simplify_sterm(s)), Box::new(simplify_term(i))),
+        Term::Bin(op, a, b) => {
+            Term::Bin(*op, Box::new(simplify_term(a)), Box::new(simplify_term(b)))
+        }
         Term::Un(op, a) => Term::Un(*op, Box::new(simplify_term(a))),
     }
 }
@@ -185,10 +177,7 @@ mod tests {
             simplify(&Assertion::False.implies(r.clone())),
             Assertion::True
         );
-        assert_eq!(
-            simplify(&r.clone().negate().negate()),
-            r
-        );
+        assert_eq!(simplify(&r.clone().negate().negate()), r);
         assert_eq!(simplify(&r.clone().implies(r.clone())), Assertion::True);
     }
 
@@ -224,11 +213,7 @@ mod tests {
         let r = Assertion::Cmp(CmpOp::Gt, Term::int(1), Term::int(2));
         assert_eq!(simplify(&r), Assertion::False);
         // Non-rigid comparisons stay.
-        let keep = Assertion::Cmp(
-            CmpOp::Le,
-            Term::length(STerm::chan("a")),
-            Term::int(2),
-        );
+        let keep = Assertion::Cmp(CmpOp::Le, Term::length(STerm::chan("a")), Term::int(2));
         assert_eq!(simplify(&keep), keep);
     }
 
@@ -250,11 +235,7 @@ mod tests {
             .and(Assertion::prefix(STerm::chan("wire"), STerm::chan("input")))
             .or(Assertion::Cmp(CmpOp::Lt, Term::int(2), Term::int(1)));
         let s = simplify(&r);
-        for trace in [
-            vec![],
-            vec![("input", 1), ("wire", 1)],
-            vec![("wire", 1)],
-        ] {
+        for trace in [vec![], vec![("input", 1), ("wire", 1)], vec![("wire", 1)]] {
             assert_eq!(eval(&r, &trace), eval(&s, &trace), "{trace:?}");
         }
     }

@@ -80,18 +80,15 @@ pub fn subst_var(a: &Assertion, x: &str, e: &Expr) -> Assertion {
             Assertion::Cmp(*op, subst_var_term(s, x, e), subst_var_term(t, x, e))
         }
         Assertion::Not(inner) => Assertion::Not(Box::new(subst_var(inner, x, e))),
-        Assertion::And(p, q) => Assertion::And(
-            Box::new(subst_var(p, x, e)),
-            Box::new(subst_var(q, x, e)),
-        ),
-        Assertion::Or(p, q) => Assertion::Or(
-            Box::new(subst_var(p, x, e)),
-            Box::new(subst_var(q, x, e)),
-        ),
-        Assertion::Implies(p, q) => Assertion::Implies(
-            Box::new(subst_var(p, x, e)),
-            Box::new(subst_var(q, x, e)),
-        ),
+        Assertion::And(p, q) => {
+            Assertion::And(Box::new(subst_var(p, x, e)), Box::new(subst_var(q, x, e)))
+        }
+        Assertion::Or(p, q) => {
+            Assertion::Or(Box::new(subst_var(p, x, e)), Box::new(subst_var(q, x, e)))
+        }
+        Assertion::Implies(p, q) => {
+            Assertion::Implies(Box::new(subst_var(p, x, e)), Box::new(subst_var(q, x, e)))
+        }
         Assertion::ForallIn(y, m, body) => {
             let m2 = subst_var_set(m, x, e);
             if y == x {
@@ -115,10 +112,7 @@ fn subst_var_sterm(s: &STerm, x: &str, e: &Expr) -> STerm {
     match s {
         STerm::Hist(c) => STerm::Hist(ChanRef::with_indices(
             c.base(),
-            c.indices()
-                .iter()
-                .map(|i| subst_in_expr(i, x, e))
-                .collect(),
+            c.indices().iter().map(|i| subst_in_expr(i, x, e)).collect(),
         )),
         STerm::Empty => STerm::Empty,
         STerm::Lit(ts) => STerm::Lit(ts.iter().map(|t| subst_var_term(t, x, e)).collect()),
@@ -130,9 +124,7 @@ fn subst_var_sterm(s: &STerm, x: &str, e: &Expr) -> STerm {
             Box::new(subst_var_sterm(a, x, e)),
             Box::new(subst_var_sterm(b, x, e)),
         ),
-        STerm::App(name, arg) => {
-            STerm::App(name.clone(), Box::new(subst_var_sterm(arg, x, e)))
-        }
+        STerm::App(name, arg) => STerm::App(name.clone(), Box::new(subst_var_sterm(arg, x, e))),
     }
 }
 
@@ -160,9 +152,7 @@ fn subst_var_set(m: &SetExpr, x: &str, e: &Expr) -> SetExpr {
             Box::new(subst_in_expr(lo, x, e)),
             Box::new(subst_in_expr(hi, x, e)),
         ),
-        SetExpr::Enum(es) => {
-            SetExpr::Enum(es.iter().map(|el| subst_in_expr(el, x, e)).collect())
-        }
+        SetExpr::Enum(es) => SetExpr::Enum(es.iter().map(|el| subst_in_expr(el, x, e)).collect()),
     }
 }
 
@@ -198,28 +188,19 @@ fn subst_in_expr(target: &Expr, x: &str, e: &Expr) -> Expr {
 fn map_sterms(a: &Assertion, rw: &dyn Fn(&STerm) -> Option<STerm>) -> Assertion {
     match a {
         Assertion::True | Assertion::False => a.clone(),
-        Assertion::Prefix(s, t) => {
-            Assertion::Prefix(rewrite_sterm(s, rw), rewrite_sterm(t, rw))
-        }
-        Assertion::SeqEq(s, t) => {
-            Assertion::SeqEq(rewrite_sterm(s, rw), rewrite_sterm(t, rw))
-        }
-        Assertion::Cmp(op, x, y) => {
-            Assertion::Cmp(*op, rewrite_term(x, rw), rewrite_term(y, rw))
-        }
+        Assertion::Prefix(s, t) => Assertion::Prefix(rewrite_sterm(s, rw), rewrite_sterm(t, rw)),
+        Assertion::SeqEq(s, t) => Assertion::SeqEq(rewrite_sterm(s, rw), rewrite_sterm(t, rw)),
+        Assertion::Cmp(op, x, y) => Assertion::Cmp(*op, rewrite_term(x, rw), rewrite_term(y, rw)),
         Assertion::Not(inner) => Assertion::Not(Box::new(map_sterms(inner, rw))),
-        Assertion::And(p, q) => Assertion::And(
-            Box::new(map_sterms(p, rw)),
-            Box::new(map_sterms(q, rw)),
-        ),
-        Assertion::Or(p, q) => Assertion::Or(
-            Box::new(map_sterms(p, rw)),
-            Box::new(map_sterms(q, rw)),
-        ),
-        Assertion::Implies(p, q) => Assertion::Implies(
-            Box::new(map_sterms(p, rw)),
-            Box::new(map_sterms(q, rw)),
-        ),
+        Assertion::And(p, q) => {
+            Assertion::And(Box::new(map_sterms(p, rw)), Box::new(map_sterms(q, rw)))
+        }
+        Assertion::Or(p, q) => {
+            Assertion::Or(Box::new(map_sterms(p, rw)), Box::new(map_sterms(q, rw)))
+        }
+        Assertion::Implies(p, q) => {
+            Assertion::Implies(Box::new(map_sterms(p, rw)), Box::new(map_sterms(q, rw)))
+        }
         Assertion::ForallIn(x, m, body) => {
             Assertion::ForallIn(x.clone(), m.clone(), Box::new(map_sterms(body, rw)))
         }

@@ -10,9 +10,9 @@
 //!   tractable.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use csp_core::{decide_valid, Assertion, DecideConfig, FuncTable, STerm};
 use csp_bench::pipeline_workbench;
 use csp_core::prelude::*;
+use csp_core::{decide_valid, Assertion, DecideConfig, FuncTable, STerm};
 use csp_core::{Lts, Semantics};
 
 /// Hide-multiplier sweep: the pipeline needs ≥2 raw events per visible
@@ -36,12 +36,12 @@ fn hide_multiplier(c: &mut Criterion) {
 /// Oracle history-length sweep on the protocol proof's heaviest premise
 /// (transitivity of ≤ through f over three channels).
 fn oracle_history_len(c: &mut Criterion) {
-    let transitivity = Assertion::prefix(
-        STerm::chan("a").app("f"),
-        STerm::chan("b"),
-    )
-    .and(Assertion::prefix(STerm::chan("c"), STerm::chan("a").app("f")))
-    .implies(Assertion::prefix(STerm::chan("c"), STerm::chan("b")));
+    let transitivity = Assertion::prefix(STerm::chan("a").app("f"), STerm::chan("b"))
+        .and(Assertion::prefix(
+            STerm::chan("c"),
+            STerm::chan("a").app("f"),
+        ))
+        .implies(Assertion::prefix(STerm::chan("c"), STerm::chan("b")));
     let uni = Universe::new(1);
     let funcs = FuncTable::with_builtins();
     let mut group = c.benchmark_group("ablation/oracle_history_len");
@@ -84,5 +84,10 @@ fn parallel_strategies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, hide_multiplier, oracle_history_len, parallel_strategies);
+criterion_group!(
+    benches,
+    hide_multiplier,
+    oracle_history_len,
+    parallel_strategies
+);
 criterion_main!(benches);

@@ -14,13 +14,9 @@ fn enumeration(c: &mut Criterion) {
         let mut wb = Workbench::new().with_universe(Universe::new(bound));
         wb.define_source(csp_core::examples::PIPELINE_SRC)
             .expect("parses");
-        group.bench_with_input(
-            BenchmarkId::new("universe", bound),
-            &bound,
-            |b, _| {
-                b.iter(|| wb.traces("copier", 5).expect("traces"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("universe", bound), &bound, |b, _| {
+            b.iter(|| wb.traces("copier", 5).expect("traces"));
+        });
     }
     group.finish();
 }
@@ -31,13 +27,9 @@ fn parallel_hiding(c: &mut Criterion) {
     group.sample_size(10);
     for stages in [2usize, 3, 4, 5] {
         let wb = chain_workbench(stages);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(stages),
-            &stages,
-            |b, _| {
-                b.iter(|| wb.traces("chain", 4).expect("traces"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(stages), &stages, |b, _| {
+            b.iter(|| wb.traces("chain", 4).expect("traces"));
+        });
     }
     group.finish();
 }
@@ -78,6 +70,7 @@ fn runtime_throughput(c: &mut Criterion) {
                         RunOptions {
                             max_steps: n,
                             scheduler: Scheduler::seeded(5),
+                            ..RunOptions::default()
                         },
                     )
                     .expect("runs");

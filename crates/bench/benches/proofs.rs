@@ -35,5 +35,11 @@ fn copier_check(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, table1_check, receiver_check, protocol_check, copier_check);
+criterion_group!(
+    benches,
+    table1_check,
+    receiver_check,
+    protocol_check,
+    copier_check
+);
 criterion_main!(benches);

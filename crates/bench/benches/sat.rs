@@ -46,7 +46,10 @@ fn multiplier_sat(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("width3_depth4", |b| {
         b.iter(|| {
-            assert!(wb.check_sat("multiplier", &inv, 4).expect("check runs").holds());
+            assert!(wb
+                .check_sat("multiplier", &inv, 4)
+                .expect("check runs")
+                .holds());
         });
     });
     group.finish();

@@ -34,12 +34,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ] {
         let verdict = wb.check_sat(name, claim, 4)?;
         let measured = match &verdict {
-            SatResult::Holds { traces_checked, depth } => {
+            SatResult::Holds {
+                traces_checked,
+                depth,
+            } => {
                 format!("holds on {traces_checked} traces (depth {depth})")
             }
             SatResult::Counterexample { trace } => format!("REFUTED by {trace}"),
         };
-        row("E1", &format!("{name} sat {claim}"), &measured, verdict.holds());
+        row(
+            "E1",
+            &format!("{name} sat {claim}"),
+            &measured,
+            verdict.holds(),
+        );
     }
 
     // ---------------------------------------------------------- T1 ----
@@ -67,7 +75,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let pwb = protocol_workbench();
     let verdict = pwb.check_sat("receiver", "output <= f(wire)", 4)?;
-    row("E2", "  …and model-checked", &format!("holds: {}", verdict.holds()), verdict.holds());
+    row(
+        "E2",
+        "  …and model-checked",
+        &format!("holds: {}", verdict.holds()),
+        verdict.holds(),
+    );
 
     // ---------------------------------------------------------- E3 ----
     let protocol = proofs::protocol::protocol_output_le_input();
@@ -79,7 +92,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         true,
     );
     let verdict = pwb.check_sat("protocol", "output <= input", 3)?;
-    row("E3", "  …and model-checked", &format!("holds: {}", verdict.holds()), verdict.holds());
+    row(
+        "E3",
+        "  …and model-checked",
+        &format!("holds: {}", verdict.holds()),
+        verdict.holds(),
+    );
 
     // ---------------------------------------------------------- E4 ----
     let mwb = multiplier_workbench(3);
@@ -134,7 +152,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     row(
         "E6",
         "  …and every proof script confirmed by the model",
-        &format!("{} scripts cross-validated, all agree = {agreed}", cross.len()),
+        &format!(
+            "{} scripts cross-validated, all agree = {agreed}",
+            cross.len()
+        ),
         agreed,
     );
 

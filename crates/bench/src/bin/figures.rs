@@ -78,16 +78,16 @@ fn render_network(wb: &Workbench, expr: &str) -> Result<(), Box<dyn std::error::
     }
 
     for (i, c) in net.components.iter().enumerate() {
-        let name = c
-            .label
-            .split([' ', '?'])
-            .next()
-            .unwrap_or(&c.label);
+        let name = c.label.split([' ', '?']).next().unwrap_or(&c.label);
         println!("  [{i}] {name:<12}  alphabet {}", c.alphabet);
     }
     println!("  channels:");
     for (ch, comps) in &channels {
-        let hidden = if net.hidden.contains(ch) { " (concealed)" } else { "" };
+        let hidden = if net.hidden.contains(ch) {
+            " (concealed)"
+        } else {
+            ""
+        };
         let ends = comps
             .iter()
             .map(|i| format!("[{i}]"))

@@ -5,8 +5,8 @@
 //!
 //! `cargo run -p csp-bench --bin table1`
 
-use csp_core::render_report;
 use csp_core::proofs::protocol::sender_table1;
+use csp_core::render_report;
 
 fn main() {
     let script = sender_table1();

@@ -56,38 +56,37 @@ pub mod proofs {
 
 pub use csp_assert::{
     decide_valid, parse_assertion, protocol_cancel, simplify, subst_chan_cons, subst_empty,
-    subst_var, Assertion, AssertError, ChannelInfo, CmpOp, DecideConfig, Decision,
-    EvalCtx, FuncTable, STerm, Term,
+    subst_var, AssertError, Assertion, ChannelInfo, CmpOp, DecideConfig, Decision, EvalCtx,
+    FuncTable, STerm, Term,
 };
 pub use csp_lang::{
-    channel_alphabet, parse_definitions, parse_expr, parse_process, validate, ChanRef,
-    Definition, Definitions, Env, EvalError, Expr, MsgSet, ParseError, Process, SetExpr,
-    ValidationIssue,
+    channel_alphabet, parse_definitions, parse_expr, parse_process, validate, ChanRef, Definition,
+    Definitions, Env, EvalError, Expr, MsgSet, ParseError, Process, SetExpr, ValidationIssue,
 };
 pub use csp_proof::{
-    check, render_report, spec_goal, synthesize, CheckReport, Context, Discharge,
-    Judgement, Obligation, Proof, ProofError, SynthError,
+    check, render_report, spec_goal, synthesize, CheckReport, Context, Discharge, Judgement,
+    Obligation, Proof, ProofError, SynthError,
 };
 pub use csp_runtime::{
-    check_conformance, flatten, Component, ConformanceReport, Executor, Network,
-    RunError, RunOptions, RunResult, Scheduler,
+    check_conformance, flatten, Component, ComponentFailure, ComponentSel, ConformanceReport,
+    Executor, FailureReason, Fault, FaultError, FaultPlan, Network, RestartPolicy, RunError,
+    RunOptions, RunOutcome, RunResult, Scheduler, Supervision,
 };
 pub use csp_semantics::{
-    compare, fixpoint, refines, Config, Discrepancy, FixpointRun, Lts, Semantics, Step,
-    Universe,
+    compare, fixpoint, refines, Config, Discrepancy, FixpointRun, Lts, Semantics, Step, Universe,
 };
 pub use csp_trace::{timeline, Channel, ChannelSet, Event, History, Seq, Trace, TraceSet, Value};
 pub use csp_verify::{
-    cross_validate_scripts, find_deadlocks, stop_choice_identity, validate_all_rules,
-    CrossValidation, Deadlock, DeadlockReport, InstanceGen, RuleReport, SatChecker,
-    SatResult,
+    cross_validate_scripts, fault_conformance, find_deadlocks, stop_choice_identity,
+    validate_all_rules, CrossValidation, Deadlock, DeadlockReport, DegradedRun, FaultConfError,
+    FaultConformance, FaultSweep, InstanceGen, RuleReport, SatChecker, SatResult,
 };
 
 /// Convenient glob-import surface: `use csp_core::prelude::*;`.
 pub mod prelude {
     pub use crate::{
-        Assertion, Channel, Definitions, Env, Event, Judgement, Process, Proof,
-        RunOptions, SatResult, Scheduler, Trace, TraceSet, Universe, Value, Workbench,
-        WorkbenchError,
+        Assertion, Channel, Definitions, Env, Event, FaultPlan, FaultSweep, Judgement, Process,
+        Proof, RestartPolicy, RunOptions, RunOutcome, SatResult, Scheduler, Supervision, Trace,
+        TraceSet, Universe, Value, Workbench, WorkbenchError,
     };
 }

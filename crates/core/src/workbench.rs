@@ -4,14 +4,16 @@
 
 use csp_assert::{Assertion, ChannelInfo, FuncTable};
 use csp_lang::{
-    parse_definitions, validate, ChanRef, Definition, Definitions, Env, Process,
-    ValidationIssue,
+    parse_definitions, validate, ChanRef, Definition, Definitions, Env, Process, ValidationIssue,
 };
 use csp_proof::{check, CheckReport, Context, Judgement, Proof, ProofError};
 use csp_runtime::{check_conformance, ConformanceReport, Executor, RunOptions, RunResult};
 use csp_semantics::{fixpoint, FixpointRun, Lts, Semantics, Universe};
 use csp_trace::{TraceSet, Value};
-use csp_verify::{find_deadlocks, DeadlockReport, SatChecker, SatResult};
+use csp_verify::{
+    fault_conformance, find_deadlocks, DeadlockReport, FaultConformance, FaultSweep, SatChecker,
+    SatResult,
+};
 
 /// Errors surfaced by the workbench.
 #[derive(Debug)]
@@ -173,7 +175,8 @@ impl Workbench {
 
     /// Declares channel-array names for assertion parsing.
     pub fn declare_channel_arrays<'a, I: IntoIterator<Item = &'a str>>(&mut self, names: I) {
-        self.extra_arrays.extend(names.into_iter().map(String::from));
+        self.extra_arrays
+            .extend(names.into_iter().map(String::from));
     }
 
     /// Static well-formedness issues in the current definitions.
@@ -318,6 +321,40 @@ impl Workbench {
         )?)
     }
 
+    /// Sweeps the named network over seeds × fault plans and checks
+    /// that every degraded run still conforms: its visible trace is
+    /// admitted by the semantics and every invariant (assertion syntax)
+    /// holds on every prefix. The empirical form of the §4 observation
+    /// that fail-stop faults only *remove* behaviour.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invariant parse errors, non-static networks, fault plans
+    /// naming unknown components, or evaluation errors during replay.
+    pub fn fault_conformance(
+        &self,
+        name: &str,
+        invariant_srcs: &[&str],
+        sweep: &FaultSweep,
+    ) -> Result<FaultConformance, WorkbenchError> {
+        let invariants = invariant_srcs
+            .iter()
+            .map(|s| self.assertion(s))
+            .collect::<Result<Vec<_>, _>>()?;
+        fault_conformance(
+            &Process::call(name),
+            &self.env,
+            &self.defs,
+            &self.universe,
+            &invariants,
+            sweep,
+        )
+        .map_err(|e| match e {
+            csp_verify::FaultConfError::Run(e) => WorkbenchError::Run(e),
+            csp_verify::FaultConfError::Eval(e) => WorkbenchError::Eval(e),
+        })
+    }
+
     /// Synthesises and checks a joint-recursion proof for the given
     /// `(name, invariant-source)` specs, concluding the first one — the
     /// automated form of the paper's proof discipline (see
@@ -336,9 +373,8 @@ impl Workbench {
         let mut ctx = Context::new(self.defs.clone(), self.universe.clone());
         ctx.env = self.env.clone();
         ctx.funcs = self.funcs.clone();
-        let proof = csp_proof::synthesize(&ctx, &parsed, 0).map_err(|e| {
-            WorkbenchError::Proof(ProofError::BadRecursion(e.to_string()))
-        })?;
+        let proof = csp_proof::synthesize(&ctx, &parsed, 0)
+            .map_err(|e| WorkbenchError::Proof(ProofError::BadRecursion(e.to_string())))?;
         let goal = csp_proof::spec_goal(&ctx, &parsed[0])?;
         Ok(check(&ctx, &goal, &proof)?)
     }
@@ -439,7 +475,10 @@ mod tests {
         let wb = pipeline_wb();
         assert!(wb.validate().is_empty());
         // Model check.
-        assert!(wb.check_sat("pipeline", "output <= input", 3).unwrap().holds());
+        assert!(wb
+            .check_sat("pipeline", "output <= input", 3)
+            .unwrap()
+            .holds());
         // Execute.
         let res = wb
             .run(
@@ -447,6 +486,7 @@ mod tests {
                 RunOptions {
                     max_steps: 20,
                     scheduler: Scheduler::seeded(2),
+                    ..RunOptions::default()
                 },
             )
             .unwrap();
@@ -455,6 +495,22 @@ mod tests {
             .conformance("pipeline", &res, &["output <= input"])
             .unwrap();
         assert!(report.conforms());
+    }
+
+    #[test]
+    fn fault_sweep_through_workbench() {
+        use csp_runtime::FaultPlan;
+        let wb = pipeline_wb();
+        let sweep = FaultSweep::new(
+            [1, 2],
+            [FaultPlan::none(), FaultPlan::none().crash("copier", 3)],
+        )
+        .with_max_steps(16);
+        let result = wb
+            .fault_conformance("pipeline", &["output <= input"], &sweep)
+            .unwrap();
+        assert_eq!(result.runs.len(), 4);
+        assert!(result.all_conformant(), "{:?}", result.violations());
     }
 
     #[test]
@@ -467,7 +523,8 @@ mod tests {
     #[test]
     fn channel_info_classifies_arrays() {
         let mut wb = Workbench::new();
-        wb.define_source(csp_lang::examples::MULTIPLIER_SRC).unwrap();
+        wb.define_source(csp_lang::examples::MULTIPLIER_SRC)
+            .unwrap();
         wb.bind_vector("v", &[1, 2, 3]);
         let a = wb
             .assertion("forall i:NAT. 1 <= i and i <= #output => output[i] == v[1]*row[1][i]")
@@ -484,7 +541,10 @@ mod tests {
         let proof = Proof::recursion(
             "copier",
             inv.clone(),
-            Proof::input("v", Proof::output(Proof::consequence(inv, Proof::Hypothesis))),
+            Proof::input(
+                "v",
+                Proof::output(Proof::consequence(inv, Proof::Hypothesis)),
+            ),
         );
         let report = wb.prove(&goal, &proof).unwrap();
         assert!(report.rule_count() >= 4);
@@ -527,15 +587,11 @@ mod tests {
             .expect("auto proof of copier");
         assert!(report.rule_count() >= 4);
         // The joint Table-1 pair through the high-level API:
-        let mut pwb = Workbench::new().with_universe(
-            Universe::new(1).with_named("M", [Value::nat(0), Value::nat(1)]),
-        );
+        let mut pwb = Workbench::new()
+            .with_universe(Universe::new(1).with_named("M", [Value::nat(0), Value::nat(1)]));
         pwb.define_source(csp_lang::examples::PROTOCOL_SRC).unwrap();
         let report = pwb
-            .prove_auto(&[
-                ("sender", "f(wire) <= input"),
-                ("q", "f(wire) <= x^input"),
-            ])
+            .prove_auto(&[("sender", "f(wire) <= input"), ("q", "f(wire) <= x^input")])
             .expect("auto Table 1");
         assert!(report.rule_count() >= 9);
     }
@@ -553,9 +609,7 @@ mod tests {
         assert!(report.deadlocks.is_empty());
         let mut jammed = Workbench::new().with_universe(Universe::new(3));
         jammed
-            .define_source(
-                "left = w!1 -> STOP\nright = w?x:{2} -> STOP\nnet = left || right",
-            )
+            .define_source("left = w!1 -> STOP\nright = w?x:{2} -> STOP\nnet = left || right")
             .unwrap();
         let report = jammed.deadlocks("net", 3).unwrap();
         assert!(!report.deadlock_free());
@@ -575,4 +629,3 @@ mod tests {
         assert_eq!(cex.len(), 1);
     }
 }
-

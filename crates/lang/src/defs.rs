@@ -195,12 +195,7 @@ impl Definitions {
 
     /// Like [`resolve_call`](Self::resolve_call) but returns a clone of the
     /// body for callers that need ownership.
-    pub fn instantiate(
-        &self,
-        name: &str,
-        args: &[Value],
-        env: &Env,
-    ) -> Result<Process, EvalError> {
+    pub fn instantiate(&self, name: &str, args: &[Value], env: &Env) -> Result<Process, EvalError> {
         let (body, scope) = self.resolve_call(name, args, env)?;
         crate::subst::close_process(body, &scope)
     }
@@ -291,7 +286,12 @@ mod tests {
     fn subscript_outside_range_is_rejected() {
         // §1.2(3): "provided that this is in M".
         let mut defs = Definitions::new();
-        defs.define(Definition::array("q", "x", SetExpr::range(0, 3), Process::Stop));
+        defs.define(Definition::array(
+            "q",
+            "x",
+            SetExpr::range(0, 3),
+            Process::Stop,
+        ));
         let err = defs
             .resolve_call("q", &[Value::Int(7)], &Env::new())
             .unwrap_err();
@@ -327,7 +327,9 @@ mod tests {
             Process::Stop,
         ));
         // Membership in abstract M is not decidable, so the call is allowed.
-        assert!(defs.resolve_call("q", &[Value::nat(9)], &Env::new()).is_ok());
+        assert!(defs
+            .resolve_call("q", &[Value::nat(9)], &Env::new())
+            .is_ok());
     }
 
     #[test]

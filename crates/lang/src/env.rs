@@ -126,9 +126,7 @@ mod tests {
 
     #[test]
     fn display_and_iteration_sorted() {
-        let e = Env::new()
-            .bind("b", Value::nat(2))
-            .bind("a", Value::nat(1));
+        let e = Env::new().bind("b", Value::nat(2)).bind("a", Value::nat(1));
         assert_eq!(e.to_string(), "{a = 1, b = 2}");
         let names: Vec<&str> = e.iter().map(|(k, _)| k).collect();
         assert_eq!(names, vec!["a", "b"]);

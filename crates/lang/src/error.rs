@@ -40,7 +40,11 @@ impl ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 
@@ -103,7 +107,11 @@ impl fmt::Display for EvalError {
                 write!(f, "value {value} is not in set {set}")
             }
             EvalError::UndefinedProcess(p) => write!(f, "undefined process name `{p}`"),
-            EvalError::ArityMismatch { name, got, expected } => write!(
+            EvalError::ArityMismatch {
+                name,
+                got,
+                expected,
+            } => write!(
                 f,
                 "process `{name}` applied to {got} subscript(s), definition has {expected}"
             ),

@@ -181,8 +181,8 @@ mod tests {
     fn generalised_multiplier_parses_for_small_widths() {
         for n in 1..=5 {
             let src = multiplier_src(n);
-            let defs = parse_definitions(&src)
-                .unwrap_or_else(|e| panic!("width {n} failed: {e}\n{src}"));
+            let defs =
+                parse_definitions(&src).unwrap_or_else(|e| panic!("width {n} failed: {e}\n{src}"));
             assert!(validate(&defs, &["v"]).is_empty(), "width {n}");
         }
     }
@@ -191,8 +191,8 @@ mod tests {
     fn generalised_pipeline_parses() {
         for n in 1..=4 {
             let src = pipeline_src(n);
-            let defs = parse_definitions(&src)
-                .unwrap_or_else(|e| panic!("stages {n} failed: {e}\n{src}"));
+            let defs =
+                parse_definitions(&src).unwrap_or_else(|e| panic!("stages {n} failed: {e}\n{src}"));
             assert!(validate(&defs, &[]).is_empty(), "stages {n}");
             assert!(defs.get("chain").is_some());
         }

@@ -319,8 +319,7 @@ mod tests {
                 Process::output("wire", Expr::var("x"), Process::call("copier")),
             ),
         ));
-        let alpha =
-            channel_alphabet(&Process::call("copier"), &defs, &Env::new()).unwrap();
+        let alpha = channel_alphabet(&Process::call("copier"), &defs, &Env::new()).unwrap();
         assert_eq!(alpha.len(), 2);
     }
 
@@ -344,12 +343,8 @@ mod tests {
         };
         let mut defs = Definitions::new();
         defs.define(Definition::array("mult", "i", SetExpr::range(1, 3), body));
-        let alpha = channel_alphabet(
-            &Process::call1("mult", Expr::int(2)),
-            &defs,
-            &Env::new(),
-        )
-        .unwrap();
+        let alpha =
+            channel_alphabet(&Process::call1("mult", Expr::int(2)), &defs, &Env::new()).unwrap();
         use csp_trace::Channel;
         assert!(alpha.contains(&Channel::indexed("row", 2)));
         assert!(alpha.contains(&Channel::indexed("col", 1)));
@@ -359,8 +354,7 @@ mod tests {
 
     #[test]
     fn alphabet_includes_hidden_channels() {
-        let p = Process::output("a", Expr::int(1), Process::Stop)
-            .hide(vec![ChanRef::simple("a")]);
+        let p = Process::output("a", Expr::int(1), Process::Stop).hide(vec![ChanRef::simple("a")]);
         let alpha = channel_alphabet(&p, &Definitions::new(), &Env::new()).unwrap();
         assert_eq!(alpha.len(), 1);
     }

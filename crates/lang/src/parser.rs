@@ -27,9 +27,7 @@
 
 use csp_trace::Value;
 
-use crate::{
-    BinOp, ChanRef, Definition, Definitions, Expr, ParseError, Process, SetExpr, UnOp,
-};
+use crate::{BinOp, ChanRef, Definition, Definitions, Expr, ParseError, Process, SetExpr, UnOp};
 
 /// Parses a list of process equations.
 ///
@@ -103,23 +101,23 @@ pub fn parse_set_expr(src: &str) -> Result<SetExpr, ParseError> {
 enum Tok {
     Ident(String),
     Int(i64),
-    Arrow,     // ->
-    Query,     // ?
-    Bang,      // !
-    Colon,     // :
-    Semi,      // ;
-    Comma,     // ,
-    Bar,       // |
-    BarBar,    // ||
+    Arrow,  // ->
+    Query,  // ?
+    Bang,   // !
+    Colon,  // :
+    Semi,   // ;
+    Comma,  // ,
+    Bar,    // |
+    BarBar, // ||
     LParen,
     RParen,
     LBrack,
     RBrack,
     LBrace,
     RBrace,
-    Eq,        // =
-    EqEq,      // ==
-    Ne,        // !=
+    Eq,   // =
+    EqEq, // ==
+    Ne,   // !=
     Lt,
     Le,
     Gt,
@@ -129,7 +127,7 @@ enum Tok {
     Star,
     Slash,
     Percent,
-    DotDot,    // ..
+    DotDot, // ..
 }
 
 impl std::fmt::Display for Tok {
@@ -292,7 +290,11 @@ fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                     chars.next();
                     push!(Tok::DotDot, 2);
                 } else {
-                    return Err(ParseError::new("stray `.` (did you mean `..`?)", line, column));
+                    return Err(ParseError::new(
+                        "stray `.` (did you mean `..`?)",
+                        line,
+                        column,
+                    ));
                 }
             }
             '?' => {
@@ -618,11 +620,7 @@ impl Parser {
             self.expect(&Tok::RBrack)?;
             let (l, h) = match (constant_int(&lo), constant_int(&hi)) {
                 (Some(l), Some(h)) => (l, h),
-                _ => {
-                    return Err(
-                        self.err("channel-family bounds in `chan` lists must be constant")
-                    )
-                }
+                _ => return Err(self.err("channel-family bounds in `chan` lists must be constant")),
             };
             Ok((l..=h)
                 .map(|i| ChanRef::indexed(&name, Expr::int(i)))
@@ -661,9 +659,7 @@ impl Parser {
                 self.expect(&Tok::RBrace)?;
                 Ok(SetExpr::Enum(elems))
             }
-            Some(Tok::Ident(s))
-                if starts_upper(s) && self.peek2() != Some(&Tok::DotDot) =>
-            {
+            Some(Tok::Ident(s)) if starts_upper(s) && self.peek2() != Some(&Tok::DotDot) => {
                 // A named abstract set such as `M`.
                 let n = s.clone();
                 self.bump();
@@ -815,7 +811,10 @@ fn starts_upper(s: &str) -> bool {
 }
 
 fn is_keyword(s: &str) -> bool {
-    matches!(s, "STOP" | "chan" | "NAT" | "and" | "or" | "not" | "true" | "false")
+    matches!(
+        s,
+        "STOP" | "chan" | "NAT" | "and" | "or" | "not" | "true" | "false"
+    )
 }
 
 fn constant_int(e: &Expr) -> Option<i64> {

@@ -129,9 +129,7 @@ mod tests {
         roundtrip("STOP");
         roundtrip("input?x:NAT -> wire!x -> copier");
         roundtrip("wire!x -> (wire?y:{ACK} -> sender | wire?y:{NACK} -> q[x])");
-        roundtrip(
-            "wire?z:M -> (wire!ACK -> output!z -> receiver | wire!NACK -> receiver)",
-        );
+        roundtrip("wire?z:M -> (wire!ACK -> output!z -> receiver | wire!NACK -> receiver)");
         roundtrip("chan wire; (sender || receiver)");
         roundtrip("row[i]?x:NAT -> col[i-1]?y:NAT -> col[i]!(v[i]*x+y) -> mult[i]");
         roundtrip("zeroes || mult[1] || mult[2] || mult[3] || last");

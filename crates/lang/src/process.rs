@@ -198,12 +198,7 @@ impl Process {
     }
 
     /// `chan?var:set -> self` builder.
-    pub fn input(
-        chan: impl Into<ChanRef>,
-        var: &str,
-        set: SetExpr,
-        then: Process,
-    ) -> Process {
+    pub fn input(chan: impl Into<ChanRef>, var: &str, set: SetExpr, then: Process) -> Process {
         Process::Input {
             chan: chan.into(),
             var: var.to_string(),

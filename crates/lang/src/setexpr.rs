@@ -216,9 +216,8 @@ mod tests {
     fn named_set_resolution() {
         let s = MsgSet::Named("M".to_string());
         assert_eq!(s.contains(&Value::nat(1)), None);
-        let table = |n: &str| {
-            (n == "M").then(|| [Value::nat(7)].into_iter().collect::<BTreeSet<_>>())
-        };
+        let table =
+            |n: &str| (n == "M").then(|| [Value::nat(7)].into_iter().collect::<BTreeSet<_>>());
         assert_eq!(s.enumerate(0, &table).unwrap(), vec![Value::nat(7)]);
         assert!(matches!(
             s.enumerate(0, &|_| None),

@@ -41,9 +41,7 @@ pub fn subst_expr(e: &Expr, x: &str, v: &Value) -> Expr {
         ),
         Expr::Un(op, a) => Expr::Un(*op, Box::new(subst_expr(a, x, v))),
         Expr::Tuple(es) => Expr::Tuple(es.iter().map(|e| subst_expr(e, x, v)).collect()),
-        Expr::ArrayRef(name, idx) => {
-            Expr::ArrayRef(name.clone(), Box::new(subst_expr(idx, x, v)))
-        }
+        Expr::ArrayRef(name, idx) => Expr::ArrayRef(name.clone(), Box::new(subst_expr(idx, x, v))),
     }
 }
 
@@ -178,11 +176,7 @@ mod tests {
 
     #[test]
     fn subst_process_output_and_call() {
-        let p = Process::output(
-            "wire",
-            Expr::var("x"),
-            Process::call1("q", Expr::var("x")),
-        );
+        let p = Process::output("wire", Expr::var("x"), Process::call1("q", Expr::var("x")));
         let p2 = subst_process(&p, "x", &Value::Int(5));
         match p2 {
             Process::Output { msg, then, .. } => {
@@ -230,11 +224,7 @@ mod tests {
 
     #[test]
     fn close_process_applies_all_bindings() {
-        let p = Process::output(
-            "c",
-            Expr::var("a").add(Expr::var("b")),
-            Process::Stop,
-        );
+        let p = Process::output("c", Expr::var("a").add(Expr::var("b")), Process::Stop);
         let env = Env::new().bind("a", Value::Int(1)).bind("b", Value::Int(2));
         let p2 = close_process(&p, &env).unwrap();
         match p2 {
@@ -294,14 +284,15 @@ pub fn subst_process_with(p: &Process, x: &str, r: &Expr) -> Process {
             Box::new(subst_expr_with(lo, x, r)),
             Box::new(subst_expr_with(hi, x, r)),
         ),
-        SetExpr::Enum(es) => {
-            SetExpr::Enum(es.iter().map(|e| subst_expr_with(e, x, r)).collect())
-        }
+        SetExpr::Enum(es) => SetExpr::Enum(es.iter().map(|e| subst_expr_with(e, x, r)).collect()),
     };
     let sub_chan = |c: &ChanRef| {
         ChanRef::with_indices(
             c.base(),
-            c.indices().iter().map(|e| subst_expr_with(e, x, r)).collect(),
+            c.indices()
+                .iter()
+                .map(|e| subst_expr_with(e, x, r))
+                .collect(),
         )
     };
     match p {

@@ -124,12 +124,7 @@ pub fn validate(defs: &Definitions, host_vars: &[&str]) -> Vec<ValidationIssue> 
     issues
 }
 
-fn check_calls(
-    in_def: &str,
-    p: &Process,
-    defs: &Definitions,
-    issues: &mut Vec<ValidationIssue>,
-) {
+fn check_calls(in_def: &str, p: &Process, defs: &Definitions, issues: &mut Vec<ValidationIssue>) {
     match p {
         Process::Stop => {}
         Process::Call { name, args } => match defs.get(name) {
@@ -224,9 +219,9 @@ mod tests {
     fn undefined_process_detected() {
         let defs = parse_definitions("p = c!0 -> ghost").unwrap();
         let issues = validate(&defs, &[]);
-        assert!(issues
-            .iter()
-            .any(|i| matches!(i, ValidationIssue::UndefinedProcess { name, .. } if name == "ghost")));
+        assert!(issues.iter().any(
+            |i| matches!(i, ValidationIssue::UndefinedProcess { name, .. } if name == "ghost")
+        ));
     }
 
     #[test]
@@ -237,9 +232,14 @@ mod tests {
         )
         .unwrap();
         let issues = validate(&defs, &[]);
-        assert!(issues
-            .iter()
-            .any(|i| matches!(i, ValidationIssue::ArityMismatch { got: 0, expected: 1, .. })));
+        assert!(issues.iter().any(|i| matches!(
+            i,
+            ValidationIssue::ArityMismatch {
+                got: 0,
+                expected: 1,
+                ..
+            }
+        )));
     }
 
     #[test]

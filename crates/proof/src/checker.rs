@@ -4,12 +4,10 @@
 //! recording how.
 
 use csp_assert::{
-    decide_valid, subst_chan_cons, subst_empty, subst_var, Assertion, DecideConfig,
-    Decision, FuncTable, Term,
+    decide_valid, subst_chan_cons, subst_empty, subst_var, Assertion, DecideConfig, Decision,
+    FuncTable, Term,
 };
-use csp_lang::{
-    channel_alphabet, subst_process_with, Definitions, Env, Expr, Process, SetExpr,
-};
+use csp_lang::{channel_alphabet, subst_process_with, Definitions, Env, Expr, Process, SetExpr};
 use csp_semantics::Universe;
 use csp_trace::ChannelSet;
 
@@ -140,7 +138,11 @@ pub enum ProofError {
 impl std::fmt::Display for ProofError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ProofError::GoalShape { rule, goal, expected } => write!(
+            ProofError::GoalShape {
+                rule,
+                goal,
+                expected,
+            } => write!(
                 f,
                 "rule {rule} cannot derive `{goal}` (expected {expected})"
             ),
@@ -211,7 +213,9 @@ fn check_inner(
     scope: &mut Scope,
     report: &mut CheckReport,
 ) -> Result<(), ProofError> {
-    report.steps.push(format!("{}: {}", proof.rule_name(), goal));
+    report
+        .steps
+        .push(format!("{}: {}", proof.rule_name(), goal));
     match proof {
         Proof::Hypothesis => {
             if scope.hypotheses.contains(goal) {
@@ -397,13 +401,7 @@ fn check_inner(
             })?;
             assertion_channels_within(&r, &x, "left", &ctx.env)?;
             assertion_channels_within(&s, &y, "right", &ctx.env)?;
-            check_inner(
-                ctx,
-                &Judgement::sat((**pl).clone(), r),
-                left,
-                scope,
-                report,
-            )?;
+            check_inner(ctx, &Judgement::sat((**pl).clone(), r), left, scope, report)?;
             check_inner(
                 ctx,
                 &Judgement::sat((**pr).clone(), s),
@@ -429,9 +427,7 @@ fn check_inner(
                     if clash {
                         return Err(ProofError::SideCondition {
                             rule: "hiding (9)",
-                            message: format!(
-                                "assertion mentions concealed channel `{h}`"
-                            ),
+                            message: format!("assertion mentions concealed channel `{h}`"),
                         });
                     }
                 }
@@ -477,10 +473,12 @@ fn check_inner(
             // Base premises: S_<> for each spec (under the array binder
             // when present).
             for (name, inv) in specs {
-                let base = match ctx.defs.get(name).and_then(|d| d.param().map(|(v, s)| (v.to_string(), s.clone()))) {
-                    Some((var, set)) => {
-                        Assertion::ForallIn(var, set, Box::new(subst_empty(inv)))
-                    }
+                let base = match ctx
+                    .defs
+                    .get(name)
+                    .and_then(|d| d.param().map(|(v, s)| (v.to_string(), s.clone())))
+                {
+                    Some((var, set)) => Assertion::ForallIn(var, set, Box::new(subst_empty(inv))),
                     None => subst_empty(inv),
                 };
                 oblige(ctx, scope, report, "recursion (10) base", base)?;
@@ -557,13 +555,9 @@ fn oblige(
     rule: &'static str,
     formula: Assertion,
 ) -> Result<(), ProofError> {
-    let closed = scope
-        .binders
-        .iter()
-        .rev()
-        .fold(formula, |acc, (v, m)| {
-            Assertion::ForallIn(v.clone(), m.clone(), Box::new(acc))
-        });
+    let closed = scope.binders.iter().rev().fold(formula, |acc, (v, m)| {
+        Assertion::ForallIn(v.clone(), m.clone(), Box::new(acc))
+    });
     let rendered = closed.to_string();
     match decide_valid(&closed, &ctx.universe, &ctx.funcs, ctx.decide_config) {
         Decision::ValidSyntactic { law } => {
@@ -606,11 +600,7 @@ fn discharge_membership(
     // Binder-closed: arg is exactly a variable some surrounding binder
     // ranges over the same set.
     if let Expr::Var(v) = arg {
-        if scope
-            .binders
-            .iter()
-            .any(|(bv, bs)| bv == v && bs == set)
-        {
+        if scope.binders.iter().any(|(bv, bs)| bv == v && bs == set) {
             report.obligations.push(Obligation {
                 rule: "forall-elim",
                 formula: format!("{arg} in {set}"),

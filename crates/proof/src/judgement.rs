@@ -82,10 +82,7 @@ mod tests {
         );
         assert_eq!(j.to_string(), "copier sat wire <= input");
         let q = Judgement::forall("x", SetExpr::Named("M".into()), j.clone());
-        assert_eq!(
-            q.to_string(),
-            "forall x:M. copier sat wire <= input"
-        );
+        assert_eq!(q.to_string(), "forall x:M. copier sat wire <= input");
         assert_eq!(q.core().0, &Process::call("copier"));
     }
 }

@@ -164,9 +164,7 @@ impl Proof {
             Proof::Conjunction { left, right }
             | Proof::Alternative { left, right }
             | Proof::Parallelism { left, right } => 1 + left.size() + right.size(),
-            Proof::Recursion { bodies, .. } => {
-                1 + bodies.iter().map(Proof::size).sum::<usize>()
-            }
+            Proof::Recursion { bodies, .. } => 1 + bodies.iter().map(Proof::size).sum::<usize>(),
         }
     }
 

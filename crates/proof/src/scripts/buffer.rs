@@ -174,5 +174,4 @@ mod tests {
         };
         assert!(script.check().is_err());
     }
-
 }

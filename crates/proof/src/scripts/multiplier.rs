@@ -24,9 +24,11 @@ fn ctx() -> Context {
 /// boundary process ever sends on `col[0]` is zero.
 pub fn zeroes_all_zero() -> Script {
     let col0 = || STerm::chan_at("col", Expr::int(0));
-    let guard = Assertion::Cmp(CmpOp::Le, Term::int(1), Term::var("i")).and(
-        Assertion::Cmp(CmpOp::Le, Term::var("i"), Term::length(col0())),
-    );
+    let guard = Assertion::Cmp(CmpOp::Le, Term::int(1), Term::var("i")).and(Assertion::Cmp(
+        CmpOp::Le,
+        Term::var("i"),
+        Term::length(col0()),
+    ));
     let body = Assertion::Cmp(
         CmpOp::Eq,
         Term::Index(Box::new(col0()), Box::new(Term::var("i"))),
@@ -86,8 +88,7 @@ mod tests {
     fn subscripted_channels_are_distinct_in_assertions() {
         // last sat output ≤ col[2] is false (it reads col[3]); the
         // consequence obligation must be refuted.
-        let wrong =
-            Assertion::prefix(STerm::chan("output"), STerm::chan_at("col", Expr::int(2)));
+        let wrong = Assertion::prefix(STerm::chan("output"), STerm::chan_at("col", Expr::int(2)));
         let script = Script {
             name: "bad-last",
             paper_ref: "negative test",

@@ -97,7 +97,8 @@ pub fn pipeline_output_le_input() -> Script {
     let recopier_proof = recopier_output_le_wire().proof;
     Script {
         name: "pipeline",
-        paper_ref: "§2.1 rules (8)/(9) example: (chan wire; copier || recopier) sat output <= input",
+        paper_ref:
+            "§2.1 rules (8)/(9) example: (chan wire; copier || recopier) sat output <= input",
         context: ctx(),
         goal: Judgement::sat(Process::call("pipeline"), goal_inv.clone()),
         proof: Proof::recursion(
@@ -126,10 +127,10 @@ mod tests {
         let report = copier_wire_le_input().check().expect("copier proof");
         // The key step is the consequence obligation discharged by the
         // syntactic cons-monotonicity law.
-        assert!(report.obligations.iter().any(|o| matches!(
-            o.discharge,
-            Discharge::Syntactic("cons-monotonicity")
-        )));
+        assert!(report
+            .obligations
+            .iter()
+            .any(|o| matches!(o.discharge, Discharge::Syntactic("cons-monotonicity"))));
         assert!(report.fully_discharged());
     }
 

@@ -58,10 +58,7 @@ fn delta1_proof(select: usize) -> Proof {
         },
     );
     // Left arm: wire?y:{ACK} → sender.
-    let ack_arm = Proof::input(
-        "w",
-        Proof::consequence(sender_inv(), Proof::Hypothesis),
-    );
+    let ack_arm = Proof::input("w", Proof::consequence(sender_inv(), Proof::Hypothesis));
     // Right arm: wire?y:{NACK} → q[x].
     let nack_arm = Proof::input(
         "w",
@@ -164,7 +161,11 @@ mod tests {
         // The paper's table has 21 numbered steps; our tree compresses
         // the natural-deduction plumbing but must still contain the
         // essential rule applications.
-        assert!(report.rule_count() >= 9, "only {} steps", report.rule_count());
+        assert!(
+            report.rule_count() >= 9,
+            "only {} steps",
+            report.rule_count()
+        );
         assert!(report.steps.iter().any(|s| s.starts_with("recursion")));
         assert!(report.steps.iter().any(|s| s.starts_with("alternative")));
         // Every `(def f)` obligation must actually discharge.

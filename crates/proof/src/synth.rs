@@ -169,13 +169,14 @@ fn synth_body(
             synth_body(ctx, specs, within, b, fresh, renames)?,
         )),
         Process::Call { name, args } => {
-            let (_, inv) = specs
-                .iter()
-                .find(|(n, _)| n == name)
-                .ok_or_else(|| SynthError::NoSpecFor {
-                    name: name.clone(),
-                    within: within.to_string(),
-                })?;
+            let (_, inv) =
+                specs
+                    .iter()
+                    .find(|(n, _)| n == name)
+                    .ok_or_else(|| SynthError::NoSpecFor {
+                        name: name.clone(),
+                        within: within.to_string(),
+                    })?;
             let def = ctx
                 .defs
                 .get(name)
@@ -188,8 +189,7 @@ fn synth_body(
             match def.param() {
                 None => Ok(Proof::consequence(inv.clone(), Proof::Hypothesis)),
                 Some((param, _)) => {
-                    let mut arg =
-                        args.first().cloned().unwrap_or_else(|| Expr::var(param));
+                    let mut arg = args.first().cloned().unwrap_or_else(|| Expr::var(param));
                     // Re-state the argument with the fresh variables the
                     // input rule introduced on the way down (latest
                     // binding of a shadowed name wins).
@@ -197,10 +197,7 @@ fn synth_body(
                         arg = csp_lang::subst_expr_with(&arg, from, to);
                     }
                     let instantiated = subst_var(inv, param, &arg);
-                    Ok(Proof::consequence(
-                        instantiated,
-                        Proof::Instantiate { arg },
-                    ))
+                    Ok(Proof::consequence(instantiated, Proof::Instantiate { arg }))
                 }
             }
         }
@@ -220,8 +217,8 @@ mod tests {
     use csp_trace::Value;
 
     fn prove_auto(ctx: &Context, specs: Vec<(String, Assertion)>, select: usize) {
-        let proof = synthesize(ctx, &specs, select)
-            .unwrap_or_else(|e| panic!("synthesis failed: {e}"));
+        let proof =
+            synthesize(ctx, &specs, select).unwrap_or_else(|e| panic!("synthesis failed: {e}"));
         let goal = spec_goal(ctx, &specs[select]).unwrap();
         check(ctx, &goal, &proof)
             .unwrap_or_else(|e| panic!("synthesised proof failed to check: {e}"));
@@ -363,9 +360,7 @@ mod tests {
         // The mutually inductive pair (both true of <>):
         //   ping sat (#b ≤ #a ∧ #a ≤ #b + 1)
         //   pong sat (#a ≤ #b ∧ #b ≤ #a + 1)
-        let le = |x: STerm, y: Term| {
-            Assertion::Cmp(CmpOp::Le, Term::length(x), y)
-        };
+        let le = |x: STerm, y: Term| Assertion::Cmp(CmpOp::Le, Term::length(x), y);
         let specs = vec![
             (
                 "ping".to_string(),

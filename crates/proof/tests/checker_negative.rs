@@ -64,10 +64,7 @@ fn input_rule_freshness_is_checked() {
     // after substitution? The continuation's variable is bound, so use a
     // variable free in R instead: R mentions none, so collide with the
     // channel? Simplest: reuse a name bound by an enclosing binder.
-    let inner = Proof::input(
-        "v",
-        Proof::input("v", Proof::output(Proof::Triviality)),
-    );
+    let inner = Proof::input("v", Proof::input("v", Proof::output(Proof::Triviality)));
     let defs = parse_definitions("twice = a?x:NAT -> b?y:NAT -> c!x -> STOP").unwrap();
     let ctx2 = Context::new(defs, Universe::new(1));
     let goal = Judgement::sat(
@@ -76,7 +73,13 @@ fn input_rule_freshness_is_checked() {
     );
     let err = check(&ctx2, &goal, &inner).unwrap_err();
     assert!(
-        matches!(err, ProofError::SideCondition { rule: "input (6)", .. }),
+        matches!(
+            err,
+            ProofError::SideCondition {
+                rule: "input (6)",
+                ..
+            }
+        ),
         "{err}"
     );
     let _ = ctx;
@@ -118,7 +121,13 @@ fn parallelism_channel_occurrence_is_enforced() {
     )
     .unwrap_err();
     assert!(
-        matches!(err, ProofError::SideCondition { rule: "parallelism (8)", .. }),
+        matches!(
+            err,
+            ProofError::SideCondition {
+                rule: "parallelism (8)",
+                ..
+            }
+        ),
         "{err}"
     );
 }
@@ -137,7 +146,13 @@ fn hiding_rejects_concealed_channel_mentions() {
     )
     .unwrap_err();
     assert!(
-        matches!(err, ProofError::SideCondition { rule: "hiding (9)", .. }),
+        matches!(
+            err,
+            ProofError::SideCondition {
+                rule: "hiding (9)",
+                ..
+            }
+        ),
         "{err}"
     );
 }
@@ -193,7 +208,13 @@ fn recursion_base_premise_is_checked() {
     )
     .unwrap_err();
     assert!(
-        matches!(err, ProofError::InvalidPremise { rule: "recursion (10) base", .. }),
+        matches!(
+            err,
+            ProofError::InvalidPremise {
+                rule: "recursion (10) base",
+                ..
+            }
+        ),
         "{err}"
     );
 }
@@ -245,8 +266,10 @@ fn instantiate_membership_is_enforced_for_finite_sets() {
     assert!(
         matches!(
             err,
-            ProofError::SideCondition { rule: "forall-elim", .. }
-                | ProofError::NoHypothesis { .. }
+            ProofError::SideCondition {
+                rule: "forall-elim",
+                ..
+            } | ProofError::NoHypothesis { .. }
         ),
         "{err}"
     );
@@ -284,14 +307,15 @@ fn consequence_implication_is_really_checked() {
         Term::int(0),
     );
     let goal = Judgement::sat(Process::Stop, tight);
-    let err = check(
-        &ctx,
-        &goal,
-        &Proof::consequence(weak, Proof::Emptiness),
-    )
-    .unwrap_err();
+    let err = check(&ctx, &goal, &Proof::consequence(weak, Proof::Emptiness)).unwrap_err();
     assert!(
-        matches!(err, ProofError::InvalidPremise { rule: "consequence (2)", .. }),
+        matches!(
+            err,
+            ProofError::InvalidPremise {
+                rule: "consequence (2)",
+                ..
+            }
+        ),
         "{err}"
     );
 }

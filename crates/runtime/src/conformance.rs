@@ -149,6 +149,7 @@ mod tests {
                 RunOptions {
                     max_steps: 24,
                     scheduler: Scheduler::seeded(5),
+                    ..RunOptions::default()
                 },
             )
             .unwrap();
@@ -178,6 +179,7 @@ mod tests {
                 RunOptions {
                     max_steps: 30,
                     scheduler: Scheduler::seeded(8),
+                    ..RunOptions::default()
                 },
             )
             .unwrap();
@@ -228,6 +230,7 @@ mod tests {
                 RunOptions {
                     max_steps: 16,
                     scheduler: Scheduler::seeded(1),
+                    ..RunOptions::default()
                 },
             )
             .unwrap();

@@ -1,6 +1,6 @@
 //! The concurrent executor: one OS thread per network component, joined
-//! by a coordinator implementing the paper's simultaneous-participation
-//! rule for channel events.
+//! by a supervising coordinator implementing the paper's
+//! simultaneous-participation rule for channel events.
 //!
 //! §1.0: a communication "occurs only when both processes are ready for
 //! it" — generalised per the §1.2(8) note to *every* process connected
@@ -8,13 +8,30 @@
 //! ready for (its *offers*); an event is enabled iff every component
 //! whose alphabet contains its channel offers it; the scheduler picks one
 //! enabled event; exactly the participating components advance.
+//!
+//! The coordinator doubles as a supervisor. Component threads can die
+//! (panics, evaluation errors, injected [`crate::Fault::Crash`]es) or
+//! stop responding (hangs, injected stalls); the coordinator never
+//! trusts them further than a bounded `recv_timeout`, converts every
+//! failure into a [`RunOutcome`], and lets the surviving components
+//! degrade gracefully around a dead one — which then behaves exactly
+//! like `STOP`, the degradation §4's `STOP | P = P` identity makes
+//! invisible to the proof system. Under [`crate::RestartPolicy::Replay`]
+//! a dead component is respawned and fast-forwarded by replaying its
+//! alphabet's projection of the trace so far; sound because a process's
+//! state is a function of its communication history (§3).
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
+use std::thread;
+use std::time::Instant;
+
 use csp_lang::{Definitions, Env, EvalError, Process};
 use csp_semantics::{Config, Lts, Step, Universe};
 use csp_trace::{Event, Trace};
 
-use crate::net::{flatten, NetError};
+use crate::fault::{Fault, FaultError, FaultPlan, RestartPolicy};
+use crate::net::{flatten, Component, NetError, Network};
+use crate::supervisor::{ComponentFailure, FailureReason, RunOutcome, Supervision};
 use crate::Scheduler;
 
 /// Options controlling a run.
@@ -24,6 +41,11 @@ pub struct RunOptions {
     pub max_steps: usize,
     /// How non-determinism is resolved.
     pub scheduler: Scheduler,
+    /// Faults injected into the run (default: none).
+    pub faults: FaultPlan,
+    /// Watchdog limits (default: generous round timeout, no deadline,
+    /// livelock detection off).
+    pub supervision: Supervision,
 }
 
 impl Default for RunOptions {
@@ -31,6 +53,8 @@ impl Default for RunOptions {
         RunOptions {
             max_steps: 64,
             scheduler: Scheduler::seeded(0),
+            faults: FaultPlan::none(),
+            supervision: Supervision::default(),
         }
     }
 }
@@ -43,19 +67,33 @@ pub struct RunResult {
     pub visible: Trace,
     /// The full trace including concealed communications.
     pub full: Trace,
-    /// True if the network stopped because no event was enabled.
+    /// Why the run ended.
+    pub outcome: RunOutcome,
+    /// Convenience mirror of `outcome == RunOutcome::Deadlocked`.
     pub deadlocked: bool,
     /// Number of events that occurred.
     pub steps: usize,
+    /// Every component death the supervisor observed, recovered or not.
+    pub failures: Vec<ComponentFailure>,
 }
 
-/// Errors from the executor.
+impl RunResult {
+    /// Number of component deaths a restart policy recovered from.
+    pub fn recoveries(&self) -> usize {
+        self.failures.iter().filter(|f| f.recovered).count()
+    }
+}
+
+/// Errors from the executor — problems *setting up* a run. Failures
+/// during a run are reported in [`RunResult::outcome`], not here.
 #[derive(Debug)]
 pub enum RunError {
     /// The process is not a static network.
     Net(NetError),
-    /// A component failed to evaluate.
+    /// A component failed to evaluate while flattening.
     Eval(EvalError),
+    /// The fault plan does not fit the network.
+    Fault(FaultError),
 }
 
 impl std::fmt::Display for RunError {
@@ -63,6 +101,7 @@ impl std::fmt::Display for RunError {
         match self {
             RunError::Net(e) => e.fmt(f),
             RunError::Eval(e) => e.fmt(f),
+            RunError::Fault(e) => e.fmt(f),
         }
     }
 }
@@ -81,6 +120,12 @@ impl From<EvalError> for RunError {
     }
 }
 
+impl From<FaultError> for RunError {
+    fn from(e: FaultError) -> Self {
+        RunError::Fault(e)
+    }
+}
+
 /// Message from coordinator to a component.
 enum Decision {
     /// The given event occurred and involves you: advance past it.
@@ -89,6 +134,31 @@ enum Decision {
     Stay,
     /// The run is over.
     Halt,
+    /// Injected crash: die by unwinding, as a buggy component would.
+    Poison,
+}
+
+/// What the coordinator believes about one component.
+enum SlotState {
+    /// We owe it a `recv`: its next offer has not been collected.
+    AwaitingOffer,
+    /// Its current offer is in hand (and stays buffered while the
+    /// component is stalled or its offer message is delayed in transit).
+    Offered(Vec<Event>),
+    /// The component is dead and behaves as `STOP`.
+    Dead,
+}
+
+/// Coordinator-side bookkeeping for one component thread.
+struct Slot<'scope> {
+    state: SlotState,
+    /// Rounds left during which the offer is withheld (stall/delay).
+    stall_rounds: usize,
+    /// Restarts consumed, towards [`Supervision::max_restarts`].
+    restarts_used: usize,
+    offer_rx: Receiver<Result<Vec<Event>, EvalError>>,
+    decision_tx: SyncSender<Decision>,
+    handle: Option<thread::ScopedJoinHandle<'scope, ()>>,
 }
 
 /// Executes networks built from a definition list.
@@ -108,14 +178,9 @@ impl<'a> Executor<'a> {
     ///
     /// # Errors
     ///
-    /// Fails on non-static networks and on evaluation errors inside
-    /// components.
-    pub fn run_name(
-        &self,
-        name: &str,
-        env: &Env,
-        opts: RunOptions,
-    ) -> Result<RunResult, RunError> {
+    /// Fails on non-static networks, on evaluation errors while
+    /// flattening, and on fault plans naming unknown components.
+    pub fn run_name(&self, name: &str, env: &Env, opts: RunOptions) -> Result<RunResult, RunError> {
         self.run(&Process::call(name), env, opts)
     }
 
@@ -123,8 +188,11 @@ impl<'a> Executor<'a> {
     ///
     /// # Errors
     ///
-    /// Fails on non-static networks and on evaluation errors inside
-    /// components.
+    /// Fails on non-static networks, on evaluation errors while
+    /// flattening, and on fault plans naming unknown components.
+    /// Mid-run failures (component deaths, timeouts, livelock) are
+    /// reported in [`RunResult::outcome`], never as `Err` — and never as
+    /// a panic or an unbounded hang.
     pub fn run(
         &self,
         process: &Process,
@@ -132,63 +200,107 @@ impl<'a> Executor<'a> {
         mut opts: RunOptions,
     ) -> Result<RunResult, RunError> {
         let net = flatten(process, self.defs, env)?;
-        let n = net.components.len();
+        opts.faults.resolve_all(&net.components)?;
 
-        // Channel pairs per component.
-        let mut offer_rxs: Vec<Receiver<Result<Vec<Event>, EvalError>>> = Vec::new();
-        let mut decision_txs: Vec<Sender<Decision>> = Vec::new();
-
-        let mut full = Vec::new();
-        let mut deadlocked = false;
-
-        crossbeam::scope(|scope| -> Result<(), RunError> {
-            for comp in &net.components {
-                let (offer_tx, offer_rx) = unbounded();
-                let (decision_tx, decision_rx) = unbounded::<Decision>();
-                offer_rxs.push(offer_rx);
-                decision_txs.push(decision_tx);
-                let defs = self.defs;
-                let universe = self.universe;
-                let comp = comp.clone();
-                scope.spawn(move |_| {
-                    component_thread(comp, defs, universe, &offer_tx, &decision_rx);
-                });
+        // Resolve fault targets to indices once, up front.
+        let mut crashes: Vec<(usize, usize, bool)> = Vec::new(); // (index, at_step, fired)
+        let mut stalls: Vec<(usize, usize, usize, bool)> = Vec::new(); // (index, at_step, rounds, fired)
+        for fault in &opts.faults.faults {
+            let index = fault
+                .component()
+                .resolve(&net.components)
+                .expect("resolve_all checked");
+            match fault {
+                Fault::Crash { at_step, .. } => crashes.push((index, *at_step, false)),
+                Fault::Stall {
+                    at_step, rounds, ..
+                }
+                | Fault::DelayOffer {
+                    at_step, rounds, ..
+                } => {
+                    stalls.push((index, *at_step, *rounds, false));
+                }
             }
+        }
+        let starved: Vec<usize> = opts
+            .faults
+            .starve
+            .iter()
+            .map(|s| s.resolve(&net.components).expect("resolve_all checked"))
+            .collect();
 
-            // Coordinator loop.
-            for _ in 0..opts.max_steps {
-                // Gather offers.
-                let mut offers: Vec<Vec<Event>> = Vec::with_capacity(n);
-                for rx in &offer_rxs {
-                    match rx.recv() {
-                        Ok(Ok(events)) => offers.push(events),
-                        Ok(Err(e)) => {
-                            halt_all(&decision_txs);
-                            return Err(RunError::Eval(e));
-                        }
-                        Err(_) => {
-                            halt_all(&decision_txs);
-                            return Err(RunError::Eval(EvalError::UndefinedProcess(
-                                "component thread died".to_string(),
-                            )));
+        let (full, failures, terminal, saw_deadlock) = thread::scope(|scope| {
+            let mut co = Coordinator {
+                scope,
+                defs: self.defs,
+                universe: self.universe,
+                net: &net,
+                supervision: &opts.supervision,
+                restart: opts.faults.restart,
+                start: Instant::now(),
+                slots: net
+                    .components
+                    .iter()
+                    .map(|c| spawn_component(scope, c, self.defs, self.universe))
+                    .collect(),
+                full: Vec::new(),
+                failures: Vec::new(),
+            };
+
+            let mut terminal: Option<RunOutcome> = None;
+            let mut saw_deadlock = false;
+            let mut hidden_streak = 0usize;
+
+            'run: while co.full.len() < opts.max_steps {
+                if co.past_deadline() {
+                    terminal = Some(RunOutcome::TimedOut {
+                        at_step: co.full.len(),
+                    });
+                    break 'run;
+                }
+
+                // Collect one offer from every live, unstalled component.
+                if let Some(t) = co.gather() {
+                    terminal = Some(t);
+                    break 'run;
+                }
+
+                // Fire faults scheduled for the current step.
+                let step = co.full.len();
+                for (index, at_step, fired) in &mut crashes {
+                    if !*fired && *at_step <= step {
+                        *fired = true;
+                        co.kill(*index, FailureReason::InjectedCrash);
+                    }
+                }
+                for (index, at_step, rounds, fired) in &mut stalls {
+                    if !*fired && *at_step <= step {
+                        *fired = true;
+                        if !matches!(co.slots[*index].state, SlotState::Dead) {
+                            let slot = &mut co.slots[*index];
+                            slot.stall_rounds = slot.stall_rounds.max(*rounds);
                         }
                     }
                 }
+                // Recoveries may have left fresh threads awaiting collection.
+                if let Some(t) = co.gather() {
+                    terminal = Some(t);
+                    break 'run;
+                }
 
                 // Enabled events: offered by someone and matched by every
-                // component whose alphabet contains the channel.
+                // component whose alphabet contains the channel. Dead and
+                // stalled components offer nothing, so events needing
+                // them are disabled — `STOP | P = P` in action.
                 let mut enabled: Vec<Event> = Vec::new();
-                for (i, comp_offers) in offers.iter().enumerate() {
-                    for e in comp_offers {
+                for i in 0..co.slots.len() {
+                    for e in co.effective_offer(i) {
                         if enabled.contains(e) {
                             continue;
                         }
                         let ok = net.components.iter().enumerate().all(|(j, c)| {
-                            !c.alphabet.contains(e.channel()) || offers[j].contains(e)
+                            !c.alphabet.contains(e.channel()) || co.effective_offer(j).contains(e)
                         });
-                        // The offering component's own alphabet always
-                        // contains the channel, so `i` participates.
-                        let _ = i;
                         if ok {
                             enabled.push(e.clone());
                         }
@@ -198,27 +310,113 @@ impl<'a> Executor<'a> {
                 enabled.dedup();
 
                 if enabled.is_empty() {
-                    deadlocked = true;
-                    break;
+                    if co
+                        .slots
+                        .iter()
+                        .any(|s| s.stall_rounds > 0 && !matches!(s.state, SlotState::Dead))
+                    {
+                        // Not a deadlock: a stalled offer is still in
+                        // flight. Let a coordination round pass.
+                        co.tick_stalls();
+                        continue 'run;
+                    }
+                    saw_deadlock = true;
+                    break 'run;
                 }
 
-                let chosen = enabled[opts.scheduler.pick(&enabled)].clone();
-                full.push(chosen.clone());
-                for (j, tx) in decision_txs.iter().enumerate() {
+                // Adversarial starvation: if anything is enabled that
+                // does not involve a starved component, only such events
+                // are eligible.
+                let chosen = {
+                    let pool: Vec<Event> = if starved.is_empty() {
+                        enabled
+                    } else {
+                        let preferred: Vec<Event> = enabled
+                            .iter()
+                            .filter(|e| {
+                                !starved
+                                    .iter()
+                                    .any(|&j| net.components[j].alphabet.contains(e.channel()))
+                            })
+                            .cloned()
+                            .collect();
+                        if preferred.is_empty() {
+                            enabled
+                        } else {
+                            preferred
+                        }
+                    };
+                    match opts.scheduler.pick(&pool) {
+                        Some(k) => pool[k].clone(),
+                        None => {
+                            saw_deadlock = true;
+                            break 'run;
+                        }
+                    }
+                };
+
+                co.full.push(chosen.clone());
+                if net.hidden.contains(chosen.channel()) {
+                    hidden_streak += 1;
+                    let window = opts.supervision.livelock_window;
+                    if window > 0 && hidden_streak >= window {
+                        terminal = Some(RunOutcome::Livelock {
+                            at_step: co.full.len(),
+                            hidden_streak,
+                        });
+                        break 'run;
+                    }
+                } else {
+                    hidden_streak = 0;
+                }
+
+                // Inform everyone who has an offer on the table.
+                for j in 0..co.slots.len() {
+                    let slot = &co.slots[j];
+                    if slot.stall_rounds > 0 || !matches!(slot.state, SlotState::Offered(_)) {
+                        continue;
+                    }
                     let involved = net.components[j].alphabet.contains(chosen.channel());
                     let msg = if involved {
                         Decision::Advance(chosen.clone())
                     } else {
                         Decision::Stay
                     };
-                    let _ = tx.send(msg);
+                    if co.slots[j].decision_tx.try_send(msg).is_err() {
+                        co.kill(j, FailureReason::ChannelClosed);
+                    } else {
+                        co.slots[j].state = SlotState::AwaitingOffer;
+                    }
                 }
+                co.tick_stalls();
             }
 
-            halt_all(&decision_txs);
-            Ok(())
-        })
-        .expect("component thread panicked")?;
+            // Single teardown point for every exit path: no component
+            // thread outlives the run.
+            co.halt_and_join();
+            (co.full, co.failures, terminal, saw_deadlock)
+        });
+
+        let outcome = terminal.unwrap_or_else(|| {
+            if let Some(f) = failures
+                .iter()
+                .find(|f| !f.recovered && f.reason == FailureReason::Panicked)
+            {
+                RunOutcome::Crashed {
+                    label: f.label.clone(),
+                    at_step: f.at_step,
+                }
+            } else if let Some(f) = failures.iter().find(|f| !f.recovered) {
+                RunOutcome::ComponentFailed {
+                    label: f.label.clone(),
+                    at_step: f.at_step,
+                }
+            } else if saw_deadlock {
+                RunOutcome::Deadlocked
+            } else {
+                RunOutcome::Completed
+            }
+        });
 
         let full = Trace::from_events(full);
         let visible = full.restrict(&net.hidden);
@@ -226,23 +424,250 @@ impl<'a> Executor<'a> {
             steps: full.len(),
             visible,
             full,
-            deadlocked,
+            deadlocked: outcome.is_deadlock(),
+            outcome,
+            failures,
         })
     }
 }
 
-fn halt_all(txs: &[Sender<Decision>]) {
-    for tx in txs {
-        let _ = tx.send(Decision::Halt);
+/// The coordinator's mutable state, threaded through the helpers.
+struct Coordinator<'run, 'scope, 'env> {
+    scope: &'scope thread::Scope<'scope, 'env>,
+    defs: &'env Definitions,
+    universe: &'env Universe,
+    net: &'run Network,
+    supervision: &'run Supervision,
+    restart: RestartPolicy,
+    start: Instant,
+    slots: Vec<Slot<'scope>>,
+    full: Vec<Event>,
+    failures: Vec<ComponentFailure>,
+}
+
+impl<'run, 'scope, 'env> Coordinator<'run, 'scope, 'env> {
+    fn past_deadline(&self) -> bool {
+        self.supervision
+            .deadline
+            .is_some_and(|d| self.start.elapsed() >= d)
+    }
+
+    /// The offer the enabled-set computation may use for component `i`.
+    fn effective_offer(&self, i: usize) -> &[Event] {
+        let slot = &self.slots[i];
+        if slot.stall_rounds > 0 {
+            return &[];
+        }
+        match &slot.state {
+            SlotState::Offered(events) => events,
+            _ => &[],
+        }
+    }
+
+    fn tick_stalls(&mut self) {
+        for slot in &mut self.slots {
+            slot.stall_rounds = slot.stall_rounds.saturating_sub(1);
+        }
+    }
+
+    /// Collects offers until every live component is `Offered` (or dead).
+    /// Returns a terminal outcome only for wall-clock expiry.
+    fn gather(&mut self) -> Option<RunOutcome> {
+        loop {
+            let pending: Vec<usize> = (0..self.slots.len())
+                .filter(|&i| matches!(self.slots[i].state, SlotState::AwaitingOffer))
+                .collect();
+            if pending.is_empty() {
+                return None;
+            }
+            for i in pending {
+                let wait = match self.supervision.deadline {
+                    None => self.supervision.round_timeout,
+                    Some(d) => {
+                        let left = d.saturating_sub(self.start.elapsed());
+                        if left.is_zero() {
+                            return Some(RunOutcome::TimedOut {
+                                at_step: self.full.len(),
+                            });
+                        }
+                        self.supervision.round_timeout.min(left)
+                    }
+                };
+                match self.slots[i].offer_rx.recv_timeout(wait) {
+                    Ok(Ok(events)) => self.slots[i].state = SlotState::Offered(events),
+                    Ok(Err(e)) => self.kill(i, FailureReason::EvalFailed(e.to_string())),
+                    Err(RecvTimeoutError::Timeout) => {
+                        if self.past_deadline() {
+                            return Some(RunOutcome::TimedOut {
+                                at_step: self.full.len(),
+                            });
+                        }
+                        self.kill(i, FailureReason::Hung);
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        self.kill(i, FailureReason::Panicked);
+                    }
+                }
+            }
+            // Restart policies may have respawned threads that now owe us
+            // their first (or post-replay) offer — loop until stable.
+        }
+    }
+
+    /// Declares component `i` dead for `reason`, reaps its thread, and
+    /// applies the restart policy.
+    fn kill(&mut self, i: usize, reason: FailureReason) {
+        if matches!(self.slots[i].state, SlotState::Dead) {
+            return;
+        }
+        // If the thread is still running, poison it so it unwinds. A
+        // blocking send: the capacity-1 buffer may still hold the
+        // previous round's decision, which the component is about to
+        // consume; `try_send` would drop the poison on the floor and the
+        // join below would hang. Returns an error immediately if the
+        // thread is already gone.
+        let _ = self.slots[i].decision_tx.send(Decision::Poison);
+        let panicked = match self.slots[i].handle.take() {
+            Some(h) => h.join().is_err(),
+            None => false,
+        };
+        // An injected crash unwinds too — keep the injected reason. A
+        // reason of `Panicked` is only confirmed by the join result.
+        let reason = match reason {
+            FailureReason::Panicked if !panicked => FailureReason::ChannelClosed,
+            r => r,
+        };
+        self.slots[i].state = SlotState::Dead;
+        self.slots[i].stall_rounds = 0;
+        let at_step = self.full.len();
+        let label = self.net.components[i].label.clone();
+        self.failures.push(ComponentFailure {
+            index: i,
+            label,
+            at_step,
+            reason,
+            recovered: false,
+        });
+
+        match self.restart {
+            RestartPolicy::FailStop => {}
+            RestartPolicy::Replay | RestartPolicy::Reset => self.respawn(i),
+        }
+    }
+
+    /// Respawns component `i` under the current restart policy and, for
+    /// [`RestartPolicy::Replay`], fast-forwards it through its recorded
+    /// history. On success the slot owes us a fresh offer; on failure it
+    /// stays dead and the failure stays unrecovered.
+    fn respawn(&mut self, i: usize) {
+        if self.slots[i].restarts_used >= self.supervision.max_restarts {
+            return;
+        }
+        self.slots[i].restarts_used += 1;
+        let restarts_used = self.slots[i].restarts_used;
+        let mut fresh = spawn_component(
+            self.scope,
+            &self.net.components[i],
+            self.defs,
+            self.universe,
+        );
+        fresh.restarts_used = restarts_used;
+
+        if self.restart == RestartPolicy::Replay {
+            // State = function of channel history (§3): feed the new
+            // thread its alphabet's projection of the trace so far.
+            let history: Vec<Event> = self
+                .full
+                .iter()
+                .filter(|e| self.net.components[i].alphabet.contains(e.channel()))
+                .cloned()
+                .collect();
+            for event in history {
+                let offered = match fresh.offer_rx.recv_timeout(self.supervision.round_timeout) {
+                    Ok(Ok(events)) => events.contains(&event),
+                    _ => false,
+                };
+                if !offered || fresh.decision_tx.send(Decision::Advance(event)).is_err() {
+                    // Replay diverged (or the fresh thread died): give up
+                    // on this component for good.
+                    let _ = fresh.decision_tx.send(Decision::Poison);
+                    if let Some(h) = fresh.handle.take() {
+                        let _ = h.join();
+                    }
+                    self.failures.push(ComponentFailure {
+                        index: i,
+                        label: self.net.components[i].label.clone(),
+                        at_step: self.full.len(),
+                        reason: FailureReason::ReplayDiverged,
+                        recovered: false,
+                    });
+                    return;
+                }
+            }
+        }
+
+        fresh.state = SlotState::AwaitingOffer;
+        self.slots[i] = fresh;
+        if let Some(f) = self.failures.iter_mut().rev().find(|f| f.index == i) {
+            f.recovered = true;
+        }
+    }
+
+    /// Tears the network down: every live thread gets `Halt`, every
+    /// thread gets joined. Runs on every exit path, so no component
+    /// thread leaks past the end of a run.
+    fn halt_and_join(&mut self) {
+        for slot in &mut self.slots {
+            if !matches!(slot.state, SlotState::Dead) {
+                // Blocking send, not `try_send`: right after a decision
+                // round the capacity-1 buffer may still hold an
+                // unconsumed `Advance`/`Stay`, and a dropped `Halt`
+                // would leave the component blocked on `recv` forever.
+                let _ = slot.decision_tx.send(Decision::Halt);
+            }
+        }
+        for slot in &mut self.slots {
+            if let Some(h) = slot.handle.take() {
+                // A panicked thread was either poisoned deliberately or
+                // already recorded as a failure; swallow the payload so
+                // the scope does not re-raise it.
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Spawns one component thread with bounded (capacity-1) channels in
+/// both directions — the protocol is lock-step, so a runaway component
+/// blocks on `send` instead of growing an unbounded queue.
+fn spawn_component<'scope, 'env>(
+    scope: &'scope thread::Scope<'scope, 'env>,
+    comp: &Component,
+    defs: &'env Definitions,
+    universe: &'env Universe,
+) -> Slot<'scope> {
+    let (offer_tx, offer_rx) = std::sync::mpsc::sync_channel(1);
+    let (decision_tx, decision_rx) = std::sync::mpsc::sync_channel::<Decision>(1);
+    let comp = comp.clone();
+    let handle = scope.spawn(move || {
+        component_thread(comp, defs, universe, &offer_tx, &decision_rx);
+    });
+    Slot {
+        state: SlotState::AwaitingOffer,
+        stall_rounds: 0,
+        restarts_used: 0,
+        offer_rx,
+        decision_tx,
+        handle: Some(handle),
     }
 }
 
 /// The per-component loop: offer, await decision, advance.
 fn component_thread(
-    comp: crate::net::Component,
+    comp: Component,
     defs: &Definitions,
     universe: &Universe,
-    offer_tx: &Sender<Result<Vec<Event>, EvalError>>,
+    offer_tx: &SyncSender<Result<Vec<Event>, EvalError>>,
     decision_rx: &Receiver<Decision>,
 ) {
     let lts = Lts::new(defs, universe);
@@ -280,14 +705,20 @@ fn component_thread(
                         // Coordinator advanced us past an event we did not
                         // offer — a coordinator bug; fail loudly via the
                         // offer channel on the next loop.
-                        let _ = offer_tx.send(Err(EvalError::UndefinedProcess(
-                            format!("component advanced past unoffered event {e}"),
-                        )));
+                        let _ = offer_tx.send(Err(EvalError::UndefinedProcess(format!(
+                            "component advanced past unoffered event {e}"
+                        ))));
                         return;
                     }
                 }
             }
             Ok(Decision::Stay) => {}
+            Ok(Decision::Poison) => {
+                // Die exactly as a buggy component would — by unwinding —
+                // but without tripping the global panic hook's stderr
+                // noise: the coordinator is about to reap us anyway.
+                std::panic::resume_unwind(Box::new("injected component crash"));
+            }
             Ok(Decision::Halt) | Err(_) => return,
         }
     }
@@ -296,8 +727,10 @@ fn component_thread(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::supervisor::RunOutcome;
     use csp_lang::examples;
     use csp_trace::Channel;
+    use std::time::Duration;
 
     #[test]
     fn pipeline_runs_and_copies() {
@@ -311,10 +744,12 @@ mod tests {
                 RunOptions {
                     max_steps: 30,
                     scheduler: Scheduler::seeded(42),
+                    ..RunOptions::default()
                 },
             )
             .unwrap();
         assert!(!res.deadlocked);
+        assert_eq!(res.outcome, RunOutcome::Completed);
         assert_eq!(res.steps, 30);
         // The invariant output ≤ input holds on the visible trace.
         let h = res.visible.history();
@@ -341,6 +776,7 @@ mod tests {
                 RunOptions {
                     max_steps: 20,
                     scheduler: Scheduler::seeded(seed),
+                    ..RunOptions::default()
                 },
             )
             .unwrap()
@@ -352,10 +788,8 @@ mod tests {
     #[test]
     fn protocol_delivers_messages_in_order() {
         let defs = examples::protocol();
-        let uni = Universe::new(0).with_named(
-            "M",
-            [csp_trace::Value::nat(0), csp_trace::Value::nat(1)],
-        );
+        let uni =
+            Universe::new(0).with_named("M", [csp_trace::Value::nat(0), csp_trace::Value::nat(1)]);
         let exec = Executor::new(&defs, &uni);
         let res = exec
             .run_name(
@@ -364,6 +798,7 @@ mod tests {
                 RunOptions {
                     max_steps: 40,
                     scheduler: Scheduler::seeded(3),
+                    ..RunOptions::default()
                 },
             )
             .unwrap();
@@ -396,6 +831,7 @@ mod tests {
                 RunOptions {
                     max_steps: 64,
                     scheduler: Scheduler::seeded(11),
+                    ..RunOptions::default()
                 },
             )
             .unwrap();
@@ -428,6 +864,7 @@ mod tests {
             .run_name("net", &Env::new(), RunOptions::default())
             .unwrap();
         assert!(res.deadlocked);
+        assert_eq!(res.outcome, RunOutcome::Deadlocked);
         assert_eq!(res.steps, 0);
     }
 
@@ -443,6 +880,7 @@ mod tests {
                 RunOptions {
                     max_steps: 12,
                     scheduler: Scheduler::round_robin(),
+                    ..RunOptions::default()
                 },
             )
             .unwrap();
@@ -451,5 +889,241 @@ mod tests {
         assert!(h
             .on(&Channel::simple("out"))
             .is_prefix_of(&h.on(&Channel::simple("in"))));
+    }
+
+    // ------------------------------------------------------ faults --
+
+    #[test]
+    fn injected_crash_fails_the_component_not_the_run() {
+        let defs = examples::pipeline();
+        let uni = Universe::new(1);
+        let exec = Executor::new(&defs, &uni);
+        let res = exec
+            .run_name(
+                "pipeline",
+                &Env::new(),
+                RunOptions {
+                    max_steps: 20,
+                    scheduler: Scheduler::seeded(4),
+                    faults: FaultPlan::none().crash("copier", 4),
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+        match &res.outcome {
+            RunOutcome::ComponentFailed { label, at_step } => {
+                assert_eq!(label, "copier");
+                assert_eq!(*at_step, 4);
+            }
+            other => panic!("expected ComponentFailed, got {other:?}"),
+        }
+        assert_eq!(res.failures.len(), 1);
+        assert_eq!(res.failures[0].reason, FailureReason::InjectedCrash);
+        assert!(!res.failures[0].recovered);
+        // The run degraded instead of erroring: the trace up to (and
+        // possibly past) the crash is preserved.
+        assert!(res.steps >= 4);
+    }
+
+    #[test]
+    fn crash_with_replay_is_transparent() {
+        let defs = examples::pipeline();
+        let uni = Universe::new(1);
+        let exec = Executor::new(&defs, &uni);
+        let healthy = exec
+            .run_name(
+                "pipeline",
+                &Env::new(),
+                RunOptions {
+                    max_steps: 24,
+                    scheduler: Scheduler::seeded(9),
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+        let faulty = exec
+            .run_name(
+                "pipeline",
+                &Env::new(),
+                RunOptions {
+                    max_steps: 24,
+                    scheduler: Scheduler::seeded(9),
+                    faults: FaultPlan::none()
+                        .crash("copier", 6)
+                        .with_restart(RestartPolicy::Replay),
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+        // Restart-by-replay reconstructs the component's state exactly
+        // (state = function of history), so the faulty run is
+        // indistinguishable from the healthy one.
+        assert_eq!(faulty.outcome, RunOutcome::Completed);
+        assert_eq!(faulty.full, healthy.full);
+        assert_eq!(faulty.recoveries(), 1);
+        assert_eq!(faulty.failures.len(), 1);
+        assert!(faulty.failures[0].recovered);
+    }
+
+    #[test]
+    fn stall_delays_but_preserves_behaviour() {
+        let defs = examples::pipeline();
+        let uni = Universe::new(1);
+        let exec = Executor::new(&defs, &uni);
+        let res = exec
+            .run_name(
+                "pipeline",
+                &Env::new(),
+                RunOptions {
+                    max_steps: 16,
+                    scheduler: Scheduler::seeded(2),
+                    faults: FaultPlan::none().stall("recopier", 2, 5),
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(res.outcome, RunOutcome::Completed);
+        assert!(res.failures.is_empty());
+        let h = res.visible.history();
+        assert!(h
+            .on(&Channel::simple("output"))
+            .is_prefix_of(&h.on(&Channel::simple("input"))));
+    }
+
+    #[test]
+    fn starvation_biases_the_schedule() {
+        // Two independent producers; starving one means the other gets
+        // every pick.
+        let defs = csp_lang::parse_definitions(
+            "a = left!0 -> a
+             b = right!0 -> b
+             net = a || b",
+        )
+        .unwrap();
+        let uni = Universe::new(1);
+        let exec = Executor::new(&defs, &uni);
+        let res = exec
+            .run_name(
+                "net",
+                &Env::new(),
+                RunOptions {
+                    max_steps: 10,
+                    scheduler: Scheduler::seeded(1),
+                    faults: FaultPlan::none().starving(0usize),
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(res.outcome, RunOutcome::Completed);
+        assert!(
+            res.full
+                .iter()
+                .all(|e| e.channel() == &Channel::simple("right")),
+            "starved component still fired: {}",
+            res.full
+        );
+    }
+
+    #[test]
+    fn livelock_detector_fires_on_concealed_spin() {
+        // All communication is concealed: an observer sees nothing,
+        // forever. The trace model calls this indistinguishable from
+        // STOP (§4); the watchdog reports it.
+        let defs = csp_lang::parse_definitions(
+            "ping = w!0 -> ping
+             pong = w?x:NAT -> pong
+             spinner = chan w; (ping || pong)",
+        )
+        .unwrap();
+        let uni = Universe::new(1);
+        let exec = Executor::new(&defs, &uni);
+        let res = exec
+            .run_name(
+                "spinner",
+                &Env::new(),
+                RunOptions {
+                    max_steps: 1000,
+                    scheduler: Scheduler::seeded(0),
+                    supervision: Supervision::default().with_livelock_window(32),
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+        match res.outcome {
+            RunOutcome::Livelock { hidden_streak, .. } => assert_eq!(hidden_streak, 32),
+            other => panic!("expected Livelock, got {other:?}"),
+        }
+        assert!(res.visible.is_empty());
+    }
+
+    #[test]
+    fn deadline_bounds_the_run() {
+        let defs = examples::pipeline();
+        let uni = Universe::new(1);
+        let exec = Executor::new(&defs, &uni);
+        let started = Instant::now();
+        let res = exec
+            .run_name(
+                "pipeline",
+                &Env::new(),
+                RunOptions {
+                    max_steps: usize::MAX,
+                    scheduler: Scheduler::seeded(0),
+                    supervision: Supervision::default().with_deadline(Duration::from_millis(100)),
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+        assert!(matches!(res.outcome, RunOutcome::TimedOut { .. }));
+        // Teardown is prompt: well under the 30s harness budget.
+        assert!(started.elapsed() < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn unknown_fault_target_is_a_setup_error() {
+        let defs = examples::pipeline();
+        let uni = Universe::new(1);
+        let exec = Executor::new(&defs, &uni);
+        let err = exec
+            .run_name(
+                "pipeline",
+                &Env::new(),
+                RunOptions {
+                    faults: FaultPlan::none().crash("ghost", 1),
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RunError::Fault(FaultError::UnknownComponent(_))
+        ));
+    }
+
+    #[test]
+    fn crash_then_reset_restart_can_change_visible_behaviour() {
+        // The protocol sender alternates data and acknowledgement; a
+        // reset forgets where in the cycle it was. The run keeps going —
+        // but (unlike replay) it is no longer guaranteed to match the
+        // healthy run.
+        let defs = examples::pipeline();
+        let uni = Universe::new(1);
+        let exec = Executor::new(&defs, &uni);
+        let res = exec
+            .run_name(
+                "pipeline",
+                &Env::new(),
+                RunOptions {
+                    max_steps: 24,
+                    scheduler: Scheduler::seeded(9),
+                    faults: FaultPlan::none()
+                        .crash("copier", 6)
+                        .with_restart(RestartPolicy::Reset),
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(res.outcome, RunOutcome::Completed);
+        assert_eq!(res.recoveries(), 1);
     }
 }

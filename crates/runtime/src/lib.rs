@@ -27,19 +27,28 @@
 //! let res = exec.run_name("pipeline", &Env::new(), RunOptions {
 //!     max_steps: 12,
 //!     scheduler: Scheduler::seeded(1),
+//!     ..RunOptions::default()
 //! }).unwrap();
 //! assert!(!res.deadlocked);
 //! ```
+//!
+//! Runs can also be subjected to injected faults — crashes, stalls,
+//! delayed offers, starvation — under a watchdog; see [`FaultPlan`],
+//! [`Supervision`], and [`RunOutcome`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod conformance;
 mod executor;
+mod fault;
 mod net;
 mod scheduler;
+mod supervisor;
 
 pub use conformance::{check_conformance, ConformanceReport};
 pub use executor::{Executor, RunError, RunOptions, RunResult};
+pub use fault::{ComponentSel, Fault, FaultError, FaultPlan, RestartPolicy};
 pub use net::{flatten, Component, NetError, Network};
 pub use scheduler::Scheduler;
+pub use supervisor::{ComponentFailure, FailureReason, RunOutcome, Supervision};

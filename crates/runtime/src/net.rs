@@ -125,10 +125,7 @@ fn walk(
                 push_component(p, defs, env, components)
             }
         }
-        Process::Stop
-        | Process::Output { .. }
-        | Process::Input { .. }
-        | Process::Choice(_, _) => {
+        Process::Stop | Process::Output { .. } | Process::Input { .. } | Process::Choice(_, _) => {
             if contains_network_structure(p) {
                 return Err(NetError::NotStatic {
                     offending: p.to_string(),
@@ -163,9 +160,7 @@ fn contains_network_structure(p: &Process) -> bool {
         Process::Output { then, .. } | Process::Input { then, .. } => {
             contains_network_structure(then)
         }
-        Process::Choice(a, b) => {
-            contains_network_structure(a) || contains_network_structure(b)
-        }
+        Process::Choice(a, b) => contains_network_structure(a) || contains_network_structure(b),
         Process::Parallel { .. } | Process::Hide { .. } => true,
     }
 }
@@ -194,7 +189,7 @@ mod tests {
         let net = flatten(&Process::call("multiplier"), &defs, &env).unwrap();
         assert_eq!(net.components.len(), 5);
         assert_eq!(net.hidden.len(), 4); // col[0..3]
-        // mult[2]'s alphabet: row[2], col[1], col[2].
+                                         // mult[2]'s alphabet: row[2], col[1], col[2].
         let m2 = net
             .components
             .iter()

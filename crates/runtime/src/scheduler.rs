@@ -35,14 +35,14 @@ impl Scheduler {
         Scheduler::RoundRobin { cursor: 0 }
     }
 
-    /// Picks one index among `enabled.len()` candidates.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `enabled` is empty; the executor never calls it then.
-    pub fn pick(&mut self, enabled: &[Event]) -> usize {
-        assert!(!enabled.is_empty(), "scheduler called with nothing enabled");
-        match self {
+    /// Picks one index among `enabled.len()` candidates, or `None` when
+    /// nothing is enabled (the caller treats that as a deadlock rather
+    /// than this policy treating it as a bug).
+    pub fn pick(&mut self, enabled: &[Event]) -> Option<usize> {
+        if enabled.is_empty() {
+            return None;
+        }
+        Some(match self {
             Scheduler::First => 0,
             Scheduler::RoundRobin { cursor } => {
                 let i = *cursor % enabled.len();
@@ -50,7 +50,7 @@ impl Scheduler {
                 i
             }
             Scheduler::Seeded(rng) => rng.gen_range(0..enabled.len()),
-        }
+        })
     }
 }
 
@@ -68,14 +68,14 @@ mod tests {
     #[test]
     fn first_always_picks_zero() {
         let mut s = Scheduler::First;
-        assert_eq!(s.pick(&events(3)), 0);
-        assert_eq!(s.pick(&events(3)), 0);
+        assert_eq!(s.pick(&events(3)), Some(0));
+        assert_eq!(s.pick(&events(3)), Some(0));
     }
 
     #[test]
     fn round_robin_cycles() {
         let mut s = Scheduler::round_robin();
-        let picks: Vec<usize> = (0..6).map(|_| s.pick(&events(3))).collect();
+        let picks: Vec<usize> = (0..6).map(|_| s.pick(&events(3)).unwrap()).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
     }
 
@@ -84,10 +84,21 @@ mod tests {
         let mut a = Scheduler::seeded(9);
         let mut b = Scheduler::seeded(9);
         for _ in 0..20 {
-            let ea = a.pick(&events(5));
-            let eb = b.pick(&events(5));
+            let ea = a.pick(&events(5)).unwrap();
+            let eb = b.pick(&events(5)).unwrap();
             assert_eq!(ea, eb);
             assert!(ea < 5);
+        }
+    }
+
+    #[test]
+    fn empty_enabled_set_yields_none_for_every_policy() {
+        for mut s in [
+            Scheduler::First,
+            Scheduler::round_robin(),
+            Scheduler::seeded(1),
+        ] {
+            assert_eq!(s.pick(&[]), None);
         }
     }
 }

@@ -98,12 +98,7 @@ impl<'a> Semantics<'a> {
     /// name (instantiate an element with
     /// [`Definitions::instantiate`](csp_lang::Definitions::instantiate)
     /// and use [`denote`](Self::denote) instead).
-    pub fn denote_name(
-        &self,
-        name: &str,
-        env: &Env,
-        depth: usize,
-    ) -> Result<TraceSet, EvalError> {
+    pub fn denote_name(&self, name: &str, env: &Env, depth: usize) -> Result<TraceSet, EvalError> {
         self.denote(&Process::call(name), env, depth)
     }
 
@@ -316,7 +311,12 @@ mod tests {
         let sem = Semantics::new(&defs, &uni);
         let t = sem.denote_name("pipeline", &Env::new(), 4).unwrap();
         // Visible alphabet only input/output:
-        assert!(t.contains(&tr(&[("input", 1), ("output", 1), ("input", 0), ("output", 0)])));
+        assert!(t.contains(&tr(&[
+            ("input", 1),
+            ("output", 1),
+            ("input", 0),
+            ("output", 0)
+        ])));
         // And output ≤ input on every trace (§2's invariant):
         use csp_trace::Channel;
         for s in t.iter() {
@@ -366,10 +366,7 @@ mod tests {
     #[test]
     fn protocol_example_has_only_input_output_visible() {
         let defs = examples::protocol();
-        let uni = Universe::new(0).with_named(
-            "M",
-            [Value::nat(0), Value::nat(1)],
-        );
+        let uni = Universe::new(0).with_named("M", [Value::nat(0), Value::nat(1)]);
         let sem = Semantics::new(&defs, &uni);
         let t = sem.denote_name("protocol", &Env::new(), 2).unwrap();
         assert!(t.contains(&tr(&[("input", 1), ("output", 1)])));

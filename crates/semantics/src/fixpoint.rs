@@ -160,9 +160,7 @@ fn hide_nesting(p: &Process, defs: &Definitions, stack: &mut Vec<String>) -> usi
         Process::Output { then, .. } | Process::Input { then, .. } => {
             hide_nesting(then, defs, stack)
         }
-        Process::Choice(a, b) => {
-            hide_nesting(a, defs, stack).max(hide_nesting(b, defs, stack))
-        }
+        Process::Choice(a, b) => hide_nesting(a, defs, stack).max(hide_nesting(b, defs, stack)),
         Process::Parallel { left, right, .. } => {
             hide_nesting(left, defs, stack).max(hide_nesting(right, defs, stack))
         }
@@ -326,10 +324,7 @@ mod tests {
 
     #[test]
     fn array_instances_iterate_jointly() {
-        let defs = parse_definitions(
-            "q[x:0..1] = wire!x -> q[1-x]",
-        )
-        .unwrap();
+        let defs = parse_definitions("q[x:0..1] = wire!x -> q[1-x]").unwrap();
         let uni = Universe::small();
         let run = fixpoint(&defs, &uni, &Env::new(), 3, 16).unwrap();
         assert!(run.converged_at.is_some());

@@ -88,12 +88,7 @@ impl<'a> Lts<'a> {
         self.steps_inner(&config.process, &config.env, self.fuel0)
     }
 
-    fn steps_inner(
-        &self,
-        p: &Process,
-        env: &Env,
-        fuel: usize,
-    ) -> Result<Vec<Step>, EvalError> {
+    fn steps_inner(&self, p: &Process, env: &Env, fuel: usize) -> Result<Vec<Step>, EvalError> {
         match p {
             Process::Stop => Ok(Vec::new()),
             Process::Call { name, args } => {
@@ -150,14 +145,13 @@ impl<'a> Lts<'a> {
                 // Alphabets are fixed at composition time (§1.2(7)); once
                 // computed they are materialised into successor terms so
                 // they do not drift as the operands evolve.
-                let (x, y) = crate::Semantics::new(self.defs, self.universe)
-                    .parallel_alphabets(
-                        left,
-                        right,
-                        left_alpha.as_deref(),
-                        right_alpha.as_deref(),
-                        env,
-                    )?;
+                let (x, y) = crate::Semantics::new(self.defs, self.universe).parallel_alphabets(
+                    left,
+                    right,
+                    left_alpha.as_deref(),
+                    right_alpha.as_deref(),
+                    env,
+                )?;
                 let sync = x.intersection(&y);
                 let ls = self.steps_inner(left, env, fuel)?;
                 let rs = self.steps_inner(right, env, fuel)?;
@@ -168,10 +162,10 @@ impl<'a> Lts<'a> {
                     // their own environment before recombination. Host
                     // constants (array cells like `v[1]`) are not variables
                     // and survive in the shared outer environment.
-                    let lc = csp_lang::close_process(l, le)
-                        .expect("closing with constants cannot fail");
-                    let rc = csp_lang::close_process(r, re)
-                        .expect("closing with constants cannot fail");
+                    let lc =
+                        csp_lang::close_process(l, le).expect("closing with constants cannot fail");
+                    let rc =
+                        csp_lang::close_process(r, re).expect("closing with constants cannot fail");
                     Process::Parallel {
                         left: Box::new(lc),
                         right: Box::new(rc),
@@ -387,10 +381,7 @@ mod tests {
         let defs = Definitions::new();
         let uni = Universe::new(2);
         let lts = Lts::new(&defs, &uni);
-        let c = Config::new(
-            csp_lang::parse_process("a!7 -> STOP").unwrap(),
-            Env::new(),
-        );
+        let c = Config::new(csp_lang::parse_process("a!7 -> STOP").unwrap(), Env::new());
         // a!7 with NAT bound 2 still fires: outputs are computed, not
         // enumerated.
         let uni_big = Universe::new(7);
@@ -423,15 +414,12 @@ mod tests {
     #[test]
     fn lts_traces_agree_with_denotation_on_protocol() {
         let defs = examples::protocol();
-        let uni =
-            Universe::new(0).with_named("M", [Value::nat(0), Value::nat(1)]);
+        let uni = Universe::new(0).with_named("M", [Value::nat(0), Value::nat(1)]);
         let lts = Lts::new(&defs, &uni);
         let sem = Semantics::new(&defs, &uni);
         let env = Env::new();
         for depth in 0..=3 {
-            let op = lts
-                .traces(&lts.initial("protocol", &env), depth)
-                .unwrap();
+            let op = lts.traces(&lts.initial("protocol", &env), depth).unwrap();
             let den = sem.denote_name("protocol", &env, depth).unwrap();
             assert_eq!(op, den, "protocol at depth {depth}");
         }
@@ -540,8 +528,7 @@ mod tests {
         let uni = Universe::new(1);
         let lts = Lts::new(&defs, &uni);
         let c = Config::new(
-            csp_lang::parse_process("(a!1 -> STOP) || (a?x:NAT -> a?y:NAT -> STOP)")
-                .unwrap(),
+            csp_lang::parse_process("(a!1 -> STOP) || (a?x:NAT -> a?y:NAT -> STOP)").unwrap(),
             Env::new(),
         );
         let t = lts.traces(&c, 3).unwrap();

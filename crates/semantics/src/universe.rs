@@ -57,7 +57,8 @@ impl Universe {
     /// the paper's `M`.
     #[must_use]
     pub fn with_named<I: IntoIterator<Item = Value>>(mut self, name: &str, vals: I) -> Self {
-        self.named.insert(name.to_string(), vals.into_iter().collect());
+        self.named
+            .insert(name.to_string(), vals.into_iter().collect());
         self
     }
 

@@ -180,11 +180,7 @@ impl ChannelSet {
     /// parallel composition communicates privately.
     pub fn difference(&self, other: &ChannelSet) -> ChannelSet {
         ChannelSet {
-            channels: self
-                .channels
-                .difference(&other.channels)
-                .cloned()
-                .collect(),
+            channels: self.channels.difference(&other.channels).cloned().collect(),
         }
     }
 

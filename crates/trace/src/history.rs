@@ -189,12 +189,7 @@ mod tests {
     #[test]
     fn ch_respects_restriction_lemma_d() {
         // Lemma (d) §3.4: ch(s)(c) = ch(s\C)(c) whenever c ∉ C.
-        let s = Trace::parse_like([
-            ("a", nat(1)),
-            ("h", nat(5)),
-            ("a", nat(2)),
-            ("h", nat(6)),
-        ]);
+        let s = Trace::parse_like([("a", nat(1)), ("h", nat(5)), ("a", nat(2)), ("h", nat(6))]);
         let hidden: crate::ChannelSet = ["h"].into_iter().collect();
         let restricted = s.restrict(&hidden);
         let c = Channel::simple("a");

@@ -159,7 +159,11 @@ impl<T: PartialEq> Seq<T> {
     /// The prefix order `s ≤ t ⇔ ∃u. s⌢u = t` (§2).
     pub fn is_prefix_of(&self, other: &Seq<T>) -> bool {
         self.items.len() <= other.items.len()
-            && self.items.iter().zip(other.items.iter()).all(|(a, b)| a == b)
+            && self
+                .items
+                .iter()
+                .zip(other.items.iter())
+                .all(|(a, b)| a == b)
     }
 
     /// Strict prefix: `s ≤ t` and `s ≠ t`.

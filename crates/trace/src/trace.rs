@@ -41,7 +41,9 @@ pub struct Trace {
 impl Trace {
     /// The empty trace `<>` — a possible behaviour of every process.
     pub fn empty() -> Self {
-        Trace { events: Seq::empty() }
+        Trace {
+            events: Seq::empty(),
+        }
     }
 
     /// Builds a trace from any sequence of events.
@@ -287,11 +289,7 @@ mod tests {
 
     #[test]
     fn messages_on_extracts_per_channel_history() {
-        let t = Trace::parse_like([
-            ("input", nat(27)),
-            ("wire", nat(27)),
-            ("input", nat(0)),
-        ]);
+        let t = Trace::parse_like([("input", nat(27)), ("wire", nat(27)), ("input", nat(0))]);
         assert_eq!(
             t.messages_on(&Channel::simple("input")).to_string(),
             "<27, 0>"

@@ -101,9 +101,10 @@ impl TraceSet {
     /// assertions.
     pub fn is_prefix_closed(&self) -> bool {
         self.traces.contains(&Trace::empty())
-            && self.traces.iter().all(|t| {
-                t.is_empty() || self.traces.contains(&t.take(t.len() - 1))
-            })
+            && self
+                .traces
+                .iter()
+                .all(|t| t.is_empty() || self.traces.contains(&t.take(t.len() - 1)))
     }
 
     /// `(a → P) = {<>} ∪ {a^s | s ∈ P}` — §3.1.
@@ -128,11 +129,7 @@ impl TraceSet {
     /// closures (both contain `<>`).
     pub fn intersection(&self, other: &TraceSet) -> TraceSet {
         TraceSet {
-            traces: self
-                .traces
-                .intersection(&other.traces)
-                .cloned()
-                .collect(),
+            traces: self.traces.intersection(&other.traces).cloned().collect(),
         }
     }
 
@@ -196,7 +193,11 @@ impl TraceSet {
                 }
                 let s2 = s.snoc(e.clone());
                 if out.insert(s2.clone()) {
-                    let qq2 = if joint { qq.snoc(e.clone()) } else { qq.clone() };
+                    let qq2 = if joint {
+                        qq.snoc(e.clone())
+                    } else {
+                        qq.clone()
+                    };
                     queue.push((s2, pp.snoc(e.clone()), qq2));
                 }
             }
@@ -280,7 +281,10 @@ impl TraceSet {
         self.traces
             .iter()
             .filter(|t| {
-                !self.traces.iter().any(|u| t.is_prefix_of(u) && u.len() > t.len())
+                !self
+                    .traces
+                    .iter()
+                    .any(|u| t.is_prefix_of(u) && u.len() > t.len())
             })
             .collect()
     }
@@ -320,7 +324,6 @@ impl TraceSet {
             .collect()
     }
 }
-
 
 /// All traces over the given events with length ≤ `max_len`.
 fn sequences_over(events: &[Event], max_len: usize) -> Vec<Trace> {

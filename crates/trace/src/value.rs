@@ -193,13 +193,23 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_deterministic() {
-        let mut vs = vec![Value::sym("b"), Value::Int(2), Value::Int(1), Value::sym("a")];
+        let mut vs = vec![
+            Value::sym("b"),
+            Value::Int(2),
+            Value::Int(1),
+            Value::sym("a"),
+        ];
         vs.sort();
         // All ints sort before all syms (variant order), ints numerically,
         // syms lexicographically.
         assert_eq!(
             vs,
-            vec![Value::Int(1), Value::Int(2), Value::sym("a"), Value::sym("b")]
+            vec![
+                Value::Int(1),
+                Value::Int(2),
+                Value::sym("a"),
+                Value::sym("b")
+            ]
         );
     }
 

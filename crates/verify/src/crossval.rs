@@ -80,11 +80,7 @@ pub fn stop_choice_identity(
     let sem = Semantics::new(defs, universe);
     let env = Env::new();
     let plain = sem.denote_name(name, &env, depth)?;
-    let with_stop = sem.denote(
-        &Process::Stop.or(Process::call(name)),
-        &env,
-        depth,
-    )?;
+    let with_stop = sem.denote(&Process::Stop.or(Process::call(name)), &env, depth)?;
     debug_assert!(compare(&plain, &with_stop).is_none());
     Ok((plain.len(), with_stop.len()))
 }

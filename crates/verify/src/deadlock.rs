@@ -73,7 +73,11 @@ pub fn find_deadlocks(
     let mut seen: BTreeSet<Config> = BTreeSet::new();
     let mut dead_seen: BTreeSet<String> = BTreeSet::new();
     // Breadth-first so witnesses are shortest-first.
-    let mut frontier = vec![(Config::new(process.clone(), env.clone()), Trace::empty(), 0usize)];
+    let mut frontier = vec![(
+        Config::new(process.clone(), env.clone()),
+        Trace::empty(),
+        0usize,
+    )];
     seen.insert(frontier[0].0.clone());
 
     while let Some((config, trace, internal_used)) = pop_front(&mut frontier) {
@@ -138,14 +142,8 @@ mod tests {
     fn pipeline_is_deadlock_free() {
         let defs = examples::pipeline();
         let uni = Universe::new(1);
-        let report = find_deadlocks(
-            &defs,
-            &uni,
-            &Process::call("pipeline"),
-            &Env::new(),
-            4,
-        )
-        .unwrap();
+        let report =
+            find_deadlocks(&defs, &uni, &Process::call("pipeline"), &Env::new(), 4).unwrap();
         assert!(report.deadlocks.is_empty());
         assert!(report.deadlock_free());
         assert!(report.states_explored > 1);
@@ -161,8 +159,7 @@ mod tests {
         )
         .unwrap();
         let uni = Universe::new(3);
-        let report =
-            find_deadlocks(&defs, &uni, &Process::call("net"), &Env::new(), 3).unwrap();
+        let report = find_deadlocks(&defs, &uni, &Process::call("net"), &Env::new(), 3).unwrap();
         assert_eq!(report.deadlocks.len(), 1);
         let d = &report.deadlocks[0];
         assert!(d.trace.is_empty(), "witness should be <>: {}", d.trace);
@@ -174,8 +171,7 @@ mod tests {
     fn termination_is_distinguished_from_deadlock() {
         let defs = parse_definitions("once = a!1 -> b!2 -> STOP").unwrap();
         let uni = Universe::new(2);
-        let report =
-            find_deadlocks(&defs, &uni, &Process::call("once"), &Env::new(), 4).unwrap();
+        let report = find_deadlocks(&defs, &uni, &Process::call("once"), &Env::new(), 4).unwrap();
         assert_eq!(report.deadlocks.len(), 1);
         assert!(report.deadlocks[0].terminated);
         assert!(report.deadlock_free());
@@ -220,8 +216,7 @@ mod tests {
         )
         .unwrap();
         let uni = Universe::new(9);
-        let report =
-            find_deadlocks(&defs, &uni, &Process::call("net"), &Env::new(), 4).unwrap();
+        let report = find_deadlocks(&defs, &uni, &Process::call("net"), &Env::new(), 4).unwrap();
         assert_eq!(report.deadlocks.len(), 1);
         let d = &report.deadlocks[0];
         assert_eq!(d.trace.len(), 1, "jams after the first exchange");

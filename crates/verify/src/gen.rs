@@ -68,15 +68,11 @@ impl InstanceGen {
     /// conjunctions thereof.
     pub fn assertion(&mut self) -> Assertion {
         match self.rng.gen_range(0..5u8) {
-            0 => Assertion::prefix(
-                STerm::chan(self.channel()),
-                STerm::chan(self.channel()),
-            ),
+            0 => Assertion::prefix(STerm::chan(self.channel()), STerm::chan(self.channel())),
             1 => Assertion::Cmp(
                 CmpOp::Le,
                 Term::length(STerm::chan(self.channel())),
-                Term::length(STerm::chan(self.channel()))
-                    .add(Term::int(self.rng.gen_range(0..3))),
+                Term::length(STerm::chan(self.channel())).add(Term::int(self.rng.gen_range(0..3))),
             ),
             2 => Assertion::Cmp(
                 CmpOp::Le,
@@ -90,10 +86,7 @@ impl InstanceGen {
 
     fn assertion_simple(&mut self) -> Assertion {
         match self.rng.gen_range(0..2u8) {
-            0 => Assertion::prefix(
-                STerm::chan(self.channel()),
-                STerm::chan(self.channel()),
-            ),
+            0 => Assertion::prefix(STerm::chan(self.channel()), STerm::chan(self.channel())),
             _ => Assertion::Cmp(
                 CmpOp::Le,
                 Term::length(STerm::chan(self.channel())),

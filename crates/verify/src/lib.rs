@@ -33,12 +33,14 @@
 
 mod crossval;
 mod deadlock;
+mod faultconf;
 mod gen;
 mod satcheck;
 mod soundness;
 
 pub use crossval::{cross_validate_scripts, stop_choice_identity, CrossValidation};
 pub use deadlock::{find_deadlocks, Deadlock, DeadlockReport};
+pub use faultconf::{fault_conformance, DegradedRun, FaultConfError, FaultConformance, FaultSweep};
 pub use gen::InstanceGen;
 pub use satcheck::{SatChecker, SatResult};
 pub use soundness::{traceset_sat, validate_all_rules, RuleReport};

@@ -10,12 +10,9 @@
 //! the paper's theorem — the tests assert there are none).
 
 use csp_assert::{
-    decide_valid, subst_chan_cons, subst_empty, Assertion, DecideConfig, EvalCtx,
-    FuncTable, Term,
+    decide_valid, subst_chan_cons, subst_empty, Assertion, DecideConfig, EvalCtx, FuncTable, Term,
 };
-use csp_lang::{
-    channel_alphabet, ChanRef, Definition, Definitions, Env, Expr, Process, SetExpr,
-};
+use csp_lang::{channel_alphabet, ChanRef, Definition, Definitions, Env, Expr, Process, SetExpr};
 use csp_semantics::{fixpoint, Universe};
 use csp_trace::TraceSet;
 
@@ -73,14 +70,13 @@ fn universe() -> Universe {
     Universe::new(1)
 }
 
-fn holds(
-    defs: &Definitions,
-    p: &Process,
-    r: &Assertion,
-) -> Result<bool, csp_assert::AssertError> {
+fn holds(defs: &Definitions, p: &Process, r: &Assertion) -> Result<bool, csp_assert::AssertError> {
     let uni = universe();
     let checker = SatChecker::new(defs, &uni);
-    Ok(matches!(checker.check(p, r, DEPTH)?, SatResult::Holds { .. }))
+    Ok(matches!(
+        checker.check(p, r, DEPTH)?,
+        SatResult::Holds { .. }
+    ))
 }
 
 fn valid(r: &Assertion) -> bool {
@@ -97,10 +93,7 @@ fn valid(r: &Assertion) -> bool {
 }
 
 /// Rule 1 (triviality): a valid `T` is satisfied by every process.
-fn validate_triviality(
-    seed: u64,
-    instances: usize,
-) -> Result<RuleReport, csp_assert::AssertError> {
+fn validate_triviality(seed: u64, instances: usize) -> Result<RuleReport, csp_assert::AssertError> {
     let mut g = InstanceGen::new(seed);
     let defs = Definitions::new();
     let mut report = new_report("triviality (1)", instances);
@@ -174,10 +167,7 @@ fn validate_conjunction(
 }
 
 /// Rule 4 (emptiness): `R_<>` valid gives `STOP sat R`.
-fn validate_emptiness(
-    seed: u64,
-    instances: usize,
-) -> Result<RuleReport, csp_assert::AssertError> {
+fn validate_emptiness(seed: u64, instances: usize) -> Result<RuleReport, csp_assert::AssertError> {
     let mut g = InstanceGen::new(seed);
     let defs = Definitions::new();
     let mut report = new_report("emptiness (4)", instances);
@@ -196,10 +186,7 @@ fn validate_emptiness(
 
 /// Rule 5 (output): `R_<>` valid and `P sat R^c_{e^c}` give
 /// `(c!e → P) sat R`.
-fn validate_output(
-    seed: u64,
-    instances: usize,
-) -> Result<RuleReport, csp_assert::AssertError> {
+fn validate_output(seed: u64, instances: usize) -> Result<RuleReport, csp_assert::AssertError> {
     let mut g = InstanceGen::new(seed);
     let defs = Definitions::new();
     let mut report = new_report("output (5)", instances);
@@ -229,10 +216,7 @@ fn validate_output(
 /// `(c?x:M → P) sat R`. Generated continuations do not use the bound
 /// variable, so `P^x_v = P`; the per-value premise still varies through
 /// the substituted assertion.
-fn validate_input(
-    seed: u64,
-    instances: usize,
-) -> Result<RuleReport, csp_assert::AssertError> {
+fn validate_input(seed: u64, instances: usize) -> Result<RuleReport, csp_assert::AssertError> {
     let mut g = InstanceGen::new(seed);
     let defs = Definitions::new();
     let uni = universe();
@@ -250,11 +234,7 @@ fn validate_input(
             .expect("finite set");
         let mut all_hold = true;
         for v in &members {
-            let r_sub = subst_chan_cons(
-                &r,
-                &c,
-                &Term::Expr(Expr::Const(v.clone())),
-            );
+            let r_sub = subst_chan_cons(&r, &c, &Term::Expr(Expr::Const(v.clone())));
             if !holds(&defs, &p, &r_sub)? {
                 all_hold = false;
                 break;
@@ -347,10 +327,7 @@ fn validate_parallelism(
 
 /// Rule 9 (hiding): if `R` avoids the concealed channels, `P sat R`
 /// gives `(chan L; P) sat R`.
-fn validate_hiding(
-    seed: u64,
-    instances: usize,
-) -> Result<RuleReport, csp_assert::AssertError> {
+fn validate_hiding(seed: u64, instances: usize) -> Result<RuleReport, csp_assert::AssertError> {
     let mut g = InstanceGen::new(seed);
     let defs = Definitions::new();
     let mut report = new_report("hiding (9)", instances);
@@ -379,10 +356,7 @@ fn validate_hiding(
 /// §3.3: for a random guarded equation `p ≜ P`, if every iterate `a_i`
 /// satisfies `R` (with `a₀ ⊨ R` being the `R_<>` premise), the limit
 /// must; additionally the chain must be increasing (`a_i ⊆ a_{i+1}`).
-fn validate_recursion(
-    seed: u64,
-    instances: usize,
-) -> Result<RuleReport, csp_assert::AssertError> {
+fn validate_recursion(seed: u64, instances: usize) -> Result<RuleReport, csp_assert::AssertError> {
     let mut g = InstanceGen::new(seed);
     let mut report = new_report("recursion (10)", instances);
     let uni = universe();
@@ -397,8 +371,7 @@ fn validate_recursion(
         defs.define(Definition::plain("p", body));
         let r = g.assertion();
 
-        let run = fixpoint(&defs, &uni, &Env::new(), DEPTH, 12)
-            .expect("fixpoint on closed defs");
+        let run = fixpoint(&defs, &uni, &Env::new(), DEPTH, 12).expect("fixpoint on closed defs");
         // Chain property.
         for w in run.iterates.windows(2) {
             let (a, b) = (&w[0], &w[1]);

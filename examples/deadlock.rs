@@ -24,11 +24,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          net   = left || right",
     )?;
     let report = wb.deadlocks("net", 4)?;
-    println!("deadlock search over `net` ({} states explored):", report.states_explored);
+    println!(
+        "deadlock search over `net` ({} states explored):",
+        report.states_explored
+    );
     for d in &report.deadlocks {
         println!(
             "  {} after {} — stuck at `{}`",
-            if d.terminated { "terminates" } else { "DEADLOCKS" },
+            if d.terminated {
+                "terminates"
+            } else {
+                "DEADLOCKS"
+            },
             d.trace,
             d.state
         );

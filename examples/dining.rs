@@ -70,6 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             RunOptions {
                 max_steps: 24,
                 scheduler: Scheduler::seeded(seed),
+                ..RunOptions::default()
             },
         )?;
         if run.deadlocked {

@@ -1,0 +1,111 @@
+//! Faults: run the copier pipeline while components crash, stall, and
+//! starve — and watch partial correctness survive every one of them.
+//!
+//! The paper's §4 self-critique is that trace semantics proves only
+//! *partial* correctness: `STOP | P = P`, so a silently dying component
+//! is invisible to the proof system. This example turns that observation
+//! into an experiment. Because failures only remove behaviour, every
+//! degraded run's visible trace is still a trace of the healthy network,
+//! and the proven invariant `output <= input` holds on every prefix of
+//! it. And because a process's state is a function of its communication
+//! history (§3), a crashed component can be rebuilt *exactly* by
+//! replaying its alphabet's projection of the trace — which is what
+//! `RestartPolicy::Replay` does.
+//!
+//! Run with: `cargo run --example faults`
+
+use csp::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut wb = Workbench::new().with_universe(Universe::new(2));
+    wb.define_source(
+        "copier = input?x:NAT -> wire!x -> copier
+         recopier = wire?y:NAT -> output!y -> recopier
+         pipeline = chan wire; (copier || recopier)",
+    )?;
+
+    // 1. A healthy baseline run.
+    let healthy = wb.run(
+        "pipeline",
+        RunOptions {
+            max_steps: 20,
+            scheduler: Scheduler::seeded(7),
+            ..RunOptions::default()
+        },
+    )?;
+    println!("healthy:    {} — {}", healthy.outcome, healthy.visible);
+
+    // 2. Kill the copier mid-run, fail-stop. The pipeline degrades: the
+    //    recopier drains the wire, then the network stops. The outcome
+    //    reports the death; the trace so far is still correct.
+    let crashed = wb.run(
+        "pipeline",
+        RunOptions {
+            max_steps: 20,
+            scheduler: Scheduler::seeded(7),
+            faults: FaultPlan::none().crash("copier", 6),
+            ..RunOptions::default()
+        },
+    )?;
+    println!("fail-stop:  {} — {}", crashed.outcome, crashed.visible);
+    let conf = wb.conformance("pipeline", &crashed, &["output <= input"])?;
+    println!(
+        "            conformant degraded prefix: {}",
+        conf.conforms()
+    );
+
+    // 3. Same crash, but supervised with restart-by-replay: the crashed
+    //    copier is respawned and fast-forwarded through its alphabet's
+    //    projection of the trace so far. §3 says state is a function of
+    //    history, so the rebuilt copier is indistinguishable from the
+    //    one that died — the run is event-for-event the healthy run.
+    let replayed = wb.run(
+        "pipeline",
+        RunOptions {
+            max_steps: 20,
+            scheduler: Scheduler::seeded(7),
+            faults: FaultPlan::none()
+                .crash("copier", 6)
+                .with_restart(RestartPolicy::Replay),
+            ..RunOptions::default()
+        },
+    )?;
+    println!("replayed:   {} — {}", replayed.outcome, replayed.visible);
+    println!(
+        "            identical to healthy run: {} ({} recovery)",
+        replayed.full == healthy.full,
+        replayed.recoveries(),
+    );
+
+    // 4. Sweep the claim: seeds × {healthy, crash, stall, delay} plans,
+    //    every degraded prefix checked against the semantics and the
+    //    invariant. This is the §4 caveat made precise — safety survives
+    //    every fail-stop fault; only liveness is lost.
+    let sweep = FaultSweep::new(
+        0..6u64,
+        [
+            FaultPlan::none(),
+            FaultPlan::none().crash("copier", 5),
+            FaultPlan::none().stall("recopier", 3, 4),
+            FaultPlan::none().delay("copier", 2, 3),
+        ],
+    )
+    .with_max_steps(18);
+    let report = wb.fault_conformance("pipeline", &["output <= input"], &sweep)?;
+    let (ok, total) = report.tally();
+    println!("\nfault sweep: {ok}/{total} degraded runs conformant");
+
+    // 5. The watchdog: a deadline bounds even a run that would spin
+    //    forever, and the outcome says why it ended.
+    let bounded = wb.run(
+        "pipeline",
+        RunOptions {
+            max_steps: usize::MAX,
+            scheduler: Scheduler::seeded(7),
+            supervision: Supervision::default().with_deadline(std::time::Duration::from_millis(50)),
+            ..RunOptions::default()
+        },
+    )?;
+    println!("watchdog:   {}", bounded.outcome);
+    Ok(())
+}

@@ -66,6 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         RunOptions {
             max_steps: 60,
             scheduler: Scheduler::seeded(7),
+            ..RunOptions::default()
         },
     )?;
     let outputs = run.visible.messages_on(&Channel::simple("output"));
@@ -81,6 +82,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  row {:?} · v {:?} = {expected}  (network: {got})", row, V);
         assert_eq!(got, expected, "output {i} mismatch");
     }
-    println!("\nall {} scalar products match the direct computation", MATRIX.len());
+    println!(
+        "\nall {} scalar products match the direct computation",
+        MATRIX.len()
+    );
     Ok(())
 }

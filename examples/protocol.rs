@@ -59,6 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         RunOptions {
             max_steps: 40,
             scheduler: Scheduler::seeded(1981),
+            ..RunOptions::default()
         },
     )?;
     let retransmissions = run
@@ -66,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .filter(|e| e.value() == &Value::sym("NACK"))
         .count();
-    println!("\nexecuted {} events ({} NACK retransmissions on the wire)", run.steps, retransmissions);
+    println!(
+        "\nexecuted {} events ({} NACK retransmissions on the wire)",
+        run.steps, retransmissions
+    );
     println!("full trace   : {}", run.full);
     println!("visible trace: {}", run.visible);
 

@@ -4,9 +4,7 @@
 //! Run with: `cargo run --example prove_paper`
 
 use csp::proofs::all_scripts;
-use csp::{
-    cross_validate_scripts, render_report, stop_choice_identity, Universe,
-};
+use csp::{cross_validate_scripts, render_report, stop_choice_identity, Universe};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== machine-checking every proof in the paper ==\n");

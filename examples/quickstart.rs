@@ -48,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     );
     let report = wb.prove(&goal, &proof)?;
-    println!("\n{}", render_report("proof: copier sat wire <= input", &report));
+    println!(
+        "\n{}",
+        render_report("proof: copier sat wire <= input", &report)
+    );
 
     // 5. Execute on real threads with a seeded scheduler and check the
     //    recorded run against the semantics and the invariant.
@@ -57,9 +60,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         RunOptions {
             max_steps: 24,
             scheduler: Scheduler::seeded(42),
+            ..RunOptions::default()
         },
     )?;
-    println!("executed {} events; visible trace:\n  {}", run.steps, run.visible);
+    println!(
+        "executed {} events; visible trace:\n  {}",
+        run.steps, run.visible
+    );
     let conf = wb.conformance("pipeline", &run, &["output <= input"])?;
     println!(
         "conformance: trace admitted = {}, invariants held = {}",

@@ -6,6 +6,7 @@
 //! csp check     <file.csp> --process NAME --assert EXPR [--depth N]
 //! csp prove     <file.csp> --spec NAME=EXPR [--spec NAME=EXPR ...]
 //! csp run       <file.csp> --process NAME [--steps N] [--seed S]
+//!               [--fault-plan SPEC] [--deadline-ms T] [--livelock-window W]
 //! csp deadlock  <file.csp> --process NAME [--depth N]
 //! ```
 //!
@@ -13,6 +14,10 @@
 //! `--set M=v1,v2,…` (interpret a named abstract set), `--bind v=1,2,3`
 //! (host constant vector, cells `v[1]…`), `--channels a,b` (declare
 //! assertion-only channels).
+//!
+//! Fault plans use the [`FaultPlan::parse`] syntax, e.g.
+//! `--fault-plan 'crash:copier@4;restart:replay'` or
+//! `--fault-plan 'stall:2@3x5;starve:0'`.
 //!
 //! Exit status: 0 on success; 1 when the requested analysis found a
 //! refutation (counterexample, deadlock, failed proof); 2 on usage or
@@ -48,12 +53,19 @@ const USAGE: &str = "usage:
   csp check     <file.csp> --process NAME --assert EXPR [--depth N]
   csp prove     <file.csp> --spec NAME=EXPR [--spec NAME=EXPR ...]
   csp run       <file.csp> --process NAME [--steps N] [--seed S]
+                [--fault-plan SPEC] [--deadline-ms T] [--livelock-window W]
   csp deadlock  <file.csp> --process NAME [--depth N]
 options:
-  --nat-bound K      finite carrier for NAT (default 2)
-  --set M=v1,v2      interpretation for a named abstract set
-  --bind v=1,2,3     host constant vector (cells v[1], v[2], …)
-  --channels a,b     declare assertion-only channel names";
+  --nat-bound K        finite carrier for NAT (default 2)
+  --set M=v1,v2        interpretation for a named abstract set
+  --bind v=1,2,3       host constant vector (cells v[1], v[2], …)
+  --channels a,b       declare assertion-only channel names
+  --fault-plan SPEC    inject faults into `run`: ;-separated clauses
+                       crash:COMP@STEP  stall:COMP@STEPxROUNDS
+                       delay:COMP@STEPxROUNDS  starve:COMP
+                       restart:failstop|replay|reset
+  --deadline-ms T      wall-clock budget for `run` (watchdog)
+  --livelock-window W  stop `run` after W consecutive concealed events";
 
 /// Parsed command-line options shared by all subcommands.
 struct Opts {
@@ -64,6 +76,9 @@ struct Opts {
     depth: usize,
     steps: usize,
     seed: u64,
+    fault_plan: Option<String>,
+    deadline_ms: Option<u64>,
+    livelock_window: usize,
     nat_bound: u32,
     sets: Vec<(String, Vec<Value>)>,
     binds: Vec<(String, Vec<i64>)>,
@@ -79,6 +94,9 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         depth: 4,
         steps: 32,
         seed: 0,
+        fault_plan: None,
+        deadline_ms: None,
+        livelock_window: 0,
         nat_bound: 2,
         sets: Vec::new(),
         binds: Vec::new(),
@@ -100,7 +118,8 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 let (name, inv) = v
                     .split_once('=')
                     .ok_or_else(|| format!("--spec expects NAME=EXPR, got `{v}`"))?;
-                opts.specs.push((name.trim().to_string(), inv.trim().to_string()));
+                opts.specs
+                    .push((name.trim().to_string(), inv.trim().to_string()));
             }
             "--depth" => {
                 opts.depth = value("--depth")?
@@ -116,6 +135,19 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 opts.seed = value("--seed")?
                     .parse()
                     .map_err(|_| "--seed expects a number".to_string())?;
+            }
+            "--fault-plan" => opts.fault_plan = Some(value("--fault-plan")?),
+            "--deadline-ms" => {
+                opts.deadline_ms = Some(
+                    value("--deadline-ms")?
+                        .parse()
+                        .map_err(|_| "--deadline-ms expects a number".to_string())?,
+                );
+            }
+            "--livelock-window" => {
+                opts.livelock_window = value("--livelock-window")?
+                    .parse()
+                    .map_err(|_| "--livelock-window expects a number".to_string())?;
             }
             "--nat-bound" => {
                 opts.nat_bound = value("--nat-bound")?
@@ -248,7 +280,10 @@ fn dispatch(args: &[String]) -> Result<bool, String> {
                 .check_sat(name, assertion, opts.depth)
                 .map_err(|e| e.to_string())?
             {
-                SatResult::Holds { traces_checked, depth } => {
+                SatResult::Holds {
+                    traces_checked,
+                    depth,
+                } => {
                     println!(
                         "holds: {name} sat {assertion} on {traces_checked} traces (depth {depth})"
                     );
@@ -273,10 +308,7 @@ fn dispatch(args: &[String]) -> Result<bool, String> {
                 .collect();
             match wb.prove_auto(&specs) {
                 Ok(report) => {
-                    let title = format!(
-                        "proof: {} sat {}",
-                        specs[0].0, specs[0].1
-                    );
+                    let title = format!("proof: {} sat {}", specs[0].0, specs[0].1);
                     println!("{}", render_report(&title, &report));
                     Ok(true)
                 }
@@ -288,23 +320,40 @@ fn dispatch(args: &[String]) -> Result<bool, String> {
         }
         "run" => {
             let name = need_process(&opts)?;
+            let faults = match &opts.fault_plan {
+                Some(spec) => FaultPlan::parse(spec).map_err(|e| e.to_string())?,
+                None => FaultPlan::none(),
+            };
+            let mut supervision = Supervision::default();
+            if let Some(ms) = opts.deadline_ms {
+                supervision = supervision.with_deadline(std::time::Duration::from_millis(ms));
+            }
+            supervision = supervision.with_livelock_window(opts.livelock_window);
             let res = wb
                 .run(
                     name,
                     RunOptions {
                         max_steps: opts.steps,
                         scheduler: Scheduler::seeded(opts.seed),
+                        faults,
+                        supervision,
                     },
                 )
                 .map_err(|e| e.to_string())?;
-            println!(
-                "{} event(s){}; visible trace:",
-                res.steps,
-                if res.deadlocked { " then DEADLOCK" } else { "" }
-            );
+            println!("{} event(s); outcome: {}", res.steps, res.outcome);
+            for f in &res.failures {
+                println!(
+                    "  fault: `{}` {} at step {}{}",
+                    f.label,
+                    f.reason,
+                    f.at_step,
+                    if f.recovered { " (recovered)" } else { "" }
+                );
+            }
+            println!("visible trace:");
             println!("  {}", res.visible);
             print!("{}", timeline(&res.visible));
-            Ok(!res.deadlocked)
+            Ok(res.outcome.is_clean())
         }
         "deadlock" => {
             let name = need_process(&opts)?;
@@ -320,7 +369,11 @@ fn dispatch(args: &[String]) -> Result<bool, String> {
             for d in &report.deadlocks {
                 println!(
                     "  {} after {} at `{}`",
-                    if d.terminated { "terminates" } else { "DEADLOCK" },
+                    if d.terminated {
+                        "terminates"
+                    } else {
+                        "DEADLOCK"
+                    },
                     d.trace,
                     d.state
                 );

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/assertion_properties-63df40b1f680e919.d: tests/assertion_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libassertion_properties-63df40b1f680e919.rmeta: tests/assertion_properties.rs Cargo.toml
+
+tests/assertion_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/assertion_properties-ee090be37c958ab4.d: tests/assertion_properties.rs
+
+/root/repo/target/debug/deps/assertion_properties-ee090be37c958ab4: tests/assertion_properties.rs
+
+tests/assertion_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/checker_negative-3808f8c98f069ec2.d: crates/proof/tests/checker_negative.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchecker_negative-3808f8c98f069ec2.rmeta: crates/proof/tests/checker_negative.rs Cargo.toml
+
+crates/proof/tests/checker_negative.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/checker_negative-4a2282b749306a32.d: crates/proof/tests/checker_negative.rs
+
+/root/repo/target/debug/deps/checker_negative-4a2282b749306a32: crates/proof/tests/checker_negative.rs
+
+crates/proof/tests/checker_negative.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-70bd884cdf1f51c6.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-70bd884cdf1f51c6: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_csp=/root/repo/target/debug/csp

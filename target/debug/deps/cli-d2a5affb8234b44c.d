@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/cli-d2a5affb8234b44c.d: tests/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcli-d2a5affb8234b44c.rmeta: tests/cli.rs Cargo.toml
+
+tests/cli.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_csp=placeholder:csp
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/csp-124b6161ed800e19.d: src/bin/csp.rs
+
+/root/repo/target/debug/deps/csp-124b6161ed800e19: src/bin/csp.rs
+
+src/bin/csp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/csp-553acb5dbdc95c96.d: src/bin/csp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsp-553acb5dbdc95c96.rmeta: src/bin/csp.rs Cargo.toml
+
+src/bin/csp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/csp-8ba2d4db30f80776.d: src/lib.rs
+
+/root/repo/target/debug/deps/csp-8ba2d4db30f80776: src/lib.rs
+
+src/lib.rs:

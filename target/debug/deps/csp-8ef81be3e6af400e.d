@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/csp-8ef81be3e6af400e.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsp-8ef81be3e6af400e.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

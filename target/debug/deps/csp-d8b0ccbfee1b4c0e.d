@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/csp-d8b0ccbfee1b4c0e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libcsp-d8b0ccbfee1b4c0e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libcsp-d8b0ccbfee1b4c0e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/csp-f929d990437cfc1c.d: src/bin/csp.rs
+
+/root/repo/target/debug/deps/csp-f929d990437cfc1c: src/bin/csp.rs
+
+src/bin/csp.rs:

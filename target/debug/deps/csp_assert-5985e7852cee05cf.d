@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/csp_assert-5985e7852cee05cf.d: crates/assertion/src/lib.rs crates/assertion/src/ast.rs crates/assertion/src/decide.rs crates/assertion/src/eval.rs crates/assertion/src/funcs.rs crates/assertion/src/parser.rs crates/assertion/src/simplify.rs crates/assertion/src/subst.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsp_assert-5985e7852cee05cf.rmeta: crates/assertion/src/lib.rs crates/assertion/src/ast.rs crates/assertion/src/decide.rs crates/assertion/src/eval.rs crates/assertion/src/funcs.rs crates/assertion/src/parser.rs crates/assertion/src/simplify.rs crates/assertion/src/subst.rs Cargo.toml
+
+crates/assertion/src/lib.rs:
+crates/assertion/src/ast.rs:
+crates/assertion/src/decide.rs:
+crates/assertion/src/eval.rs:
+crates/assertion/src/funcs.rs:
+crates/assertion/src/parser.rs:
+crates/assertion/src/simplify.rs:
+crates/assertion/src/subst.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/csp_assert-6fb9689cae6bfc30.d: crates/assertion/src/lib.rs crates/assertion/src/ast.rs crates/assertion/src/decide.rs crates/assertion/src/eval.rs crates/assertion/src/funcs.rs crates/assertion/src/parser.rs crates/assertion/src/simplify.rs crates/assertion/src/subst.rs
+
+/root/repo/target/debug/deps/libcsp_assert-6fb9689cae6bfc30.rlib: crates/assertion/src/lib.rs crates/assertion/src/ast.rs crates/assertion/src/decide.rs crates/assertion/src/eval.rs crates/assertion/src/funcs.rs crates/assertion/src/parser.rs crates/assertion/src/simplify.rs crates/assertion/src/subst.rs
+
+/root/repo/target/debug/deps/libcsp_assert-6fb9689cae6bfc30.rmeta: crates/assertion/src/lib.rs crates/assertion/src/ast.rs crates/assertion/src/decide.rs crates/assertion/src/eval.rs crates/assertion/src/funcs.rs crates/assertion/src/parser.rs crates/assertion/src/simplify.rs crates/assertion/src/subst.rs
+
+crates/assertion/src/lib.rs:
+crates/assertion/src/ast.rs:
+crates/assertion/src/decide.rs:
+crates/assertion/src/eval.rs:
+crates/assertion/src/funcs.rs:
+crates/assertion/src/parser.rs:
+crates/assertion/src/simplify.rs:
+crates/assertion/src/subst.rs:

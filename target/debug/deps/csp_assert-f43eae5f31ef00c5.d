@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/csp_assert-f43eae5f31ef00c5.d: crates/assertion/src/lib.rs crates/assertion/src/ast.rs crates/assertion/src/decide.rs crates/assertion/src/eval.rs crates/assertion/src/funcs.rs crates/assertion/src/parser.rs crates/assertion/src/simplify.rs crates/assertion/src/subst.rs
+
+/root/repo/target/debug/deps/csp_assert-f43eae5f31ef00c5: crates/assertion/src/lib.rs crates/assertion/src/ast.rs crates/assertion/src/decide.rs crates/assertion/src/eval.rs crates/assertion/src/funcs.rs crates/assertion/src/parser.rs crates/assertion/src/simplify.rs crates/assertion/src/subst.rs
+
+crates/assertion/src/lib.rs:
+crates/assertion/src/ast.rs:
+crates/assertion/src/decide.rs:
+crates/assertion/src/eval.rs:
+crates/assertion/src/funcs.rs:
+crates/assertion/src/parser.rs:
+crates/assertion/src/simplify.rs:
+crates/assertion/src/subst.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/csp_bench-3c1497a44d7d2279.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsp_bench-3c1497a44d7d2279.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

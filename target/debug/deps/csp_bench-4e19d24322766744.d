@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/csp_bench-4e19d24322766744.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/csp_bench-4e19d24322766744: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

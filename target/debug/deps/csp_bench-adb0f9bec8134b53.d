@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/csp_bench-adb0f9bec8134b53.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcsp_bench-adb0f9bec8134b53.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libcsp_bench-adb0f9bec8134b53.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/csp_bench-e355924e9cd14c1f.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsp_bench-e355924e9cd14c1f.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/csp_core-23e80d57484d9c47.d: crates/core/src/lib.rs crates/core/src/workbench.rs
+
+/root/repo/target/debug/deps/libcsp_core-23e80d57484d9c47.rlib: crates/core/src/lib.rs crates/core/src/workbench.rs
+
+/root/repo/target/debug/deps/libcsp_core-23e80d57484d9c47.rmeta: crates/core/src/lib.rs crates/core/src/workbench.rs
+
+crates/core/src/lib.rs:
+crates/core/src/workbench.rs:

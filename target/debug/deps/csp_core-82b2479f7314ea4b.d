@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/csp_core-82b2479f7314ea4b.d: crates/core/src/lib.rs crates/core/src/workbench.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsp_core-82b2479f7314ea4b.rmeta: crates/core/src/lib.rs crates/core/src/workbench.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/workbench.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/csp_core-8a7380e8d6e775ab.d: crates/core/src/lib.rs crates/core/src/workbench.rs
+
+/root/repo/target/debug/deps/csp_core-8a7380e8d6e775ab: crates/core/src/lib.rs crates/core/src/workbench.rs
+
+crates/core/src/lib.rs:
+crates/core/src/workbench.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/csp_lang-075a55c91e980fe5.d: crates/lang/src/lib.rs crates/lang/src/defs.rs crates/lang/src/env.rs crates/lang/src/error.rs crates/lang/src/expr.rs crates/lang/src/free.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/process.rs crates/lang/src/setexpr.rs crates/lang/src/subst.rs crates/lang/src/validate.rs crates/lang/src/examples.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsp_lang-075a55c91e980fe5.rmeta: crates/lang/src/lib.rs crates/lang/src/defs.rs crates/lang/src/env.rs crates/lang/src/error.rs crates/lang/src/expr.rs crates/lang/src/free.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/process.rs crates/lang/src/setexpr.rs crates/lang/src/subst.rs crates/lang/src/validate.rs crates/lang/src/examples.rs Cargo.toml
+
+crates/lang/src/lib.rs:
+crates/lang/src/defs.rs:
+crates/lang/src/env.rs:
+crates/lang/src/error.rs:
+crates/lang/src/expr.rs:
+crates/lang/src/free.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/printer.rs:
+crates/lang/src/process.rs:
+crates/lang/src/setexpr.rs:
+crates/lang/src/subst.rs:
+crates/lang/src/validate.rs:
+crates/lang/src/examples.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/csp_lang-bd00a78ff07bab4a.d: crates/lang/src/lib.rs crates/lang/src/defs.rs crates/lang/src/env.rs crates/lang/src/error.rs crates/lang/src/expr.rs crates/lang/src/free.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/process.rs crates/lang/src/setexpr.rs crates/lang/src/subst.rs crates/lang/src/validate.rs crates/lang/src/examples.rs
+
+/root/repo/target/debug/deps/libcsp_lang-bd00a78ff07bab4a.rlib: crates/lang/src/lib.rs crates/lang/src/defs.rs crates/lang/src/env.rs crates/lang/src/error.rs crates/lang/src/expr.rs crates/lang/src/free.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/process.rs crates/lang/src/setexpr.rs crates/lang/src/subst.rs crates/lang/src/validate.rs crates/lang/src/examples.rs
+
+/root/repo/target/debug/deps/libcsp_lang-bd00a78ff07bab4a.rmeta: crates/lang/src/lib.rs crates/lang/src/defs.rs crates/lang/src/env.rs crates/lang/src/error.rs crates/lang/src/expr.rs crates/lang/src/free.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/process.rs crates/lang/src/setexpr.rs crates/lang/src/subst.rs crates/lang/src/validate.rs crates/lang/src/examples.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/defs.rs:
+crates/lang/src/env.rs:
+crates/lang/src/error.rs:
+crates/lang/src/expr.rs:
+crates/lang/src/free.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/printer.rs:
+crates/lang/src/process.rs:
+crates/lang/src/setexpr.rs:
+crates/lang/src/subst.rs:
+crates/lang/src/validate.rs:
+crates/lang/src/examples.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/csp_proof-ca9a46e13abaac3c.d: crates/proof/src/lib.rs crates/proof/src/checker.rs crates/proof/src/judgement.rs crates/proof/src/proof.rs crates/proof/src/render.rs crates/proof/src/synth.rs crates/proof/src/scripts/mod.rs crates/proof/src/scripts/buffer.rs crates/proof/src/scripts/multiplier.rs crates/proof/src/scripts/pipeline.rs crates/proof/src/scripts/protocol.rs
+
+/root/repo/target/debug/deps/csp_proof-ca9a46e13abaac3c: crates/proof/src/lib.rs crates/proof/src/checker.rs crates/proof/src/judgement.rs crates/proof/src/proof.rs crates/proof/src/render.rs crates/proof/src/synth.rs crates/proof/src/scripts/mod.rs crates/proof/src/scripts/buffer.rs crates/proof/src/scripts/multiplier.rs crates/proof/src/scripts/pipeline.rs crates/proof/src/scripts/protocol.rs
+
+crates/proof/src/lib.rs:
+crates/proof/src/checker.rs:
+crates/proof/src/judgement.rs:
+crates/proof/src/proof.rs:
+crates/proof/src/render.rs:
+crates/proof/src/synth.rs:
+crates/proof/src/scripts/mod.rs:
+crates/proof/src/scripts/buffer.rs:
+crates/proof/src/scripts/multiplier.rs:
+crates/proof/src/scripts/pipeline.rs:
+crates/proof/src/scripts/protocol.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/csp_proof-d7c6e92cfda8cff1.d: crates/proof/src/lib.rs crates/proof/src/checker.rs crates/proof/src/judgement.rs crates/proof/src/proof.rs crates/proof/src/render.rs crates/proof/src/synth.rs crates/proof/src/scripts/mod.rs crates/proof/src/scripts/buffer.rs crates/proof/src/scripts/multiplier.rs crates/proof/src/scripts/pipeline.rs crates/proof/src/scripts/protocol.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsp_proof-d7c6e92cfda8cff1.rmeta: crates/proof/src/lib.rs crates/proof/src/checker.rs crates/proof/src/judgement.rs crates/proof/src/proof.rs crates/proof/src/render.rs crates/proof/src/synth.rs crates/proof/src/scripts/mod.rs crates/proof/src/scripts/buffer.rs crates/proof/src/scripts/multiplier.rs crates/proof/src/scripts/pipeline.rs crates/proof/src/scripts/protocol.rs Cargo.toml
+
+crates/proof/src/lib.rs:
+crates/proof/src/checker.rs:
+crates/proof/src/judgement.rs:
+crates/proof/src/proof.rs:
+crates/proof/src/render.rs:
+crates/proof/src/synth.rs:
+crates/proof/src/scripts/mod.rs:
+crates/proof/src/scripts/buffer.rs:
+crates/proof/src/scripts/multiplier.rs:
+crates/proof/src/scripts/pipeline.rs:
+crates/proof/src/scripts/protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/csp_runtime-23ae5c7d6dd075ef.d: crates/runtime/src/lib.rs crates/runtime/src/conformance.rs crates/runtime/src/executor.rs crates/runtime/src/fault.rs crates/runtime/src/net.rs crates/runtime/src/scheduler.rs crates/runtime/src/supervisor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsp_runtime-23ae5c7d6dd075ef.rmeta: crates/runtime/src/lib.rs crates/runtime/src/conformance.rs crates/runtime/src/executor.rs crates/runtime/src/fault.rs crates/runtime/src/net.rs crates/runtime/src/scheduler.rs crates/runtime/src/supervisor.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/conformance.rs:
+crates/runtime/src/executor.rs:
+crates/runtime/src/fault.rs:
+crates/runtime/src/net.rs:
+crates/runtime/src/scheduler.rs:
+crates/runtime/src/supervisor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

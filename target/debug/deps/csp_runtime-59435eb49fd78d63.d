@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/csp_runtime-59435eb49fd78d63.d: crates/runtime/src/lib.rs crates/runtime/src/conformance.rs crates/runtime/src/executor.rs crates/runtime/src/fault.rs crates/runtime/src/net.rs crates/runtime/src/scheduler.rs crates/runtime/src/supervisor.rs
+
+/root/repo/target/debug/deps/libcsp_runtime-59435eb49fd78d63.rlib: crates/runtime/src/lib.rs crates/runtime/src/conformance.rs crates/runtime/src/executor.rs crates/runtime/src/fault.rs crates/runtime/src/net.rs crates/runtime/src/scheduler.rs crates/runtime/src/supervisor.rs
+
+/root/repo/target/debug/deps/libcsp_runtime-59435eb49fd78d63.rmeta: crates/runtime/src/lib.rs crates/runtime/src/conformance.rs crates/runtime/src/executor.rs crates/runtime/src/fault.rs crates/runtime/src/net.rs crates/runtime/src/scheduler.rs crates/runtime/src/supervisor.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/conformance.rs:
+crates/runtime/src/executor.rs:
+crates/runtime/src/fault.rs:
+crates/runtime/src/net.rs:
+crates/runtime/src/scheduler.rs:
+crates/runtime/src/supervisor.rs:

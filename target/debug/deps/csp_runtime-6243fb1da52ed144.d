@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/csp_runtime-6243fb1da52ed144.d: crates/runtime/src/lib.rs crates/runtime/src/conformance.rs crates/runtime/src/executor.rs crates/runtime/src/fault.rs crates/runtime/src/net.rs crates/runtime/src/scheduler.rs crates/runtime/src/supervisor.rs
+
+/root/repo/target/debug/deps/csp_runtime-6243fb1da52ed144: crates/runtime/src/lib.rs crates/runtime/src/conformance.rs crates/runtime/src/executor.rs crates/runtime/src/fault.rs crates/runtime/src/net.rs crates/runtime/src/scheduler.rs crates/runtime/src/supervisor.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/conformance.rs:
+crates/runtime/src/executor.rs:
+crates/runtime/src/fault.rs:
+crates/runtime/src/net.rs:
+crates/runtime/src/scheduler.rs:
+crates/runtime/src/supervisor.rs:

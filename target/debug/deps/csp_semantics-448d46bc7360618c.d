@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/csp_semantics-448d46bc7360618c.d: crates/semantics/src/lib.rs crates/semantics/src/denote.rs crates/semantics/src/equiv.rs crates/semantics/src/lts.rs crates/semantics/src/universe.rs crates/semantics/src/fixpoint.rs
+
+/root/repo/target/debug/deps/csp_semantics-448d46bc7360618c: crates/semantics/src/lib.rs crates/semantics/src/denote.rs crates/semantics/src/equiv.rs crates/semantics/src/lts.rs crates/semantics/src/universe.rs crates/semantics/src/fixpoint.rs
+
+crates/semantics/src/lib.rs:
+crates/semantics/src/denote.rs:
+crates/semantics/src/equiv.rs:
+crates/semantics/src/lts.rs:
+crates/semantics/src/universe.rs:
+crates/semantics/src/fixpoint.rs:

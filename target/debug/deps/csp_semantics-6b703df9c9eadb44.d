@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/csp_semantics-6b703df9c9eadb44.d: crates/semantics/src/lib.rs crates/semantics/src/denote.rs crates/semantics/src/equiv.rs crates/semantics/src/lts.rs crates/semantics/src/universe.rs crates/semantics/src/fixpoint.rs
+
+/root/repo/target/debug/deps/libcsp_semantics-6b703df9c9eadb44.rlib: crates/semantics/src/lib.rs crates/semantics/src/denote.rs crates/semantics/src/equiv.rs crates/semantics/src/lts.rs crates/semantics/src/universe.rs crates/semantics/src/fixpoint.rs
+
+/root/repo/target/debug/deps/libcsp_semantics-6b703df9c9eadb44.rmeta: crates/semantics/src/lib.rs crates/semantics/src/denote.rs crates/semantics/src/equiv.rs crates/semantics/src/lts.rs crates/semantics/src/universe.rs crates/semantics/src/fixpoint.rs
+
+crates/semantics/src/lib.rs:
+crates/semantics/src/denote.rs:
+crates/semantics/src/equiv.rs:
+crates/semantics/src/lts.rs:
+crates/semantics/src/universe.rs:
+crates/semantics/src/fixpoint.rs:

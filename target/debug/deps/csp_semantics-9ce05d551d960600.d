@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/csp_semantics-9ce05d551d960600.d: crates/semantics/src/lib.rs crates/semantics/src/denote.rs crates/semantics/src/equiv.rs crates/semantics/src/lts.rs crates/semantics/src/universe.rs crates/semantics/src/fixpoint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsp_semantics-9ce05d551d960600.rmeta: crates/semantics/src/lib.rs crates/semantics/src/denote.rs crates/semantics/src/equiv.rs crates/semantics/src/lts.rs crates/semantics/src/universe.rs crates/semantics/src/fixpoint.rs Cargo.toml
+
+crates/semantics/src/lib.rs:
+crates/semantics/src/denote.rs:
+crates/semantics/src/equiv.rs:
+crates/semantics/src/lts.rs:
+crates/semantics/src/universe.rs:
+crates/semantics/src/fixpoint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

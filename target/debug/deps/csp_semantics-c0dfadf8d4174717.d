@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/csp_semantics-c0dfadf8d4174717.d: crates/semantics/src/lib.rs crates/semantics/src/denote.rs crates/semantics/src/equiv.rs crates/semantics/src/lts.rs crates/semantics/src/universe.rs crates/semantics/src/fixpoint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsp_semantics-c0dfadf8d4174717.rmeta: crates/semantics/src/lib.rs crates/semantics/src/denote.rs crates/semantics/src/equiv.rs crates/semantics/src/lts.rs crates/semantics/src/universe.rs crates/semantics/src/fixpoint.rs Cargo.toml
+
+crates/semantics/src/lib.rs:
+crates/semantics/src/denote.rs:
+crates/semantics/src/equiv.rs:
+crates/semantics/src/lts.rs:
+crates/semantics/src/universe.rs:
+crates/semantics/src/fixpoint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

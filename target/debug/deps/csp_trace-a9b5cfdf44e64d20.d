@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/csp_trace-a9b5cfdf44e64d20.d: crates/trace/src/lib.rs crates/trace/src/channel.rs crates/trace/src/display.rs crates/trace/src/event.rs crates/trace/src/history.rs crates/trace/src/interleave.rs crates/trace/src/seq.rs crates/trace/src/trace.rs crates/trace/src/traceset.rs crates/trace/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsp_trace-a9b5cfdf44e64d20.rmeta: crates/trace/src/lib.rs crates/trace/src/channel.rs crates/trace/src/display.rs crates/trace/src/event.rs crates/trace/src/history.rs crates/trace/src/interleave.rs crates/trace/src/seq.rs crates/trace/src/trace.rs crates/trace/src/traceset.rs crates/trace/src/value.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/channel.rs:
+crates/trace/src/display.rs:
+crates/trace/src/event.rs:
+crates/trace/src/history.rs:
+crates/trace/src/interleave.rs:
+crates/trace/src/seq.rs:
+crates/trace/src/trace.rs:
+crates/trace/src/traceset.rs:
+crates/trace/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/csp_trace-c93f0fe54163ec97.d: crates/trace/src/lib.rs crates/trace/src/channel.rs crates/trace/src/display.rs crates/trace/src/event.rs crates/trace/src/history.rs crates/trace/src/interleave.rs crates/trace/src/seq.rs crates/trace/src/trace.rs crates/trace/src/traceset.rs crates/trace/src/value.rs
+
+/root/repo/target/debug/deps/libcsp_trace-c93f0fe54163ec97.rlib: crates/trace/src/lib.rs crates/trace/src/channel.rs crates/trace/src/display.rs crates/trace/src/event.rs crates/trace/src/history.rs crates/trace/src/interleave.rs crates/trace/src/seq.rs crates/trace/src/trace.rs crates/trace/src/traceset.rs crates/trace/src/value.rs
+
+/root/repo/target/debug/deps/libcsp_trace-c93f0fe54163ec97.rmeta: crates/trace/src/lib.rs crates/trace/src/channel.rs crates/trace/src/display.rs crates/trace/src/event.rs crates/trace/src/history.rs crates/trace/src/interleave.rs crates/trace/src/seq.rs crates/trace/src/trace.rs crates/trace/src/traceset.rs crates/trace/src/value.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/channel.rs:
+crates/trace/src/display.rs:
+crates/trace/src/event.rs:
+crates/trace/src/history.rs:
+crates/trace/src/interleave.rs:
+crates/trace/src/seq.rs:
+crates/trace/src/trace.rs:
+crates/trace/src/traceset.rs:
+crates/trace/src/value.rs:

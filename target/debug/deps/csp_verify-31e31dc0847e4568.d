@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/csp_verify-31e31dc0847e4568.d: crates/verify/src/lib.rs crates/verify/src/crossval.rs crates/verify/src/deadlock.rs crates/verify/src/faultconf.rs crates/verify/src/gen.rs crates/verify/src/satcheck.rs crates/verify/src/soundness.rs
+
+/root/repo/target/debug/deps/libcsp_verify-31e31dc0847e4568.rlib: crates/verify/src/lib.rs crates/verify/src/crossval.rs crates/verify/src/deadlock.rs crates/verify/src/faultconf.rs crates/verify/src/gen.rs crates/verify/src/satcheck.rs crates/verify/src/soundness.rs
+
+/root/repo/target/debug/deps/libcsp_verify-31e31dc0847e4568.rmeta: crates/verify/src/lib.rs crates/verify/src/crossval.rs crates/verify/src/deadlock.rs crates/verify/src/faultconf.rs crates/verify/src/gen.rs crates/verify/src/satcheck.rs crates/verify/src/soundness.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/crossval.rs:
+crates/verify/src/deadlock.rs:
+crates/verify/src/faultconf.rs:
+crates/verify/src/gen.rs:
+crates/verify/src/satcheck.rs:
+crates/verify/src/soundness.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/csp_verify-6076ce4f7382bbc8.d: crates/verify/src/lib.rs crates/verify/src/crossval.rs crates/verify/src/deadlock.rs crates/verify/src/faultconf.rs crates/verify/src/gen.rs crates/verify/src/satcheck.rs crates/verify/src/soundness.rs
+
+/root/repo/target/debug/deps/csp_verify-6076ce4f7382bbc8: crates/verify/src/lib.rs crates/verify/src/crossval.rs crates/verify/src/deadlock.rs crates/verify/src/faultconf.rs crates/verify/src/gen.rs crates/verify/src/satcheck.rs crates/verify/src/soundness.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/crossval.rs:
+crates/verify/src/deadlock.rs:
+crates/verify/src/faultconf.rs:
+crates/verify/src/gen.rs:
+crates/verify/src/satcheck.rs:
+crates/verify/src/soundness.rs:

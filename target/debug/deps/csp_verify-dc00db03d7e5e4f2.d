@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/csp_verify-dc00db03d7e5e4f2.d: crates/verify/src/lib.rs crates/verify/src/crossval.rs crates/verify/src/deadlock.rs crates/verify/src/faultconf.rs crates/verify/src/gen.rs crates/verify/src/satcheck.rs crates/verify/src/soundness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcsp_verify-dc00db03d7e5e4f2.rmeta: crates/verify/src/lib.rs crates/verify/src/crossval.rs crates/verify/src/deadlock.rs crates/verify/src/faultconf.rs crates/verify/src/gen.rs crates/verify/src/satcheck.rs crates/verify/src/soundness.rs Cargo.toml
+
+crates/verify/src/lib.rs:
+crates/verify/src/crossval.rs:
+crates/verify/src/deadlock.rs:
+crates/verify/src/faultconf.rs:
+crates/verify/src/gen.rs:
+crates/verify/src/satcheck.rs:
+crates/verify/src/soundness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

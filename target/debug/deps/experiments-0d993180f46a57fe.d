@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/experiments-0d993180f46a57fe.d: crates/bench/src/bin/experiments.rs
+
+/root/repo/target/debug/deps/experiments-0d993180f46a57fe: crates/bench/src/bin/experiments.rs
+
+crates/bench/src/bin/experiments.rs:

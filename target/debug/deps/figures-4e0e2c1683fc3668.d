@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/figures-4e0e2c1683fc3668.d: crates/bench/src/bin/figures.rs
+
+/root/repo/target/debug/deps/figures-4e0e2c1683fc3668: crates/bench/src/bin/figures.rs
+
+crates/bench/src/bin/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-287c4705436c45fe.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-287c4705436c45fe: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/perf-eadaca33bce2a952.d: crates/bench/benches/perf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperf-eadaca33bce2a952.rmeta: crates/bench/benches/perf.rs Cargo.toml
+
+crates/bench/benches/perf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proofs-083098ec77550216.d: crates/bench/benches/proofs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproofs-083098ec77550216.rmeta: crates/bench/benches/proofs.rs Cargo.toml
+
+crates/bench/benches/proofs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

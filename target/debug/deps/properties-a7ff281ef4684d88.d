@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a7ff281ef4684d88.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a7ff281ef4684d88: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-35b87b1935b42d2a.d: crates/shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-35b87b1935b42d2a.rmeta: crates/shims/proptest/src/lib.rs
+
+crates/shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_stress-4cd3bce3a1513efb.d: tests/runtime_stress.rs
+
+/root/repo/target/debug/deps/runtime_stress-4cd3bce3a1513efb: tests/runtime_stress.rs
+
+tests/runtime_stress.rs:

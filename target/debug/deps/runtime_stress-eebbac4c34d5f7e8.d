@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime_stress-eebbac4c34d5f7e8.d: tests/runtime_stress.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime_stress-eebbac4c34d5f7e8.rmeta: tests/runtime_stress.rs Cargo.toml
+
+tests/runtime_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

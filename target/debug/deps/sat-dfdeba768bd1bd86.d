@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sat-dfdeba768bd1bd86.d: crates/bench/benches/sat.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsat-dfdeba768bd1bd86.rmeta: crates/bench/benches/sat.rs Cargo.toml
+
+crates/bench/benches/sat.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/semantics-265c543f807fb3ec.d: crates/bench/benches/semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsemantics-265c543f807fb3ec.rmeta: crates/bench/benches/semantics.rs Cargo.toml
+
+crates/bench/benches/semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/soundness-89112baf8d43117b.d: crates/bench/benches/soundness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoundness-89112baf8d43117b.rmeta: crates/bench/benches/soundness.rs Cargo.toml
+
+crates/bench/benches/soundness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

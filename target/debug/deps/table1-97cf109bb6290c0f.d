@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-97cf109bb6290c0f.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-97cf109bb6290c0f: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tutorial-959544c1a8b16ee0.d: tests/tutorial.rs
+
+/root/repo/target/debug/deps/tutorial-959544c1a8b16ee0: tests/tutorial.rs
+
+tests/tutorial.rs:

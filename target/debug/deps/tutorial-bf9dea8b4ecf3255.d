@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tutorial-bf9dea8b4ecf3255.d: tests/tutorial.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtutorial-bf9dea8b4ecf3255.rmeta: tests/tutorial.rs Cargo.toml
+
+tests/tutorial.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

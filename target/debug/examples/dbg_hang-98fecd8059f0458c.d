@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dbg_hang-98fecd8059f0458c.d: crates/runtime/examples/dbg_hang.rs
+
+/root/repo/target/debug/examples/dbg_hang-98fecd8059f0458c: crates/runtime/examples/dbg_hang.rs
+
+crates/runtime/examples/dbg_hang.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/deadlock-1540223df3bfd9ef.d: examples/deadlock.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdeadlock-1540223df3bfd9ef.rmeta: examples/deadlock.rs Cargo.toml
+
+examples/deadlock.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/deadlock-81606a959f7e5006.d: examples/deadlock.rs
+
+/root/repo/target/debug/examples/deadlock-81606a959f7e5006: examples/deadlock.rs
+
+examples/deadlock.rs:

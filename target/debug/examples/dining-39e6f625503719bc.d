@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dining-39e6f625503719bc.d: examples/dining.rs
+
+/root/repo/target/debug/examples/dining-39e6f625503719bc: examples/dining.rs
+
+examples/dining.rs:

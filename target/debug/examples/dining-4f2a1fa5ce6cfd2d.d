@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dining-4f2a1fa5ce6cfd2d.d: examples/dining.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdining-4f2a1fa5ce6cfd2d.rmeta: examples/dining.rs Cargo.toml
+
+examples/dining.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/faults-b8e44f08c80ee3fb.d: examples/faults.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfaults-b8e44f08c80ee3fb.rmeta: examples/faults.rs Cargo.toml
+
+examples/faults.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/faults-f95872e857b8a5af.d: examples/faults.rs
+
+/root/repo/target/debug/examples/faults-f95872e857b8a5af: examples/faults.rs
+
+examples/faults.rs:

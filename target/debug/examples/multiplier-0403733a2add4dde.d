@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multiplier-0403733a2add4dde.d: examples/multiplier.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmultiplier-0403733a2add4dde.rmeta: examples/multiplier.rs Cargo.toml
+
+examples/multiplier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multiplier-1a2c7f2090092d8e.d: examples/multiplier.rs
+
+/root/repo/target/debug/examples/multiplier-1a2c7f2090092d8e: examples/multiplier.rs
+
+examples/multiplier.rs:

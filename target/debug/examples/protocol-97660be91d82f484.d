@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/protocol-97660be91d82f484.d: examples/protocol.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprotocol-97660be91d82f484.rmeta: examples/protocol.rs Cargo.toml
+
+examples/protocol.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/protocol-ebce8ce97f9da009.d: examples/protocol.rs
+
+/root/repo/target/debug/examples/protocol-ebce8ce97f9da009: examples/protocol.rs
+
+examples/protocol.rs:

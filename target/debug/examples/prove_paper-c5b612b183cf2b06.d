@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/prove_paper-c5b612b183cf2b06.d: examples/prove_paper.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprove_paper-c5b612b183cf2b06.rmeta: examples/prove_paper.rs Cargo.toml
+
+examples/prove_paper.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

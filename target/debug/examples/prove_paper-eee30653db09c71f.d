@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/prove_paper-eee30653db09c71f.d: examples/prove_paper.rs
+
+/root/repo/target/debug/examples/prove_paper-eee30653db09c71f: examples/prove_paper.rs
+
+examples/prove_paper.rs:

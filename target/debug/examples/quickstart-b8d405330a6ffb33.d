@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b8d405330a6ffb33.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b8d405330a6ffb33: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/csp-82eedb656ed40504.d: src/bin/csp.rs
+
+/root/repo/target/release/deps/csp-82eedb656ed40504: src/bin/csp.rs
+
+src/bin/csp.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/csp-8d98dfc6fe297a25.d: src/lib.rs
+
+/root/repo/target/release/deps/libcsp-8d98dfc6fe297a25.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libcsp-8d98dfc6fe297a25.rmeta: src/lib.rs
+
+src/lib.rs:

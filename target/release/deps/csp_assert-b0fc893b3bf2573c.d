@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/csp_assert-b0fc893b3bf2573c.d: crates/assertion/src/lib.rs crates/assertion/src/ast.rs crates/assertion/src/decide.rs crates/assertion/src/eval.rs crates/assertion/src/funcs.rs crates/assertion/src/parser.rs crates/assertion/src/simplify.rs crates/assertion/src/subst.rs
+
+/root/repo/target/release/deps/libcsp_assert-b0fc893b3bf2573c.rlib: crates/assertion/src/lib.rs crates/assertion/src/ast.rs crates/assertion/src/decide.rs crates/assertion/src/eval.rs crates/assertion/src/funcs.rs crates/assertion/src/parser.rs crates/assertion/src/simplify.rs crates/assertion/src/subst.rs
+
+/root/repo/target/release/deps/libcsp_assert-b0fc893b3bf2573c.rmeta: crates/assertion/src/lib.rs crates/assertion/src/ast.rs crates/assertion/src/decide.rs crates/assertion/src/eval.rs crates/assertion/src/funcs.rs crates/assertion/src/parser.rs crates/assertion/src/simplify.rs crates/assertion/src/subst.rs
+
+crates/assertion/src/lib.rs:
+crates/assertion/src/ast.rs:
+crates/assertion/src/decide.rs:
+crates/assertion/src/eval.rs:
+crates/assertion/src/funcs.rs:
+crates/assertion/src/parser.rs:
+crates/assertion/src/simplify.rs:
+crates/assertion/src/subst.rs:

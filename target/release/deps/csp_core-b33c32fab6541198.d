@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/csp_core-b33c32fab6541198.d: crates/core/src/lib.rs crates/core/src/workbench.rs
+
+/root/repo/target/release/deps/libcsp_core-b33c32fab6541198.rlib: crates/core/src/lib.rs crates/core/src/workbench.rs
+
+/root/repo/target/release/deps/libcsp_core-b33c32fab6541198.rmeta: crates/core/src/lib.rs crates/core/src/workbench.rs
+
+crates/core/src/lib.rs:
+crates/core/src/workbench.rs:

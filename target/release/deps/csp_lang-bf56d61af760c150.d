@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/csp_lang-bf56d61af760c150.d: crates/lang/src/lib.rs crates/lang/src/defs.rs crates/lang/src/env.rs crates/lang/src/error.rs crates/lang/src/expr.rs crates/lang/src/free.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/process.rs crates/lang/src/setexpr.rs crates/lang/src/subst.rs crates/lang/src/validate.rs crates/lang/src/examples.rs
+
+/root/repo/target/release/deps/libcsp_lang-bf56d61af760c150.rlib: crates/lang/src/lib.rs crates/lang/src/defs.rs crates/lang/src/env.rs crates/lang/src/error.rs crates/lang/src/expr.rs crates/lang/src/free.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/process.rs crates/lang/src/setexpr.rs crates/lang/src/subst.rs crates/lang/src/validate.rs crates/lang/src/examples.rs
+
+/root/repo/target/release/deps/libcsp_lang-bf56d61af760c150.rmeta: crates/lang/src/lib.rs crates/lang/src/defs.rs crates/lang/src/env.rs crates/lang/src/error.rs crates/lang/src/expr.rs crates/lang/src/free.rs crates/lang/src/parser.rs crates/lang/src/printer.rs crates/lang/src/process.rs crates/lang/src/setexpr.rs crates/lang/src/subst.rs crates/lang/src/validate.rs crates/lang/src/examples.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/defs.rs:
+crates/lang/src/env.rs:
+crates/lang/src/error.rs:
+crates/lang/src/expr.rs:
+crates/lang/src/free.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/printer.rs:
+crates/lang/src/process.rs:
+crates/lang/src/setexpr.rs:
+crates/lang/src/subst.rs:
+crates/lang/src/validate.rs:
+crates/lang/src/examples.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/csp_proof-c6738efc853fa7eb.d: crates/proof/src/lib.rs crates/proof/src/checker.rs crates/proof/src/judgement.rs crates/proof/src/proof.rs crates/proof/src/render.rs crates/proof/src/synth.rs crates/proof/src/scripts/mod.rs crates/proof/src/scripts/buffer.rs crates/proof/src/scripts/multiplier.rs crates/proof/src/scripts/pipeline.rs crates/proof/src/scripts/protocol.rs
+
+/root/repo/target/release/deps/libcsp_proof-c6738efc853fa7eb.rlib: crates/proof/src/lib.rs crates/proof/src/checker.rs crates/proof/src/judgement.rs crates/proof/src/proof.rs crates/proof/src/render.rs crates/proof/src/synth.rs crates/proof/src/scripts/mod.rs crates/proof/src/scripts/buffer.rs crates/proof/src/scripts/multiplier.rs crates/proof/src/scripts/pipeline.rs crates/proof/src/scripts/protocol.rs
+
+/root/repo/target/release/deps/libcsp_proof-c6738efc853fa7eb.rmeta: crates/proof/src/lib.rs crates/proof/src/checker.rs crates/proof/src/judgement.rs crates/proof/src/proof.rs crates/proof/src/render.rs crates/proof/src/synth.rs crates/proof/src/scripts/mod.rs crates/proof/src/scripts/buffer.rs crates/proof/src/scripts/multiplier.rs crates/proof/src/scripts/pipeline.rs crates/proof/src/scripts/protocol.rs
+
+crates/proof/src/lib.rs:
+crates/proof/src/checker.rs:
+crates/proof/src/judgement.rs:
+crates/proof/src/proof.rs:
+crates/proof/src/render.rs:
+crates/proof/src/synth.rs:
+crates/proof/src/scripts/mod.rs:
+crates/proof/src/scripts/buffer.rs:
+crates/proof/src/scripts/multiplier.rs:
+crates/proof/src/scripts/pipeline.rs:
+crates/proof/src/scripts/protocol.rs:

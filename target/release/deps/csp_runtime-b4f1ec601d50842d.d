@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/csp_runtime-b4f1ec601d50842d.d: crates/runtime/src/lib.rs crates/runtime/src/conformance.rs crates/runtime/src/executor.rs crates/runtime/src/fault.rs crates/runtime/src/net.rs crates/runtime/src/scheduler.rs crates/runtime/src/supervisor.rs
+
+/root/repo/target/release/deps/libcsp_runtime-b4f1ec601d50842d.rlib: crates/runtime/src/lib.rs crates/runtime/src/conformance.rs crates/runtime/src/executor.rs crates/runtime/src/fault.rs crates/runtime/src/net.rs crates/runtime/src/scheduler.rs crates/runtime/src/supervisor.rs
+
+/root/repo/target/release/deps/libcsp_runtime-b4f1ec601d50842d.rmeta: crates/runtime/src/lib.rs crates/runtime/src/conformance.rs crates/runtime/src/executor.rs crates/runtime/src/fault.rs crates/runtime/src/net.rs crates/runtime/src/scheduler.rs crates/runtime/src/supervisor.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/conformance.rs:
+crates/runtime/src/executor.rs:
+crates/runtime/src/fault.rs:
+crates/runtime/src/net.rs:
+crates/runtime/src/scheduler.rs:
+crates/runtime/src/supervisor.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/csp_semantics-c1611ccff09b3df4.d: crates/semantics/src/lib.rs crates/semantics/src/denote.rs crates/semantics/src/equiv.rs crates/semantics/src/lts.rs crates/semantics/src/universe.rs crates/semantics/src/fixpoint.rs
+
+/root/repo/target/release/deps/libcsp_semantics-c1611ccff09b3df4.rlib: crates/semantics/src/lib.rs crates/semantics/src/denote.rs crates/semantics/src/equiv.rs crates/semantics/src/lts.rs crates/semantics/src/universe.rs crates/semantics/src/fixpoint.rs
+
+/root/repo/target/release/deps/libcsp_semantics-c1611ccff09b3df4.rmeta: crates/semantics/src/lib.rs crates/semantics/src/denote.rs crates/semantics/src/equiv.rs crates/semantics/src/lts.rs crates/semantics/src/universe.rs crates/semantics/src/fixpoint.rs
+
+crates/semantics/src/lib.rs:
+crates/semantics/src/denote.rs:
+crates/semantics/src/equiv.rs:
+crates/semantics/src/lts.rs:
+crates/semantics/src/universe.rs:
+crates/semantics/src/fixpoint.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/csp_trace-e135c1dbbf860350.d: crates/trace/src/lib.rs crates/trace/src/channel.rs crates/trace/src/display.rs crates/trace/src/event.rs crates/trace/src/history.rs crates/trace/src/interleave.rs crates/trace/src/seq.rs crates/trace/src/trace.rs crates/trace/src/traceset.rs crates/trace/src/value.rs
+
+/root/repo/target/release/deps/libcsp_trace-e135c1dbbf860350.rlib: crates/trace/src/lib.rs crates/trace/src/channel.rs crates/trace/src/display.rs crates/trace/src/event.rs crates/trace/src/history.rs crates/trace/src/interleave.rs crates/trace/src/seq.rs crates/trace/src/trace.rs crates/trace/src/traceset.rs crates/trace/src/value.rs
+
+/root/repo/target/release/deps/libcsp_trace-e135c1dbbf860350.rmeta: crates/trace/src/lib.rs crates/trace/src/channel.rs crates/trace/src/display.rs crates/trace/src/event.rs crates/trace/src/history.rs crates/trace/src/interleave.rs crates/trace/src/seq.rs crates/trace/src/trace.rs crates/trace/src/traceset.rs crates/trace/src/value.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/channel.rs:
+crates/trace/src/display.rs:
+crates/trace/src/event.rs:
+crates/trace/src/history.rs:
+crates/trace/src/interleave.rs:
+crates/trace/src/seq.rs:
+crates/trace/src/trace.rs:
+crates/trace/src/traceset.rs:
+crates/trace/src/value.rs:

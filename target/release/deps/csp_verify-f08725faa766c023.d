@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/csp_verify-f08725faa766c023.d: crates/verify/src/lib.rs crates/verify/src/crossval.rs crates/verify/src/deadlock.rs crates/verify/src/faultconf.rs crates/verify/src/gen.rs crates/verify/src/satcheck.rs crates/verify/src/soundness.rs
+
+/root/repo/target/release/deps/libcsp_verify-f08725faa766c023.rlib: crates/verify/src/lib.rs crates/verify/src/crossval.rs crates/verify/src/deadlock.rs crates/verify/src/faultconf.rs crates/verify/src/gen.rs crates/verify/src/satcheck.rs crates/verify/src/soundness.rs
+
+/root/repo/target/release/deps/libcsp_verify-f08725faa766c023.rmeta: crates/verify/src/lib.rs crates/verify/src/crossval.rs crates/verify/src/deadlock.rs crates/verify/src/faultconf.rs crates/verify/src/gen.rs crates/verify/src/satcheck.rs crates/verify/src/soundness.rs
+
+crates/verify/src/lib.rs:
+crates/verify/src/crossval.rs:
+crates/verify/src/deadlock.rs:
+crates/verify/src/faultconf.rs:
+crates/verify/src/gen.rs:
+crates/verify/src/satcheck.rs:
+crates/verify/src/soundness.rs:

@@ -9,8 +9,8 @@
 //! plus parser/printer round-tripping for the assertion syntax.
 
 use csp::{
-    parse_assertion, Assertion, Channel, ChannelInfo, CmpOp, Env, EvalCtx, Expr,
-    FuncTable, History, STerm, Term, Trace, Universe, Value,
+    parse_assertion, Assertion, Channel, ChannelInfo, CmpOp, Env, EvalCtx, Expr, FuncTable,
+    History, STerm, Term, Trace, Universe, Value,
 };
 use proptest::prelude::*;
 
@@ -32,7 +32,10 @@ fn arb_value() -> impl Strategy<Value = Value> {
 
 fn arb_trace() -> impl Strategy<Value = Trace> {
     prop::collection::vec(
-        (prop_oneof![Just("a"), Just("b"), Just("wire"), Just("input")], arb_value()),
+        (
+            prop_oneof![Just("a"), Just("b"), Just("wire"), Just("input")],
+            arb_value(),
+        ),
         0..6,
     )
     .prop_map(|pairs| {
@@ -57,8 +60,7 @@ fn arb_sterm() -> impl Strategy<Value = STerm> {
             ((0i64..3), inner.clone())
                 .prop_map(|(n, s)| STerm::Cons(Box::new(Term::int(n)), Box::new(s))),
             inner.clone().prop_map(|s| s.app("f")),
-            (inner.clone(), inner)
-                .prop_map(|(x, y)| STerm::Concat(Box::new(x), Box::new(y))),
+            (inner.clone(), inner).prop_map(|(x, y)| STerm::Concat(Box::new(x), Box::new(y))),
         ]
     })
 }
@@ -68,12 +70,8 @@ fn arb_term() -> impl Strategy<Value = Term> {
         (0i64..4).prop_map(Term::int),
         Just(Term::var("x")),
         arb_sterm().prop_map(Term::length),
-        (arb_sterm(), 1i64..4).prop_map(|(s, i)| Term::Index(
-            Box::new(s),
-            Box::new(Term::int(i))
-        )),
-        (arb_sterm().prop_map(Term::length), 0i64..3)
-            .prop_map(|(l, n)| l.add(Term::int(n))),
+        (arb_sterm(), 1i64..4).prop_map(|(s, i)| Term::Index(Box::new(s), Box::new(Term::int(i)))),
+        (arb_sterm().prop_map(Term::length), 0i64..3).prop_map(|(l, n)| l.add(Term::int(n))),
     ]
 }
 

@@ -50,15 +50,29 @@ fn check_holds_and_refutes() {
     let f = write_fixture("pipeline2.csp", PIPELINE);
     let path = f.to_str().unwrap();
     let (stdout, _, code) = csp(&[
-        "check", path, "--process", "pipeline", "--assert", "output <= input",
-        "--depth", "3", "--nat-bound", "1",
+        "check",
+        path,
+        "--process",
+        "pipeline",
+        "--assert",
+        "output <= input",
+        "--depth",
+        "3",
+        "--nat-bound",
+        "1",
     ]);
     assert_eq!(code, Some(0), "{stdout}");
     assert!(stdout.contains("holds"));
 
     let (stdout, _, code) = csp(&[
-        "check", path, "--process", "copier", "--assert", "input <= wire",
-        "--depth", "3",
+        "check",
+        path,
+        "--process",
+        "copier",
+        "--assert",
+        "input <= wire",
+        "--depth",
+        "3",
     ]);
     assert_eq!(code, Some(1), "{stdout}");
     assert!(stdout.contains("counterexample"));
@@ -97,8 +111,16 @@ fn prove_rejects_false_invariants() {
 fn run_executes_with_seed() {
     let f = write_fixture("pipeline5.csp", PIPELINE);
     let (stdout, _, code) = csp(&[
-        "run", f.to_str().unwrap(), "--process", "pipeline", "--steps", "12",
-        "--seed", "7", "--nat-bound", "1",
+        "run",
+        f.to_str().unwrap(),
+        "--process",
+        "pipeline",
+        "--steps",
+        "12",
+        "--seed",
+        "7",
+        "--nat-bound",
+        "1",
     ]);
     assert_eq!(code, Some(0), "{stdout}");
     assert!(stdout.contains("12 event(s)"));
@@ -112,8 +134,14 @@ fn deadlock_finds_jams() {
         "left = w!1 -> STOP\nright = w?x:{2} -> STOP\nnet = left || right\n",
     );
     let (stdout, _, code) = csp(&[
-        "deadlock", f.to_str().unwrap(), "--process", "net", "--depth", "3",
-        "--nat-bound", "3",
+        "deadlock",
+        f.to_str().unwrap(),
+        "--process",
+        "net",
+        "--depth",
+        "3",
+        "--nat-bound",
+        "3",
     ]);
     assert_eq!(code, Some(1), "{stdout}");
     assert!(stdout.contains("DEADLOCK"));
@@ -123,8 +151,14 @@ fn deadlock_finds_jams() {
 fn traces_lists_maximal_behaviours() {
     let f = write_fixture("pipeline6.csp", PIPELINE);
     let (stdout, _, code) = csp(&[
-        "traces", f.to_str().unwrap(), "--process", "copier", "--depth", "2",
-        "--nat-bound", "1",
+        "traces",
+        f.to_str().unwrap(),
+        "--process",
+        "copier",
+        "--depth",
+        "2",
+        "--nat-bound",
+        "1",
     ]);
     assert_eq!(code, Some(0), "{stdout}");
     assert!(stdout.contains("traces of `copier`"));
@@ -140,9 +174,18 @@ fn named_sets_via_flag() {
          protocol = chan wire; (sender || receiver)\n",
     );
     let (stdout, _, code) = csp(&[
-        "check", f.to_str().unwrap(), "--process", "protocol",
-        "--assert", "output <= input", "--depth", "3",
-        "--set", "M=0,1", "--nat-bound", "0",
+        "check",
+        f.to_str().unwrap(),
+        "--process",
+        "protocol",
+        "--assert",
+        "output <= input",
+        "--depth",
+        "3",
+        "--set",
+        "M=0,1",
+        "--nat-bound",
+        "0",
     ]);
     assert_eq!(code, Some(0), "{stdout}");
     assert!(stdout.contains("holds"));

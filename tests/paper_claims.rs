@@ -90,9 +90,7 @@ fn section4_stop_satisfies_satisfiable_invariants() {
 /// §1.0's copier traces are exactly reproduced.
 #[test]
 fn section1_copier_traces() {
-    let wb = Workbench::new()
-        .with_universe(Universe::new(27))
-        .to_owned();
+    let wb = Workbench::new().with_universe(Universe::new(27)).to_owned();
     let mut wb = wb;
     wb.define_source("copier = input?x:NAT -> wire!x -> copier")
         .unwrap();
@@ -130,13 +128,17 @@ fn end_to_end_on_all_paper_systems() {
     let mut wb = Workbench::new().with_universe(Universe::new(1));
     wb.define_source(csp::examples::PIPELINE_SRC).unwrap();
     assert!(wb.validate().is_empty());
-    assert!(wb.check_sat("pipeline", "output <= input", 3).unwrap().holds());
+    assert!(wb
+        .check_sat("pipeline", "output <= input", 3)
+        .unwrap()
+        .holds());
     let run = wb
         .run(
             "pipeline",
             RunOptions {
                 max_steps: 20,
                 scheduler: Scheduler::seeded(1),
+                ..RunOptions::default()
             },
         )
         .unwrap();
@@ -149,13 +151,17 @@ fn end_to_end_on_all_paper_systems() {
     let mut wb = Workbench::new()
         .with_universe(Universe::new(0).with_named("M", [Value::nat(0), Value::nat(1)]));
     wb.define_source(csp::examples::PROTOCOL_SRC).unwrap();
-    assert!(wb.check_sat("protocol", "output <= input", 3).unwrap().holds());
+    assert!(wb
+        .check_sat("protocol", "output <= input", 3)
+        .unwrap()
+        .holds());
     let run = wb
         .run(
             "protocol",
             RunOptions {
                 max_steps: 30,
                 scheduler: Scheduler::seeded(2),
+                ..RunOptions::default()
             },
         )
         .unwrap();
@@ -184,10 +190,14 @@ fn end_to_end_on_all_paper_systems() {
             RunOptions {
                 max_steps: 40,
                 scheduler: Scheduler::seeded(3),
+                ..RunOptions::default()
             },
         )
         .unwrap();
-    assert!(wb.conformance("multiplier", &run, &[inv]).unwrap().conforms());
+    assert!(wb
+        .conformance("multiplier", &run, &[inv])
+        .unwrap()
+        .conforms());
 }
 
 /// §3.3's fixpoint construction converges on all paper systems and
@@ -214,7 +224,10 @@ fn fixpoint_converges_on_paper_systems() {
 fn buffer_capacity_is_exactly_two() {
     let mut wb = Workbench::new().with_universe(Universe::new(1));
     wb.define_source(csp::examples::BUFFER2_SRC).unwrap();
-    assert!(wb.check_sat("buffer2", "#in <= #out + 2", 5).unwrap().holds());
+    assert!(wb
+        .check_sat("buffer2", "#in <= #out + 2", 5)
+        .unwrap()
+        .holds());
     match wb.check_sat("buffer2", "#in <= #out + 1", 5).unwrap() {
         SatResult::Counterexample { trace } => {
             // Two inputs in flight, none delivered yet.

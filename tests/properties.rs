@@ -2,8 +2,8 @@
 //! invariants the paper's model depends on.
 
 use csp::{
-    compare, parse_process, Channel, ChannelSet, Config, Definitions, Env, Event, Lts,
-    Process, Seq, Semantics, Trace, TraceSet, Universe, Value,
+    compare, parse_process, Channel, ChannelSet, Config, Definitions, Env, Event, Lts, Process,
+    Semantics, Seq, Trace, TraceSet, Universe, Value,
 };
 use proptest::prelude::*;
 
@@ -42,9 +42,8 @@ fn arb_process() -> impl Strategy<Value = Process> {
                 inner.clone()
             )
                 .prop_map(|(c, n, p)| Process::output(c, csp::Expr::int(n), p)),
-            (prop_oneof![Just("a"), Just("b"), Just("c")], inner.clone()).prop_map(
-                |(c, p)| Process::input(c, "x", csp::SetExpr::range(0, 1), p)
-            ),
+            (prop_oneof![Just("a"), Just("b"), Just("c")], inner.clone())
+                .prop_map(|(c, p)| Process::input(c, "x", csp::SetExpr::range(0, 1), p)),
             (inner.clone(), inner).prop_map(|(p, q)| p.or(q)),
         ]
     })
@@ -298,4 +297,3 @@ proptest! {
         prop_assert_eq!(d3.up_to_depth(2), d2);
     }
 }
-

@@ -68,6 +68,7 @@ fn section_6_execute_and_conform() {
             RunOptions {
                 max_steps: 30,
                 scheduler: Scheduler::seeded(42),
+                ..RunOptions::default()
             },
         )
         .unwrap();
