@@ -1,0 +1,148 @@
+//! The multi-pass linter.
+
+use std::collections::BTreeSet;
+
+use csp_assert::Assertion;
+use csp_lang::{Definition, Definitions, Env, Process, SourceMap};
+use csp_trace::{ChannelSet, Value};
+
+use crate::diagnostic::Diagnostic;
+use crate::passes;
+
+/// Runs every lint pass over a definition list.
+///
+/// Construction is builder-style: supply the evaluation environment the
+/// host will run the network under (used to resolve channel subscripts
+/// and to derive host-bound variable names), extra host variables, and
+/// the [`SourceMap`] from a spanned parse for located diagnostics.
+///
+/// # Examples
+///
+/// ```
+/// use csp_analysis::Linter;
+/// use csp_lang::parse_definitions_spanned;
+///
+/// let (defs, spans) = parse_definitions_spanned("p = c!0 -> ghost").unwrap();
+/// let diags = Linter::new(&defs).with_spans(&spans).run();
+/// assert_eq!(diags.len(), 1);
+/// assert_eq!(diags[0].code.code(), "CSP001");
+/// assert_eq!(diags[0].span.unwrap().column, 12);
+/// ```
+pub struct Linter<'a> {
+    defs: &'a Definitions,
+    env: Env,
+    host_vars: BTreeSet<String>,
+    spans: Option<&'a SourceMap>,
+}
+
+impl<'a> Linter<'a> {
+    /// A linter over `defs` with an empty environment and no spans.
+    pub fn new(defs: &'a Definitions) -> Self {
+        Linter {
+            defs,
+            env: Env::new(),
+            host_vars: BTreeSet::new(),
+            spans: None,
+        }
+    }
+
+    /// Supplies the evaluation environment. Every bound name (with array
+    /// subscripts stripped: `v[1]` binds `v`) also counts as a
+    /// host-supplied variable for the unbound-variable pass.
+    pub fn with_env(mut self, env: &Env) -> Self {
+        for (k, _) in env.iter() {
+            let base = k.split('[').next().unwrap_or(k);
+            self.host_vars.insert(base.to_string());
+        }
+        self.env = env.clone();
+        self
+    }
+
+    /// Declares additional variables the host promises to bind.
+    pub fn with_host_vars<I, S>(mut self, vars: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.host_vars.extend(vars.into_iter().map(Into::into));
+        self
+    }
+
+    /// Attaches the [`SourceMap`] of a spanned parse so diagnostics carry
+    /// source locations.
+    pub fn with_spans(mut self, spans: &'a SourceMap) -> Self {
+        self.spans = Some(spans);
+        self
+    }
+
+    /// Runs all definition-level passes, returning findings sorted by
+    /// source position (unlocated findings last), then by code.
+    pub fn run(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for def in self.defs.iter() {
+            let spans = self.spans.and_then(|m| m.get(def.name()));
+            passes::names::check(def, self.defs, &self.host_vars, spans, &mut out);
+            passes::recursion::check(def, self.defs, spans, &mut out);
+            let env = self.env_for(def);
+            passes::parallel::check(def, self.defs, &env, spans, &mut out);
+            passes::hiding::check(def, self.defs, &env, spans, &mut out);
+        }
+        sort_diagnostics(&mut out);
+        out
+    }
+
+    /// Lints a `sat` assertion against the process it claims to describe
+    /// (CSP008/CSP009). `target` names the process for attribution;
+    /// `allowed` lists channels the host declares observable even though
+    /// the static alphabet misses them.
+    pub fn lint_assertion(
+        &self,
+        target: &str,
+        process: &Process,
+        assertion: &Assertion,
+        allowed: &ChannelSet,
+    ) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let span = self.spans.and_then(|m| m.get(target)).map(|d| d.name);
+        passes::scope::check_assertion(
+            target, process, assertion, self.defs, &self.env, allowed, span, &mut out,
+        );
+        sort_diagnostics(&mut out);
+        out
+    }
+
+    /// The environment for analysing one definition's body: for an array
+    /// definition `q[x:M] = …` the parameter is bound to a representative
+    /// member of `M` (its first, or `0` when `M` is unbounded), mirroring
+    /// the sampling discipline of
+    /// [`channel_alphabet`](csp_lang::channel_alphabet).
+    fn env_for(&self, def: &Definition) -> Env {
+        let Some((param, set)) = def.param() else {
+            return self.env.clone();
+        };
+        let rep = set
+            .eval(&self.env)
+            .ok()
+            .and_then(|m| m.enumerate(0, &|_| None).ok())
+            .and_then(|vs| vs.into_iter().next())
+            .unwrap_or_else(|| Value::nat(0));
+        self.env.bind(param, rep)
+    }
+}
+
+/// Sorts by source position (unlocated findings last), then definition,
+/// code, and message; deduplicates exact repeats.
+fn sort_diagnostics(out: &mut Vec<Diagnostic>) {
+    out.sort_by(|a, b| {
+        let key = |d: &Diagnostic| {
+            (
+                d.span.map_or(usize::MAX, |s| s.offset),
+                d.def.clone(),
+                d.code,
+                d.message.clone(),
+            )
+        };
+        key(a).cmp(&key(b))
+    });
+    out.dedup();
+}

@@ -1,0 +1,74 @@
+//! CSP007: hiding hygiene.
+//!
+//! The hiding rule (§2.1 rule 9) concludes `chan c; P sat R` from
+//! `P sat R` when `R` does not mention the hidden channel — the whole
+//! point being that `c` *does* occur in `P` and is being made internal.
+//! Hiding a channel the body never communicates on is legal but always a
+//! typo (a renamed channel, a stale declaration), so it is flagged.
+
+use csp_lang::{channel_alphabet, DefSpans, Definition, Definitions, Env, Process, SpanTree};
+
+use crate::diagnostic::{Diagnostic, LintCode};
+
+pub(crate) fn check(
+    def: &Definition,
+    defs: &Definitions,
+    env: &Env,
+    spans: Option<&DefSpans>,
+    out: &mut Vec<Diagnostic>,
+) {
+    walk(
+        def.name(),
+        def.body(),
+        spans.map(|s| &s.body),
+        defs,
+        env,
+        out,
+    );
+}
+
+fn walk(
+    in_def: &str,
+    p: &Process,
+    t: Option<&SpanTree>,
+    defs: &Definitions,
+    env: &Env,
+    out: &mut Vec<Diagnostic>,
+) {
+    if let Process::Hide { channels, body } = p {
+        if let Ok(alpha) = channel_alphabet(body, defs, env) {
+            for c in channels {
+                let Ok(ch) = c.resolve(env) else { continue };
+                if !alpha.contains(&ch) {
+                    out.push(
+                        Diagnostic::new(
+                            LintCode::UselessHiding,
+                            format!("hides `{ch}`, a channel the body never communicates on"),
+                        )
+                        .in_def(in_def)
+                        .at(t.map(|t| t.span)),
+                    );
+                }
+            }
+        }
+    }
+
+    let child = |i: usize| t.and_then(|t| t.child(i));
+    match p {
+        Process::Stop | Process::Call { .. } => {}
+        Process::Output { then, .. } | Process::Input { then, .. } => {
+            walk(in_def, then, child(0), defs, env, out);
+        }
+        Process::Choice(a, b) => {
+            walk(in_def, a, child(0), defs, env, out);
+            walk(in_def, b, child(1), defs, env, out);
+        }
+        Process::Parallel { left, right, .. } => {
+            walk(in_def, left, child(0), defs, env, out);
+            walk(in_def, right, child(1), defs, env, out);
+        }
+        Process::Hide { body, .. } => {
+            walk(in_def, body, child(0), defs, env, out);
+        }
+    }
+}

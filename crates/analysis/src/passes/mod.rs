@@ -1,0 +1,7 @@
+//! The individual lint passes, one module per concern.
+
+pub(crate) mod hiding;
+pub(crate) mod names;
+pub(crate) mod parallel;
+pub(crate) mod recursion;
+pub(crate) mod scope;

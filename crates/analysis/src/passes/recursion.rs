@@ -1,0 +1,66 @@
+//! CSP004: guardedness through mutual recursion.
+//!
+//! §2.1 rule 8 justifies recursion by induction on trace length, which
+//! needs every recursive call to sit behind at least one communication.
+//! The reachability check crosses definition boundaries, so mutual
+//! unguardedness (`p = q`, `q = p`) is caught at every name on the cycle.
+
+use std::collections::BTreeSet;
+
+use csp_lang::{DefSpans, Definition, Definitions, Process};
+
+use crate::diagnostic::{Diagnostic, LintCode};
+
+pub(crate) fn check(
+    def: &Definition,
+    defs: &Definitions,
+    spans: Option<&DefSpans>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let mut visited = BTreeSet::new();
+    if unguarded_reaches(def.body(), defs, def.name(), &mut visited) {
+        out.push(
+            Diagnostic::new(
+                LintCode::UnguardedRecursion,
+                format!(
+                    "`{}` can reach a call to itself without communicating",
+                    def.name()
+                ),
+            )
+            .in_def(def.name())
+            .at(spans.map(|s| s.name)),
+        );
+    }
+}
+
+/// True if, starting from `p`, a call to `target` is reachable without
+/// crossing a communication prefix.
+fn unguarded_reaches(
+    p: &Process,
+    defs: &Definitions,
+    target: &str,
+    visited: &mut BTreeSet<String>,
+) -> bool {
+    match p {
+        Process::Stop | Process::Output { .. } | Process::Input { .. } => false,
+        Process::Call { name, .. } => {
+            if name == target {
+                return true;
+            }
+            if !visited.insert(name.clone()) {
+                return false;
+            }
+            defs.get(name)
+                .is_some_and(|d| unguarded_reaches(d.body(), defs, target, visited))
+        }
+        Process::Choice(a, b) => {
+            unguarded_reaches(a, defs, target, visited)
+                || unguarded_reaches(b, defs, target, visited)
+        }
+        Process::Parallel { left, right, .. } => {
+            unguarded_reaches(left, defs, target, visited)
+                || unguarded_reaches(right, defs, target, visited)
+        }
+        Process::Hide { body, .. } => unguarded_reaches(body, defs, target, visited),
+    }
+}

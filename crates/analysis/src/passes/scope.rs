@@ -1,0 +1,120 @@
+//! CSP008/CSP009: `sat` assertion scope.
+//!
+//! §2.2 defines satisfaction over the histories of the process's own
+//! channels. An assertion mentioning a channel outside the process's
+//! alphabet is trivially about the empty sequence (CSP008, warning:
+//! usually a misspelt channel); an assertion mentioning a channel the
+//! process *hides* contradicts the hiding rule's conclusion shape
+//! (CSP009, error: rule 9 requires hidden channels to vanish from `R`).
+
+use std::collections::BTreeSet;
+
+use csp_assert::Assertion;
+use csp_lang::{channel_alphabet, Definitions, Env, Process, Span};
+use csp_trace::{Channel, ChannelSet, Value};
+
+use crate::diagnostic::{Diagnostic, LintCode};
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn check_assertion(
+    target: &str,
+    p: &Process,
+    assertion: &Assertion,
+    defs: &Definitions,
+    env: &Env,
+    allowed: &ChannelSet,
+    span: Option<Span>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let Ok(alpha) = channel_alphabet(p, defs, env) else {
+        // Unresolvable process: the definition lint owns that report.
+        return;
+    };
+    let hidden = hidden_channels(p, defs, env);
+    let mut seen: BTreeSet<Channel> = BTreeSet::new();
+    for c in assertion.channels() {
+        let Ok(ch) = c.resolve(env) else { continue };
+        if !seen.insert(ch.clone()) {
+            continue;
+        }
+        if hidden.contains(&ch) {
+            out.push(
+                Diagnostic::new(
+                    LintCode::AssertionOnHiddenChannel,
+                    format!(
+                        "assertion mentions `{ch}`, which `{target}` hides; \
+                         the hiding rule requires it to vanish from the conclusion"
+                    ),
+                )
+                .in_def(target)
+                .at(span),
+            );
+        } else if !alpha.contains(&ch) && !allowed.contains(&ch) {
+            out.push(
+                Diagnostic::new(
+                    LintCode::AssertionOutsideAlphabet,
+                    format!(
+                        "assertion mentions `{ch}`, which is not in the alphabet of \
+                         `{target}`; its history is always empty there"
+                    ),
+                )
+                .in_def(target)
+                .at(span),
+            );
+        }
+    }
+}
+
+/// The channels hidden anywhere inside `p`, unfolding definitions.
+/// Best-effort: unresolvable subscripts and calls are skipped.
+pub fn hidden_channels(p: &Process, defs: &Definitions, env: &Env) -> ChannelSet {
+    let mut out = ChannelSet::new();
+    let mut visited = BTreeSet::new();
+    collect_hidden(p, defs, env, &mut out, &mut visited);
+    out
+}
+
+fn collect_hidden(
+    p: &Process,
+    defs: &Definitions,
+    env: &Env,
+    out: &mut ChannelSet,
+    visited: &mut BTreeSet<(String, Vec<Value>)>,
+) {
+    match p {
+        Process::Stop => {}
+        Process::Call { name, args } => {
+            let Ok(vals) = args
+                .iter()
+                .map(|e| e.eval(env))
+                .collect::<Result<Vec<_>, _>>()
+            else {
+                return;
+            };
+            if visited.insert((name.clone(), vals.clone())) {
+                if let Ok((body, scope)) = defs.resolve_call(name, &vals, env) {
+                    collect_hidden(body, defs, &scope, out, visited);
+                }
+            }
+        }
+        Process::Output { then, .. } | Process::Input { then, .. } => {
+            collect_hidden(then, defs, env, out, visited);
+        }
+        Process::Choice(a, b) => {
+            collect_hidden(a, defs, env, out, visited);
+            collect_hidden(b, defs, env, out, visited);
+        }
+        Process::Parallel { left, right, .. } => {
+            collect_hidden(left, defs, env, out, visited);
+            collect_hidden(right, defs, env, out, visited);
+        }
+        Process::Hide { channels, body } => {
+            for c in channels {
+                if let Ok(ch) = c.resolve(env) {
+                    out.insert(ch);
+                }
+            }
+            collect_hidden(body, defs, env, out, visited);
+        }
+    }
+}

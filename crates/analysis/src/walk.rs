@@ -1,0 +1,281 @@
+//! Shared analyses over process text: spanned traversal, channel
+//! direction maps, and initial communication offers.
+//!
+//! These mirror the unfolding discipline of
+//! [`channel_alphabet`](csp_lang::channel_alphabet): process-name
+//! references are resolved through the definition list with a visited set
+//! keyed on `(name, argument values)`, finite input sets are sampled so
+//! value-dependent channel subscripts are covered, and unbounded inputs
+//! bind a representative `0`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use csp_lang::{Definitions, Env, EvalError, MsgSet, Process};
+use csp_trace::{Channel, Value};
+
+/// How one process text uses a channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelUse {
+    /// The text contains an output `c!e`.
+    pub written: bool,
+    /// The text contains an input `c?x:M`.
+    pub read: bool,
+}
+
+/// The channels a (closed) process text can communicate on, each with the
+/// directions it is used in, unfolding definitions.
+///
+/// # Errors
+///
+/// Fails like [`channel_alphabet`](csp_lang::channel_alphabet): on
+/// unresolvable subscripts or undefined process references.
+pub fn channel_uses(
+    p: &Process,
+    defs: &Definitions,
+    env: &Env,
+) -> Result<BTreeMap<Channel, ChannelUse>, EvalError> {
+    let mut out = BTreeMap::new();
+    let mut visited = BTreeSet::new();
+    walk_uses(p, defs, env, &mut out, &mut visited)?;
+    Ok(out)
+}
+
+fn walk_uses(
+    p: &Process,
+    defs: &Definitions,
+    env: &Env,
+    out: &mut BTreeMap<Channel, ChannelUse>,
+    visited: &mut BTreeSet<(String, Vec<Value>)>,
+) -> Result<(), EvalError> {
+    match p {
+        Process::Stop => Ok(()),
+        Process::Call { name, args } => {
+            let vals = args
+                .iter()
+                .map(|e| e.eval(env))
+                .collect::<Result<Vec<_>, _>>()?;
+            if visited.insert((name.clone(), vals.clone())) {
+                let (body, scope) = defs.resolve_call(name, &vals, env)?;
+                walk_uses(body, defs, &scope, out, visited)?;
+            }
+            Ok(())
+        }
+        Process::Output { chan, then, .. } => {
+            out.entry(chan.resolve(env)?).or_default().written = true;
+            walk_uses(then, defs, env, out, visited)
+        }
+        Process::Input {
+            chan,
+            var,
+            set,
+            then,
+        } => {
+            out.entry(chan.resolve(env)?).or_default().read = true;
+            let m = set.eval(env)?;
+            match m.enumerate(0, &|_| None) {
+                Ok(vals) if !vals.is_empty() => {
+                    for v in vals {
+                        let scope = env.bind(var, v);
+                        walk_uses(then, defs, &scope, out, visited)?;
+                    }
+                    Ok(())
+                }
+                _ => {
+                    let scope = env.bind(var, Value::nat(0));
+                    walk_uses(then, defs, &scope, out, visited)
+                }
+            }
+        }
+        Process::Choice(a, b) => {
+            walk_uses(a, defs, env, out, visited)?;
+            walk_uses(b, defs, env, out, visited)
+        }
+        Process::Parallel { left, right, .. } => {
+            walk_uses(left, defs, env, out, visited)?;
+            walk_uses(right, defs, env, out, visited)
+        }
+        Process::Hide { body, .. } => {
+            // Hidden channels appear with whatever direction the body
+            // uses them in; the declaration alone adds no endpoint.
+            walk_uses(body, defs, env, out, visited)
+        }
+    }
+}
+
+/// One communication a process is ready to perform first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Offer {
+    /// The concrete channel.
+    pub chan: Channel,
+    /// The values the communication could carry; `None` when statically
+    /// unknown (an unevaluable output or an unbounded input set).
+    pub values: Option<BTreeSet<Value>>,
+}
+
+impl Offer {
+    /// Whether two offers on the same channel could synchronise: their
+    /// value sets intersect, with unknown treated as compatible.
+    pub fn compatible(&self, other: &Offer) -> bool {
+        self.chan == other.chan
+            && match (&self.values, &other.values) {
+                (Some(a), Some(b)) => !a.is_disjoint(b),
+                _ => true,
+            }
+    }
+}
+
+/// The set of first communications `p` can offer, unfolding definitions.
+///
+/// Returns `None` when the offers cannot be determined syntactically — a
+/// nested composition or hiding in first position, an unresolvable
+/// subscript, or recursion reached without a guard. `Some(vec![])` means
+/// the process provably offers nothing (`STOP`).
+pub fn initial_offers(p: &Process, defs: &Definitions, env: &Env) -> Option<Vec<Offer>> {
+    let mut visited = BTreeSet::new();
+    first_offers(p, defs, env, &mut visited)
+}
+
+fn first_offers(
+    p: &Process,
+    defs: &Definitions,
+    env: &Env,
+    visited: &mut BTreeSet<(String, Vec<Value>)>,
+) -> Option<Vec<Offer>> {
+    match p {
+        Process::Stop => Some(Vec::new()),
+        Process::Call { name, args } => {
+            let vals = args
+                .iter()
+                .map(|e| e.eval(env))
+                .collect::<Result<Vec<_>, _>>()
+                .ok()?;
+            if !visited.insert((name.clone(), vals.clone())) {
+                // Unguarded recursion: no communication can come first.
+                return None;
+            }
+            let (body, scope) = defs.resolve_call(name, &vals, env).ok()?;
+            first_offers(body, defs, &scope, visited)
+        }
+        Process::Output { chan, msg, .. } => {
+            let chan = chan.resolve(env).ok()?;
+            let values = msg.eval(env).ok().map(|v| BTreeSet::from([v]));
+            Some(vec![Offer { chan, values }])
+        }
+        Process::Input { chan, set, .. } => {
+            let chan = chan.resolve(env).ok()?;
+            let values = match set.eval(env).ok()? {
+                MsgSet::Finite(vs) => Some(vs),
+                MsgSet::Nat | MsgSet::Named(_) => None,
+            };
+            Some(vec![Offer { chan, values }])
+        }
+        Process::Choice(a, b) => {
+            // Both arms must be known: an unknown arm might hold the
+            // offer that saves the composition.
+            let mut out = first_offers(a, defs, env, visited)?;
+            out.extend(first_offers(b, defs, env, visited)?);
+            Some(out)
+        }
+        // A nested composition's or hiding's first step depends on the
+        // whole sub-network; stay conservative.
+        Process::Parallel { .. } | Process::Hide { .. } => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_lang::{parse_definitions, parse_process};
+
+    fn uses(src: &str, defs: &str) -> BTreeMap<Channel, ChannelUse> {
+        let p = parse_process(src).unwrap();
+        let d = parse_definitions(defs).unwrap();
+        channel_uses(&p, &d, &Env::new()).unwrap()
+    }
+
+    #[test]
+    fn uses_track_directions_through_definitions() {
+        let m = uses("copier", "copier = input?x:NAT -> wire!x -> copier");
+        assert_eq!(
+            m[&Channel::simple("input")],
+            ChannelUse {
+                written: false,
+                read: true
+            }
+        );
+        assert_eq!(
+            m[&Channel::simple("wire")],
+            ChannelUse {
+                written: true,
+                read: false
+            }
+        );
+    }
+
+    #[test]
+    fn uses_merge_both_directions() {
+        // The protocol's sender both writes and reads wire.
+        let m = uses(
+            "sender",
+            "sender = input?y:M -> q[y]
+             q[x:M] = wire!x -> (wire?y:{ACK} -> sender | wire?y:{NACK} -> q[x])",
+        );
+        let w = m[&Channel::simple("wire")];
+        assert!(w.written && w.read);
+    }
+
+    #[test]
+    fn offers_of_prefix_choice_and_stop() {
+        let d = Definitions::new();
+        let env = Env::new();
+        let p = parse_process("STOP").unwrap();
+        assert_eq!(initial_offers(&p, &d, &env), Some(Vec::new()));
+
+        let p = parse_process("a!1 -> STOP | b?x:{2,3} -> STOP").unwrap();
+        let offers = initial_offers(&p, &d, &env).unwrap();
+        assert_eq!(offers.len(), 2);
+        assert_eq!(offers[0].chan, Channel::simple("a"));
+        assert_eq!(offers[0].values, Some(BTreeSet::from([Value::nat(1)])));
+        assert_eq!(
+            offers[1].values,
+            Some(BTreeSet::from([Value::nat(2), Value::nat(3)]))
+        );
+    }
+
+    #[test]
+    fn offers_unfold_calls_and_bail_on_unguarded() {
+        let d = parse_definitions("p = a!1 -> p").unwrap();
+        let env = Env::new();
+        let offers = initial_offers(&Process::call("p"), &d, &env).unwrap();
+        assert_eq!(offers.len(), 1);
+
+        let d = parse_definitions("p = p").unwrap();
+        assert_eq!(initial_offers(&Process::call("p"), &d, &env), None);
+    }
+
+    #[test]
+    fn offers_unknown_for_nested_compositions() {
+        let d = Definitions::new();
+        let p = parse_process("a!1 -> STOP || a?x:NAT -> STOP").unwrap();
+        assert_eq!(initial_offers(&p, &d, &Env::new()), None);
+        let p = parse_process("chan a; a!1 -> STOP").unwrap();
+        assert_eq!(initial_offers(&p, &d, &Env::new()), None);
+    }
+
+    #[test]
+    fn offer_compatibility() {
+        let known = |c: &str, vs: &[u32]| Offer {
+            chan: Channel::simple(c),
+            values: Some(vs.iter().map(|&n| Value::nat(n)).collect()),
+        };
+        let unknown = |c: &str| Offer {
+            chan: Channel::simple(c),
+            values: None,
+        };
+        assert!(known("a", &[1, 2]).compatible(&known("a", &[2])));
+        assert!(!known("a", &[1]).compatible(&known("a", &[2])));
+        assert!(!known("a", &[1]).compatible(&known("b", &[1])));
+        assert!(known("a", &[1]).compatible(&unknown("a")));
+        assert!(unknown("a").compatible(&unknown("a")));
+    }
+}

@@ -80,13 +80,13 @@ mod tests {
 
     #[test]
     fn fixture_workbenches_are_clean() {
-        assert!(pipeline_workbench().validate().is_empty());
-        assert!(protocol_workbench().validate().is_empty());
+        assert!(pipeline_workbench().lint().is_empty());
+        assert!(protocol_workbench().lint().is_empty());
         for w in 1..=4 {
-            assert!(multiplier_workbench(w).validate().is_empty(), "width {w}");
+            assert!(multiplier_workbench(w).lint().is_empty(), "width {w}");
         }
         for n in 1..=4 {
-            assert!(chain_workbench(n).validate().is_empty(), "stages {n}");
+            assert!(chain_workbench(n).lint().is_empty(), "stages {n}");
         }
     }
 

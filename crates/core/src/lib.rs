@@ -54,14 +54,18 @@ pub mod proofs {
     pub use csp_proof::scripts::*;
 }
 
+pub use csp_analysis::{
+    max_severity, render_json, Diagnostic, LintCode, Linter, Severity, ALL_CODES,
+};
 pub use csp_assert::{
     decide_valid, parse_assertion, protocol_cancel, simplify, subst_chan_cons, subst_empty,
     subst_var, AssertError, Assertion, ChannelInfo, CmpOp, DecideConfig, Decision, EvalCtx,
     FuncTable, STerm, Term,
 };
 pub use csp_lang::{
-    channel_alphabet, parse_definitions, parse_expr, parse_process, validate, ChanRef, Definition,
-    Definitions, Env, EvalError, Expr, MsgSet, ParseError, Process, SetExpr, ValidationIssue,
+    channel_alphabet, parse_definitions, parse_definitions_spanned, parse_expr, parse_process,
+    validate, ChanRef, Definition, Definitions, Env, EvalError, Expr, MsgSet, ParseError, Process,
+    SetExpr, SourceMap, Span, ValidationIssue,
 };
 pub use csp_proof::{
     check, render_report, spec_goal, synthesize, CheckReport, Context, Discharge, Judgement,

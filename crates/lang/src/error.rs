@@ -2,23 +2,24 @@
 
 use std::fmt;
 
+use crate::Span;
+
 /// An error produced while parsing the concrete syntax.
 ///
-/// Reported with a byte position and 1-based line/column so callers can
-/// point at the offending token.
+/// Carries the full [`Span`] of the offending token (byte offset +
+/// length and 1-based line/column) so callers can point at — or
+/// underline — the exact source region.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     message: String,
-    line: usize,
-    column: usize,
+    span: Span,
 }
 
 impl ParseError {
-    pub(crate) fn new(message: impl Into<String>, line: usize, column: usize) -> Self {
+    pub(crate) fn at(message: impl Into<String>, span: Span) -> Self {
         ParseError {
             message: message.into(),
-            line,
-            column,
+            span,
         }
     }
 
@@ -27,24 +28,25 @@ impl ParseError {
         &self.message
     }
 
+    /// The source region of the offending token.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
     /// 1-based line of the offending token.
     pub fn line(&self) -> usize {
-        self.line
+        self.span.line
     }
 
     /// 1-based column of the offending token.
     pub fn column(&self) -> usize {
-        self.column
+        self.span.column
     }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "parse error at {}:{}: {}",
-            self.line, self.column, self.message
-        )
+        write!(f, "parse error at {}: {}", self.span, self.message)
     }
 }
 
@@ -168,7 +170,7 @@ mod tests {
     fn display_forms_are_lowercase_and_concise() {
         let e = EvalError::UnboundVariable("x".into());
         assert_eq!(e.to_string(), "unbound variable `x`");
-        let p = ParseError::new("expected `->`", 2, 7);
+        let p = ParseError::at("expected `->`", Span::point(2, 7));
         assert_eq!(p.to_string(), "parse error at 2:7: expected `->`");
         let a = EvalError::ArityMismatch {
             name: "q".into(),
@@ -180,7 +182,7 @@ mod tests {
 
     #[test]
     fn lang_error_wraps_both() {
-        let e: LangError = ParseError::new("x", 1, 1).into();
+        let e: LangError = ParseError::at("x", Span::point(1, 1)).into();
         assert!(matches!(e, LangError::Parse(_)));
         let e: LangError = EvalError::DivisionByZero.into();
         assert!(matches!(e, LangError::Eval(_)));

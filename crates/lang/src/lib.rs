@@ -48,6 +48,7 @@ mod parser;
 mod printer;
 mod process;
 mod setexpr;
+mod span;
 mod subst;
 mod validate;
 
@@ -58,8 +59,12 @@ pub use env::Env;
 pub use error::{EvalError, LangError, ParseError};
 pub use expr::{BinOp, Expr, UnOp};
 pub use free::{channel_alphabet, free_vars_expr, free_vars_process};
-pub use parser::{parse_definitions, parse_expr, parse_process, parse_set_expr};
+pub use parser::{
+    parse_definitions, parse_definitions_spanned, parse_expr, parse_process, parse_process_spanned,
+    parse_set_expr,
+};
 pub use process::{ChanRef, Process};
 pub use setexpr::{MsgSet, SetExpr};
+pub use span::{DefSpans, SourceMap, Span, SpanTree};
 pub use subst::{close_process, subst_expr, subst_expr_with, subst_process, subst_process_with};
 pub use validate::{is_well_formed, validate, ValidationIssue};

@@ -14,7 +14,8 @@
 //! definitions := definition*
 //! definition  := name ('[' var ':' set ']')? '=' process
 //! process     := 'chan' chanlist ';' process | par
-//! par         := choice ('||' choice)*
+//! par         := choice (parop choice)*
+//! parop       := '||' ('{' chanlist '|' chanlist '}')?
 //! choice      := prefix ('|' prefix)*
 //! prefix      := 'STOP'
 //!              | chanref '!' expr '->' prefix
@@ -24,10 +25,23 @@
 //! set         := 'NAT' | Uname | expr '..' expr | '{' elems? '}'
 //! elems       := expr '..' expr | expr (',' expr)*
 //! ```
+//!
+//! The `parop` alphabets realise the paper's `P ‖_{X,Y} Q`: writing
+//! `copier ||{input,wire | wire,output} recopier` declares the operand
+//! alphabets explicitly instead of inferring them from the operand text
+//! (§1.2(7): "when the content of the sets X and Y are clear from the
+//! context, they are omitted").
+//!
+//! Every token carries a [`Span`]; the `_spanned` entry points return a
+//! [`SpanTree`]/[`SourceMap`] mirroring the produced syntax so later
+//! analyses can report byte-accurate locations.
 
 use csp_trace::Value;
 
-use crate::{BinOp, ChanRef, Definition, Definitions, Expr, ParseError, Process, SetExpr, UnOp};
+use crate::{
+    BinOp, ChanRef, DefSpans, Definition, Definitions, Expr, ParseError, Process, SetExpr,
+    SourceMap, Span, SpanTree, UnOp,
+};
 
 /// Parses a list of process equations.
 ///
@@ -51,12 +65,41 @@ use crate::{BinOp, ChanRef, Definition, Definitions, Expr, ParseError, Process, 
 /// assert_eq!(defs.len(), 4);
 /// ```
 pub fn parse_definitions(src: &str) -> Result<Definitions, ParseError> {
+    parse_definitions_spanned(src).map(|(defs, _)| defs)
+}
+
+/// Parses a list of process equations, also returning a [`SourceMap`]
+/// with the span of each defined name and a [`SpanTree`] over each body.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending token's span on malformed
+/// input.
+///
+/// # Examples
+///
+/// ```
+/// use csp_lang::parse_definitions_spanned;
+///
+/// let (defs, map) = parse_definitions_spanned(
+///     "copier = input?x:NAT -> wire!x -> copier",
+/// ).unwrap();
+/// assert_eq!(defs.len(), 1);
+/// let spans = map.get("copier").unwrap();
+/// assert_eq!(spans.name.line, 1);
+/// assert_eq!(spans.name.column, 1);
+/// assert_eq!(spans.body.span.column, 10); // the `input` prefix
+/// ```
+pub fn parse_definitions_spanned(src: &str) -> Result<(Definitions, SourceMap), ParseError> {
     let mut p = Parser::new(src)?;
     let mut defs = Definitions::new();
+    let mut map = SourceMap::new();
     while !p.at_end() {
-        defs.define(p.definition()?);
+        let (def, spans) = p.definition()?;
+        map.insert(def.name(), spans);
+        defs.define(def);
     }
-    Ok(defs)
+    Ok((defs, map))
 }
 
 /// Parses a single process expression.
@@ -65,10 +108,19 @@ pub fn parse_definitions(src: &str) -> Result<Definitions, ParseError> {
 ///
 /// Returns a [`ParseError`] on malformed input or trailing tokens.
 pub fn parse_process(src: &str) -> Result<Process, ParseError> {
+    parse_process_spanned(src).map(|(p, _)| p)
+}
+
+/// Parses a single process expression together with its [`SpanTree`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input or trailing tokens.
+pub fn parse_process_spanned(src: &str) -> Result<(Process, SpanTree), ParseError> {
     let mut p = Parser::new(src)?;
-    let proc = p.process()?;
+    let (proc, spans) = p.process()?;
     p.expect_end()?;
-    Ok(proc)
+    Ok((proc, spans))
 }
 
 /// Parses a single value expression.
@@ -170,222 +222,243 @@ impl std::fmt::Display for Tok {
 #[derive(Debug, Clone)]
 struct Spanned {
     tok: Tok,
+    span: Span,
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    src_len: usize,
     line: usize,
     column: usize,
 }
 
-fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
-    let mut out = Vec::new();
-    let mut line = 1usize;
-    let mut column = 1usize;
-    let mut chars = src.chars().peekable();
-
-    macro_rules! push {
-        ($tok:expr, $len:expr) => {{
-            out.push(Spanned {
-                tok: $tok,
-                line,
-                column,
-            });
-            column += $len;
-        }};
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.char_indices().peekable(),
+            src_len: src.len(),
+            line: 1,
+            column: 1,
+        }
     }
 
-    while let Some(&c) = chars.peek() {
-        match c {
-            '\n' => {
-                chars.next();
-                line += 1;
-                column = 1;
-            }
+    /// The current character without consuming it.
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().map(|&(_, c)| c)
+    }
+
+    /// Byte offset of the next character (source length at end).
+    fn offset(&mut self) -> usize {
+        self.chars.peek().map(|&(i, _)| i).unwrap_or(self.src_len)
+    }
+
+    /// Consumes one character, maintaining line/column.
+    fn advance(&mut self) -> Option<char> {
+        let (_, c) = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+}
+
+fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+    let mut lx = Lexer::new(src);
+    let mut out = Vec::new();
+
+    while let Some(c) = lx.peek() {
+        let start = lx.offset();
+        let (line, column) = (lx.line, lx.column);
+        let tok = match c {
             c if c.is_whitespace() => {
-                chars.next();
-                column += 1;
+                lx.advance();
+                continue;
             }
             '-' => {
-                chars.next();
-                match chars.peek() {
+                lx.advance();
+                match lx.peek() {
                     Some('>') => {
-                        chars.next();
-                        push!(Tok::Arrow, 0);
-                        column += 2;
+                        lx.advance();
+                        Tok::Arrow
                     }
                     Some('-') => {
                         // line comment
-                        for c in chars.by_ref() {
+                        while let Some(c) = lx.advance() {
                             if c == '\n' {
-                                line += 1;
-                                column = 1;
                                 break;
                             }
                         }
+                        continue;
                     }
-                    _ => {
-                        push!(Tok::Minus, 1);
-                    }
+                    _ => Tok::Minus,
                 }
             }
             '/' => {
-                chars.next();
-                if chars.peek() == Some(&'/') {
-                    for c in chars.by_ref() {
+                lx.advance();
+                if lx.peek() == Some('/') {
+                    while let Some(c) = lx.advance() {
                         if c == '\n' {
-                            line += 1;
-                            column = 1;
                             break;
                         }
                     }
-                } else {
-                    push!(Tok::Slash, 1);
+                    continue;
                 }
+                Tok::Slash
             }
             '|' => {
-                chars.next();
-                if chars.peek() == Some(&'|') {
-                    chars.next();
-                    push!(Tok::BarBar, 2);
+                lx.advance();
+                if lx.peek() == Some('|') {
+                    lx.advance();
+                    Tok::BarBar
                 } else {
-                    push!(Tok::Bar, 1);
+                    Tok::Bar
                 }
             }
             '=' => {
-                chars.next();
-                if chars.peek() == Some(&'=') {
-                    chars.next();
-                    push!(Tok::EqEq, 2);
+                lx.advance();
+                if lx.peek() == Some('=') {
+                    lx.advance();
+                    Tok::EqEq
                 } else {
-                    push!(Tok::Eq, 1);
+                    Tok::Eq
                 }
             }
             '!' => {
-                chars.next();
-                if chars.peek() == Some(&'=') {
-                    chars.next();
-                    push!(Tok::Ne, 2);
+                lx.advance();
+                if lx.peek() == Some('=') {
+                    lx.advance();
+                    Tok::Ne
                 } else {
-                    push!(Tok::Bang, 1);
+                    Tok::Bang
                 }
             }
             '<' => {
-                chars.next();
-                if chars.peek() == Some(&'=') {
-                    chars.next();
-                    push!(Tok::Le, 2);
+                lx.advance();
+                if lx.peek() == Some('=') {
+                    lx.advance();
+                    Tok::Le
                 } else {
-                    push!(Tok::Lt, 1);
+                    Tok::Lt
                 }
             }
             '>' => {
-                chars.next();
-                if chars.peek() == Some(&'=') {
-                    chars.next();
-                    push!(Tok::Ge, 2);
+                lx.advance();
+                if lx.peek() == Some('=') {
+                    lx.advance();
+                    Tok::Ge
                 } else {
-                    push!(Tok::Gt, 1);
+                    Tok::Gt
                 }
             }
             '.' => {
-                chars.next();
-                if chars.peek() == Some(&'.') {
-                    chars.next();
-                    push!(Tok::DotDot, 2);
+                lx.advance();
+                if lx.peek() == Some('.') {
+                    lx.advance();
+                    Tok::DotDot
                 } else {
-                    return Err(ParseError::new(
+                    return Err(ParseError::at(
                         "stray `.` (did you mean `..`?)",
-                        line,
-                        column,
+                        Span::new(start, 1, line, column),
                     ));
                 }
             }
             '?' => {
-                chars.next();
-                push!(Tok::Query, 1);
+                lx.advance();
+                Tok::Query
             }
             ':' => {
-                chars.next();
-                push!(Tok::Colon, 1);
+                lx.advance();
+                Tok::Colon
             }
             ';' => {
-                chars.next();
-                push!(Tok::Semi, 1);
+                lx.advance();
+                Tok::Semi
             }
             ',' => {
-                chars.next();
-                push!(Tok::Comma, 1);
+                lx.advance();
+                Tok::Comma
             }
             '(' => {
-                chars.next();
-                push!(Tok::LParen, 1);
+                lx.advance();
+                Tok::LParen
             }
             ')' => {
-                chars.next();
-                push!(Tok::RParen, 1);
+                lx.advance();
+                Tok::RParen
             }
             '[' => {
-                chars.next();
-                push!(Tok::LBrack, 1);
+                lx.advance();
+                Tok::LBrack
             }
             ']' => {
-                chars.next();
-                push!(Tok::RBrack, 1);
+                lx.advance();
+                Tok::RBrack
             }
             '{' => {
-                chars.next();
-                push!(Tok::LBrace, 1);
+                lx.advance();
+                Tok::LBrace
             }
             '}' => {
-                chars.next();
-                push!(Tok::RBrace, 1);
+                lx.advance();
+                Tok::RBrace
             }
             '+' => {
-                chars.next();
-                push!(Tok::Plus, 1);
+                lx.advance();
+                Tok::Plus
             }
             '*' => {
-                chars.next();
-                push!(Tok::Star, 1);
+                lx.advance();
+                Tok::Star
             }
             '%' => {
-                chars.next();
-                push!(Tok::Percent, 1);
+                lx.advance();
+                Tok::Percent
             }
             c if c.is_ascii_digit() => {
                 let mut n = String::new();
-                while let Some(&d) = chars.peek() {
+                while let Some(d) = lx.peek() {
                     if d.is_ascii_digit() {
                         n.push(d);
-                        chars.next();
+                        lx.advance();
                     } else {
                         break;
                     }
                 }
-                let len = n.len();
-                let val: i64 = n
-                    .parse()
-                    .map_err(|_| ParseError::new("integer literal too large", line, column))?;
-                push!(Tok::Int(val), len);
+                let val: i64 = n.parse().map_err(|_| {
+                    ParseError::at(
+                        "integer literal too large",
+                        Span::new(start, n.len(), line, column),
+                    )
+                })?;
+                Tok::Int(val)
             }
             c if c.is_alphabetic() || c == '_' => {
                 let mut s = String::new();
-                while let Some(&d) = chars.peek() {
+                while let Some(d) = lx.peek() {
                     if d.is_alphanumeric() || d == '_' || d == '\'' {
                         s.push(d);
-                        chars.next();
+                        lx.advance();
                     } else {
                         break;
                     }
                 }
-                let len = s.len();
-                push!(Tok::Ident(s), len);
+                Tok::Ident(s)
             }
             other => {
-                return Err(ParseError::new(
+                return Err(ParseError::at(
                     format!("unexpected character `{other}`"),
-                    line,
-                    column,
+                    Span::new(start, other.len_utf8(), line, column),
                 ));
             }
-        }
+        };
+        let end = lx.offset();
+        out.push(Spanned {
+            tok,
+            span: Span::new(start, end - start, line, column),
+        });
     }
     Ok(out)
 }
@@ -395,6 +468,7 @@ fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
 struct Parser {
     toks: Vec<Spanned>,
     pos: usize,
+    src_len: usize,
 }
 
 impl Parser {
@@ -402,6 +476,7 @@ impl Parser {
         Ok(Parser {
             toks: lex(src)?,
             pos: 0,
+            src_len: src.len(),
         })
     }
 
@@ -413,12 +488,16 @@ impl Parser {
         self.toks.get(self.pos + 1).map(|s| &s.tok)
     }
 
-    fn here(&self) -> (usize, usize) {
-        self.toks
-            .get(self.pos)
-            .or_else(|| self.toks.last())
-            .map(|s| (s.line, s.column))
-            .unwrap_or((1, 1))
+    /// The span of the current token; past the end, a zero-length span
+    /// just after the last token.
+    fn here(&self) -> Span {
+        match self.toks.get(self.pos) {
+            Some(s) => s.span,
+            None => match self.toks.last() {
+                Some(s) => Span::new(s.span.end(), 0, s.span.line, s.span.column + s.span.len),
+                None => Span::new(self.src_len, 0, 1, 1),
+            },
+        }
     }
 
     fn bump(&mut self) -> Option<Tok> {
@@ -434,8 +513,7 @@ impl Parser {
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
-        let (l, c) = self.here();
-        ParseError::new(msg, l, c)
+        ParseError::at(msg, self.here())
     }
 
     fn expect(&mut self, tok: &Tok) -> Result<(), ParseError> {
@@ -473,10 +551,14 @@ impl Parser {
     }
 
     // definition := name ('[' var ':' set ']')? '=' process
-    fn definition(&mut self) -> Result<Definition, ParseError> {
+    fn definition(&mut self) -> Result<(Definition, DefSpans), ParseError> {
+        let name_span = self.here();
         let name = self.ident()?;
         if is_keyword(&name) {
-            return Err(self.err(format!("`{name}` is reserved and cannot be defined")));
+            return Err(ParseError::at(
+                format!("`{name}` is reserved and cannot be defined"),
+                name_span,
+            ));
         }
         if self.peek() == Some(&Tok::LBrack) {
             self.bump();
@@ -485,53 +567,90 @@ impl Parser {
             let set = self.set_expr()?;
             self.expect(&Tok::RBrack)?;
             self.expect(&Tok::Eq)?;
-            let body = self.process()?;
-            Ok(Definition::array(&name, &param, set, body))
+            let (body, body_spans) = self.process()?;
+            Ok((
+                Definition::array(&name, &param, set, body),
+                DefSpans {
+                    name: name_span,
+                    body: body_spans,
+                },
+            ))
         } else {
             self.expect(&Tok::Eq)?;
-            let body = self.process()?;
-            Ok(Definition::plain(&name, body))
+            let (body, body_spans) = self.process()?;
+            Ok((
+                Definition::plain(&name, body),
+                DefSpans {
+                    name: name_span,
+                    body: body_spans,
+                },
+            ))
         }
     }
 
     // process := 'chan' chanlist ';' process | par
-    fn process(&mut self) -> Result<Process, ParseError> {
+    fn process(&mut self) -> Result<(Process, SpanTree), ParseError> {
         if let Some(Tok::Ident(s)) = self.peek() {
             if s == "chan" {
+                let kw_span = self.here();
                 self.bump();
                 let channels = self.chan_list()?;
                 self.expect(&Tok::Semi)?;
-                let body = self.process()?;
-                return Ok(Process::Hide {
-                    channels,
-                    body: Box::new(body),
-                });
+                let (body, body_spans) = self.process()?;
+                return Ok((
+                    Process::Hide {
+                        channels,
+                        body: Box::new(body),
+                    },
+                    SpanTree::node(kw_span, vec![body_spans]),
+                ));
             }
         }
         self.parallel()
     }
 
-    fn parallel(&mut self) -> Result<Process, ParseError> {
-        let mut left = self.choice()?;
+    fn parallel(&mut self) -> Result<(Process, SpanTree), ParseError> {
+        let (mut left, mut lspans) = self.choice()?;
         while self.peek() == Some(&Tok::BarBar) {
+            let op_span = self.here();
             self.bump();
-            let right = self.choice()?;
-            left = left.par(right);
+            // Optional explicit alphabets: `||{a,b | c,d}` (§1.2(7)'s
+            // `P ‖_{X,Y} Q` written out).
+            let (left_alpha, right_alpha) = if self.peek() == Some(&Tok::LBrace) {
+                self.bump();
+                let la = self.chan_list()?;
+                self.expect(&Tok::Bar)?;
+                let ra = self.chan_list()?;
+                self.expect(&Tok::RBrace)?;
+                (Some(la), Some(ra))
+            } else {
+                (None, None)
+            };
+            let (right, rspans) = self.choice()?;
+            left = Process::Parallel {
+                left: Box::new(left),
+                right: Box::new(right),
+                left_alpha,
+                right_alpha,
+            };
+            lspans = SpanTree::node(op_span, vec![lspans, rspans]);
         }
-        Ok(left)
+        Ok((left, lspans))
     }
 
-    fn choice(&mut self) -> Result<Process, ParseError> {
-        let mut left = self.prefix()?;
+    fn choice(&mut self) -> Result<(Process, SpanTree), ParseError> {
+        let (mut left, mut lspans) = self.prefix()?;
         while self.peek() == Some(&Tok::Bar) {
+            let op_span = self.here();
             self.bump();
-            let right = self.prefix()?;
+            let (right, rspans) = self.prefix()?;
             left = left.or(right);
+            lspans = SpanTree::node(op_span, vec![lspans, rspans]);
         }
-        Ok(left)
+        Ok((left, lspans))
     }
 
-    fn prefix(&mut self) -> Result<Process, ParseError> {
+    fn prefix(&mut self) -> Result<(Process, SpanTree), ParseError> {
         match self.peek() {
             Some(Tok::LParen) => {
                 self.bump();
@@ -540,8 +659,9 @@ impl Parser {
                 Ok(p)
             }
             Some(Tok::Ident(s)) if s == "STOP" => {
+                let span = self.here();
                 self.bump();
-                Ok(Process::Stop)
+                Ok((Process::Stop, SpanTree::leaf(span)))
             }
             Some(Tok::Ident(s)) if s == "chan" => self.process(),
             Some(Tok::Ident(_)) => self.prefix_from_name(),
@@ -552,7 +672,8 @@ impl Parser {
 
     /// Something starting with a (possibly subscripted) name: an output
     /// `c[..]!e -> P`, an input `c[..]?x:M -> P`, or a call `p[..]`.
-    fn prefix_from_name(&mut self) -> Result<Process, ParseError> {
+    fn prefix_from_name(&mut self) -> Result<(Process, SpanTree), ParseError> {
+        let name_span = self.here();
         let name = self.ident()?;
         let mut subs: Vec<Expr> = Vec::new();
         while self.peek() == Some(&Tok::LBrack) {
@@ -566,12 +687,15 @@ impl Parser {
                 self.bump();
                 let msg = self.expr()?;
                 self.expect(&Tok::Arrow)?;
-                let then = self.prefix()?;
-                Ok(Process::Output {
-                    chan: ChanRef::with_indices(&name, subs),
-                    msg,
-                    then: Box::new(then),
-                })
+                let (then, then_spans) = self.prefix()?;
+                Ok((
+                    Process::Output {
+                        chan: ChanRef::with_indices(&name, subs),
+                        msg,
+                        then: Box::new(then),
+                    },
+                    SpanTree::node(name_span, vec![then_spans]),
+                ))
             }
             Some(Tok::Query) => {
                 self.bump();
@@ -579,15 +703,21 @@ impl Parser {
                 self.expect(&Tok::Colon)?;
                 let set = self.set_expr()?;
                 self.expect(&Tok::Arrow)?;
-                let then = self.prefix()?;
-                Ok(Process::Input {
-                    chan: ChanRef::with_indices(&name, subs),
-                    var,
-                    set,
-                    then: Box::new(then),
-                })
+                let (then, then_spans) = self.prefix()?;
+                Ok((
+                    Process::Input {
+                        chan: ChanRef::with_indices(&name, subs),
+                        var,
+                        set,
+                        then: Box::new(then),
+                    },
+                    SpanTree::node(name_span, vec![then_spans]),
+                ))
             }
-            _ => Ok(Process::Call { name, args: subs }),
+            _ => Ok((
+                Process::Call { name, args: subs },
+                SpanTree::leaf(name_span),
+            )),
         }
     }
 
@@ -989,6 +1119,28 @@ mod tests {
     }
 
     #[test]
+    fn error_spans_carry_byte_offsets() {
+        // Column 9 = byte 8 is where the offending `NAT` token starts.
+        let err = parse_process("input?x NAT -> STOP").unwrap_err();
+        assert_eq!(err.span().offset, 8);
+        assert_eq!(err.span().len, 3);
+        assert_eq!(err.column(), 9);
+        // Errors on a later line still track bytes from the file start.
+        let err = parse_definitions("p = c!0 -> STOP\nq = = STOP").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert_eq!(err.column(), 5);
+        assert_eq!(err.span().offset, 20);
+    }
+
+    #[test]
+    fn end_of_input_errors_point_past_last_token() {
+        let err = parse_process("a!1 ->").unwrap_err();
+        assert_eq!(err.line(), 1);
+        assert_eq!(err.span().offset, 6);
+        assert_eq!(err.span().len, 0);
+    }
+
+    #[test]
     fn trailing_tokens_rejected() {
         assert!(parse_process("STOP STOP").is_err());
         assert!(parse_expr("1 2").is_err());
@@ -1013,5 +1165,67 @@ mod tests {
             Process::Output { then, .. } => assert!(matches!(*then, Process::Choice(_, _))),
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn explicit_parallel_alphabets_parse() {
+        let p = parse_process("copier ||{input, wire | wire, output} recopier").unwrap();
+        match p {
+            Process::Parallel {
+                left_alpha,
+                right_alpha,
+                ..
+            } => {
+                let la = left_alpha.expect("left alphabet");
+                let ra = right_alpha.expect("right alphabet");
+                assert_eq!(la.len(), 2);
+                assert_eq!(la[0].to_string(), "input");
+                assert_eq!(ra[1].to_string(), "output");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Families expand in alphabet position too.
+        let p = parse_process("zeroes ||{col[0..1] | col[1]} last").unwrap();
+        match p {
+            Process::Parallel { left_alpha, .. } => {
+                assert_eq!(left_alpha.unwrap().len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn span_tree_mirrors_process_shape() {
+        let (p, spans) = parse_process_spanned("a!1 -> STOP || b?x:NAT -> STOP").unwrap();
+        assert!(matches!(p, Process::Parallel { .. }));
+        // Root is the `||` operator.
+        assert_eq!(spans.span.column, 13);
+        assert_eq!(spans.children.len(), 2);
+        // Left child is the `a` output prefix at column 1, with STOP below.
+        assert_eq!(spans.children[0].span.column, 1);
+        assert_eq!(spans.children[0].children[0].span.column, 8);
+        // Right child is the `b` input prefix at column 16.
+        assert_eq!(spans.children[1].span.column, 16);
+        // Byte offsets line up with the source text.
+        assert_eq!(spans.span.offset, 12);
+        assert_eq!(spans.span.len, 2);
+    }
+
+    #[test]
+    fn source_map_records_definition_spans() {
+        let (defs, map) = parse_definitions_spanned(
+            "copier = input?x:NAT -> wire!x -> copier\nrecopier = wire?y:NAT -> output!y -> recopier",
+        )
+        .unwrap();
+        assert_eq!(defs.len(), 2);
+        assert_eq!(map.len(), 2);
+        let c = map.get("copier").unwrap();
+        assert_eq!((c.name.line, c.name.column), (1, 1));
+        let r = map.get("recopier").unwrap();
+        assert_eq!((r.name.line, r.name.column), (2, 1));
+        assert_eq!(r.name.offset, 41);
+        // Body root of copier is the input prefix; its child the output.
+        assert_eq!(c.body.span.column, 10);
+        assert_eq!(c.body.children[0].span.column, 25);
     }
 }

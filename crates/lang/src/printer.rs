@@ -70,13 +70,39 @@ fn fmt_process(p: &Process, f: &mut fmt::Formatter<'_>, ctx: u8) -> fmt::Result 
             }
             Ok(())
         }
-        Process::Parallel { left, right, .. } => {
+        Process::Parallel {
+            left,
+            right,
+            left_alpha,
+            right_alpha,
+        } => {
             let parens = ctx > PREC_PAR;
             if parens {
                 write!(f, "(")?;
             }
             fmt_process(left, f, PREC_PAR)?;
-            write!(f, " || ")?;
+            // Explicit alphabets print as `||{a, b | c, d}`; only when both
+            // sides are declared, matching what the parser can produce.
+            match (left_alpha, right_alpha) {
+                (Some(la), Some(ra)) => {
+                    write!(f, " ||{{")?;
+                    for (i, c) in la.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{c}")?;
+                    }
+                    write!(f, " | ")?;
+                    for (i, c) in ra.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{c}")?;
+                    }
+                    write!(f, "}} ")?;
+                }
+                _ => write!(f, " || ")?,
+            }
             fmt_process(right, f, PREC_PAR + 1)?;
             if parens {
                 write!(f, ")")?;
@@ -142,6 +168,17 @@ mod tests {
         roundtrip("a!1 -> (b!2 -> STOP | c!3 -> STOP)");
         roundtrip("a!1 -> STOP | (b!2 -> STOP | c!3 -> STOP)");
         roundtrip("(chan h; a!1 -> h!2 -> STOP) || h?x:NAT -> STOP");
+    }
+
+    #[test]
+    fn roundtrip_explicit_parallel_alphabets() {
+        roundtrip("copier ||{input, wire | wire, output} recopier");
+        roundtrip("(a!1 -> STOP ||{a | b} b!2 -> STOP) || c!3 -> STOP");
+        let p = parse_process("copier ||{input, wire | wire, output} recopier").unwrap();
+        assert_eq!(
+            p.to_string(),
+            "copier ||{input, wire | wire, output} recopier"
+        );
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Source locations for parsed syntax.
+//!
+//! The lexer stamps every token with a [`Span`] (byte offset + length and
+//! 1-based line:column). The spanned parse entry points
+//! ([`parse_definitions_spanned`](crate::parse_definitions_spanned),
+//! [`parse_process_spanned`](crate::parse_process_spanned)) thread those
+//! spans through parsing into a [`SpanTree`] that mirrors the shape of the
+//! produced [`Process`](crate::Process) tree, so downstream tools (the
+//! `csp-analysis` linter in particular) can report diagnostics at real
+//! source locations without the AST itself carrying spans.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A region of source text: byte offset + length, plus the 1-based
+/// line and column of its first character.
+///
+/// The default span (`offset == len == line == column == 0`) means
+/// "location unknown" and is used for programmatically built syntax.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub offset: usize,
+    /// Length in bytes.
+    pub len: usize,
+    /// 1-based line of the first character.
+    pub line: usize,
+    /// 1-based column of the first character.
+    pub column: usize,
+}
+
+impl Span {
+    /// A span covering `len` bytes starting at `offset`/`line:column`.
+    pub fn new(offset: usize, len: usize, line: usize, column: usize) -> Self {
+        Span {
+            offset,
+            len,
+            line,
+            column,
+        }
+    }
+
+    /// A zero-length span at a line:column position (no byte information).
+    pub fn point(line: usize, column: usize) -> Self {
+        Span {
+            offset: 0,
+            len: 0,
+            line,
+            column,
+        }
+    }
+
+    /// True for the default "location unknown" span.
+    pub fn is_unknown(&self) -> bool {
+        self.line == 0
+    }
+
+    /// One past the last byte covered.
+    pub fn end(&self) -> usize {
+        self.offset + self.len
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_unknown() {
+            write!(f, "?:?")
+        } else {
+            write!(f, "{}:{}", self.line, self.column)
+        }
+    }
+}
+
+/// A tree of spans mirroring the shape of a [`Process`](crate::Process)
+/// tree: one node per process node, children in the same order as the
+/// process's sub-processes (`then` for prefixes; left, right for choice
+/// and parallel; the body for hiding).
+///
+/// Kept separate from the AST so the (widely pattern-matched, `Eq`/`Hash`)
+/// [`Process`](crate::Process) type stays span-free.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanTree {
+    /// The span of this node's head token (the channel of a prefix, the
+    /// operator of a composition, the `chan` keyword of a hiding).
+    pub span: Span,
+    /// Spans of the sub-processes, in the process's child order.
+    pub children: Vec<SpanTree>,
+}
+
+impl SpanTree {
+    /// A childless node.
+    pub fn leaf(span: Span) -> Self {
+        SpanTree {
+            span,
+            children: Vec::new(),
+        }
+    }
+
+    /// A node with the given children.
+    pub fn node(span: Span, children: Vec<SpanTree>) -> Self {
+        SpanTree { span, children }
+    }
+
+    /// The `i`-th child, if present.
+    pub fn child(&self, i: usize) -> Option<&SpanTree> {
+        self.children.get(i)
+    }
+}
+
+/// The spans recorded for one definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DefSpans {
+    /// The span of the defined name on the left of `=`.
+    pub name: Span,
+    /// The span tree of the body.
+    pub body: SpanTree,
+}
+
+/// Spans for a whole definition list, keyed by defined name.
+///
+/// Redefinition replaces the previous entry, matching
+/// [`Definitions::define`](crate::Definitions::define).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SourceMap {
+    map: BTreeMap<String, DefSpans>,
+}
+
+impl SourceMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records (or replaces) the spans for `name`.
+    pub fn insert(&mut self, name: &str, spans: DefSpans) {
+        self.map.insert(name.to_string(), spans);
+    }
+
+    /// The spans for `name`, if recorded.
+    pub fn get(&self, name: &str) -> Option<&DefSpans> {
+        self.map.get(name)
+    }
+
+    /// Number of definitions with recorded spans.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Merges another map into this one (the other wins on clashes),
+    /// matching [`Definitions::extend_with`](crate::Definitions::extend_with).
+    pub fn extend_with(&mut self, other: SourceMap) {
+        self.map.extend(other.map);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_display_and_unknown() {
+        assert_eq!(Span::new(10, 4, 2, 7).to_string(), "2:7");
+        assert_eq!(Span::default().to_string(), "?:?");
+        assert!(Span::default().is_unknown());
+        assert!(!Span::point(1, 1).is_unknown());
+        assert_eq!(Span::new(10, 4, 2, 7).end(), 14);
+    }
+
+    #[test]
+    fn source_map_replaces_on_reinsert() {
+        let mut m = SourceMap::new();
+        let d = |line| DefSpans {
+            name: Span::point(line, 1),
+            body: SpanTree::leaf(Span::point(line, 5)),
+        };
+        m.insert("p", d(1));
+        m.insert("p", d(9));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get("p").unwrap().name.line, 9);
+        assert!(m.get("q").is_none());
+    }
+}

@@ -3,6 +3,7 @@
 //! through the [`decide_valid`](csp_assert::decide_valid) oracle and
 //! recording how.
 
+use csp_analysis::{Linter, Severity};
 use csp_assert::{
     decide_valid, subst_chan_cons, subst_empty, subst_var, Assertion, DecideConfig, Decision,
     FuncTable, Term,
@@ -133,6 +134,11 @@ pub enum ProofError {
     /// A recursion node is malformed (unknown name, arity, select out of
     /// range, body/spec count mismatch).
     BadRecursion(String),
+    /// The definitions the proof is over fail static analysis: the
+    /// linter reported error-severity diagnostics (undefined names,
+    /// unbound variables, alphabet violations, …), so the proof rules'
+    /// side conditions cannot be trusted.
+    IllFormedDefinitions(String),
 }
 
 impl std::fmt::Display for ProofError {
@@ -161,6 +167,9 @@ impl std::fmt::Display for ProofError {
                 write!(f, "side condition of {rule} violated: {message}")
             }
             ProofError::BadRecursion(m) => write!(f, "malformed recursion: {m}"),
+            ProofError::IllFormedDefinitions(m) => {
+                write!(f, "definitions fail static analysis: {m}")
+            }
         }
     }
 }
@@ -194,6 +203,16 @@ impl std::error::Error for ProofError {}
 /// assert!(report.rule_count() >= 4);
 /// ```
 pub fn check(ctx: &Context, goal: &Judgement, proof: &Proof) -> Result<CheckReport, ProofError> {
+    let errors: Vec<String> = Linter::new(&ctx.defs)
+        .with_env(&ctx.env)
+        .run()
+        .into_iter()
+        .filter(|d| d.severity == Severity::Error)
+        .map(|d| d.to_string())
+        .collect();
+    if !errors.is_empty() {
+        return Err(ProofError::IllFormedDefinitions(errors.join("; ")));
+    }
     let mut report = CheckReport::default();
     let mut scope = Scope::default();
     check_inner(ctx, goal, proof, &mut scope, &mut report)?;

@@ -396,3 +396,26 @@ fn unsound_claims_cannot_be_smuggled_through_any_rule() {
     assert!(check(&ctx, &ok_goal, &ok).is_ok());
     let _ = Value::nat(0);
 }
+
+#[test]
+fn ill_formed_definitions_are_refused() {
+    // `ghost` is never defined: CSP001 is an error, so the checker must
+    // refuse to even look at the proof.
+    let defs = parse_definitions("p = c!0 -> ghost").unwrap();
+    let ctx = Context::new(defs, Universe::new(1));
+    let goal = Judgement::sat(Process::call("p"), wire_le_input());
+    let err = check(&ctx, &goal, &Proof::Hypothesis).unwrap_err();
+    assert!(matches!(err, ProofError::IllFormedDefinitions(_)), "{err}");
+    assert!(err.to_string().contains("CSP001"), "{err}");
+}
+
+#[test]
+fn warnings_do_not_block_proofs() {
+    // Hiding an unused channel is only CSP007, a warning; the checker
+    // still proceeds to a proper proof-shaped error.
+    let defs = parse_definitions("p = chan h; STOP").unwrap();
+    let ctx = Context::new(defs, Universe::new(1));
+    let goal = Judgement::sat(Process::call("p"), wire_le_input());
+    let err = check(&ctx, &goal, &Proof::Hypothesis).unwrap_err();
+    assert!(matches!(err, ProofError::NoHypothesis { .. }), "{err}");
+}

@@ -1,7 +1,8 @@
 //! `csp` — command-line driver for the hoare-csp reproduction.
 //!
 //! ```text
-//! csp validate  <file.csp>
+//! csp lint      <file.csp> [more.csp ...] [--json] [--deny warnings]
+//! csp validate  <file.csp> [--json]
 //! csp traces    <file.csp> --process NAME [--depth N] [--nat-bound K]
 //! csp check     <file.csp> --process NAME --assert EXPR [--depth N]
 //! csp prove     <file.csp> --spec NAME=EXPR [--spec NAME=EXPR ...]
@@ -20,13 +21,14 @@
 //! `--fault-plan 'stall:2@3x5;starve:0'`.
 //!
 //! Exit status: 0 on success; 1 when the requested analysis found a
-//! refutation (counterexample, deadlock, failed proof); 2 on usage or
-//! input errors.
+//! refutation (counterexample, deadlock, failed proof, lint error — or
+//! any lint warning under `--deny warnings`); 2 on usage or input
+//! errors.
 
 use std::process::ExitCode;
 
 use csp::prelude::*;
-use csp::{render_report, timeline};
+use csp::{max_severity, render_json, render_report, timeline, LintCode, Severity};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -48,7 +50,9 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  csp validate  <file.csp>
+  csp lint      <file.csp> [more.csp ...] [--json] [--deny warnings]
+                [--process NAME --assert EXPR]
+  csp validate  <file.csp> [--json]
   csp traces    <file.csp> --process NAME [--depth N]
   csp check     <file.csp> --process NAME --assert EXPR [--depth N]
   csp prove     <file.csp> --spec NAME=EXPR [--spec NAME=EXPR ...]
@@ -56,6 +60,8 @@ const USAGE: &str = "usage:
                 [--fault-plan SPEC] [--deadline-ms T] [--livelock-window W]
   csp deadlock  <file.csp> --process NAME [--depth N]
 options:
+  --json               machine-readable diagnostics (lint/validate)
+  --deny warnings      treat lint warnings as errors (exit 1)
   --nat-bound K        finite carrier for NAT (default 2)
   --set M=v1,v2        interpretation for a named abstract set
   --bind v=1,2,3       host constant vector (cells v[1], v[2], …)
@@ -70,6 +76,9 @@ options:
 /// Parsed command-line options shared by all subcommands.
 struct Opts {
     file: String,
+    files: Vec<String>,
+    json: bool,
+    deny_warnings: bool,
     process: Option<String>,
     assertion: Option<String>,
     specs: Vec<(String, String)>,
@@ -85,9 +94,12 @@ struct Opts {
     channels: Vec<String>,
 }
 
-fn parse_opts(args: &[String]) -> Result<Opts, String> {
+fn parse_opts(args: &[String], multi_file: bool) -> Result<Opts, String> {
     let mut opts = Opts {
         file: String::new(),
+        files: Vec::new(),
+        json: false,
+        deny_warnings: false,
         process: None,
         assertion: None,
         specs: Vec::new(),
@@ -111,6 +123,14 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 .ok_or_else(|| format!("{name} requires a value"))
         };
         match arg.as_str() {
+            "--json" => opts.json = true,
+            "--deny" => {
+                let v = value("--deny")?;
+                if v != "warnings" {
+                    return Err(format!("--deny expects `warnings`, got `{v}`"));
+                }
+                opts.deny_warnings = true;
+            }
             "--process" => opts.process = Some(value("--process")?),
             "--assert" => opts.assertion = Some(value("--assert")?),
             "--spec" => {
@@ -191,9 +211,18 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             other => positional.push(other.to_string()),
         }
     }
+    if multi_file {
+        if positional.is_empty() {
+            return Err("missing <file.csp>".to_string());
+        }
+        opts.file = positional[0].clone();
+        opts.files = positional;
+        return Ok(opts);
+    }
     match positional.as_slice() {
         [file] => {
             opts.file = file.clone();
+            opts.files = vec![file.clone()];
             Ok(opts)
         }
         [] => Err("missing <file.csp>".to_string()),
@@ -213,13 +242,16 @@ fn parse_value(s: &str) -> Result<Value, String> {
 }
 
 fn build_workbench(opts: &Opts) -> Result<Workbench, String> {
+    build_workbench_for(opts, &opts.file)
+}
+
+fn build_workbench_for(opts: &Opts, file: &str) -> Result<Workbench, String> {
     let mut uni = Universe::new(opts.nat_bound);
     for (name, vals) in &opts.sets {
         uni = uni.with_named(name, vals.iter().cloned());
     }
     let mut wb = Workbench::new().with_universe(uni);
-    let src = std::fs::read_to_string(&opts.file)
-        .map_err(|e| format!("cannot read {}: {e}", opts.file))?;
+    let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
     wb.define_source(&src).map_err(|e| e.to_string())?;
     for (name, vals) in &opts.binds {
         wb.bind_vector(name, vals);
@@ -241,10 +273,33 @@ fn dispatch(args: &[String]) -> Result<bool, String> {
     let (cmd, rest) = args
         .split_first()
         .ok_or_else(|| "missing subcommand".to_string())?;
-    let opts = parse_opts(rest)?;
+    let opts = parse_opts(rest, cmd == "lint")?;
+    if cmd == "lint" {
+        return run_lint(&opts);
+    }
     let wb = build_workbench(&opts)?;
     match cmd.as_str() {
         "validate" => {
+            // The four classic validation issues are CSP001-CSP004 in
+            // the lint framework; `--json` reports them in that shape.
+            if opts.json {
+                let diags: Vec<_> = wb
+                    .lint()
+                    .into_iter()
+                    .filter(|d| {
+                        matches!(
+                            d.code,
+                            LintCode::UndefinedProcess
+                                | LintCode::ArityMismatch
+                                | LintCode::UnboundVariable
+                                | LintCode::UnguardedRecursion
+                        )
+                    })
+                    .collect();
+                println!("{}", render_json(&diags));
+                return Ok(diags.is_empty());
+            }
+            #[allow(deprecated)]
             let issues = wb.validate();
             if issues.is_empty() {
                 println!("ok: {} definition(s), no issues", wb.definitions().len());
@@ -382,4 +437,39 @@ fn dispatch(args: &[String]) -> Result<bool, String> {
         }
         other => Err(format!("unknown subcommand `{other}`")),
     }
+}
+
+/// Lints every file in `opts.files`; returns Ok(true) when nothing
+/// blocking was found (no errors, and no warnings under `--deny`).
+fn run_lint(opts: &Opts) -> Result<bool, String> {
+    let mut worst: Option<Severity> = None;
+    for file in &opts.files {
+        let wb = build_workbench_for(opts, file)?;
+        let mut diags = wb.lint();
+        if let (Some(name), Some(assert_src)) = (opts.process.as_deref(), opts.assertion.as_deref())
+        {
+            diags.extend(
+                wb.lint_assertion(name, assert_src)
+                    .map_err(|e| e.to_string())?,
+            );
+        }
+        if opts.json {
+            println!(
+                "{{\"file\":{file:?},\"diagnostics\":{}}}",
+                render_json(&diags)
+            );
+        } else if diags.is_empty() {
+            println!("{file}: ok ({} definition(s))", wb.definitions().len());
+        } else {
+            for d in &diags {
+                println!("{file}: {d}");
+            }
+        }
+        worst = worst.max(max_severity(&diags));
+    }
+    Ok(match worst {
+        Some(Severity::Error) => false,
+        Some(Severity::Warning) => !opts.deny_warnings,
+        None => true,
+    })
 }

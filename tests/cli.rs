@@ -204,3 +204,78 @@ fn usage_errors_exit_2() {
     assert_eq!(code, Some(2));
     assert!(stderr.contains("--process"));
 }
+
+#[test]
+fn lint_clean_file_exits_zero() {
+    let f = write_fixture("lint_clean.csp", PIPELINE);
+    let (stdout, _, code) = csp(&["lint", f.to_str().unwrap()]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("ok (3 definition(s))"), "{stdout}");
+}
+
+#[test]
+fn lint_errors_exit_one_with_spans() {
+    let f = write_fixture("lint_bad.csp", "p = c!0 -> ghost\n");
+    let (stdout, _, code) = csp(&["lint", f.to_str().unwrap()]);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("[CSP001] at 1:12"), "{stdout}");
+}
+
+#[test]
+fn lint_json_reports_codes_per_file() {
+    let good = write_fixture("lint_json_good.csp", PIPELINE);
+    let bad = write_fixture("lint_json_bad.csp", "p = c!0 -> ghost\n");
+    let (stdout, _, code) = csp(&[
+        "lint",
+        "--json",
+        good.to_str().unwrap(),
+        bad.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(1), "{stdout}");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "{stdout}");
+    assert!(lines[0].contains("\"diagnostics\":[]"), "{stdout}");
+    assert!(lines[1].contains("\"code\":\"CSP001\""), "{stdout}");
+    assert!(lines[1].contains("\"severity\":\"error\""), "{stdout}");
+    assert!(lines[1].contains("\"line\":1"), "{stdout}");
+}
+
+#[test]
+fn lint_deny_warnings_flips_exit_code() {
+    let f = write_fixture("lint_warn.csp", "p = chan h; d!1 -> STOP\n");
+    let path = f.to_str().unwrap();
+    let (stdout, _, code) = csp(&["lint", path]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("[CSP007]"), "{stdout}");
+    let (stdout, _, code) = csp(&["lint", "--deny", "warnings", path]);
+    assert_eq!(code, Some(1), "{stdout}");
+}
+
+#[test]
+fn lint_checks_assertion_scope() {
+    let f = write_fixture("lint_scope.csp", PIPELINE);
+    let (stdout, _, code) = csp(&[
+        "lint",
+        f.to_str().unwrap(),
+        "--process",
+        "pipeline",
+        "--assert",
+        "wire <= input",
+    ]);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("[CSP009]"), "{stdout}");
+}
+
+#[test]
+fn validate_json_matches_lint_contract() {
+    let f = write_fixture("validate_json.csp", "p = c!0 -> ghost\n");
+    let (stdout, _, code) = csp(&["validate", "--json", f.to_str().unwrap()]);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("\"code\":\"CSP001\""), "{stdout}");
+    assert!(stdout.contains("\"column\":12"), "{stdout}");
+
+    let clean = write_fixture("validate_json_clean.csp", PIPELINE);
+    let (stdout, _, code) = csp(&["validate", "--json", clean.to_str().unwrap()]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert_eq!(stdout.trim(), "[]");
+}

@@ -127,7 +127,7 @@ fn end_to_end_on_all_paper_systems() {
     // Pipeline.
     let mut wb = Workbench::new().with_universe(Universe::new(1));
     wb.define_source(csp::examples::PIPELINE_SRC).unwrap();
-    assert!(wb.validate().is_empty());
+    assert!(wb.lint().is_empty());
     assert!(wb
         .check_sat("pipeline", "output <= input", 3)
         .unwrap()
