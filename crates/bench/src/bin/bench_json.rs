@@ -1,0 +1,382 @@
+//! `bench-json` — the machine-readable perf baseline (P1–P4 + E1–E7).
+//!
+//! Runs every paper workload at fixed sizes, measures median wall time
+//! plus semantic size metrics (trace counts, peak set sizes), and emits
+//! `csp-bench-json/v1` JSON. CI runs this on every PR and gates the
+//! numbers against the committed `BENCH_baseline.json`.
+//!
+//! ```text
+//! cargo run --release -p csp-bench --bin bench-json                 # print JSON
+//! cargo run --release -p csp-bench --bin bench-json -- --out BENCH_baseline.json
+//! cargo run --release -p csp-bench --bin bench-json -- \
+//!     --compare BENCH_baseline.json --tolerance 0.30               # CI gate
+//! ```
+
+use std::time::Instant;
+
+use csp_bench::report::{gate, BenchRecord, Report, Verdict};
+use csp_bench::{
+    chain_workbench, multiplier_invariant, multiplier_workbench, pipeline_workbench,
+    protocol_workbench,
+};
+use csp_core::prelude::*;
+use csp_core::proofs;
+use csp_core::{stop_choice_identity, validate_all_rules};
+
+/// Size metrics one workload reports back alongside its wall time.
+#[derive(Debug, Clone, Copy, Default)]
+struct Metrics {
+    traces: u64,
+    peak_set: u64,
+}
+
+fn peak_of_run(run: &csp_core::FixpointRun) -> u64 {
+    run.iterates
+        .iter()
+        .flat_map(|a| a.values())
+        .map(|t| t.len() as u64)
+        .max()
+        .unwrap_or(0)
+}
+
+type Workload = (&'static str, Box<dyn Fn() -> Metrics>);
+
+fn workloads() -> Vec<Workload> {
+    let mut v: Vec<Workload> = Vec::new();
+
+    // P1 — trace enumeration vs. universe size at fixed depth.
+    v.push((
+        "P1/enumeration/copier_u3_d5",
+        Box::new(|| {
+            let mut wb = Workbench::new().with_universe(Universe::new(3));
+            wb.define_source(csp_core::examples::PIPELINE_SRC)
+                .expect("parses");
+            let t = wb.traces("copier", 5).expect("traces");
+            Metrics {
+                traces: t.len() as u64,
+                peak_set: t.len() as u64,
+            }
+        }),
+    ));
+
+    // P2 — parallel composition & hiding cost on a 4-stage chain.
+    v.push((
+        "P2/parallel_hiding/chain4_d4",
+        Box::new(|| {
+            let wb = chain_workbench(4);
+            let t = wb.traces("chain", 4).expect("traces");
+            Metrics {
+                traces: t.len() as u64,
+                peak_set: t.len() as u64,
+            }
+        }),
+    ));
+
+    // P3 — proof-checker throughput over the whole script suite.
+    v.push((
+        "P3/proofs/all_scripts",
+        Box::new(|| {
+            let mut rules = 0u64;
+            for script in proofs::all_scripts() {
+                rules += script.check().expect("checks").rule_count() as u64;
+            }
+            Metrics {
+                traces: rules,
+                peak_set: 0,
+            }
+        }),
+    ));
+
+    // P4 — concurrent runtime throughput (128 scheduled steps).
+    v.push((
+        "P4/runtime/pipeline_s128",
+        Box::new(|| {
+            let wb = pipeline_workbench();
+            let res = wb
+                .run(
+                    "pipeline",
+                    RunOptions {
+                        max_steps: 128,
+                        scheduler: Scheduler::seeded(5),
+                        ..RunOptions::default()
+                    },
+                )
+                .expect("runs");
+            Metrics {
+                traces: res.steps as u64,
+                peak_set: 0,
+            }
+        }),
+    ));
+
+    // E1 — the §2 pipeline claims, bounded-model-checked.
+    v.push((
+        "E1/sat/copier_wire_le_input_d5",
+        Box::new(|| {
+            let wb = pipeline_workbench();
+            let verdict = wb.check_sat("copier", "wire <= input", 5).expect("checks");
+            let SatResult::Holds { traces_checked, .. } = verdict else {
+                panic!("E1 claim refuted");
+            };
+            Metrics {
+                traces: traces_checked as u64,
+                peak_set: traces_checked as u64,
+            }
+        }),
+    ));
+
+    // E2 — the completed §2.2(2) exercise, model-checked.
+    v.push((
+        "E2/sat/receiver_d3",
+        Box::new(|| {
+            let wb = protocol_workbench();
+            let verdict = wb
+                .check_sat("receiver", "output <= f(wire)", 3)
+                .expect("checks");
+            let SatResult::Holds { traces_checked, .. } = verdict else {
+                panic!("E2 claim refuted");
+            };
+            Metrics {
+                traces: traces_checked as u64,
+                peak_set: traces_checked as u64,
+            }
+        }),
+    ));
+
+    // E3 — the 6-step protocol proof's claim, model-checked.
+    v.push((
+        "E3/sat/protocol_d3",
+        Box::new(|| {
+            let wb = protocol_workbench();
+            let verdict = wb
+                .check_sat("protocol", "output <= input", 3)
+                .expect("checks");
+            let SatResult::Holds { traces_checked, .. } = verdict else {
+                panic!("E3 claim refuted");
+            };
+            Metrics {
+                traces: traces_checked as u64,
+                peak_set: traces_checked as u64,
+            }
+        }),
+    ));
+
+    // E4 — multiplier correctness at width 2.
+    v.push((
+        "E4/sat/multiplier_w2_d3",
+        Box::new(|| {
+            let wb = multiplier_workbench(2);
+            let inv = multiplier_invariant(2);
+            let verdict = wb.check_sat("multiplier", &inv, 3).expect("checks");
+            let SatResult::Holds { traces_checked, .. } = verdict else {
+                panic!("E4 claim refuted");
+            };
+            Metrics {
+                traces: traces_checked as u64,
+                peak_set: traces_checked as u64,
+            }
+        }),
+    ));
+
+    // E5 — the §3.3 fixpoint construction on all three paper networks.
+    v.push((
+        "E5/fixpoint/pipeline_d4",
+        Box::new(|| {
+            let wb = pipeline_workbench();
+            let run = wb.fixpoint(4, 24).expect("fixpoint");
+            assert!(run.converged_at.is_some());
+            Metrics {
+                traces: run.iterates.len() as u64,
+                peak_set: peak_of_run(&run),
+            }
+        }),
+    ));
+    v.push((
+        "E5/fixpoint/protocol_d3",
+        Box::new(|| {
+            let wb = protocol_workbench();
+            let run = wb.fixpoint(3, 24).expect("fixpoint");
+            assert!(run.converged_at.is_some());
+            Metrics {
+                traces: run.iterates.len() as u64,
+                peak_set: peak_of_run(&run),
+            }
+        }),
+    ));
+    v.push((
+        "E5/fixpoint/multiplier_w3_d2",
+        Box::new(|| {
+            let wb = multiplier_workbench(3);
+            let run = wb.fixpoint(2, 16).expect("fixpoint");
+            assert!(run.converged_at.is_some());
+            Metrics {
+                traces: run.iterates.len() as u64,
+                peak_set: peak_of_run(&run),
+            }
+        }),
+    ));
+
+    // E6 — empirical soundness of the ten §2.1 rules.
+    v.push((
+        "E6/soundness/rules_x12",
+        Box::new(|| {
+            let reports = validate_all_rules(2026, 12).expect("validates");
+            assert!(reports.iter().all(|r| r.sound()));
+            Metrics {
+                traces: reports.iter().map(|r| r.premises_held as u64).sum(),
+                peak_set: 0,
+            }
+        }),
+    ));
+
+    // E7 — the §4 defect STOP | P = P, verified semantically.
+    v.push((
+        "E7/stop_choice/pipeline_d4",
+        Box::new(|| {
+            let wb = pipeline_workbench();
+            let (a, b) =
+                stop_choice_identity(wb.definitions(), wb.universe(), "pipeline", 4).expect("E7");
+            assert_eq!(a, b);
+            Metrics {
+                traces: a as u64,
+                peak_set: a as u64,
+            }
+        }),
+    ));
+
+    // Fault-conformance sweep — the PR-1 robustness workload.
+    v.push((
+        "verify/faultconf/pipeline_4x2",
+        Box::new(|| {
+            let wb = pipeline_workbench();
+            let sweep = FaultSweep::new(
+                [1, 2, 3, 4],
+                [FaultPlan::none(), FaultPlan::none().crash("copier", 12)],
+            )
+            .with_max_steps(32);
+            let conf = wb
+                .fault_conformance("pipeline", &["output <= input"], &sweep)
+                .expect("sweeps");
+            assert!(conf.all_conformant());
+            Metrics {
+                traces: conf.runs.len() as u64,
+                peak_set: conf.runs.iter().map(|r| r.steps as u64).max().unwrap_or(0),
+            }
+        }),
+    ));
+
+    v
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    xs[xs.len() / 2]
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench-json [--samples N] [--out PATH] [--filter SUBSTR] \
+         [--compare BASELINE [--tolerance FRAC]]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut samples = 3usize;
+    let mut out: Option<String> = None;
+    let mut compare: Option<String> = None;
+    let mut tolerance = 0.30f64;
+    let mut filter: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--samples" => {
+                samples = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
+            "--compare" => compare = Some(args.next().unwrap_or_else(|| usage())),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--filter" => filter = Some(args.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    let samples = samples.max(1);
+
+    let mut benches = Vec::new();
+    for (name, work) in workloads() {
+        if let Some(f) = &filter {
+            if !name.contains(f.as_str()) {
+                continue;
+            }
+        }
+        // One untimed warm-up so allocator and interner state are hot.
+        let mut metrics = work();
+        let mut times = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            metrics = work();
+            times.push(t0.elapsed().as_secs_f64() * 1e3);
+        }
+        let wall_ms = median(times);
+        eprintln!(
+            "{name:<36} {wall_ms:>10.2} ms  traces={} peak={}",
+            metrics.traces, metrics.peak_set
+        );
+        benches.push(BenchRecord {
+            name: name.to_string(),
+            wall_ms,
+            traces: metrics.traces,
+            peak_set: metrics.peak_set,
+        });
+    }
+
+    let report = Report { samples, benches };
+    let json = report.to_json();
+    match &out {
+        Some(path) => std::fs::write(path, &json).expect("write report"),
+        None => print!("{json}"),
+    }
+
+    if let Some(path) = compare {
+        let src = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline = Report::from_json(&src).expect("baseline parses");
+        let g = gate(&baseline, &report, tolerance);
+        eprintln!("\n== gate vs {path} (±{:.0}%) ==", tolerance * 100.0);
+        for line in &g.lines {
+            let fmt_ms = |v: Option<f64>| v.map_or("—".to_string(), |x| format!("{x:.2}"));
+            let tag = match line.verdict {
+                Verdict::Ok => "ok",
+                Verdict::Regression => "REGRESSION",
+                Verdict::Improvement => "improved",
+                Verdict::Unmatched => "unmatched",
+            };
+            eprintln!(
+                "[{tag:>10}] {:<36} base {:>10} ms → now {:>10} ms",
+                line.name,
+                fmt_ms(line.baseline_ms),
+                fmt_ms(line.current_ms),
+            );
+        }
+        if !g.improvements().is_empty() {
+            eprintln!("note: improvements past tolerance — refresh BENCH_baseline.json");
+        }
+        if !g.passed() {
+            eprintln!(
+                "gate FAILED: wall-time regression past ±{:.0}%",
+                tolerance * 100.0
+            );
+            std::process::exit(1);
+        }
+        eprintln!("gate passed");
+    }
+}

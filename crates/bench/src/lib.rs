@@ -15,6 +15,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod report;
+
 use csp_core::prelude::*;
 
 /// The standard pipeline workbench (universe `NAT ↾ {0,1}`).

@@ -1,0 +1,297 @@
+//! Machine-readable benchmark reports and the CI regression gate.
+//!
+//! The `bench-json` binary emits a [`Report`] as JSON; CI re-runs the
+//! same workloads on every PR and calls [`gate`] to compare the fresh
+//! numbers against the committed `BENCH_baseline.json`. A bench that
+//! slowed down by more than the tolerance fails the gate; one that sped
+//! up past the tolerance is only a warning — the signal that the
+//! baseline should be refreshed.
+//!
+//! The JSON schema is deliberately flat (one object per bench with
+//! `name`, `wall_ms`, `traces`, `peak_set`) so this module can parse it
+//! back with a small scanner instead of a serde dependency — the build
+//! environment is offline.
+
+use std::fmt::Write as _;
+
+/// One benchmark's measured numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Stable bench identifier, e.g. `E5/fixpoint/multiplier_w3_d2`.
+    pub name: String,
+    /// Median wall-clock time over the samples, in milliseconds.
+    pub wall_ms: f64,
+    /// Number of traces produced by the workload (0 where meaningless).
+    pub traces: u64,
+    /// Peak trace-set size observed during the workload.
+    pub peak_set: u64,
+}
+
+/// A full `bench-json` report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Report {
+    /// Samples per bench the medians were taken over.
+    pub samples: usize,
+    /// The per-bench records, in execution order.
+    pub benches: Vec<BenchRecord>,
+}
+
+impl Report {
+    /// Serialises the report to the committed JSON format.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"csp-bench-json/v1\",\n");
+        let _ = writeln!(out, "  \"samples\": {},", self.samples);
+        out.push_str("  \"benches\": [\n");
+        for (i, b) in self.benches.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"traces\": {}, \"peak_set\": {}}}",
+                b.name, b.wall_ms, b.traces, b.peak_set
+            );
+            out.push_str(if i + 1 < self.benches.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parses a report previously written by [`Report::to_json`].
+    ///
+    /// The scanner accepts exactly the flat schema this module writes;
+    /// it is not a general JSON parser.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed record.
+    pub fn from_json(src: &str) -> Result<Report, String> {
+        let samples = scan_u64(src, "\"samples\"")
+            .ok_or_else(|| "missing \"samples\" field".to_string())? as usize;
+        let mut benches = Vec::new();
+        for obj in src.split('{').skip(1) {
+            if !obj.contains("\"wall_ms\"") {
+                continue; // header object, not a bench record
+            }
+            let name = scan_string(obj, "\"name\"")
+                .ok_or_else(|| format!("bench record without name: {obj:.60}"))?;
+            let wall_ms = scan_f64(obj, "\"wall_ms\"")
+                .ok_or_else(|| format!("bench `{name}` without wall_ms"))?;
+            let traces = scan_u64(obj, "\"traces\"").unwrap_or(0);
+            let peak_set = scan_u64(obj, "\"peak_set\"").unwrap_or(0);
+            benches.push(BenchRecord {
+                name,
+                wall_ms,
+                traces,
+                peak_set,
+            });
+        }
+        if benches.is_empty() {
+            return Err("no bench records found".to_string());
+        }
+        Ok(Report { samples, benches })
+    }
+}
+
+fn scan_after<'a>(src: &'a str, key: &str) -> Option<&'a str> {
+    let at = src.find(key)? + key.len();
+    let rest = src[at..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    Some(rest)
+}
+
+fn scan_string(src: &str, key: &str) -> Option<String> {
+    let rest = scan_after(src, key)?.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn scan_f64(src: &str, key: &str) -> Option<f64> {
+    let rest = scan_after(src, key)?;
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn scan_u64(src: &str, key: &str) -> Option<u64> {
+    scan_f64(src, key).map(|f| f as u64)
+}
+
+/// Verdict of comparing one bench against the baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within tolerance of the baseline.
+    Ok,
+    /// Slower than baseline by more than the tolerance — fails the gate.
+    Regression,
+    /// Faster than baseline by more than the tolerance — refresh the
+    /// committed baseline to tighten the gate.
+    Improvement,
+    /// Present in only one of the two reports.
+    Unmatched,
+}
+
+/// One line of the gate comparison.
+#[derive(Debug, Clone)]
+pub struct GateLine {
+    /// Bench name.
+    pub name: String,
+    /// Baseline median, if the bench exists in the baseline.
+    pub baseline_ms: Option<f64>,
+    /// Current median, if the bench exists in the current report.
+    pub current_ms: Option<f64>,
+    /// The comparison verdict.
+    pub verdict: Verdict,
+}
+
+/// Result of gating a fresh report against the committed baseline.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Per-bench comparison lines, baseline order first.
+    pub lines: Vec<GateLine>,
+    /// The relative tolerance the gate ran with (e.g. `0.30`).
+    pub tolerance: f64,
+}
+
+impl GateReport {
+    /// True when no bench regressed past the tolerance.
+    pub fn passed(&self) -> bool {
+        !self.lines.iter().any(|l| l.verdict == Verdict::Regression)
+    }
+
+    /// The benches that improved past the tolerance (baseline refresh
+    /// candidates).
+    pub fn improvements(&self) -> Vec<&GateLine> {
+        self.lines
+            .iter()
+            .filter(|l| l.verdict == Verdict::Improvement)
+            .collect()
+    }
+}
+
+/// Compares `current` to `baseline` with a relative wall-time
+/// `tolerance` (0.30 = ±30%). Floors both sides at one millisecond so
+/// sub-millisecond noise cannot trip the gate.
+pub fn gate(baseline: &Report, current: &Report, tolerance: f64) -> GateReport {
+    let mut lines = Vec::new();
+    for b in &baseline.benches {
+        let cur = current.benches.iter().find(|c| c.name == b.name);
+        let line = match cur {
+            None => GateLine {
+                name: b.name.clone(),
+                baseline_ms: Some(b.wall_ms),
+                current_ms: None,
+                verdict: Verdict::Unmatched,
+            },
+            Some(c) => {
+                let base = b.wall_ms.max(1.0);
+                let now = c.wall_ms.max(1.0);
+                let verdict = if now > base * (1.0 + tolerance) {
+                    Verdict::Regression
+                } else if now < base * (1.0 - tolerance) {
+                    Verdict::Improvement
+                } else {
+                    Verdict::Ok
+                };
+                GateLine {
+                    name: b.name.clone(),
+                    baseline_ms: Some(b.wall_ms),
+                    current_ms: Some(c.wall_ms),
+                    verdict,
+                }
+            }
+        };
+        lines.push(line);
+    }
+    for c in &current.benches {
+        if !baseline.benches.iter().any(|b| b.name == c.name) {
+            lines.push(GateLine {
+                name: c.name.clone(),
+                baseline_ms: None,
+                current_ms: Some(c.wall_ms),
+                verdict: Verdict::Unmatched,
+            });
+        }
+    }
+    GateReport { lines, tolerance }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(pairs: &[(&str, f64)]) -> Report {
+        Report {
+            samples: 3,
+            benches: pairs
+                .iter()
+                .map(|&(name, wall_ms)| BenchRecord {
+                    name: name.to_string(),
+                    wall_ms,
+                    traces: 10,
+                    peak_set: 20,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let r = report(&[("E5/fixpoint/multiplier_w3_d2", 123.456), ("P1/enum", 7.0)]);
+        let parsed = Report::from_json(&r.to_json()).expect("parses");
+        assert_eq!(parsed.samples, 3);
+        assert_eq!(parsed.benches.len(), 2);
+        assert_eq!(parsed.benches[0].name, "E5/fixpoint/multiplier_w3_d2");
+        assert!((parsed.benches[0].wall_ms - 123.456).abs() < 1e-9);
+        assert_eq!(parsed.benches[1].traces, 10);
+        assert_eq!(parsed.benches[1].peak_set, 20);
+    }
+
+    #[test]
+    fn synthetic_two_x_slowdown_fails_the_gate() {
+        let base = report(&[("a", 100.0), ("b", 40.0)]);
+        let slow = report(&[("a", 200.0), ("b", 41.0)]);
+        let g = gate(&base, &slow, 0.30);
+        assert!(!g.passed());
+        assert_eq!(g.lines[0].verdict, Verdict::Regression);
+        assert_eq!(g.lines[1].verdict, Verdict::Ok);
+    }
+
+    #[test]
+    fn identical_numbers_pass_the_gate() {
+        let base = report(&[("a", 100.0), ("b", 40.0)]);
+        let g = gate(&base, &base, 0.30);
+        assert!(g.passed());
+        assert!(g.improvements().is_empty());
+    }
+
+    #[test]
+    fn improvement_warns_but_passes() {
+        let base = report(&[("a", 100.0)]);
+        let fast = report(&[("a", 20.0)]);
+        let g = gate(&base, &fast, 0.30);
+        assert!(g.passed());
+        assert_eq!(g.improvements().len(), 1);
+    }
+
+    #[test]
+    fn unmatched_benches_pass_but_are_flagged() {
+        let base = report(&[("old", 10.0)]);
+        let cur = report(&[("new", 10.0)]);
+        let g = gate(&base, &cur, 0.30);
+        assert!(g.passed());
+        assert_eq!(g.lines.len(), 2);
+        assert!(g.lines.iter().all(|l| l.verdict == Verdict::Unmatched));
+    }
+
+    #[test]
+    fn sub_millisecond_noise_is_floored() {
+        let base = report(&[("tiny", 0.02)]);
+        let cur = report(&[("tiny", 0.9)]);
+        // 45× slower in raw ratio, but both under the 1 ms floor.
+        assert!(gate(&base, &cur, 0.30).passed());
+    }
+}

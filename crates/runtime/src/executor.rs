@@ -302,7 +302,7 @@ impl<'a> Executor<'a> {
                             !c.alphabet.contains(e.channel()) || co.effective_offer(j).contains(e)
                         });
                         if ok {
-                            enabled.push(e.clone());
+                            enabled.push(*e);
                         }
                     }
                 }
@@ -347,7 +347,7 @@ impl<'a> Executor<'a> {
                         }
                     };
                     match opts.scheduler.pick(&pool) {
-                        Some(k) => pool[k].clone(),
+                        Some(k) => pool[k],
                         None => {
                             saw_deadlock = true;
                             break 'run;
@@ -355,7 +355,7 @@ impl<'a> Executor<'a> {
                     }
                 };
 
-                co.full.push(chosen.clone());
+                co.full.push(chosen);
                 if net.hidden.contains(chosen.channel()) {
                     hidden_streak += 1;
                     let window = opts.supervision.livelock_window;
@@ -378,7 +378,7 @@ impl<'a> Executor<'a> {
                     }
                     let involved = net.components[j].alphabet.contains(chosen.channel());
                     let msg = if involved {
-                        Decision::Advance(chosen.clone())
+                        Decision::Advance(chosen)
                     } else {
                         Decision::Stay
                     };
@@ -684,7 +684,7 @@ fn component_thread(
         let mut events: Vec<Event> = steps
             .iter()
             .map(|s| match s {
-                Step::Visible(e, _) => e.clone(),
+                Step::Visible(e, _) => *e,
                 Step::Internal(_) => unreachable!("sequential components have no hiding"),
             })
             .collect();

@@ -10,12 +10,14 @@
 //! is finite), reports the iteration at which it converges, and exposes
 //! each iterate for inspection — experiment **E5** of `DESIGN.md` prints
 //! the growing iterate sizes, and the crate tests confirm the limit equals
-//! the unfolding semantics of [`Semantics`](crate::Semantics).
+//! the unfolding semantics of [`Semantics`].
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Mutex;
 
 use csp_lang::{Definitions, Env, EvalError, Process};
-use csp_trace::{Event, TraceSet, Value};
+use csp_trace::{Event, FxHashMap, TraceSet, Value};
+use rayon::prelude::*;
 
 use crate::{Semantics, Universe};
 
@@ -119,14 +121,63 @@ pub fn fixpoint(
 
     let sem = Semantics::new(defs, universe);
 
+    // The direct call-dependencies of each definition: a Call node inside
+    // `F_p` reads the *current* approximation of the called name, so
+    // `a_{i+1}[p] = F_p(a_i)` can only differ from `a_i[p]` if one of
+    // those names changed in the step producing `a_i`. Tracking the
+    // changed names lets converged regions of a network drop out of the
+    // joint iteration early instead of being re-evaluated to the end.
+    let deps: FxHashMap<String, BTreeSet<String>> = keys
+        .iter()
+        .map(|k| k.0.clone())
+        .collect::<BTreeSet<_>>()
+        .into_iter()
+        .map(|name| {
+            let mut called = BTreeSet::new();
+            if let Some(def) = defs.get(&name) {
+                called_names(def.body(), &mut called);
+            }
+            (name, called)
+        })
+        .collect();
+
+    // `None` marks the first iteration, where every instance is dirty.
+    let mut changed_names: Option<BTreeSet<String>> = None;
+
     for i in 0..max_iters {
+        // One shared memo of Call-site truncations per iteration: every
+        // instance evaluated this round reads the same `a_i`, so a
+        // (callee, depth) truncation computed once serves all of them.
+        let memo: CallMemo = Mutex::new(FxHashMap::default());
+        let results: Vec<Result<(ProcKey, TraceSet), EvalError>> = keys
+            .par_iter()
+            .map(|key| {
+                if let Some(changed) = &changed_names {
+                    let stale = deps.get(&key.0).is_some_and(|d| !d.is_disjoint(changed));
+                    if !stale {
+                        // Early exit: no dependency changed last step, so
+                        // re-evaluation would reproduce the current value.
+                        let t = current.get(key).cloned().unwrap_or_else(TraceSet::stop);
+                        return Ok((key.clone(), t));
+                    }
+                }
+                let (body, scope) = defs.resolve_call(&key.0, &key.1, env)?;
+                let t = eval_approx(&sem, body, &scope, work_depth, &current, &memo)?;
+                Ok((key.clone(), t.up_to_depth(work_depth)))
+            })
+            .collect();
+
         let mut next = Approximation::new();
-        for key in &keys {
-            let (body, scope) = defs.resolve_call(&key.0, &key.1, env)?;
-            let t = eval_approx(&sem, body, &scope, work_depth, &current)?;
-            next.insert(key.clone(), t.up_to_depth(work_depth));
+        let mut newly_changed = BTreeSet::new();
+        for r in results {
+            let (k, t) = r?;
+            if current.get(&k) != Some(&t) {
+                newly_changed.insert(k.0.clone());
+            }
+            next.insert(k, t);
         }
-        let done = next == current;
+        let done = newly_changed.is_empty();
+        changed_names = Some(newly_changed);
         current = next;
         iterates.push(truncate(&current));
         if done {
@@ -139,6 +190,26 @@ pub fn fixpoint(
         iterates,
         converged_at,
     })
+}
+
+/// Collects the process names a body calls directly (its Call nodes).
+fn called_names(p: &Process, out: &mut BTreeSet<String>) {
+    match p {
+        Process::Stop => {}
+        Process::Call { name, .. } => {
+            out.insert(name.clone());
+        }
+        Process::Output { then, .. } | Process::Input { then, .. } => called_names(then, out),
+        Process::Choice(a, b) => {
+            called_names(a, out);
+            called_names(b, out);
+        }
+        Process::Parallel { left, right, .. } => {
+            called_names(left, out);
+            called_names(right, out);
+        }
+        Process::Hide { body, .. } => called_names(body, out),
+    }
 }
 
 /// Maximum nesting depth of `chan L; …` reachable from `p`, following
@@ -190,6 +261,10 @@ fn instance_keys(
     Ok(keys)
 }
 
+/// Memo of Call-site truncations, shared across the instances of one
+/// iteration: `(callee key, depth) → a_i[callee] ↾ depth`.
+type CallMemo = Mutex<FxHashMap<(ProcKey, usize), TraceSet>>;
+
 /// Evaluates a body with process names interpreted by the current
 /// approximation (the environment `ρ[a_i/p]` of §3.3) instead of by
 /// unfolding.
@@ -199,6 +274,7 @@ fn eval_approx(
     env: &Env,
     depth: usize,
     approx: &Approximation,
+    memo: &CallMemo,
 ) -> Result<TraceSet, EvalError> {
     match p {
         Process::Stop => Ok(TraceSet::stop()),
@@ -208,13 +284,19 @@ fn eval_approx(
                 .map(|e| e.eval(env))
                 .collect::<Result<Vec<_>, _>>()?;
             let key = (name.clone(), vals);
+            let memo_key = (key, depth);
+            if let Some(t) = memo.lock().expect("call memo").get(&memo_key) {
+                return Ok(t.clone());
+            }
             // Instances outside the enumerated family (or whose subscript
             // the universe did not cover) default to a₀ = STOP.
-            Ok(approx
-                .get(&key)
+            let t = approx
+                .get(&memo_key.0)
                 .cloned()
                 .unwrap_or_else(TraceSet::stop)
-                .up_to_depth(depth))
+                .up_to_depth(depth);
+            memo.lock().expect("call memo").insert(memo_key, t.clone());
+            Ok(t)
         }
         Process::Output { chan, msg, then } => {
             if depth == 0 {
@@ -222,7 +304,7 @@ fn eval_approx(
             }
             let c = chan.resolve(env)?;
             let v = msg.eval(env)?;
-            let inner = eval_approx(sem, then, env, depth - 1, approx)?;
+            let inner = eval_approx(sem, then, env, depth - 1, approx, memo)?;
             Ok(inner.prefixed(Event::new(c, v)))
         }
         Process::Input {
@@ -239,13 +321,13 @@ fn eval_approx(
             let mut out = TraceSet::stop();
             for v in sem.universe().enumerate(&m)? {
                 let scope = env.bind(var, v.clone());
-                let inner = eval_approx(sem, then, &scope, depth - 1, approx)?;
+                let inner = eval_approx(sem, then, &scope, depth - 1, approx, memo)?;
                 out = out.union(&inner.prefixed(Event::new(c.clone(), v)));
             }
             Ok(out)
         }
-        Process::Choice(a, b) => Ok(eval_approx(sem, a, env, depth, approx)?
-            .union(&eval_approx(sem, b, env, depth, approx)?)),
+        Process::Choice(a, b) => Ok(eval_approx(sem, a, env, depth, approx, memo)?
+            .union(&eval_approx(sem, b, env, depth, approx, memo)?)),
         Process::Parallel {
             left,
             right,
@@ -259,8 +341,8 @@ fn eval_approx(
                 right_alpha.as_deref(),
                 env,
             )?;
-            let tl = eval_approx(sem, left, env, depth, approx)?;
-            let tr = eval_approx(sem, right, env, depth, approx)?;
+            let tl = eval_approx(sem, left, env, depth, approx, memo)?;
+            let tr = eval_approx(sem, right, env, depth, approx, memo)?;
             Ok(tl.parallel(&x, &tr, &y).up_to_depth(depth))
         }
         Process::Hide { channels, body } => {
@@ -270,7 +352,7 @@ fn eval_approx(
                 .collect::<Result<_, _>>()?;
             // Iterate bodies at triple depth, mirroring Semantics' default
             // hide handling.
-            let tb = eval_approx(sem, body, env, depth * 3, approx)?;
+            let tb = eval_approx(sem, body, env, depth * 3, approx, memo)?;
             Ok(tb.hide(&hidden).up_to_depth(depth))
         }
     }

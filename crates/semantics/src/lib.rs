@@ -6,7 +6,7 @@
 //! * [`Semantics`] — the paper's semantic equations: every process
 //!   expression denotes a prefix-closed trace set, computed here to a
 //!   requested depth over a finite [`Universe`].
-//! * [`fixpoint`] — the explicit approximation sequence `a₀ ⊆ a₁ ⊆ …` of
+//! * [`mod@fixpoint`] — the explicit approximation sequence `a₀ ⊆ a₁ ⊆ …` of
 //!   §3.3 for (mutually) recursive definitions and process arrays, with
 //!   convergence detection.
 //! * [`Lts`] — a labelled transition system derived from the syntax; its

@@ -177,7 +177,7 @@ impl<'a> Lts<'a> {
                     if let Step::Visible(e, lc) = step {
                         if !sync.contains(e.channel()) {
                             out.push(Step::Visible(
-                                e.clone(),
+                                *e,
                                 Config::new(
                                     rebuild(lc.process(), lc.env(), right, env),
                                     env.clone(),
@@ -189,7 +189,7 @@ impl<'a> Lts<'a> {
                                 if let Step::Visible(e2, rc) = rstep {
                                     if e2 == e {
                                         out.push(Step::Visible(
-                                            e.clone(),
+                                            *e,
                                             Config::new(
                                                 rebuild(
                                                     lc.process(),
@@ -210,7 +210,7 @@ impl<'a> Lts<'a> {
                     if let Step::Visible(e, rc) = rstep {
                         if !sync.contains(e.channel()) {
                             out.push(Step::Visible(
-                                e.clone(),
+                                *e,
                                 Config::new(
                                     rebuild(left, env, rc.process(), rc.env()),
                                     env.clone(),

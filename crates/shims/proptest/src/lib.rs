@@ -424,6 +424,8 @@ mod tests {
 
     #[test]
     fn recursive_strategies_terminate_and_vary() {
+        use rand::SeedableRng;
+
         #[derive(Debug, Clone, PartialEq)]
         enum Tree {
             Leaf,

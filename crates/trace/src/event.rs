@@ -4,9 +4,20 @@
 //! … is denoted as a pair `c.m`, where `m` is the value of the message and
 //! `c` is the name of the channel along which it passes." Transmission and
 //! receipt are *the same event*, occurring only when all parties are ready.
+//!
+//! Events are **interned**: each distinct `(channel, value)` pair is
+//! stored once for the process lifetime (see [`crate::intern`]), and an
+//! [`Event`] is a single pointer to that record. Events are therefore
+//! `Copy`, equality is a pointer comparison, and hashing reuses a
+//! precomputed digest — the properties the trace-set engine's hot paths
+//! are built on. The comparison order ([`Ord`]) remains the semantic
+//! `(channel, value)` order so displays and sorted enumerations are
+//! independent of interning history.
 
+use std::cmp::Ordering;
 use std::fmt;
 
+use crate::intern::{intern, EventData};
 use crate::{Channel, Value};
 
 /// A single communication `c.m`: message value `m` passing on channel `c`.
@@ -21,37 +32,91 @@ use crate::{Channel, Value};
 /// assert_eq!(e.channel().base(), "wire");
 /// assert_eq!(e.value(), &Value::sym("ACK"));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone, Copy)]
 pub struct Event {
-    channel: Channel,
-    value: Value,
+    data: &'static EventData,
 }
 
 impl Event {
-    /// Creates the communication `channel.value`.
+    /// Creates (or re-uses) the communication `channel.value`.
     pub fn new(channel: Channel, value: Value) -> Self {
-        Event { channel, value }
+        Event {
+            data: intern(channel, value),
+        }
     }
 
     /// The channel the message passed on.
     pub fn channel(&self) -> &Channel {
-        &self.channel
+        &self.data.channel
     }
 
     /// The message value.
     pub fn value(&self) -> &Value {
-        &self.value
+        &self.data.value
     }
 
     /// Splits the event into its channel and value.
     pub fn into_parts(self) -> (Channel, Value) {
-        (self.channel, self.value)
+        (self.data.channel.clone(), self.data.value.clone())
+    }
+
+    /// The deterministic 64-bit digest of this event's content, shared
+    /// with every copy of the event. Trace hashes are chained from it.
+    #[inline]
+    pub fn content_hash(&self) -> u64 {
+        self.data.content_hash
+    }
+
+    /// The interner sequence number — unique in this process, but not
+    /// stable across runs. Diagnostics only.
+    pub fn intern_id(&self) -> u32 {
+        self.data.id
+    }
+}
+
+impl PartialEq for Event {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        std::ptr::eq(self.data, other.data)
+    }
+}
+
+impl Eq for Event {}
+
+impl std::hash::Hash for Event {
+    #[inline]
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.data.content_hash);
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        if std::ptr::eq(self.data, other.data) {
+            return Ordering::Equal;
+        }
+        (self.channel(), self.value()).cmp(&(other.channel(), other.value()))
+    }
+}
+
+impl fmt::Debug for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Event")
+            .field("channel", self.channel())
+            .field("value", self.value())
+            .finish()
     }
 }
 
 impl fmt::Display for Event {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}.{}", self.channel, self.value)
+        write!(f, "{}.{}", self.channel(), self.value())
     }
 }
 
@@ -89,7 +154,7 @@ mod tests {
     #[test]
     fn into_parts_roundtrip() {
         let e = Event::new(Channel::indexed("col", 2), Value::nat(5));
-        let (c, v) = e.clone().into_parts();
+        let (c, v) = e.into_parts();
         assert_eq!(Event::new(c, v), e);
     }
 
@@ -97,5 +162,26 @@ mod tests {
     fn tuple_conversion() {
         let e: Event = ("wire", Value::nat(1)).into();
         assert_eq!(e.channel(), &Channel::simple("wire"));
+    }
+
+    #[test]
+    fn interning_makes_equality_pointer_cheap() {
+        let a = Event::new(Channel::simple("etest_c"), Value::nat(9));
+        let b = Event::new(Channel::simple("etest_c"), Value::nat(9));
+        assert_eq!(a, b);
+        assert_eq!(a.content_hash(), b.content_hash());
+        assert_eq!(a.intern_id(), b.intern_id());
+    }
+
+    #[test]
+    fn ordering_is_semantic_not_interning_order() {
+        // Intern in reverse lexicographic order; Ord must still sort by
+        // (channel, value).
+        let z = Event::new(Channel::simple("etest_z"), Value::nat(0));
+        let a = Event::new(Channel::simple("etest_a"), Value::nat(0));
+        let a1 = Event::new(Channel::simple("etest_a"), Value::nat(1));
+        let mut v = vec![z, a1, a];
+        v.sort();
+        assert_eq!(v, vec![a, a1, z]);
     }
 }

@@ -1,0 +1,114 @@
+//! A fast, deterministic, non-cryptographic hasher (the `FxHash`
+//! algorithm from the Firefox/rustc tradition) plus `HashMap`/`HashSet`
+//! aliases built on it.
+//!
+//! The trace engine hashes interned ids and precomputed 64-bit trace
+//! hashes on every set operation, so the default SipHash of `std` —
+//! designed to resist adversarial keys — is pure overhead here. FxHash
+//! is unseeded, so iteration order of the aliased collections depends
+//! only on the inserted values and the insertion history, never on
+//! process-level randomness: repeated runs see identical behaviour.
+//! (The build environment is offline, so the `fxhash`/`rustc-hash`
+//! crates are reimplemented here; the algorithm is a few lines.)
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The multiplier FxHash derives its avalanche from (64-bit variant).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Mixes one 64-bit word into a running FxHash state.
+#[inline]
+pub fn fx_mix(hash: u64, word: u64) -> u64 {
+    (hash.rotate_left(5) ^ word).wrapping_mul(SEED)
+}
+
+/// Streaming FxHash state implementing [`std::hash::Hasher`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let word = u64::from_le_bytes(bytes[..8].try_into().expect("8-byte chunk"));
+            self.hash = fx_mix(self.hash, word);
+            bytes = &bytes[8..];
+        }
+        if !bytes.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..bytes.len()].copy_from_slice(bytes);
+            self.hash = fx_mix(self.hash, u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.hash = fx_mix(self.hash, n);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.hash = fx_mix(self.hash, u64::from(n));
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.hash = fx_mix(self.hash, u64::from(n));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.hash = fx_mix(self.hash, n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by FxHash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed by FxHash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash + ?Sized>(x: &T) -> u64 {
+        let mut h = FxHasher::default();
+        x.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_hashers() {
+        assert_eq!(hash_of(&"wire"), hash_of(&"wire"));
+        assert_eq!(hash_of(&(1u64, "a")), hash_of(&(1u64, "a")));
+        assert_ne!(hash_of(&"wire"), hash_of(&"input"));
+    }
+
+    #[test]
+    fn unaligned_tails_are_hashed() {
+        // 9 bytes: one full word plus a 1-byte tail.
+        assert_ne!(hash_of(&[0u8; 9][..]), hash_of(&[1u8; 9][..]));
+    }
+
+    #[test]
+    fn collections_work() {
+        let mut m: FxHashMap<&str, u32> = FxHashMap::default();
+        m.insert("a", 1);
+        assert_eq!(m.get("a"), Some(&1));
+        let s: FxHashSet<u32> = [1, 2, 3].into_iter().collect();
+        assert!(s.contains(&2));
+    }
+}

@@ -50,10 +50,10 @@ impl Iterator for Interleavings {
                 let mut out = Vec::with_capacity(nl + nr);
                 for &choice in &prefix {
                     if choice == 0 {
-                        out.push(self.left.at(li + 1).expect("left index in range").clone());
+                        out.push(*self.left.at(li + 1).expect("left index in range"));
                         li += 1;
                     } else {
-                        out.push(self.right.at(ri + 1).expect("right index in range").clone());
+                        out.push(*self.right.at(ri + 1).expect("right index in range"));
                         ri += 1;
                     }
                 }

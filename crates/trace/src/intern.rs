@@ -1,0 +1,115 @@
+//! The global event interner.
+//!
+//! Every [`Event`](crate::Event) is a communication `c.m` drawn from the
+//! finite alphabet of the model under study, and the same communication
+//! recurs in millions of traces. Interning gives each distinct
+//! `(channel, value)` pair one immortal [`EventData`] record; an `Event`
+//! is then a single pointer, so copying an event is free, equality is a
+//! pointer comparison, and hashing reuses a precomputed 64-bit digest.
+//!
+//! Invariants (relied on throughout the crate; see `DESIGN.md`):
+//!
+//! * **Stability** — an interned record is never moved or freed, so the
+//!   `&'static` references handed out stay valid for the process
+//!   lifetime. Records are `Box::leak`ed; the leak is bounded by the
+//!   number of *distinct* events, which is finite for every workload
+//!   (alphabet × message universe).
+//! * **Identity** — two `Event`s are equal iff their data pointers are
+//!   equal; the interner guarantees one record per `(channel, value)`.
+//! * **Determinism** — `content_hash` is computed with the unseeded
+//!   [`FxHasher`](crate::fx::FxHasher) from the channel and value alone,
+//!   so hashes (and therefore trace hashes and hash-set behaviour) do
+//!   not depend on the order in which threads first intern events.
+//! * The sequence number `id` records interning order. It is unique
+//!   within the process but **not** stable across runs or threads —
+//!   use it for diagnostics, never for ordering or hashing.
+
+use std::sync::{OnceLock, RwLock};
+
+use crate::fx::{FxHashMap, FxHasher};
+use crate::{Channel, Value};
+
+/// The immortal record backing one distinct event.
+#[derive(Debug)]
+pub(crate) struct EventData {
+    /// The channel the message passed on.
+    pub(crate) channel: Channel,
+    /// The message value.
+    pub(crate) value: Value,
+    /// Deterministic digest of `(channel, value)` under FxHash.
+    pub(crate) content_hash: u64,
+    /// Interning sequence number (diagnostics only).
+    pub(crate) id: u32,
+}
+
+type Table = RwLock<FxHashMap<(Channel, Value), &'static EventData>>;
+
+fn table() -> &'static Table {
+    static TABLE: OnceLock<Table> = OnceLock::new();
+    TABLE.get_or_init(|| RwLock::new(FxHashMap::default()))
+}
+
+/// Interns `(channel, value)`, returning the canonical record.
+pub(crate) fn intern(channel: Channel, value: Value) -> &'static EventData {
+    let key = (channel, value);
+    if let Some(data) = table().read().expect("interner lock").get(&key) {
+        return data;
+    }
+    let mut map = table().write().expect("interner lock");
+    if let Some(data) = map.get(&key) {
+        return data; // raced: another thread interned it first
+    }
+    let content_hash = {
+        use std::hash::{Hash, Hasher};
+        let mut h = FxHasher::default();
+        key.hash(&mut h);
+        h.finish()
+    };
+    let id = u32::try_from(map.len()).expect("interner capacity");
+    let data: &'static EventData = Box::leak(Box::new(EventData {
+        channel: key.0.clone(),
+        value: key.1.clone(),
+        content_hash,
+        id,
+    }));
+    map.insert(key, data);
+    data
+}
+
+/// Number of distinct events interned so far (diagnostics).
+pub fn interned_events() -> usize {
+    table().read().expect("interner lock").len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = intern(Channel::simple("itest_wire"), Value::nat(3));
+        let b = intern(Channel::simple("itest_wire"), Value::nat(3));
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a.content_hash, b.content_hash);
+    }
+
+    #[test]
+    fn distinct_pairs_get_distinct_records() {
+        let a = intern(Channel::simple("itest_a"), Value::nat(0));
+        let b = intern(Channel::simple("itest_a"), Value::nat(1));
+        let c = intern(Channel::simple("itest_b"), Value::nat(0));
+        assert!(!std::ptr::eq(a, b));
+        assert!(!std::ptr::eq(a, c));
+        assert_ne!(a.id, b.id);
+    }
+
+    #[test]
+    fn content_hash_ignores_interning_order() {
+        // The digest is a pure function of channel and value.
+        use std::hash::{Hash, Hasher};
+        let d = intern(Channel::indexed("itest_col", 2), Value::sym("ACK"));
+        let mut h = crate::fx::FxHasher::default();
+        (Channel::indexed("itest_col", 2), Value::sym("ACK")).hash(&mut h);
+        assert_eq!(d.content_hash, h.finish());
+    }
+}

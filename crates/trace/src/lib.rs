@@ -46,8 +46,11 @@
 mod channel;
 mod display;
 mod event;
+pub mod fx;
 mod history;
 mod interleave;
+mod intern;
+mod naive;
 mod seq;
 mod trace;
 mod traceset;
@@ -56,8 +59,11 @@ mod value;
 pub use channel::{Channel, ChannelSet};
 pub use display::timeline;
 pub use event::Event;
+pub use fx::{FxHashMap, FxHashSet};
 pub use history::History;
 pub use interleave::{interleave_pair, Interleavings};
+pub use intern::interned_events;
+pub use naive::NaiveTraceSet;
 pub use seq::Seq;
 pub use trace::Trace;
 pub use traceset::TraceSet;

@@ -7,10 +7,57 @@
 //! (omitting all communications on channels of `C`), the projection
 //! `ch(s)(c)` of the messages passed on one channel, and the full history
 //! map `ch(s)`.
+//!
+//! Representation: a trace is a *view of a shared buffer* — an
+//! `Arc<Buf>` holding the events plus a running chain of 64-bit content
+//! hashes, and a length. Cloning a trace, taking a prefix (`take`,
+//! `prefixes`), hashing it, and extending it along an already-recorded
+//! continuation (`snoc` of the event the buffer already holds next) are
+//! all O(1); every prefix of a trace shares its storage. This is what
+//! lets [`TraceSet`](crate::TraceSet) hold millions of prefix-closed
+//! traces without quadratic copying.
 
+use std::cmp::Ordering;
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
+use crate::fx::fx_mix;
 use crate::{Channel, ChannelSet, Event, History, Seq, Value};
+
+/// Chain-hash of the empty trace (an arbitrary odd constant; every
+/// non-empty chain hash is derived from it via [`fx_mix`]).
+const EMPTY_HASH: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The shared storage behind one or more [`Trace`] views.
+#[derive(Debug)]
+struct Buf {
+    /// The recorded events, longest extension first recorded wins.
+    events: Vec<Event>,
+    /// `hashes[i]` is the chain hash of the prefix `events[..=i]`.
+    hashes: Vec<u64>,
+}
+
+impl Buf {
+    /// Chain hash of the prefix of length `n`.
+    #[inline]
+    fn hash_at(&self, n: usize) -> u64 {
+        if n == 0 {
+            EMPTY_HASH
+        } else {
+            self.hashes[n - 1]
+        }
+    }
+}
+
+fn empty_buf() -> Arc<Buf> {
+    static EMPTY: OnceLock<Arc<Buf>> = OnceLock::new();
+    Arc::clone(EMPTY.get_or_init(|| {
+        Arc::new(Buf {
+            events: Vec::new(),
+            hashes: Vec::new(),
+        })
+    }))
+}
 
 /// A finite trace `⟨c₁.m₁, …, cₙ.mₙ⟩` of communications.
 ///
@@ -33,24 +80,41 @@ use crate::{Channel, ChannelSet, Event, History, Seq, Value};
 /// assert_eq!(h.on(&Channel::simple("wire")).to_string(), "<27, 0>");
 /// assert_eq!(h.on(&Channel::simple("output")).to_string(), "<>");
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone)]
 pub struct Trace {
-    events: Seq<Event>,
+    buf: Arc<Buf>,
+    len: u32,
 }
 
 impl Trace {
     /// The empty trace `<>` — a possible behaviour of every process.
     pub fn empty() -> Self {
         Trace {
-            events: Seq::empty(),
+            buf: empty_buf(),
+            len: 0,
+        }
+    }
+
+    fn from_vec(events: Vec<Event>) -> Self {
+        if events.is_empty() {
+            return Trace::empty();
+        }
+        let mut hashes = Vec::with_capacity(events.len());
+        let mut h = EMPTY_HASH;
+        for e in &events {
+            h = fx_mix(h, e.content_hash());
+            hashes.push(h);
+        }
+        let len = u32::try_from(events.len()).expect("trace length fits u32");
+        Trace {
+            buf: Arc::new(Buf { events, hashes }),
+            len,
         }
     }
 
     /// Builds a trace from any sequence of events.
     pub fn from_events<I: IntoIterator<Item = Event>>(events: I) -> Self {
-        Trace {
-            events: events.into_iter().collect(),
-        }
+        Trace::from_vec(events.into_iter().collect())
     }
 
     /// Convenience constructor from `(channel-name, value)` pairs on
@@ -66,90 +130,132 @@ impl Trace {
 
     /// `#s` — the number of communications recorded.
     pub fn len(&self) -> usize {
-        self.events.len()
+        self.len as usize
     }
 
     /// True if this is the empty trace.
     pub fn is_empty(&self) -> bool {
-        self.events.is_empty()
+        self.len == 0
     }
 
     /// The `i`th communication, **1-based** as in the paper.
     pub fn at(&self, i: usize) -> Option<&Event> {
-        self.events.at(i)
+        if i == 0 {
+            None
+        } else {
+            self.events().get(i - 1)
+        }
     }
 
     /// The first communication, if any.
     pub fn head(&self) -> Option<&Event> {
-        self.events.head()
+        self.events().first()
     }
 
     /// The trace after its first communication; `None` on `<>`.
     pub fn tail(&self) -> Option<Trace> {
-        self.events.tail().map(|events| Trace { events })
+        if self.is_empty() {
+            None
+        } else {
+            Some(Trace::from_vec(self.events()[1..].to_vec()))
+        }
     }
 
     /// The last communication, if any.
     pub fn last(&self) -> Option<&Event> {
-        self.events.last()
+        self.events().last()
     }
 
     /// Iterates over the events front to back.
     pub fn iter(&self) -> std::slice::Iter<'_, Event> {
-        self.events.iter()
+        self.events().iter()
     }
 
     /// A view of the underlying events.
     pub fn events(&self) -> &[Event] {
-        self.events.as_slice()
+        &self.buf.events[..self.len as usize]
     }
 
-    /// The underlying generic sequence.
-    pub fn as_seq(&self) -> &Seq<Event> {
-        &self.events
+    /// The structural 64-bit chain hash of this trace: a deterministic
+    /// function of the event contents, shared by every copy and
+    /// recomputed incrementally on extension. O(1).
+    #[inline]
+    pub fn hash64(&self) -> u64 {
+        self.buf.hash_at(self.len as usize)
     }
 
     /// `e^s` — the trace with `e` prepended (the shape produced by the
     /// prefix operator `(a → P)` of §3.1).
     pub fn cons(&self, e: Event) -> Trace {
-        Trace {
-            events: self.events.cons(e),
-        }
+        let mut events = Vec::with_capacity(self.len() + 1);
+        events.push(e);
+        events.extend_from_slice(self.events());
+        Trace::from_vec(events)
     }
 
     /// The trace with `e` appended — how a recorder extends a trace as a
-    /// run proceeds.
+    /// run proceeds. If the shared buffer already records `e` as the next
+    /// communication, the extension is O(1) and allocation-free.
     pub fn snoc(&self, e: Event) -> Trace {
-        Trace {
-            events: self.events.snoc(e),
+        let n = self.len as usize;
+        if let Some(next) = self.buf.events.get(n) {
+            if *next == e {
+                return Trace {
+                    buf: Arc::clone(&self.buf),
+                    len: self.len + 1,
+                };
+            }
         }
+        let mut events = Vec::with_capacity(n + 1);
+        events.extend_from_slice(self.events());
+        events.push(e);
+        Trace::from_vec(events)
     }
 
     /// Concatenation `s⌢t`.
     pub fn concat(&self, other: &Trace) -> Trace {
-        Trace {
-            events: self.events.concat(&other.events),
+        if other.is_empty() {
+            return self.clone();
         }
+        if self.is_empty() {
+            return other.clone();
+        }
+        let mut events = Vec::with_capacity(self.len() + other.len());
+        events.extend_from_slice(self.events());
+        events.extend_from_slice(other.events());
+        Trace::from_vec(events)
     }
 
     /// The prefix order on traces: `s ≤ t ⇔ ∃u. s⌢u = t`.
     pub fn is_prefix_of(&self, other: &Trace) -> bool {
-        self.events.is_prefix_of(&other.events)
+        let n = self.len as usize;
+        if n > other.len() {
+            return false;
+        }
+        if Arc::ptr_eq(&self.buf, &other.buf) {
+            return true;
+        }
+        // Chain hashes give a near-certain fast answer; confirm on match.
+        self.hash64() == other.buf.hash_at(n) && self.events() == &other.buf.events[..n]
     }
 
-    /// The prefix consisting of the first `n` events.
+    /// The prefix consisting of the first `n` events. O(1): the result
+    /// shares this trace's buffer.
     pub fn take(&self, n: usize) -> Trace {
         Trace {
-            events: self.events.take(n),
+            buf: Arc::clone(&self.buf),
+            len: self.len.min(u32::try_from(n).unwrap_or(u32::MAX)),
         }
     }
 
-    /// All prefixes, shortest first (`#s + 1` of them).
+    /// All prefixes, shortest first (`#s + 1` of them). O(#s): every
+    /// prefix shares this trace's buffer.
     pub fn prefixes(&self) -> Vec<Trace> {
-        self.events
-            .prefixes()
-            .into_iter()
-            .map(|events| Trace { events })
+        (0..=self.len)
+            .map(|len| Trace {
+                buf: Arc::clone(&self.buf),
+                len,
+            })
             .collect()
     }
 
@@ -170,9 +276,14 @@ impl Trace {
     /// assert_eq!(s.restrict(&hidden).to_string(), "<input.1, output.1>");
     /// ```
     pub fn restrict(&self, hidden: &ChannelSet) -> Trace {
-        Trace {
-            events: self.events.filter(|e| !hidden.contains(e.channel())),
+        if self.iter().all(|e| !hidden.contains(e.channel())) {
+            return self.clone();
         }
+        Trace::from_events(
+            self.iter()
+                .filter(|e| !hidden.contains(e.channel()))
+                .copied(),
+        )
     }
 
     /// The complement of [`restrict`](Self::restrict): keeps only the
@@ -180,16 +291,13 @@ impl Trace {
     /// definition of §3.1 is `project` onto the *other* side's channels; we
     /// provide both directions because both readings occur in the paper.
     pub fn project(&self, kept: &ChannelSet) -> Trace {
-        Trace {
-            events: self.events.filter(|e| kept.contains(e.channel())),
-        }
+        Trace::from_events(self.iter().filter(|e| kept.contains(e.channel())).copied())
     }
 
     /// `ch(s)(c)` — the sequence of messages whose communication along `c`
     /// is recorded in `s` (§3.3).
     pub fn messages_on(&self, c: &Channel) -> Seq<Value> {
-        self.events
-            .iter()
+        self.iter()
             .filter(|e| e.channel() == c)
             .map(|e| e.value().clone())
             .collect()
@@ -202,12 +310,57 @@ impl Trace {
 
     /// The set of channels on which this trace communicates.
     pub fn channels(&self) -> ChannelSet {
-        self.events.iter().map(|e| e.channel().clone()).collect()
+        self.iter().map(|e| e.channel().clone()).collect()
     }
 
     /// True if every communication in the trace is on a channel of `alphabet`.
     pub fn is_over(&self, alphabet: &ChannelSet) -> bool {
-        self.events.iter().all(|e| alphabet.contains(e.channel()))
+        self.iter().all(|e| alphabet.contains(e.channel()))
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::empty()
+    }
+}
+
+impl PartialEq for Trace {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len != other.len {
+            return false;
+        }
+        if Arc::ptr_eq(&self.buf, &other.buf) {
+            return true;
+        }
+        self.hash64() == other.hash64() && self.events() == other.events()
+    }
+}
+
+impl Eq for Trace {}
+
+impl std::hash::Hash for Trace {
+    #[inline]
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash64());
+    }
+}
+
+impl PartialOrd for Trace {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Trace {
+    /// Lexicographic by events under the semantic event order — matching
+    /// the order the original `Vec<Event>` representation derived, so
+    /// sorted enumerations and displays are unchanged.
+    fn cmp(&self, other: &Self) -> Ordering {
+        if Arc::ptr_eq(&self.buf, &other.buf) && self.len == other.len {
+            return Ordering::Equal;
+        }
+        self.events().cmp(other.events())
     }
 }
 
@@ -222,13 +375,26 @@ impl IntoIterator for Trace {
     type IntoIter = std::vec::IntoIter<Event>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.events.into_vec().into_iter()
+        self.events().to_vec().into_iter()
+    }
+}
+
+impl fmt::Debug for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Trace({self})")
     }
 }
 
 impl fmt::Display for Trace {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        self.events.fmt(f)
+        write!(f, "<")?;
+        for (i, e) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{e}")?;
+        }
+        write!(f, ">")
     }
 }
 
@@ -323,7 +489,7 @@ mod tests {
     fn cons_and_snoc() {
         let t = Trace::parse_like([("b", nat(2))]);
         let e = Event::new(Channel::simple("a"), nat(1));
-        assert_eq!(t.cons(e.clone()).to_string(), "<a.1, b.2>");
+        assert_eq!(t.cons(e).to_string(), "<a.1, b.2>");
         assert_eq!(t.snoc(e).to_string(), "<b.2, a.1>");
     }
 
@@ -334,5 +500,42 @@ mod tests {
         assert_eq!(t.at(2).unwrap().to_string(), "b.2");
         assert!(t.at(0).is_none());
         assert!(t.at(3).is_none());
+    }
+
+    #[test]
+    fn prefixes_share_storage_and_resnoc_is_shared() {
+        let t = Trace::parse_like([("a", nat(1)), ("b", nat(2)), ("c", nat(3))]);
+        let p = t.take(2);
+        assert_eq!(p.to_string(), "<a.1, b.2>");
+        // Re-appending the event the buffer already records next must
+        // yield a view of the same buffer (the O(1) snoc fast path).
+        let q = p.snoc(Event::new(Channel::simple("c"), nat(3)));
+        assert_eq!(q, t);
+        assert!(Arc::ptr_eq(&q.buf, &t.buf));
+        // Diverging from the recorded continuation copies.
+        let r = p.snoc(Event::new(Channel::simple("d"), nat(4)));
+        assert_eq!(r.to_string(), "<a.1, b.2, d.4>");
+        assert!(!Arc::ptr_eq(&r.buf, &t.buf));
+    }
+
+    #[test]
+    fn chain_hash_agrees_between_shared_and_rebuilt_traces() {
+        let t = Trace::parse_like([("a", nat(1)), ("b", nat(2)), ("c", nat(3))]);
+        let shared_prefix = t.take(2);
+        let rebuilt = Trace::parse_like([("a", nat(1)), ("b", nat(2))]);
+        assert_eq!(shared_prefix, rebuilt);
+        assert_eq!(shared_prefix.hash64(), rebuilt.hash64());
+        assert_eq!(Trace::empty().hash64(), Trace::from_events([]).hash64());
+    }
+
+    #[test]
+    fn ordering_matches_event_lexicographic_order() {
+        let empty = Trace::empty();
+        let a = Trace::parse_like([("a", nat(1))]);
+        let ab = Trace::parse_like([("a", nat(1)), ("b", nat(2))]);
+        let b = Trace::parse_like([("b", nat(2))]);
+        let mut v = vec![b.clone(), ab.clone(), empty.clone(), a.clone()];
+        v.sort();
+        assert_eq!(v, vec![empty, a, ab, b]);
     }
 }

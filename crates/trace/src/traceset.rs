@@ -10,10 +10,21 @@
 //! parallel composition `P ‖_{X,Y} Q` (computed generatively by
 //! synchronised merge rather than via the unbounded padding operator `P↑C`;
 //! the two agree on traces over `X ∪ Y` — see the crate tests).
+//!
+//! Representation: an [`FxHashSet`] keyed by the traces' precomputed
+//! chain hashes, so membership tests, closure maintenance, and the child
+//! index behind `parallel` are O(1) expected per trace instead of a
+//! lexicographic comparison per tree level. Public iteration
+//! ([`iter`](TraceSet::iter), [`Display`]) is in sorted trace order, so
+//! everything user-visible stays deterministic; internal hot loops use
+//! the unordered set directly. The previous `BTreeSet`-backed
+//! implementation is retained verbatim as
+//! [`NaiveTraceSet`](crate::NaiveTraceSet) and serves as the reference
+//! oracle for the equivalence harness in `tests/equiv_naive.rs`.
 
-use std::collections::BTreeSet;
 use std::fmt;
 
+use crate::fx::{FxHashMap, FxHashSet};
 use crate::{Channel, ChannelSet, Event, Trace};
 
 /// A finite, prefix-closed set of traces.
@@ -31,13 +42,13 @@ use crate::{Channel, ChannelSet, Event, Trace};
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceSet {
-    traces: BTreeSet<Trace>,
+    traces: FxHashSet<Trace>,
 }
 
 impl TraceSet {
     /// `{<>}` — the denotation of `STOP`, the least prefix closure.
     pub fn stop() -> Self {
-        let mut traces = BTreeSet::new();
+        let mut traces = FxHashSet::default();
         traces.insert(Trace::empty());
         TraceSet { traces }
     }
@@ -63,6 +74,8 @@ impl TraceSet {
     }
 
     /// Inserts `t` together with all its prefixes, maintaining closure.
+    /// O(#t) expected: prefixes share `t`'s buffer and each membership
+    /// probe is a hash lookup.
     pub fn insert_closed(&mut self, t: Trace) {
         // Walk prefixes longest-first; stop as soon as one is present,
         // since the set is already closed below it.
@@ -86,19 +99,32 @@ impl TraceSet {
         self.traces.is_empty()
     }
 
-    /// Membership test.
+    /// Membership test. O(1) expected.
     pub fn contains(&self, t: &Trace) -> bool {
         self.traces.contains(t)
     }
 
     /// Iterates over the traces in sorted order.
+    ///
+    /// Sorting makes every user-visible enumeration deterministic; code
+    /// that only needs *some* order should prefer
+    /// [`iter_unordered`](Self::iter_unordered).
     pub fn iter(&self) -> impl Iterator<Item = &Trace> {
+        let mut out: Vec<&Trace> = self.traces.iter().collect();
+        out.sort();
+        out.into_iter()
+    }
+
+    /// Iterates over the traces in unspecified (hash) order, without the
+    /// O(n log n) sort of [`iter`](Self::iter).
+    pub fn iter_unordered(&self) -> impl Iterator<Item = &Trace> {
         self.traces.iter()
     }
 
     /// Verifies the two §3.1 closure conditions. The invariant is
     /// maintained by construction; this is used by tests and debug
-    /// assertions.
+    /// assertions. O(n) expected: each member's immediate parent is an
+    /// O(1) shared-buffer view probed with one hash lookup.
     pub fn is_prefix_closed(&self) -> bool {
         self.traces.contains(&Trace::empty())
             && self
@@ -109,32 +135,54 @@ impl TraceSet {
 
     /// `(a → P) = {<>} ∪ {a^s | s ∈ P}` — §3.1.
     pub fn prefixed(&self, a: Event) -> TraceSet {
-        let mut traces = BTreeSet::new();
+        let mut traces = FxHashSet::with_capacity_and_hasher(self.len() + 1, Default::default());
         traces.insert(Trace::empty());
         for s in &self.traces {
-            traces.insert(s.cons(a.clone()));
+            traces.insert(s.cons(a));
         }
         TraceSet { traces }
     }
 
     /// Binary union — the denotation of `P | Q` (§3.2). Unions of prefix
-    /// closures are prefix closures.
+    /// closures are prefix closures. Clones trace *handles* (an `Arc`
+    /// bump each), never event storage.
     pub fn union(&self, other: &TraceSet) -> TraceSet {
-        TraceSet {
-            traces: self.traces.union(&other.traces).cloned().collect(),
+        // Start from the larger operand so the per-insert work covers
+        // only the smaller one.
+        let (big, small) = if self.len() >= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut traces = big.traces.clone();
+        for t in &small.traces {
+            if !traces.contains(t) {
+                traces.insert(t.clone());
+            }
         }
+        TraceSet { traces }
     }
 
     /// Binary intersection. Intersections of prefix closures are prefix
     /// closures (both contain `<>`).
     pub fn intersection(&self, other: &TraceSet) -> TraceSet {
+        let (big, small) = if self.len() >= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
         TraceSet {
-            traces: self.traces.intersection(&other.traces).cloned().collect(),
+            traces: small
+                .traces
+                .iter()
+                .filter(|t| big.traces.contains(*t))
+                .cloned()
+                .collect(),
         }
     }
 
     /// Subset test — trace refinement. `P ⊆ Q` means every behaviour of
-    /// `P` is a behaviour of `Q`.
+    /// `P` is a behaviour of `Q`. O(|P|) expected.
     pub fn is_subset(&self, other: &TraceSet) -> bool {
         self.traces.is_subset(&other.traces)
     }
@@ -179,35 +227,31 @@ impl TraceSet {
         // being enumerated and discarded.
         let kids_p = self.children_index();
         let kids_q = other.children_index();
-        let mut out = BTreeSet::new();
+        let mut out = FxHashSet::default();
         let mut queue = vec![(Trace::empty(), Trace::empty(), Trace::empty())];
         out.insert(Trace::empty());
         while let Some((s, pp, qq)) = queue.pop() {
             let empty = Vec::new();
             let p_next = kids_p.get(&pp).unwrap_or(&empty);
             let q_next = kids_q.get(&qq).unwrap_or(&empty);
-            for e in p_next {
+            for &e in p_next {
                 let joint = sync.contains(e.channel());
-                if joint && !q_next.contains(e) {
+                if joint && !q_next.contains(&e) {
                     continue;
                 }
-                let s2 = s.snoc(e.clone());
+                let s2 = s.snoc(e);
                 if out.insert(s2.clone()) {
-                    let qq2 = if joint {
-                        qq.snoc(e.clone())
-                    } else {
-                        qq.clone()
-                    };
-                    queue.push((s2, pp.snoc(e.clone()), qq2));
+                    let qq2 = if joint { qq.snoc(e) } else { qq.clone() };
+                    queue.push((s2, pp.snoc(e), qq2));
                 }
             }
-            for e in q_next {
+            for &e in q_next {
                 if sync.contains(e.channel()) {
                     continue; // joint steps were taken from the p side
                 }
-                let s2 = s.snoc(e.clone());
+                let s2 = s.snoc(e);
                 if out.insert(s2.clone()) {
-                    queue.push((s2, pp.clone(), qq.snoc(e.clone())));
+                    queue.push((s2, pp.clone(), qq.snoc(e)));
                 }
             }
         }
@@ -218,16 +262,13 @@ impl TraceSet {
 
     /// Index mapping each member trace to its one-step extensions' final
     /// events — the prefix-tree child relation. Built once per parallel
-    /// composition.
-    fn children_index(&self) -> std::collections::BTreeMap<Trace, Vec<Event>> {
-        let mut index: std::collections::BTreeMap<Trace, Vec<Event>> =
-            std::collections::BTreeMap::new();
+    /// composition; O(n) expected, since each parent is an O(1) view of
+    /// the child's buffer.
+    fn children_index(&self) -> FxHashMap<Trace, Vec<Event>> {
+        let mut index: FxHashMap<Trace, Vec<Event>> = FxHashMap::default();
         for t in &self.traces {
-            if let Some(last) = t.last() {
-                index
-                    .entry(t.take(t.len() - 1))
-                    .or_default()
-                    .push(last.clone());
+            if let Some(&last) = t.last() {
+                index.entry(t.take(t.len() - 1)).or_default().push(last);
             }
         }
         index
@@ -243,7 +284,7 @@ impl TraceSet {
     /// composition, `P ‖_{X,Y} Q = (P↑(Y−X)) ∩ (Q↑(X−Y))`, against the
     /// on-the-fly implementation of [`parallel`](Self::parallel).
     pub fn pad(&self, pad_events: &[Event], depth: usize) -> TraceSet {
-        let mut out = BTreeSet::new();
+        let mut out = FxHashSet::default();
         // All pad sequences up to the remaining length, interleaved with
         // each member trace.
         for t in &self.traces {
@@ -276,17 +317,24 @@ impl TraceSet {
     }
 
     /// The maximal traces: members that are not a strict prefix of another
-    /// member. These summarise the set compactly.
+    /// member. These summarise the set compactly. Returned in sorted
+    /// order. O(n log m) expected (m maximal members): since the set is
+    /// prefix-closed, a member is a strict prefix of another iff it is
+    /// some member's immediate parent.
     pub fn maximal_traces(&self) -> Vec<&Trace> {
-        self.traces
+        let parents: FxHashSet<Trace> = self
+            .traces
             .iter()
-            .filter(|t| {
-                !self
-                    .traces
-                    .iter()
-                    .any(|u| t.is_prefix_of(u) && u.len() > t.len())
-            })
-            .collect()
+            .filter(|t| !t.is_empty())
+            .map(|t| t.take(t.len() - 1))
+            .collect();
+        let mut out: Vec<&Trace> = self
+            .traces
+            .iter()
+            .filter(|t| !parents.contains(*t))
+            .collect();
+        out.sort();
+        out
     }
 
     /// The length of the longest member trace.
@@ -297,6 +345,7 @@ impl TraceSet {
     /// The set of channels mentioned by any member trace.
     pub fn channels(&self) -> ChannelSet {
         let mut cs = ChannelSet::new();
+        // Maximal traces cover every channel in a prefix-closed set.
         for t in &self.traces {
             cs.extend(t.iter().map(|e| e.channel().clone()));
         }
@@ -304,15 +353,16 @@ impl TraceSet {
     }
 
     /// The set of events enabled after trace `t`: events `e` with
-    /// `t⌢⟨e⟩` in the set. Drives simulation and the operational/
-    /// denotational agreement tests.
+    /// `t⌢⟨e⟩` in the set, in sorted order. Drives simulation and the
+    /// operational/denotational agreement tests.
     pub fn enabled_after(&self, t: &Trace) -> Vec<Event> {
         let mut out = Vec::new();
         for u in &self.traces {
             if u.len() == t.len() + 1 && t.is_prefix_of(u) {
-                out.push(u.last().expect("non-empty by length").clone());
+                out.push(*u.last().expect("non-empty by length"));
             }
         }
+        out.sort();
         out
     }
 
@@ -332,8 +382,8 @@ fn sequences_over(events: &[Event], max_len: usize) -> Vec<Trace> {
     for _ in 0..max_len {
         let mut next = Vec::new();
         for t in &frontier {
-            for e in events {
-                let ext = t.snoc(e.clone());
+            for &e in events {
+                let ext = t.snoc(e);
                 out.push(ext.clone());
                 next.push(ext);
             }
@@ -358,7 +408,7 @@ impl FromIterator<Trace> for TraceSet {
 impl fmt::Display for TraceSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{{")?;
-        for t in &self.traces {
+        for t in self.iter() {
             writeln!(f, "  {t}")?;
         }
         write!(f, "}}")
@@ -416,8 +466,8 @@ mod tests {
         let p1 = TraceSet::closure_of([tr(&[("b", 1)])]);
         let p2 = TraceSet::closure_of([tr(&[("c", 2)])]);
         let a = ev("a", 0);
-        let lhs = p1.union(&p2).prefixed(a.clone());
-        let rhs = p1.prefixed(a.clone()).union(&p2.prefixed(a));
+        let lhs = p1.union(&p2).prefixed(a);
+        let rhs = p1.prefixed(a).union(&p2.prefixed(a));
         assert_eq!(lhs, rhs);
     }
 
@@ -555,7 +605,7 @@ mod tests {
         let events_on = |ts: &TraceSet, cs: &ChannelSet| -> Vec<Event> {
             let mut out: Vec<Event> = ts
                 .iter()
-                .flat_map(|t| t.iter().cloned())
+                .flat_map(|t| t.iter().copied())
                 .filter(|e| cs.contains(e.channel()))
                 .collect();
             out.sort();
@@ -570,5 +620,40 @@ mod tests {
 
         let by_implementation = p.parallel(&x, &q, &y).up_to_depth(depth);
         assert_eq!(by_definition, by_implementation);
+    }
+
+    #[test]
+    fn iteration_is_sorted_and_deterministic() {
+        let p = TraceSet::closure_of([
+            tr(&[("c", 3), ("a", 1)]),
+            tr(&[("a", 1), ("b", 2)]),
+            tr(&[("b", 2)]),
+        ]);
+        let listed: Vec<String> = p.iter().map(|t| t.to_string()).collect();
+        // Lexicographic trace order: prefixes first, then by event order.
+        assert_eq!(
+            listed,
+            ["<>", "<a.1>", "<a.1, b.2>", "<b.2>", "<c.3>", "<c.3, a.1>",]
+        );
+    }
+
+    #[test]
+    fn large_closure_is_near_linear() {
+        // Satellite regression test: closing over one 10_000-event trace
+        // plus its siblings used to be quadratic (every prefix copied in
+        // full). With shared buffers this builds 10_001 views of one
+        // buffer and must finish essentially instantly.
+        let long: Trace = (0..10_000)
+            .map(|i| ev("deep", i % 7))
+            .collect::<Vec<_>>()
+            .into_iter()
+            .collect();
+        let set = TraceSet::closure_of([long.clone()]);
+        assert_eq!(set.len(), 10_001);
+        assert!(set.is_prefix_closed());
+        assert_eq!(set.depth(), 10_000);
+        let max = set.maximal_traces();
+        assert_eq!(max.len(), 1);
+        assert_eq!(*max[0], long);
     }
 }

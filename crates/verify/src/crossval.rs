@@ -11,6 +11,7 @@ use csp_assert::AssertError;
 use csp_lang::{Env, Process};
 use csp_proof::{scripts, Judgement};
 use csp_semantics::{compare, Semantics, Universe};
+use rayon::prelude::*;
 
 use crate::{SatChecker, SatResult};
 
@@ -42,26 +43,33 @@ impl CrossValidation {
 /// Fails if a proof does not check (a broken reproduction) or an
 /// assertion cannot be evaluated.
 pub fn cross_validate_scripts(depth: usize) -> Result<Vec<CrossValidation>, AssertError> {
-    let mut out = Vec::new();
-    for script in scripts::all_scripts() {
-        let report = script
-            .check()
-            .unwrap_or_else(|e| panic!("proof `{}` failed to check: {e}", script.name));
-        let Judgement::Sat { process, assertion } = &script.goal else {
-            continue; // all shipped scripts have sat goals
-        };
-        let checker = SatChecker::new(&script.context.defs, &script.context.universe)
-            .with_env(script.context.env.clone())
-            .with_internal_budget_factor(4);
-        let model_result = checker.check(process, assertion, depth)?;
-        out.push(CrossValidation {
-            script: script.name,
-            claim: script.goal.to_string(),
-            proof_steps: report.rule_count(),
-            model_result,
-        });
-    }
-    Ok(out)
+    // Scripts are independent (each carries its own context); check them
+    // concurrently, keeping the script order in the results.
+    let results: Vec<Option<Result<CrossValidation, AssertError>>> = scripts::all_scripts()
+        .into_par_iter()
+        .map(|script| {
+            let report = script
+                .check()
+                .unwrap_or_else(|e| panic!("proof `{}` failed to check: {e}", script.name));
+            let Judgement::Sat { process, assertion } = &script.goal else {
+                return None; // all shipped scripts have sat goals
+            };
+            let checker = SatChecker::new(&script.context.defs, &script.context.universe)
+                .with_env(script.context.env.clone())
+                .with_internal_budget_factor(4);
+            let model_result = match checker.check(process, assertion, depth) {
+                Ok(r) => r,
+                Err(e) => return Some(Err(e)),
+            };
+            Some(Ok(CrossValidation {
+                script: script.name,
+                claim: script.goal.to_string(),
+                proof_steps: report.rule_count(),
+                model_result,
+            }))
+        })
+        .collect();
+    results.into_iter().flatten().collect()
 }
 
 /// Experiment E7 — the §4 defect: in the prefix-closure model,

@@ -21,6 +21,7 @@ use csp_runtime::{
     Scheduler, Supervision,
 };
 use csp_semantics::Universe;
+use rayon::prelude::*;
 
 /// What to sweep: the cartesian product of `seeds` and `plans`.
 #[derive(Debug, Clone)]
@@ -165,9 +166,17 @@ pub fn fault_conformance(
     sweep: &FaultSweep,
 ) -> Result<FaultConformance, FaultConfError> {
     let exec = Executor::new(defs, universe);
-    let mut runs = Vec::with_capacity(sweep.seeds.len() * sweep.plans.len());
-    for (plan_idx, plan) in sweep.plans.iter().enumerate() {
-        for &seed in &sweep.seeds {
+    // The (plan, seed) pairs are independent runs: fan them out, seeds
+    // varying fastest so `runs` keeps its documented order.
+    let pairs: Vec<(usize, &FaultPlan, u64)> = sweep
+        .plans
+        .iter()
+        .enumerate()
+        .flat_map(|(plan_idx, plan)| sweep.seeds.iter().map(move |&s| (plan_idx, plan, s)))
+        .collect();
+    let runs: Vec<Result<DegradedRun, FaultConfError>> = pairs
+        .into_par_iter()
+        .map(|(plan_idx, plan, seed)| {
             let res = exec
                 .run(
                     process,
@@ -193,7 +202,7 @@ pub fn fault_conformance(
                 budget,
             )
             .map_err(FaultConfError::Eval)?;
-            runs.push(DegradedRun {
+            Ok(DegradedRun {
                 seed,
                 plan: plan_idx,
                 steps: res.steps,
@@ -201,10 +210,12 @@ pub fn fault_conformance(
                 recoveries: res.recoveries(),
                 outcome: res.outcome,
                 report,
-            });
-        }
-    }
-    Ok(FaultConformance { runs })
+            })
+        })
+        .collect();
+    Ok(FaultConformance {
+        runs: runs.into_iter().collect::<Result<_, _>>()?,
+    })
 }
 
 #[cfg(test)]

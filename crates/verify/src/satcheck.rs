@@ -14,6 +14,7 @@ use csp_assert::{AssertError, Assertion, EvalCtx, FuncTable};
 use csp_lang::{Definitions, Env, Process};
 use csp_semantics::{Config, Lts, Universe};
 use csp_trace::Trace;
+use rayon::prelude::*;
 
 /// The verdict of a bounded satisfaction check.
 #[derive(Debug, Clone)]
@@ -101,11 +102,21 @@ impl<'a> SatChecker<'a> {
         let traces = lts
             .traces_budgeted(&start, depth, depth * self.internal_budget_factor)
             .map_err(AssertError::Eval)?;
+        // Each moment is checked independently; fan out, then scan the
+        // verdicts in trace order so the reported counterexample is the
+        // same one the sequential loop would have found.
+        let traces: Vec<Trace> = traces.iter().cloned().collect();
+        let verdicts: Vec<Result<bool, AssertError>> = traces
+            .par_iter()
+            .map(|trace| {
+                let history = trace.history();
+                let ctx = EvalCtx::new(&self.env, &history, &self.funcs, self.universe);
+                ctx.assertion(assertion)
+            })
+            .collect();
         let mut checked = 0usize;
-        for trace in traces.iter() {
-            let history = trace.history();
-            let ctx = EvalCtx::new(&self.env, &history, &self.funcs, self.universe);
-            if !ctx.assertion(assertion)? {
+        for (trace, verdict) in traces.iter().zip(verdicts) {
+            if !verdict? {
                 return Ok(SatResult::Counterexample {
                     trace: trace.clone(),
                 });

@@ -15,6 +15,7 @@ use csp_assert::{
 use csp_lang::{channel_alphabet, ChanRef, Definition, Definitions, Env, Expr, Process, SetExpr};
 use csp_semantics::{fixpoint, Universe};
 use csp_trace::TraceSet;
+use rayon::prelude::*;
 
 use crate::gen::InstanceGen;
 use crate::{SatChecker, SatResult};
@@ -40,7 +41,9 @@ impl RuleReport {
     }
 }
 
-/// Validates all ten rules with `instances` instances each.
+/// Validates all ten rules with `instances` instances each. The rules
+/// run concurrently — each validator derives its own seed, so the
+/// reports are identical to a sequential run's.
 ///
 /// # Errors
 ///
@@ -50,18 +53,29 @@ pub fn validate_all_rules(
     seed: u64,
     instances: usize,
 ) -> Result<Vec<RuleReport>, csp_assert::AssertError> {
-    Ok(vec![
-        validate_triviality(seed, instances)?,
-        validate_consequence(seed.wrapping_add(1), instances)?,
-        validate_conjunction(seed.wrapping_add(2), instances)?,
-        validate_emptiness(seed.wrapping_add(3), instances)?,
-        validate_output(seed.wrapping_add(4), instances)?,
-        validate_input(seed.wrapping_add(5), instances)?,
-        validate_alternative(seed.wrapping_add(6), instances)?,
-        validate_parallelism(seed.wrapping_add(7), instances)?,
-        validate_hiding(seed.wrapping_add(8), instances)?,
-        validate_recursion(seed.wrapping_add(9), instances)?,
-    ])
+    type Validator = fn(u64, usize) -> Result<RuleReport, csp_assert::AssertError>;
+    const VALIDATORS: [Validator; 10] = [
+        validate_triviality,
+        validate_consequence,
+        validate_conjunction,
+        validate_emptiness,
+        validate_output,
+        validate_input,
+        validate_alternative,
+        validate_parallelism,
+        validate_hiding,
+        validate_recursion,
+    ];
+    let runs: Vec<(u64, Validator)> = VALIDATORS
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (seed.wrapping_add(i as u64), v))
+        .collect();
+    runs.into_par_iter()
+        .map(|(rule_seed, validate)| validate(rule_seed, instances))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .collect()
 }
 
 const DEPTH: usize = 4;
@@ -411,7 +425,8 @@ pub fn traceset_sat(
 ) -> Result<bool, csp_assert::AssertError> {
     let env = Env::new();
     let funcs = FuncTable::with_builtins();
-    for t in ts.iter() {
+    // Order-independent conjunction: skip the sorted iteration.
+    for t in ts.iter_unordered() {
         let h = t.history();
         let ctx = EvalCtx::new(&env, &h, &funcs, universe);
         if !ctx.assertion(r)? {

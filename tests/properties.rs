@@ -144,8 +144,8 @@ proptest! {
     /// The prefix operator distributes over union (§3.1 theorem).
     #[test]
     fn prefix_distributes_over_union(a in arb_traceset(), b in arb_traceset(), e in arb_event()) {
-        let lhs = a.union(&b).prefixed(e.clone());
-        let rhs = a.prefixed(e.clone()).union(&b.prefixed(e));
+        let lhs = a.union(&b).prefixed(e);
+        let rhs = a.prefixed(e).union(&b.prefixed(e));
         prop_assert_eq!(lhs, rhs);
     }
 
