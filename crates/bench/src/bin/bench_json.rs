@@ -10,7 +10,14 @@
 //! cargo run --release -p csp-bench --bin bench-json -- --out BENCH_baseline.json
 //! cargo run --release -p csp-bench --bin bench-json -- \
 //!     --compare BENCH_baseline.json --tolerance 0.30               # CI gate
+//! cargo run --release -p csp-bench --bin bench-json -- \
+//!     --metrics-out bench-events.jsonl                 # + span event log
 //! ```
+//!
+//! `--metrics-out` activates a shared collector across all workloads and
+//! writes the recorded span stream as JSONL, so the CI gate runs with
+//! observability enabled — the ±30% tolerance therefore also bounds the
+//! instrumentation overhead.
 
 use std::time::Instant;
 
@@ -39,7 +46,7 @@ fn peak_of_run(run: &csp_core::FixpointRun) -> u64 {
         .unwrap_or(0)
 }
 
-type Workload = (&'static str, Box<dyn Fn() -> Metrics>);
+type Workload = (&'static str, Box<dyn Fn(&Collector) -> Metrics>);
 
 fn workloads() -> Vec<Workload> {
     let mut v: Vec<Workload> = Vec::new();
@@ -47,7 +54,7 @@ fn workloads() -> Vec<Workload> {
     // P1 — trace enumeration vs. universe size at fixed depth.
     v.push((
         "P1/enumeration/copier_u3_d5",
-        Box::new(|| {
+        Box::new(|_c| {
             let mut wb = Workbench::new().with_universe(Universe::new(3));
             wb.define_source(csp_core::examples::PIPELINE_SRC)
                 .expect("parses");
@@ -62,7 +69,7 @@ fn workloads() -> Vec<Workload> {
     // P2 — parallel composition & hiding cost on a 4-stage chain.
     v.push((
         "P2/parallel_hiding/chain4_d4",
-        Box::new(|| {
+        Box::new(|_c| {
             let wb = chain_workbench(4);
             let t = wb.traces("chain", 4).expect("traces");
             Metrics {
@@ -75,7 +82,7 @@ fn workloads() -> Vec<Workload> {
     // P3 — proof-checker throughput over the whole script suite.
     v.push((
         "P3/proofs/all_scripts",
-        Box::new(|| {
+        Box::new(|_c| {
             let mut rules = 0u64;
             for script in proofs::all_scripts() {
                 rules += script.check().expect("checks").rule_count() as u64;
@@ -90,9 +97,10 @@ fn workloads() -> Vec<Workload> {
     // P4 — concurrent runtime throughput (128 scheduled steps).
     v.push((
         "P4/runtime/pipeline_s128",
-        Box::new(|| {
+        Box::new(|c| {
             let wb = pipeline_workbench();
             let res = wb
+                .session_with(c.clone())
                 .run(
                     "pipeline",
                     RunOptions {
@@ -112,9 +120,12 @@ fn workloads() -> Vec<Workload> {
     // E1 — the §2 pipeline claims, bounded-model-checked.
     v.push((
         "E1/sat/copier_wire_le_input_d5",
-        Box::new(|| {
+        Box::new(|c| {
             let wb = pipeline_workbench();
-            let verdict = wb.check_sat("copier", "wire <= input", 5).expect("checks");
+            let verdict = wb
+                .session_with(c.clone())
+                .check_sat("copier", "wire <= input", 5)
+                .expect("checks");
             let SatResult::Holds { traces_checked, .. } = verdict else {
                 panic!("E1 claim refuted");
             };
@@ -128,9 +139,10 @@ fn workloads() -> Vec<Workload> {
     // E2 — the completed §2.2(2) exercise, model-checked.
     v.push((
         "E2/sat/receiver_d3",
-        Box::new(|| {
+        Box::new(|c| {
             let wb = protocol_workbench();
             let verdict = wb
+                .session_with(c.clone())
                 .check_sat("receiver", "output <= f(wire)", 3)
                 .expect("checks");
             let SatResult::Holds { traces_checked, .. } = verdict else {
@@ -146,9 +158,10 @@ fn workloads() -> Vec<Workload> {
     // E3 — the 6-step protocol proof's claim, model-checked.
     v.push((
         "E3/sat/protocol_d3",
-        Box::new(|| {
+        Box::new(|c| {
             let wb = protocol_workbench();
             let verdict = wb
+                .session_with(c.clone())
                 .check_sat("protocol", "output <= input", 3)
                 .expect("checks");
             let SatResult::Holds { traces_checked, .. } = verdict else {
@@ -164,10 +177,13 @@ fn workloads() -> Vec<Workload> {
     // E4 — multiplier correctness at width 2.
     v.push((
         "E4/sat/multiplier_w2_d3",
-        Box::new(|| {
+        Box::new(|c| {
             let wb = multiplier_workbench(2);
             let inv = multiplier_invariant(2);
-            let verdict = wb.check_sat("multiplier", &inv, 3).expect("checks");
+            let verdict = wb
+                .session_with(c.clone())
+                .check_sat("multiplier", &inv, 3)
+                .expect("checks");
             let SatResult::Holds { traces_checked, .. } = verdict else {
                 panic!("E4 claim refuted");
             };
@@ -181,9 +197,12 @@ fn workloads() -> Vec<Workload> {
     // E5 — the §3.3 fixpoint construction on all three paper networks.
     v.push((
         "E5/fixpoint/pipeline_d4",
-        Box::new(|| {
+        Box::new(|c| {
             let wb = pipeline_workbench();
-            let run = wb.fixpoint(4, 24).expect("fixpoint");
+            let run = wb
+                .session_with(c.clone())
+                .fixpoint(4, 24)
+                .expect("fixpoint");
             assert!(run.converged_at.is_some());
             Metrics {
                 traces: run.iterates.len() as u64,
@@ -193,9 +212,12 @@ fn workloads() -> Vec<Workload> {
     ));
     v.push((
         "E5/fixpoint/protocol_d3",
-        Box::new(|| {
+        Box::new(|c| {
             let wb = protocol_workbench();
-            let run = wb.fixpoint(3, 24).expect("fixpoint");
+            let run = wb
+                .session_with(c.clone())
+                .fixpoint(3, 24)
+                .expect("fixpoint");
             assert!(run.converged_at.is_some());
             Metrics {
                 traces: run.iterates.len() as u64,
@@ -205,9 +227,12 @@ fn workloads() -> Vec<Workload> {
     ));
     v.push((
         "E5/fixpoint/multiplier_w3_d2",
-        Box::new(|| {
+        Box::new(|c| {
             let wb = multiplier_workbench(3);
-            let run = wb.fixpoint(2, 16).expect("fixpoint");
+            let run = wb
+                .session_with(c.clone())
+                .fixpoint(2, 16)
+                .expect("fixpoint");
             assert!(run.converged_at.is_some());
             Metrics {
                 traces: run.iterates.len() as u64,
@@ -219,7 +244,7 @@ fn workloads() -> Vec<Workload> {
     // E6 — empirical soundness of the ten §2.1 rules.
     v.push((
         "E6/soundness/rules_x12",
-        Box::new(|| {
+        Box::new(|_c| {
             let reports = validate_all_rules(2026, 12).expect("validates");
             assert!(reports.iter().all(|r| r.sound()));
             Metrics {
@@ -232,7 +257,7 @@ fn workloads() -> Vec<Workload> {
     // E7 — the §4 defect STOP | P = P, verified semantically.
     v.push((
         "E7/stop_choice/pipeline_d4",
-        Box::new(|| {
+        Box::new(|_c| {
             let wb = pipeline_workbench();
             let (a, b) =
                 stop_choice_identity(wb.definitions(), wb.universe(), "pipeline", 4).expect("E7");
@@ -247,7 +272,7 @@ fn workloads() -> Vec<Workload> {
     // Fault-conformance sweep — the PR-1 robustness workload.
     v.push((
         "verify/faultconf/pipeline_4x2",
-        Box::new(|| {
+        Box::new(|_c| {
             let wb = pipeline_workbench();
             let sweep = FaultSweep::new(
                 [1, 2, 3, 4],
@@ -255,7 +280,7 @@ fn workloads() -> Vec<Workload> {
             )
             .with_max_steps(32);
             let conf = wb
-                .fault_conformance("pipeline", &["output <= input"], &sweep)
+                .fault_conformance("pipeline", ["output <= input"], &sweep)
                 .expect("sweeps");
             assert!(conf.all_conformant());
             Metrics {
@@ -276,7 +301,7 @@ fn median(mut xs: Vec<f64>) -> f64 {
 fn usage() -> ! {
     eprintln!(
         "usage: bench-json [--samples N] [--out PATH] [--filter SUBSTR] \
-         [--compare BASELINE [--tolerance FRAC]]"
+         [--metrics-out EVENTS.jsonl] [--compare BASELINE [--tolerance FRAC]]"
     );
     std::process::exit(2);
 }
@@ -287,6 +312,7 @@ fn main() {
     let mut compare: Option<String> = None;
     let mut tolerance = 0.30f64;
     let mut filter: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -306,10 +332,19 @@ fn main() {
                     .unwrap_or_else(|| usage());
             }
             "--filter" => filter = Some(args.next().unwrap_or_else(|| usage())),
+            "--metrics-out" => metrics_out = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
     let samples = samples.max(1);
+
+    // With --metrics-out every instrumentable workload records into one
+    // shared collector, so the gated timings include the observability
+    // layer's overhead; otherwise the disabled fast path is measured.
+    let collector = match &metrics_out {
+        Some(_) => Collector::new(),
+        None => Collector::disabled(),
+    };
 
     let mut benches = Vec::new();
     for (name, work) in workloads() {
@@ -319,11 +354,11 @@ fn main() {
             }
         }
         // One untimed warm-up so allocator and interner state are hot.
-        let mut metrics = work();
+        let mut metrics = work(&collector);
         let mut times = Vec::with_capacity(samples);
         for _ in 0..samples {
             let t0 = Instant::now();
-            metrics = work();
+            metrics = work(&collector);
             times.push(t0.elapsed().as_secs_f64() * 1e3);
         }
         let wall_ms = median(times);
@@ -344,6 +379,16 @@ fn main() {
     match &out {
         Some(path) => std::fs::write(path, &json).expect("write report"),
         None => print!("{json}"),
+    }
+
+    if let Some(path) = &metrics_out {
+        let mut f = std::fs::File::create(path).expect("create event log");
+        collector.write_jsonl(&mut f).expect("write event log");
+        eprintln!(
+            "wrote span event log to {path} ({} span(s), {} evicted)",
+            collector.records().len(),
+            collector.dropped()
+        );
     }
 
     if let Some(path) = compare {

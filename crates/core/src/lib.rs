@@ -39,9 +39,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod options;
+mod session;
 mod workbench;
 
+pub use options::{ConformanceOptions, SatOptions};
+pub use session::Session;
 pub use workbench::{Workbench, WorkbenchError};
+
+/// The observability substrate (re-exported from `csp-obs`): collectors,
+/// spans, metrics snapshots, and the JSONL/folded-stacks sinks.
+///
+/// `csp_obs::Span` is deliberately *not* re-exported at the crate root —
+/// there it would collide with the source-position [`csp_lang::Span`]
+/// re-exported from `csp-lang`; reach it as `obs::Span`.
+pub mod obs {
+    pub use csp_obs::*;
+}
 
 /// The paper's example systems (re-exported from `csp-lang`).
 pub mod examples {
@@ -67,9 +81,10 @@ pub use csp_lang::{
     validate, ChanRef, Definition, Definitions, Env, EvalError, Expr, MsgSet, ParseError, Process,
     SetExpr, SourceMap, Span, ValidationIssue,
 };
+pub use csp_obs::{Collector, FieldValue, Metered, MetricsSnapshot, SpanRecord};
 pub use csp_proof::{
-    check, render_report, spec_goal, synthesize, CheckReport, Context, Discharge, Judgement,
-    Obligation, Proof, ProofError, SynthError,
+    check, check_with, render_report, spec_goal, synthesize, CheckReport, Context, Discharge,
+    Judgement, Obligation, Proof, ProofError, SynthError,
 };
 pub use csp_runtime::{
     check_conformance, flatten, Component, ComponentFailure, ComponentSel, ConformanceReport,
@@ -77,9 +92,12 @@ pub use csp_runtime::{
     RunOptions, RunOutcome, RunResult, Scheduler, Supervision,
 };
 pub use csp_semantics::{
-    compare, fixpoint, refines, Config, Discrepancy, FixpointRun, Lts, Semantics, Step, Universe,
+    compare, fixpoint, fixpoint_with, refines, Config, Discrepancy, FixpointRun, Lts, Semantics,
+    Step, Universe,
 };
-pub use csp_trace::{timeline, Channel, ChannelSet, Event, History, Seq, Trace, TraceSet, Value};
+pub use csp_trace::{
+    timeline, Channel, ChannelSet, Event, History, OpStats, Seq, Trace, TraceSet, Value,
+};
 pub use csp_verify::{
     cross_validate_scripts, fault_conformance, find_deadlocks, stop_choice_identity,
     validate_all_rules, CrossValidation, Deadlock, DeadlockReport, DegradedRun, FaultConfError,
@@ -89,8 +107,9 @@ pub use csp_verify::{
 /// Convenient glob-import surface: `use csp_core::prelude::*;`.
 pub mod prelude {
     pub use crate::{
-        Assertion, Channel, Definitions, Env, Event, FaultPlan, FaultSweep, Judgement, Process,
-        Proof, RestartPolicy, RunOptions, RunOutcome, SatResult, Scheduler, Supervision, Trace,
-        TraceSet, Universe, Value, Workbench, WorkbenchError,
+        Assertion, Channel, Collector, ConformanceOptions, Definitions, Env, Event, FaultPlan,
+        FaultSweep, Judgement, Metered, MetricsSnapshot, Process, Proof, RestartPolicy, RunOptions,
+        RunOutcome, SatOptions, SatResult, Scheduler, Session, Supervision, Trace, TraceSet,
+        Universe, Value, Workbench, WorkbenchError,
     };
 }

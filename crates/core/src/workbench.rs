@@ -5,18 +5,21 @@
 use csp_analysis::{Diagnostic, Linter};
 use csp_assert::{Assertion, ChannelInfo, FuncTable};
 use csp_lang::{
-    parse_definitions_spanned, validate, ChanRef, Definition, Definitions, Env, Process, SourceMap,
-    ValidationIssue,
+    parse_definitions_spanned, ChanRef, Definition, Definitions, Env, Process, SourceMap,
 };
-use csp_proof::{check, CheckReport, Context, Judgement, Proof, ProofError};
+use csp_obs::Collector;
+use csp_proof::{check_with, CheckReport, Context, Judgement, Proof, ProofError};
 use csp_runtime::{check_conformance, ConformanceReport, Executor, RunOptions, RunResult};
-use csp_semantics::{fixpoint, FixpointRun, Lts, Semantics, Universe};
+use csp_semantics::{fixpoint_with, FixpointRun, Lts, Semantics, Universe};
 use csp_trace::{Channel, ChannelSet};
 use csp_trace::{TraceSet, Value};
 use csp_verify::{
     fault_conformance, find_deadlocks, DeadlockReport, FaultConformance, FaultSweep, SatChecker,
     SatResult,
 };
+
+use crate::options::{ConformanceOptions, SatOptions};
+use crate::session::Session;
 
 /// Errors surfaced by the workbench.
 #[derive(Debug)]
@@ -191,20 +194,18 @@ impl Workbench {
             .extend(names.into_iter().map(String::from));
     }
 
-    /// Static well-formedness issues in the current definitions.
-    ///
-    /// Superseded by [`lint`](Self::lint), which reports the same
-    /// problems (as `CSP001`–`CSP004`) plus the proof-rule side
-    /// conditions, with source spans and stable codes.
-    #[deprecated(since = "0.2.0", note = "use `lint()`; these issues are CSP001–CSP004")]
-    pub fn validate(&self) -> Vec<ValidationIssue> {
-        let hosts: Vec<String> = self
-            .env
-            .iter()
-            .map(|(k, _)| k.split('[').next().unwrap_or(k).to_string())
-            .collect();
-        let host_refs: Vec<&str> = hosts.iter().map(String::as_str).collect();
-        validate(&self.defs, &host_refs)
+    /// Opens an observed [`Session`] over this workbench: the same
+    /// verification entry points, with every operation recorded into one
+    /// [`Collector`] (spans, counters, trace-operation deltas).
+    pub fn session(&self) -> Session<'_> {
+        self.session_with(Collector::new())
+    }
+
+    /// Opens a [`Session`] recording into the given collector — pass
+    /// [`Collector::disabled`] for an observation-free session, or a
+    /// shared collector to aggregate several sessions into one stream.
+    pub fn session_with(&self, collector: Collector) -> Session<'_> {
+        Session::new(self, collector)
     }
 
     /// Runs every static-analysis pass over the current definitions:
@@ -309,7 +310,8 @@ impl Workbench {
         Ok(sem.denote_name(name, &self.env, depth)?)
     }
 
-    /// Bounded model checking of `name sat assertion`.
+    /// Bounded model checking of `name sat assertion`. Accepts a bare
+    /// depth or a full [`SatOptions`] bundle.
     ///
     /// # Errors
     ///
@@ -319,14 +321,25 @@ impl Workbench {
         &self,
         name: &str,
         assertion_src: &str,
-        depth: usize,
+        opts: impl Into<SatOptions>,
+    ) -> Result<SatResult, WorkbenchError> {
+        self.check_sat_with(name, assertion_src, &opts.into(), &Collector::disabled())
+    }
+
+    pub(crate) fn check_sat_with(
+        &self,
+        name: &str,
+        assertion_src: &str,
+        opts: &SatOptions,
+        collector: &Collector,
     ) -> Result<SatResult, WorkbenchError> {
         let assertion = self.assertion(assertion_src)?;
         let checker = SatChecker::new(&self.defs, &self.universe)
             .with_env(self.env.clone())
             .with_funcs(self.funcs.clone())
-            .with_internal_budget_factor(4);
-        Ok(checker.check_name(name, &assertion, depth)?)
+            .with_internal_budget_factor(opts.internal_budget_factor)
+            .with_collector(collector.clone());
+        Ok(checker.check_name(name, &assertion, opts.depth)?)
     }
 
     /// Checks a proof tree against a goal with this workbench's
@@ -336,10 +349,19 @@ impl Workbench {
     ///
     /// Returns the proof checker's error on an invalid derivation.
     pub fn prove(&self, goal: &Judgement, proof: &Proof) -> Result<CheckReport, WorkbenchError> {
+        self.prove_with(goal, proof, &Collector::disabled())
+    }
+
+    pub(crate) fn prove_with(
+        &self,
+        goal: &Judgement,
+        proof: &Proof,
+        collector: &Collector,
+    ) -> Result<CheckReport, WorkbenchError> {
         let mut ctx = Context::new(self.defs.clone(), self.universe.clone());
         ctx.env = self.env.clone();
         ctx.funcs = self.funcs.clone();
-        Ok(check(&ctx, goal, proof)?)
+        Ok(check_with(&ctx, goal, proof, collector)?)
     }
 
     /// Executes the named process as a concurrent network.
@@ -353,7 +375,8 @@ impl Workbench {
     }
 
     /// Verifies a recorded run against the semantics and a list of
-    /// invariants (given in assertion syntax).
+    /// invariants. Accepts a slice of invariant sources or a full
+    /// [`ConformanceOptions`] bundle.
     ///
     /// # Errors
     ///
@@ -362,9 +385,11 @@ impl Workbench {
         &self,
         name: &str,
         result: &RunResult,
-        invariant_srcs: &[&str],
+        opts: impl Into<ConformanceOptions>,
     ) -> Result<ConformanceReport, WorkbenchError> {
-        let invariants = invariant_srcs
+        let opts = opts.into();
+        let invariants = opts
+            .invariants
             .iter()
             .map(|s| self.assertion(s))
             .collect::<Result<Vec<_>, _>>()?;
@@ -375,7 +400,7 @@ impl Workbench {
             &self.universe,
             &result.visible,
             &invariants,
-            result.full.len().max(8),
+            opts.replay_depth.unwrap_or(result.full.len().max(8)),
         )?)
     }
 
@@ -392,10 +417,12 @@ impl Workbench {
     pub fn fault_conformance(
         &self,
         name: &str,
-        invariant_srcs: &[&str],
+        opts: impl Into<ConformanceOptions>,
         sweep: &FaultSweep,
     ) -> Result<FaultConformance, WorkbenchError> {
-        let invariants = invariant_srcs
+        let opts = opts.into();
+        let invariants = opts
+            .invariants
             .iter()
             .map(|s| self.assertion(s))
             .collect::<Result<Vec<_>, _>>()?;
@@ -424,6 +451,14 @@ impl Workbench {
     /// sequential fragment, or the synthesised proof does not check
     /// (i.e. the invariants are not inductive).
     pub fn prove_auto(&self, specs: &[(&str, &str)]) -> Result<CheckReport, WorkbenchError> {
+        self.prove_auto_with(specs, &Collector::disabled())
+    }
+
+    pub(crate) fn prove_auto_with(
+        &self,
+        specs: &[(&str, &str)],
+        collector: &Collector,
+    ) -> Result<CheckReport, WorkbenchError> {
         let parsed: Vec<(String, Assertion)> = specs
             .iter()
             .map(|(n, src)| Ok((n.to_string(), self.assertion(src)?)))
@@ -434,7 +469,7 @@ impl Workbench {
         let proof = csp_proof::synthesize(&ctx, &parsed, 0)
             .map_err(|e| WorkbenchError::Proof(ProofError::BadRecursion(e.to_string())))?;
         let goal = csp_proof::spec_goal(&ctx, &parsed[0])?;
-        Ok(check(&ctx, &goal, &proof)?)
+        Ok(check_with(&ctx, &goal, &proof, collector)?)
     }
 
     /// Bounded deadlock search over the operational semantics — the
@@ -454,7 +489,8 @@ impl Workbench {
     }
 
     /// Bounded trace refinement: every behaviour of `implementation` is
-    /// a behaviour of `specification`, up to `depth`. Returns the first
+    /// a behaviour of `specification`, up to the exploration depth
+    /// (a bare depth or a [`SatOptions`] bundle). Returns the first
     /// counterexample trace on failure.
     ///
     /// # Errors
@@ -464,8 +500,9 @@ impl Workbench {
         &self,
         implementation: &str,
         specification: &str,
-        depth: usize,
+        opts: impl Into<SatOptions>,
     ) -> Result<Result<(), csp_trace::Trace>, WorkbenchError> {
+        let depth = opts.into().depth;
         let lts = csp_semantics::Lts::new(&self.defs, &self.universe);
         let impl_ts = lts.traces(&lts.initial(implementation, &self.env), depth)?;
         let spec_ts = lts.traces(&lts.initial(specification, &self.env), depth)?;
@@ -479,12 +516,22 @@ impl Workbench {
     ///
     /// Fails on evaluation errors while iterating.
     pub fn fixpoint(&self, depth: usize, max_iters: usize) -> Result<FixpointRun, WorkbenchError> {
-        Ok(fixpoint(
+        self.fixpoint_with(depth, max_iters, &Collector::disabled())
+    }
+
+    pub(crate) fn fixpoint_with(
+        &self,
+        depth: usize,
+        max_iters: usize,
+        collector: &Collector,
+    ) -> Result<FixpointRun, WorkbenchError> {
+        Ok(fixpoint_with(
             &self.defs,
             &self.universe,
             &self.env,
             depth,
             max_iters,
+            collector,
         )?)
     }
 }
@@ -550,7 +597,7 @@ mod tests {
             .unwrap();
         // Conform.
         let report = wb
-            .conformance("pipeline", &res, &["output <= input"])
+            .conformance("pipeline", &res, ["output <= input"])
             .unwrap();
         assert!(report.conforms());
     }
@@ -565,7 +612,7 @@ mod tests {
         )
         .with_max_steps(16);
         let result = wb
-            .fault_conformance("pipeline", &["output <= input"], &sweep)
+            .fault_conformance("pipeline", ["output <= input"], &sweep)
             .unwrap();
         assert_eq!(result.runs.len(), 4);
         assert!(result.all_conformant(), "{:?}", result.violations());
@@ -624,14 +671,11 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
     fn validation_reports_missing_names() {
         let mut wb = Workbench::new();
         wb.define_source("p = c!0 -> ghost").unwrap();
-        // The deprecated shim still works...
-        assert_eq!(wb.validate().len(), 1);
-        // ...and the linter reports the same problem as CSP001, now with
-        // the call site's span.
+        // The linter reports the undefined call as CSP001, with the call
+        // site's span (this subsumes the removed `validate()` shim).
         let diags = wb.lint();
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].code.code(), "CSP001");

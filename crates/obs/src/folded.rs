@@ -1,0 +1,105 @@
+//! Flamegraph-style folded stacks: one line per distinct span-name
+//! chain, `root;child;leaf <self-nanoseconds>`, consumable by standard
+//! flamegraph tooling.
+
+use std::collections::BTreeMap;
+
+use crate::span::SpanRecord;
+
+/// Renders span records as folded stacks. Each span contributes its
+/// *self* time (duration minus the durations of its direct children) to
+/// the stack named by its ancestry chain. Spans whose parent was evicted
+/// from the ring buffer are treated as roots. Lines are sorted, so the
+/// output is stable for a deterministic span tree.
+pub fn folded_stacks(records: &[SpanRecord]) -> String {
+    let by_id: BTreeMap<u64, &SpanRecord> = records.iter().map(|r| (r.id, r)).collect();
+    // Direct children time, for self-time computation.
+    let mut child_ns: BTreeMap<u64, u64> = BTreeMap::new();
+    for r in records {
+        if let Some(p) = r.parent {
+            if by_id.contains_key(&p) {
+                *child_ns.entry(p).or_insert(0) += r.duration_ns();
+            }
+        }
+    }
+    let mut stacks: BTreeMap<String, u64> = BTreeMap::new();
+    for r in records {
+        let mut chain = vec![r.name.as_str()];
+        let mut cursor = r.parent;
+        while let Some(p) = cursor {
+            match by_id.get(&p) {
+                Some(parent) => {
+                    chain.push(parent.name.as_str());
+                    cursor = parent.parent;
+                }
+                None => break, // evicted ancestor: truncate at the known part
+            }
+        }
+        chain.reverse();
+        let self_ns = r
+            .duration_ns()
+            .saturating_sub(child_ns.get(&r.id).copied().unwrap_or(0));
+        *stacks.entry(chain.join(";")).or_insert(0) += self_ns;
+    }
+    let mut out = String::new();
+    for (stack, ns) in stacks {
+        out.push_str(&stack);
+        out.push(' ');
+        out.push_str(&ns.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Collector;
+
+    #[test]
+    fn folded_output_nests_and_accounts_self_time() {
+        let c = Collector::new();
+        {
+            let root = c.span("root");
+            {
+                let mid = root.child("mid");
+                let _leaf_a = mid.child("leaf");
+            }
+            {
+                let _mid2 = root.child("mid");
+            }
+        }
+        let folded = c.folded_stacks();
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(lines.len(), 3, "{folded}");
+        assert!(lines[0].starts_with("root "));
+        assert!(lines[1].starts_with("root;mid "));
+        assert!(lines[2].starts_with("root;mid;leaf "));
+        // Self times sum back to the root's inclusive duration.
+        let total: u64 = lines
+            .iter()
+            .map(|l| l.rsplit(' ').next().unwrap().parse::<u64>().unwrap())
+            .sum();
+        let root_incl = c
+            .records()
+            .iter()
+            .find(|r| r.name == "root")
+            .unwrap()
+            .duration_ns();
+        assert_eq!(total, root_incl);
+    }
+
+    #[test]
+    fn orphaned_spans_become_roots() {
+        // Simulate eviction: a record whose parent id is unknown.
+        let records = vec![SpanRecord {
+            id: 9,
+            parent: Some(1),
+            name: "lost".into(),
+            start_ns: 0,
+            end_ns: 10,
+            fields: vec![],
+        }];
+        assert_eq!(folded_stacks(&records), "lost 10\n");
+    }
+}

@@ -1,0 +1,48 @@
+//! # csp-obs
+//!
+//! Zero-dependency structured observability for the `hoare-csp` stack:
+//! scoped [`Span`]s with parent ids and monotonic timestamps, process
+//! counters and fixed-bucket [`Histogram`]s, an in-memory ring buffer of
+//! finished spans, a JSONL event-log writer/reader, and a
+//! flamegraph-style folded-stacks renderer.
+//!
+//! The design centre is the **disabled fast path**: a
+//! [`Collector::disabled()`] is a `None` behind one pointer-sized
+//! option, so instrumented hot loops pay a single branch and no
+//! allocation, locking, or clock read. Every subsystem of the workbench
+//! (semantics, proof, runtime, verify) threads a [`Collector`] through
+//! its load-bearing loops and stays measurably free when observation is
+//! off — the CI bench gate runs with collection enabled and must stay
+//! within the ordinary noise tolerance.
+//!
+//! ```
+//! use csp_obs::Collector;
+//!
+//! let c = Collector::new();
+//! {
+//!     let mut outer = c.span("fixpoint");
+//!     outer.record("depth", 4i64);
+//!     let _inner = outer.child("fixpoint.iter");
+//!     c.add("fixpoint.memo_hits", 3);
+//! } // spans record themselves on drop
+//! let records = c.records();
+//! assert_eq!(records.len(), 2);
+//! // Children finish (and are recorded) before their parents.
+//! assert_eq!(records[0].name, "fixpoint.iter");
+//! assert_eq!(records[1].name, "fixpoint");
+//! assert_eq!(records[0].parent, Some(records[1].id));
+//! assert_eq!(c.snapshot().counter("fixpoint.memo_hits"), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod folded;
+mod jsonl;
+mod metrics;
+mod span;
+
+pub use folded::folded_stacks;
+pub use jsonl::{parse_jsonl, write_jsonl, JsonlError};
+pub use metrics::{Histogram, Metered, MetricsSnapshot, SpanStat, BUCKET_BOUNDS_NS};
+pub use span::{Collector, FieldValue, Span, SpanRecord};

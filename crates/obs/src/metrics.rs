@@ -1,0 +1,301 @@
+//! Aggregated metrics: counters, fixed-bucket histograms, and per-span
+//! timing stats, snapshotted into one owned, serialisable value.
+
+use std::collections::BTreeMap;
+
+/// Fixed histogram bucket upper bounds, in nanoseconds: 1µs … 1s in a
+/// 1-5-10 ladder, plus an overflow bucket. Fixed boundaries keep
+/// snapshots mergeable and diffable across runs without negotiation.
+pub const BUCKET_BOUNDS_NS: [u64; 13] = [
+    1_000,
+    5_000,
+    10_000,
+    50_000,
+    100_000,
+    500_000,
+    1_000_000,
+    5_000_000,
+    10_000_000,
+    50_000_000,
+    100_000_000,
+    500_000_000,
+    1_000_000_000,
+];
+
+/// A histogram over [`BUCKET_BOUNDS_NS`] (one extra overflow bucket).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Per-bucket observation counts; `counts[i]` holds observations
+    /// `<= BUCKET_BOUNDS_NS[i]`, the last bucket everything larger.
+    pub counts: [u64; BUCKET_BOUNDS_NS.len() + 1],
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            counts: [0; BUCKET_BOUNDS_NS.len() + 1],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        let idx = BUCKET_BOUNDS_NS
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(BUCKET_BOUNDS_NS.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Arithmetic mean of the observations (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile
+    /// (`0.0..=1.0`); `u64::MAX` when it falls in the overflow bucket.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return BUCKET_BOUNDS_NS.get(i).copied().unwrap_or(u64::MAX);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Adds another histogram's observations into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+/// Accumulated timing for one span name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// How many spans closed under this name.
+    pub count: u64,
+    /// Total (inclusive) nanoseconds across all of them.
+    pub total_ns: u64,
+    /// The longest single span.
+    pub max_ns: u64,
+}
+
+/// One coherent, owned view of everything a [`Collector`](crate::Collector)
+/// (or a subsystem's internal tallies) accumulated: counters, histograms,
+/// and per-span-name stats.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotone named counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Named fixed-bucket histograms.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Per-span-name timing aggregates.
+    pub spans: BTreeMap<String, SpanStat>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A counter's value (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets a counter (builder-style, for subsystems that tally
+    /// locally instead of through a collector).
+    pub fn set_counter(&mut self, name: impl Into<String>, value: u64) -> &mut Self {
+        self.counters.insert(name.into(), value);
+        self
+    }
+
+    /// Adds `delta` to a counter.
+    pub fn add_counter(&mut self, name: impl Into<String>, delta: u64) -> &mut Self {
+        *self.counters.entry(name.into()).or_insert(0) += delta;
+        self
+    }
+
+    /// Merges another snapshot into this one: counters and histograms
+    /// add, span stats combine (counts/totals add, maxes max).
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+        for (k, s) in &other.spans {
+            let e = self.spans.entry(k.clone()).or_default();
+            e.count += s.count;
+            e.total_ns += s.total_ns;
+            e.max_ns = e.max_ns.max(s.max_ns);
+        }
+    }
+
+    /// Renders the snapshot as a compact JSON object (no external
+    /// dependencies; keys sorted, stable across runs).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        push_map(&mut out, &self.counters, |out, v| {
+            out.push_str(&v.to_string())
+        });
+        out.push_str("},\"histograms\":{");
+        push_map(&mut out, &self.histograms, |out, h| {
+            out.push_str(&format!(
+                "{{\"count\":{},\"sum\":{},\"counts\":[{}]}}",
+                h.count,
+                h.sum,
+                h.counts
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ));
+        });
+        out.push_str("},\"spans\":{");
+        push_map(&mut out, &self.spans, |out, s| {
+            out.push_str(&format!(
+                "{{\"count\":{},\"total_ns\":{},\"max_ns\":{}}}",
+                s.count, s.total_ns, s.max_ns
+            ));
+        });
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders a human-readable table of counters and span timings.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            out.push_str(&format!(
+                "{:<32} {:>8} {:>12} {:>12}\n",
+                "span", "count", "total ms", "max ms"
+            ));
+            for (name, s) in &self.spans {
+                out.push_str(&format!(
+                    "{:<32} {:>8} {:>12.3} {:>12.3}\n",
+                    name,
+                    s.count,
+                    s.total_ns as f64 / 1e6,
+                    s.max_ns as f64 / 1e6,
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str(&format!("{:<32} {:>12}\n", "counter", "value"));
+            for (name, v) in &self.counters {
+                out.push_str(&format!("{name:<32} {v:>12}\n"));
+            }
+        }
+        out
+    }
+}
+
+fn push_map<V>(
+    out: &mut String,
+    map: &BTreeMap<String, V>,
+    mut render: impl FnMut(&mut String, &V),
+) {
+    for (i, (k, v)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&crate::jsonl::json_string(k));
+        out.push(':');
+        render(out, v);
+    }
+}
+
+/// Uniform access to the metrics a result type carries — implemented by
+/// `FixpointRun`, `CheckReport`, and `RunResult` so callers can ask any
+/// of them "what did that cost?" the same way.
+pub trait Metered {
+    /// The metrics recorded while producing this value.
+    fn metrics(&self) -> &MetricsSnapshot;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::default();
+        h.record(500); // <= 1µs bucket
+        h.record(700_000); // <= 1ms bucket
+        h.record(2_000_000_000); // overflow
+        assert_eq!(h.count, 3);
+        assert_eq!(h.counts[0], 1);
+        assert_eq!(h.counts[6], 1);
+        assert_eq!(h.counts[BUCKET_BOUNDS_NS.len()], 1);
+        assert_eq!(h.quantile_bound(0.0), 1_000);
+        assert_eq!(h.quantile_bound(0.5), 1_000_000);
+        assert_eq!(h.quantile_bound(1.0), u64::MAX);
+        assert_eq!(h.mean(), (500 + 700_000 + 2_000_000_000) / 3);
+    }
+
+    #[test]
+    fn snapshot_merge_adds_and_maxes() {
+        let mut a = MetricsSnapshot::new();
+        a.set_counter("x", 2);
+        a.spans.insert(
+            "s".into(),
+            SpanStat {
+                count: 1,
+                total_ns: 10,
+                max_ns: 10,
+            },
+        );
+        let mut b = MetricsSnapshot::new();
+        b.set_counter("x", 3).set_counter("y", 1);
+        b.spans.insert(
+            "s".into(),
+            SpanStat {
+                count: 2,
+                total_ns: 30,
+                max_ns: 25,
+            },
+        );
+        a.merge(&b);
+        assert_eq!(a.counter("x"), 5);
+        assert_eq!(a.counter("y"), 1);
+        assert_eq!(
+            a.spans["s"],
+            SpanStat {
+                count: 3,
+                total_ns: 40,
+                max_ns: 25
+            }
+        );
+    }
+
+    #[test]
+    fn json_rendering_is_stable() {
+        let mut m = MetricsSnapshot::new();
+        m.set_counter("b", 2).set_counter("a", 1);
+        let json = m.to_json();
+        assert!(json.starts_with("{\"counters\":{\"a\":1,\"b\":2}"));
+        assert!(json.ends_with("\"spans\":{}}"));
+    }
+}

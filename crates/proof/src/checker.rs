@@ -9,6 +9,7 @@ use csp_assert::{
     FuncTable, Term,
 };
 use csp_lang::{channel_alphabet, subst_process_with, Definitions, Env, Expr, Process, SetExpr};
+use csp_obs::{Collector, Metered, MetricsSnapshot, Span};
 use csp_semantics::Universe;
 use csp_trace::ChannelSet;
 
@@ -79,6 +80,16 @@ pub struct CheckReport {
     pub steps: Vec<String>,
     /// Every pure premise and how it was discharged.
     pub obligations: Vec<Obligation>,
+    /// What the check cost: rule and obligation counts, per-discharge
+    /// tallies (always populated), plus per-rule span timings when an
+    /// enabled [`Collector`] was supplied to [`check_with`].
+    pub metrics: MetricsSnapshot,
+}
+
+impl Metered for CheckReport {
+    fn metrics(&self) -> &MetricsSnapshot {
+        &self.metrics
+    }
 }
 
 impl CheckReport {
@@ -203,6 +214,25 @@ impl std::error::Error for ProofError {}
 /// assert!(report.rule_count() >= 4);
 /// ```
 pub fn check(ctx: &Context, goal: &Judgement, proof: &Proof) -> Result<CheckReport, ProofError> {
+    check_with(ctx, goal, proof, &Collector::disabled())
+}
+
+/// [`check`] with an observation stream: records a root `proof.check`
+/// span and one `proof.rule` span per rule application (carrying the
+/// rule name and, when enabled, the rendered judgement). The returned
+/// report is identical to [`check`]'s apart from span timings in its
+/// metrics; with `Collector::disabled()` each instrumentation point
+/// costs one branch.
+///
+/// # Errors
+///
+/// Same conditions as [`check`].
+pub fn check_with(
+    ctx: &Context,
+    goal: &Judgement,
+    proof: &Proof,
+    collector: &Collector,
+) -> Result<CheckReport, ProofError> {
     let errors: Vec<String> = Linter::new(&ctx.defs)
         .with_env(&ctx.env)
         .run()
@@ -215,8 +245,47 @@ pub fn check(ctx: &Context, goal: &Judgement, proof: &Proof) -> Result<CheckRepo
     }
     let mut report = CheckReport::default();
     let mut scope = Scope::default();
-    check_inner(ctx, goal, proof, &mut scope, &mut report)?;
+    let root = collector.span("proof.check");
+    check_inner(ctx, goal, proof, &mut scope, &mut report, &root)?;
+    root.end();
+    report.metrics = tally(&report);
+    if collector.is_enabled() {
+        // Only the proof-taxonomy spans: the collector may be shared
+        // with other subsystems in one session.
+        report.metrics.spans = collector
+            .snapshot()
+            .spans
+            .into_iter()
+            .filter(|(k, _)| k.starts_with("proof."))
+            .collect();
+        // Mirror the tallies the other way so a session aggregating
+        // several operations sees them alongside its span stats.
+        for (name, value) in &report.metrics.counters {
+            collector.add(name.clone(), *value);
+        }
+    }
     Ok(report)
+}
+
+/// The always-populated counter part of a report's metrics.
+fn tally(report: &CheckReport) -> MetricsSnapshot {
+    let mut m = MetricsSnapshot::new();
+    m.set_counter("proof.rules", report.steps.len() as u64)
+        .set_counter("proof.obligations", report.obligations.len() as u64);
+    for o in &report.obligations {
+        let kind = match o.discharge {
+            Discharge::Syntactic(_) => "proof.discharge.syntactic",
+            Discharge::Bounded(_) => "proof.discharge.bounded",
+            Discharge::Binder => "proof.discharge.binder",
+            Discharge::MembershipChecked => "proof.discharge.membership_checked",
+            Discharge::MembershipAssumed => "proof.discharge.membership_assumed",
+        };
+        m.add_counter(kind, 1);
+        if let Discharge::Bounded(cases) = o.discharge {
+            m.add_counter("proof.bounded_cases", cases as u64);
+        }
+    }
+    m
 }
 
 #[derive(Debug, Default, Clone)]
@@ -231,10 +300,17 @@ fn check_inner(
     proof: &Proof,
     scope: &mut Scope,
     report: &mut CheckReport,
+    parent: &Span,
 ) -> Result<(), ProofError> {
     report
         .steps
         .push(format!("{}: {}", proof.rule_name(), goal));
+    let mut rule_span = parent.child("proof.rule");
+    rule_span.record("rule", proof.rule_name());
+    if rule_span.is_enabled() {
+        rule_span.record("judgement", goal.to_string());
+    }
+    let span = rule_span;
     match proof {
         Proof::Hypothesis => {
             if scope.hypotheses.contains(goal) {
@@ -279,7 +355,7 @@ fn check_inner(
                     });
                 }
                 scope.binders.push((var.clone(), set.clone()));
-                let r = check_inner(ctx, jb, body, scope, report);
+                let r = check_inner(ctx, jb, body, scope, report, &span);
                 scope.binders.pop();
                 r
             }
@@ -294,7 +370,7 @@ fn check_inner(
         Proof::Consequence { stronger, premise } => {
             let (p, s) = sat_goal("consequence (2)", goal)?;
             let sub = Judgement::sat(p.clone(), stronger.clone());
-            check_inner(ctx, &sub, premise, scope, report)?;
+            check_inner(ctx, &sub, premise, scope, report, &span)?;
             oblige(
                 ctx,
                 scope,
@@ -310,8 +386,22 @@ fn check_inner(
                 Assertion::And(r, s) => (r.as_ref().clone(), s.as_ref().clone()),
                 _ => return Err(shape("conjunction (3)", goal, "P sat (R and S)")),
             };
-            check_inner(ctx, &Judgement::sat(p.clone(), r), left, scope, report)?;
-            check_inner(ctx, &Judgement::sat(p.clone(), s), right, scope, report)
+            check_inner(
+                ctx,
+                &Judgement::sat(p.clone(), r),
+                left,
+                scope,
+                report,
+                &span,
+            )?;
+            check_inner(
+                ctx,
+                &Judgement::sat(p.clone(), s),
+                right,
+                scope,
+                report,
+                &span,
+            )
         }
 
         Proof::Emptiness => {
@@ -336,6 +426,7 @@ fn check_inner(
                 body,
                 scope,
                 report,
+                &span,
             )
         }
 
@@ -368,7 +459,7 @@ fn check_inner(
             let p2 = subst_process_with(then, var, &Expr::var(fresh));
             let r2 = subst_chan_cons(r, chan, &Term::var(fresh));
             scope.binders.push((fresh.clone(), set.clone()));
-            let res = check_inner(ctx, &Judgement::sat(p2, r2), body, scope, report);
+            let res = check_inner(ctx, &Judgement::sat(p2, r2), body, scope, report, &span);
             scope.binders.pop();
             res
         }
@@ -385,6 +476,7 @@ fn check_inner(
                 left,
                 scope,
                 report,
+                &span,
             )?;
             check_inner(
                 ctx,
@@ -392,6 +484,7 @@ fn check_inner(
                 right,
                 scope,
                 report,
+                &span,
             )
         }
 
@@ -420,13 +513,21 @@ fn check_inner(
             })?;
             assertion_channels_within(&r, &x, "left", &ctx.env)?;
             assertion_channels_within(&s, &y, "right", &ctx.env)?;
-            check_inner(ctx, &Judgement::sat((**pl).clone(), r), left, scope, report)?;
+            check_inner(
+                ctx,
+                &Judgement::sat((**pl).clone(), r),
+                left,
+                scope,
+                report,
+                &span,
+            )?;
             check_inner(
                 ctx,
                 &Judgement::sat((**pr).clone(), s),
                 right,
                 scope,
                 report,
+                &span,
             )
         }
 
@@ -457,6 +558,7 @@ fn check_inner(
                 body,
                 scope,
                 report,
+                &span,
             )
         }
 
@@ -519,7 +621,7 @@ fn check_inner(
                         Judgement::sat(def.body().clone(), inv.clone()),
                     ),
                 };
-                result = check_inner(ctx, &body_goal, body_proof, scope, report);
+                result = check_inner(ctx, &body_goal, body_proof, scope, report, &span);
                 if result.is_err() {
                     break;
                 }

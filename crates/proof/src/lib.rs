@@ -38,7 +38,7 @@ mod synth;
 
 pub mod scripts;
 
-pub use checker::{check, CheckReport, Context, Discharge, Obligation, ProofError};
+pub use checker::{check, check_with, CheckReport, Context, Discharge, Obligation, ProofError};
 pub use judgement::Judgement;
 pub use proof::Proof;
 pub use render::render_report;

@@ -26,6 +26,7 @@ use std::thread;
 use std::time::Instant;
 
 use csp_lang::{Definitions, Env, EvalError, Process};
+use csp_obs::{Collector, Metered, MetricsSnapshot};
 use csp_semantics::{Config, Lts, Step, Universe};
 use csp_trace::{Event, Trace};
 
@@ -46,6 +47,9 @@ pub struct RunOptions {
     /// Watchdog limits (default: generous round timeout, no deadline,
     /// livelock detection off).
     pub supervision: Supervision,
+    /// Observation stream for per-round spans and counters (default:
+    /// [`Collector::disabled`], costing one branch per round).
+    pub collector: Collector,
 }
 
 impl Default for RunOptions {
@@ -55,6 +59,7 @@ impl Default for RunOptions {
             scheduler: Scheduler::seeded(0),
             faults: FaultPlan::none(),
             supervision: Supervision::default(),
+            collector: Collector::disabled(),
         }
     }
 }
@@ -75,6 +80,15 @@ pub struct RunResult {
     pub steps: usize,
     /// Every component death the supervisor observed, recovered or not.
     pub failures: Vec<ComponentFailure>,
+    /// What the run cost: round, pick, fault, and recovery counts
+    /// (always populated from cheap local tallies).
+    pub metrics: MetricsSnapshot,
+}
+
+impl Metered for RunResult {
+    fn metrics(&self) -> &MetricsSnapshot {
+        &self.metrics
+    }
 }
 
 impl RunResult {
@@ -201,6 +215,13 @@ impl<'a> Executor<'a> {
     ) -> Result<RunResult, RunError> {
         let net = flatten(process, self.defs, env)?;
         opts.faults.resolve_all(&net.components)?;
+        let collector = opts.collector.clone();
+        let mut root = collector.span("run");
+        root.record("components", net.components.len());
+        root.record("max_steps", opts.max_steps);
+        let mut rounds = 0u64;
+        let mut picks = 0u64;
+        let mut faults_fired = 0u64;
 
         // Resolve fault targets to indices once, up front.
         let mut crashes: Vec<(usize, usize, bool)> = Vec::new(); // (index, at_step, fired)
@@ -252,6 +273,9 @@ impl<'a> Executor<'a> {
             let mut hidden_streak = 0usize;
 
             'run: while co.full.len() < opts.max_steps {
+                rounds += 1;
+                let mut round_span = root.child("run.round");
+                round_span.record("round", rounds - 1);
                 if co.past_deadline() {
                     terminal = Some(RunOutcome::TimedOut {
                         at_step: co.full.len(),
@@ -270,12 +294,14 @@ impl<'a> Executor<'a> {
                 for (index, at_step, fired) in &mut crashes {
                     if !*fired && *at_step <= step {
                         *fired = true;
+                        faults_fired += 1;
                         co.kill(*index, FailureReason::InjectedCrash);
                     }
                 }
                 for (index, at_step, rounds, fired) in &mut stalls {
                     if !*fired && *at_step <= step {
                         *fired = true;
+                        faults_fired += 1;
                         if !matches!(co.slots[*index].state, SlotState::Dead) {
                             let slot = &mut co.slots[*index];
                             slot.stall_rounds = slot.stall_rounds.max(*rounds);
@@ -346,8 +372,12 @@ impl<'a> Executor<'a> {
                             preferred
                         }
                     };
+                    round_span.record("enabled", pool.len());
                     match opts.scheduler.pick(&pool) {
-                        Some(k) => pool[k],
+                        Some(k) => {
+                            picks += 1;
+                            pool[k]
+                        }
                         None => {
                             saw_deadlock = true;
                             break 'run;
@@ -355,6 +385,9 @@ impl<'a> Executor<'a> {
                     }
                 };
 
+                if round_span.is_enabled() {
+                    round_span.record("event", chosen.to_string());
+                }
                 co.full.push(chosen);
                 if net.hidden.contains(chosen.channel()) {
                     hidden_streak += 1;
@@ -420,6 +453,28 @@ impl<'a> Executor<'a> {
 
         let full = Trace::from_events(full);
         let visible = full.restrict(&net.hidden);
+        root.record("steps", full.len());
+        root.record("rounds", rounds);
+        root.end();
+        let mut metrics = MetricsSnapshot::new();
+        metrics
+            .set_counter("run.rounds", rounds)
+            .set_counter("run.scheduler_picks", picks)
+            .set_counter("run.faults_injected", faults_fired)
+            .set_counter("run.deaths", failures.len() as u64)
+            .set_counter(
+                "run.restarts",
+                failures.iter().filter(|f| f.recovered).count() as u64,
+            )
+            .set_counter("run.steps", full.len() as u64)
+            .set_counter("run.hidden_events", (full.len() - visible.len()) as u64);
+        // Mirror the tallies into the collector so a session aggregating
+        // several operations sees them alongside its span stats.
+        if collector.is_enabled() {
+            for (name, value) in &metrics.counters {
+                collector.add(name.clone(), *value);
+            }
+        }
         Ok(RunResult {
             steps: full.len(),
             visible,
@@ -427,6 +482,7 @@ impl<'a> Executor<'a> {
             deadlocked: outcome.is_deadlock(),
             outcome,
             failures,
+            metrics,
         })
     }
 }

@@ -13,9 +13,12 @@
 //! the unfolding semantics of [`Semantics`].
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use csp_lang::{Definitions, Env, EvalError, Process};
+use csp_obs::{Collector, Metered, MetricsSnapshot};
 use csp_trace::{Event, FxHashMap, TraceSet, Value};
 use rayon::prelude::*;
 
@@ -38,6 +41,16 @@ pub struct FixpointRun {
     /// The first `i` with `a_{i+1} = a_i` (at the requested depth), if
     /// convergence was reached within the iteration budget.
     pub converged_at: Option<usize>,
+    /// What the run cost: iteration/instance counts, changed-key and
+    /// memo-hit tallies (always populated from cheap local counters),
+    /// plus span timings when an enabled [`Collector`] was supplied.
+    pub metrics: MetricsSnapshot,
+}
+
+impl Metered for FixpointRun {
+    fn metrics(&self) -> &MetricsSnapshot {
+        &self.metrics
+    }
 }
 
 impl FixpointRun {
@@ -87,6 +100,34 @@ pub fn fixpoint(
     env: &Env,
     depth: usize,
     max_iters: usize,
+) -> Result<FixpointRun, EvalError> {
+    fixpoint_with(
+        defs,
+        universe,
+        env,
+        depth,
+        max_iters,
+        &Collector::disabled(),
+    )
+}
+
+/// [`fixpoint`] with an observation stream: records a root `fixpoint`
+/// span, one `fixpoint.iter` span per iteration (with changed-key and
+/// memo-hit counts), and one `fixpoint.key` child span per instance
+/// actually re-evaluated. With `Collector::disabled()` the extra cost is
+/// one branch per instrumentation point, and the returned run is
+/// identical to [`fixpoint`]'s (the crate proptests pin this down).
+///
+/// # Errors
+///
+/// Same conditions as [`fixpoint`].
+pub fn fixpoint_with(
+    defs: &Definitions,
+    universe: &Universe,
+    env: &Env,
+    depth: usize,
+    max_iters: usize,
+    collector: &Collector,
 ) -> Result<FixpointRun, EvalError> {
     let keys = instance_keys(defs, universe, env)?;
 
@@ -144,11 +185,27 @@ pub fn fixpoint(
     // `None` marks the first iteration, where every instance is dirty.
     let mut changed_names: Option<BTreeSet<String>> = None;
 
+    let mut root = collector.span("fixpoint");
+    root.record("instances", keys.len());
+    root.record("depth", depth);
+    root.record("work_depth", work_depth);
+    root.record("max_iters", max_iters);
+
+    // Cross-iteration tallies for the always-populated metrics snapshot.
+    let mut total_memo_hits = 0u64;
+    let mut total_memo_misses = 0u64;
+    let mut total_changed = 0u64;
+    let mut total_skipped = 0u64;
+
     for i in 0..max_iters {
+        let mut iter_span = root.child("fixpoint.iter");
+        iter_span.record("iter", i);
+        let iter_start = collector.is_enabled().then(Instant::now);
         // One shared memo of Call-site truncations per iteration: every
         // instance evaluated this round reads the same `a_i`, so a
         // (callee, depth) truncation computed once serves all of them.
-        let memo: CallMemo = Mutex::new(FxHashMap::default());
+        let memo = CallMemo::new();
+        let skipped = AtomicU64::new(0);
         let results: Vec<Result<(ProcKey, TraceSet), EvalError>> = keys
             .par_iter()
             .map(|key| {
@@ -157,13 +214,18 @@ pub fn fixpoint(
                     if !stale {
                         // Early exit: no dependency changed last step, so
                         // re-evaluation would reproduce the current value.
+                        skipped.fetch_add(1, Relaxed);
                         let t = current.get(key).cloned().unwrap_or_else(TraceSet::stop);
                         return Ok((key.clone(), t));
                     }
                 }
+                let mut key_span = iter_span.child("fixpoint.key");
+                key_span.record("name", key.0.as_str());
                 let (body, scope) = defs.resolve_call(&key.0, &key.1, env)?;
                 let t = eval_approx(&sem, body, &scope, work_depth, &current, &memo)?;
-                Ok((key.clone(), t.up_to_depth(work_depth)))
+                let t = t.up_to_depth(work_depth);
+                key_span.record("traces", t.len());
+                Ok((key.clone(), t))
             })
             .collect();
 
@@ -176,6 +238,21 @@ pub fn fixpoint(
             }
             next.insert(k, t);
         }
+        let (hits, misses) = memo.counts();
+        total_memo_hits += hits;
+        total_memo_misses += misses;
+        total_changed += newly_changed.len() as u64;
+        total_skipped += skipped.load(Relaxed);
+        iter_span.record("changed", newly_changed.len());
+        iter_span.record("skipped", skipped.load(Relaxed));
+        iter_span.record("memo_hits", hits);
+        iter_span.record("memo_misses", misses);
+        if let Some(t0) = iter_start {
+            collector.observe_ns(
+                "fixpoint.iter_ns",
+                u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+        }
         let done = newly_changed.is_empty();
         changed_names = Some(newly_changed);
         current = next;
@@ -186,9 +263,30 @@ pub fn fixpoint(
         }
     }
 
+    root.record("converged", converged_at.is_some());
+    root.end();
+
+    let mut metrics = MetricsSnapshot::new();
+    metrics
+        .set_counter("fixpoint.instances", keys.len() as u64)
+        .set_counter("fixpoint.iterations", (iterates.len() - 1) as u64)
+        .set_counter("fixpoint.changed_keys", total_changed)
+        .set_counter("fixpoint.skipped_keys", total_skipped)
+        .set_counter("fixpoint.memo_hits", total_memo_hits)
+        .set_counter("fixpoint.memo_misses", total_memo_misses)
+        .set_counter("fixpoint.converged", u64::from(converged_at.is_some()));
+    // Mirror the tallies into the collector so a session aggregating
+    // several operations sees them alongside its span stats.
+    if collector.is_enabled() {
+        for (name, value) in &metrics.counters {
+            collector.add(name.clone(), *value);
+        }
+    }
+
     Ok(FixpointRun {
         iterates,
         converged_at,
+        metrics,
     })
 }
 
@@ -262,8 +360,27 @@ fn instance_keys(
 }
 
 /// Memo of Call-site truncations, shared across the instances of one
-/// iteration: `(callee key, depth) → a_i[callee] ↾ depth`.
-type CallMemo = Mutex<FxHashMap<(ProcKey, usize), TraceSet>>;
+/// iteration: `(callee key, depth) → a_i[callee] ↾ depth`, plus relaxed
+/// hit/miss tallies for the iteration's instrumentation.
+struct CallMemo {
+    map: Mutex<FxHashMap<(ProcKey, usize), TraceSet>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CallMemo {
+    fn new() -> Self {
+        CallMemo {
+            map: Mutex::new(FxHashMap::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn counts(&self) -> (u64, u64) {
+        (self.hits.load(Relaxed), self.misses.load(Relaxed))
+    }
+}
 
 /// Evaluates a body with process names interpreted by the current
 /// approximation (the environment `ρ[a_i/p]` of §3.3) instead of by
@@ -285,9 +402,11 @@ fn eval_approx(
                 .collect::<Result<Vec<_>, _>>()?;
             let key = (name.clone(), vals);
             let memo_key = (key, depth);
-            if let Some(t) = memo.lock().expect("call memo").get(&memo_key) {
+            if let Some(t) = memo.map.lock().expect("call memo").get(&memo_key) {
+                memo.hits.fetch_add(1, Relaxed);
                 return Ok(t.clone());
             }
+            memo.misses.fetch_add(1, Relaxed);
             // Instances outside the enumerated family (or whose subscript
             // the universe did not cover) default to a₀ = STOP.
             let t = approx
@@ -295,7 +414,10 @@ fn eval_approx(
                 .cloned()
                 .unwrap_or_else(TraceSet::stop)
                 .up_to_depth(depth);
-            memo.lock().expect("call memo").insert(memo_key, t.clone());
+            memo.map
+                .lock()
+                .expect("call memo")
+                .insert(memo_key, t.clone());
             Ok(t)
         }
         Process::Output { chan, msg, then } => {

@@ -42,6 +42,6 @@ pub mod fixpoint;
 
 pub use denote::Semantics;
 pub use equiv::{compare, refines, Discrepancy};
-pub use fixpoint::{fixpoint, Approximation, FixpointRun, ProcKey};
+pub use fixpoint::{fixpoint, fixpoint_with, Approximation, FixpointRun, ProcKey};
 pub use lts::{Config, Lts, Step};
 pub use universe::Universe;

@@ -53,12 +53,15 @@ fn table() -> &'static Table {
 pub(crate) fn intern(channel: Channel, value: Value) -> &'static EventData {
     let key = (channel, value);
     if let Some(data) = table().read().expect("interner lock").get(&key) {
+        crate::stats::record_intern_hit();
         return data;
     }
     let mut map = table().write().expect("interner lock");
     if let Some(data) = map.get(&key) {
+        crate::stats::record_intern_hit();
         return data; // raced: another thread interned it first
     }
+    crate::stats::record_intern_miss();
     let content_hash = {
         use std::hash::{Hash, Hasher};
         let mut h = FxHasher::default();

@@ -52,6 +52,7 @@ mod interleave;
 mod intern;
 mod naive;
 mod seq;
+pub mod stats;
 mod trace;
 mod traceset;
 mod value;
@@ -65,6 +66,7 @@ pub use interleave::{interleave_pair, Interleavings};
 pub use intern::interned_events;
 pub use naive::NaiveTraceSet;
 pub use seq::Seq;
+pub use stats::OpStats;
 pub use trace::Trace;
 pub use traceset::TraceSet;
 pub use value::Value;

@@ -160,6 +160,7 @@ impl TraceSet {
                 traces.insert(t.clone());
             }
         }
+        crate::stats::record_union(traces.len());
         TraceSet { traces }
     }
 
@@ -191,9 +192,11 @@ impl TraceSet {
     /// `chan L; P` (§3.1). The image of a prefix closure under `\C` is
     /// prefix-closed.
     pub fn hide(&self, hidden: &ChannelSet) -> TraceSet {
-        TraceSet {
+        let set = TraceSet {
             traces: self.traces.iter().map(|t| t.restrict(hidden)).collect(),
-        }
+        };
+        crate::stats::record_hide(set.len());
+        set
     }
 
     /// Alphabetised parallel composition `P ‖_{X,Y} Q` (§3.1), computed by
@@ -256,6 +259,7 @@ impl TraceSet {
             }
         }
         let set = TraceSet { traces: out };
+        crate::stats::record_parallel(set.len());
         debug_assert!(set.is_prefix_closed());
         set
     }

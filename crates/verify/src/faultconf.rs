@@ -186,6 +186,7 @@ pub fn fault_conformance(
                         scheduler: Scheduler::seeded(seed),
                         faults: plan.clone(),
                         supervision: sweep.supervision.clone(),
+                        ..RunOptions::default()
                     },
                 )
                 .map_err(FaultConfError::Run)?;

@@ -12,6 +12,7 @@
 
 use csp_assert::{AssertError, Assertion, EvalCtx, FuncTable};
 use csp_lang::{Definitions, Env, Process};
+use csp_obs::Collector;
 use csp_semantics::{Config, Lts, Universe};
 use csp_trace::Trace;
 use rayon::prelude::*;
@@ -48,6 +49,7 @@ pub struct SatChecker<'a> {
     funcs: FuncTable,
     env: Env,
     internal_budget_factor: usize,
+    collector: Collector,
 }
 
 impl<'a> SatChecker<'a> {
@@ -60,6 +62,7 @@ impl<'a> SatChecker<'a> {
             funcs: FuncTable::with_builtins(),
             env: Env::new(),
             internal_budget_factor: 3,
+            collector: Collector::disabled(),
         }
     }
 
@@ -84,6 +87,15 @@ impl<'a> SatChecker<'a> {
         self
     }
 
+    /// Attaches an observation stream: each check records a `satcheck`
+    /// span (with exploration and moment counts) and per-phase child
+    /// spans. Disabled by default.
+    #[must_use]
+    pub fn with_collector(mut self, collector: Collector) -> Self {
+        self.collector = collector;
+        self
+    }
+
     /// Checks `process sat assertion` over all traces up to `depth`.
     ///
     /// # Errors
@@ -97,15 +109,22 @@ impl<'a> SatChecker<'a> {
         assertion: &Assertion,
         depth: usize,
     ) -> Result<SatResult, AssertError> {
+        let mut root = self.collector.span("satcheck");
+        root.record("depth", depth);
         let lts = Lts::new(self.defs, self.universe);
         let start = Config::new(process.clone(), self.env.clone());
+        let explore_span = root.child("satcheck.explore");
         let traces = lts
             .traces_budgeted(&start, depth, depth * self.internal_budget_factor)
             .map_err(AssertError::Eval)?;
+        explore_span.end();
         // Each moment is checked independently; fan out, then scan the
         // verdicts in trace order so the reported counterexample is the
         // same one the sequential loop would have found.
         let traces: Vec<Trace> = traces.iter().cloned().collect();
+        root.record("moments", traces.len());
+        self.collector.add("satcheck.moments", traces.len() as u64);
+        let verdict_span = root.child("satcheck.verdicts");
         let verdicts: Vec<Result<bool, AssertError>> = traces
             .par_iter()
             .map(|trace| {
@@ -114,15 +133,18 @@ impl<'a> SatChecker<'a> {
                 ctx.assertion(assertion)
             })
             .collect();
+        verdict_span.end();
         let mut checked = 0usize;
         for (trace, verdict) in traces.iter().zip(verdicts) {
             if !verdict? {
+                root.record("counterexample", true);
                 return Ok(SatResult::Counterexample {
                     trace: trace.clone(),
                 });
             }
             checked += 1;
         }
+        root.record("counterexample", false);
         Ok(SatResult::Holds {
             traces_checked: checked,
             depth,

@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
     )?;
     println!("fail-stop:  {} — {}", crashed.outcome, crashed.visible);
-    let conf = wb.conformance("pipeline", &crashed, &["output <= input"])?;
+    let conf = wb.conformance("pipeline", &crashed, ["output <= input"])?;
     println!(
         "            conformant degraded prefix: {}",
         conf.conforms()
@@ -91,7 +91,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ],
     )
     .with_max_steps(18);
-    let report = wb.fault_conformance("pipeline", &["output <= input"], &sweep)?;
+    let report = wb.fault_conformance("pipeline", ["output <= input"], &sweep)?;
     let (ok, total) = report.tally();
     println!("\nfault sweep: {ok}/{total} degraded runs conformant");
 

@@ -74,7 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("full trace   : {}", run.full);
     println!("visible trace: {}", run.visible);
 
-    let conf = wb.conformance("protocol", &run, &["output <= input"])?;
+    let conf = wb.conformance("protocol", &run, ["output <= input"])?;
     assert!(conf.conforms(), "run does not conform: {conf:?}");
     println!("run conforms to the semantics and maintains output <= input");
     Ok(())

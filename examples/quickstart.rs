@@ -67,7 +67,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "executed {} events; visible trace:\n  {}",
         run.steps, run.visible
     );
-    let conf = wb.conformance("pipeline", &run, &["output <= input"])?;
+    let conf = wb.conformance("pipeline", &run, ["output <= input"])?;
     println!(
         "conformance: trace admitted = {}, invariants held = {}",
         conf.trace_admitted,

@@ -2,19 +2,30 @@
 //!
 //! ```text
 //! csp lint      <file.csp> [more.csp ...] [--json] [--deny warnings]
-//! csp validate  <file.csp> [--json]
+//! csp validate  <file.csp> [--json]          (deprecated alias of lint)
 //! csp traces    <file.csp> --process NAME [--depth N] [--nat-bound K]
 //! csp check     <file.csp> --process NAME --assert EXPR [--depth N]
 //! csp prove     <file.csp> --spec NAME=EXPR [--spec NAME=EXPR ...]
 //! csp run       <file.csp> --process NAME [--steps N] [--seed S]
 //!               [--fault-plan SPEC] [--deadline-ms T] [--livelock-window W]
 //! csp deadlock  <file.csp> --process NAME [--depth N]
+//! csp profile   <file.csp> [--depth N] [--folded-out PATH]
 //! ```
 //!
 //! Common options: `--nat-bound K` (finite carrier for NAT, default 2),
 //! `--set M=v1,v2,…` (interpret a named abstract set), `--bind v=1,2,3`
 //! (host constant vector, cells `v[1]…`), `--channels a,b` (declare
 //! assertion-only channels).
+//!
+//! Observability: `--trace-out events.jsonl` writes the recorded span
+//! stream (one JSON object per line) and `--metrics` prints the
+//! aggregated counter/span table after `run`, `prove`, `lint`, and
+//! `check`. `csp profile` runs the parse → fixpoint → verify pipeline
+//! under a collector and reports per-phase wall time and allocation,
+//! plus a flamegraph-style folded-stacks file.
+//!
+//! All `--json` output shares one versioned envelope:
+//! `{"schema":"csp/v1","command":"<cmd>","data":…}`.
 //!
 //! Fault plans use the [`FaultPlan::parse`] syntax, e.g.
 //! `--fault-plan 'crash:copier@4;restart:replay'` or
@@ -25,10 +36,43 @@
 //! any lint warning under `--deny warnings`); 2 on usage or input
 //! errors.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Instant;
 
+use csp::obs::MetricsSnapshot;
 use csp::prelude::*;
-use csp::{max_severity, render_json, render_report, timeline, LintCode, Severity};
+use csp::{max_severity, render_json, render_report, timeline, Diagnostic, Session, Severity};
+
+/// A byte-counting wrapper around the system allocator, so `csp profile`
+/// can attribute allocation volume to pipeline phases without any
+/// external profiler. Only the library crates forbid unsafe; this binary
+/// is the designated home for the one unavoidable `GlobalAlloc` impl.
+struct CountingAlloc;
+
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System` unchanged; the counter
+// update has no effect on allocation behaviour.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATED_BYTES.fetch_add(new_size.saturating_sub(layout.size()) as u64, Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -53,15 +97,26 @@ const USAGE: &str = "usage:
   csp lint      <file.csp> [more.csp ...] [--json] [--deny warnings]
                 [--process NAME --assert EXPR]
   csp validate  <file.csp> [--json]
+                DEPRECATED: alias of `csp lint`; use `csp lint` directly
   csp traces    <file.csp> --process NAME [--depth N]
   csp check     <file.csp> --process NAME --assert EXPR [--depth N]
   csp prove     <file.csp> --spec NAME=EXPR [--spec NAME=EXPR ...]
   csp run       <file.csp> --process NAME [--steps N] [--seed S]
                 [--fault-plan SPEC] [--deadline-ms T] [--livelock-window W]
   csp deadlock  <file.csp> --process NAME [--depth N]
+  csp profile   <file.csp> [--depth N] [--folded-out PATH]
+                [--process NAME --assert EXPR]
 options:
-  --json               machine-readable diagnostics (lint/validate)
+  --json               machine-readable output, wrapped in the versioned
+                       envelope {\"schema\":\"csp/v1\",\"command\":…,\"data\":…}
+                       (lint/validate/check/profile)
   --deny warnings      treat lint warnings as errors (exit 1)
+  --trace-out PATH     write the recorded span stream as JSONL
+                       (lint/check/prove/run/profile)
+  --metrics            print the aggregated metrics table (or embed it
+                       in --json output)
+  --folded-out PATH    where `profile` writes folded stacks
+                       (default: <file-stem>.folded)
   --nat-bound K        finite carrier for NAT (default 2)
   --set M=v1,v2        interpretation for a named abstract set
   --bind v=1,2,3       host constant vector (cells v[1], v[2], …)
@@ -92,6 +147,9 @@ struct Opts {
     sets: Vec<(String, Vec<Value>)>,
     binds: Vec<(String, Vec<i64>)>,
     channels: Vec<String>,
+    trace_out: Option<String>,
+    metrics: bool,
+    folded_out: Option<String>,
 }
 
 fn parse_opts(args: &[String], multi_file: bool) -> Result<Opts, String> {
@@ -113,6 +171,9 @@ fn parse_opts(args: &[String], multi_file: bool) -> Result<Opts, String> {
         sets: Vec::new(),
         binds: Vec::new(),
         channels: Vec::new(),
+        trace_out: None,
+        metrics: false,
+        folded_out: None,
     };
     let mut it = args.iter();
     let mut positional = Vec::new();
@@ -205,6 +266,9 @@ fn parse_opts(args: &[String], multi_file: bool) -> Result<Opts, String> {
                 opts.channels
                     .extend(v.split(',').map(|c| c.trim().to_string()));
             }
+            "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            "--metrics" => opts.metrics = true,
+            "--folded-out" => opts.folded_out = Some(value("--folded-out")?),
             other if other.starts_with("--") => {
                 return Err(format!("unknown option `{other}`"));
             }
@@ -268,49 +332,52 @@ fn need_process(opts: &Opts) -> Result<&str, String> {
         .ok_or_else(|| "--process NAME is required".to_string())
 }
 
+/// Wraps a rendered JSON value in the `csp/v1` envelope.
+fn envelope(command: &str, data: &str) -> String {
+    format!("{{\"schema\":\"csp/v1\",\"command\":{command:?},\"data\":{data}}}")
+}
+
+/// The shared `--trace-out`/`--metrics` epilogue: writes the session's
+/// span stream and prints the aggregated table (human output only; the
+/// `--json` paths embed the metrics in their envelope instead).
+fn finish_observation(session: &Session<'_>, opts: &Opts) -> Result<(), String> {
+    if let Some(path) = &opts.trace_out {
+        let mut f = std::fs::File::create(path).map_err(|e| format!("cannot write {path}: {e}"))?;
+        session
+            .write_trace_jsonl(&mut f)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!(
+            "wrote {} span(s) to {path}{}",
+            session.events().len(),
+            match session.dropped() {
+                0 => String::new(),
+                n => format!(" ({n} evicted)"),
+            }
+        );
+    }
+    if opts.metrics && !opts.json {
+        print!("{}", session.metrics().render_table());
+    }
+    Ok(())
+}
+
 /// Returns Ok(true) when the analysis found no refutation.
 fn dispatch(args: &[String]) -> Result<bool, String> {
     let (cmd, rest) = args
         .split_first()
         .ok_or_else(|| "missing subcommand".to_string())?;
-    let opts = parse_opts(rest, cmd == "lint")?;
-    if cmd == "lint" {
-        return run_lint(&opts);
+    let opts = parse_opts(rest, cmd == "lint" || cmd == "validate")?;
+    if cmd == "lint" || cmd == "validate" {
+        if cmd == "validate" {
+            eprintln!("note: `csp validate` is deprecated and now forwards to `csp lint`");
+        }
+        return run_lint(&opts, cmd);
+    }
+    if cmd == "profile" {
+        return run_profile(&opts);
     }
     let wb = build_workbench(&opts)?;
     match cmd.as_str() {
-        "validate" => {
-            // The four classic validation issues are CSP001-CSP004 in
-            // the lint framework; `--json` reports them in that shape.
-            if opts.json {
-                let diags: Vec<_> = wb
-                    .lint()
-                    .into_iter()
-                    .filter(|d| {
-                        matches!(
-                            d.code,
-                            LintCode::UndefinedProcess
-                                | LintCode::ArityMismatch
-                                | LintCode::UnboundVariable
-                                | LintCode::UnguardedRecursion
-                        )
-                    })
-                    .collect();
-                println!("{}", render_json(&diags));
-                return Ok(diags.is_empty());
-            }
-            #[allow(deprecated)]
-            let issues = wb.validate();
-            if issues.is_empty() {
-                println!("ok: {} definition(s), no issues", wb.definitions().len());
-                Ok(true)
-            } else {
-                for i in &issues {
-                    println!("issue: {i}");
-                }
-                Ok(false)
-            }
-        }
         "traces" => {
             let name = need_process(&opts)?;
             let traces = wb.traces(name, opts.depth).map_err(|e| e.to_string())?;
@@ -331,26 +398,51 @@ fn dispatch(args: &[String]) -> Result<bool, String> {
                 .assertion
                 .as_deref()
                 .ok_or_else(|| "--assert EXPR is required".to_string())?;
-            match wb
+            let session = observed_session(&wb, &opts);
+            let verdict = session
                 .check_sat(name, assertion, opts.depth)
-                .map_err(|e| e.to_string())?
-            {
+                .map_err(|e| e.to_string())?;
+            let clean = match &verdict {
                 SatResult::Holds {
                     traces_checked,
                     depth,
                 } => {
-                    println!(
-                        "holds: {name} sat {assertion} on {traces_checked} traces (depth {depth})"
-                    );
-                    Ok(true)
+                    if opts.json {
+                        let mut data = format!(
+                            "{{\"process\":{name:?},\"assertion\":{assertion:?},\
+                             \"holds\":true,\"traces_checked\":{traces_checked},\
+                             \"depth\":{depth}"
+                        );
+                        append_metrics(&mut data, &session, &opts);
+                        data.push('}');
+                        println!("{}", envelope("check", &data));
+                    } else {
+                        println!(
+                            "holds: {name} sat {assertion} on {traces_checked} traces (depth {depth})"
+                        );
+                    }
+                    true
                 }
                 SatResult::Counterexample { trace } => {
-                    println!("REFUTED: {name} sat {assertion}");
-                    println!("counterexample: {trace}");
-                    print!("{}", timeline(&trace));
-                    Ok(false)
+                    if opts.json {
+                        let mut data = format!(
+                            "{{\"process\":{name:?},\"assertion\":{assertion:?},\
+                             \"holds\":false,\"counterexample\":{:?}",
+                            trace.to_string()
+                        );
+                        append_metrics(&mut data, &session, &opts);
+                        data.push('}');
+                        println!("{}", envelope("check", &data));
+                    } else {
+                        println!("REFUTED: {name} sat {assertion}");
+                        println!("counterexample: {trace}");
+                        print!("{}", timeline(trace));
+                    }
+                    false
                 }
-            }
+            };
+            finish_observation(&session, &opts)?;
+            Ok(clean)
         }
         "prove" => {
             if opts.specs.is_empty() {
@@ -361,17 +453,20 @@ fn dispatch(args: &[String]) -> Result<bool, String> {
                 .iter()
                 .map(|(n, a)| (n.as_str(), a.as_str()))
                 .collect();
-            match wb.prove_auto(&specs) {
+            let session = observed_session(&wb, &opts);
+            let clean = match session.prove_auto(&specs) {
                 Ok(report) => {
                     let title = format!("proof: {} sat {}", specs[0].0, specs[0].1);
                     println!("{}", render_report(&title, &report));
-                    Ok(true)
+                    true
                 }
                 Err(e) => {
                     println!("proof failed: {e}");
-                    Ok(false)
+                    false
                 }
-            }
+            };
+            finish_observation(&session, &opts)?;
+            Ok(clean)
         }
         "run" => {
             let name = need_process(&opts)?;
@@ -384,7 +479,8 @@ fn dispatch(args: &[String]) -> Result<bool, String> {
                 supervision = supervision.with_deadline(std::time::Duration::from_millis(ms));
             }
             supervision = supervision.with_livelock_window(opts.livelock_window);
-            let res = wb
+            let session = observed_session(&wb, &opts);
+            let res = session
                 .run(
                     name,
                     RunOptions {
@@ -392,6 +488,7 @@ fn dispatch(args: &[String]) -> Result<bool, String> {
                         scheduler: Scheduler::seeded(opts.seed),
                         faults,
                         supervision,
+                        ..RunOptions::default()
                     },
                 )
                 .map_err(|e| e.to_string())?;
@@ -408,6 +505,7 @@ fn dispatch(args: &[String]) -> Result<bool, String> {
             println!("visible trace:");
             println!("  {}", res.visible);
             print!("{}", timeline(&res.visible));
+            finish_observation(&session, &opts)?;
             Ok(res.outcome.is_clean())
         }
         "deadlock" => {
@@ -439,10 +537,33 @@ fn dispatch(args: &[String]) -> Result<bool, String> {
     }
 }
 
+/// Opens a session over the workbench; the collector is active only
+/// when something will consume it (`--trace-out`/`--metrics`), so the
+/// default path stays on the disabled fast path.
+fn observed_session<'wb>(wb: &'wb Workbench, opts: &Opts) -> Session<'wb> {
+    if opts.trace_out.is_some() || opts.metrics {
+        wb.session()
+    } else {
+        wb.session_with(Collector::disabled())
+    }
+}
+
+/// Appends `,"metrics":{…}` to a JSON object body under `--metrics`.
+fn append_metrics(data: &mut String, session: &Session<'_>, opts: &Opts) {
+    if opts.metrics {
+        data.push_str(",\"metrics\":");
+        data.push_str(&session.metrics().to_json());
+    }
+}
+
 /// Lints every file in `opts.files`; returns Ok(true) when nothing
 /// blocking was found (no errors, and no warnings under `--deny`).
-fn run_lint(opts: &Opts) -> Result<bool, String> {
+/// `command` is `lint` or its deprecated alias `validate` — the envelope
+/// reports whichever was invoked.
+fn run_lint(opts: &Opts, command: &str) -> Result<bool, String> {
     let mut worst: Option<Severity> = None;
+    let mut json_files = Vec::new();
+    let mut all_diags: Vec<Diagnostic> = Vec::new();
     for file in &opts.files {
         let wb = build_workbench_for(opts, file)?;
         let mut diags = wb.lint();
@@ -454,10 +575,10 @@ fn run_lint(opts: &Opts) -> Result<bool, String> {
             );
         }
         if opts.json {
-            println!(
+            json_files.push(format!(
                 "{{\"file\":{file:?},\"diagnostics\":{}}}",
                 render_json(&diags)
-            );
+            ));
         } else if diags.is_empty() {
             println!("{file}: ok ({} definition(s))", wb.definitions().len());
         } else {
@@ -466,10 +587,196 @@ fn run_lint(opts: &Opts) -> Result<bool, String> {
             }
         }
         worst = worst.max(max_severity(&diags));
+        all_diags.extend(diags);
+    }
+    if opts.json {
+        let mut data = format!("{{\"files\":[{}]", json_files.join(","));
+        if opts.metrics {
+            let mut m = MetricsSnapshot::new();
+            m.set_counter("lint.files", opts.files.len() as u64);
+            m.set_counter("lint.diagnostics", all_diags.len() as u64);
+            data.push_str(",\"metrics\":");
+            data.push_str(&m.to_json());
+        }
+        data.push('}');
+        println!("{}", envelope(command, &data));
+    } else if opts.metrics {
+        let mut m = MetricsSnapshot::new();
+        m.set_counter("lint.files", opts.files.len() as u64);
+        m.set_counter("lint.diagnostics", all_diags.len() as u64);
+        print!("{}", m.render_table());
+    }
+    if let Some(path) = &opts.trace_out {
+        // Lint is a pure static analysis — there are no spans to write,
+        // but an explicitly requested log should still appear.
+        std::fs::write(path, "").map_err(|e| format!("cannot write {path}: {e}"))?;
     }
     Ok(match worst {
         Some(Severity::Error) => false,
         Some(Severity::Warning) => !opts.deny_warnings,
         None => true,
     })
+}
+
+/// One timed phase of `csp profile`.
+struct Phase {
+    name: &'static str,
+    ms: f64,
+    alloc_bytes: u64,
+    error: Option<String>,
+}
+
+/// Runs a closure as a named profile phase, measuring wall time and
+/// allocation volume (via the counting global allocator).
+fn phase<T>(
+    name: &'static str,
+    phases: &mut Vec<Phase>,
+    f: impl FnOnce() -> Result<T, String>,
+) -> Option<T> {
+    let alloc0 = ALLOCATED_BYTES.load(Relaxed);
+    let t0 = Instant::now();
+    let result = f();
+    let ms = t0.elapsed().as_secs_f64() * 1e3;
+    let alloc_bytes = ALLOCATED_BYTES.load(Relaxed).saturating_sub(alloc0);
+    match result {
+        Ok(v) => {
+            phases.push(Phase {
+                name,
+                ms,
+                alloc_bytes,
+                error: None,
+            });
+            Some(v)
+        }
+        Err(e) => {
+            phases.push(Phase {
+                name,
+                ms,
+                alloc_bytes,
+                error: Some(e),
+            });
+            None
+        }
+    }
+}
+
+/// `csp profile`: runs the parse → fixpoint → verify pipeline under an
+/// active collector and reports a per-phase wall-time/allocation table,
+/// the aggregated span/counter metrics, and a folded-stacks file.
+///
+/// The verify phase model-checks `--process`/`--assert` when given and
+/// otherwise explores every definition's traces to `--depth`, so the
+/// command works on any parseable file without further flags.
+fn run_profile(opts: &Opts) -> Result<bool, String> {
+    let mut phases: Vec<Phase> = Vec::new();
+    let wb = match phase("parse", &mut phases, || build_workbench(opts)) {
+        Some(wb) => wb,
+        None => {
+            report_profile(opts, &phases, None)?;
+            return Ok(false);
+        }
+    };
+    let session = wb.session();
+    phase("fixpoint", &mut phases, || {
+        session
+            .fixpoint(opts.depth, 32)
+            .map_err(|e| e.to_string())
+            .map(|_| ())
+    });
+    phase("verify", &mut phases, || {
+        if let (Some(name), Some(assertion)) = (opts.process.as_deref(), opts.assertion.as_deref())
+        {
+            session
+                .check_sat(name, assertion, opts.depth)
+                .map_err(|e| e.to_string())
+                .map(|_| ())
+        } else {
+            // Array equations (`q[i:M] = …`) need a subscript to become
+            // a process, so the flag-less sweep covers plain ones only.
+            let names: Vec<String> = wb
+                .definitions()
+                .iter()
+                .filter(|d| d.param().is_none())
+                .map(|d| d.name().to_string())
+                .collect();
+            for name in names {
+                wb.traces(&name, opts.depth).map_err(|e| e.to_string())?;
+            }
+            Ok(())
+        }
+    });
+    report_profile(opts, &phases, Some(&session))?;
+    Ok(phases.iter().all(|p| p.error.is_none()))
+}
+
+/// Renders `csp profile` output (table or envelope) and writes the
+/// folded-stacks file.
+fn report_profile(
+    opts: &Opts,
+    phases: &[Phase],
+    session: Option<&Session<'_>>,
+) -> Result<(), String> {
+    let folded_path = opts.folded_out.clone().unwrap_or_else(|| {
+        let stem = std::path::Path::new(&opts.file)
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "profile".to_string());
+        format!("{stem}.folded")
+    });
+    let metrics = session.map(Session::metrics);
+    if let Some(session) = session {
+        std::fs::write(&folded_path, session.folded_stacks())
+            .map_err(|e| format!("cannot write {folded_path}: {e}"))?;
+        if let Some(path) = &opts.trace_out {
+            let mut f =
+                std::fs::File::create(path).map_err(|e| format!("cannot write {path}: {e}"))?;
+            session
+                .write_trace_jsonl(&mut f)
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+    }
+    if opts.json {
+        let phases_json: Vec<String> = phases
+            .iter()
+            .map(|p| {
+                let mut o = format!(
+                    "{{\"name\":{:?},\"ms\":{:.3},\"alloc_bytes\":{}",
+                    p.name, p.ms, p.alloc_bytes
+                );
+                if let Some(e) = &p.error {
+                    o.push_str(&format!(",\"error\":{e:?}"));
+                }
+                o.push('}');
+                o
+            })
+            .collect();
+        let mut data = format!(
+            "{{\"file\":{:?},\"phases\":[{}],\"folded_out\":{:?}",
+            opts.file,
+            phases_json.join(","),
+            folded_path
+        );
+        if let Some(m) = &metrics {
+            data.push_str(",\"metrics\":");
+            data.push_str(&m.to_json());
+        }
+        data.push('}');
+        println!("{}", envelope("profile", &data));
+        return Ok(());
+    }
+    println!("profile: {}", opts.file);
+    println!("{:<12} {:>12} {:>14}", "phase", "time ms", "alloc bytes");
+    for p in phases {
+        println!("{:<12} {:>12.3} {:>14}", p.name, p.ms, p.alloc_bytes);
+        if let Some(e) = &p.error {
+            println!("  phase failed: {e}");
+        }
+    }
+    if let Some(m) = &metrics {
+        print!("{}", m.render_table());
+    }
+    if session.is_some() {
+        println!("folded stacks: {folded_path}");
+    }
+    Ok(())
 }

@@ -30,11 +30,12 @@ pipeline = chan wire; (copier || recopier)
 ";
 
 #[test]
-fn validate_clean_file() {
+fn validate_is_a_deprecated_lint_alias() {
     let f = write_fixture("pipeline.csp", PIPELINE);
-    let (stdout, _, code) = csp(&["validate", f.to_str().unwrap()]);
+    let (stdout, stderr, code) = csp(&["validate", f.to_str().unwrap()]);
     assert_eq!(code, Some(0), "{stdout}");
-    assert!(stdout.contains("no issues"));
+    assert!(stdout.contains("ok (3 definition(s))"), "{stdout}");
+    assert!(stderr.contains("deprecated"), "{stderr}");
 }
 
 #[test]
@@ -222,7 +223,7 @@ fn lint_errors_exit_one_with_spans() {
 }
 
 #[test]
-fn lint_json_reports_codes_per_file() {
+fn lint_json_reports_codes_per_file_in_envelope() {
     let good = write_fixture("lint_json_good.csp", PIPELINE);
     let bad = write_fixture("lint_json_bad.csp", "p = c!0 -> ghost\n");
     let (stdout, _, code) = csp(&[
@@ -232,12 +233,17 @@ fn lint_json_reports_codes_per_file() {
         bad.to_str().unwrap(),
     ]);
     assert_eq!(code, Some(1), "{stdout}");
+    // One envelope line covering both files.
     let lines: Vec<&str> = stdout.lines().collect();
-    assert_eq!(lines.len(), 2, "{stdout}");
+    assert_eq!(lines.len(), 1, "{stdout}");
+    assert!(
+        lines[0].starts_with("{\"schema\":\"csp/v1\",\"command\":\"lint\",\"data\":"),
+        "{stdout}"
+    );
     assert!(lines[0].contains("\"diagnostics\":[]"), "{stdout}");
-    assert!(lines[1].contains("\"code\":\"CSP001\""), "{stdout}");
-    assert!(lines[1].contains("\"severity\":\"error\""), "{stdout}");
-    assert!(lines[1].contains("\"line\":1"), "{stdout}");
+    assert!(lines[0].contains("\"code\":\"CSP001\""), "{stdout}");
+    assert!(lines[0].contains("\"severity\":\"error\""), "{stdout}");
+    assert!(lines[0].contains("\"line\":1"), "{stdout}");
 }
 
 #[test]
@@ -271,11 +277,174 @@ fn validate_json_matches_lint_contract() {
     let f = write_fixture("validate_json.csp", "p = c!0 -> ghost\n");
     let (stdout, _, code) = csp(&["validate", "--json", f.to_str().unwrap()]);
     assert_eq!(code, Some(1), "{stdout}");
+    // Same envelope as lint, but the command field records the alias.
+    assert!(
+        stdout.starts_with("{\"schema\":\"csp/v1\",\"command\":\"validate\",\"data\":"),
+        "{stdout}"
+    );
     assert!(stdout.contains("\"code\":\"CSP001\""), "{stdout}");
     assert!(stdout.contains("\"column\":12"), "{stdout}");
 
     let clean = write_fixture("validate_json_clean.csp", PIPELINE);
     let (stdout, _, code) = csp(&["validate", "--json", clean.to_str().unwrap()]);
     assert_eq!(code, Some(0), "{stdout}");
-    assert_eq!(stdout.trim(), "[]");
+    assert!(stdout.contains("\"diagnostics\":[]"), "{stdout}");
+}
+
+#[test]
+fn check_json_uses_the_envelope_with_metrics() {
+    let f = write_fixture("check_json.csp", PIPELINE);
+    let (stdout, _, code) = csp(&[
+        "check",
+        f.to_str().unwrap(),
+        "--process",
+        "pipeline",
+        "--assert",
+        "output <= input",
+        "--depth",
+        "3",
+        "--nat-bound",
+        "1",
+        "--json",
+        "--metrics",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(
+        stdout.starts_with("{\"schema\":\"csp/v1\",\"command\":\"check\",\"data\":"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"holds\":true"), "{stdout}");
+    assert!(stdout.contains("\"metrics\":{\"counters\""), "{stdout}");
+    assert!(stdout.contains("satcheck.moments"), "{stdout}");
+}
+
+#[test]
+fn run_writes_trace_jsonl() {
+    let f = write_fixture("run_trace.csp", PIPELINE);
+    let out = std::env::temp_dir().join("hoare-csp-cli-tests/run_events.jsonl");
+    let (stdout, stderr, code) = csp(&[
+        "run",
+        f.to_str().unwrap(),
+        "--process",
+        "pipeline",
+        "--steps",
+        "10",
+        "--seed",
+        "1",
+        "--nat-bound",
+        "1",
+        "--trace-out",
+        out.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0), "{stdout}{stderr}");
+    let log = std::fs::read_to_string(&out).expect("trace log written");
+    assert!(
+        log.lines().any(|l| l.contains("\"name\":\"run.round\"")),
+        "{log}"
+    );
+    assert!(log.lines().any(|l| l.contains("\"name\":\"run\"")), "{log}");
+    assert!(stderr.contains("span(s)"), "{stderr}");
+}
+
+#[test]
+fn run_metrics_table_reports_rounds() {
+    let f = write_fixture("run_metrics.csp", PIPELINE);
+    let (stdout, _, code) = csp(&[
+        "run",
+        f.to_str().unwrap(),
+        "--process",
+        "pipeline",
+        "--steps",
+        "8",
+        "--seed",
+        "4",
+        "--nat-bound",
+        "1",
+        "--metrics",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("run.scheduler_picks"), "{stdout}");
+    assert!(stdout.contains("run.round"), "{stdout}");
+}
+
+/// `csp profile` phase names and span taxonomy are deterministic under a
+/// single rayon thread — only the timing numbers may differ run to run.
+#[test]
+fn profile_is_stable_under_one_thread() {
+    let f = write_fixture("profile.csp", PIPELINE);
+    let dir = std::env::temp_dir().join("hoare-csp-cli-tests");
+    let folded_a = dir.join("profile_a.folded");
+    let folded_b = dir.join("profile_b.folded");
+    let run = |folded: &std::path::Path| {
+        let out = Command::new(env!("CARGO_BIN_EXE_csp"))
+            .args([
+                "profile",
+                f.to_str().unwrap(),
+                "--depth",
+                "3",
+                "--nat-bound",
+                "1",
+                "--folded-out",
+                folded.to_str().unwrap(),
+            ])
+            .env("RAYON_NUM_THREADS", "1")
+            .output()
+            .expect("binary runs");
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let stdout_a = run(&folded_a);
+    let stdout_b = run(&folded_b);
+    for stdout in [&stdout_a, &stdout_b] {
+        assert!(stdout.contains("parse"), "{stdout}");
+        assert!(stdout.contains("fixpoint"), "{stdout}");
+        assert!(stdout.contains("verify"), "{stdout}");
+        assert!(stdout.contains("fixpoint.key"), "{stdout}");
+        assert!(stdout.contains("folded stacks:"), "{stdout}");
+    }
+    // The folded stacks differ only in the self-time column.
+    let stacks = |p: &std::path::Path| -> Vec<String> {
+        std::fs::read_to_string(p)
+            .expect("folded file written")
+            .lines()
+            .map(|l| l.rsplit_once(' ').expect("stack count").0.to_string())
+            .collect()
+    };
+    assert_eq!(stacks(&folded_a), stacks(&folded_b));
+    assert!(stacks(&folded_a)
+        .iter()
+        .any(|s| s.starts_with("fixpoint;fixpoint.iter")));
+}
+
+#[test]
+fn profile_json_envelope_reports_phases() {
+    let f = write_fixture("profile_json.csp", PIPELINE);
+    let dir = std::env::temp_dir().join("hoare-csp-cli-tests");
+    let folded = dir.join("profile_json.folded");
+    let (stdout, _, code) = csp(&[
+        "profile",
+        f.to_str().unwrap(),
+        "--depth",
+        "3",
+        "--nat-bound",
+        "1",
+        "--folded-out",
+        folded.to_str().unwrap(),
+        "--json",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(
+        stdout.starts_with("{\"schema\":\"csp/v1\",\"command\":\"profile\",\"data\":"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"name\":\"parse\""), "{stdout}");
+    assert!(stdout.contains("\"name\":\"fixpoint\""), "{stdout}");
+    assert!(stdout.contains("\"name\":\"verify\""), "{stdout}");
+    assert!(stdout.contains("\"alloc_bytes\":"), "{stdout}");
+    assert!(stdout.contains("\"metrics\":{\"counters\""), "{stdout}");
+    assert!(folded.exists());
 }

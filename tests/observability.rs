@@ -1,0 +1,193 @@
+//! Integration tests for the observability layer: the collector must
+//! never change *what* the toolchain computes (only record how it was
+//! computed), the JSONL sink must round-trip losslessly, and the spans a
+//! [`Session`] gathers must nest according to the documented taxonomy.
+
+use csp::obs::{folded_stacks, parse_jsonl};
+use csp::prelude::*;
+use csp::{fixpoint, fixpoint_with, Definition, Definitions, Env, Process, SetExpr};
+use proptest::prelude::*;
+
+const PIPELINE: &str = "copier = input?x:NAT -> wire!x -> copier
+     recopier = wire?y:NAT -> output!y -> recopier
+     pipeline = chan wire; (copier || recopier)";
+
+fn pipeline_workbench() -> Workbench {
+    let mut wb = Workbench::new();
+    wb.define_source(PIPELINE).expect("pipeline parses");
+    wb
+}
+
+// ------------------------------------------------- observer effect --
+
+/// Closed random process terms over channels a/b/c, mirroring the
+/// generator in `tests/properties.rs`.
+fn arb_process() -> impl Strategy<Value = Process> {
+    let leaf = Just(Process::Stop);
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (
+                prop_oneof![Just("a"), Just("b"), Just("c")],
+                0i64..2,
+                inner.clone()
+            )
+                .prop_map(|(c, n, p)| Process::output(c, csp::Expr::int(n), p)),
+            (prop_oneof![Just("a"), Just("b"), Just("c")], inner.clone())
+                .prop_map(|(c, p)| Process::input(c, "x", SetExpr::range(0, 1), p)),
+            (inner.clone(), inner).prop_map(|(p, q)| p.or(q)),
+        ]
+    })
+}
+
+proptest! {
+    /// Observation must not perturb the fixpoint: a disabled and an
+    /// active collector see identical iterate chains, the same
+    /// convergence point, and the same counter tallies. (Span timings
+    /// necessarily differ, so they are excluded from the comparison.)
+    #[test]
+    fn fixpoint_is_identical_under_observation(p in arb_process()) {
+        let mut defs = Definitions::new();
+        defs.define(Definition::plain("gen", p));
+        let uni = Universe::new(1);
+        let env = Env::new();
+
+        let quiet = fixpoint(&defs, &uni, &env, 3, 16).expect("quiet run");
+        let collector = Collector::new();
+        let observed =
+            fixpoint_with(&defs, &uni, &env, 3, 16, &collector).expect("observed run");
+
+        prop_assert_eq!(&quiet.iterates, &observed.iterates);
+        prop_assert_eq!(quiet.converged_at, observed.converged_at);
+        prop_assert_eq!(&quiet.metrics.counters, &observed.metrics.counters);
+        // The active run actually recorded something.
+        prop_assert!(!collector.records().is_empty());
+    }
+}
+
+/// The same invariant through the high-level [`Session`] API, on the
+/// paper's pipeline (recursion + hiding, which `arb_process` avoids).
+#[test]
+fn session_fixpoint_matches_unobserved_workbench() {
+    let wb = pipeline_workbench();
+    let quiet = wb.fixpoint(4, 32).expect("quiet fixpoint");
+    let session = wb.session();
+    let observed = session.fixpoint(4, 32).expect("observed fixpoint");
+
+    assert_eq!(quiet.iterates, observed.iterates);
+    assert_eq!(quiet.converged_at, observed.converged_at);
+    assert_eq!(quiet.metrics.counters, observed.metrics.counters);
+}
+
+// --------------------------------------------------- JSONL sink --
+
+/// `write_jsonl` → `parse_jsonl` is the identity on a real event log
+/// (ids, parents, timestamps, and typed fields all survive).
+#[test]
+fn jsonl_round_trips_a_session_log() {
+    let wb = pipeline_workbench();
+    let session = wb.session();
+    let res = session
+        .check_sat("pipeline", "output <= input", 3)
+        .expect("check_sat");
+    assert!(res.holds());
+    session.fixpoint(3, 16).expect("fixpoint");
+
+    let records = session.events();
+    assert!(!records.is_empty(), "session recorded no spans");
+
+    let mut buf = Vec::new();
+    session.write_trace_jsonl(&mut buf).expect("serialise");
+    let text = String::from_utf8(buf).expect("utf8");
+    let parsed = parse_jsonl(&text).expect("parse back");
+    assert_eq!(parsed, records);
+}
+
+// ------------------------------------------------ span taxonomy --
+
+/// Spans nest per the documented taxonomy: every `fixpoint.key` closes
+/// inside a `fixpoint.iter`, every `fixpoint.iter` inside the root
+/// `fixpoint` span; ids are allocated in open order and records appear
+/// in close order (children before parents).
+#[test]
+fn session_spans_nest_by_taxonomy() {
+    let wb = pipeline_workbench();
+    let session = wb.session();
+    session.fixpoint(3, 16).expect("fixpoint");
+
+    let records = session.events();
+    let name_of = |id: u64| -> &str {
+        records
+            .iter()
+            .find(|r| r.id == id)
+            .map(|r| r.name.as_str())
+            .unwrap_or("<missing>")
+    };
+
+    let mut iters = 0;
+    let mut keys = 0;
+    for r in &records {
+        match r.name.as_str() {
+            "fixpoint" => assert_eq!(r.parent, None, "fixpoint span must be a root"),
+            "fixpoint.iter" => {
+                iters += 1;
+                assert_eq!(name_of(r.parent.expect("iter has parent")), "fixpoint");
+            }
+            "fixpoint.key" => {
+                keys += 1;
+                assert_eq!(name_of(r.parent.expect("key has parent")), "fixpoint.iter");
+            }
+            other => panic!("unexpected span {other:?} from a fixpoint-only session"),
+        }
+        assert!(r.end_ns >= r.start_ns, "span closed before it opened");
+    }
+    assert!(iters >= 2, "expected at least two fixpoint iterations");
+    assert!(keys >= iters, "each iteration visits every key");
+
+    // Close order: a child record always precedes its parent record.
+    for (i, r) in records.iter().enumerate() {
+        if let Some(parent) = r.parent {
+            let parent_pos = records
+                .iter()
+                .position(|p| p.id == parent)
+                .expect("parent recorded");
+            assert!(
+                parent_pos > i,
+                "parent {parent} closed before child {}",
+                r.id
+            );
+        }
+    }
+
+    // The folded view agrees with the raw records on stack identity.
+    let folded = folded_stacks(&records);
+    assert!(folded.contains("fixpoint;fixpoint.iter;fixpoint.key"));
+}
+
+// ---------------------------------------------- metered results --
+
+/// The per-result snapshot (`Metered`) and the session-wide snapshot
+/// agree on the counters the fixpoint contributes.
+#[test]
+fn metered_result_agrees_with_session_metrics() {
+    let wb = pipeline_workbench();
+    let session = wb.session();
+    let run = session.fixpoint(4, 32).expect("fixpoint");
+
+    let per_result = run.metrics();
+    let session_wide = session.metrics();
+    for name in [
+        "fixpoint.instances",
+        "fixpoint.iterations",
+        "fixpoint.changed_keys",
+        "fixpoint.converged",
+    ] {
+        assert_eq!(
+            per_result.counter(name),
+            session_wide.counter(name),
+            "counter {name} diverges between result and session"
+        );
+    }
+    assert_eq!(per_result.counter("fixpoint.converged"), 1);
+    // The session additionally tracks trace-algebra effort.
+    assert!(session_wide.counter("trace.unions") > 0);
+}

@@ -143,7 +143,7 @@ fn end_to_end_on_all_paper_systems() {
         )
         .unwrap();
     assert!(wb
-        .conformance("pipeline", &run, &["output <= input"])
+        .conformance("pipeline", &run, ["output <= input"])
         .unwrap()
         .conforms());
 
@@ -166,7 +166,7 @@ fn end_to_end_on_all_paper_systems() {
         )
         .unwrap();
     assert!(wb
-        .conformance("protocol", &run, &["output <= input"])
+        .conformance("protocol", &run, ["output <= input"])
         .unwrap()
         .conforms());
 
@@ -195,7 +195,7 @@ fn end_to_end_on_all_paper_systems() {
         )
         .unwrap();
     assert!(wb
-        .conformance("multiplier", &run, &[inv])
+        .conformance("multiplier", &run, [inv])
         .unwrap()
         .conforms());
 }

@@ -25,7 +25,7 @@ fn pipeline_conforms_across_many_seeds_and_schedulers() {
             .unwrap();
         assert!(!run.deadlocked, "seed {seed} deadlocked");
         let conf = wb
-            .conformance("pipeline", &run, &["output <= input"])
+            .conformance("pipeline", &run, ["output <= input"])
             .unwrap();
         assert!(conf.conforms(), "seed {seed}: {conf:?}");
     }
@@ -41,7 +41,7 @@ fn pipeline_conforms_across_many_seeds_and_schedulers() {
         )
         .unwrap();
     assert!(wb
-        .conformance("pipeline", &run, &["output <= input"])
+        .conformance("pipeline", &run, ["output <= input"])
         .unwrap()
         .conforms());
 }
@@ -65,7 +65,7 @@ fn protocol_retransmissions_never_break_delivery_order() {
             .unwrap();
         saw_retransmission |= run.full.iter().any(|e| e.value() == &Value::sym("NACK"));
         let conf = wb
-            .conformance("protocol", &run, &["output <= input", "output <= f(wire)"])
+            .conformance("protocol", &run, ["output <= input", "output <= f(wire)"])
             .unwrap();
         // `output <= f(wire)` mentions the hidden wire, which the visible
         // trace cannot see — it holds vacuously there (empty wire
@@ -181,7 +181,7 @@ fn pipeline_degrades_conformantly_under_faults() {
     let mut wb = Workbench::new().with_universe(Universe::new(1));
     wb.define_source(csp::examples::PIPELINE_SRC).unwrap();
     let result = wb
-        .fault_conformance("pipeline", &["output <= input"], &sweep(18))
+        .fault_conformance("pipeline", ["output <= input"], &sweep(18))
         .unwrap();
     assert_eq!(result.runs.len(), 48);
     assert!(result.all_conformant(), "{:?}", result.violations());
@@ -219,7 +219,7 @@ fn protocol_degrades_conformantly_under_faults() {
         .with_universe(Universe::new(0).with_named("M", [Value::nat(0), Value::nat(1)]));
     wb.define_source(csp::examples::PROTOCOL_SRC).unwrap();
     let result = wb
-        .fault_conformance("protocol", &["output <= input"], &sweep(30))
+        .fault_conformance("protocol", ["output <= input"], &sweep(30))
         .unwrap();
     assert_eq!(result.runs.len(), 48);
     assert!(result.all_conformant(), "{:?}", result.violations());
@@ -241,7 +241,7 @@ fn buffer_degrades_conformantly_under_faults() {
     let mut wb = Workbench::new().with_universe(Universe::new(1));
     wb.define_source(csp::examples::BUFFER2_SRC).unwrap();
     let result = wb
-        .fault_conformance("buffer2", &["out <= in"], &sweep(40))
+        .fault_conformance("buffer2", ["out <= in"], &sweep(40))
         .unwrap();
     assert_eq!(result.runs.len(), 48);
     assert!(result.all_conformant(), "{:?}", result.violations());
@@ -383,7 +383,7 @@ fn starved_component_keeps_invariants_but_loses_turns() {
         )
         .unwrap();
     let conf = wb
-        .conformance("pipeline", &run, &["output <= input"])
+        .conformance("pipeline", &run, ["output <= input"])
         .unwrap();
     assert!(conf.conforms(), "{conf:?}");
 }

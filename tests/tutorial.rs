@@ -73,7 +73,7 @@ fn section_6_execute_and_conform() {
         )
         .unwrap();
     assert!(!run.deadlocked);
-    let conf = wb.conformance("splitter", &run, &[INV]).unwrap();
+    let conf = wb.conformance("splitter", &run, [INV]).unwrap();
     assert!(conf.conforms());
 }
 
@@ -83,4 +83,26 @@ fn section_7_limits() {
     wb.define_source(SPLITTER).unwrap();
     let report = wb.deadlocks("splitter", 5).unwrap();
     assert!(report.deadlock_free());
+}
+
+#[test]
+fn section_11_profile_the_library_claims() {
+    // §11's library-side claims: a session records the span taxonomy,
+    // results carry their own snapshot via `Metered`, and the counter
+    // table renders the names the tutorial quotes.
+    let mut wb = Workbench::new().with_universe(Universe::new(2));
+    wb.define_source(SPLITTER).unwrap();
+    let session = wb.session();
+    let run = session.fixpoint(3, 16).unwrap();
+    assert!(run.metrics().counter("fixpoint.iterations") > 0);
+
+    let metrics = session.metrics();
+    let table = metrics.render_table();
+    assert!(table.contains("fixpoint.iter"));
+    assert!(table.contains("trace.unions"));
+    // The folded sink emits the `stack;stack;leaf self-ns` format.
+    assert!(session
+        .folded_stacks()
+        .lines()
+        .any(|l| l.starts_with("fixpoint;fixpoint.iter ")));
 }
