@@ -19,9 +19,9 @@
 //! observability enabled — the ±30% tolerance therefore also bounds the
 //! instrumentation overhead.
 
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
-use csp_bench::report::{gate, BenchRecord, Report, Verdict};
+use csp_bench::report::{gate, BenchRecord, HistoryRow, Report, SpanAttr, Verdict};
 use csp_bench::{
     chain_workbench, multiplier_invariant, multiplier_workbench, pipeline_workbench,
     protocol_workbench,
@@ -298,10 +298,30 @@ fn median(mut xs: Vec<f64>) -> f64 {
     xs[xs.len() / 2]
 }
 
+/// The spans a workload spent the most time in, from the collector
+/// delta across its samples: positive time only, biggest first, capped
+/// so the report stays small.
+fn span_attribution(delta: &csp_core::obs::MetricsDelta) -> Vec<SpanAttr> {
+    let mut spans: Vec<SpanAttr> = delta
+        .spans
+        .iter()
+        .filter(|(_, s)| s.total_ns > 0)
+        .map(|(name, s)| SpanAttr {
+            span: name.clone(),
+            total_ns: s.total_ns as u64,
+            count: s.count.max(0) as u64,
+        })
+        .collect();
+    spans.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.span.cmp(&b.span)));
+    spans.truncate(8);
+    spans
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: bench-json [--samples N] [--out PATH] [--filter SUBSTR] \
-         [--metrics-out EVENTS.jsonl] [--compare BASELINE [--tolerance FRAC]]"
+         [--metrics-out EVENTS.jsonl] [--history HISTORY.jsonl] \
+         [--compare BASELINE [--tolerance FRAC]]"
     );
     std::process::exit(2);
 }
@@ -313,6 +333,7 @@ fn main() {
     let mut tolerance = 0.30f64;
     let mut filter: Option<String> = None;
     let mut metrics_out: Option<String> = None;
+    let mut history: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -333,6 +354,7 @@ fn main() {
             }
             "--filter" => filter = Some(args.next().unwrap_or_else(|| usage())),
             "--metrics-out" => metrics_out = Some(args.next().unwrap_or_else(|| usage())),
+            "--history" => history = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
@@ -355,12 +377,16 @@ fn main() {
         }
         // One untimed warm-up so allocator and interner state are hot.
         let mut metrics = work(&collector);
+        // Span attribution: the collector delta across the timed
+        // samples says where each workload's wall time went.
+        let before = collector.snapshot();
         let mut times = Vec::with_capacity(samples);
         for _ in 0..samples {
             let t0 = Instant::now();
             metrics = work(&collector);
             times.push(t0.elapsed().as_secs_f64() * 1e3);
         }
+        let spans = span_attribution(&collector.snapshot().delta(&before));
         let wall_ms = median(times);
         eprintln!(
             "{name:<36} {wall_ms:>10.2} ms  traces={} peak={}",
@@ -371,6 +397,7 @@ fn main() {
             wall_ms,
             traces: metrics.traces,
             peak_set: metrics.peak_set,
+            spans,
         });
     }
 
@@ -379,6 +406,26 @@ fn main() {
     match &out {
         Some(path) => std::fs::write(path, &json).expect("write report"),
         None => print!("{json}"),
+    }
+
+    if let Some(path) = &history {
+        let unix_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        let row = HistoryRow::from_report(&report, unix_ms);
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .unwrap_or_else(|e| panic!("cannot open history {path}: {e}"));
+        writeln!(f, "{}", row.to_jsonl_line()).expect("append history row");
+        eprintln!(
+            "appended history row to {path} (total {:.2} ms over {} benches)",
+            row.total_wall_ms,
+            row.benches.len()
+        );
     }
 
     if let Some(path) = &metrics_out {
@@ -411,6 +458,13 @@ fn main() {
                 fmt_ms(line.baseline_ms),
                 fmt_ms(line.current_ms),
             );
+            for c in &line.culprits {
+                eprintln!(
+                    "             ↳ top regressing span: {} (+{:.2} ms)",
+                    c.span,
+                    c.delta_ns as f64 / 1e6
+                );
+            }
         }
         if !g.improvements().is_empty() {
             eprintln!("note: improvements past tolerance — refresh BENCH_baseline.json");

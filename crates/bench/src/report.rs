@@ -8,11 +8,25 @@
 //! baseline should be refreshed.
 //!
 //! The JSON schema is deliberately flat (one object per bench with
-//! `name`, `wall_ms`, `traces`, `peak_set`) so this module can parse it
-//! back with a small scanner instead of a serde dependency — the build
-//! environment is offline.
+//! `name`, `wall_ms`, `traces`, `peak_set`, plus one small object per
+//! attributed span) so this module can parse it back with a small
+//! scanner instead of a serde dependency — the build environment is
+//! offline.
 
 use std::fmt::Write as _;
+
+/// Per-span time attribution for one bench: where the workload's wall
+/// time went, by span name. Recorded only when the bench ran with a
+/// live collector (`--metrics-out`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanAttr {
+    /// The span name (`fixpoint.iter`, `satcheck.explore`, …).
+    pub span: String,
+    /// Total inclusive nanoseconds across the workload's samples.
+    pub total_ns: u64,
+    /// Number of spans closed under this name.
+    pub count: u64,
+}
 
 /// One benchmark's measured numbers.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +39,8 @@ pub struct BenchRecord {
     pub traces: u64,
     /// Peak trace-set size observed during the workload.
     pub peak_set: u64,
+    /// Top spans by total time (empty when run unobserved).
+    pub spans: Vec<SpanAttr>,
 }
 
 /// A full `bench-json` report.
@@ -47,9 +63,23 @@ impl Report {
         for (i, b) in self.benches.iter().enumerate() {
             let _ = write!(
                 out,
-                "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"traces\": {}, \"peak_set\": {}}}",
+                "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"traces\": {}, \"peak_set\": {}",
                 b.name, b.wall_ms, b.traces, b.peak_set
             );
+            if b.spans.is_empty() {
+                out.push('}');
+            } else {
+                out.push_str(", \"spans\": [\n");
+                for (j, s) in b.spans.iter().enumerate() {
+                    let _ = write!(
+                        out,
+                        "      {{\"span\": \"{}\", \"total_ns\": {}, \"count\": {}}}",
+                        s.span, s.total_ns, s.count
+                    );
+                    out.push_str(if j + 1 < b.spans.len() { ",\n" } else { "\n" });
+                }
+                out.push_str("    ]}");
+            }
             out.push_str(if i + 1 < self.benches.len() {
                 ",\n"
             } else {
@@ -71,23 +101,36 @@ impl Report {
     pub fn from_json(src: &str) -> Result<Report, String> {
         let samples = scan_u64(src, "\"samples\"")
             .ok_or_else(|| "missing \"samples\" field".to_string())? as usize;
-        let mut benches = Vec::new();
+        let mut benches: Vec<BenchRecord> = Vec::new();
         for obj in src.split('{').skip(1) {
-            if !obj.contains("\"wall_ms\"") {
-                continue; // header object, not a bench record
+            if obj.contains("\"wall_ms\"") {
+                let name = scan_string(obj, "\"name\"")
+                    .ok_or_else(|| format!("bench record without name: {obj:.60}"))?;
+                let wall_ms = scan_f64(obj, "\"wall_ms\"")
+                    .ok_or_else(|| format!("bench `{name}` without wall_ms"))?;
+                let traces = scan_u64(obj, "\"traces\"").unwrap_or(0);
+                let peak_set = scan_u64(obj, "\"peak_set\"").unwrap_or(0);
+                benches.push(BenchRecord {
+                    name,
+                    wall_ms,
+                    traces,
+                    peak_set,
+                    spans: Vec::new(),
+                });
+            } else if obj.contains("\"total_ns\"") {
+                // A span-attribution object: belongs to the preceding
+                // bench record.
+                let bench = benches
+                    .last_mut()
+                    .ok_or_else(|| format!("span attribution before any bench: {obj:.60}"))?;
+                let span = scan_string(obj, "\"span\"")
+                    .ok_or_else(|| format!("span attribution without span name: {obj:.60}"))?;
+                bench.spans.push(SpanAttr {
+                    span,
+                    total_ns: scan_u64(obj, "\"total_ns\"").unwrap_or(0),
+                    count: scan_u64(obj, "\"count\"").unwrap_or(0),
+                });
             }
-            let name = scan_string(obj, "\"name\"")
-                .ok_or_else(|| format!("bench record without name: {obj:.60}"))?;
-            let wall_ms = scan_f64(obj, "\"wall_ms\"")
-                .ok_or_else(|| format!("bench `{name}` without wall_ms"))?;
-            let traces = scan_u64(obj, "\"traces\"").unwrap_or(0);
-            let peak_set = scan_u64(obj, "\"peak_set\"").unwrap_or(0);
-            benches.push(BenchRecord {
-                name,
-                wall_ms,
-                traces,
-                peak_set,
-            });
         }
         if benches.is_empty() {
             return Err("no bench records found".to_string());
@@ -134,6 +177,17 @@ pub enum Verdict {
     Unmatched,
 }
 
+/// One span named as responsible for a bench regression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanCulprit {
+    /// The regressing span name.
+    pub span: String,
+    /// How much more time it took than in the baseline, in ns.
+    pub delta_ns: i64,
+    /// Its baseline total, for relative reporting (0 when new).
+    pub baseline_ns: u64,
+}
+
 /// One line of the gate comparison.
 #[derive(Debug, Clone)]
 pub struct GateLine {
@@ -145,6 +199,10 @@ pub struct GateLine {
     pub current_ms: Option<f64>,
     /// The comparison verdict.
     pub verdict: Verdict,
+    /// For a [`Verdict::Regression`] with span attribution on both
+    /// sides: the spans whose time grew the most, worst first (at most
+    /// three). Empty otherwise.
+    pub culprits: Vec<SpanCulprit>,
 }
 
 /// Result of gating a fresh report against the committed baseline.
@@ -185,6 +243,7 @@ pub fn gate(baseline: &Report, current: &Report, tolerance: f64) -> GateReport {
                 baseline_ms: Some(b.wall_ms),
                 current_ms: None,
                 verdict: Verdict::Unmatched,
+                culprits: Vec::new(),
             },
             Some(c) => {
                 let base = b.wall_ms.max(1.0);
@@ -196,11 +255,17 @@ pub fn gate(baseline: &Report, current: &Report, tolerance: f64) -> GateReport {
                 } else {
                     Verdict::Ok
                 };
+                let culprits = if verdict == Verdict::Regression {
+                    top_regressing_spans(b, c)
+                } else {
+                    Vec::new()
+                };
                 GateLine {
                     name: b.name.clone(),
                     baseline_ms: Some(b.wall_ms),
                     current_ms: Some(c.wall_ms),
                     verdict,
+                    culprits,
                 }
             }
         };
@@ -213,10 +278,136 @@ pub fn gate(baseline: &Report, current: &Report, tolerance: f64) -> GateReport {
                 baseline_ms: None,
                 current_ms: Some(c.wall_ms),
                 verdict: Verdict::Unmatched,
+                culprits: Vec::new(),
             });
         }
     }
     GateReport { lines, tolerance }
+}
+
+/// The spans whose total time grew the most between two attributed
+/// records, worst first, capped at three. Spans that shrank (or are
+/// attribution-free) never appear — the point is to *name* a
+/// regression, not to inventory it.
+fn top_regressing_spans(baseline: &BenchRecord, current: &BenchRecord) -> Vec<SpanCulprit> {
+    let mut culprits: Vec<SpanCulprit> = current
+        .spans
+        .iter()
+        .map(|c| {
+            let base = baseline
+                .spans
+                .iter()
+                .find(|b| b.span == c.span)
+                .map_or(0, |b| b.total_ns);
+            SpanCulprit {
+                span: c.span.clone(),
+                delta_ns: c.total_ns as i64 - base as i64,
+                baseline_ns: base,
+            }
+        })
+        .filter(|s| s.delta_ns > 0)
+        .collect();
+    culprits.sort_by_key(|s| (std::cmp::Reverse(s.delta_ns), s.span.clone()));
+    culprits.truncate(3);
+    culprits
+}
+
+/// One summarized bench run, as appended to `BENCH_history.jsonl` —
+/// the recorded perf trajectory (`csp bench report` prints it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistoryRow {
+    /// Wall-clock timestamp of the run, milliseconds since the epoch
+    /// (0 when unknown).
+    pub unix_ms: u64,
+    /// Samples per bench the medians were taken over.
+    pub samples: usize,
+    /// Sum of all bench medians, in milliseconds.
+    pub total_wall_ms: f64,
+    /// Per-bench medians, in execution order.
+    pub benches: Vec<(String, f64)>,
+}
+
+impl HistoryRow {
+    /// Summarizes a report into one history row.
+    pub fn from_report(report: &Report, unix_ms: u64) -> HistoryRow {
+        HistoryRow {
+            unix_ms,
+            samples: report.samples,
+            total_wall_ms: report.benches.iter().map(|b| b.wall_ms).sum(),
+            benches: report
+                .benches
+                .iter()
+                .map(|b| (b.name.clone(), b.wall_ms))
+                .collect(),
+        }
+    }
+
+    /// Renders the row as one `csp-bench-history/v1` JSONL line (no
+    /// trailing newline).
+    pub fn to_jsonl_line(&self) -> String {
+        let mut out = format!(
+            "{{\"schema\": \"csp-bench-history/v1\", \"unix_ms\": {}, \"samples\": {}, \
+             \"total_wall_ms\": {:.3}, \"benches\": {{",
+            self.unix_ms, self.samples, self.total_wall_ms
+        );
+        for (i, (name, ms)) in self.benches.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{name}\": {ms:.3}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Parses a `BENCH_history.jsonl` file (one [`HistoryRow`] per line;
+/// blank lines skipped).
+///
+/// # Errors
+///
+/// Returns a description of the first malformed line.
+pub fn parse_history(src: &str) -> Result<Vec<HistoryRow>, String> {
+    let mut rows = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |what: &str| format!("history line {}: {what}", i + 1);
+        let benches_at = line
+            .find("\"benches\"")
+            .ok_or_else(|| err("missing benches map"))?;
+        let map = scan_after(&line[benches_at..], "\"benches\"")
+            .and_then(|rest| rest.strip_prefix('{'))
+            .ok_or_else(|| err("benches is not an object"))?;
+        let map = &map[..map
+            .find('}')
+            .ok_or_else(|| err("unterminated benches map"))?];
+        let mut benches = Vec::new();
+        for pair in map.split(',') {
+            let pair = pair.trim();
+            if pair.is_empty() {
+                continue;
+            }
+            let (name, ms) = pair
+                .split_once(':')
+                .ok_or_else(|| err("bench entry without `:`"))?;
+            let name = name.trim().trim_matches('"').to_string();
+            let ms: f64 = ms
+                .trim()
+                .parse()
+                .map_err(|_| err("bench entry with non-numeric median"))?;
+            benches.push((name, ms));
+        }
+        rows.push(HistoryRow {
+            unix_ms: scan_u64(line, "\"unix_ms\"").unwrap_or(0),
+            samples: scan_u64(line, "\"samples\"").unwrap_or(0) as usize,
+            total_wall_ms: scan_f64(line, "\"total_wall_ms\"").unwrap_or(0.0),
+            benches,
+        });
+    }
+    Ok(rows)
 }
 
 #[cfg(test)]
@@ -233,6 +424,7 @@ mod tests {
                     wall_ms,
                     traces: 10,
                     peak_set: 20,
+                    spans: Vec::new(),
                 })
                 .collect(),
         }
@@ -293,5 +485,118 @@ mod tests {
         let cur = report(&[("tiny", 0.9)]);
         // 45× slower in raw ratio, but both under the 1 ms floor.
         assert!(gate(&base, &cur, 0.30).passed());
+    }
+
+    fn with_spans(mut r: Report, spans: &[(&str, u64, u64)]) -> Report {
+        for b in &mut r.benches {
+            b.spans = spans
+                .iter()
+                .map(|&(span, total_ns, count)| SpanAttr {
+                    span: span.to_string(),
+                    total_ns,
+                    count,
+                })
+                .collect();
+        }
+        r
+    }
+
+    #[test]
+    fn span_attribution_round_trips_through_json() {
+        let r = with_spans(
+            report(&[("E5/fixpoint/pipeline_d4", 50.0)]),
+            &[
+                ("fixpoint.iter", 30_000_000, 12),
+                ("fixpoint", 48_000_000, 1),
+            ],
+        );
+        let parsed = Report::from_json(&r.to_json()).expect("parses");
+        assert_eq!(parsed.benches[0].spans, r.benches[0].spans);
+        // A report without attribution still parses (empty spans).
+        let plain = report(&[("a", 1.0)]);
+        assert_eq!(
+            Report::from_json(&plain.to_json()).unwrap().benches[0].spans,
+            Vec::new()
+        );
+    }
+
+    /// The acceptance scenario: a doctored row slows one span down and
+    /// the gate names it, worst first.
+    #[test]
+    fn gate_names_the_top_regressing_span() {
+        let base = with_spans(
+            report(&[("E5/fixpoint/pipeline_d4", 100.0)]),
+            &[
+                ("fixpoint.iter", 60_000_000, 12),
+                ("fixpoint.key", 30_000_000, 48),
+            ],
+        );
+        // Doctored: fixpoint.iter tripled, fixpoint.key grew slightly.
+        let slow = with_spans(
+            report(&[("E5/fixpoint/pipeline_d4", 210.0)]),
+            &[
+                ("fixpoint.iter", 180_000_000, 12),
+                ("fixpoint.key", 31_000_000, 48),
+            ],
+        );
+        let g = gate(&base, &slow, 0.30);
+        assert!(!g.passed());
+        let culprits = &g.lines[0].culprits;
+        assert_eq!(culprits[0].span, "fixpoint.iter");
+        assert_eq!(culprits[0].delta_ns, 120_000_000);
+        assert_eq!(culprits[0].baseline_ns, 60_000_000);
+        assert_eq!(culprits[1].span, "fixpoint.key");
+        // Within-tolerance benches carry no culprits.
+        let ok = gate(&base, &base, 0.30);
+        assert!(ok.lines[0].culprits.is_empty());
+    }
+
+    #[test]
+    fn culprits_are_capped_and_exclude_shrinking_spans() {
+        let base = with_spans(
+            report(&[("a", 100.0)]),
+            &[
+                ("s1", 10, 1),
+                ("s2", 20, 1),
+                ("s3", 30, 1),
+                ("s4", 40, 1),
+                ("s5", 1000, 1),
+            ],
+        );
+        let slow = with_spans(
+            report(&[("a", 200.0)]),
+            &[
+                ("s1", 50, 1),
+                ("s2", 50, 1),
+                ("s3", 50, 1),
+                ("s4", 50, 1),
+                ("s5", 10, 1),
+            ],
+        );
+        let g = gate(&base, &slow, 0.30);
+        let culprits = &g.lines[0].culprits;
+        assert_eq!(culprits.len(), 3);
+        assert!(culprits.iter().all(|c| c.delta_ns > 0 && c.span != "s5"));
+        assert_eq!(culprits[0].span, "s1", "largest delta first");
+    }
+
+    #[test]
+    fn history_rows_round_trip_through_jsonl() {
+        let r = report(&[("a", 10.5), ("b", 2.25)]);
+        let row = HistoryRow::from_report(&r, 1_700_000_000_000);
+        assert!((row.total_wall_ms - 12.75).abs() < 1e-9);
+        let mut file = String::new();
+        file.push_str(&row.to_jsonl_line());
+        file.push('\n');
+        file.push_str(&HistoryRow::from_report(&r, 1_700_000_600_000).to_jsonl_line());
+        file.push('\n');
+        let rows = parse_history(&file).expect("parses");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], row);
+        assert_eq!(rows[1].unix_ms, 1_700_000_600_000);
+        assert_eq!(
+            rows[1].benches,
+            vec![("a".to_string(), 10.5), ("b".to_string(), 2.25)]
+        );
     }
 }

@@ -219,6 +219,20 @@ impl<'wb> Session<'wb> {
     pub fn folded_stacks(&self) -> String {
         self.collector.folded_stacks()
     }
+
+    /// Renders the recorded spans as a Chrome trace-event / Perfetto
+    /// JSON document, loadable in `chrome://tracing` or
+    /// <https://ui.perfetto.dev>.
+    pub fn chrome_trace(&self) -> String {
+        self.collector.chrome_trace()
+    }
+
+    /// Renders [`Session::metrics`] in the Prometheus text exposition
+    /// format (counters, cumulative-`le` histogram buckets, span
+    /// stats).
+    pub fn prometheus(&self) -> String {
+        csp_obs::render_prometheus(&self.metrics())
+    }
 }
 
 #[cfg(test)]
@@ -300,6 +314,31 @@ mod tests {
         // Only the trace.* deltas survive — there are no spans.
         let m = session.metrics();
         assert!(m.spans.is_empty());
+    }
+
+    #[test]
+    fn exporters_cover_the_session_stream() {
+        let wb = pipeline_wb();
+        let session = wb.session();
+        session.fixpoint(3, 8).unwrap();
+        let chrome = session.chrome_trace();
+        let doc = csp_obs::parse_json(&chrome).expect("valid trace JSON");
+        let events = doc
+            .get("traceEvents")
+            .and_then(csp_obs::JsonValue::as_array)
+            .unwrap();
+        // Every recorded span plus the process-name metadata event.
+        assert_eq!(events.len(), session.events().len() + 1);
+        // The trace.* counters are process-global deltas, so two
+        // metrics() calls can disagree under parallel tests; compare
+        // the exposition against one captured snapshot and sanity-check
+        // the session helper separately.
+        let m = session.metrics();
+        let round_trip = csp_obs::parse_prometheus(&csp_obs::render_prometheus(&m)).unwrap();
+        assert_eq!(round_trip, m);
+        let prom = session.prometheus();
+        let parsed = csp_obs::parse_prometheus(&prom).expect("valid exposition");
+        assert!(parsed.spans.contains_key("fixpoint"));
     }
 
     #[test]

@@ -1,0 +1,348 @@
+//! Chrome trace-event / Perfetto exporter: renders a span ring buffer
+//! as the JSON object format `chrome://tracing` and
+//! <https://ui.perfetto.dev> load directly.
+//!
+//! Every finished span becomes one complete (`"ph":"X"`) event with
+//! microsecond `ts`/`dur` (fractional, so the nanosecond resolution of
+//! the collector survives) and its typed fields as `args`. Chrome infers
+//! nesting from interval containment *per track* (`tid`), so the
+//! exporter assigns each span a track such that containment on a track
+//! holds exactly for ancestor/descendant pairs: children sit on their
+//! parent's track until a concurrent sibling would overlap, which is
+//! moved to a fresh track instead. The span's `id` and `parent` id ride
+//! along in `args`, so the exact tree is recoverable regardless of
+//! track placement.
+
+use std::collections::BTreeMap;
+
+use crate::json::json_string;
+use crate::span::{FieldValue, SpanRecord};
+
+/// Renders span records as a Chrome trace-event JSON document (the
+/// object form: `{"traceEvents":[…]}`). The output is stable for a
+/// deterministic span tree: events are ordered by start time, then by
+/// span id.
+pub fn chrome_trace(records: &[SpanRecord]) -> String {
+    chrome_trace_named(records, "csp")
+}
+
+/// [`chrome_trace`] with an explicit process name (shown by the viewer
+/// as the top-level group).
+pub fn chrome_trace_named(records: &[SpanRecord], process_name: &str) -> String {
+    let by_id: BTreeMap<u64, &SpanRecord> = records.iter().map(|r| (r.id, r)).collect();
+    // True iff `candidate` appears on `r`'s parent chain.
+    let is_ancestor = |candidate: u64, r: &SpanRecord| -> bool {
+        let mut cursor = r.parent;
+        while let Some(p) = cursor {
+            if p == candidate {
+                return true;
+            }
+            cursor = by_id.get(&p).and_then(|pr| pr.parent);
+        }
+        false
+    };
+
+    // Sort by start (ties: longer span first, so a parent sharing its
+    // child's start timestamp is placed before the child).
+    let mut order: Vec<&SpanRecord> = records.iter().collect();
+    order.sort_by_key(|r| (r.start_ns, std::cmp::Reverse(r.end_ns), r.id));
+
+    // Greedy track assignment. Each track keeps a stack of the spans
+    // currently covering it; a span may join a track iff, after closing
+    // the spans that ended before it starts, the track is free or its
+    // innermost open span is one of the span's ancestors. This makes
+    // interval containment on a track coincide with ancestry.
+    let mut tracks: Vec<Vec<&SpanRecord>> = Vec::new();
+    let mut track_of: BTreeMap<u64, usize> = BTreeMap::new();
+    for r in &order {
+        let mut chosen = None;
+        for (t, stack) in tracks.iter_mut().enumerate() {
+            while stack.last().is_some_and(|top| top.end_ns <= r.start_ns) {
+                stack.pop();
+            }
+            let fits = match stack.last() {
+                None => true,
+                // Ancestry plus temporal containment: a child that
+                // outlived its parent (malformed scoping) must not
+                // share the lane, or the track would partially overlap.
+                Some(top) => is_ancestor(top.id, r) && top.end_ns >= r.end_ns,
+            };
+            if fits {
+                chosen = Some(t);
+                break;
+            }
+        }
+        let t = chosen.unwrap_or_else(|| {
+            tracks.push(Vec::new());
+            tracks.len() - 1
+        });
+        tracks[t].push(r);
+        track_of.insert(r.id, t);
+    }
+
+    let mut out = String::from("{\"traceEvents\":[");
+    out.push_str(&format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{{\"name\":{}}}}}",
+        json_string(process_name)
+    ));
+    for r in &order {
+        let ts = r.start_ns as f64 / 1e3;
+        let dur = r.duration_ns() as f64 / 1e3;
+        out.push(',');
+        out.push_str(&format!(
+            "{{\"name\":{},\"cat\":\"csp\",\"ph\":\"X\",\"ts\":{ts:.3},\"dur\":{dur:.3},\
+             \"pid\":1,\"tid\":{},\"args\":{{\"span_id\":{},\"parent\":{}",
+            json_string(&r.name),
+            track_of[&r.id],
+            r.id,
+            r.parent
+                .map_or_else(|| "null".to_string(), |p| p.to_string()),
+        ));
+        for (k, v) in &r.fields {
+            out.push(',');
+            out.push_str(&json_string(k));
+            out.push(':');
+            match v {
+                FieldValue::Int(n) => out.push_str(&n.to_string()),
+                FieldValue::Uint(n) => out.push_str(&n.to_string()),
+                FieldValue::Str(s) => out.push_str(&json_string(s)),
+                FieldValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            }
+        }
+        out.push_str("}}");
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse_json, JsonValue};
+    use crate::Collector;
+    use proptest::prelude::*;
+
+    /// The exported events, metadata stripped.
+    fn span_events(doc: &JsonValue) -> Vec<&JsonValue> {
+        doc.get("traceEvents")
+            .and_then(JsonValue::as_array)
+            .expect("traceEvents array")
+            .iter()
+            .filter(|e| e.get("ph").and_then(JsonValue::as_str) == Some("X"))
+            .collect()
+    }
+
+    fn ns(e: &JsonValue, key: &str) -> u64 {
+        (e.get(key).and_then(JsonValue::as_f64).expect("µs number") * 1e3).round() as u64
+    }
+
+    /// Checks every guarantee the exporter makes against the source
+    /// records: one event per span with exact timestamps and args, the
+    /// parent link temporally contained, and containment per track
+    /// coinciding with ancestry.
+    fn assert_well_formed(records: &[SpanRecord], json: &str) {
+        let doc = parse_json(json).expect("valid JSON");
+        let events = span_events(&doc);
+        assert_eq!(events.len(), records.len());
+        let by_id: std::collections::BTreeMap<u64, &SpanRecord> =
+            records.iter().map(|r| (r.id, r)).collect();
+        let is_ancestor = |candidate: u64, r: &SpanRecord| -> bool {
+            let mut cursor = r.parent;
+            while let Some(p) = cursor {
+                if p == candidate {
+                    return true;
+                }
+                cursor = by_id.get(&p).and_then(|pr| pr.parent);
+            }
+            false
+        };
+
+        let mut seen: Vec<(u64, u64, u64, u64)> = Vec::new(); // (tid, id, start, end)
+        for e in &events {
+            let id = e
+                .get("args")
+                .unwrap()
+                .get("span_id")
+                .unwrap()
+                .as_u64()
+                .unwrap();
+            let r = by_id[&id];
+            assert_eq!(e.get("name").unwrap().as_str(), Some(r.name.as_str()));
+            assert_eq!(ns(e, "ts"), r.start_ns, "ts survives µs conversion");
+            assert_eq!(ns(e, "dur"), r.duration_ns(), "dur survives µs conversion");
+            let parent = e.get("args").unwrap().get("parent").unwrap();
+            match r.parent {
+                None => assert_eq!(*parent, JsonValue::Null),
+                Some(p) => {
+                    assert_eq!(parent.as_u64(), Some(p));
+                    // The parent event (when recorded) contains the child.
+                    if let Some(pr) = by_id.get(&p) {
+                        assert!(pr.start_ns <= r.start_ns && r.end_ns <= pr.end_ns);
+                    }
+                }
+            }
+            // Typed fields all appear in args.
+            for (k, _) in &r.fields {
+                assert!(e.get("args").unwrap().get(k).is_some(), "missing arg {k}");
+            }
+            seen.push((
+                e.get("tid").unwrap().as_u64().unwrap(),
+                id,
+                r.start_ns,
+                r.end_ns,
+            ));
+        }
+
+        // Per track: any two events either nest or are disjoint, and
+        // containment implies ancestry — the viewer's inferred nesting
+        // is exactly the span tree.
+        for (i, &(tid_a, id_a, s_a, e_a)) in seen.iter().enumerate() {
+            for &(tid_b, id_b, s_b, e_b) in &seen[i + 1..] {
+                if tid_a != tid_b {
+                    continue;
+                }
+                let disjoint = e_a <= s_b || e_b <= s_a;
+                let a_in_b = s_b <= s_a && e_a <= e_b;
+                let b_in_a = s_a <= s_b && e_b <= e_a;
+                assert!(
+                    disjoint || a_in_b || b_in_a,
+                    "partial overlap on track {tid_a}: {id_a} vs {id_b}"
+                );
+                if !disjoint {
+                    let (inner, outer) = if a_in_b { (id_a, id_b) } else { (id_b, id_a) };
+                    assert!(
+                        is_ancestor(outer, by_id[&inner]) || is_ancestor(inner, by_id[&outer]),
+                        "track {tid_a} nests unrelated spans {inner} inside {outer}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_tree_exports_on_one_track() {
+        let c = Collector::new();
+        {
+            let root = c.span("root");
+            {
+                let mid = root.child("mid");
+                let _leaf = mid.child("leaf");
+            }
+            let _mid2 = root.child("mid2");
+        }
+        let records = c.records();
+        let json = chrome_trace(&records);
+        assert_well_formed(&records, &json);
+        let doc = parse_json(&json).unwrap();
+        assert!(span_events(&doc)
+            .iter()
+            .all(|e| e.get("tid").unwrap().as_u64() == Some(0)));
+    }
+
+    #[test]
+    fn concurrent_siblings_get_disjoint_tracks() {
+        let c = Collector::new();
+        let root = c.span("root");
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let root = &root;
+                scope.spawn(move || {
+                    let mut s = root.child("worker");
+                    s.record("busy", true);
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                });
+            }
+        });
+        drop(root);
+        let records = c.records();
+        assert_well_formed(&records, &chrome_trace(&records));
+    }
+
+    #[test]
+    fn fields_become_args() {
+        let c = Collector::new();
+        {
+            let mut s = c.span("s");
+            s.record("n", 4u64);
+            s.record("label", "x \"y\"");
+            s.record("neg", -2i64);
+            s.record("flag", false);
+        }
+        let json = chrome_trace(&c.records());
+        let doc = parse_json(&json).unwrap();
+        let args = span_events(&doc)[0].get("args").unwrap().clone();
+        assert_eq!(args.get("n").unwrap().as_u64(), Some(4));
+        assert_eq!(args.get("label").unwrap().as_str(), Some("x \"y\""));
+        assert_eq!(args.get("neg").unwrap().as_i64(), Some(-2));
+        assert_eq!(args.get("flag").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn process_name_metadata_is_emitted_first() {
+        let c = Collector::new();
+        c.span("s").end();
+        let json = chrome_trace_named(&c.records(), "bench");
+        let doc = parse_json(&json).unwrap();
+        let all = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(all[0].get("ph").unwrap().as_str(), Some("M"));
+        assert_eq!(
+            all[0].get("args").unwrap().get("name").unwrap().as_str(),
+            Some("bench")
+        );
+    }
+
+    #[test]
+    fn orphaned_spans_are_still_exported() {
+        // Simulate ring-buffer eviction: a record whose parent is gone.
+        let records = vec![SpanRecord {
+            id: 9,
+            parent: Some(1),
+            name: "lost".into(),
+            start_ns: 5,
+            end_ns: 10,
+            fields: vec![],
+        }];
+        assert_well_formed(&records, &chrome_trace(&records));
+    }
+
+    /// A randomly shaped span forest: at every step either open a child
+    /// of the innermost open span, close the innermost span, or open a
+    /// new root. Timestamps come from the real collector, so the trees
+    /// are properly nested — the exporter must keep them that way.
+    fn run_random_forest(ops: &[u8]) -> Vec<SpanRecord> {
+        let c = Collector::new();
+        let mut open: Vec<crate::Span> = Vec::new();
+        for op in ops {
+            match op % 3 {
+                0 => {
+                    let child = match open.last() {
+                        Some(parent) => parent.child("inner"),
+                        None => c.span("root"),
+                    };
+                    open.push(child);
+                }
+                1 => {
+                    open.pop();
+                }
+                _ => {
+                    // Close everything (innermost first, as scoped code
+                    // would), then a fresh root: exercises multiple
+                    // consecutive trees.
+                    while open.pop().is_some() {}
+                    open.push(c.span("root"));
+                }
+            }
+        }
+        while open.pop().is_some() {}
+        c.records()
+    }
+
+    proptest! {
+        #[test]
+        fn random_span_forests_export_well_formed(ops in proptest::collection::vec(0u8..6, 0..40)) {
+            let records = run_random_forest(&ops);
+            assert_well_formed(&records, &chrome_trace(&records));
+        }
+    }
+}

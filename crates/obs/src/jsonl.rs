@@ -1,29 +1,15 @@
 //! JSONL (one JSON object per line) serialisation of span records, and
 //! a parser for the same subset — enough to round-trip our own logs and
 //! to let external tooling consume them.
+//!
+//! A log written by a collector whose ring buffer overflowed ends with
+//! one marker record `{"dropped":N}`; [`parse_jsonl`] skips it,
+//! [`parse_jsonl_with_dropped`] surfaces the count.
 
 use std::io::Write;
 
+use crate::json::{json_string, parse_json, JsonValue};
 use crate::span::{FieldValue, SpanRecord};
-
-/// Escapes a string as a JSON string literal (with quotes).
-pub(crate) fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
 
 fn render_record(r: &SpanRecord) -> String {
     let mut line = format!(
@@ -62,8 +48,26 @@ fn render_record(r: &SpanRecord) -> String {
 ///
 /// Propagates writer errors.
 pub fn write_jsonl<W: Write>(records: &[SpanRecord], w: &mut W) -> std::io::Result<()> {
+    write_jsonl_with_dropped(records, 0, w)
+}
+
+/// Writes the records as JSONL, followed by a `{"dropped":N}` marker
+/// record when `dropped > 0` — so a consumer of an overflowed ring
+/// buffer can tell a complete log from a truncated one.
+///
+/// # Errors
+///
+/// Propagates writer errors.
+pub fn write_jsonl_with_dropped<W: Write>(
+    records: &[SpanRecord],
+    dropped: u64,
+    w: &mut W,
+) -> std::io::Result<()> {
     for r in records {
         writeln!(w, "{}", render_record(r))?;
+    }
+    if dropped > 0 {
+        writeln!(w, "{{\"dropped\":{dropped}}}")?;
     }
     Ok(())
 }
@@ -87,32 +91,51 @@ impl std::error::Error for JsonlError {}
 
 /// Parses a JSONL event log produced by [`write_jsonl`] back into span
 /// records. Blank lines are skipped; lines whose top-level object lacks
-/// an `"id"` key (e.g. a trailing metrics line) are ignored.
+/// an `"id"` key (the `dropped` marker, a trailing metrics line) are
+/// ignored.
 ///
 /// # Errors
 ///
 /// Fails on malformed JSON or records with missing/mistyped core keys.
 pub fn parse_jsonl(src: &str) -> Result<Vec<SpanRecord>, JsonlError> {
+    parse_jsonl_with_dropped(src).map(|(records, _)| records)
+}
+
+/// Like [`parse_jsonl`], additionally returning the count from the
+/// final `{"dropped":N}` marker (0 when the log has none).
+///
+/// # Errors
+///
+/// Fails on malformed JSON or records with missing/mistyped core keys.
+pub fn parse_jsonl_with_dropped(src: &str) -> Result<(Vec<SpanRecord>, u64), JsonlError> {
     let mut out = Vec::new();
+    let mut dropped = 0u64;
     for (i, line) in src.lines().enumerate() {
         let line_no = i + 1;
         let line = line.trim();
         if line.is_empty() {
             continue;
         }
-        let value = parse_value(&mut Cursor::new(line, line_no))?;
-        let Json::Object(pairs) = value else {
+        let value = parse_json(line).map_err(|e| err(line_no, &e.message))?;
+        let JsonValue::Object(pairs) = value else {
             return Err(err(line_no, "expected a JSON object"));
         };
         if !pairs.iter().any(|(k, _)| k == "id") {
-            continue; // a non-span line (metrics trailer etc.)
+            if let Some(n) = pairs
+                .iter()
+                .find(|(k, _)| k == "dropped")
+                .and_then(|(_, v)| v.as_u64())
+            {
+                dropped = n;
+            }
+            continue; // a non-span line (dropped marker, metrics trailer)
         }
         out.push(record_from(pairs, line_no)?);
     }
-    Ok(out)
+    Ok((out, dropped))
 }
 
-fn record_from(pairs: Vec<(String, Json)>, line: usize) -> Result<SpanRecord, JsonlError> {
+fn record_from(pairs: Vec<(String, JsonValue)>, line: usize) -> Result<SpanRecord, JsonlError> {
     let mut r = SpanRecord {
         id: 0,
         parent: None,
@@ -121,21 +144,29 @@ fn record_from(pairs: Vec<(String, Json)>, line: usize) -> Result<SpanRecord, Js
         end_ns: 0,
         fields: Vec::new(),
     };
+    let want_u64 = |v: &JsonValue, what: &str| {
+        v.as_u64().ok_or_else(|| {
+            err(
+                line,
+                &format!("expected unsigned integer {what}, got {v:?}"),
+            )
+        })
+    };
     for (k, v) in pairs {
         match (k.as_str(), v) {
-            ("id", Json::Num(n)) => r.id = as_u64(n, line)?,
-            ("parent", Json::Null) => r.parent = None,
-            ("parent", Json::Num(n)) => r.parent = Some(as_u64(n, line)?),
-            ("name", Json::Str(s)) => r.name = s,
-            ("start_ns", Json::Num(n)) => r.start_ns = as_u64(n, line)?,
-            ("end_ns", Json::Num(n)) => r.end_ns = as_u64(n, line)?,
-            ("fields", Json::Object(fs)) => {
+            ("id", v) => r.id = want_u64(&v, "id")?,
+            ("parent", JsonValue::Null) => r.parent = None,
+            ("parent", v) => r.parent = Some(want_u64(&v, "parent")?),
+            ("name", JsonValue::Str(s)) => r.name = s,
+            ("start_ns", v) => r.start_ns = want_u64(&v, "start_ns")?,
+            ("end_ns", v) => r.end_ns = want_u64(&v, "end_ns")?,
+            ("fields", JsonValue::Object(fs)) => {
                 for (fk, fv) in fs {
                     let value = match fv {
-                        Json::Num(n) if n < 0.0 => FieldValue::Int(n as i64),
-                        Json::Num(n) => FieldValue::Uint(n as u64),
-                        Json::Str(s) => FieldValue::Str(s),
-                        Json::Bool(b) => FieldValue::Bool(b),
+                        JsonValue::Num(n) if n < 0.0 => FieldValue::Int(n as i64),
+                        JsonValue::Num(n) => FieldValue::Uint(n as u64),
+                        JsonValue::Str(s) => FieldValue::Str(s),
+                        JsonValue::Bool(b) => FieldValue::Bool(b),
                         other => {
                             return Err(err(line, &format!("bad field value {other:?}")));
                         }
@@ -152,196 +183,10 @@ fn record_from(pairs: Vec<(String, Json)>, line: usize) -> Result<SpanRecord, Js
     Ok(r)
 }
 
-fn as_u64(n: f64, line: usize) -> Result<u64, JsonlError> {
-    if n < 0.0 || n.fract() != 0.0 {
-        return Err(err(line, &format!("expected unsigned integer, got {n}")));
-    }
-    Ok(n as u64)
-}
-
 fn err(line: usize, message: &str) -> JsonlError {
     JsonlError {
         line,
         message: message.to_string(),
-    }
-}
-
-/// The minimal JSON value model the parser needs.
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Array(Vec<Json>),
-    Object(Vec<(String, Json)>),
-}
-
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-    line: usize,
-}
-
-impl<'a> Cursor<'a> {
-    fn new(s: &'a str, line: usize) -> Self {
-        Cursor {
-            bytes: s.as_bytes(),
-            pos: 0,
-            line,
-        }
-    }
-
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_whitespace())
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.skip_ws();
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn bump(&mut self) -> Option<u8> {
-        let b = self.peek()?;
-        self.pos += 1;
-        Some(b)
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), JsonlError> {
-        match self.bump() {
-            Some(got) if got == b => Ok(()),
-            got => Err(err(
-                self.line,
-                &format!("expected `{}`, got {got:?}", b as char),
-            )),
-        }
-    }
-
-    fn eat_literal(&mut self, lit: &str) -> bool {
-        self.skip_ws();
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            true
-        } else {
-            false
-        }
-    }
-}
-
-fn parse_value(c: &mut Cursor<'_>) -> Result<Json, JsonlError> {
-    match c.peek() {
-        Some(b'{') => {
-            c.bump();
-            let mut pairs = Vec::new();
-            if c.peek() == Some(b'}') {
-                c.bump();
-                return Ok(Json::Object(pairs));
-            }
-            loop {
-                let key = parse_string(c)?;
-                c.expect(b':')?;
-                let value = parse_value(c)?;
-                pairs.push((key, value));
-                match c.bump() {
-                    Some(b',') => continue,
-                    Some(b'}') => return Ok(Json::Object(pairs)),
-                    other => return Err(err(c.line, &format!("bad object separator {other:?}"))),
-                }
-            }
-        }
-        Some(b'[') => {
-            c.bump();
-            let mut items = Vec::new();
-            if c.peek() == Some(b']') {
-                c.bump();
-                return Ok(Json::Array(items));
-            }
-            loop {
-                items.push(parse_value(c)?);
-                match c.bump() {
-                    Some(b',') => continue,
-                    Some(b']') => return Ok(Json::Array(items)),
-                    other => return Err(err(c.line, &format!("bad array separator {other:?}"))),
-                }
-            }
-        }
-        Some(b'"') => Ok(Json::Str(parse_string(c)?)),
-        Some(b) if b == b'-' || b.is_ascii_digit() => {
-            c.skip_ws();
-            let start = c.pos;
-            if c.bytes[c.pos] == b'-' {
-                c.pos += 1;
-            }
-            while c
-                .bytes
-                .get(c.pos)
-                .is_some_and(|b| b.is_ascii_digit() || *b == b'.' || *b == b'e' || *b == b'E')
-            {
-                c.pos += 1;
-            }
-            let text = std::str::from_utf8(&c.bytes[start..c.pos]).expect("ascii");
-            text.parse::<f64>()
-                .map(Json::Num)
-                .map_err(|_| err(c.line, &format!("bad number `{text}`")))
-        }
-        _ if c.eat_literal("null") => Ok(Json::Null),
-        _ if c.eat_literal("true") => Ok(Json::Bool(true)),
-        _ if c.eat_literal("false") => Ok(Json::Bool(false)),
-        other => Err(err(c.line, &format!("unexpected input {other:?}"))),
-    }
-}
-
-fn parse_string(c: &mut Cursor<'_>) -> Result<String, JsonlError> {
-    c.expect(b'"')?;
-    let mut out = String::new();
-    loop {
-        match c.bytes.get(c.pos).copied() {
-            None => return Err(err(c.line, "unterminated string")),
-            Some(b'"') => {
-                c.pos += 1;
-                return Ok(out);
-            }
-            Some(b'\\') => {
-                c.pos += 1;
-                match c.bytes.get(c.pos).copied() {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'u') => {
-                        let hex = c
-                            .bytes
-                            .get(c.pos + 1..c.pos + 5)
-                            .and_then(|h| std::str::from_utf8(h).ok())
-                            .and_then(|h| u32::from_str_radix(h, 16).ok())
-                            .and_then(char::from_u32)
-                            .ok_or_else(|| err(c.line, "bad \\u escape"))?;
-                        out.push(hex);
-                        c.pos += 4;
-                    }
-                    other => {
-                        return Err(err(c.line, &format!("bad escape {other:?}")));
-                    }
-                }
-                c.pos += 1;
-            }
-            Some(_) => {
-                // Consume one UTF-8 scalar (multi-byte safe).
-                let rest = std::str::from_utf8(&c.bytes[c.pos..])
-                    .map_err(|_| err(c.line, "invalid UTF-8"))?;
-                let ch = rest.chars().next().expect("non-empty");
-                out.push(ch);
-                c.pos += ch.len_utf8();
-            }
-        }
     }
 }
 
@@ -397,5 +242,20 @@ mod tests {
         write_jsonl(&c.records(), &mut buf).unwrap();
         let parsed = parse_jsonl(std::str::from_utf8(&buf).unwrap()).unwrap();
         assert_eq!(parsed, c.records());
+    }
+
+    #[test]
+    fn dropped_marker_round_trips_and_is_transparent_to_parse_jsonl() {
+        let c = Collector::new();
+        c.span("s").end();
+        let mut buf = Vec::new();
+        write_jsonl_with_dropped(&c.records(), 7, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.ends_with("{\"dropped\":7}\n"), "{text}");
+        let (records, dropped) = parse_jsonl_with_dropped(&text).unwrap();
+        assert_eq!(records, c.records());
+        assert_eq!(dropped, 7);
+        // The plain parser skips the marker silently.
+        assert_eq!(parse_jsonl(&text).unwrap(), c.records());
     }
 }

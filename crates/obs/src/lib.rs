@@ -37,12 +37,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chrome;
 mod folded;
+mod json;
 mod jsonl;
 mod metrics;
+mod prom;
 mod span;
 
+pub use chrome::{chrome_trace, chrome_trace_named};
 pub use folded::folded_stacks;
-pub use jsonl::{parse_jsonl, write_jsonl, JsonlError};
-pub use metrics::{Histogram, Metered, MetricsSnapshot, SpanStat, BUCKET_BOUNDS_NS};
+pub use json::{json_string, parse_json, JsonError, JsonValue};
+pub use jsonl::{
+    parse_jsonl, parse_jsonl_with_dropped, write_jsonl, write_jsonl_with_dropped, JsonlError,
+};
+pub use metrics::{
+    Histogram, Metered, MetricsDelta, MetricsSnapshot, SpanDelta, SpanStat, BUCKET_BOUNDS_NS,
+};
+pub use prom::{parse_prometheus, render_prometheus, PromError};
 pub use span::{Collector, FieldValue, Span, SpanRecord};

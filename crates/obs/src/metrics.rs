@@ -1,7 +1,12 @@
 //! Aggregated metrics: counters, fixed-bucket histograms, and per-span
-//! timing stats, snapshotted into one owned, serialisable value.
+//! timing stats, snapshotted into one owned, serialisable value — plus
+//! the parse ([`MetricsSnapshot::from_json`]) and diff
+//! ([`MetricsSnapshot::delta`]) halves that differential profiling is
+//! built on.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::json::{parse_json, JsonError, JsonValue};
 
 /// Fixed histogram bucket upper bounds, in nanoseconds: 1µs … 1s in a
 /// 1-5-10 ladder, plus an overflow bucket. Fixed boundaries keep
@@ -162,10 +167,17 @@ impl MetricsSnapshot {
         });
         out.push_str("},\"histograms\":{");
         push_map(&mut out, &self.histograms, |out, h| {
+            // p50/p90/p99 are derived views for human consumers; the
+            // parser rebuilds them from `counts` and ignores them.
             out.push_str(&format!(
-                "{{\"count\":{},\"sum\":{},\"counts\":[{}]}}",
+                "{{\"count\":{},\"sum\":{},\"mean_ns\":{},\"p50_ns\":{},\"p90_ns\":{},\
+                 \"p99_ns\":{},\"counts\":[{}]}}",
                 h.count,
                 h.sum,
+                h.mean(),
+                h.quantile_bound(0.5),
+                h.quantile_bound(0.9),
+                h.quantile_bound(0.99),
                 h.counts
                     .iter()
                     .map(u64::to_string)
@@ -202,11 +214,240 @@ impl MetricsSnapshot {
                 ));
             }
         }
+        if !self.histograms.is_empty() {
+            out.push_str(&format!(
+                "{:<32} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                "histogram", "count", "mean", "p50", "p90", "p99"
+            ));
+            for (name, h) in &self.histograms {
+                out.push_str(&format!(
+                    "{:<32} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                    name,
+                    h.count,
+                    fmt_ns(h.mean()),
+                    fmt_ns(h.quantile_bound(0.5)),
+                    fmt_ns(h.quantile_bound(0.9)),
+                    fmt_ns(h.quantile_bound(0.99)),
+                ));
+            }
+        }
         if !self.counters.is_empty() {
             out.push_str(&format!("{:<32} {:>12}\n", "counter", "value"));
             for (name, v) in &self.counters {
                 out.push_str(&format!("{name:<32} {v:>12}\n"));
             }
+        }
+        out
+    }
+
+    /// Parses a snapshot previously rendered by
+    /// [`MetricsSnapshot::to_json`] (derived fields such as `p50_ns`
+    /// are ignored and recomputed from the bucket counts).
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed JSON or mistyped members.
+    pub fn from_json(src: &str) -> Result<MetricsSnapshot, JsonError> {
+        Self::from_json_value(&parse_json(src)?)
+    }
+
+    /// [`MetricsSnapshot::from_json`] over an already-parsed value —
+    /// for callers that find the snapshot embedded in a larger
+    /// document (a `csp/v1` envelope, a bench history row).
+    ///
+    /// # Errors
+    ///
+    /// Fails on mistyped members.
+    pub fn from_json_value(v: &JsonValue) -> Result<MetricsSnapshot, JsonError> {
+        let bad = |message: String| JsonError { offset: 0, message };
+        let mut m = MetricsSnapshot::new();
+        if let Some(counters) = v.get("counters").and_then(JsonValue::entries) {
+            for (k, v) in counters {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| bad(format!("counter `{k}` is not an unsigned integer")))?;
+                m.counters.insert(k.clone(), n);
+            }
+        }
+        if let Some(hists) = v.get("histograms").and_then(JsonValue::entries) {
+            for (k, hv) in hists {
+                let want = |field: &str| {
+                    hv.get(field)
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| bad(format!("histogram `{k}` lacks unsigned `{field}`")))
+                };
+                let mut h = Histogram {
+                    count: want("count")?,
+                    sum: want("sum")?,
+                    ..Histogram::default()
+                };
+                let counts = hv
+                    .get("counts")
+                    .and_then(JsonValue::as_array)
+                    .ok_or_else(|| bad(format!("histogram `{k}` lacks `counts`")))?;
+                if counts.len() != h.counts.len() {
+                    return Err(bad(format!(
+                        "histogram `{k}` has {} buckets, expected {}",
+                        counts.len(),
+                        h.counts.len()
+                    )));
+                }
+                for (slot, c) in h.counts.iter_mut().zip(counts) {
+                    *slot = c
+                        .as_u64()
+                        .ok_or_else(|| bad(format!("histogram `{k}` has a bad bucket count")))?;
+                }
+                m.histograms.insert(k.clone(), h);
+            }
+        }
+        if let Some(spans) = v.get("spans").and_then(JsonValue::entries) {
+            for (k, sv) in spans {
+                let want = |field: &str| {
+                    sv.get(field)
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| bad(format!("span `{k}` lacks unsigned `{field}`")))
+                };
+                m.spans.insert(
+                    k.clone(),
+                    SpanStat {
+                        count: want("count")?,
+                        total_ns: want("total_ns")?,
+                        max_ns: want("max_ns")?,
+                    },
+                );
+            }
+        }
+        Ok(m)
+    }
+
+    /// The signed change from `baseline` to `self`: per-counter and
+    /// per-span-name deltas over the union of names (a name absent on
+    /// one side counts as zero there).
+    pub fn delta(&self, baseline: &MetricsSnapshot) -> MetricsDelta {
+        let mut d = MetricsDelta::default();
+        let counter_names: BTreeSet<&String> = self
+            .counters
+            .keys()
+            .chain(baseline.counters.keys())
+            .collect();
+        for name in counter_names {
+            let new = self.counter(name) as i128;
+            let old = baseline.counter(name) as i128;
+            if new != old {
+                let delta = (new - old).clamp(i64::MIN as i128, i64::MAX as i128) as i64;
+                d.counters.insert(name.clone(), delta);
+            }
+        }
+        let span_names: BTreeSet<&String> =
+            self.spans.keys().chain(baseline.spans.keys()).collect();
+        for name in span_names {
+            let new = self.spans.get(name).copied().unwrap_or_default();
+            let old = baseline.spans.get(name).copied().unwrap_or_default();
+            if new != old {
+                d.spans.insert(
+                    name.clone(),
+                    SpanDelta {
+                        count: new.count as i64 - old.count as i64,
+                        total_ns: new.total_ns as i64 - old.total_ns as i64,
+                        old_total_ns: old.total_ns,
+                    },
+                );
+            }
+        }
+        d
+    }
+}
+
+/// Renders nanoseconds for a table cell: `µs`/`ms`/`s` with the
+/// overflow-bucket sentinel shown as `>1s`.
+fn fmt_ns(ns: u64) -> String {
+    if ns == u64::MAX {
+        ">1s".to_string()
+    } else if ns >= 1_000_000_000 {
+        format!("{:.1}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// One span name's change between two snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanDelta {
+    /// Change in closed-span count.
+    pub count: i64,
+    /// Change in total inclusive nanoseconds.
+    pub total_ns: i64,
+    /// The baseline's total, for relative reporting.
+    pub old_total_ns: u64,
+}
+
+/// The signed difference between two [`MetricsSnapshot`]s, from
+/// [`MetricsSnapshot::delta`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsDelta {
+    /// Changed counters (unchanged names omitted).
+    pub counters: BTreeMap<String, i64>,
+    /// Changed span aggregates (unchanged names omitted).
+    pub spans: BTreeMap<String, SpanDelta>,
+}
+
+impl MetricsDelta {
+    /// True when nothing changed beyond `noise_ns` of span time and no
+    /// counter moved.
+    pub fn is_noise(&self, noise_ns: u64) -> bool {
+        self.counters.is_empty()
+            && self
+                .spans
+                .values()
+                .all(|s| s.total_ns.unsigned_abs() < noise_ns)
+    }
+
+    /// Renders a signed table of the changes, suppressing span rows
+    /// whose time moved less than `noise_ns` (count-only changes are
+    /// always shown). Rows are ordered by descending |time delta|.
+    pub fn render_table(&self, noise_ns: u64) -> String {
+        let mut out = String::new();
+        let mut rows: Vec<(&String, &SpanDelta)> = self
+            .spans
+            .iter()
+            .filter(|(_, s)| s.total_ns.unsigned_abs() >= noise_ns || s.count != 0)
+            .collect();
+        rows.sort_by_key(|(name, s)| (std::cmp::Reverse(s.total_ns.unsigned_abs()), *name));
+        if !rows.is_empty() {
+            out.push_str(&format!(
+                "{:<32} {:>8} {:>14} {:>9}\n",
+                "span", "Δcount", "Δtotal ms", "Δ%"
+            ));
+            for (name, s) in rows {
+                let pct = if s.old_total_ns == 0 {
+                    "new".to_string()
+                } else {
+                    format!("{:+.1}%", s.total_ns as f64 / s.old_total_ns as f64 * 100.0)
+                };
+                out.push_str(&format!(
+                    "{:<32} {:>+8} {:>+14.3} {:>9}\n",
+                    name,
+                    s.count,
+                    s.total_ns as f64 / 1e6,
+                    pct,
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str(&format!("{:<32} {:>12}\n", "counter", "Δvalue"));
+            for (name, v) in &self.counters {
+                out.push_str(&format!("{name:<32} {v:>+12}\n"));
+            }
+        }
+        if out.is_empty() {
+            out.push_str(&format!(
+                "no changes above the noise threshold ({:.1} ms)\n",
+                noise_ns as f64 / 1e6
+            ));
         }
         out
     }
@@ -221,7 +462,7 @@ fn push_map<V>(
         if i > 0 {
             out.push(',');
         }
-        out.push_str(&crate::jsonl::json_string(k));
+        out.push_str(&crate::json::json_string(k));
         out.push(':');
         render(out, v);
     }
@@ -297,5 +538,103 @@ mod tests {
         let json = m.to_json();
         assert!(json.starts_with("{\"counters\":{\"a\":1,\"b\":2}"));
         assert!(json.ends_with("\"spans\":{}}"));
+    }
+
+    fn populated_snapshot() -> MetricsSnapshot {
+        let mut m = MetricsSnapshot::new();
+        m.set_counter("trace.events", 42);
+        let mut h = Histogram::default();
+        h.record(500);
+        h.record(700_000);
+        h.record(2_000_000_000);
+        m.histograms.insert("step".into(), h);
+        m.spans.insert(
+            "fixpoint".into(),
+            SpanStat {
+                count: 3,
+                total_ns: 9_000_000,
+                max_ns: 4_000_000,
+            },
+        );
+        m
+    }
+
+    #[test]
+    fn json_round_trips_through_from_json() {
+        let m = populated_snapshot();
+        assert_eq!(MetricsSnapshot::from_json(&m.to_json()).unwrap(), m);
+    }
+
+    #[test]
+    fn json_exposes_quantile_bounds() {
+        let m = populated_snapshot();
+        let v = crate::json::parse_json(&m.to_json()).unwrap();
+        let h = v.get("histograms").unwrap().get("step").unwrap();
+        assert_eq!(h.get("p50_ns").unwrap().as_u64(), Some(1_000_000));
+        assert_eq!(h.get("p90_ns").unwrap().as_f64(), Some(u64::MAX as f64));
+        assert_eq!(
+            h.get("mean_ns").unwrap().as_u64(),
+            Some((500 + 700_000 + 2_000_000_000) / 3)
+        );
+    }
+
+    #[test]
+    fn table_shows_quantile_columns() {
+        let table = populated_snapshot().render_table();
+        let header = table
+            .lines()
+            .find(|l| l.starts_with("histogram"))
+            .expect("histogram header");
+        for col in ["count", "mean", "p50", "p90", "p99"] {
+            assert!(header.contains(col), "missing column {col}: {header}");
+        }
+        let row = table.lines().find(|l| l.starts_with("step")).unwrap();
+        assert!(row.contains("1.0ms"), "p50 bound rendered: {row}");
+        assert!(row.contains(">1s"), "overflow sentinel rendered: {row}");
+    }
+
+    #[test]
+    fn delta_reports_signed_changes_over_name_union() {
+        let old = populated_snapshot();
+        let mut new = populated_snapshot();
+        new.set_counter("trace.events", 40); // regressed downward
+        new.spans.get_mut("fixpoint").unwrap().total_ns = 21_000_000;
+        new.spans.insert(
+            "sat".into(),
+            SpanStat {
+                count: 1,
+                total_ns: 5_000_000,
+                max_ns: 5_000_000,
+            },
+        );
+        let d = new.delta(&old);
+        assert_eq!(d.counters["trace.events"], -2);
+        assert_eq!(d.spans["fixpoint"].total_ns, 12_000_000);
+        assert_eq!(d.spans["sat"].old_total_ns, 0);
+        assert!(!d.is_noise(1_000_000));
+
+        let table = d.render_table(1_000_000);
+        let fixpoint_line = table.lines().position(|l| l.starts_with("fixpoint"));
+        let sat_line = table.lines().position(|l| l.starts_with("sat"));
+        assert!(
+            fixpoint_line.unwrap() < sat_line.unwrap(),
+            "sorted by |Δ|:\n{table}"
+        );
+        assert!(table.contains("+12.000"), "signed ms delta:\n{table}");
+        assert!(table.contains("+133.3%"), "relative delta:\n{table}");
+        assert!(table.contains("new"), "baseline-absent marker:\n{table}");
+        assert!(table.contains("-2"), "signed counter delta:\n{table}");
+    }
+
+    #[test]
+    fn delta_below_noise_is_noise() {
+        let old = populated_snapshot();
+        let mut new = populated_snapshot();
+        new.spans.get_mut("fixpoint").unwrap().total_ns += 10; // 10ns jitter
+        let d = new.delta(&old);
+        assert!(d.is_noise(1_000_000));
+        // Only time moved (no count change), so the row is suppressed
+        // and the table collapses to the placeholder.
+        assert!(d.render_table(1_000_000).contains("no changes above"));
     }
 }

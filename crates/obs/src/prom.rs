@@ -1,0 +1,405 @@
+//! Prometheus text exposition of a [`MetricsSnapshot`], and a parser
+//! for the same format.
+//!
+//! The snapshot's dotted names (`trace.events`, `run.rounds`) are not
+//! legal Prometheus metric names, so the exposition uses a fixed family
+//! per snapshot section and carries the original name as a `name`
+//! label. Histogram buckets follow the standard cumulative `le`
+//! convention (each bucket counts observations `<=` its bound,
+//! `le="+Inf"` counts everything). All values are unsigned integers
+//! rendered exactly, so [`parse_prometheus`] reconstructs the
+//! originating snapshot bit-for-bit.
+
+use std::collections::BTreeMap;
+
+use crate::metrics::{Histogram, MetricsSnapshot, BUCKET_BOUNDS_NS};
+
+/// Renders the snapshot in the Prometheus text exposition format.
+pub fn render_prometheus(m: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    if !m.counters.is_empty() {
+        out.push_str("# HELP csp_counter Monotone counters from the csp collector.\n");
+        out.push_str("# TYPE csp_counter counter\n");
+        for (name, v) in &m.counters {
+            out.push_str(&format!("csp_counter{{name={}}} {v}\n", label(name)));
+        }
+    }
+    if !m.histograms.is_empty() {
+        out.push_str("# HELP csp_duration_ns Fixed-bucket duration histograms (nanoseconds).\n");
+        out.push_str("# TYPE csp_duration_ns histogram\n");
+        for (name, h) in &m.histograms {
+            let mut cumulative = 0u64;
+            for (i, &c) in h.counts.iter().enumerate() {
+                cumulative += c;
+                let le = match BUCKET_BOUNDS_NS.get(i) {
+                    Some(b) => b.to_string(),
+                    None => "+Inf".to_string(),
+                };
+                out.push_str(&format!(
+                    "csp_duration_ns_bucket{{name={},le=\"{le}\"}} {cumulative}\n",
+                    label(name)
+                ));
+            }
+            out.push_str(&format!(
+                "csp_duration_ns_sum{{name={}}} {}\n",
+                label(name),
+                h.sum
+            ));
+            out.push_str(&format!(
+                "csp_duration_ns_count{{name={}}} {}\n",
+                label(name),
+                h.count
+            ));
+        }
+    }
+    if !m.spans.is_empty() {
+        out.push_str("# HELP csp_span_count Spans closed per span name.\n");
+        out.push_str("# TYPE csp_span_count counter\n");
+        for (name, s) in &m.spans {
+            out.push_str(&format!(
+                "csp_span_count{{name={}}} {}\n",
+                label(name),
+                s.count
+            ));
+        }
+        out.push_str("# HELP csp_span_total_ns Inclusive nanoseconds per span name.\n");
+        out.push_str("# TYPE csp_span_total_ns counter\n");
+        for (name, s) in &m.spans {
+            out.push_str(&format!(
+                "csp_span_total_ns{{name={}}} {}\n",
+                label(name),
+                s.total_ns
+            ));
+        }
+        out.push_str("# HELP csp_span_max_ns Longest single span per span name.\n");
+        out.push_str("# TYPE csp_span_max_ns gauge\n");
+        for (name, s) in &m.spans {
+            out.push_str(&format!(
+                "csp_span_max_ns{{name={}}} {}\n",
+                label(name),
+                s.max_ns
+            ));
+        }
+    }
+    out
+}
+
+/// Quotes and escapes a label value per the exposition format.
+fn label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A parse failure, with the 1-based line it occurred on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PromError {
+    /// The offending line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for PromError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for PromError {}
+
+/// Parses a text exposition produced by [`render_prometheus`] back into
+/// a [`MetricsSnapshot`]. `# HELP`/`# TYPE` comments and blank lines
+/// are skipped; unknown metric families are rejected (the parser exists
+/// to round-trip our own output, not to scrape the world).
+///
+/// # Errors
+///
+/// Fails on malformed lines, unknown families, or histograms whose
+/// bucket bounds do not match [`BUCKET_BOUNDS_NS`].
+pub fn parse_prometheus(src: &str) -> Result<MetricsSnapshot, PromError> {
+    let mut m = MetricsSnapshot::new();
+    // name -> le-label -> cumulative count, accumulated then decoded.
+    let mut buckets: BTreeMap<String, BTreeMap<String, u64>> = BTreeMap::new();
+    let mut hist_sums: BTreeMap<String, u64> = BTreeMap::new();
+    let mut hist_counts: BTreeMap<String, u64> = BTreeMap::new();
+
+    for (i, raw) in src.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let sample = parse_sample(line).map_err(|message| PromError {
+            line: line_no,
+            message,
+        })?;
+        let name = sample.name_label.ok_or_else(|| PromError {
+            line: line_no,
+            message: "missing name label".into(),
+        })?;
+        match sample.family.as_str() {
+            "csp_counter" => {
+                m.counters.insert(name, sample.value);
+            }
+            "csp_duration_ns_bucket" => {
+                let le = sample.le_label.ok_or_else(|| PromError {
+                    line: line_no,
+                    message: "bucket sample without le label".into(),
+                })?;
+                buckets.entry(name).or_default().insert(le, sample.value);
+            }
+            "csp_duration_ns_sum" => {
+                hist_sums.insert(name, sample.value);
+            }
+            "csp_duration_ns_count" => {
+                hist_counts.insert(name, sample.value);
+            }
+            "csp_span_count" => m.spans.entry(name).or_default().count = sample.value,
+            "csp_span_total_ns" => m.spans.entry(name).or_default().total_ns = sample.value,
+            "csp_span_max_ns" => m.spans.entry(name).or_default().max_ns = sample.value,
+            other => {
+                return Err(PromError {
+                    line: line_no,
+                    message: format!("unknown metric family `{other}`"),
+                })
+            }
+        }
+    }
+
+    for (name, les) in buckets {
+        let mut h = Histogram {
+            sum: hist_sums.get(&name).copied().unwrap_or(0),
+            count: hist_counts.get(&name).copied().unwrap_or(0),
+            ..Histogram::default()
+        };
+        let mut prev = 0u64;
+        for (i, slot) in h.counts.iter_mut().enumerate() {
+            let le = match BUCKET_BOUNDS_NS.get(i) {
+                Some(b) => b.to_string(),
+                None => "+Inf".to_string(),
+            };
+            let cumulative = *les.get(&le).ok_or_else(|| PromError {
+                line: 0,
+                message: format!("histogram `{name}` missing bucket le=\"{le}\""),
+            })?;
+            *slot = cumulative.checked_sub(prev).ok_or_else(|| PromError {
+                line: 0,
+                message: format!("histogram `{name}` buckets are not cumulative at le=\"{le}\""),
+            })?;
+            prev = cumulative;
+        }
+        if les.len() != BUCKET_BOUNDS_NS.len() + 1 {
+            return Err(PromError {
+                line: 0,
+                message: format!("histogram `{name}` has unexpected extra buckets"),
+            });
+        }
+        m.histograms.insert(name, h);
+    }
+    Ok(m)
+}
+
+struct Sample {
+    family: String,
+    name_label: Option<String>,
+    le_label: Option<String>,
+    value: u64,
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let brace = line.find('{').ok_or("sample without labels")?;
+    let family = line[..brace].to_string();
+    let rest = &line[brace + 1..];
+    let mut name_label = None;
+    let mut le_label = None;
+    let mut consumed = 0;
+    loop {
+        // label name
+        let start = consumed;
+        let eq = rest[start..].find('=').ok_or("label without `=`")? + start;
+        let key = rest[start..eq].trim().to_string();
+        // quoted value with escapes
+        let mut value = String::new();
+        let mut pos = eq + 1;
+        if rest.as_bytes().get(pos) != Some(&b'"') {
+            return Err("label value is not quoted".into());
+        }
+        pos += 1;
+        let bytes = rest.as_bytes();
+        loop {
+            match bytes.get(pos) {
+                None => return Err("unterminated label value".into()),
+                Some(b'"') => {
+                    pos += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    match bytes.get(pos + 1) {
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'"') => value.push('"'),
+                        Some(b'n') => value.push('\n'),
+                        other => return Err(format!("bad label escape {other:?}")),
+                    }
+                    pos += 2;
+                }
+                Some(_) => {
+                    let ch = rest[pos..].chars().next().expect("non-empty");
+                    value.push(ch);
+                    pos += ch.len_utf8();
+                }
+            }
+        }
+        match key.as_str() {
+            "name" => name_label = Some(value),
+            "le" => le_label = Some(value),
+            other => return Err(format!("unknown label `{other}`")),
+        }
+        match bytes.get(pos) {
+            Some(b',') => consumed = pos + 1,
+            Some(b'}') => {
+                consumed = pos + 1;
+                break;
+            }
+            other => return Err(format!("bad label separator {other:?}")),
+        }
+    }
+    let value_text = rest[consumed..].trim();
+    let value = value_text
+        .parse::<u64>()
+        .map_err(|_| format!("bad sample value `{value_text}`"))?;
+    Ok(Sample {
+        family,
+        name_label,
+        le_label,
+        value,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::SpanStat;
+    use proptest::prelude::*;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let mut m = MetricsSnapshot::new();
+        m.set_counter("trace.events", 42)
+            .set_counter("run.rounds", 7);
+        let mut h = Histogram::default();
+        h.record(500);
+        h.record(700_000);
+        h.record(2_000_000_000);
+        m.histograms.insert("step.duration".into(), h);
+        m.spans.insert(
+            "fixpoint".into(),
+            SpanStat {
+                count: 3,
+                total_ns: 900,
+                max_ns: 400,
+            },
+        );
+        m
+    }
+
+    #[test]
+    fn exposition_round_trips() {
+        let m = sample_snapshot();
+        let text = render_prometheus(&m);
+        assert_eq!(parse_prometheus(&text).unwrap(), m);
+    }
+
+    #[test]
+    fn buckets_are_cumulative() {
+        let m = sample_snapshot();
+        let text = render_prometheus(&m);
+        let last_bucket = text
+            .lines()
+            .rfind(|l| l.starts_with("csp_duration_ns_bucket"))
+            .unwrap();
+        assert!(last_bucket.contains("le=\"+Inf\""));
+        assert!(last_bucket.ends_with(" 3"), "{last_bucket}");
+        // The 1µs bucket already counts the 500ns observation.
+        assert!(text.contains("le=\"1000\"} 1"));
+        // A mid-ladder bucket counts everything at or below it.
+        assert!(text.contains("le=\"1000000\"} 2"));
+    }
+
+    #[test]
+    fn label_escaping_survives_hostile_names() {
+        let mut m = MetricsSnapshot::new();
+        m.set_counter("weird\"name\\with\nstuff", 1);
+        let text = render_prometheus(&m);
+        assert_eq!(parse_prometheus(&text).unwrap(), m);
+    }
+
+    #[test]
+    fn unknown_families_are_rejected() {
+        let e = parse_prometheus("node_load1{name=\"x\"} 3\n").unwrap_err();
+        assert!(e.message.contains("unknown metric family"));
+    }
+
+    #[test]
+    fn non_cumulative_buckets_are_rejected() {
+        let m = sample_snapshot();
+        let text = render_prometheus(&m).replace("le=\"1000\"} 1", "le=\"1000\"} 9");
+        let e = parse_prometheus(&text).unwrap_err();
+        assert!(e.message.contains("not cumulative"), "{e}");
+    }
+
+    /// Metric names for generated snapshots, including hostile ones the
+    /// label escaping must survive.
+    fn name_for(i: u8) -> String {
+        const NAMES: [&str; 8] = [
+            "trace.events",
+            "run.rounds",
+            "fixpoint.iter",
+            "sat.nodes",
+            "spaced out",
+            "quo\"te",
+            "back\\slash",
+            "new\nline",
+        ];
+        NAMES[i as usize % NAMES.len()].to_string()
+    }
+
+    proptest! {
+        #[test]
+        fn arbitrary_snapshots_round_trip(
+            counters in proptest::collection::vec((0u8..8, 0u64..u64::MAX), 0..6),
+            histograms in proptest::collection::vec(
+                (0u8..8, proptest::collection::vec(0u64..3_000_000_000, 0..30)),
+                0..4
+            ),
+            spans in proptest::collection::vec(
+                (0u8..8, (0u64..1000, 0u64..u64::MAX, 0u64..u64::MAX)),
+                0..6
+            ),
+        ) {
+            let mut m = MetricsSnapshot::new();
+            for (i, v) in counters {
+                m.counters.insert(name_for(i), v);
+            }
+            for (i, values) in histograms {
+                let h = m.histograms.entry(name_for(i)).or_default();
+                for v in values {
+                    h.record(v);
+                }
+            }
+            for (i, (count, total_ns, max_ns)) in spans {
+                m.spans.insert(name_for(i), SpanStat { count, total_ns, max_ns });
+            }
+            let text = render_prometheus(&m);
+            prop_assert_eq!(parse_prometheus(&text).unwrap(), m);
+        }
+    }
+}

@@ -256,13 +256,21 @@ impl Collector {
         snap
     }
 
-    /// Serialises the ring buffer as JSONL (one span per line).
+    /// Serialises the ring buffer as JSONL (one span per line). When
+    /// the ring overflowed, the log ends with a `{"dropped":N}` marker
+    /// so consumers can tell a complete log from a truncated one.
     ///
     /// # Errors
     ///
     /// Propagates writer errors.
     pub fn write_jsonl<W: std::io::Write>(&self, w: &mut W) -> std::io::Result<()> {
-        crate::jsonl::write_jsonl(&self.records(), w)
+        crate::jsonl::write_jsonl_with_dropped(&self.records(), self.dropped(), w)
+    }
+
+    /// Renders the ring buffer as a Chrome trace-event / Perfetto JSON
+    /// document (see [`crate::chrome_trace`]).
+    pub fn chrome_trace(&self) -> String {
+        crate::chrome_trace(&self.records())
     }
 
     /// Renders the ring buffer as flamegraph-style folded stacks.
@@ -412,6 +420,35 @@ mod tests {
         assert_eq!(c.dropped(), 2);
         // Aggregates keep the full totals regardless of eviction.
         assert_eq!(c.snapshot().spans["s"].count, 5);
+    }
+
+    /// Overflow end-to-end: exact `dropped()` accounting, the JSONL
+    /// `{"dropped":N}` marker, and a well-formed Chrome export even
+    /// though the surviving children reference a parent (the still-open
+    /// root) that is not in the buffer.
+    #[test]
+    fn ring_overflow_is_reported_by_every_sink() {
+        let c = Collector::with_capacity(4);
+        let root = c.span("root");
+        for _ in 0..10 {
+            root.child("work").end();
+        }
+        assert_eq!(c.records().len(), 4);
+        assert_eq!(c.dropped(), 6);
+
+        let mut buf = Vec::new();
+        c.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.trim_end().ends_with("{\"dropped\":6}"), "{text}");
+        let (records, dropped) = crate::parse_jsonl_with_dropped(&text).unwrap();
+        assert_eq!(records, c.records());
+        assert_eq!(dropped, 6);
+
+        let chrome = c.chrome_trace();
+        let doc = crate::parse_json(&chrome).expect("well-formed trace JSON");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 4 + 1, "four spans plus process metadata");
+        drop(root);
     }
 
     #[test]

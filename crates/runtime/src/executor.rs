@@ -219,6 +219,10 @@ impl<'a> Executor<'a> {
         let mut root = collector.span("run");
         root.record("components", net.components.len());
         root.record("max_steps", opts.max_steps);
+        // Counters below are incremented *live* (not tallied at the
+        // end) so a concurrent sampler — `csp run --watch` — sees the
+        // run progress round by round.
+        collector.add("run.components", net.components.len() as u64);
         let mut rounds = 0u64;
         let mut picks = 0u64;
         let mut faults_fired = 0u64;
@@ -258,6 +262,7 @@ impl<'a> Executor<'a> {
                 net: &net,
                 supervision: &opts.supervision,
                 restart: opts.faults.restart,
+                collector: collector.clone(),
                 start: Instant::now(),
                 slots: net
                     .components
@@ -274,6 +279,7 @@ impl<'a> Executor<'a> {
 
             'run: while co.full.len() < opts.max_steps {
                 rounds += 1;
+                co.collector.add("run.rounds", 1);
                 let mut round_span = root.child("run.round");
                 round_span.record("round", rounds - 1);
                 if co.past_deadline() {
@@ -295,6 +301,7 @@ impl<'a> Executor<'a> {
                     if !*fired && *at_step <= step {
                         *fired = true;
                         faults_fired += 1;
+                        co.collector.add("run.faults_injected", 1);
                         co.kill(*index, FailureReason::InjectedCrash);
                     }
                 }
@@ -302,6 +309,7 @@ impl<'a> Executor<'a> {
                     if !*fired && *at_step <= step {
                         *fired = true;
                         faults_fired += 1;
+                        co.collector.add("run.faults_injected", 1);
                         if !matches!(co.slots[*index].state, SlotState::Dead) {
                             let slot = &mut co.slots[*index];
                             slot.stall_rounds = slot.stall_rounds.max(*rounds);
@@ -376,6 +384,7 @@ impl<'a> Executor<'a> {
                     match opts.scheduler.pick(&pool) {
                         Some(k) => {
                             picks += 1;
+                            co.collector.add("run.scheduler_picks", 1);
                             pool[k]
                         }
                         None => {
@@ -389,6 +398,7 @@ impl<'a> Executor<'a> {
                     round_span.record("event", chosen.to_string());
                 }
                 co.full.push(chosen);
+                co.collector.add("run.steps", 1);
                 if net.hidden.contains(chosen.channel()) {
                     hidden_streak += 1;
                     let window = opts.supervision.livelock_window;
@@ -468,13 +478,9 @@ impl<'a> Executor<'a> {
             )
             .set_counter("run.steps", full.len() as u64)
             .set_counter("run.hidden_events", (full.len() - visible.len()) as u64);
-        // Mirror the tallies into the collector so a session aggregating
-        // several operations sees them alongside its span stats.
-        if collector.is_enabled() {
-            for (name, value) in &metrics.counters {
-                collector.add(name.clone(), *value);
-            }
-        }
+        // Everything else was incremented live; hidden-event accounting
+        // needs the finished trace, so it lands here.
+        collector.add("run.hidden_events", (full.len() - visible.len()) as u64);
         Ok(RunResult {
             steps: full.len(),
             visible,
@@ -495,6 +501,7 @@ struct Coordinator<'run, 'scope, 'env> {
     net: &'run Network,
     supervision: &'run Supervision,
     restart: RestartPolicy,
+    collector: Collector,
     start: Instant,
     slots: Vec<Slot<'scope>>,
     full: Vec<Event>,
@@ -604,6 +611,7 @@ impl<'run, 'scope, 'env> Coordinator<'run, 'scope, 'env> {
             reason,
             recovered: false,
         });
+        self.collector.add("run.deaths", 1);
 
         match self.restart {
             RestartPolicy::FailStop => {}
@@ -657,6 +665,7 @@ impl<'run, 'scope, 'env> Coordinator<'run, 'scope, 'env> {
                         reason: FailureReason::ReplayDiverged,
                         recovered: false,
                     });
+                    self.collector.add("run.deaths", 1);
                     return;
                 }
             }
@@ -666,6 +675,7 @@ impl<'run, 'scope, 'env> Coordinator<'run, 'scope, 'env> {
         self.slots[i] = fresh;
         if let Some(f) = self.failures.iter_mut().rev().find(|f| f.index == i) {
             f.recovered = true;
+            self.collector.add("run.restarts", 1);
         }
     }
 

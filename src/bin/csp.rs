@@ -8,8 +8,11 @@
 //! csp prove     <file.csp> --spec NAME=EXPR [--spec NAME=EXPR ...]
 //! csp run       <file.csp> --process NAME [--steps N] [--seed S]
 //!               [--fault-plan SPEC] [--deadline-ms T] [--livelock-window W]
+//!               [--watch[=MS]]
 //! csp deadlock  <file.csp> --process NAME [--depth N]
 //! csp profile   <file.csp> [--depth N] [--folded-out PATH]
+//!               [--diff OLD.json] [--noise-ms X]
+//! csp bench     report [--history PATH]
 //! ```
 //!
 //! Common options: `--nat-bound K` (finite carrier for NAT, default 2),
@@ -20,9 +23,18 @@
 //! Observability: `--trace-out events.jsonl` writes the recorded span
 //! stream (one JSON object per line) and `--metrics` prints the
 //! aggregated counter/span table after `run`, `prove`, `lint`, and
-//! `check`. `csp profile` runs the parse → fixpoint → verify pipeline
-//! under a collector and reports per-phase wall time and allocation,
-//! plus a flamegraph-style folded-stacks file.
+//! `check`. `--chrome-out trace.json` exports the span tree in Chrome
+//! trace-event format (loadable in `chrome://tracing` or Perfetto) and
+//! `--prom-out metrics.prom` writes a Prometheus-style text exposition.
+//! `csp profile` runs the parse → fixpoint → verify pipeline under a
+//! collector and reports per-phase wall time and allocation, plus a
+//! flamegraph-style folded-stacks file; `--diff OLD.json` compares the
+//! run against a prior `csp profile --json` capture and prints signed
+//! per-span/per-counter deltas above a `--noise-ms` threshold.
+//! `csp run --watch` streams a live status line (round, scheduler
+//! picks, live/dead components, events/s, dropped events) to stderr
+//! while the executor runs. `csp bench report` prints the trajectory
+//! recorded in `BENCH_history.jsonl` by `bench-json --history`.
 //!
 //! All `--json` output shares one versioned envelope:
 //! `{"schema":"csp/v1","command":"<cmd>","data":…}`.
@@ -41,7 +53,7 @@ use std::process::ExitCode;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::time::Instant;
 
-use csp::obs::MetricsSnapshot;
+use csp::obs::{parse_json, JsonValue, MetricsSnapshot};
 use csp::prelude::*;
 use csp::{max_severity, render_json, render_report, timeline, Diagnostic, Session, Severity};
 
@@ -103,9 +115,11 @@ const USAGE: &str = "usage:
   csp prove     <file.csp> --spec NAME=EXPR [--spec NAME=EXPR ...]
   csp run       <file.csp> --process NAME [--steps N] [--seed S]
                 [--fault-plan SPEC] [--deadline-ms T] [--livelock-window W]
+                [--watch[=MS]]
   csp deadlock  <file.csp> --process NAME [--depth N]
   csp profile   <file.csp> [--depth N] [--folded-out PATH]
-                [--process NAME --assert EXPR]
+                [--process NAME --assert EXPR] [--diff OLD.json]
+  csp bench     report [--history PATH]
 options:
   --json               machine-readable output, wrapped in the versioned
                        envelope {\"schema\":\"csp/v1\",\"command\":…,\"data\":…}
@@ -113,10 +127,23 @@ options:
   --deny warnings      treat lint warnings as errors (exit 1)
   --trace-out PATH     write the recorded span stream as JSONL
                        (lint/check/prove/run/profile)
+  --chrome-out PATH    write the span tree as Chrome trace-event JSON
+                       (check/prove/run/profile)
+  --prom-out PATH      write the metrics as Prometheus text exposition
+                       (check/prove/run/profile)
   --metrics            print the aggregated metrics table (or embed it
                        in --json output)
   --folded-out PATH    where `profile` writes folded stacks
                        (default: <file-stem>.folded)
+  --diff OLD.json      `profile`: compare against a prior
+                       `csp profile --json` capture and print signed
+                       per-span/per-counter deltas
+  --noise-ms X         suppress --diff span rows that moved less than
+                       X ms (default 1.0)
+  --watch[=MS]         `run`: stream a live status line to stderr,
+                       sampled every MS milliseconds (default 250)
+  --history PATH       `bench report`: the history JSONL to read
+                       (default BENCH_history.jsonl)
   --nat-bound K        finite carrier for NAT (default 2)
   --set M=v1,v2        interpretation for a named abstract set
   --bind v=1,2,3       host constant vector (cells v[1], v[2], …)
@@ -148,8 +175,13 @@ struct Opts {
     binds: Vec<(String, Vec<i64>)>,
     channels: Vec<String>,
     trace_out: Option<String>,
+    chrome_out: Option<String>,
+    prom_out: Option<String>,
     metrics: bool,
     folded_out: Option<String>,
+    diff: Option<String>,
+    noise_ms: f64,
+    watch: Option<u64>,
 }
 
 fn parse_opts(args: &[String], multi_file: bool) -> Result<Opts, String> {
@@ -172,8 +204,13 @@ fn parse_opts(args: &[String], multi_file: bool) -> Result<Opts, String> {
         binds: Vec::new(),
         channels: Vec::new(),
         trace_out: None,
+        chrome_out: None,
+        prom_out: None,
         metrics: false,
         folded_out: None,
+        diff: None,
+        noise_ms: 1.0,
+        watch: None,
     };
     let mut it = args.iter();
     let mut positional = Vec::new();
@@ -267,8 +304,23 @@ fn parse_opts(args: &[String], multi_file: bool) -> Result<Opts, String> {
                     .extend(v.split(',').map(|c| c.trim().to_string()));
             }
             "--trace-out" => opts.trace_out = Some(value("--trace-out")?),
+            "--chrome-out" => opts.chrome_out = Some(value("--chrome-out")?),
+            "--prom-out" => opts.prom_out = Some(value("--prom-out")?),
             "--metrics" => opts.metrics = true,
             "--folded-out" => opts.folded_out = Some(value("--folded-out")?),
+            "--diff" => opts.diff = Some(value("--diff")?),
+            "--noise-ms" => {
+                opts.noise_ms = value("--noise-ms")?
+                    .parse()
+                    .map_err(|_| "--noise-ms expects a number".to_string())?;
+            }
+            "--watch" => opts.watch = Some(250),
+            other if other.starts_with("--watch=") => {
+                let ms: u64 = other["--watch=".len()..]
+                    .parse()
+                    .map_err(|_| "--watch expects a millisecond interval".to_string())?;
+                opts.watch = Some(ms.max(1));
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown option `{other}`"));
             }
@@ -355,8 +407,28 @@ fn finish_observation(session: &Session<'_>, opts: &Opts) -> Result<(), String> 
             }
         );
     }
+    write_exports(session, opts)?;
     if opts.metrics && !opts.json {
         print!("{}", session.metrics().render_table());
+    }
+    Ok(())
+}
+
+/// Writes the `--chrome-out`/`--prom-out` export files from a session's
+/// collector. Shared by the per-command epilogue and `csp profile`.
+fn write_exports(session: &Session<'_>, opts: &Opts) -> Result<(), String> {
+    if let Some(path) = &opts.chrome_out {
+        std::fs::write(path, session.chrome_trace())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!(
+            "wrote Chrome trace ({} event(s)) to {path} — open in chrome://tracing or ui.perfetto.dev",
+            session.events().len() + 1
+        );
+    }
+    if let Some(path) = &opts.prom_out {
+        std::fs::write(path, session.prometheus())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("wrote Prometheus exposition to {path}");
     }
     Ok(())
 }
@@ -366,10 +438,13 @@ fn dispatch(args: &[String]) -> Result<bool, String> {
     let (cmd, rest) = args
         .split_first()
         .ok_or_else(|| "missing subcommand".to_string())?;
+    if cmd == "bench" {
+        return run_bench_report(rest);
+    }
     let opts = parse_opts(rest, cmd == "lint" || cmd == "validate")?;
     if cmd == "lint" || cmd == "validate" {
         if cmd == "validate" {
-            eprintln!("note: `csp validate` is deprecated and now forwards to `csp lint`");
+            eprintln!("warning: `csp validate` is deprecated; use `csp lint`");
         }
         return run_lint(&opts, cmd);
     }
@@ -480,18 +555,28 @@ fn dispatch(args: &[String]) -> Result<bool, String> {
             }
             supervision = supervision.with_livelock_window(opts.livelock_window);
             let session = observed_session(&wb, &opts);
-            let res = session
-                .run(
-                    name,
-                    RunOptions {
-                        max_steps: opts.steps,
-                        scheduler: Scheduler::seeded(opts.seed),
-                        faults,
-                        supervision,
-                        ..RunOptions::default()
-                    },
-                )
-                .map_err(|e| e.to_string())?;
+            let watch = opts.watch.map(|interval_ms| {
+                let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+                let collector = session.collector().clone();
+                let flag = std::sync::Arc::clone(&stop);
+                let handle = std::thread::spawn(move || watch_loop(&collector, interval_ms, &flag));
+                (stop, handle)
+            });
+            let res = session.run(
+                name,
+                RunOptions {
+                    max_steps: opts.steps,
+                    scheduler: Scheduler::seeded(opts.seed),
+                    faults,
+                    supervision,
+                    ..RunOptions::default()
+                },
+            );
+            if let Some((stop, handle)) = watch {
+                stop.store(true, Relaxed);
+                let _ = handle.join();
+            }
+            let res = res.map_err(|e| e.to_string())?;
             println!("{} event(s); outcome: {}", res.steps, res.outcome);
             for f in &res.failures {
                 println!(
@@ -541,10 +626,80 @@ fn dispatch(args: &[String]) -> Result<bool, String> {
 /// when something will consume it (`--trace-out`/`--metrics`), so the
 /// default path stays on the disabled fast path.
 fn observed_session<'wb>(wb: &'wb Workbench, opts: &Opts) -> Session<'wb> {
-    if opts.trace_out.is_some() || opts.metrics {
+    if opts.trace_out.is_some()
+        || opts.chrome_out.is_some()
+        || opts.prom_out.is_some()
+        || opts.watch.is_some()
+        || opts.metrics
+    {
         wb.session()
     } else {
         wb.session_with(Collector::disabled())
+    }
+}
+
+/// One line of `csp run --watch` output, rendered from a live counter
+/// snapshot taken while the executor is still running.
+fn watch_status(m: &MetricsSnapshot, dropped: u64, events_per_s: f64) -> String {
+    let components = m.counter("run.components");
+    let deaths = m.counter("run.deaths");
+    let restarts = m.counter("run.restarts");
+    let live = components.saturating_sub(deaths.saturating_sub(restarts));
+    format!(
+        "watch: round {} | picks {} | components {live}/{components} live \
+         ({deaths} dead, {restarts} restarted) | {events_per_s:.0} events/s | dropped {}",
+        m.counter("run.rounds"),
+        m.counter("run.scheduler_picks"),
+        dropped,
+    )
+}
+
+/// The `--watch` sampler thread: periodically snapshots the executor's
+/// collector and repaints one status line on stderr (`\r` + erase when
+/// stderr is a terminal, one plain line per sample otherwise). Always
+/// emits at least an initial and a final sample, so short runs still
+/// leave a record; the final sample is taken after `stop` is raised and
+/// ends with a newline.
+fn watch_loop(collector: &Collector, interval_ms: u64, stop: &std::sync::atomic::AtomicBool) {
+    use std::io::{IsTerminal, Write};
+    let ansi = std::io::stderr().is_terminal();
+    let mut last_steps = 0u64;
+    let mut last_t = Instant::now();
+    loop {
+        let done = stop.load(Relaxed);
+        let m = collector.snapshot();
+        let steps = m.counter("run.steps");
+        let now = Instant::now();
+        let dt = now.duration_since(last_t).as_secs_f64();
+        let rate = if dt > 1e-9 {
+            (steps.saturating_sub(last_steps)) as f64 / dt
+        } else {
+            0.0
+        };
+        last_steps = steps;
+        last_t = now;
+        let line = watch_status(&m, collector.dropped(), rate);
+        let mut err = std::io::stderr().lock();
+        if ansi {
+            let _ = write!(err, "\r\x1b[2K{line}");
+            if done {
+                let _ = writeln!(err);
+            }
+            let _ = err.flush();
+        } else {
+            let _ = writeln!(err, "{line}");
+        }
+        drop(err);
+        if done {
+            return;
+        }
+        // Sleep in small slices so shutdown never waits a full interval.
+        let mut slept = 0;
+        while slept < interval_ms && !stop.load(Relaxed) {
+            let chunk = (interval_ms - slept).min(25);
+            std::thread::sleep(std::time::Duration::from_millis(chunk));
+            slept += chunk;
+        }
     }
 }
 
@@ -734,7 +889,16 @@ fn report_profile(
                 .write_trace_jsonl(&mut f)
                 .map_err(|e| format!("cannot write {path}: {e}"))?;
         }
+        write_exports(session, opts)?;
     }
+    let noise_ns = (opts.noise_ms.max(0.0) * 1e6) as u64;
+    let diff = match (&opts.diff, &metrics) {
+        (Some(path), Some(m)) => {
+            let baseline = load_baseline_metrics(path)?;
+            Some((path.clone(), m.delta(&baseline)))
+        }
+        _ => None,
+    };
     if opts.json {
         let phases_json: Vec<String> = phases
             .iter()
@@ -760,6 +924,15 @@ fn report_profile(
             data.push_str(",\"metrics\":");
             data.push_str(&m.to_json());
         }
+        if let Some((base_path, delta)) = &diff {
+            data.push_str(&format!(
+                ",\"diff\":{{\"baseline\":{},\"noise_ms\":{:.3},\"noise\":{},\"table\":{}}}",
+                csp::obs::json_string(base_path),
+                opts.noise_ms,
+                delta.is_noise(noise_ns),
+                csp::obs::json_string(&delta.render_table(noise_ns)),
+            ));
+        }
         data.push('}');
         println!("{}", envelope("profile", &data));
         return Ok(());
@@ -775,8 +948,144 @@ fn report_profile(
     if let Some(m) = &metrics {
         print!("{}", m.render_table());
     }
+    if let Some((base_path, delta)) = &diff {
+        println!("diff vs {base_path} (noise {:.1} ms):", opts.noise_ms);
+        print!("{}", delta.render_table(noise_ns));
+    }
     if session.is_some() {
         println!("folded stacks: {folded_path}");
     }
     Ok(())
+}
+
+/// Loads the baseline [`MetricsSnapshot`] for `csp profile --diff`.
+/// Accepts either a full `csp profile --json` envelope (the metrics are
+/// found under `data.metrics`) or a bare metrics-snapshot object.
+fn load_baseline_metrics(path: &str) -> Result<MetricsSnapshot, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let v = parse_json(src.trim())
+        .map_err(|e| format!("{path}: bad JSON at offset {}: {}", e.offset, e.message))?;
+    let metrics = find_metrics(&v).ok_or_else(|| {
+        format!(
+            "{path}: no metrics object found \
+             (expected `csp profile --json` output or a bare metrics snapshot)"
+        )
+    })?;
+    MetricsSnapshot::from_json_value(metrics).map_err(|e| format!("{path}: {}", e.message))
+}
+
+/// Finds the metrics-snapshot object inside a baseline document: the
+/// value itself, its `metrics` member, or the same one level down under
+/// the envelope's `data`.
+fn find_metrics(v: &JsonValue) -> Option<&JsonValue> {
+    if v.get("counters").is_some() {
+        return Some(v);
+    }
+    if let Some(m) = v.get("metrics") {
+        return Some(m);
+    }
+    v.get("data").and_then(find_metrics)
+}
+
+/// `csp bench report`: renders the run-over-run trajectory appended to
+/// `BENCH_history.jsonl` by `bench-json --history` — one line per
+/// recorded run, plus a first→last comparison per benchmark.
+fn run_bench_report(args: &[String]) -> Result<bool, String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("report") => {}
+        Some(other) => return Err(format!("unknown bench subcommand `{other}` (try `report`)")),
+        None => return Err("bench expects a subcommand: `csp bench report`".to_string()),
+    }
+    let mut history = "BENCH_history.jsonl".to_string();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--history" => {
+                history = it
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| "--history requires a value".to_string())?;
+            }
+            other => return Err(format!("unknown option `{other}` for `bench report`")),
+        }
+    }
+    struct Row {
+        unix_ms: u64,
+        samples: u64,
+        total_wall_ms: f64,
+        benches: Vec<(String, f64)>,
+    }
+    let src =
+        std::fs::read_to_string(&history).map_err(|e| format!("cannot read {history}: {e}"))?;
+    let mut rows: Vec<Row> = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let bad = |msg: String| format!("{history}:{}: {msg}", i + 1);
+        let v = parse_json(line).map_err(|e| bad(e.message.clone()))?;
+        if v.get("schema").and_then(JsonValue::as_str) != Some("csp-bench-history/v1") {
+            return Err(bad("not a csp-bench-history/v1 row".to_string()));
+        }
+        let benches = v
+            .get("benches")
+            .and_then(JsonValue::entries)
+            .ok_or_else(|| bad("missing benches map".to_string()))?
+            .iter()
+            .filter_map(|(name, ms)| ms.as_f64().map(|ms| (name.clone(), ms)))
+            .collect();
+        rows.push(Row {
+            unix_ms: v.get("unix_ms").and_then(JsonValue::as_u64).unwrap_or(0),
+            samples: v.get("samples").and_then(JsonValue::as_u64).unwrap_or(0),
+            total_wall_ms: v
+                .get("total_wall_ms")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0),
+            benches,
+        });
+    }
+    if rows.is_empty() {
+        println!("bench history: {history} — no runs recorded");
+        return Ok(true);
+    }
+    println!("bench history: {history} — {} run(s)", rows.len());
+    println!(
+        "{:>4} {:>15} {:>8} {:>12} {:>8}",
+        "run", "unix_ms", "samples", "total ms", "Δ"
+    );
+    let mut prev: Option<f64> = None;
+    for (i, r) in rows.iter().enumerate() {
+        let delta = match prev {
+            Some(p) if p > 0.0 => format!("{:+.1}%", (r.total_wall_ms - p) / p * 100.0),
+            _ => "—".to_string(),
+        };
+        println!(
+            "{:>4} {:>15} {:>8} {:>12.3} {:>8}",
+            format!("#{}", i + 1),
+            r.unix_ms,
+            r.samples,
+            r.total_wall_ms,
+            delta
+        );
+        prev = Some(r.total_wall_ms);
+    }
+    let (first, last) = (&rows[0], &rows[rows.len() - 1]);
+    if rows.len() > 1 {
+        println!("per-bench (first → last):");
+        for (name, new_ms) in &last.benches {
+            let old = first
+                .benches
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, ms)| *ms);
+            match old {
+                Some(old_ms) if old_ms > 0.0 => println!(
+                    "  {name:<28} {old_ms:>10.3} → {new_ms:>10.3} ms  {:+.1}%",
+                    (new_ms - old_ms) / old_ms * 100.0
+                ),
+                _ => println!("  {name:<28} {:>10} → {new_ms:>10.3} ms  (new)", "—"),
+            }
+        }
+    }
+    Ok(true)
 }

@@ -36,6 +36,7 @@ fn validate_is_a_deprecated_lint_alias() {
     assert_eq!(code, Some(0), "{stdout}");
     assert!(stdout.contains("ok (3 definition(s))"), "{stdout}");
     assert!(stderr.contains("deprecated"), "{stderr}");
+    assert!(stderr.contains("use `csp lint`"), "{stderr}");
 }
 
 #[test]
@@ -418,6 +419,207 @@ fn profile_is_stable_under_one_thread() {
     assert!(stacks(&folded_a)
         .iter()
         .any(|s| s.starts_with("fixpoint;fixpoint.iter")));
+}
+
+/// `--watch` always emits an initial and a final sample; the final one
+/// is taken after the executor stops, so its counters are deterministic
+/// under a fixed seed.
+#[test]
+fn run_watch_streams_status_to_stderr() {
+    let f = write_fixture("run_watch.csp", PIPELINE);
+    let (stdout, stderr, code) = csp(&[
+        "run",
+        f.to_str().unwrap(),
+        "--process",
+        "pipeline",
+        "--steps",
+        "12",
+        "--seed",
+        "7",
+        "--nat-bound",
+        "1",
+        "--watch=10",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}{stderr}");
+    let watch_lines: Vec<&str> = stderr.lines().filter(|l| l.starts_with("watch:")).collect();
+    assert!(watch_lines.len() >= 2, "{stderr}");
+    let last = watch_lines.last().unwrap();
+    assert!(last.contains("round 12"), "{stderr}");
+    assert!(last.contains("picks 12"), "{stderr}");
+    assert!(last.contains("components 2/2 live"), "{stderr}");
+    assert!(last.contains("events/s"), "{stderr}");
+    assert!(last.contains("dropped 0"), "{stderr}");
+    // The run's normal report is unaffected.
+    assert!(stdout.contains("12 event(s)"), "{stdout}");
+}
+
+#[test]
+fn run_exports_chrome_trace_and_prometheus() {
+    let f = write_fixture("run_export.csp", PIPELINE);
+    let dir = std::env::temp_dir().join("hoare-csp-cli-tests");
+    let chrome = dir.join("run_export_trace.json");
+    let prom = dir.join("run_export.prom");
+    let (stdout, stderr, code) = csp(&[
+        "run",
+        f.to_str().unwrap(),
+        "--process",
+        "pipeline",
+        "--steps",
+        "10",
+        "--seed",
+        "1",
+        "--nat-bound",
+        "1",
+        "--chrome-out",
+        chrome.to_str().unwrap(),
+        "--prom-out",
+        prom.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0), "{stdout}{stderr}");
+    assert!(stderr.contains("wrote Chrome trace"), "{stderr}");
+    let trace = std::fs::read_to_string(&chrome).expect("chrome trace written");
+    assert!(trace.starts_with("{\"traceEvents\":["), "{trace}");
+    assert!(trace.contains("\"ph\":\"M\""), "{trace}");
+    assert!(trace.contains("\"name\":\"run.round\""), "{trace}");
+    let exposition = std::fs::read_to_string(&prom).expect("prometheus written");
+    assert!(
+        exposition.contains("csp_counter{name=\"run.rounds\"} 10"),
+        "{exposition}"
+    );
+    assert!(
+        exposition.contains("csp_span_count{name=\"run.round\"} 10"),
+        "{exposition}"
+    );
+    assert!(
+        exposition.contains("# TYPE csp_counter counter"),
+        "{exposition}"
+    );
+}
+
+/// `--diff` against a handcrafted baseline shows exact signed deltas:
+/// a span and a counter present only in the baseline come out as pure
+/// negatives.
+#[test]
+fn profile_diff_prints_signed_deltas() {
+    let f = write_fixture("profile_diff.csp", PIPELINE);
+    let baseline = write_fixture(
+        "profile_diff_baseline.json",
+        "{\"counters\":{\"watch.sentinel\":1000000},\"histograms\":{},\
+         \"spans\":{\"made.up\":{\"count\":3,\"total_ns\":5000000000,\"max_ns\":1000}}}",
+    );
+    let dir = std::env::temp_dir().join("hoare-csp-cli-tests");
+    let folded = dir.join("profile_diff.folded");
+    let (stdout, _, code) = csp(&[
+        "profile",
+        f.to_str().unwrap(),
+        "--depth",
+        "3",
+        "--nat-bound",
+        "1",
+        "--folded-out",
+        folded.to_str().unwrap(),
+        "--diff",
+        baseline.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("diff vs"), "{stdout}");
+    assert!(stdout.contains("(noise 1.0 ms)"), "{stdout}");
+    // The baseline-only span: -3 closures, exactly -5000 ms.
+    assert!(stdout.contains("made.up"), "{stdout}");
+    assert!(stdout.contains("-3"), "{stdout}");
+    assert!(stdout.contains("-5000.000"), "{stdout}");
+    assert!(stdout.contains("-100.0%"), "{stdout}");
+    // The baseline-only counter comes out negative; real fixpoint spans
+    // appear as new time against the empty baseline.
+    assert!(stdout.contains("watch.sentinel"), "{stdout}");
+    assert!(stdout.contains("-1000000"), "{stdout}");
+    assert!(stdout.contains("fixpoint"), "{stdout}");
+}
+
+#[test]
+fn profile_diff_json_embeds_the_delta() {
+    let f = write_fixture("profile_diff_json.csp", PIPELINE);
+    let baseline = write_fixture(
+        "profile_diff_json_baseline.json",
+        "{\"counters\":{},\"histograms\":{},\"spans\":{}}",
+    );
+    let dir = std::env::temp_dir().join("hoare-csp-cli-tests");
+    let folded = dir.join("profile_diff_json.folded");
+    let (stdout, _, code) = csp(&[
+        "profile",
+        f.to_str().unwrap(),
+        "--depth",
+        "3",
+        "--nat-bound",
+        "1",
+        "--folded-out",
+        folded.to_str().unwrap(),
+        "--diff",
+        baseline.to_str().unwrap(),
+        "--json",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("\"diff\":{\"baseline\":"), "{stdout}");
+    assert!(stdout.contains("\"noise_ms\":1.000"), "{stdout}");
+    assert!(stdout.contains("\"table\":"), "{stdout}");
+}
+
+/// A `csp profile --json` envelope is itself a valid `--diff` baseline
+/// (the metrics are found under `data.metrics`).
+#[test]
+fn profile_diff_accepts_a_prior_json_envelope() {
+    let f = write_fixture("profile_diff_env.csp", PIPELINE);
+    let dir = std::env::temp_dir().join("hoare-csp-cli-tests");
+    let folded = dir.join("profile_diff_env.folded");
+    let run = |extra: &[&str]| {
+        let mut args = vec![
+            "profile",
+            f.to_str().unwrap(),
+            "--depth",
+            "3",
+            "--nat-bound",
+            "1",
+            "--folded-out",
+            folded.to_str().unwrap(),
+        ];
+        args.extend_from_slice(extra);
+        csp(&args)
+    };
+    let (envelope, _, code) = run(&["--json"]);
+    assert_eq!(code, Some(0), "{envelope}");
+    let baseline = dir.join("profile_diff_env_baseline.json");
+    std::fs::write(&baseline, &envelope).expect("baseline written");
+    let (stdout, _, code) = run(&["--diff", baseline.to_str().unwrap()]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("diff vs"), "{stdout}");
+}
+
+#[test]
+fn bench_report_renders_the_history_trajectory() {
+    let hist = write_fixture(
+        "bench_report_history.jsonl",
+        "{\"schema\": \"csp-bench-history/v1\", \"unix_ms\": 1754500000000, \
+          \"samples\": 2, \"total_wall_ms\": 120.500, \
+          \"benches\": {\"fixpoint.depth4\": 60.000, \"run.steps256\": 60.500}}\n\
+         {\"schema\": \"csp-bench-history/v1\", \"unix_ms\": 1754500600000, \
+          \"samples\": 2, \"total_wall_ms\": 130.010, \
+          \"benches\": {\"fixpoint.depth4\": 62.000, \"run.steps256\": 68.010}}\n",
+    );
+    let (stdout, _, code) = csp(&["bench", "report", "--history", hist.to_str().unwrap()]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("2 run(s)"), "{stdout}");
+    assert!(stdout.contains("+7.9%"), "{stdout}");
+    assert!(stdout.contains("fixpoint.depth4"), "{stdout}");
+    assert!(stdout.contains("60.000 →"), "{stdout}");
+    assert!(stdout.contains("+3.3%"), "{stdout}");
+    assert!(stdout.contains("+12.4%"), "{stdout}");
+}
+
+#[test]
+fn bench_report_rejects_unknown_subcommands() {
+    let (_, stderr, code) = csp(&["bench", "mystery"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("unknown bench subcommand"), "{stderr}");
 }
 
 #[test]
