@@ -151,6 +151,23 @@ impl fmt::Display for LintCode {
     }
 }
 
+/// How a heuristic finding was vetted against a stronger analysis.
+///
+/// CSP010 (offer mismatch) is syntactic; the Workbench cross-checks it
+/// against the bounded LTS deadlock search and records the outcome here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Confirmation {
+    /// A bounded semantic search reproduced the finding; `witness` is a
+    /// rendering of the trace leading to the stuck state.
+    Confirmed {
+        /// The witness trace, e.g. `⟨wire.0⟩`.
+        witness: String,
+    },
+    /// The finding rests on the syntactic heuristic alone — the bounded
+    /// search could not reproduce it (or could not run).
+    Heuristic,
+}
+
 /// One finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -165,6 +182,8 @@ pub struct Diagnostic {
     pub def: Option<String>,
     /// Source location, when the definitions were parsed with spans.
     pub span: Option<Span>,
+    /// Semantic vetting status, for heuristic codes the host re-checked.
+    pub confirmation: Option<Confirmation>,
 }
 
 impl Diagnostic {
@@ -176,6 +195,7 @@ impl Diagnostic {
             message: message.into(),
             def: None,
             span: None,
+            confirmation: None,
         }
     }
 
@@ -210,6 +230,18 @@ impl Diagnostic {
                 ",\"line\":{},\"column\":{},\"offset\":{},\"len\":{}",
                 sp.line, sp.column, sp.offset, sp.len
             ));
+        }
+        match &self.confirmation {
+            Some(Confirmation::Confirmed { witness }) => {
+                s.push_str(&format!(
+                    ",\"confirmation\":\"confirmed\",\"witness\":\"{}\"",
+                    json_escape(witness)
+                ));
+            }
+            Some(Confirmation::Heuristic) => {
+                s.push_str(",\"confirmation\":\"heuristic\"");
+            }
+            None => {}
         }
         s.push('}');
         s

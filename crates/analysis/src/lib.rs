@@ -40,12 +40,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod db;
 mod diagnostic;
 mod linter;
 mod passes;
 mod walk;
 
-pub use diagnostic::{max_severity, render_json, Diagnostic, LintCode, Severity, ALL_CODES};
+pub use db::{AnalysisDb, RevisionStats};
+pub use diagnostic::{
+    max_severity, render_json, Confirmation, Diagnostic, LintCode, Severity, ALL_CODES,
+};
 pub use linter::Linter;
 pub use passes::scope::hidden_channels;
 pub use walk::{channel_uses, initial_offers, ChannelUse, Offer};

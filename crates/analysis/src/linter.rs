@@ -80,15 +80,40 @@ impl<'a> Linter<'a> {
     pub fn run(&self) -> Vec<Diagnostic> {
         let mut out = Vec::new();
         for def in self.defs.iter() {
-            let spans = self.spans.and_then(|m| m.get(def.name()));
-            passes::names::check(def, self.defs, &self.host_vars, spans, &mut out);
-            passes::recursion::check(def, self.defs, spans, &mut out);
-            let env = self.env_for(def);
-            passes::parallel::check(def, self.defs, &env, spans, &mut out);
-            passes::hiding::check(def, self.defs, &env, spans, &mut out);
+            self.check_def(def, &mut out);
         }
         sort_diagnostics(&mut out);
         out
+    }
+
+    /// Runs the definition-level passes for a single definition — the
+    /// unit of work the incremental [`AnalysisDb`](crate::AnalysisDb)
+    /// re-executes when that definition (or one it depends on) changes.
+    pub fn run_def(&self, def: &Definition) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        self.check_def(def, &mut out);
+        sort_diagnostics(&mut out);
+        out
+    }
+
+    fn check_def(&self, def: &Definition, out: &mut Vec<Diagnostic>) {
+        let start = out.len();
+        let spans = self.spans.and_then(|m| m.get(def.name()));
+        passes::names::check(def, self.defs, &self.host_vars, spans, out);
+        passes::recursion::check(def, self.defs, spans, out);
+        let env = self.env_for(def);
+        passes::parallel::check(def, self.defs, &env, spans, out);
+        passes::hiding::check(def, self.defs, &env, spans, out);
+        // Span guarantee: when a SourceMap is supplied, no diagnostic
+        // leaves a spanned lint run without a location — anything a pass
+        // could not pin to a token falls back to the definition's name.
+        if let Some(ds) = spans {
+            for d in &mut out[start..] {
+                if d.span.is_none() {
+                    d.span = Some(ds.name);
+                }
+            }
+        }
     }
 
     /// Lints a `sat` assertion against the process it claims to describe
@@ -107,6 +132,11 @@ impl<'a> Linter<'a> {
         passes::scope::check_assertion(
             target, process, assertion, self.defs, &self.env, allowed, span, &mut out,
         );
+        if let Some(name_span) = span {
+            for d in &mut out {
+                d.span.get_or_insert(name_span);
+            }
+        }
         sort_diagnostics(&mut out);
         out
     }
@@ -132,7 +162,7 @@ impl<'a> Linter<'a> {
 
 /// Sorts by source position (unlocated findings last), then definition,
 /// code, and message; deduplicates exact repeats.
-fn sort_diagnostics(out: &mut Vec<Diagnostic>) {
+pub(crate) fn sort_diagnostics(out: &mut Vec<Diagnostic>) {
     out.sort_by(|a, b| {
         let key = |d: &Diagnostic| {
             (

@@ -55,7 +55,7 @@ fn walk(
 
     let child = |i: usize| t.and_then(|t| t.child(i));
     match p {
-        Process::Stop | Process::Call { .. } => {}
+        Process::Stop | Process::Call { .. } | Process::Error(_) => {}
         Process::Output { then, .. } | Process::Input { then, .. } => {
             walk(in_def, then, child(0), defs, env, out);
         }

@@ -72,7 +72,7 @@ fn walk(
     };
 
     match p {
-        Process::Stop => {}
+        Process::Stop | Process::Error(_) => {}
         Process::Call { name, args } => {
             for e in args {
                 local.extend(free_vars_expr(e));
@@ -141,7 +141,7 @@ fn walk(
     // Recurse, extending the bound set through input binders.
     let child = |i: usize| t.and_then(|t| t.child(i));
     match p {
-        Process::Stop | Process::Call { .. } => {}
+        Process::Stop | Process::Call { .. } | Process::Error(_) => {}
         Process::Output { then, .. } => {
             walk(in_def, then, child(0), defs, host, bound, reported, out);
         }

@@ -42,7 +42,7 @@ fn unguarded_reaches(
     visited: &mut BTreeSet<String>,
 ) -> bool {
     match p {
-        Process::Stop | Process::Output { .. } | Process::Input { .. } => false,
+        Process::Stop | Process::Output { .. } | Process::Input { .. } | Process::Error(_) => false,
         Process::Call { name, .. } => {
             if name == target {
                 return true;

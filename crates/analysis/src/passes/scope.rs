@@ -82,7 +82,7 @@ fn collect_hidden(
     visited: &mut BTreeSet<(String, Vec<Value>)>,
 ) {
     match p {
-        Process::Stop => {}
+        Process::Stop | Process::Error(_) => {}
         Process::Call { name, args } => {
             let Ok(vals) = args
                 .iter()

@@ -48,7 +48,7 @@ fn walk_uses(
     visited: &mut BTreeSet<(String, Vec<Value>)>,
 ) -> Result<(), EvalError> {
     match p {
-        Process::Stop => Ok(()),
+        Process::Stop | Process::Error(_) => Ok(()),
         Process::Call { name, args } => {
             let vals = args
                 .iter()
@@ -143,6 +143,9 @@ fn first_offers(
 ) -> Option<Vec<Offer>> {
     match p {
         Process::Stop => Some(Vec::new()),
+        // An error hole's real offers are unknowable — stay conservative
+        // so broken definitions don't trigger spurious CSP010 findings.
+        Process::Error(_) => None,
         Process::Call { name, args } => {
             let vals = args
                 .iter()

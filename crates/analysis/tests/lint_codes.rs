@@ -267,6 +267,66 @@ fn csp010_negative_compatible_or_independent_offers() {
     );
 }
 
+// --------------------------------------------- span guarantee (ISSUE 7) --
+
+/// No `span: None` escapes a spanned lint run: whatever a pass cannot
+/// pin to a token must fall back to the definition's name span.
+#[test]
+fn every_diagnostic_from_a_spanned_run_carries_a_span() {
+    // A battery covering every definition-level code (CSP001–CSP007,
+    // CSP010), including shapes where inner SpanTree lookups can miss.
+    let sources = [
+        "p = c!0 -> ghost",
+        "q[x:0..3] = wire!x -> q[x]\np = c!0 -> q",
+        "p = c!x -> p",
+        "p = q\nq = p",
+        "p = a!1 -> STOP ||{a | b} b!2 -> c!3 -> STOP",
+        "w1 = c!1 -> w1\nw2 = c!2 -> w2\nnet = w1 || w2",
+        "p = chan h; a!1 -> STOP",
+        "p = a!1 -> STOP || a?x:{2,3} -> STOP",
+        "p = c!x -> ghost | chan h; STOP\nq = q",
+        "deep = a?x:NAT -> (b!x -> ghost | chan h; (c!x -> STOP || c?y:{1} -> miss))",
+    ];
+    for src in sources {
+        let diags = lint(src, &[]);
+        assert!(!diags.is_empty(), "battery source lints clean: {src}");
+        for d in &diags {
+            assert!(d.span.is_some(), "span-less diagnostic {d} from {src:?}");
+        }
+    }
+    // Assertion-level codes (CSP008/CSP009) get the same guarantee.
+    for assert_src in ["outputt <= input", "wire <= input"] {
+        for d in lint_pipeline_assertion(assert_src) {
+            assert!(d.span.is_some(), "span-less assertion diagnostic {d}");
+        }
+    }
+}
+
+// ------------------------------------------------- recovery (ISSUE 7) --
+
+/// A syntax error in the first definition must not eat the span-exact
+/// diagnostics of the definitions after it.
+#[test]
+fn lint_survives_a_broken_first_definition() {
+    let src = "broken = c!0 -> ->\np = d!0 -> ghost\nq = e!x -> q";
+    let module = csp_lang::parse_module(src);
+    assert_eq!(module.errors.len(), 1);
+    let diags = Linter::new(&module.defs).with_spans(&module.map).run();
+    let undefined = diags
+        .iter()
+        .find(|d| d.code == LintCode::UndefinedProcess)
+        .expect("CSP001 from the second definition survives");
+    assert_eq!(undefined.span.unwrap().line, 2);
+    assert_eq!(undefined.span.unwrap().column, 12);
+    let unbound = diags
+        .iter()
+        .find(|d| d.code == LintCode::UnboundVariable)
+        .expect("CSP003 from the third definition survives");
+    assert_eq!(unbound.span.unwrap().line, 3);
+    // The broken definition contributes no findings of its own.
+    assert!(diags.iter().all(|d| d.def.as_deref() != Some("broken")));
+}
+
 // ------------------------------------------------------- paper networks --
 
 #[test]

@@ -28,7 +28,10 @@ use csp_bench::{
 };
 use csp_core::prelude::*;
 use csp_core::proofs;
-use csp_core::{stop_choice_identity, validate_all_rules};
+use csp_core::{stop_choice_identity, validate_all_rules, AnalysisDb};
+
+/// The paper's module, benched as the front-end's reference input.
+const PAPER_CSP: &str = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../paper.csp"));
 
 /// Size metrics one workload reports back alongside its wall time.
 #[derive(Debug, Clone, Copy, Default)]
@@ -268,6 +271,49 @@ fn workloads() -> Vec<Workload> {
             }
         }),
     ));
+
+    // Front-end — cold full parse + lint of the paper module through the
+    // incremental AnalysisDb. Target (ROADMAP/ISSUE 7): under 1 ms. The
+    // gate clamps sub-millisecond baselines to 1 ms, so the ±30%
+    // comparison doubles as an absolute "stays under ~1.3 ms" bound.
+    v.push((
+        "frontend/lint_paper_csp",
+        Box::new(|_c| {
+            let mut db = AnalysisDb::new();
+            let stats = db.set_source(PAPER_CSP);
+            assert!(db.parse_errors().is_empty(), "paper.csp parses cleanly");
+            Metrics {
+                traces: stats.relinted as u64,
+                peak_set: db.diagnostics().len() as u64,
+            }
+        }),
+    ));
+
+    // Front-end — incremental re-lint after a single-definition edit:
+    // toggle one appended leaf definition and re-run. Target: at least
+    // 10× cheaper than the cold run above. The persistent db lives in a
+    // RefCell because workloads are `Fn` closures called repeatedly.
+    v.push(("frontend/relint_one_def", {
+        let sources = [
+            format!("{PAPER_CSP}\nbench_probe = probe!0 -> bench_probe\n"),
+            format!("{PAPER_CSP}\nbench_probe = probe!1 -> bench_probe\n"),
+        ];
+        let primed = {
+            let mut db = AnalysisDb::new();
+            db.set_source(&sources[0]);
+            std::cell::RefCell::new((db, 0usize))
+        };
+        Box::new(move |_c| {
+            let (db, flip) = &mut *primed.borrow_mut();
+            *flip ^= 1;
+            let stats = db.set_source(&sources[*flip]);
+            assert_eq!(stats.relinted, 1, "the edit dirties exactly one definition");
+            Metrics {
+                traces: stats.relinted as u64,
+                peak_set: stats.cached as u64,
+            }
+        })
+    }));
 
     // Fault-conformance sweep — the PR-1 robustness workload.
     v.push((

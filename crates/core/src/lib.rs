@@ -69,7 +69,8 @@ pub mod proofs {
 }
 
 pub use csp_analysis::{
-    max_severity, render_json, Diagnostic, LintCode, Linter, Severity, ALL_CODES,
+    max_severity, render_json, AnalysisDb, Confirmation, Diagnostic, LintCode, Linter,
+    RevisionStats, Severity, ALL_CODES,
 };
 pub use csp_assert::{
     decide_valid, parse_assertion, protocol_cancel, simplify, subst_chan_cons, subst_empty,
@@ -77,9 +78,9 @@ pub use csp_assert::{
     FuncTable, STerm, Term,
 };
 pub use csp_lang::{
-    channel_alphabet, parse_definitions, parse_definitions_spanned, parse_expr, parse_process,
-    validate, ChanRef, Definition, Definitions, Env, EvalError, Expr, MsgSet, ParseError, Process,
-    SetExpr, SourceMap, Span, ValidationIssue,
+    channel_alphabet, parse_definitions, parse_definitions_spanned, parse_expr, parse_module,
+    parse_process, validate, ChanRef, Definition, Definitions, Env, EvalError, Expr, MsgSet,
+    ParseError, ParsedModule, Process, SetExpr, SourceMap, Span, ValidationIssue,
 };
 pub use csp_obs::{Collector, FieldValue, Metered, MetricsSnapshot, SpanRecord};
 pub use csp_proof::{

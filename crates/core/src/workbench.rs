@@ -2,10 +2,11 @@
 //! prove, model-check, execute, and cross-validate — one handle over the
 //! whole reproduction.
 
-use csp_analysis::{Diagnostic, Linter};
+use csp_analysis::{Confirmation, Diagnostic, LintCode, Linter};
 use csp_assert::{Assertion, ChannelInfo, FuncTable};
 use csp_lang::{
-    parse_definitions_spanned, ChanRef, Definition, Definitions, Env, Process, SourceMap,
+    parse_definitions_spanned, parse_module, ChanRef, Definition, Definitions, Env, ParseError,
+    Process, SourceMap,
 };
 use csp_obs::Collector;
 use csp_proof::{check_with, CheckReport, Context, Judgement, Proof, ProofError};
@@ -20,6 +21,11 @@ use csp_verify::{
 
 use crate::options::{ConformanceOptions, SatOptions};
 use crate::session::Session;
+
+/// Visible-event bound for the deadlock search that vets CSP010
+/// findings. Offer mismatches stick at the very first synchronisation,
+/// so a shallow bound reproduces them; it keeps linting interactive.
+const CSP010_CONFIRM_DEPTH: usize = 6;
 
 /// Errors surfaced by the workbench.
 #[derive(Debug)]
@@ -155,6 +161,25 @@ impl Workbench {
         Ok(())
     }
 
+    /// Parses equations with error recovery: definitions that parse are
+    /// added (replacing earlier ones with the same names) even when
+    /// others are broken, and the parse errors come back as a value
+    /// instead of aborting the whole module. The defining equation of a
+    /// broken body is kept as an inert error hole, so linting and
+    /// cross-definition analyses still see it.
+    ///
+    /// `csp lint` uses this so one typo at the top of a file cannot
+    /// silence every diagnostic below it;
+    /// [`define_source`](Self::define_source) remains the strict
+    /// all-or-nothing entry point for verification, where an error hole
+    /// would be unsound.
+    pub fn define_source_lenient(&mut self, src: &str) -> Vec<ParseError> {
+        let module = parse_module(src);
+        self.defs.extend_with(module.defs);
+        self.source_map.extend_with(module.map);
+        module.errors
+    }
+
     /// The source spans recorded by [`define_source`](Self::define_source)
     /// (definitions added via [`define`](Self::define) have none).
     pub fn source_map(&self) -> &SourceMap {
@@ -215,8 +240,37 @@ impl Workbench {
     /// and the §4 offer-mismatch heuristic (`CSP010`). Diagnostics carry
     /// spans for definitions added through
     /// [`define_source`](Self::define_source).
+    ///
+    /// Every `CSP010` finding is cross-checked against the bounded LTS
+    /// deadlock search: a reproduced stuck state upgrades the finding to
+    /// `confirmed` (with the witness trace), otherwise it is annotated
+    /// `heuristic`.
     pub fn lint(&self) -> Vec<Diagnostic> {
-        self.linter().run()
+        let mut diags = self.linter().run();
+        for d in &mut diags {
+            if d.code == LintCode::OfferMismatch {
+                d.confirmation = Some(self.confirm_offer_mismatch(d.def.as_deref()));
+            }
+        }
+        diags
+    }
+
+    /// Vets one CSP010 finding semantically. Search failures (array
+    /// definitions without a concrete subscript, unbound hosts) leave the
+    /// finding a heuristic rather than suppressing it.
+    fn confirm_offer_mismatch(&self, def: Option<&str>) -> Confirmation {
+        let Some(name) = def else {
+            return Confirmation::Heuristic;
+        };
+        match self.deadlocks(name, CSP010_CONFIRM_DEPTH) {
+            Ok(report) => match report.deadlocks.iter().find(|dl| !dl.terminated) {
+                Some(dl) => Confirmation::Confirmed {
+                    witness: dl.trace.to_string(),
+                },
+                None => Confirmation::Heuristic,
+            },
+            Err(_) => Confirmation::Heuristic,
+        }
     }
 
     /// Lints `name sat assertion-source` for scope problems: channels
@@ -538,7 +592,7 @@ impl Workbench {
 
 fn collect_chanrefs(p: &Process, f: &mut impl FnMut(&ChanRef)) {
     match p {
-        Process::Stop | Process::Call { .. } => {}
+        Process::Stop | Process::Call { .. } | Process::Error(_) => {}
         Process::Output { chan, then, .. } => {
             f(chan);
             collect_chanrefs(then, f);
@@ -714,6 +768,44 @@ mod tests {
         assert!(diags
             .iter()
             .any(|d| d.code.code() == "CSP006" && d.span.is_some()));
+    }
+
+    #[test]
+    fn csp010_findings_are_vetted_against_deadlock_search() {
+        // The mismatch is real: the bounded search reproduces the stuck
+        // state, so the finding is confirmed and carries a witness.
+        let mut wb = Workbench::new();
+        wb.define_source("p = a!1 -> STOP || a?x:{2,3} -> STOP")
+            .unwrap();
+        let diags = wb.lint();
+        let d = diags
+            .iter()
+            .find(|d| d.code == LintCode::OfferMismatch)
+            .expect("CSP010 fires");
+        assert!(
+            matches!(d.confirmation, Some(Confirmation::Confirmed { .. })),
+            "{d:?}"
+        );
+        let json = d.to_json();
+        assert!(json.contains("\"confirmation\":\"confirmed\""), "{json}");
+        assert!(json.contains("\"witness\""), "{json}");
+
+        // Inside an array definition the search cannot run (no concrete
+        // subscript), so the finding stays annotated as heuristic.
+        let mut wb = Workbench::new();
+        wb.define_source("q[i:0..1] = a!1 -> STOP || a?x:{2,3} -> STOP")
+            .unwrap();
+        let diags = wb.lint();
+        let d = diags
+            .iter()
+            .find(|d| d.code == LintCode::OfferMismatch)
+            .expect("CSP010 fires in array definition");
+        assert_eq!(d.confirmation, Some(Confirmation::Heuristic), "{d:?}");
+        assert!(d.to_json().contains("\"confirmation\":\"heuristic\""));
+
+        // Clean networks carry no confirmation field at all.
+        let wb = pipeline_wb();
+        assert!(wb.lint().iter().all(|d| d.confirmation.is_none()));
     }
 
     #[test]

@@ -149,6 +149,12 @@ impl Definitions {
         }
     }
 
+    /// Consumes the list, yielding the equations in declaration order —
+    /// the zero-copy deconstruction incremental reparsing splices with.
+    pub fn into_vec(self) -> Vec<Definition> {
+        self.order
+    }
+
     /// Resolves a call `name(args…)` to the defining body with the array
     /// parameter bound: for `q[i:M] = Q` and a call `q[e]` with `e`
     /// evaluating to `v ∈ M`, returns `Q` to be interpreted in an

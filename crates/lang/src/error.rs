@@ -42,6 +42,16 @@ impl ParseError {
     pub fn column(&self) -> usize {
         self.span.column
     }
+
+    /// The same error relocated by a byte and line delta (see
+    /// [`Span::shifted`]), used when splicing a fragment parse back into
+    /// whole-file coordinates.
+    pub fn shifted(&self, bytes: isize, lines: isize) -> ParseError {
+        ParseError {
+            message: self.message.clone(),
+            span: self.span.shifted(bytes, lines),
+        }
+    }
 }
 
 impl fmt::Display for ParseError {

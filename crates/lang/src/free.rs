@@ -102,7 +102,7 @@ pub fn free_vars_process(p: &Process) -> BTreeSet<String> {
 
 fn collect_process(p: &Process, out: &mut BTreeSet<String>) {
     match p {
-        Process::Stop => {}
+        Process::Stop | Process::Error(_) => {}
         Process::Call { args, .. } => {
             for e in args {
                 collect_expr(e, out);
@@ -197,7 +197,7 @@ fn walk_alphabet(
     visited: &mut BTreeSet<(String, Vec<Value>)>,
 ) -> Result<(), EvalError> {
     match p {
-        Process::Stop => Ok(()),
+        Process::Stop | Process::Error(_) => Ok(()),
         Process::Call { name, args } => {
             let vals = args
                 .iter()

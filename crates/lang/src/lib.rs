@@ -60,8 +60,8 @@ pub use error::{EvalError, LangError, ParseError};
 pub use expr::{BinOp, Expr, UnOp};
 pub use free::{channel_alphabet, free_vars_expr, free_vars_process};
 pub use parser::{
-    parse_definitions, parse_definitions_spanned, parse_expr, parse_process, parse_process_spanned,
-    parse_set_expr,
+    parse_definitions, parse_definitions_spanned, parse_expr, parse_module, parse_process,
+    parse_process_spanned, parse_set_expr, ParsedModule,
 };
 pub use process::{ChanRef, Process};
 pub use setexpr::{MsgSet, SetExpr};

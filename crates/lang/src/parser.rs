@@ -35,6 +35,23 @@
 //! Every token carries a [`Span`]; the `_spanned` entry points return a
 //! [`SpanTree`]/[`SourceMap`] mirroring the produced syntax so later
 //! analyses can report byte-accurate locations.
+//!
+//! # Implementation: table-driven Pratt parsing with error recovery
+//!
+//! Both the value-expression grammar and the process-operator grammar are
+//! parsed by a single precedence-climbing (Pratt) loop each, driven by a
+//! binding-power table ([`infix_expr_op`], [`proc_op_bp`]) instead of one
+//! recursive function per precedence level. Comparison operators are
+//! non-associative: `1 < 2 < 3` is rejected, exactly as in the layered
+//! grammar this parser replaced.
+//!
+//! The strict entry points ([`parse_definitions`], [`parse_process`], …)
+//! fail on the first error. The recovering entry point [`parse_module`]
+//! instead records every spanned [`ParseError`], resynchronises at the
+//! next definition boundary (a non-keyword identifier at the start of a
+//! line followed by `=`, or `name[…] =`), and plugs a
+//! [`Process::Error`] hole into the failed definition so every *other*
+//! definition still parses and can be analysed.
 
 use csp_trace::Value;
 
@@ -91,15 +108,303 @@ pub fn parse_definitions(src: &str) -> Result<Definitions, ParseError> {
 /// assert_eq!(spans.body.span.column, 10); // the `input` prefix
 /// ```
 pub fn parse_definitions_spanned(src: &str) -> Result<(Definitions, SourceMap), ParseError> {
-    let mut p = Parser::new(src)?;
-    let mut defs = Definitions::new();
-    let mut map = SourceMap::new();
-    while !p.at_end() {
-        let (def, spans) = p.definition()?;
-        map.insert(def.name(), spans);
-        defs.define(def);
+    let module = parse_module(src);
+    match module.errors.into_iter().next() {
+        Some(e) => Err(e),
+        None => Ok((module.defs, module.map)),
     }
-    Ok((defs, map))
+}
+
+/// The result of a recovering parse of a whole module: everything that
+/// *did* parse, plus every error encountered on the way.
+///
+/// Definitions whose body failed to parse are still present, with a
+/// [`Process::Error`] hole as their body, so later definitions that call
+/// them resolve normally instead of cascading into spurious
+/// undefined-name findings.
+///
+/// # Examples
+///
+/// ```
+/// use csp_lang::parse_module;
+///
+/// // The first definition is broken; the second still parses.
+/// let m = parse_module("p = c!0 -> ->\nq = d!1 -> STOP");
+/// assert_eq!(m.errors.len(), 1);
+/// assert_eq!(m.defs.len(), 2);
+/// assert!(m.map.get("q").is_some());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParsedModule {
+    /// Every definition that parsed, including error-hole placeholders.
+    pub defs: Definitions,
+    /// Spans for every entry of `defs`.
+    pub map: SourceMap,
+    /// All parse (and lex) errors, in source order.
+    pub errors: Vec<ParseError>,
+    /// The full source extent of each parsed definition, in source
+    /// order: from the first byte of its name to the last byte of its
+    /// body. Slicing the source with an extent yields the definition's
+    /// text, which incremental analyses hash for change detection.
+    pub extents: Vec<(String, Span)>,
+}
+
+/// Parses a whole module with error recovery; never fails.
+///
+/// On a parse error the offending [`ParseError`] is recorded, the parser
+/// skips ahead to the next definition boundary (`name =` or `name[…] =`
+/// at the start of a line), and — when the failed definition's header was
+/// already parsed — a [`Process::Error`] hole is installed as its body.
+pub fn parse_module(src: &str) -> ParsedModule {
+    let (toks, lex_errors) = lex(src);
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        src_len: src.len(),
+    };
+    let mut module = ParsedModule {
+        errors: lex_errors,
+        ..ParsedModule::default()
+    };
+    while !p.at_end() {
+        let start = p.here();
+        let start_pos = p.pos;
+        match p.definition_header() {
+            Err(e) => {
+                module.errors.push(e);
+                p.resync_to_boundary(start_pos);
+            }
+            Ok((name, name_span, param)) => {
+                let (body, body_spans) = match p.process() {
+                    Ok(ok) => ok,
+                    Err(e) => {
+                        let hole = e.span();
+                        module.errors.push(e);
+                        p.resync_to_boundary(start_pos);
+                        (Process::Error(hole), SpanTree::leaf(hole))
+                    }
+                };
+                let def = match param {
+                    Some((param, set)) => Definition::array(&name, &param, set, body),
+                    None => Definition::plain(&name, body),
+                };
+                let end = p.prev_token_end();
+                module.extents.push((
+                    name.clone(),
+                    Span::new(
+                        start.offset,
+                        end.saturating_sub(start.offset),
+                        start.line,
+                        start.column,
+                    ),
+                ));
+                module.map.insert(
+                    &name,
+                    DefSpans {
+                        name: name_span,
+                        body: body_spans,
+                    },
+                );
+                module.defs.define(def);
+            }
+        }
+    }
+    module
+}
+
+impl ParsedModule {
+    /// Incrementally re-parses an edited module, reusing this (previous)
+    /// parse for everything outside the edit.
+    ///
+    /// `self` must be the result of parsing `old_src`; the return value,
+    /// when `Some`, is byte-for-byte equal to `parse_module(new_src)` —
+    /// the equivalence the `parser_recovery` property tests check — but
+    /// obtained by parsing only the definitions the edit touched.
+    ///
+    /// The stitch exploits the fact that definition-boundary lines are
+    /// hard delimiters of an error-free parse: an expression that runs
+    /// across a boundary line always fails at that line's `=`, so a
+    /// definition that parsed *without* errors cannot have consumed any
+    /// token beyond its own chunk. The edit is therefore localised to
+    /// the chunks (boundary-to-boundary regions) it overlaps; those are
+    /// re-parsed as a fragment, and the unedited prefix and suffix are
+    /// spliced in with their spans shifted by the edit's byte/line delta.
+    ///
+    /// Returns `Err(self)` — meaning "fall back to a full parse", with
+    /// the previous parse handed back untouched — whenever the
+    /// equivalence is not provable on the cheap: errors or error holes
+    /// in the reused regions (a broken definition *can* consume across a
+    /// boundary), duplicate definition names, or an edit spanning
+    /// essentially the whole file.
+    ///
+    /// Consumes `self` so the reused definitions, span trees, and
+    /// extents are *moved* into the result; the only per-revision work
+    /// proportional to the reused text is the diff itself.
+    #[allow(clippy::result_large_err)] // Err is the module handed back.
+    pub fn reparse(self, old_src: &str, new_src: &str) -> Result<ParsedModule, ParsedModule> {
+        use std::collections::BTreeSet;
+
+        if old_src == new_src {
+            return Ok(self);
+        }
+        let old = old_src.as_bytes();
+        let new = new_src.as_bytes();
+
+        // Longest common prefix and suffix, then aligned outward to line
+        // starts (always char boundaries) so columns survive the splice.
+        let max = old.len().min(new.len());
+        let mut common = 0;
+        while common < max && old[common] == new[common] {
+            common += 1;
+        }
+        let window_start = old_src[..common].rfind('\n').map_or(0, |i| i + 1);
+        let mut s = 0;
+        while s < max - common && old[old.len() - 1 - s] == new[new.len() - 1 - s] {
+            s += 1;
+        }
+        let old_tail = old.len() - s;
+        let old_resume = old_src[old_tail..]
+            .find('\n')
+            .map_or(old.len(), |i| old_tail + i + 1);
+
+        // Chunk boundaries: the line starts of the definition extents
+        // (ascending, because extents are recorded in source order and a
+        // line holds at most one definition header).
+        let chunk_starts: Vec<usize> = self
+            .extents
+            .iter()
+            .map(|(_, e)| old_src[..e.offset].rfind('\n').map_or(0, |i| i + 1))
+            .collect();
+        let reparse_start = chunk_starts
+            .iter()
+            .copied()
+            .filter(|&c| c <= window_start)
+            .max()
+            .unwrap_or(0);
+        let old_stitch = chunk_starts
+            .iter()
+            .copied()
+            .filter(|&c| c >= old_resume)
+            .min()
+            .unwrap_or(old.len());
+        if reparse_start == 0 && old_stitch >= old.len() {
+            return Err(self); // nothing reusable; a full parse is no slower.
+        }
+
+        // Every recorded error must lie inside the re-parsed window (an
+        // end-of-file error sits at `old.len()` when the window reaches
+        // the end). Errors in a reused region would have to be spliced,
+        // and a broken definition just before the window could have
+        // consumed tokens across the boundary — both mean full parse.
+        let err_hi = if old_stitch >= old.len() {
+            old.len() + 1
+        } else {
+            old_stitch
+        };
+        if self
+            .errors
+            .iter()
+            .any(|e| e.span().offset < reparse_start || e.span().offset >= err_hi)
+        {
+            return Err(self);
+        }
+
+        // Classify extents into reused prefix/suffix and re-parsed
+        // middle; each class is a contiguous range of the (ascending)
+        // extent list.
+        if self.defs.len() != self.extents.len() {
+            return Err(self); // redefinitions collapsed entries.
+        }
+        let mut names: BTreeSet<&str> = BTreeSet::new();
+        for (name, _) in &self.extents {
+            if !names.insert(name.as_str()) {
+                return Err(self); // duplicate names make reuse ambiguous.
+            }
+        }
+        drop(names);
+        let prefix_end = chunk_starts.partition_point(|&c| c < reparse_start);
+        let middle_end = chunk_starts.partition_point(|&c| c < old_stitch);
+        if self.extents[..prefix_end]
+            .iter()
+            .any(|(_, ext)| ext.end() > reparse_start)
+        {
+            return Err(self); // an extent straddling the boundary.
+        }
+        // A reused definition with an error hole had its error attributed
+        // past its own chunk; only hole-free parses are provably local.
+        let reused_broken = self
+            .defs
+            .iter()
+            .enumerate()
+            .any(|(i, def)| (i < prefix_end || i >= middle_end) && def.body().has_error_hole());
+        if reused_broken {
+            return Err(self);
+        }
+
+        let delta = new.len() as isize - old.len() as isize;
+        let new_stitch = match usize::try_from(old_stitch as isize + delta) {
+            Ok(n) if n <= new.len() && n >= reparse_start => n,
+            _ => return Err(self),
+        };
+        let mut frag = parse_module(&new_src[reparse_start..new_stitch]);
+        if !frag.errors.is_empty() {
+            // The fragment's last definition may have been cut off at the
+            // stitch; its in-context error would differ. Full parse.
+            return Err(self);
+        }
+
+        let nl = |bytes: &[u8]| bytes.iter().filter(|&&b| b == b'\n').count() as isize;
+        let frag_bytes = reparse_start as isize;
+        let frag_lines = nl(&new[..reparse_start]);
+        let suffix_lines = nl(&new[..new_stitch]) - nl(&old[..old_stitch]);
+
+        // All guards passed: deconstruct and splice by moves.
+        let ParsedModule {
+            defs,
+            mut map,
+            errors: _,
+            extents,
+        } = self;
+        let mut order = defs.into_vec();
+        let suffix_defs = order.split_off(middle_end);
+        order.truncate(prefix_end);
+        let prefix_defs = order;
+        let mut ext = extents;
+        let suffix_ext = ext.split_off(middle_end);
+        let middle_ext = ext.split_off(prefix_end);
+        let prefix_ext = ext;
+        for (name, _) in &middle_ext {
+            map.remove(name);
+        }
+
+        let mut out = ParsedModule::default();
+        for d in prefix_defs {
+            out.defs.define(d);
+        }
+        for (name, e) in prefix_ext {
+            if let Some(ds) = map.remove(&name) {
+                out.map.insert(&name, ds);
+            }
+            out.extents.push((name, e));
+        }
+        frag.map.shift_mut(frag_bytes, frag_lines);
+        for (name, e) in frag.extents {
+            out.extents.push((name, e.shifted(frag_bytes, frag_lines)));
+        }
+        out.defs.extend_with(frag.defs);
+        out.map.extend_with(frag.map);
+        for d in suffix_defs {
+            out.defs.define(d);
+        }
+        for (name, e) in suffix_ext {
+            if let Some(mut ds) = map.remove(&name) {
+                ds.shift_mut(delta, suffix_lines);
+                out.map.insert(&name, ds);
+            }
+            out.extents.push((name, e.shifted(delta, suffix_lines)));
+        }
+        Ok(out)
+    }
 }
 
 /// Parses a single process expression.
@@ -265,9 +570,14 @@ impl<'a> Lexer<'a> {
     }
 }
 
-fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
+/// Tokenises `src`, accumulating lexical errors instead of aborting: a
+/// bad character is recorded and skipped so the stream (and recovery)
+/// continues. Strict callers fail on `errors.first()`, which is exactly
+/// the error the abort-on-first lexer used to produce.
+fn lex(src: &str) -> (Vec<Spanned>, Vec<ParseError>) {
     let mut lx = Lexer::new(src);
     let mut out = Vec::new();
+    let mut errors = Vec::new();
 
     while let Some(c) = lx.peek() {
         let start = lx.offset();
@@ -359,10 +669,11 @@ fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                     lx.advance();
                     Tok::DotDot
                 } else {
-                    return Err(ParseError::at(
+                    errors.push(ParseError::at(
                         "stray `.` (did you mean `..`?)",
                         Span::new(start, 1, line, column),
                     ));
+                    continue;
                 }
             }
             '?' => {
@@ -427,13 +738,16 @@ fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                         break;
                     }
                 }
-                let val: i64 = n.parse().map_err(|_| {
-                    ParseError::at(
-                        "integer literal too large",
-                        Span::new(start, n.len(), line, column),
-                    )
-                })?;
-                Tok::Int(val)
+                match n.parse::<i64>() {
+                    Ok(val) => Tok::Int(val),
+                    Err(_) => {
+                        errors.push(ParseError::at(
+                            "integer literal too large",
+                            Span::new(start, n.len(), line, column),
+                        ));
+                        continue;
+                    }
+                }
             }
             c if c.is_alphabetic() || c == '_' => {
                 let mut s = String::new();
@@ -448,10 +762,12 @@ fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
                 Tok::Ident(s)
             }
             other => {
-                return Err(ParseError::at(
+                lx.advance();
+                errors.push(ParseError::at(
                     format!("unexpected character `{other}`"),
                     Span::new(start, other.len_utf8(), line, column),
                 ));
+                continue;
             }
         };
         let end = lx.offset();
@@ -460,7 +776,54 @@ fn lex(src: &str) -> Result<Vec<Spanned>, ParseError> {
             span: Span::new(start, end - start, line, column),
         });
     }
-    Ok(out)
+    (out, errors)
+}
+
+// ------------------------------------------------------- operator tables --
+
+/// Binding powers for the two process operators, `(left, right)`; larger
+/// binds tighter. Left-associative, so `right = left + 1`.
+const BP_PARALLEL: (u8, u8) = (1, 2); // ||
+const BP_CHOICE: (u8, u8) = (3, 4); // |
+
+/// Binding powers for infix value operators. Comparisons share one
+/// non-associative level (guarded in the Pratt loop).
+const BP_OR: (u8, u8) = (1, 2);
+const BP_AND: (u8, u8) = (3, 4);
+const BP_CMP: (u8, u8) = (5, 6);
+const BP_ADD: (u8, u8) = (7, 8);
+const BP_MUL: (u8, u8) = (9, 10);
+/// Prefix `-`/`not` bind tighter than any infix operator.
+const BP_UNARY: u8 = 11;
+
+/// The infix value-operator table: token → (operator, left bp, right bp).
+fn infix_expr_op(tok: &Tok) -> Option<(BinOp, u8, u8)> {
+    let (op, (l, r)) = match tok {
+        Tok::Ident(s) if s == "or" => (BinOp::Or, BP_OR),
+        Tok::Ident(s) if s == "and" => (BinOp::And, BP_AND),
+        Tok::EqEq => (BinOp::Eq, BP_CMP),
+        Tok::Ne => (BinOp::Ne, BP_CMP),
+        Tok::Lt => (BinOp::Lt, BP_CMP),
+        Tok::Le => (BinOp::Le, BP_CMP),
+        Tok::Gt => (BinOp::Gt, BP_CMP),
+        Tok::Ge => (BinOp::Ge, BP_CMP),
+        Tok::Plus => (BinOp::Add, BP_ADD),
+        Tok::Minus => (BinOp::Sub, BP_ADD),
+        Tok::Star => (BinOp::Mul, BP_MUL),
+        Tok::Slash => (BinOp::Div, BP_MUL),
+        Tok::Percent => (BinOp::Mod, BP_MUL),
+        _ => return None,
+    };
+    Some((op, l, r))
+}
+
+/// The process-operator table: token → (is `||`, left bp, right bp).
+fn proc_op_bp(tok: &Tok) -> Option<(bool, u8, u8)> {
+    match tok {
+        Tok::BarBar => Some((true, BP_PARALLEL.0, BP_PARALLEL.1)),
+        Tok::Bar => Some((false, BP_CHOICE.0, BP_CHOICE.1)),
+        _ => None,
+    }
 }
 
 // --------------------------------------------------------------- parser --
@@ -473,8 +836,12 @@ struct Parser {
 
 impl Parser {
     fn new(src: &str) -> Result<Self, ParseError> {
+        let (toks, errors) = lex(src);
+        if let Some(e) = errors.into_iter().next() {
+            return Err(e);
+        }
         Ok(Parser {
-            toks: lex(src)?,
+            toks,
             pos: 0,
             src_len: src.len(),
         })
@@ -498,6 +865,11 @@ impl Parser {
                 None => Span::new(self.src_len, 0, 1, 1),
             },
         }
+    }
+
+    /// One past the end offset of the last consumed token (0 if none).
+    fn prev_token_end(&self) -> usize {
+        self.toks[..self.pos].last().map_or(0, |s| s.span.end())
     }
 
     fn bump(&mut self) -> Option<Tok> {
@@ -550,8 +922,15 @@ impl Parser {
         }
     }
 
-    // definition := name ('[' var ':' set ']')? '=' process
-    fn definition(&mut self) -> Result<(Definition, DefSpans), ParseError> {
+    // ----------------------------------------------------- definitions --
+
+    /// The header of a definition: `name` or `name[var:set]`, up to and
+    /// including the `=`. Split from the body so the recovering driver
+    /// can install an error-hole body when only the body is broken.
+    #[allow(clippy::type_complexity)]
+    fn definition_header(
+        &mut self,
+    ) -> Result<(String, Span, Option<(String, SetExpr)>), ParseError> {
         let name_span = self.here();
         let name = self.ident()?;
         if is_keyword(&name) {
@@ -560,33 +939,84 @@ impl Parser {
                 name_span,
             ));
         }
-        if self.peek() == Some(&Tok::LBrack) {
+        let param = if self.peek() == Some(&Tok::LBrack) {
             self.bump();
             let param = self.ident()?;
             self.expect(&Tok::Colon)?;
             let set = self.set_expr()?;
             self.expect(&Tok::RBrack)?;
-            self.expect(&Tok::Eq)?;
-            let (body, body_spans) = self.process()?;
-            Ok((
-                Definition::array(&name, &param, set, body),
-                DefSpans {
-                    name: name_span,
-                    body: body_spans,
-                },
-            ))
+            Some((param, set))
         } else {
-            self.expect(&Tok::Eq)?;
-            let (body, body_spans) = self.process()?;
-            Ok((
-                Definition::plain(&name, body),
-                DefSpans {
-                    name: name_span,
-                    body: body_spans,
-                },
-            ))
+            None
+        };
+        self.expect(&Tok::Eq)?;
+        Ok((name, name_span, param))
+    }
+
+    /// True when the current token can start a definition: a non-keyword
+    /// identifier that is the first token on its line, followed by `=`
+    /// (or by a `[…]` parameter group and then `=`).
+    fn at_def_boundary(&self) -> bool {
+        let Some(cur) = self.toks.get(self.pos) else {
+            return false;
+        };
+        let Tok::Ident(name) = &cur.tok else {
+            return false;
+        };
+        if is_keyword(name) {
+            return false;
+        }
+        let first_on_line = match self.pos.checked_sub(1).and_then(|i| self.toks.get(i)) {
+            Some(prev) => prev.span.line < cur.span.line,
+            None => true,
+        };
+        if !first_on_line {
+            return false;
+        }
+        match self.toks.get(self.pos + 1).map(|s| &s.tok) {
+            Some(Tok::Eq) => true,
+            Some(Tok::LBrack) => {
+                // `q[x:M] = …` — find the matching `]`, then require `=`.
+                let mut depth = 0usize;
+                let mut j = self.pos + 1;
+                while let Some(s) = self.toks.get(j) {
+                    match s.tok {
+                        Tok::LBrack => depth += 1,
+                        Tok::RBrack => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return matches!(
+                                    self.toks.get(j + 1).map(|s| &s.tok),
+                                    Some(Tok::Eq)
+                                );
+                            }
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                false
+            }
+            _ => false,
         }
     }
+
+    /// Skips to the next definition boundary (or the end of input).
+    ///
+    /// The scan restarts just past the broken definition's first token
+    /// rather than at the error position: an expression may have
+    /// consumed the next definition's name as an operand (`z!last` right
+    /// before `last = …`) before failing, and the boundary must not be
+    /// lost with it. Restarting at `start_pos + 1` also guarantees the
+    /// recovery loop always advances.
+    fn resync_to_boundary(&mut self, start_pos: usize) {
+        self.pos = (start_pos + 1).min(self.toks.len());
+        while !self.at_end() && !self.at_def_boundary() {
+            self.pos += 1;
+        }
+    }
+
+    // ------------------------------------------------------- processes --
 
     // process := 'chan' chanlist ';' process | par
     fn process(&mut self) -> Result<(Process, SpanTree), ParseError> {
@@ -606,51 +1036,59 @@ impl Parser {
                 ));
             }
         }
-        self.parallel()
+        self.proc_bp(0)
     }
 
-    fn parallel(&mut self) -> Result<(Process, SpanTree), ParseError> {
-        let (mut left, mut lspans) = self.choice()?;
-        while self.peek() == Some(&Tok::BarBar) {
-            let op_span = self.here();
-            self.bump();
-            // Optional explicit alphabets: `||{a,b | c,d}` (§1.2(7)'s
-            // `P ‖_{X,Y} Q` written out).
-            let (left_alpha, right_alpha) = if self.peek() == Some(&Tok::LBrace) {
-                self.bump();
-                let la = self.chan_list()?;
-                self.expect(&Tok::Bar)?;
-                let ra = self.chan_list()?;
-                self.expect(&Tok::RBrace)?;
-                (Some(la), Some(ra))
-            } else {
-                (None, None)
-            };
-            let (right, rspans) = self.choice()?;
-            left = Process::Parallel {
-                left: Box::new(left),
-                right: Box::new(right),
-                left_alpha,
-                right_alpha,
-            };
-            lspans = SpanTree::node(op_span, vec![lspans, rspans]);
-        }
-        Ok((left, lspans))
-    }
-
-    fn choice(&mut self) -> Result<(Process, SpanTree), ParseError> {
+    /// The Pratt loop over the process operators `|` and `||`. Both are
+    /// left-associative; `|` binds tighter (see the table above), so the
+    /// single loop replaces the old `parallel`/`choice` pair.
+    fn proc_bp(&mut self, min_bp: u8) -> Result<(Process, SpanTree), ParseError> {
         let (mut left, mut lspans) = self.prefix()?;
-        while self.peek() == Some(&Tok::Bar) {
+        while let Some((is_par, l_bp, r_bp)) = self.peek().and_then(proc_op_bp) {
+            if l_bp < min_bp {
+                break;
+            }
             let op_span = self.here();
             self.bump();
-            let (right, rspans) = self.prefix()?;
-            left = left.or(right);
-            lspans = SpanTree::node(op_span, vec![lspans, rspans]);
+            if is_par {
+                // Optional explicit alphabets: `||{a,b | c,d}` (§1.2(7)'s
+                // `P ‖_{X,Y} Q` written out).
+                let (left_alpha, right_alpha) = if self.peek() == Some(&Tok::LBrace) {
+                    self.bump();
+                    let la = self.chan_list()?;
+                    self.expect(&Tok::Bar)?;
+                    let ra = self.chan_list()?;
+                    self.expect(&Tok::RBrace)?;
+                    (Some(la), Some(ra))
+                } else {
+                    (None, None)
+                };
+                let (right, rspans) = self.proc_bp(r_bp)?;
+                left = Process::Parallel {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    left_alpha,
+                    right_alpha,
+                };
+                lspans = SpanTree::node(op_span, vec![lspans, rspans]);
+            } else {
+                let (right, rspans) = self.proc_bp(r_bp)?;
+                left = left.or(right);
+                lspans = SpanTree::node(op_span, vec![lspans, rspans]);
+            }
         }
         Ok((left, lspans))
     }
 
     fn prefix(&mut self) -> Result<(Process, SpanTree), ParseError> {
+        // A name that opens a new definition (`name =` at line start)
+        // cannot also be a call continuation — refusing it here keeps a
+        // dangling `->` at the end of one definition from swallowing the
+        // next definition's header.
+        if self.at_def_boundary() {
+            let t = self.peek().expect("boundary token exists");
+            return Err(self.err(format!("expected a process, found start of definition {t}")));
+        }
         match self.peek() {
             Some(Tok::LParen) => {
                 self.bump();
@@ -807,95 +1245,42 @@ impl Parser {
     // ------------------------------------------------------ expressions --
 
     fn expr(&mut self) -> Result<Expr, ParseError> {
-        self.or_expr()
+        self.expr_bp(0)
     }
 
-    fn or_expr(&mut self) -> Result<Expr, ParseError> {
-        let mut left = self.and_expr()?;
-        while matches!(self.peek(), Some(Tok::Ident(s)) if s == "or") {
-            self.bump();
-            let right = self.and_expr()?;
-            left = Expr::Bin(BinOp::Or, Box::new(left), Box::new(right));
-        }
-        Ok(left)
-    }
-
-    fn and_expr(&mut self) -> Result<Expr, ParseError> {
-        let mut left = self.cmp_expr()?;
-        while matches!(self.peek(), Some(Tok::Ident(s)) if s == "and") {
-            self.bump();
-            let right = self.cmp_expr()?;
-            left = Expr::Bin(BinOp::And, Box::new(left), Box::new(right));
-        }
-        Ok(left)
-    }
-
-    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
-        let left = self.add_expr()?;
-        let op = match self.peek() {
-            Some(Tok::EqEq) => Some(BinOp::Eq),
-            Some(Tok::Ne) => Some(BinOp::Ne),
-            Some(Tok::Lt) => Some(BinOp::Lt),
-            Some(Tok::Le) => Some(BinOp::Le),
-            Some(Tok::Gt) => Some(BinOp::Gt),
-            Some(Tok::Ge) => Some(BinOp::Ge),
-            _ => None,
-        };
-        match op {
-            None => Ok(left),
-            Some(op) => {
-                self.bump();
-                let right = self.add_expr()?;
-                Ok(Expr::Bin(op, Box::new(left), Box::new(right)))
-            }
-        }
-    }
-
-    fn add_expr(&mut self) -> Result<Expr, ParseError> {
-        let mut left = self.mul_expr()?;
-        loop {
-            let op = match self.peek() {
-                Some(Tok::Plus) => BinOp::Add,
-                Some(Tok::Minus) => BinOp::Sub,
-                _ => break,
-            };
-            self.bump();
-            let right = self.mul_expr()?;
-            left = Expr::Bin(op, Box::new(left), Box::new(right));
-        }
-        Ok(left)
-    }
-
-    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
-        let mut left = self.unary_expr()?;
-        loop {
-            let op = match self.peek() {
-                Some(Tok::Star) => BinOp::Mul,
-                Some(Tok::Slash) => BinOp::Div,
-                Some(Tok::Percent) => BinOp::Mod,
-                _ => break,
-            };
-            self.bump();
-            let right = self.unary_expr()?;
-            left = Expr::Bin(op, Box::new(left), Box::new(right));
-        }
-        Ok(left)
-    }
-
-    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
-        match self.peek() {
+    /// The Pratt loop over the infix value operators of
+    /// [`infix_expr_op`]. Comparisons are non-associative: after one
+    /// comparison at this level, a second one breaks the loop and is left
+    /// for the caller to reject — `1 < 2 < 3` is an error, as it was
+    /// under the layered grammar.
+    fn expr_bp(&mut self, min_bp: u8) -> Result<Expr, ParseError> {
+        let mut lhs = match self.peek() {
             Some(Tok::Minus) => {
                 self.bump();
-                let e = self.unary_expr()?;
-                Ok(Expr::Un(UnOp::Neg, Box::new(e)))
+                Expr::Un(UnOp::Neg, Box::new(self.expr_bp(BP_UNARY)?))
             }
             Some(Tok::Ident(s)) if s == "not" => {
                 self.bump();
-                let e = self.unary_expr()?;
-                Ok(Expr::Un(UnOp::Not, Box::new(e)))
+                Expr::Un(UnOp::Not, Box::new(self.expr_bp(BP_UNARY)?))
             }
-            _ => self.atom_expr(),
+            _ => self.atom_expr()?,
+        };
+        let mut seen_cmp = false;
+        while let Some((op, l_bp, r_bp)) = self.peek().and_then(infix_expr_op) {
+            if l_bp < min_bp {
+                break;
+            }
+            if l_bp == BP_CMP.0 {
+                if seen_cmp {
+                    break;
+                }
+                seen_cmp = true;
+            }
+            self.bump();
+            let rhs = self.expr_bp(r_bp)?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
         }
+        Ok(lhs)
     }
 
     fn atom_expr(&mut self) -> Result<Expr, ParseError> {
@@ -930,7 +1315,10 @@ impl Parser {
                     Ok(first)
                 }
             }
-            Some(t) => Err(self.err(format!("expected an expression, found {t}"))),
+            Some(t) => {
+                self.pos -= 1;
+                Err(self.err(format!("expected an expression, found {t}")))
+            }
             None => Err(self.err("expected an expression, found end of input")),
         }
     }
@@ -994,6 +1382,23 @@ mod tests {
                 assert!(matches!(*left, Process::Choice(_, _)));
                 assert!(matches!(*right, Process::Output { .. }));
             }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compositions_are_left_associative() {
+        let p = parse_process("a!1 -> STOP || b!1 -> STOP || c!1 -> STOP").unwrap();
+        match p {
+            Process::Parallel { left, right, .. } => {
+                assert!(matches!(*left, Process::Parallel { .. }));
+                assert!(matches!(*right, Process::Output { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let p = parse_process("a!1 -> STOP | b!1 -> STOP | c!1 -> STOP").unwrap();
+        match p {
+            Process::Choice(left, _) => assert!(matches!(*left, Process::Choice(_, _))),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -1087,6 +1492,14 @@ mod tests {
         assert_eq!(e.eval(&crate::Env::new()).unwrap(), Value::Int(-1));
         let e = parse_expr("1 < 2 and not false").unwrap();
         assert_eq!(e.eval(&crate::Env::new()).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn comparisons_do_not_chain() {
+        assert!(parse_expr("1 < 2 < 3").is_err());
+        assert!(parse_expr("1 == 2 == 3").is_err());
+        // But comparisons on both sides of a logical operator are fine.
+        assert!(parse_expr("1 < 2 and 2 < 3").is_ok());
     }
 
     #[test]
@@ -1227,5 +1640,123 @@ mod tests {
         // Body root of copier is the input prefix; its child the output.
         assert_eq!(c.body.span.column, 10);
         assert_eq!(c.body.children[0].span.column, 25);
+    }
+
+    // ------------------------------------------------------- recovery --
+
+    #[test]
+    fn recovery_preserves_later_definitions() {
+        let m = parse_module(
+            "broken = c!0 -> ->\n\
+             good = d!1 -> STOP\n\
+             caller = e!2 -> broken",
+        );
+        assert_eq!(m.errors.len(), 1);
+        assert_eq!(m.defs.len(), 3);
+        // The broken definition is present as an error hole…
+        assert!(matches!(
+            m.defs.get("broken").unwrap().body(),
+            Process::Error(_)
+        ));
+        // …so `caller` resolves it, and `good` parsed normally.
+        assert!(matches!(
+            m.defs.get("good").unwrap().body(),
+            Process::Output { .. }
+        ));
+        assert!(m.map.get("caller").is_some());
+    }
+
+    #[test]
+    fn recovery_error_matches_strict_error() {
+        let src = "p = c!0 -> STOP\nq = = STOP\nr = a!1 -> STOP";
+        let strict = parse_definitions(src).unwrap_err();
+        let m = parse_module(src);
+        assert_eq!(m.errors[0], strict);
+        // `r` survives even though `q` is broken.
+        assert!(m.defs.get("r").is_some());
+        assert!(matches!(m.defs.get("q").unwrap().body(), Process::Error(_)));
+    }
+
+    #[test]
+    fn recovery_collects_multiple_errors() {
+        let m = parse_module(
+            "a = !\n\
+             b = c!0 -> STOP\n\
+             c = ? ?\n\
+             d = e!1 -> STOP",
+        );
+        assert_eq!(m.errors.len(), 2);
+        assert!(m.errors[0].span().offset < m.errors[1].span().offset);
+        assert_eq!(m.defs.len(), 4);
+        assert!(m.defs.get("b").is_some() && m.defs.get("d").is_some());
+    }
+
+    #[test]
+    fn recovery_without_header_skips_to_next_boundary() {
+        // The first line has no parseable header at all.
+        let m = parse_module("= = =\ngood = c!0 -> STOP");
+        assert_eq!(m.errors.len(), 1);
+        assert_eq!(m.defs.len(), 1);
+        assert!(m.defs.get("good").is_some());
+    }
+
+    #[test]
+    fn recovery_handles_array_definitions_as_boundaries() {
+        let m = parse_module("bad = ->\nq[x:M] = wire!x -> q[x]");
+        assert_eq!(m.errors.len(), 1);
+        let q = m.defs.get("q").unwrap();
+        assert_eq!(q.arity(), 1);
+    }
+
+    #[test]
+    fn recovery_survives_lex_errors() {
+        let m = parse_module("p = c!0 -> STOP\nq = d#1 -> STOP\nr = e!2 -> STOP");
+        assert!(!m.errors.is_empty());
+        assert!(m.errors.iter().any(|e| e.message().contains('#')));
+        assert!(m.defs.get("p").is_some());
+        assert!(m.defs.get("r").is_some());
+    }
+
+    #[test]
+    fn module_extents_slice_to_definition_text() {
+        let src = "copier = input?x:NAT -> wire!x -> copier\nrecopier = wire?y:NAT -> output!y -> recopier";
+        let m = parse_module(src);
+        assert_eq!(m.extents.len(), 2);
+        let (name, extent) = &m.extents[0];
+        assert_eq!(name, "copier");
+        assert_eq!(
+            &src[extent.offset..extent.end()],
+            "copier = input?x:NAT -> wire!x -> copier"
+        );
+        let (name, extent) = &m.extents[1];
+        assert_eq!(name, "recopier");
+        assert!(src[extent.offset..extent.end()].starts_with("recopier ="));
+    }
+
+    #[test]
+    fn module_on_valid_corpus_matches_strict_parse() {
+        let src = "-- the protocol of §1.3
+             sender = input?y:M -> q[y]
+             q[x:M] = wire!x -> (wire?y:{ACK} -> sender | wire?y:{NACK} -> q[x])
+             receiver = wire?z:M -> (wire!ACK -> output!z -> receiver
+                                     | wire!NACK -> receiver)
+             protocol = chan wire; (sender || receiver)";
+        let (defs, map) = parse_definitions_spanned(src).unwrap();
+        let m = parse_module(src);
+        assert!(m.errors.is_empty());
+        assert_eq!(m.defs, defs);
+        assert_eq!(m.map, map);
+    }
+
+    #[test]
+    fn error_hole_spans_lie_within_input() {
+        let src = "p = c!0 ->\nq = d!1 -> STOP";
+        let m = parse_module(src);
+        for e in &m.errors {
+            assert!(e.span().end() <= src.len());
+        }
+        for (_, extent) in &m.extents {
+            assert!(extent.end() <= src.len());
+        }
     }
 }

@@ -19,6 +19,9 @@ const PREC_PREFIX: u8 = 3;
 fn fmt_process(p: &Process, f: &mut fmt::Formatter<'_>, ctx: u8) -> fmt::Result {
     match p {
         Process::Stop => write!(f, "STOP"),
+        // Deliberately not valid syntax: an error hole must fail a
+        // re-parse loudly rather than silently round-trip as STOP.
+        Process::Error(_) => write!(f, "<error>"),
         Process::Call { name, args } => {
             write!(f, "{name}")?;
             for a in args {

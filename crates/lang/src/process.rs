@@ -4,7 +4,7 @@ use std::fmt;
 
 use csp_trace::Channel;
 
-use crate::{Env, EvalError, Expr, SetExpr};
+use crate::{Env, EvalError, Expr, SetExpr, Span};
 
 /// A syntactic reference to a channel, possibly with symbolic subscripts:
 /// `wire`, `col[i-1]`, `row[i]`.
@@ -169,6 +169,13 @@ pub enum Process {
         /// The network whose internal channels are concealed.
         body: Box<Process>,
     },
+    /// A hole left by error recovery: the recovering parser
+    /// ([`parse_module`](crate::parse_module)) could not parse this
+    /// region and resynchronised at the next definition boundary. The
+    /// span covers the offending token. Semantically inert (behaves like
+    /// `STOP`), so the rest of the module still parses, lints, and
+    /// resolves names against it.
+    Error(Span),
 }
 
 impl Process {
@@ -247,12 +254,27 @@ impl Process {
     /// benchmarks.
     pub fn size(&self) -> usize {
         match self {
-            Process::Stop | Process::Call { .. } => 1,
+            Process::Stop | Process::Call { .. } | Process::Error(_) => 1,
             Process::Output { then, .. } => 1 + then.size(),
             Process::Input { then, .. } => 1 + then.size(),
             Process::Choice(a, b) => 1 + a.size() + b.size(),
             Process::Parallel { left, right, .. } => 1 + left.size() + right.size(),
             Process::Hide { body, .. } => 1 + body.size(),
+        }
+    }
+
+    /// True when this process contains a [`Process::Error`] recovery
+    /// hole anywhere — i.e. part of its source failed to parse.
+    pub fn has_error_hole(&self) -> bool {
+        match self {
+            Process::Stop | Process::Call { .. } => false,
+            Process::Error(_) => true,
+            Process::Output { then, .. } | Process::Input { then, .. } => then.has_error_hole(),
+            Process::Choice(a, b) => a.has_error_hole() || b.has_error_hole(),
+            Process::Parallel { left, right, .. } => {
+                left.has_error_hole() || right.has_error_hole()
+            }
+            Process::Hide { body, .. } => body.has_error_hole(),
         }
     }
 }

@@ -59,6 +59,24 @@ impl Span {
     pub fn end(&self) -> usize {
         self.offset + self.len
     }
+
+    /// This span relocated by a byte and line delta, with the column
+    /// preserved — valid precisely when the span's line kept its content
+    /// and only its position in the file moved, which is the situation
+    /// incremental reparsing ([`ParsedModule::reparse`](crate::ParsedModule::reparse))
+    /// establishes for the unedited suffix of a module. Unknown spans
+    /// stay unknown.
+    pub fn shifted(&self, bytes: isize, lines: isize) -> Span {
+        if self.is_unknown() {
+            return *self;
+        }
+        Span {
+            offset: self.offset.saturating_add_signed(bytes),
+            len: self.len,
+            line: self.line.saturating_add_signed(lines),
+            column: self.column,
+        }
+    }
 }
 
 impl fmt::Display for Span {
@@ -105,6 +123,15 @@ impl SpanTree {
     pub fn child(&self, i: usize) -> Option<&SpanTree> {
         self.children.get(i)
     }
+
+    /// Relocates the whole tree by a byte and line delta in place
+    /// (see [`Span::shifted`]).
+    pub fn shift_mut(&mut self, bytes: isize, lines: isize) {
+        self.span = self.span.shifted(bytes, lines);
+        for c in &mut self.children {
+            c.shift_mut(bytes, lines);
+        }
+    }
 }
 
 /// The spans recorded for one definition.
@@ -114,6 +141,15 @@ pub struct DefSpans {
     pub name: Span,
     /// The span tree of the body.
     pub body: SpanTree,
+}
+
+impl DefSpans {
+    /// Relocates all of a definition's spans by a byte and line delta in
+    /// place (see [`Span::shifted`]).
+    pub fn shift_mut(&mut self, bytes: isize, lines: isize) {
+        self.name = self.name.shifted(bytes, lines);
+        self.body.shift_mut(bytes, lines);
+    }
 }
 
 /// Spans for a whole definition list, keyed by defined name.
@@ -155,6 +191,24 @@ impl SourceMap {
     /// matching [`Definitions::extend_with`](crate::Definitions::extend_with).
     pub fn extend_with(&mut self, other: SourceMap) {
         self.map.extend(other.map);
+    }
+
+    /// Removes and returns the spans for `name`.
+    pub fn remove(&mut self, name: &str) -> Option<DefSpans> {
+        self.map.remove(name)
+    }
+
+    /// Iterates over the recorded `(name, spans)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &DefSpans)> {
+        self.map.iter().map(|(n, d)| (n.as_str(), d))
+    }
+
+    /// Relocates every recorded span by a byte and line delta in place
+    /// (see [`Span::shifted`]).
+    pub fn shift_mut(&mut self, bytes: isize, lines: isize) {
+        for d in self.map.values_mut() {
+            d.shift_mut(bytes, lines);
+        }
     }
 }
 

@@ -85,6 +85,7 @@ fn subst_chanref(c: &ChanRef, x: &str, v: &Value) -> ChanRef {
 pub fn subst_process(p: &Process, x: &str, v: &Value) -> Process {
     match p {
         Process::Stop => Process::Stop,
+        Process::Error(_) => p.clone(),
         Process::Call { name, args } => Process::Call {
             name: name.clone(),
             args: args.iter().map(|e| subst_expr(e, x, v)).collect(),
@@ -297,6 +298,7 @@ pub fn subst_process_with(p: &Process, x: &str, r: &Expr) -> Process {
     };
     match p {
         Process::Stop => Process::Stop,
+        Process::Error(_) => p.clone(),
         Process::Call { name, args } => Process::Call {
             name: name.clone(),
             args: args.iter().map(|e| subst_expr_with(e, x, r)).collect(),

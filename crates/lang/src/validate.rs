@@ -126,7 +126,9 @@ pub fn validate(defs: &Definitions, host_vars: &[&str]) -> Vec<ValidationIssue> 
 
 fn check_calls(in_def: &str, p: &Process, defs: &Definitions, issues: &mut Vec<ValidationIssue>) {
     match p {
-        Process::Stop => {}
+        // Error holes contribute no issues — the parse error that
+        // produced them already owns the report.
+        Process::Stop | Process::Error(_) => {}
         Process::Call { name, args } => match defs.get(name) {
             None => issues.push(ValidationIssue::UndefinedProcess {
                 in_def: in_def.to_string(),
@@ -166,7 +168,7 @@ fn unguarded_reaches(
     visited: &mut BTreeSet<String>,
 ) -> bool {
     match p {
-        Process::Stop | Process::Output { .. } | Process::Input { .. } => false,
+        Process::Stop | Process::Output { .. } | Process::Input { .. } | Process::Error(_) => false,
         Process::Call { name, .. } => {
             if name == target {
                 return true;

@@ -1,0 +1,48 @@
+//! # csp-lsp
+//!
+//! A zero-dependency Language Server Protocol implementation for the CSP
+//! notation of Zhou & Hoare (1981), exposed by the CLI as `csp lsp`.
+//!
+//! The server speaks LSP over stdio using the in-tree JSON machinery
+//! from `csp-obs` — no `tower-lsp`, no async runtime, no serde. A CSP
+//! module is a flat list of small definitions, so one synchronous
+//! request loop over an incremental [`csp_analysis::AnalysisDb`] keeps
+//! every reply far below editor latency budgets; the error-recovering
+//! parser means a half-typed definition never blanks the diagnostics for
+//! the rest of the file.
+//!
+//! Supported:
+//!
+//! * `initialize` / `shutdown` / `exit` — full-document sync,
+//!   hover and definition capabilities;
+//! * `textDocument/didOpen`, `didChange`, `didClose` —
+//!   each revision republishes merged parse + lint diagnostics
+//!   (`textDocument/publishDiagnostics`);
+//! * `textDocument/hover` — a definition's inferred channel alphabet and
+//!   its static trace-depth bound per unfolding;
+//! * `textDocument/definition` — from any occurrence of a process name
+//!   to its defining equation.
+//!
+//! ```
+//! use csp_lsp::Server;
+//!
+//! let mut server = Server::new();
+//! let out = server.handle_message(
+//!     r#"{"jsonrpc":"2.0","method":"textDocument/didOpen","params":{
+//!         "textDocument":{"uri":"file:///m.csp","languageId":"csp",
+//!                         "version":1,"text":"p = c!0 -> ghost"}}}"#,
+//! );
+//! assert!(out[0].contains("publishDiagnostics"));
+//! assert!(out[0].contains("CSP001"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod position;
+mod server;
+mod transport;
+
+pub use position::{offset_at, position_at, word_at, Position};
+pub use server::{serve, serve_stdio, Server};
+pub use transport::{read_message, write_message};

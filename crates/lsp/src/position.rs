@@ -1,0 +1,136 @@
+//! Offset ⇄ position conversion between the parser's byte spans and the
+//! protocol's zero-based line/character positions.
+//!
+//! Characters are counted in bytes, not UTF-16 code units: the CSP
+//! notation is ASCII, where the two coincide, and the server declares no
+//! `positionEncoding` so clients assume the default. Multi-byte
+//! characters in comments degrade to slightly-off column highlights,
+//! never to a panic — every conversion clamps to the document.
+
+use csp_lang::Span;
+
+/// A zero-based line/character pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Position {
+    /// Zero-based line index.
+    pub line: usize,
+    /// Zero-based byte column within the line.
+    pub character: usize,
+}
+
+/// The byte offset of a protocol position, clamped to the document: a
+/// character past the end of its line lands on the line terminator, a
+/// line past the end of the text lands at `text.len()`.
+pub fn offset_at(text: &str, pos: Position) -> usize {
+    let mut line_start = 0usize;
+    for _ in 0..pos.line {
+        match text[line_start..].find('\n') {
+            Some(i) => line_start += i + 1,
+            None => return text.len(),
+        }
+    }
+    let line_end = text[line_start..]
+        .find('\n')
+        .map_or(text.len(), |i| line_start + i);
+    (line_start + pos.character).min(line_end)
+}
+
+/// The protocol position of a byte offset (clamped to the document).
+pub fn position_at(text: &str, offset: usize) -> Position {
+    let offset = offset.min(text.len());
+    let before = &text[..offset];
+    let line = before.matches('\n').count();
+    let character = offset - before.rfind('\n').map_or(0, |i| i + 1);
+    Position { line, character }
+}
+
+/// Renders a span as a protocol `Range` object. The end position is
+/// computed from the document so spans crossing a newline stay honest.
+pub fn range_json(text: &str, span: Span) -> String {
+    let start = position_at(text, span.offset);
+    let end = position_at(text, span.end());
+    format!(
+        "{{\"start\":{{\"line\":{},\"character\":{}}},\"end\":{{\"line\":{},\"character\":{}}}}}",
+        start.line, start.character, end.line, end.character
+    )
+}
+
+/// The identifier (letters, digits, `_`) covering a byte offset, if any.
+/// An offset on the terminator of a word (one past its last byte) still
+/// finds it, matching how editors hover at a cursor between characters.
+pub fn word_at(text: &str, offset: usize) -> Option<&str> {
+    let offset = offset.min(text.len());
+    let is_word = |c: char| c.is_ascii_alphanumeric() || c == '_';
+    let start = text[..offset].rfind(|c| !is_word(c)).map_or(0, |i| i + 1);
+    let end = text[offset..]
+        .find(|c| !is_word(c))
+        .map_or(text.len(), |i| offset + i);
+    let word = &text[start..end];
+    if word.is_empty() || word.starts_with(|c: char| c.is_ascii_digit()) {
+        None
+    } else {
+        Some(word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = "p = c!0 -> p\nq = d!0 -> q\n";
+
+    #[test]
+    fn offset_and_position_are_inverse_on_valid_points() {
+        for (line, character, offset) in [(0, 0, 0), (0, 4, 4), (1, 0, 13), (1, 4, 17)] {
+            let pos = Position { line, character };
+            assert_eq!(offset_at(DOC, pos), offset);
+            assert_eq!(position_at(DOC, offset), pos);
+        }
+    }
+
+    #[test]
+    fn conversions_clamp_instead_of_panicking() {
+        assert_eq!(
+            offset_at(
+                DOC,
+                Position {
+                    line: 99,
+                    character: 0
+                }
+            ),
+            DOC.len()
+        );
+        // Character past the line end clamps to the newline, not into the
+        // next line.
+        assert_eq!(
+            offset_at(
+                DOC,
+                Position {
+                    line: 0,
+                    character: 99
+                }
+            ),
+            12
+        );
+        assert_eq!(position_at(DOC, 10_000).line, 2);
+    }
+
+    #[test]
+    fn word_lookup_finds_identifiers_and_rejects_numbers() {
+        assert_eq!(word_at(DOC, 0), Some("p"));
+        assert_eq!(word_at(DOC, 4), Some("c"));
+        assert_eq!(word_at(DOC, 6), None); // the literal 0
+        assert_eq!(word_at(DOC, 11), Some("p")); // call site
+        assert_eq!(word_at(DOC, 12), Some("p")); // cursor just past it
+        assert_eq!(word_at("", 5), None);
+    }
+
+    #[test]
+    fn range_json_spans_lines_honestly() {
+        let span = Span::new(4, 1, 1, 5);
+        assert_eq!(
+            range_json(DOC, span),
+            "{\"start\":{\"line\":0,\"character\":4},\"end\":{\"line\":0,\"character\":5}}"
+        );
+    }
+}

@@ -152,7 +152,9 @@ fn synth_body(
     renames: &mut Vec<(String, Expr)>,
 ) -> Result<Proof, SynthError> {
     match p {
-        Process::Stop => Ok(Proof::Emptiness),
+        // An error hole denotes STOP (empty trace only), so the
+        // emptiness rule r2 covers it just as it covers `STOP`.
+        Process::Stop | Process::Error(_) => Ok(Proof::Emptiness),
         Process::Output { then, .. } => Ok(Proof::output(synth_body(
             ctx, specs, within, then, fresh, renames,
         )?)),

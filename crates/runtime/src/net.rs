@@ -125,7 +125,11 @@ fn walk(
                 push_component(p, defs, env, components)
             }
         }
-        Process::Stop | Process::Output { .. } | Process::Input { .. } | Process::Choice(_, _) => {
+        Process::Stop
+        | Process::Output { .. }
+        | Process::Input { .. }
+        | Process::Choice(_, _)
+        | Process::Error(_) => {
             if contains_network_structure(p) {
                 return Err(NetError::NotStatic {
                     offending: p.to_string(),
@@ -156,7 +160,7 @@ fn push_component(
 /// choice (directly; calls are checked at unfold time).
 fn contains_network_structure(p: &Process) -> bool {
     match p {
-        Process::Stop | Process::Call { .. } => false,
+        Process::Stop | Process::Call { .. } | Process::Error(_) => false,
         Process::Output { then, .. } | Process::Input { then, .. } => {
             contains_network_structure(then)
         }

@@ -137,7 +137,9 @@ impl<'a> Semantics<'a> {
         fuel: usize,
     ) -> Result<TraceSet, EvalError> {
         match p {
-            Process::Stop => Ok(TraceSet::stop()),
+            // Error holes denote STOP: the empty trace only (§2.2's
+            // weakest process), so partial modules still have semantics.
+            Process::Stop | Process::Error(_) => Ok(TraceSet::stop()),
             Process::Call { name, args } => {
                 if fuel == 0 || depth == 0 {
                     // a₀-style truncation: deeper unfolding cannot

@@ -293,7 +293,7 @@ pub fn fixpoint_with(
 /// Collects the process names a body calls directly (its Call nodes).
 fn called_names(p: &Process, out: &mut BTreeSet<String>) {
     match p {
-        Process::Stop => {}
+        Process::Stop | Process::Error(_) => {}
         Process::Call { name, .. } => {
             out.insert(name.clone());
         }
@@ -314,7 +314,7 @@ fn called_names(p: &Process, out: &mut BTreeSet<String>) {
 /// process-name references (cycle-safe).
 fn hide_nesting(p: &Process, defs: &Definitions, stack: &mut Vec<String>) -> usize {
     match p {
-        Process::Stop => 0,
+        Process::Stop | Process::Error(_) => 0,
         Process::Call { name, .. } => {
             if stack.iter().any(|n| n == name) {
                 return 0;
@@ -394,7 +394,7 @@ fn eval_approx(
     memo: &CallMemo,
 ) -> Result<TraceSet, EvalError> {
     match p {
-        Process::Stop => Ok(TraceSet::stop()),
+        Process::Stop | Process::Error(_) => Ok(TraceSet::stop()),
         Process::Call { name, args } => {
             let vals = args
                 .iter()

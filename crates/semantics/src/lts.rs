@@ -90,7 +90,8 @@ impl<'a> Lts<'a> {
 
     fn steps_inner(&self, p: &Process, env: &Env, fuel: usize) -> Result<Vec<Step>, EvalError> {
         match p {
-            Process::Stop => Ok(Vec::new()),
+            // Error holes behave like STOP: no transitions.
+            Process::Stop | Process::Error(_) => Ok(Vec::new()),
             Process::Call { name, args } => {
                 if fuel == 0 {
                     // Unguarded cycle: no transitions, like STOP — the

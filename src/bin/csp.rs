@@ -13,6 +13,7 @@
 //! csp profile   <file.csp> [--depth N] [--folded-out PATH]
 //!               [--diff OLD.json] [--noise-ms X]
 //! csp bench     report [--history PATH]
+//! csp lsp
 //! ```
 //!
 //! Common options: `--nat-bound K` (finite carrier for NAT, default 2),
@@ -55,7 +56,9 @@ use std::time::Instant;
 
 use csp::obs::{parse_json, JsonValue, MetricsSnapshot};
 use csp::prelude::*;
-use csp::{max_severity, render_json, render_report, timeline, Diagnostic, Session, Severity};
+use csp::{
+    max_severity, render_json, render_report, timeline, Diagnostic, ParseError, Session, Severity,
+};
 
 /// A byte-counting wrapper around the system allocator, so `csp profile`
 /// can attribute allocation volume to pipeline phases without any
@@ -120,6 +123,7 @@ const USAGE: &str = "usage:
   csp profile   <file.csp> [--depth N] [--folded-out PATH]
                 [--process NAME --assert EXPR] [--diff OLD.json]
   csp bench     report [--history PATH]
+  csp lsp       speak the Language Server Protocol over stdio
 options:
   --json               machine-readable output, wrapped in the versioned
                        envelope {\"schema\":\"csp/v1\",\"command\":…,\"data\":…}
@@ -362,20 +366,47 @@ fn build_workbench(opts: &Opts) -> Result<Workbench, String> {
 }
 
 fn build_workbench_for(opts: &Opts, file: &str) -> Result<Workbench, String> {
+    let (wb, errors) = assemble_workbench(opts, file, false)?;
+    debug_assert!(errors.is_empty(), "strict parsing returns Err instead");
+    Ok(wb)
+}
+
+/// Like [`build_workbench_for`], but parses with error recovery:
+/// definitions that survive a syntax error still load and the errors
+/// come back as values. `csp lint` uses this so one typo cannot silence
+/// every diagnostic below it; verification commands stay strict because
+/// an error hole would make their verdicts vacuous.
+fn build_workbench_lenient(
+    opts: &Opts,
+    file: &str,
+) -> Result<(Workbench, Vec<ParseError>), String> {
+    assemble_workbench(opts, file, true)
+}
+
+fn assemble_workbench(
+    opts: &Opts,
+    file: &str,
+    lenient: bool,
+) -> Result<(Workbench, Vec<ParseError>), String> {
     let mut uni = Universe::new(opts.nat_bound);
     for (name, vals) in &opts.sets {
         uni = uni.with_named(name, vals.iter().cloned());
     }
     let mut wb = Workbench::new().with_universe(uni);
     let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
-    wb.define_source(&src).map_err(|e| e.to_string())?;
+    let errors = if lenient {
+        wb.define_source_lenient(&src)
+    } else {
+        wb.define_source(&src).map_err(|e| e.to_string())?;
+        Vec::new()
+    };
     for (name, vals) in &opts.binds {
         wb.bind_vector(name, vals);
     }
     if !opts.channels.is_empty() {
         wb.declare_channels(opts.channels.iter().map(String::as_str));
     }
-    Ok(wb)
+    Ok((wb, errors))
 }
 
 fn need_process(opts: &Opts) -> Result<&str, String> {
@@ -440,6 +471,12 @@ fn dispatch(args: &[String]) -> Result<bool, String> {
         .ok_or_else(|| "missing subcommand".to_string())?;
     if cmd == "bench" {
         return run_bench_report(rest);
+    }
+    if cmd == "lsp" {
+        if let Some(extra) = rest.first() {
+            return Err(format!("`csp lsp` takes no arguments, got `{extra}`"));
+        }
+        return csp_lsp::serve_stdio().map_err(|e| format!("lsp transport failure: {e}"));
     }
     let opts = parse_opts(rest, cmd == "lint" || cmd == "validate")?;
     if cmd == "lint" || cmd == "validate" {
@@ -720,7 +757,7 @@ fn run_lint(opts: &Opts, command: &str) -> Result<bool, String> {
     let mut json_files = Vec::new();
     let mut all_diags: Vec<Diagnostic> = Vec::new();
     for file in &opts.files {
-        let wb = build_workbench_for(opts, file)?;
+        let (wb, errors) = build_workbench_lenient(opts, file)?;
         let mut diags = wb.lint();
         if let (Some(name), Some(assert_src)) = (opts.process.as_deref(), opts.assertion.as_deref())
         {
@@ -731,15 +768,23 @@ fn run_lint(opts: &Opts, command: &str) -> Result<bool, String> {
         }
         if opts.json {
             json_files.push(format!(
-                "{{\"file\":{file:?},\"diagnostics\":{}}}",
+                "{{\"file\":{file:?},\"errors\":{},\"diagnostics\":{}}}",
+                render_parse_errors_json(&errors),
                 render_json(&diags)
             ));
-        } else if diags.is_empty() {
-            println!("{file}: ok ({} definition(s))", wb.definitions().len());
         } else {
+            for e in &errors {
+                println!("{file}: error [parse] at {}: {}", e.span(), e.message());
+            }
+            if errors.is_empty() && diags.is_empty() {
+                println!("{file}: ok ({} definition(s))", wb.definitions().len());
+            }
             for d in &diags {
                 println!("{file}: {d}");
             }
+        }
+        if !errors.is_empty() {
+            worst = worst.max(Some(Severity::Error));
         }
         worst = worst.max(max_severity(&diags));
         all_diags.extend(diags);
@@ -771,6 +816,26 @@ fn run_lint(opts: &Opts, command: &str) -> Result<bool, String> {
         Some(Severity::Warning) => !opts.deny_warnings,
         None => true,
     })
+}
+
+/// Renders recovered parse errors as a JSON array, span fields flattened
+/// exactly like [`Diagnostic::to_json`] renders lint spans.
+fn render_parse_errors_json(errors: &[ParseError]) -> String {
+    let items: Vec<String> = errors
+        .iter()
+        .map(|e| {
+            let sp = e.span();
+            format!(
+                "{{\"message\":{},\"line\":{},\"column\":{},\"offset\":{},\"len\":{}}}",
+                csp::obs::json_string(e.message()),
+                sp.line,
+                sp.column,
+                sp.offset,
+                sp.len
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
 }
 
 /// One timed phase of `csp profile`.

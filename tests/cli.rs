@@ -247,6 +247,38 @@ fn lint_json_reports_codes_per_file_in_envelope() {
     assert!(lines[0].contains("\"line\":1"), "{stdout}");
 }
 
+/// The acceptance criterion for the error-recovering front-end: a syntax
+/// error in the first definition must not silence span-exact diagnostics
+/// from the definitions after it.
+#[test]
+fn lint_recovers_past_a_broken_first_definition() {
+    let f = write_fixture(
+        "lint_recover.csp",
+        "broken = c!0 -> ->\np = d!0 -> ghost\nq = e!1 -> q\n",
+    );
+    let (stdout, _, code) = csp(&["lint", f.to_str().unwrap()]);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("error [parse]"), "{stdout}");
+    assert!(stdout.contains("[CSP001] at 2:12"), "{stdout}");
+}
+
+#[test]
+fn lint_json_carries_parse_errors_and_csp010_confirmations() {
+    let f = write_fixture(
+        "lint_recover_json.csp",
+        "broken = c!0 -> ->\nnet = a!1 -> STOP || a?x:{2,3} -> STOP\n",
+    );
+    let (stdout, _, code) = csp(&["lint", "--json", f.to_str().unwrap()]);
+    assert_eq!(code, Some(1), "{stdout}");
+    assert!(stdout.contains("\"errors\":[{\"message\":"), "{stdout}");
+    assert!(stdout.contains("\"code\":\"CSP010\""), "{stdout}");
+    assert!(
+        stdout.contains("\"confirmation\":\"confirmed\""),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"witness\":"), "{stdout}");
+}
+
 #[test]
 fn lint_deny_warnings_flips_exit_code() {
     let f = write_fixture("lint_warn.csp", "p = chan h; d!1 -> STOP\n");
@@ -620,6 +652,52 @@ fn bench_report_rejects_unknown_subcommands() {
     let (_, stderr, code) = csp(&["bench", "mystery"]);
     assert_eq!(code, Some(2));
     assert!(stderr.contains("unknown bench subcommand"), "{stderr}");
+}
+
+/// Frames a batch of LSP messages in base-protocol headers.
+fn lsp_frames(bodies: &[String]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for b in bodies {
+        out.extend_from_slice(format!("Content-Length: {}\r\n\r\n{b}", b.len()).as_bytes());
+    }
+    out
+}
+
+/// Drives `csp lsp` over real stdio through initialize → didOpen →
+/// publishDiagnostics → shutdown → exit, on a document carrying both a
+/// syntax error and a CSP001. CI runs exactly this test as its LSP gate.
+#[test]
+fn lsp_round_trip_over_stdio() {
+    use std::process::Stdio;
+    let text = "broken = c!0 -> ->\\np = d!0 -> ghost";
+    let bodies = vec![
+        r#"{"jsonrpc":"2.0","id":1,"method":"initialize","params":{}}"#.to_string(),
+        r#"{"jsonrpc":"2.0","method":"initialized","params":{}}"#.to_string(),
+        format!(
+            r#"{{"jsonrpc":"2.0","method":"textDocument/didOpen","params":{{"textDocument":{{"uri":"file:///m.csp","languageId":"csp","version":1,"text":"{text}"}}}}}}"#
+        ),
+        r#"{"jsonrpc":"2.0","id":2,"method":"shutdown","params":null}"#.to_string(),
+        r#"{"jsonrpc":"2.0","method":"exit","params":null}"#.to_string(),
+    ];
+    let mut child = Command::new(env!("CARGO_BIN_EXE_csp"))
+        .arg("lsp")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .take()
+        .expect("stdin piped")
+        .write_all(&lsp_frames(&bodies))
+        .expect("requests written");
+    let out = child.wait_with_output().expect("server exits");
+    assert!(out.status.success(), "clean exit after shutdown handshake");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"hoverProvider\":true"), "{stdout}");
+    assert!(stdout.contains("publishDiagnostics"), "{stdout}");
+    assert!(stdout.contains("\"code\":\"parse\""), "{stdout}");
+    assert!(stdout.contains("\"code\":\"CSP001\""), "{stdout}");
 }
 
 #[test]

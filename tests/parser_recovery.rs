@@ -1,0 +1,248 @@
+//! Property tests for the error-recovering parser: totality over
+//! arbitrary input, span sanity for everything it recovers, and exact
+//! agreement with the strict parser on the valid corpus.
+
+use csp::{parse_definitions_spanned, parse_module};
+use proptest::prelude::*;
+
+/// Every span the recovering parser reports — error locations, error
+/// holes, definition extents — must lie inside the input and on char
+/// boundaries, so downstream consumers can slice without checking.
+fn assert_spans_within(src: &str) {
+    let module = parse_module(src);
+    for e in &module.errors {
+        assert!(e.span().end() <= src.len(), "error span escapes input");
+    }
+    for (name, extent) in &module.extents {
+        assert!(
+            extent.end() <= src.len(),
+            "extent of `{name}` escapes input"
+        );
+        assert!(
+            src.is_char_boundary(extent.offset) && src.is_char_boundary(extent.end()),
+            "extent of `{name}` splits a char"
+        );
+        // The slice invariant AnalysisDb's content hashing relies on.
+        let _ = &src[extent.offset..extent.end()];
+    }
+}
+
+/// A short lowercase identifier (the shim has no regex strategies).
+fn arb_ident() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..5, 1..4)
+        .prop_map(|v| v.into_iter().map(|b| (b'a' + b) as char).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The recovering parser is total: arbitrary byte soup (lossily
+    /// decoded, as any editor would) never panics, and every recovered
+    /// span stays inside the input.
+    #[test]
+    fn parser_survives_byte_soup(bytes in prop::collection::vec(0u8..=255, 0..256)) {
+        let src = String::from_utf8_lossy(&bytes).into_owned();
+        assert_spans_within(&src);
+        // The strict entry point must agree on totality.
+        let _ = parse_definitions_spanned(&src);
+    }
+
+    /// Token soup is the harder case: fragments that *almost* form
+    /// definitions exercise the resynchronisation heuristic far more
+    /// than uniform bytes do.
+    #[test]
+    fn parser_survives_token_soup(toks in prop::collection::vec(
+        prop_oneof![
+            Just("->".to_string()),
+            Just("=".to_string()),
+            Just("|".to_string()),
+            Just("||".to_string()),
+            Just("chan".to_string()),
+            Just("STOP".to_string()),
+            Just("(".to_string()),
+            Just(")".to_string()),
+            Just("[".to_string()),
+            Just("]".to_string()),
+            Just("{".to_string()),
+            Just("}".to_string()),
+            Just("\n".to_string()),
+            Just(";".to_string()),
+            Just("!".to_string()),
+            Just("?".to_string()),
+            Just(":".to_string()),
+            Just(",".to_string()),
+            arb_ident().boxed(),
+            (0u32..100).prop_map(|n| n.to_string()).boxed(),
+        ],
+        0..48,
+    )) {
+        let src = toks.join(" ");
+        assert_spans_within(&src);
+    }
+
+    /// Splicing a corrupted definition between two valid ones never
+    /// loses the valid neighbours: both still parse into the module.
+    #[test]
+    fn neighbours_of_a_broken_definition_survive(
+        garbage in prop::collection::vec(0usize..12, 0..24).prop_map(|ix| {
+            const ALPHABET: [char; 12] =
+                ['a', 'z', ' ', '!', '?', ':', '>', '(', ')', '-', '0', '.'];
+            ix.into_iter().map(|i| ALPHABET[i]).collect::<String>()
+        }),
+    ) {
+        let src = format!("first = a!0 -> first\nmid = {garbage}\nlast = b!1 -> last");
+        let module = parse_module(&src);
+        prop_assert!(module.defs.get("first").is_some(), "lost `first` for {garbage:?}");
+        prop_assert!(module.defs.get("last").is_some(), "lost `last` for {garbage:?}");
+        assert_spans_within(&src);
+    }
+}
+
+/// A line from the kinds of text a module can contain: valid
+/// definitions, broken definitions, continuations, comments, garbage.
+/// Deliberately includes repeated names so the stitcher's duplicate-name
+/// bail-out is exercised.
+fn arb_line() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("p = a!0 -> p".to_string()),
+        Just("p = a!1 -> p".to_string()),
+        Just("q = b?x:NAT -> q".to_string()),
+        Just("r = p | q".to_string()),
+        Just("net = p || q".to_string()),
+        Just("u = chan b; p || q".to_string()),
+        Just("s = c!1 ->".to_string()),
+        Just("t = ".to_string()),
+        Just("  | d!2 -> p".to_string()),
+        Just(String::new()),
+        Just("-- comment".to_string()),
+        Just("garbage ) ( ->".to_string()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Whenever the incremental stitcher accepts an edit, its result is
+    /// *identical* to a cold parse of the new source — definitions,
+    /// spans, errors, and extents alike.
+    #[test]
+    fn incremental_reparse_matches_full_parse(
+        lines in prop::collection::vec(arb_line(), 0..10),
+        at in 0usize..10,
+        op in 0u8..3,
+        line in arb_line(),
+    ) {
+        let old_src = lines.join("\n");
+        let mut new_lines = lines;
+        match op {
+            0 => new_lines.insert(at.min(new_lines.len()), line),
+            1 if !new_lines.is_empty() => {
+                let at = at % new_lines.len();
+                new_lines.remove(at);
+            }
+            _ if !new_lines.is_empty() => {
+                let at = at % new_lines.len();
+                new_lines[at] = line;
+            }
+            _ => {}
+        }
+        let new_src = new_lines.join("\n");
+        if let Ok(stitched) = parse_module(&old_src).reparse(&old_src, &new_src) {
+            assert_eq!(stitched, parse_module(&new_src), "old: {old_src:?}, new: {new_src:?}");
+        }
+    }
+}
+
+/// The stitcher must actually take the fast path for the editor's bread
+/// and butter — a single-definition edit — not bail to a full parse.
+#[test]
+fn reparse_fast_path_applies_to_a_single_def_edit() {
+    let old = "p = a!0 -> p\nq = b!0 -> q\nnet = p || q\n";
+    let new = "p = a!0 -> p\nq = b!1 -> q\nnet = p || q\n";
+    let stitched = parse_module(old)
+        .reparse(old, new)
+        .unwrap_or_else(|_| panic!("single-def edit must take the incremental path"));
+    assert_eq!(stitched, parse_module(new));
+}
+
+/// A length-changing edit shifts every span after it; the spliced suffix
+/// must agree byte-for-byte with a cold parse.
+#[test]
+fn reparse_shifts_suffix_spans_after_a_length_change() {
+    let old = "p = a!0 -> p\nq = b!0 -> q\nnet = p || q\n";
+    let new = "p = a!0 -> a!0 -> p\nq = b!0 -> q\nnet = p || q\n";
+    let stitched = parse_module(old)
+        .reparse(old, new)
+        .unwrap_or_else(|_| panic!("prefix edit must take the incremental path"));
+    assert_eq!(stitched, parse_module(new));
+}
+
+/// The valid corpus: the shipped `.csp` example files, the paper module,
+/// the in-tree example sources, and the tutorial's splitter.
+fn corpus() -> Vec<(String, String)> {
+    let mut sources = vec![(
+        "paper.csp".to_string(),
+        std::fs::read_to_string("paper.csp").expect("paper.csp at repo root"),
+    )];
+    let mut example_files: Vec<_> = std::fs::read_dir("examples")
+        .expect("examples dir")
+        .filter_map(|e| {
+            let path = e.expect("dir entry").path();
+            (path.extension().is_some_and(|x| x == "csp")).then_some(path)
+        })
+        .collect();
+    example_files.sort();
+    assert!(
+        !example_files.is_empty(),
+        "corpus must include example files"
+    );
+    for path in example_files {
+        sources.push((
+            path.display().to_string(),
+            std::fs::read_to_string(&path).expect("readable example"),
+        ));
+    }
+    for (name, src) in [
+        ("examples::PIPELINE_SRC", csp::examples::PIPELINE_SRC),
+        ("examples::PROTOCOL_SRC", csp::examples::PROTOCOL_SRC),
+        ("examples::MULTIPLIER_SRC", csp::examples::MULTIPLIER_SRC),
+        ("examples::BUFFER2_SRC", csp::examples::BUFFER2_SRC),
+        (
+            "tutorial splitter",
+            "splitter = in?x:NAT -> low!(x % 2) -> high!(x / 2) -> splitter",
+        ),
+    ] {
+        sources.push((name.to_string(), src.to_string()));
+    }
+    sources
+}
+
+/// On valid input, recovery mode is a conservative extension of the
+/// strict parser: no errors recorded, and an identical AST.
+#[test]
+fn valid_corpus_parses_identically_in_both_modes() {
+    for (name, src) in corpus() {
+        let module = parse_module(&src);
+        assert!(
+            module.errors.is_empty(),
+            "{name}: recovery invented errors: {:?}",
+            module.errors
+        );
+        let (strict, _) =
+            parse_definitions_spanned(&src).unwrap_or_else(|e| panic!("{name}: strict: {e}"));
+        assert_eq!(
+            module.defs.len(),
+            strict.len(),
+            "{name}: definition count diverged"
+        );
+        for def in strict.iter() {
+            let recovered = module
+                .defs
+                .get(def.name())
+                .unwrap_or_else(|| panic!("{name}: `{}` missing from module", def.name()));
+            assert_eq!(recovered.body(), def.body(), "{name}: `{}`", def.name());
+            assert_eq!(recovered.param(), def.param(), "{name}: `{}`", def.name());
+        }
+        assert_spans_within(&src);
+    }
+}

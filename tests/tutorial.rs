@@ -106,3 +106,29 @@ fn section_11_profile_the_library_claims() {
         .lines()
         .any(|l| l.starts_with("fixpoint;fixpoint.iter ")));
 }
+
+#[test]
+fn section_13_language_server_claims() {
+    // §13's analysis claims, asserted against the same `AnalysisDb` the
+    // server uses: hover data (alphabet + trace-depth bound), recovery
+    // past a broken equation, and single-definition incrementality.
+    let mut db = csp::AnalysisDb::new();
+    db.set_source(SPLITTER);
+    assert!(db.parse_errors().is_empty());
+    assert_eq!(db.alphabet("splitter").unwrap().len(), 3);
+    // in?x, low!…, high!… — three communications per unfolding.
+    assert_eq!(db.prefix_depth("splitter"), Some(3));
+
+    // A broken first equation does not silence later findings.
+    let broken = format!("broken = in?x ->\n{SPLITTER}\nlonely = gone!0 -> ghost");
+    db.set_source(&broken);
+    assert!(!db.parse_errors().is_empty());
+    assert!(db.diagnostics().iter().any(|d| d.code.code() == "CSP001"));
+    assert!(db.definitions().get("splitter").is_some());
+
+    // Editing one definition re-lints it (and callers), not the module.
+    let edited = broken.replace("gone!0", "gone!1");
+    let stats = db.set_source(&edited);
+    assert_eq!(stats.relinted, 1);
+    assert!(stats.cached >= 2);
+}
