@@ -285,6 +285,16 @@ impl AnalysisDb {
         self.module.map.get(name).map(|d| d.name)
     }
 
+    /// The FNV-1a content hash of a definition's source extent — the
+    /// key its cached results are stored under. `None` for names the
+    /// current revision does not define. Callers that cache *derived*
+    /// results (the verification service, the workbench pool) combine
+    /// these with their own query parameters, so a re-request of an
+    /// unchanged definition can be answered without recomputation.
+    pub fn def_hash(&self, name: &str) -> Option<u64> {
+        self.entries.get(name).map(|e| e.hash)
+    }
+
     /// The number of communications a definition performs before its
     /// first recursive call — the static bound on the trace depth of one
     /// unfolding, shown in editor hovers.
@@ -328,13 +338,22 @@ fn called_names(p: &Process, out: &mut BTreeSet<String>) {
 
 /// 64-bit FNV-1a — tiny, dependency-free, and plenty for change
 /// detection on definition-sized inputs.
-fn fnv1a(bytes: &[u8]) -> u64 {
+///
+/// This is the hash [`AnalysisDb`] keys its per-definition results on,
+/// exported so other layers (the verification service's cross-request
+/// cache, the workbench pool) address content the same way the
+/// incremental front-end does.
+pub fn content_hash(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    content_hash(bytes)
 }
 
 #[cfg(test)]
@@ -466,6 +485,19 @@ mod tests {
         assert_eq!(stats.relinted, 0);
         assert_eq!(stats.cached, 1);
         assert_eq!(stats.definitions, 1);
+    }
+
+    #[test]
+    fn def_hashes_are_content_addressed() {
+        let mut db = AnalysisDb::new();
+        db.set_source("p = c!0 -> p\nq = d!0 -> q");
+        let p0 = db.def_hash("p").expect("p is defined");
+        assert_eq!(db.def_hash("ghost"), None);
+        // Editing q leaves p's key untouched…
+        db.set_source("p = c!0 -> p\nq = d!1 -> q");
+        assert_eq!(db.def_hash("p"), Some(p0));
+        // …and the key is exactly the extent's content hash.
+        assert_eq!(p0, content_hash(b"p = c!0 -> p"));
     }
 
     #[test]

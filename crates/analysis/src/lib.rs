@@ -46,7 +46,7 @@ mod linter;
 mod passes;
 mod walk;
 
-pub use db::{AnalysisDb, RevisionStats};
+pub use db::{content_hash, AnalysisDb, RevisionStats};
 pub use diagnostic::{
     max_severity, render_json, Confirmation, Diagnostic, LintCode, Severity, ALL_CODES,
 };

@@ -18,6 +18,15 @@
 //! writes the recorded span stream as JSONL, so the CI gate runs with
 //! observability enabled — the ±30% tolerance therefore also bounds the
 //! instrumentation overhead.
+//!
+//! `--serve URL|spawn` switches to the **server load driver**: instead
+//! of the in-process workloads it drives a running `csp serve` instance
+//! (or spawns one in-process with `spawn`) through the HTTP API and
+//! reports `serve/cold_check_ms`, `serve/warm_check_ms`,
+//! `serve/rps_mixed` (stored as ms per 1000 requests so the shared
+//! wall-time gate catches throughput drops) and `serve/p99_ms`. The same
+//! `--out`/`--compare`/`--tolerance` gate path applies. The driver
+//! itself enforces the ≥5× warm-over-cold cache speedup.
 
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
@@ -367,7 +376,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: bench-json [--samples N] [--out PATH] [--filter SUBSTR] \
          [--metrics-out EVENTS.jsonl] [--history HISTORY.jsonl] \
-         [--compare BASELINE [--tolerance FRAC]]"
+         [--serve URL|spawn] [--compare BASELINE [--tolerance FRAC]]"
     );
     std::process::exit(2);
 }
@@ -380,6 +389,7 @@ fn main() {
     let mut filter: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut history: Option<String> = None;
+    let mut serve: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -401,6 +411,7 @@ fn main() {
             "--filter" => filter = Some(args.next().unwrap_or_else(|| usage())),
             "--metrics-out" => metrics_out = Some(args.next().unwrap_or_else(|| usage())),
             "--history" => history = Some(args.next().unwrap_or_else(|| usage())),
+            "--serve" => serve = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
@@ -415,7 +426,40 @@ fn main() {
     };
 
     let mut benches = Vec::new();
-    for (name, work) in workloads() {
+    if let Some(target) = &serve {
+        // Server load mode: drive a csp serve instance over HTTP
+        // instead of running the in-process workloads.
+        let spawned = if target == "spawn" {
+            let cfg = csp_serve::ServeConfig {
+                addr: "127.0.0.1:0".to_string(),
+                ..csp_serve::ServeConfig::default()
+            };
+            let server = csp_serve::CspServer::bind(&cfg).expect("bind in-process server");
+            let handle = server.spawn().expect("spawn in-process server");
+            eprintln!("spawned in-process csp serve at {}", handle.url());
+            Some(handle)
+        } else {
+            None
+        };
+        let url = spawned
+            .as_ref()
+            .map_or_else(|| target.clone(), csp_serve::ServerHandle::url);
+        benches = csp_bench::load::run_load(&url).unwrap_or_else(|e| {
+            eprintln!("serve load driver failed: {e}");
+            std::process::exit(1);
+        });
+        for b in &benches {
+            eprintln!(
+                "{:<36} {:>10.2} ms  traces={} peak={}",
+                b.name, b.wall_ms, b.traces, b.peak_set
+            );
+        }
+        if let Some(handle) = spawned {
+            handle.stop();
+        }
+    }
+    let run_workloads = serve.is_none();
+    for (name, work) in workloads().into_iter().filter(|_| run_workloads) {
         if let Some(f) = &filter {
             if !name.contains(f.as_str()) {
                 continue;

@@ -15,6 +15,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod load;
 pub mod report;
 
 use csp_core::prelude::*;

@@ -1,0 +1,234 @@
+//! Cross-request verification caching.
+//!
+//! The verification service (and anything else that answers repeated
+//! queries over content-addressed inputs) keys results on the same
+//! FNV-1a hashes the incremental [`AnalysisDb`](csp_analysis::AnalysisDb)
+//! computes: a verdict is a pure function of the module source, the
+//! universe/binding parameters, and the query, so a result computed once
+//! can be replayed for every identical request. PR 3's interned events
+//! and `Arc`-shared traces are what make the underlying structures cheap
+//! to share; this module shares the *rendered* results, which is cheaper
+//! still and trivially thread-safe.
+//!
+//! Two layers live here:
+//!
+//! * [`Lru`] — a small generic bounded least-recently-used map keyed by
+//!   `u64` content hashes; eviction only, never invalidation (a content
+//!   hash can't go stale);
+//! * [`VerifyCache`] — an `Lru` of rendered result strings with atomic
+//!   hit/miss accounting, the handle `csp serve` consults before doing
+//!   any work.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+
+pub use csp_analysis::content_hash;
+
+/// Extends a running FNV-1a hash with one more field, separator
+/// included — the canonical way compound cache keys are built from
+/// `(endpoint, source, parameters)` tuples so that no concatenation of
+/// fields can collide with a different split of the same bytes.
+pub fn hash_field(h: u64, bytes: &[u8]) -> u64 {
+    let mut h = h;
+    // Length prefix acts as an unambiguous separator.
+    for b in (bytes.len() as u64).to_le_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The FNV-1a offset basis — the seed for [`hash_field`] chains.
+pub const HASH_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// A bounded least-recently-used map from `u64` content hashes to
+/// values. Not thread-safe by itself (wrap in a mutex); kept separate so
+/// callers can hold heterogeneous caches (rendered responses, pooled
+/// analysis databases, parsed workbenches) with one eviction policy.
+#[derive(Debug)]
+pub struct Lru<V> {
+    map: HashMap<u64, (u64, V)>,
+    cap: usize,
+    tick: u64,
+}
+
+impl<V> Lru<V> {
+    /// An empty map evicting past `cap` entries (`cap` 0 disables
+    /// caching entirely).
+    pub fn new(cap: usize) -> Self {
+        Lru {
+            map: HashMap::new(),
+            cap,
+            tick: 0,
+        }
+    }
+
+    /// Current number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up a key, refreshing its recency on a hit.
+    pub fn get(&mut self, key: u64) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(&key) {
+            Some((last, v)) => {
+                *last = tick;
+                Some(v)
+            }
+            None => None,
+        }
+    }
+
+    /// Removes and returns a key's value (used by pools that check
+    /// entries out for exclusive use and check them back in).
+    pub fn take(&mut self, key: u64) -> Option<V> {
+        self.map.remove(&key).map(|(_, v)| v)
+    }
+
+    /// Inserts a value, evicting the least-recently-used entry when the
+    /// map would exceed its capacity.
+    pub fn insert(&mut self, key: u64, value: V) {
+        if self.cap == 0 {
+            return;
+        }
+        self.tick += 1;
+        self.map.insert(key, (self.tick, value));
+        while self.map.len() > self.cap {
+            let Some((&oldest, _)) = self.map.iter().min_by_key(|(_, (last, _))| *last) else {
+                break;
+            };
+            self.map.remove(&oldest);
+        }
+    }
+}
+
+/// A shared, bounded cache of rendered verification results with atomic
+/// hit/miss accounting. Cloning shares the cache.
+#[derive(Debug, Clone)]
+pub struct VerifyCache {
+    inner: Arc<VerifyCacheInner>,
+}
+
+#[derive(Debug)]
+struct VerifyCacheInner {
+    lru: Mutex<Lru<Arc<str>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl VerifyCache {
+    /// A cache holding at most `cap` rendered results.
+    pub fn new(cap: usize) -> Self {
+        VerifyCache {
+            inner: Arc::new(VerifyCacheInner {
+                lru: Mutex::new(Lru::new(cap)),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Looks up a rendered result, counting the hit or miss.
+    pub fn get(&self, key: u64) -> Option<Arc<str>> {
+        let found = self.inner.lru.lock().expect("cache lock").get(key).cloned();
+        match &found {
+            Some(_) => self.inner.hits.fetch_add(1, Relaxed),
+            None => self.inner.misses.fetch_add(1, Relaxed),
+        };
+        found
+    }
+
+    /// Stores a rendered result under its content key. Concurrent
+    /// misses may both compute and insert; last write wins, and both
+    /// results are identical by construction (the key covers every
+    /// input).
+    pub fn insert(&self, key: u64, value: Arc<str>) {
+        self.inner
+            .lru
+            .lock()
+            .expect("cache lock")
+            .insert(key, value);
+    }
+
+    /// Cached entries right now.
+    pub fn len(&self) -> usize {
+        self.inner.lru.lock().expect("cache lock").len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from cache so far.
+    pub fn hits(&self) -> u64 {
+        self.inner.hits.load(Relaxed)
+    }
+
+    /// Lookups that missed so far.
+    pub fn misses(&self) -> u64 {
+        self.inner.misses.load(Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut lru = Lru::new(2);
+        lru.insert(1, "a");
+        lru.insert(2, "b");
+        assert_eq!(lru.get(1), Some(&"a")); // refresh 1
+        lru.insert(3, "c"); // evicts 2
+        assert_eq!(lru.get(2), None);
+        assert_eq!(lru.get(1), Some(&"a"));
+        assert_eq!(lru.get(3), Some(&"c"));
+        assert_eq!(lru.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut lru = Lru::new(0);
+        lru.insert(1, "a");
+        assert!(lru.is_empty());
+        assert_eq!(lru.get(1), None);
+    }
+
+    #[test]
+    fn verify_cache_counts_hits_and_misses() {
+        let cache = VerifyCache::new(8);
+        assert!(cache.get(42).is_none());
+        cache.insert(42, Arc::from("result"));
+        assert_eq!(cache.get(42).as_deref(), Some("result"));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        // Clones share the same store and counters.
+        let other = cache.clone();
+        assert_eq!(other.get(42).as_deref(), Some("result"));
+        assert_eq!(cache.hits(), 2);
+    }
+
+    #[test]
+    fn hash_fields_do_not_collide_across_splits() {
+        // ("ab","c") and ("a","bc") must key differently.
+        let k1 = hash_field(hash_field(HASH_SEED, b"ab"), b"c");
+        let k2 = hash_field(hash_field(HASH_SEED, b"a"), b"bc");
+        assert_ne!(k1, k2);
+        // And a single field agrees with nothing else by construction.
+        assert_ne!(hash_field(HASH_SEED, b""), HASH_SEED);
+    }
+}

@@ -39,11 +39,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
 mod options;
+mod pool;
 mod session;
 mod workbench;
 
+pub use cache::{content_hash, hash_field, Lru, VerifyCache, HASH_SEED};
 pub use options::{ConformanceOptions, SatOptions};
+pub use pool::{PooledWorkbench, WorkbenchPool};
 pub use session::Session;
 pub use workbench::{Workbench, WorkbenchError};
 

@@ -1,0 +1,174 @@
+//! A pool of parsed [`Workbench`]es keyed by content hash.
+//!
+//! Building a workbench from source costs a full parse plus universe
+//! setup. A long-lived service answering many requests over the same
+//! handful of modules should pay that once per distinct
+//! `(source, parameters)` pair, not once per request — and because
+//! several worker threads may hold the *same* module concurrently, the
+//! pool keeps a small stack of clones per key: checkout pops one (or
+//! builds afresh on a cold key), check-in pushes it back for the next
+//! request. `Workbench` is immutable after construction in this
+//! workflow, so a returned instance is as good as a new one.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Mutex;
+
+use crate::workbench::Workbench;
+
+/// How many idle clones of one key the pool retains; more concurrent
+/// checkouts than this simply build extra instances that are dropped on
+/// check-in once the shelf is full.
+const PER_KEY_CAP: usize = 8;
+
+/// A keyed pool of reusable workbenches. Thread-safe; keys are content
+/// hashes of everything that went into construction (source text,
+/// universe bounds, host bindings).
+#[derive(Debug, Default)]
+pub struct WorkbenchPool {
+    shelves: Mutex<HashMap<u64, Vec<Workbench>>>,
+    /// Distinct keys ever built (i.e. cold constructions).
+    builds: AtomicU64,
+    /// Checkouts served by a pooled instance.
+    reuses: AtomicU64,
+    /// Bound on the number of keys retained.
+    key_cap: usize,
+}
+
+/// A checked-out workbench; return it with [`WorkbenchPool::checkin`]
+/// when the request is done. (Not a guard type: handlers may decide not
+/// to return instances that errored half-way through mutation.)
+#[derive(Debug)]
+pub struct PooledWorkbench {
+    /// The workbench itself.
+    pub wb: Workbench,
+    /// The key it was checked out under.
+    pub key: u64,
+}
+
+impl WorkbenchPool {
+    /// An empty pool retaining at most `key_cap` distinct keys.
+    pub fn new(key_cap: usize) -> Self {
+        WorkbenchPool {
+            shelves: Mutex::new(HashMap::new()),
+            builds: AtomicU64::new(0),
+            reuses: AtomicU64::new(0),
+            key_cap: key_cap.max(1),
+        }
+    }
+
+    /// Checks out a workbench for `key`, building one with `build` only
+    /// when no pooled instance is available.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `build`'s error on a cold key.
+    pub fn checkout<E>(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> Result<Workbench, E>,
+    ) -> Result<PooledWorkbench, E> {
+        let pooled = self
+            .shelves
+            .lock()
+            .expect("pool lock")
+            .get_mut(&key)
+            .and_then(Vec::pop);
+        let wb = match pooled {
+            Some(wb) => {
+                self.reuses.fetch_add(1, Relaxed);
+                wb
+            }
+            None => {
+                self.builds.fetch_add(1, Relaxed);
+                build()?
+            }
+        };
+        Ok(PooledWorkbench { wb, key })
+    }
+
+    /// Returns a checked-out workbench to its shelf. When the pool holds
+    /// more distinct keys than its cap, the fullest foreign shelf is
+    /// dropped — a coarse but content-safe eviction (nothing cached can
+    /// be stale; it can only be rebuilt).
+    pub fn checkin(&self, pooled: PooledWorkbench) {
+        let mut shelves = self.shelves.lock().expect("pool lock");
+        let shelf = shelves.entry(pooled.key).or_default();
+        if shelf.len() < PER_KEY_CAP {
+            shelf.push(pooled.wb);
+        }
+        if shelves.len() > self.key_cap {
+            if let Some(&victim) = shelves
+                .iter()
+                .filter(|(k, _)| **k != pooled.key)
+                .max_by_key(|(_, v)| v.len())
+                .map(|(k, _)| k)
+            {
+                shelves.remove(&victim);
+            }
+        }
+    }
+
+    /// Workbenches constructed from scratch so far.
+    pub fn builds(&self) -> u64 {
+        self.builds.load(Relaxed)
+    }
+
+    /// Checkouts served by a pooled instance so far.
+    pub fn reuses(&self) -> u64 {
+        self.reuses.load(Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build() -> Result<Workbench, String> {
+        let mut wb = Workbench::new();
+        wb.define_source("p = c!0 -> p")
+            .map_err(|e| e.to_string())?;
+        Ok(wb)
+    }
+
+    #[test]
+    fn checkout_builds_once_then_reuses() {
+        let pool = WorkbenchPool::new(4);
+        let a = pool.checkout(7, build).unwrap();
+        assert_eq!((pool.builds(), pool.reuses()), (1, 0));
+        pool.checkin(a);
+        let b = pool.checkout(7, build).unwrap();
+        assert_eq!((pool.builds(), pool.reuses()), (1, 1));
+        assert!(b.wb.definitions().get("p").is_some());
+    }
+
+    #[test]
+    fn concurrent_checkouts_build_extra_instances() {
+        let pool = WorkbenchPool::new(4);
+        let a = pool.checkout(7, build).unwrap();
+        let b = pool.checkout(7, build).unwrap();
+        assert_eq!(pool.builds(), 2);
+        pool.checkin(a);
+        pool.checkin(b);
+        let _c = pool.checkout(7, build).unwrap();
+        assert_eq!(pool.reuses(), 1);
+    }
+
+    #[test]
+    fn build_errors_propagate() {
+        let pool = WorkbenchPool::new(4);
+        let r = pool.checkout(9, || Err::<Workbench, _>("boom".to_string()));
+        assert_eq!(r.err(), Some("boom".to_string()));
+    }
+
+    #[test]
+    fn key_cap_evicts_a_foreign_shelf() {
+        let pool = WorkbenchPool::new(1);
+        let a = pool.checkout(1, build).unwrap();
+        pool.checkin(a);
+        let b = pool.checkout(2, build).unwrap();
+        pool.checkin(b); // evicts key 1's shelf
+        let _again = pool.checkout(1, build).unwrap();
+        assert_eq!(pool.builds(), 3, "key 1 had to rebuild after eviction");
+    }
+}

@@ -1,0 +1,158 @@
+//! A minimal HTTP/1.1 client for the verification service: one
+//! keep-alive connection, `Content-Length` framing, no redirects, no
+//! TLS. Shared by the bench load driver (`bench-json --serve`), the
+//! integration tests, and the tutorial's executable walkthrough, so the
+//! zero-dependency rule holds on both ends of the socket.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response headers, lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Body decoded as UTF-8.
+    pub body: String,
+}
+
+impl ClientResponse {
+    /// Looks up a header by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A persistent connection to one server.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    host: String,
+}
+
+/// Strips the scheme from a base URL, yielding `host:port`.
+///
+/// # Errors
+///
+/// Rejects non-`http://` schemes (there is no TLS here).
+pub fn host_of(base_url: &str) -> Result<String, String> {
+    let rest = base_url
+        .strip_prefix("http://")
+        .ok_or_else(|| format!("expected an http:// URL, got `{base_url}`"))?;
+    Ok(rest.trim_end_matches('/').to_string())
+}
+
+impl Client {
+    /// Connects to `http://host:port`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures; a malformed URL comes back as
+    /// `InvalidInput`.
+    pub fn connect(base_url: &str) -> std::io::Result<Client> {
+        let host = host_of(base_url)
+            .map_err(|m| std::io::Error::new(std::io::ErrorKind::InvalidInput, m))?;
+        let stream = TcpStream::connect(&host)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        // Request = one coalesced write; Nagle would otherwise hold the
+        // tail segment for the peer's delayed ACK (~40 ms per request).
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            host,
+        })
+    }
+
+    /// Issues a `GET`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures and malformed responses.
+    pub fn get(&mut self, path: &str) -> std::io::Result<ClientResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// Issues a `POST` with a JSON body.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket failures and malformed responses.
+    pub fn post(&mut self, path: &str, body: &str) -> std::io::Result<ClientResponse> {
+        self.request("POST", path, Some(body))
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<ClientResponse> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+            self.host,
+            body.len(),
+        );
+        let mut wire = head.into_bytes();
+        wire.extend_from_slice(body.as_bytes());
+        self.writer.write_all(&wire)?;
+        self.writer.flush()?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> std::io::Result<ClientResponse> {
+        let bad = |m: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, m.to_string());
+        let mut status_line = String::new();
+        self.reader.read_line(&mut status_line)?;
+        if status_line.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad("malformed status line"))?;
+        let mut headers = Vec::new();
+        let mut content_length = 0usize;
+        loop {
+            let mut line = String::new();
+            self.reader.read_line(&mut line)?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or_else(|| bad("malformed header"))?;
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().map_err(|_| bad("bad content-length"))?;
+            }
+            headers.push((name, value));
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body).map_err(|_| bad("body is not UTF-8"))?;
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}

@@ -1,0 +1,281 @@
+//! A deliberately small HTTP/1.1 subset: enough for request/response
+//! JSON over keep-alive connections, and nothing else.
+//!
+//! The workspace is offline and zero-dependency, so there is no hyper
+//! or axum here (see DESIGN §10 for the full argument): the service
+//! speaks to trusted load drivers and editors on a LAN, every request
+//! fits the `Content-Length` framing, and the entire parser is ~200
+//! auditable lines. Limits are enforced on header count/size and body
+//! size; chunked encoding, upgrades, and multipart are out of scope and
+//! rejected.
+
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on one header section (request line included).
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Upper bound on a request body.
+pub const MAX_BODY_BYTES: usize = 8 * 1024 * 1024;
+/// How many short read timeouts a started request may ride out before
+/// the connection is dropped as too slow (timeouts are ~200 ms each).
+const MAX_MIDREQUEST_TIMEOUTS: usize = 150;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, … (uppercased as received).
+    pub method: String,
+    /// Request target, e.g. `/v1/lint`.
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+    /// Whether the client asked to keep the connection open.
+    pub keep_alive: bool,
+}
+
+/// One response about to be written.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Extra headers (name, value) — cache status, timing.
+    pub extra: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            extra: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response (the Prometheus exposition).
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4",
+            extra: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Adds one extra header.
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.extra.push((name.to_string(), value.into()));
+        self
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Reads one request off a keep-alive connection.
+///
+/// Returns `Ok(None)` when the connection is done: the peer closed it,
+/// or the idle wait ended because `keep_waiting` went false (server
+/// shutdown), or the peer was too slow mid-request. Malformed requests
+/// come back as `Err` with a message suitable for a 400.
+///
+/// The stream is expected to carry a short read timeout; between
+/// requests every timeout consults `keep_waiting`, so an idle worker
+/// notices shutdown within one timeout interval without ever tearing a
+/// request in half.
+///
+/// # Errors
+///
+/// Returns a human-readable message for malformed or over-limit
+/// requests (the caller answers 400/413 and closes).
+pub fn read_request(
+    r: &mut BufReader<TcpStream>,
+    keep_waiting: impl Fn() -> bool,
+) -> Result<Option<Request>, String> {
+    // Idle phase: wait for the first byte without consuming anything.
+    loop {
+        match r.fill_buf() {
+            Ok([]) => return Ok(None), // clean EOF
+            Ok(_) => break,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => {
+                if !keep_waiting() {
+                    return Ok(None);
+                }
+            }
+            Err(_) => return Ok(None),
+        }
+    }
+
+    let mut header_bytes = 0usize;
+    let request_line = match read_line(r, &mut header_bytes)? {
+        Some(line) => line,
+        None => return Ok(None),
+    };
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m.to_ascii_uppercase(), p.to_string(), v.to_string()),
+        _ => return Err(format!("malformed request line `{request_line}`")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported protocol `{version}`"));
+    }
+
+    let mut content_length = 0usize;
+    // HTTP/1.1 defaults to keep-alive; 1.0 defaults to close.
+    let mut keep_alive = version != "HTTP/1.0";
+    loop {
+        let line = match read_line(r, &mut header_bytes)? {
+            Some(line) => line,
+            None => return Ok(None),
+        };
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(format!("malformed header `{line}`"));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| format!("bad content-length `{value}`"))?;
+            }
+            "connection" => {
+                let v = value.to_ascii_lowercase();
+                if v.contains("close") {
+                    keep_alive = false;
+                } else if v.contains("keep-alive") {
+                    keep_alive = true;
+                }
+            }
+            "transfer-encoding" => {
+                return Err("chunked transfer encoding is not supported".to_string());
+            }
+            _ => {}
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(format!(
+            "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
+        ));
+    }
+
+    let mut body = vec![0u8; content_length];
+    let mut read = 0usize;
+    let mut patience = MAX_MIDREQUEST_TIMEOUTS;
+    while read < content_length {
+        match r.read(&mut body[read..]) {
+            Ok(0) => return Ok(None), // peer hung up mid-body
+            Ok(n) => read += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => {
+                patience = patience.saturating_sub(1);
+                if patience == 0 {
+                    return Ok(None);
+                }
+            }
+            Err(_) => return Ok(None),
+        }
+    }
+
+    Ok(Some(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    }))
+}
+
+/// Reads one CRLF-terminated header line, riding out short timeouts.
+/// `Ok(None)` means the peer disappeared or stalled past patience.
+fn read_line(
+    r: &mut BufReader<TcpStream>,
+    header_bytes: &mut usize,
+) -> Result<Option<String>, String> {
+    let mut buf = Vec::new();
+    let mut patience = MAX_MIDREQUEST_TIMEOUTS;
+    loop {
+        match r.read_until(b'\n', &mut buf) {
+            Ok(0) => return Ok(None),
+            Ok(_) if buf.ends_with(b"\n") => break,
+            Ok(_) => {} // partial line before EOF/timeout; keep reading
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if is_timeout(&e) => {
+                patience = patience.saturating_sub(1);
+                if patience == 0 {
+                    return Ok(None);
+                }
+            }
+            Err(_) => return Ok(None),
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err("header section too large".to_string());
+        }
+    }
+    *header_bytes += buf.len();
+    if *header_bytes > MAX_HEADER_BYTES {
+        return Err("header section too large".to_string());
+    }
+    while buf.last().is_some_and(|&b| b == b'\n' || b == b'\r') {
+        buf.pop();
+    }
+    String::from_utf8(buf)
+        .map(Some)
+        .map_err(|_| "header line is not UTF-8".to_string())
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+}
+
+/// Writes one response, honouring the connection's keep-alive decision.
+///
+/// # Errors
+///
+/// Propagates socket write errors (the caller drops the connection).
+pub fn write_response(
+    w: &mut impl Write,
+    resp: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        resp.status,
+        reason(resp.status),
+        resp.content_type,
+        resp.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    for (name, value) in &resp.extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    // One coalesced write: with NODELAY set on the socket, head+body
+    // leave as a single segment instead of two (the second of which
+    // Nagle would park behind the peer's delayed ACK).
+    let mut wire = head.into_bytes();
+    wire.extend_from_slice(&resp.body);
+    w.write_all(&wire)?;
+    w.flush()
+}

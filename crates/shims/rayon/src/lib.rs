@@ -25,6 +25,14 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Number of worker threads a parallel operation may use — upstream
+/// rayon's `current_num_threads()`. Long-lived consumers (the `csp
+/// serve` worker pool) use this as their default width so one knob,
+/// `RAYON_NUM_THREADS`, sizes every thread pool in the workspace.
+pub fn current_num_threads() -> usize {
+    max_threads()
+}
+
 /// Number of worker threads a parallel operation may use.
 fn max_threads() -> usize {
     if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
@@ -261,6 +269,11 @@ mod tests {
             seen.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         });
         assert_eq!(seen.into_inner(), 64);
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(current_num_threads() >= 1);
     }
 
     #[test]

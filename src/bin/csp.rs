@@ -13,6 +13,7 @@
 //! csp profile   <file.csp> [--depth N] [--folded-out PATH]
 //!               [--diff OLD.json] [--noise-ms X]
 //! csp bench     report [--history PATH]
+//! csp serve     [--addr HOST:PORT] [--workers N] [--cache-cap N]
 //! csp lsp
 //! ```
 //!
@@ -123,6 +124,8 @@ const USAGE: &str = "usage:
   csp profile   <file.csp> [--depth N] [--folded-out PATH]
                 [--process NAME --assert EXPR] [--diff OLD.json]
   csp bench     report [--history PATH]
+  csp serve     [--addr HOST:PORT] [--workers N] [--cache-cap N]
+                persistent HTTP verification service (see below)
   csp lsp       speak the Language Server Protocol over stdio
 options:
   --json               machine-readable output, wrapped in the versioned
@@ -157,7 +160,18 @@ options:
                        delay:COMP@STEPxROUNDS  starve:COMP
                        restart:failstop|replay|reset
   --deadline-ms T      wall-clock budget for `run` (watchdog)
-  --livelock-window W  stop `run` after W consecutive concealed events";
+  --livelock-window W  stop `run` after W consecutive concealed events
+serve options:
+  --addr HOST:PORT     bind address (default 127.0.0.1:7017; port 0
+                       picks a free port, printed on stdout)
+  --workers N          worker threads (default: RAYON_NUM_THREADS or
+                       the CPU count, clamped to 2..=16)
+  --cache-cap N        rendered responses kept in the cross-request
+                       cache (default 1024; 0 disables caching)
+serve endpoints: POST /v1/{lint,check,prove,run,profile} take the CLI's
+flags as JSON body fields ({\"source\":…,\"process\":…,\"depth\":…});
+GET /healthz, /metrics (Prometheus), /v1/trace (Chrome trace JSON).
+Responses carry X-Csp-Cache: hit|miss|bypass and X-Csp-Ms headers.";
 
 /// Parsed command-line options shared by all subcommands.
 struct Opts {
@@ -472,6 +486,9 @@ fn dispatch(args: &[String]) -> Result<bool, String> {
     if cmd == "bench" {
         return run_bench_report(rest);
     }
+    if cmd == "serve" {
+        return run_serve(rest);
+    }
     if cmd == "lsp" {
         if let Some(extra) = rest.first() {
             return Err(format!("`csp lsp` takes no arguments, got `{extra}`"));
@@ -699,7 +716,13 @@ fn watch_status(m: &MetricsSnapshot, dropped: u64, events_per_s: f64) -> String 
 /// ends with a newline.
 fn watch_loop(collector: &Collector, interval_ms: u64, stop: &std::sync::atomic::AtomicBool) {
     use std::io::{IsTerminal, Write};
-    let ansi = std::io::stderr().is_terminal();
+    // Repaint with ANSI only when stderr (where the line goes — stdout
+    // may be piped JSON) is an interactive terminal that wants escapes:
+    // NO_COLOR and TERM=dumb both demote to plain one-line-per-sample
+    // output, so CI logs never fill with carriage returns.
+    let ansi = std::io::stderr().is_terminal()
+        && std::env::var_os("NO_COLOR").is_none()
+        && std::env::var("TERM").map_or(true, |t| t != "dumb");
     let mut last_steps = 0u64;
     let mut last_t = Instant::now();
     loop {
@@ -1050,6 +1073,54 @@ fn find_metrics(v: &JsonValue) -> Option<&JsonValue> {
         return Some(m);
     }
     v.get("data").and_then(find_metrics)
+}
+
+/// `csp serve`: binds the persistent verification service and runs its
+/// accept loop on this thread until killed. The listening line goes to
+/// *stdout* (machine-parseable, resolves `--addr`'s port 0); everything
+/// operational is observable over `/metrics` and `/v1/trace` instead of
+/// the process's stderr.
+fn run_serve(args: &[String]) -> Result<bool, String> {
+    let mut cfg = csp::serve::ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--addr" => cfg.addr = value("--addr")?,
+            "--workers" => {
+                cfg.workers = value("--workers")?
+                    .parse::<usize>()
+                    .map_err(|_| "--workers expects a number".to_string())?
+                    .max(1);
+            }
+            "--cache-cap" => {
+                cfg.cache_cap = value("--cache-cap")?
+                    .parse()
+                    .map_err(|_| "--cache-cap expects a number".to_string())?;
+            }
+            other => return Err(format!("unknown option `{other}` for `csp serve`")),
+        }
+    }
+    let server =
+        csp::serve::CspServer::bind(&cfg).map_err(|e| format!("cannot bind {}: {e}", cfg.addr))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    {
+        use std::io::Write;
+        let mut out = std::io::stdout().lock();
+        writeln!(
+            out,
+            "csp serve: listening on http://{addr} (workers {}, cache-cap {})",
+            cfg.workers, cfg.cache_cap
+        )
+        .map_err(|e| e.to_string())?;
+        out.flush().map_err(|e| e.to_string())?;
+    }
+    server.run().map_err(|e| format!("server failed: {e}"))?;
+    Ok(true)
 }
 
 /// `csp bench report`: renders the run-over-run trajectory appended to

@@ -14,3 +14,10 @@
 #![forbid(unsafe_code)]
 
 pub use csp_core::*;
+
+/// The persistent verification service (re-exported from `csp-serve`):
+/// the HTTP server behind `csp serve`, its shared state, and the
+/// minimal client the bench driver and tests use to talk to it.
+pub mod serve {
+    pub use csp_serve::*;
+}

@@ -700,6 +700,101 @@ fn lsp_round_trip_over_stdio() {
     assert!(stdout.contains("\"code\":\"CSP001\""), "{stdout}");
 }
 
+/// Off-TTY, `--watch` must degrade to plain one-line-per-sample output:
+/// no `\r` repaints, no ANSI erase sequences. This is what keeps piped
+/// CI logs readable.
+#[test]
+fn run_watch_piped_stderr_has_no_ansi_repaints() {
+    let f = write_fixture("run_watch_plain.csp", PIPELINE);
+    let (stdout, stderr, code) = csp(&[
+        "run",
+        f.to_str().unwrap(),
+        "--process",
+        "pipeline",
+        "--steps",
+        "12",
+        "--seed",
+        "7",
+        "--nat-bound",
+        "1",
+        "--watch=10",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}{stderr}");
+    assert!(
+        !stderr.contains('\u{1b}'),
+        "ANSI escape in piped stderr: {stderr:?}"
+    );
+    assert!(
+        !stderr.contains('\r'),
+        "carriage return in piped stderr: {stderr:?}"
+    );
+    assert!(
+        stderr.lines().filter(|l| l.starts_with("watch:")).count() >= 2,
+        "{stderr}"
+    );
+}
+
+/// Boots the real `csp serve` binary on an OS-assigned port, parses the
+/// machine-readable listening line off stdout, and round-trips a
+/// cold/warm lint pair plus a Prometheus scrape through it.
+#[test]
+fn serve_binary_round_trip() {
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+    let mut child = Command::new(env!("CARGO_BIN_EXE_csp"))
+        .args(["serve", "--addr", "127.0.0.1:0", "--workers", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    let mut line = String::new();
+    BufReader::new(child.stdout.take().expect("stdout piped"))
+        .read_line(&mut line)
+        .expect("listening line");
+    // "csp serve: listening on http://HOST:PORT (workers 2, cache-cap 1024)"
+    assert!(
+        line.starts_with("csp serve: listening on http://"),
+        "{line}"
+    );
+    assert!(line.contains("workers 2"), "{line}");
+    let url = line
+        .split_whitespace()
+        .find(|w| w.starts_with("http://"))
+        .expect("url in listening line")
+        .to_string();
+
+    let result = std::panic::catch_unwind(move || {
+        let mut client = csp::serve::Client::connect(&url).expect("connect");
+        let health = client.get("/healthz").expect("healthz");
+        assert_eq!(health.status, 200, "{}", health.body);
+        let body = format!("{{\"source\":\"{}\"}}", PIPELINE.replace('\n', "\\n"));
+        let cold = client.post("/v1/lint", &body).expect("cold lint");
+        assert_eq!(cold.status, 200, "{}", cold.body);
+        assert_eq!(cold.header("X-Csp-Cache"), Some("miss"), "{}", cold.body);
+        assert!(
+            cold.body.contains("\"command\":\"serve.lint\""),
+            "{}",
+            cold.body
+        );
+        let warm = client.post("/v1/lint", &body).expect("warm lint");
+        assert_eq!(warm.header("X-Csp-Cache"), Some("hit"));
+        assert_eq!(cold.body, warm.body);
+        let metrics = client.get("/metrics").expect("metrics");
+        assert!(
+            metrics
+                .body
+                .contains("csp_counter{name=\"serve.cache.hit\"} 1"),
+            "{}",
+            metrics.body
+        );
+    });
+    child.kill().expect("server killed");
+    let _ = child.wait();
+    if let Err(e) = result {
+        std::panic::resume_unwind(e);
+    }
+}
+
 #[test]
 fn profile_json_envelope_reports_phases() {
     let f = write_fixture("profile_json.csp", PIPELINE);

@@ -1,0 +1,215 @@
+//! Integration tests for `csp serve` — the persistent verification
+//! service. The load-bearing claims: the cross-request cache is
+//! *transparent* (a warm response is byte-identical to a cold one, with
+//! the cache's fingerprints confined to the `X-Csp-Cache`/`X-Csp-Ms`
+//! headers), and the `/metrics` cache counters partition the request
+//! count exactly.
+
+use csp::serve::http::Response;
+use csp::serve::{Client, CspServer, ServeConfig, ServeState};
+use proptest::prelude::*;
+
+const PIPELINE: &str = "copier = input?x:NAT -> wire!x -> copier\n\
+                        recopier = wire?y:NAT -> output!y -> recopier\n\
+                        pipeline = chan wire; (copier || recopier)\n";
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn header<'a>(resp: &'a Response, name: &str) -> Option<&'a str> {
+    resp.extra
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Headers with the per-request timing field dropped — everything that
+/// must be reproducible across identical requests.
+fn stable_headers(resp: &Response) -> Vec<(String, String)> {
+    resp.extra
+        .iter()
+        .filter(|(n, _)| n != "X-Csp-Ms")
+        .cloned()
+        .collect()
+}
+
+/// Zeroes `"ms":<float>` values — the phase timings in `/v1/profile`
+/// responses are the one place identical requests legitimately produce
+/// different bytes on different servers.
+fn scrub_ms(body: &[u8]) -> String {
+    let s = String::from_utf8_lossy(body);
+    let mut out = String::with_capacity(s.len());
+    let mut rest = &*s;
+    while let Some(at) = rest.find("\"ms\":") {
+        let (head, tail) = rest.split_at(at + "\"ms\":".len());
+        out.push_str(head);
+        out.push('0');
+        let end = tail
+            .find(|c: char| !(c.is_ascii_digit() || c == '.'))
+            .unwrap_or(tail.len());
+        rest = &tail[end..];
+    }
+    out.push_str(rest);
+    out
+}
+
+/// The module after an edit sequence: each edit appends one probe
+/// definition, mirroring an editor session growing a file.
+fn edited_source(edits: &[u8]) -> String {
+    let mut src = PIPELINE.to_string();
+    for (i, v) in edits.iter().enumerate() {
+        src.push_str(&format!("probe_{i} = probe!{v} -> probe_{i}\n"));
+    }
+    src
+}
+
+fn body_for(endpoint: usize, source: &str) -> (&'static str, String) {
+    let src = json_escape(source);
+    match endpoint {
+        0 => ("/v1/lint", format!("{{\"source\":\"{src}\"}}")),
+        1 => (
+            "/v1/check",
+            format!(
+                "{{\"source\":\"{src}\",\"process\":\"pipeline\",\
+                 \"assertion\":\"output <= input\",\"depth\":3,\"nat_bound\":1}}"
+            ),
+        ),
+        2 => (
+            "/v1/prove",
+            format!(
+                "{{\"source\":\"{src}\",\"specs\":[{{\"process\":\"copier\",\
+                 \"assertion\":\"wire <= input\"}}],\"nat_bound\":1}}"
+            ),
+        ),
+        _ => (
+            "/v1/profile",
+            format!("{{\"source\":\"{src}\",\"depth\":3,\"nat_bound\":1}}"),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any edit sequence and verification endpoint, a warm (cached)
+    /// response is byte-identical to a cold server's response to the
+    /// same request — status, body, and all headers except the
+    /// `X-Csp-Ms` timing field. The cache may only announce itself.
+    #[test]
+    fn warm_responses_are_byte_identical_to_cold(
+        edits in prop::collection::vec(0u8..3, 0..4),
+        endpoint in 0usize..4,
+    ) {
+        let (path, body) = body_for(endpoint, &edited_source(&edits));
+
+        let cold_state = ServeState::new(64, 2);
+        let cold = cold_state.post(path, &body);
+        prop_assert_eq!(cold.status, 200, "{}", String::from_utf8_lossy(&cold.body));
+        prop_assert_eq!(header(&cold, "X-Csp-Cache"), Some("miss"));
+
+        let warm_state = ServeState::new(64, 2);
+        let first = warm_state.post(path, &body);
+        prop_assert_eq!(header(&first, "X-Csp-Cache"), Some("miss"));
+        let warm = warm_state.post(path, &body);
+        prop_assert_eq!(header(&warm, "X-Csp-Cache"), Some("hit"));
+
+        prop_assert_eq!(cold.status, warm.status);
+        // A hit returns the cached bytes verbatim …
+        prop_assert_eq!(&first.body, &warm.body);
+        // … and matches a cold server byte-for-byte once the profile
+        // phase timings are zeroed out.
+        prop_assert_eq!(scrub_ms(&cold.body), scrub_ms(&warm.body));
+        // Identical headers modulo the cache verdict and timing.
+        let strip = |r: &Response| {
+            stable_headers(r)
+                .into_iter()
+                .filter(|(n, _)| n != "X-Csp-Cache")
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(strip(&cold), strip(&warm));
+    }
+}
+
+/// `serve.cache.hit + serve.cache.miss + serve.cache.bypass` accounts
+/// for every verification request — and only those: `/healthz`,
+/// `/metrics`, 404s and 405s never enter the ledger.
+#[test]
+fn metrics_cache_counters_partition_the_request_count() {
+    let state = ServeState::new(16, 2);
+    let (lint_path, lint_body) = body_for(0, PIPELINE);
+    let (check_path, check_body) = body_for(1, PIPELINE);
+
+    assert_eq!(state.post(lint_path, &lint_body).status, 200); // miss
+    assert_eq!(state.post(lint_path, &lint_body).status, 200); // hit
+    assert_eq!(state.post(check_path, &check_body).status, 200); // miss
+                                                                 // Malformed JSON classifies as bypass (no key was computable).
+    assert_eq!(state.post(lint_path, "{not json").status, 400);
+    // /v1/run never consults the cache: always bypass.
+    let run_body = format!(
+        "{{\"source\":\"{}\",\"process\":\"pipeline\",\"steps\":8,\
+         \"seed\":1,\"nat_bound\":1}}",
+        json_escape(PIPELINE)
+    );
+    assert_eq!(state.post("/v1/run", &run_body).status, 200);
+    // Endpoints outside the service surface stay out of the ledger.
+    assert_eq!(state.post("/v1/nope", "{}").status, 404);
+
+    let snap = state.metrics();
+    let hit = snap.counter("serve.cache.hit");
+    let miss = snap.counter("serve.cache.miss");
+    let bypass = snap.counter("serve.cache.bypass");
+    assert_eq!(hit, 1);
+    assert_eq!(miss, 2);
+    assert_eq!(bypass, 2);
+    assert_eq!(hit + miss + bypass, snap.counter("serve.requests"));
+}
+
+/// Socket-level round trip: health, a cold/warm lint pair over one
+/// keep-alive connection, and a Prometheus scrape reflecting it.
+#[test]
+fn socket_round_trip_reports_prometheus_counters() {
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        cache_cap: 64,
+    };
+    let handle = CspServer::bind(&cfg).expect("bind").spawn().expect("spawn");
+    let mut client = Client::connect(&handle.url()).expect("connect");
+
+    let health = client.get("/healthz").expect("healthz");
+    assert_eq!(health.status, 200);
+    assert!(
+        health.body.contains("\"command\":\"serve.health\""),
+        "{}",
+        health.body
+    );
+
+    let (path, body) = body_for(0, PIPELINE);
+    let cold = client.post(path, &body).expect("cold lint");
+    assert_eq!(cold.status, 200, "{}", cold.body);
+    assert_eq!(cold.header("X-Csp-Cache"), Some("miss"));
+    let warm = client.post(path, &body).expect("warm lint");
+    assert_eq!(warm.header("X-Csp-Cache"), Some("hit"));
+    assert_eq!(cold.body, warm.body);
+
+    let metrics = client.get("/metrics").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    assert!(
+        metrics
+            .body
+            .contains("csp_counter{name=\"serve.requests\"} 2"),
+        "{}",
+        metrics.body
+    );
+    assert!(
+        metrics
+            .body
+            .contains("csp_counter{name=\"serve.cache.hit\"} 1"),
+        "{}",
+        metrics.body
+    );
+    handle.stop();
+}

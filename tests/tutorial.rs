@@ -108,6 +108,93 @@ fn section_11_profile_the_library_claims() {
 }
 
 #[test]
+fn section_14_verification_service_claims() {
+    // §14's walkthrough, executed over a real socket: the listening
+    // line's URL shape, the cold/warm lint pair (miss → hit,
+    // byte-identical, an edit re-keys to miss), the quoted check and
+    // prove envelopes, /healthz, and the /metrics cache ledger.
+    use csp::serve::{Client, CspServer, ServeConfig};
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        cache_cap: 1024,
+    };
+    let handle = CspServer::bind(&cfg).expect("bind").spawn().expect("spawn");
+    let mut client = Client::connect(&handle.url()).expect("connect");
+
+    let source = "copier = input?x:NAT -> wire!x -> copier\\n\
+                  recopier = wire?y:NAT -> output!y -> recopier\\n\
+                  pipeline = chan wire; (copier || recopier)\\n";
+    let lint = format!("{{\"source\":\"{source}\"}}");
+    let cold = client.post("/v1/lint", &lint).expect("cold lint");
+    assert_eq!(cold.status, 200, "{}", cold.body);
+    assert_eq!(cold.header("X-Csp-Cache"), Some("miss"));
+    assert!(
+        cold.body
+            .starts_with("{\"schema\":\"csp/v1\",\"command\":\"serve.lint\",\"data\":"),
+        "{}",
+        cold.body
+    );
+    assert!(cold.body.contains("\"definitions\":3"), "{}", cold.body);
+    let warm = client.post("/v1/lint", &lint).expect("warm lint");
+    assert_eq!(warm.header("X-Csp-Cache"), Some("hit"));
+    assert_eq!(cold.body, warm.body, "hits are byte-identical");
+    // Any edit moves the content hash: no staleness, nothing to evict.
+    let edited = format!("{{\"source\":\"{source}probe = p!0 -> probe\\n\"}}");
+    let relint = client.post("/v1/lint", &edited).expect("re-lint");
+    assert_eq!(relint.header("X-Csp-Cache"), Some("miss"));
+
+    // The quoted §14 check and prove responses, field for field.
+    let check = client
+        .post(
+            "/v1/check",
+            &format!(
+                "{{\"source\":\"{source}\",\"process\":\"pipeline\",\
+                 \"assertion\":\"output <= input\",\"depth\":3,\"nat_bound\":1}}"
+            ),
+        )
+        .expect("check");
+    assert!(check.body.contains("\"holds\":true"), "{}", check.body);
+    assert!(
+        check.body.contains("\"traces_checked\":17"),
+        "{}",
+        check.body
+    );
+    let prove = client
+        .post(
+            "/v1/prove",
+            &format!(
+                "{{\"source\":\"{source}\",\"specs\":[{{\"process\":\"copier\",\
+                 \"assertion\":\"wire <= input\"}}],\"nat_bound\":1}}"
+            ),
+        )
+        .expect("prove");
+    assert!(prove.body.contains("\"proved\":true"), "{}", prove.body);
+    assert!(prove.body.contains("\"rules\":5"), "{}", prove.body);
+
+    let health = client.get("/healthz").expect("healthz");
+    assert!(health.body.contains("\"status\":\"ok\""), "{}", health.body);
+    // The cache ledger partitions the request count.
+    let metrics = client.get("/metrics").expect("metrics");
+    let counter = |name: &str| -> u64 {
+        metrics
+            .body
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("csp_counter{{name=\"{name}\"}} ")))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0)
+    };
+    assert_eq!(
+        counter("serve.cache.hit") + counter("serve.cache.miss") + counter("serve.cache.bypass"),
+        counter("serve.requests"),
+        "{}",
+        metrics.body
+    );
+    assert_eq!(counter("serve.cache.hit"), 1, "{}", metrics.body);
+    handle.stop();
+}
+
+#[test]
 fn section_13_language_server_claims() {
     // §13's analysis claims, asserted against the same `AnalysisDb` the
     // server uses: hover data (alphabet + trace-depth bound), recovery
