@@ -336,21 +336,11 @@ fn called_names(p: &Process, out: &mut BTreeSet<String>) {
     }
 }
 
-/// 64-bit FNV-1a — tiny, dependency-free, and plenty for change
-/// detection on definition-sized inputs.
-///
-/// This is the hash [`AnalysisDb`] keys its per-definition results on,
-/// exported so other layers (the verification service's cross-request
-/// cache, the workbench pool) address content the same way the
-/// incremental front-end does.
-pub fn content_hash(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+// The hash [`AnalysisDb`] keys its per-definition results on — the
+// workspace-wide FNV-1a from `csp_trace::hash`, re-exported so other
+// layers (the verification service's cross-request cache, the workbench
+// pool) address content the same way the incremental front-end does.
+pub use csp_trace::hash::content_hash;
 
 fn fnv1a(bytes: &[u8]) -> u64 {
     content_hash(bytes)

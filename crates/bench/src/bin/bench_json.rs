@@ -47,6 +47,11 @@ const PAPER_CSP: &str = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../..
 struct Metrics {
     traces: u64,
     peak_set: u64,
+    /// Which verification engine the workload pinned itself to, or ""
+    /// where the distinction does not apply. The sat workloads pin
+    /// explicitly rather than trusting `auto`, so the committed
+    /// baseline keeps measuring the engine it was recorded on.
+    engine: &'static str,
 }
 
 fn peak_of_run(run: &csp_core::FixpointRun) -> u64 {
@@ -74,6 +79,7 @@ fn workloads() -> Vec<Workload> {
             Metrics {
                 traces: t.len() as u64,
                 peak_set: t.len() as u64,
+                engine: "",
             }
         }),
     ));
@@ -87,6 +93,7 @@ fn workloads() -> Vec<Workload> {
             Metrics {
                 traces: t.len() as u64,
                 peak_set: t.len() as u64,
+                engine: "",
             }
         }),
     ));
@@ -102,6 +109,7 @@ fn workloads() -> Vec<Workload> {
             Metrics {
                 traces: rules,
                 peak_set: 0,
+                engine: "",
             }
         }),
     ));
@@ -125,6 +133,7 @@ fn workloads() -> Vec<Workload> {
             Metrics {
                 traces: res.steps as u64,
                 peak_set: 0,
+                engine: "",
             }
         }),
     ));
@@ -136,7 +145,11 @@ fn workloads() -> Vec<Workload> {
             let wb = pipeline_workbench();
             let verdict = wb
                 .session_with(c.clone())
-                .check_sat("copier", "wire <= input", 5)
+                .check_sat(
+                    "copier",
+                    "wire <= input",
+                    SatOptions::from(5).with_engine(Engine::Enumerative),
+                )
                 .expect("checks");
             let SatResult::Holds { traces_checked, .. } = verdict else {
                 panic!("E1 claim refuted");
@@ -144,6 +157,7 @@ fn workloads() -> Vec<Workload> {
             Metrics {
                 traces: traces_checked as u64,
                 peak_set: traces_checked as u64,
+                engine: "enumerative",
             }
         }),
     ));
@@ -155,7 +169,11 @@ fn workloads() -> Vec<Workload> {
             let wb = protocol_workbench();
             let verdict = wb
                 .session_with(c.clone())
-                .check_sat("receiver", "output <= f(wire)", 3)
+                .check_sat(
+                    "receiver",
+                    "output <= f(wire)",
+                    SatOptions::from(3).with_engine(Engine::Enumerative),
+                )
                 .expect("checks");
             let SatResult::Holds { traces_checked, .. } = verdict else {
                 panic!("E2 claim refuted");
@@ -163,6 +181,7 @@ fn workloads() -> Vec<Workload> {
             Metrics {
                 traces: traces_checked as u64,
                 peak_set: traces_checked as u64,
+                engine: "enumerative",
             }
         }),
     ));
@@ -174,7 +193,11 @@ fn workloads() -> Vec<Workload> {
             let wb = protocol_workbench();
             let verdict = wb
                 .session_with(c.clone())
-                .check_sat("protocol", "output <= input", 3)
+                .check_sat(
+                    "protocol",
+                    "output <= input",
+                    SatOptions::from(3).with_engine(Engine::Enumerative),
+                )
                 .expect("checks");
             let SatResult::Holds { traces_checked, .. } = verdict else {
                 panic!("E3 claim refuted");
@@ -182,6 +205,7 @@ fn workloads() -> Vec<Workload> {
             Metrics {
                 traces: traces_checked as u64,
                 peak_set: traces_checked as u64,
+                engine: "enumerative",
             }
         }),
     ));
@@ -194,7 +218,11 @@ fn workloads() -> Vec<Workload> {
             let inv = multiplier_invariant(2);
             let verdict = wb
                 .session_with(c.clone())
-                .check_sat("multiplier", &inv, 3)
+                .check_sat(
+                    "multiplier",
+                    &inv,
+                    SatOptions::from(3).with_engine(Engine::Enumerative),
+                )
                 .expect("checks");
             let SatResult::Holds { traces_checked, .. } = verdict else {
                 panic!("E4 claim refuted");
@@ -202,6 +230,7 @@ fn workloads() -> Vec<Workload> {
             Metrics {
                 traces: traces_checked as u64,
                 peak_set: traces_checked as u64,
+                engine: "enumerative",
             }
         }),
     ));
@@ -219,6 +248,7 @@ fn workloads() -> Vec<Workload> {
             Metrics {
                 traces: run.iterates.len() as u64,
                 peak_set: peak_of_run(&run),
+                engine: "",
             }
         }),
     ));
@@ -234,6 +264,7 @@ fn workloads() -> Vec<Workload> {
             Metrics {
                 traces: run.iterates.len() as u64,
                 peak_set: peak_of_run(&run),
+                engine: "",
             }
         }),
     ));
@@ -249,6 +280,7 @@ fn workloads() -> Vec<Workload> {
             Metrics {
                 traces: run.iterates.len() as u64,
                 peak_set: peak_of_run(&run),
+                engine: "",
             }
         }),
     ));
@@ -262,6 +294,7 @@ fn workloads() -> Vec<Workload> {
             Metrics {
                 traces: reports.iter().map(|r| r.premises_held as u64).sum(),
                 peak_set: 0,
+                engine: "",
             }
         }),
     ));
@@ -277,6 +310,57 @@ fn workloads() -> Vec<Workload> {
             Metrics {
                 traces: a as u64,
                 peak_set: a as u64,
+                engine: "",
+            }
+        }),
+    ));
+
+    // LTS — the compiled engine on workloads past the enumerative
+    // engine's comfortable range: the width-4 multiplier at depth 4 and
+    // the pipeline at depth 8. Both pin `--engine compiled`; the gate's
+    // ±30% tolerance is the budget the compiled engine must keep.
+    v.push((
+        "lts/multiplier_w4_d4",
+        Box::new(|c| {
+            let wb = multiplier_workbench(4);
+            let inv = multiplier_invariant(4);
+            let verdict = wb
+                .session_with(c.clone())
+                .check_sat(
+                    "multiplier",
+                    &inv,
+                    SatOptions::from(4).with_engine(Engine::Compiled),
+                )
+                .expect("checks");
+            let SatResult::Holds { traces_checked, .. } = verdict else {
+                panic!("lts multiplier claim refuted");
+            };
+            Metrics {
+                traces: traces_checked as u64,
+                peak_set: traces_checked as u64,
+                engine: "compiled",
+            }
+        }),
+    ));
+    v.push((
+        "lts/pipeline_d8",
+        Box::new(|c| {
+            let wb = pipeline_workbench();
+            let verdict = wb
+                .session_with(c.clone())
+                .check_sat(
+                    "pipeline",
+                    "output <= input",
+                    SatOptions::from(8).with_engine(Engine::Compiled),
+                )
+                .expect("checks");
+            let SatResult::Holds { traces_checked, .. } = verdict else {
+                panic!("lts pipeline claim refuted");
+            };
+            Metrics {
+                traces: traces_checked as u64,
+                peak_set: traces_checked as u64,
+                engine: "compiled",
             }
         }),
     ));
@@ -294,6 +378,7 @@ fn workloads() -> Vec<Workload> {
             Metrics {
                 traces: stats.relinted as u64,
                 peak_set: db.diagnostics().len() as u64,
+                engine: "",
             }
         }),
     ));
@@ -320,6 +405,7 @@ fn workloads() -> Vec<Workload> {
             Metrics {
                 traces: stats.relinted as u64,
                 peak_set: stats.cached as u64,
+                engine: "",
             }
         })
     }));
@@ -341,6 +427,7 @@ fn workloads() -> Vec<Workload> {
             Metrics {
                 traces: conf.runs.len() as u64,
                 peak_set: conf.runs.iter().map(|r| r.steps as u64).max().unwrap_or(0),
+                engine: "",
             }
         }),
     ));
@@ -487,6 +574,7 @@ fn main() {
             wall_ms,
             traces: metrics.traces,
             peak_set: metrics.peak_set,
+            engine: metrics.engine.to_string(),
             spans,
         });
     }

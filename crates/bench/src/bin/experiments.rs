@@ -37,10 +37,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             SatResult::Holds {
                 traces_checked,
                 depth,
+                engine,
             } => {
-                format!("holds on {traces_checked} traces (depth {depth})")
+                format!("holds on {traces_checked} traces (depth {depth}, engine {engine})")
             }
-            SatResult::Counterexample { trace } => format!("REFUTED by {trace}"),
+            SatResult::Counterexample { trace, .. } => format!("REFUTED by {trace}"),
         };
         row(
             "E1",

@@ -325,6 +325,7 @@ pub fn run_load(base_url: &str) -> Result<Vec<BenchRecord>, String> {
             wall_ms: cold_ms,
             traces: CHECK_SAMPLES as u64,
             peak_set: 0,
+            engine: String::new(),
             spans: no_spans.clone(),
         },
         BenchRecord {
@@ -332,6 +333,7 @@ pub fn run_load(base_url: &str) -> Result<Vec<BenchRecord>, String> {
             wall_ms: warm_ms,
             traces: CHECK_SAMPLES as u64,
             peak_set: speedup as u64,
+            engine: String::new(),
             spans: no_spans.clone(),
         },
         BenchRecord {
@@ -342,6 +344,7 @@ pub fn run_load(base_url: &str) -> Result<Vec<BenchRecord>, String> {
             wall_ms: 1e6 / rps.max(1e-9),
             traces: total as u64,
             peak_set: rps as u64,
+            engine: String::new(),
             spans: no_spans.clone(),
         },
         BenchRecord {
@@ -349,6 +352,7 @@ pub fn run_load(base_url: &str) -> Result<Vec<BenchRecord>, String> {
             wall_ms: p99,
             traces: total as u64,
             peak_set: 0,
+            engine: String::new(),
             spans: no_spans,
         },
     ])

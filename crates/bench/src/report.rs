@@ -39,6 +39,12 @@ pub struct BenchRecord {
     pub traces: u64,
     /// Peak trace-set size observed during the workload.
     pub peak_set: u64,
+    /// The verification engine the workload ran on (`"enumerative"` /
+    /// `"compiled"`), or empty for workloads where the distinction does
+    /// not apply (proofs, runtime, front-end). Recorded so baselines
+    /// stay comparable: an engine switch shows up as a schema-visible
+    /// change, not a silent wall-time cliff.
+    pub engine: String,
     /// Top spans by total time (empty when run unobserved).
     pub spans: Vec<SpanAttr>,
 }
@@ -66,6 +72,9 @@ impl Report {
                 "    {{\"name\": \"{}\", \"wall_ms\": {:.3}, \"traces\": {}, \"peak_set\": {}",
                 b.name, b.wall_ms, b.traces, b.peak_set
             );
+            if !b.engine.is_empty() {
+                let _ = write!(out, ", \"engine\": \"{}\"", b.engine);
+            }
             if b.spans.is_empty() {
                 out.push('}');
             } else {
@@ -115,6 +124,7 @@ impl Report {
                     wall_ms,
                     traces,
                     peak_set,
+                    engine: scan_string(obj, "\"engine\"").unwrap_or_default(),
                     spans: Vec::new(),
                 });
             } else if obj.contains("\"total_ns\"") {
@@ -325,6 +335,10 @@ pub struct HistoryRow {
     pub total_wall_ms: f64,
     /// Per-bench medians, in execution order.
     pub benches: Vec<(String, f64)>,
+    /// Per-bench verification engine, for the benches that recorded one
+    /// (see [`BenchRecord::engine`]). Rows written before the engine
+    /// split parse back with this empty.
+    pub engines: Vec<(String, String)>,
 }
 
 impl HistoryRow {
@@ -338,6 +352,12 @@ impl HistoryRow {
                 .benches
                 .iter()
                 .map(|b| (b.name.clone(), b.wall_ms))
+                .collect(),
+            engines: report
+                .benches
+                .iter()
+                .filter(|b| !b.engine.is_empty())
+                .map(|b| (b.name.clone(), b.engine.clone()))
                 .collect(),
         }
     }
@@ -356,7 +376,18 @@ impl HistoryRow {
             }
             let _ = write!(out, "\"{name}\": {ms:.3}");
         }
-        out.push_str("}}");
+        out.push('}');
+        if !self.engines.is_empty() {
+            out.push_str(", \"engines\": {");
+            for (i, (name, engine)) in self.engines.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{name}\": \"{engine}\"");
+            }
+            out.push('}');
+        }
+        out.push('}');
         out
     }
 }
@@ -400,11 +431,36 @@ pub fn parse_history(src: &str) -> Result<Vec<HistoryRow>, String> {
                 .map_err(|_| err("bench entry with non-numeric median"))?;
             benches.push((name, ms));
         }
+        // The engines map is optional — rows written before the engine
+        // split simply do not have one.
+        let mut engines = Vec::new();
+        if let Some(at) = line.find("\"engines\"") {
+            let map = scan_after(&line[at..], "\"engines\"")
+                .and_then(|rest| rest.strip_prefix('{'))
+                .ok_or_else(|| err("engines is not an object"))?;
+            let map = &map[..map
+                .find('}')
+                .ok_or_else(|| err("unterminated engines map"))?];
+            for pair in map.split(',') {
+                let pair = pair.trim();
+                if pair.is_empty() {
+                    continue;
+                }
+                let (name, engine) = pair
+                    .split_once(':')
+                    .ok_or_else(|| err("engine entry without `:`"))?;
+                engines.push((
+                    name.trim().trim_matches('"').to_string(),
+                    engine.trim().trim_matches('"').to_string(),
+                ));
+            }
+        }
         rows.push(HistoryRow {
             unix_ms: scan_u64(line, "\"unix_ms\"").unwrap_or(0),
             samples: scan_u64(line, "\"samples\"").unwrap_or(0) as usize,
             total_wall_ms: scan_f64(line, "\"total_wall_ms\"").unwrap_or(0.0),
             benches,
+            engines,
         });
     }
     Ok(rows)
@@ -424,6 +480,7 @@ mod tests {
                     wall_ms,
                     traces: 10,
                     peak_set: 20,
+                    engine: String::new(),
                     spans: Vec::new(),
                 })
                 .collect(),
@@ -578,6 +635,32 @@ mod tests {
         assert_eq!(culprits.len(), 3);
         assert!(culprits.iter().all(|c| c.delta_ns > 0 && c.span != "s5"));
         assert_eq!(culprits[0].span, "s1", "largest delta first");
+    }
+
+    #[test]
+    fn engine_round_trips_and_legacy_records_parse() {
+        let mut r = report(&[("lts/pipeline_d8", 3.0), ("P3/proofs/all_scripts", 9.0)]);
+        r.benches[0].engine = "compiled".to_string();
+        let parsed = Report::from_json(&r.to_json()).expect("parses");
+        assert_eq!(parsed.benches[0].engine, "compiled");
+        assert_eq!(parsed.benches[1].engine, "", "engine-free rows stay engine-free");
+        // A pre-engine report (no "engine" members) still parses.
+        let legacy = report(&[("a", 1.0)]).to_json();
+        assert!(!legacy.contains("\"engine\""));
+        assert_eq!(Report::from_json(&legacy).unwrap().benches[0].engine, "");
+        // The history row carries the engines map for the recorded rows
+        // only, and a legacy history line parses back with none.
+        let row = HistoryRow::from_report(&r, 7);
+        assert_eq!(
+            row.engines,
+            vec![("lts/pipeline_d8".to_string(), "compiled".to_string())]
+        );
+        let rows = parse_history(&format!("{}\n", row.to_jsonl_line())).expect("parses");
+        assert_eq!(rows[0], row);
+        let legacy_line = "{\"schema\": \"csp-bench-history/v1\", \"unix_ms\": 1, \
+             \"samples\": 3, \"total_wall_ms\": 1.000, \"benches\": {\"a\": 1.000}}";
+        let rows = parse_history(legacy_line).expect("parses");
+        assert!(rows[0].engines.is_empty());
     }
 
     #[test]

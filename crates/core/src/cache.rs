@@ -23,28 +23,11 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Mutex};
 
-pub use csp_analysis::content_hash;
-
-/// Extends a running FNV-1a hash with one more field, separator
-/// included — the canonical way compound cache keys are built from
-/// `(endpoint, source, parameters)` tuples so that no concatenation of
-/// fields can collide with a different split of the same bytes.
-pub fn hash_field(h: u64, bytes: &[u8]) -> u64 {
-    let mut h = h;
-    // Length prefix acts as an unambiguous separator.
-    for b in (bytes.len() as u64).to_le_bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// The FNV-1a offset basis — the seed for [`hash_field`] chains.
-pub const HASH_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+// The hashing itself lives in `csp_trace::hash` — the single shared
+// FNV-1a definition every layer keys content on; re-exported here so
+// existing `csp_core::cache::{content_hash, hash_field, HASH_SEED}`
+// callers keep working.
+pub use csp_trace::hash::{content_hash, hash_field, HASH_SEED};
 
 /// A bounded least-recently-used map from `u64` content hashes to
 /// values. Not thread-safe by itself (wrap in a mutex); kept separate so

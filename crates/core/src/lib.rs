@@ -40,13 +40,21 @@
 #![warn(missing_docs)]
 
 mod cache;
-mod options;
+pub mod options;
 mod pool;
 mod session;
 mod workbench;
 
 pub use cache::{content_hash, hash_field, Lru, VerifyCache, HASH_SEED};
-pub use options::{ConformanceOptions, SatOptions};
+pub use options::{ConformanceOptions, Engine, SatOptions};
+
+/// The workspace's canonical content hashing (re-exported from
+/// `csp_trace::hash`): one FNV-1a definition shared by the incremental
+/// analysis database, the cross-request verification cache, and the
+/// serve request keying.
+pub mod hash {
+    pub use csp_trace::hash::{content_hash, hash_field, HASH_SEED};
+}
 pub use pool::{PooledWorkbench, WorkbenchPool};
 pub use session::Session;
 pub use workbench::{Workbench, WorkbenchError};
@@ -92,19 +100,22 @@ pub use csp_proof::{
     Judgement, Obligation, Proof, ProofError, SynthError,
 };
 pub use csp_runtime::{
-    check_conformance, flatten, Component, ComponentFailure, ComponentSel, ConformanceReport,
+    check_conformance, check_conformance_with_engine, flatten, Component, ComponentFailure,
+    ComponentSel, ConformanceReport,
     Executor, FailureReason, Fault, FaultError, FaultPlan, Network, RestartPolicy, RunError,
     RunOptions, RunOutcome, RunResult, Scheduler, Supervision,
 };
 pub use csp_semantics::{
-    compare, fixpoint, fixpoint_with, refines, Config, Discrepancy, FixpointRun, Lts, Semantics,
-    Step, Universe,
+    compare, fixpoint, fixpoint_with, refines, CompiledLts, CompiledStep, Config, Discrepancy,
+    FixpointRun, Lts, Semantics, StateId, StateSet, Step, Universe,
 };
 pub use csp_trace::{
-    timeline, Channel, ChannelSet, Event, History, OpStats, Seq, Trace, TraceSet, Value,
+    timeline, Channel, ChannelSet, Event, History, NaiveTraceSet, OpStats, Seq, Trace, TraceSet,
+    Value,
 };
 pub use csp_verify::{
-    cross_validate_scripts, fault_conformance, find_deadlocks, stop_choice_identity,
+    cross_validate_scripts, fault_conformance, find_deadlocks, find_deadlocks_compiled,
+    stop_choice_identity,
     validate_all_rules, CrossValidation, Deadlock, DeadlockReport, DegradedRun, FaultConfError,
     FaultConformance, FaultSweep, InstanceGen, RuleReport, SatChecker, SatResult,
 };
@@ -112,7 +123,8 @@ pub use csp_verify::{
 /// Convenient glob-import surface: `use csp_core::prelude::*;`.
 pub mod prelude {
     pub use crate::{
-        Assertion, Channel, Collector, ConformanceOptions, Definitions, Env, Event, FaultPlan,
+        Assertion, Channel, Collector, ConformanceOptions, Definitions, Engine, Env, Event,
+        FaultPlan,
         FaultSweep, Judgement, Metered, MetricsSnapshot, Process, Proof, RestartPolicy, RunOptions,
         RunOutcome, SatOptions, SatResult, Scheduler, Session, Supervision, Trace, TraceSet,
         Universe, Value, Workbench, WorkbenchError,

@@ -6,6 +6,12 @@
 //! common literal call forms working: a bare depth converts into
 //! [`SatOptions`], an invariant-source slice into
 //! [`ConformanceOptions`].
+//!
+//! Both bundles carry an [`Engine`] selector choosing the verification
+//! backend — the enumerative trace-set oracle, the compiled LTS, or
+//! (the default) a per-query automatic choice.
+
+pub use csp_semantics::Engine;
 
 /// Options for bounded satisfaction checking
 /// ([`Workbench::check_sat`](crate::Workbench::check_sat)) and trace
@@ -27,6 +33,8 @@ pub struct SatOptions {
     pub depth: usize,
     /// Hidden-communication budget as a multiple of the depth.
     pub internal_budget_factor: usize,
+    /// Which verification backend answers the query.
+    pub engine: Engine,
 }
 
 impl Default for SatOptions {
@@ -34,12 +42,13 @@ impl Default for SatOptions {
         SatOptions {
             depth: 4,
             internal_budget_factor: 4,
+            engine: Engine::Auto,
         }
     }
 }
 
 impl SatOptions {
-    /// The default options (depth 4, budget factor 4).
+    /// The default options (depth 4, budget factor 4, automatic engine).
     pub fn new() -> Self {
         Self::default()
     }
@@ -55,6 +64,13 @@ impl SatOptions {
     #[must_use]
     pub fn with_internal_budget_factor(mut self, factor: usize) -> Self {
         self.internal_budget_factor = factor.max(1);
+        self
+    }
+
+    /// Selects the verification backend ([`Engine::Auto`] by default).
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 }
@@ -92,12 +108,21 @@ pub struct ConformanceOptions {
     /// Semantic replay depth; defaults to the recorded run's full length
     /// (minimum 8) when unset.
     pub replay_depth: Option<usize>,
+    /// Which verification backend replays the trace.
+    pub engine: Engine,
 }
 
 impl ConformanceOptions {
     /// No invariants, default replay depth.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Selects the verification backend ([`Engine::Auto`] by default).
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Adds one invariant (assertion syntax).
@@ -174,6 +199,23 @@ mod tests {
                 .with_internal_budget_factor(0)
                 .internal_budget_factor,
             1
+        );
+    }
+
+    #[test]
+    fn engine_defaults_to_auto_and_is_selectable() {
+        assert_eq!(SatOptions::new().engine, Engine::Auto);
+        assert_eq!(SatOptions::from(3).engine, Engine::Auto);
+        assert_eq!(
+            SatOptions::new().with_engine(Engine::Compiled).engine,
+            Engine::Compiled
+        );
+        assert_eq!(ConformanceOptions::new().engine, Engine::Auto);
+        assert_eq!(
+            ConformanceOptions::new()
+                .with_engine(Engine::Enumerative)
+                .engine,
+            Engine::Enumerative
         );
     }
 

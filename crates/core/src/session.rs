@@ -166,6 +166,20 @@ impl<'wb> Session<'wb> {
         self.wb.refines(implementation, specification, opts)
     }
 
+    /// Bounded deadlock search (see [`Workbench::deadlocks`]); the
+    /// engine in the options bundle selects the backend.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Workbench::deadlocks`].
+    pub fn deadlocks(
+        &self,
+        name: &str,
+        opts: impl Into<SatOptions>,
+    ) -> Result<csp_verify::DeadlockReport, WorkbenchError> {
+        self.wb.deadlocks(name, opts)
+    }
+
     /// Runs the paper's fixpoint construction, recording per-iteration
     /// and per-key spans plus the `fixpoint.iter_ns` histogram.
     ///

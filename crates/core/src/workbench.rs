@@ -10,13 +10,15 @@ use csp_lang::{
 };
 use csp_obs::Collector;
 use csp_proof::{check_with, CheckReport, Context, Judgement, Proof, ProofError};
-use csp_runtime::{check_conformance, ConformanceReport, Executor, RunOptions, RunResult};
-use csp_semantics::{fixpoint_with, FixpointRun, Lts, Semantics, Universe};
+use csp_runtime::{
+    check_conformance_with_engine, ConformanceReport, Executor, RunOptions, RunResult,
+};
+use csp_semantics::{fixpoint_with, CompiledLts, Engine, FixpointRun, Lts, Semantics, Universe};
 use csp_trace::{Channel, ChannelSet};
 use csp_trace::{TraceSet, Value};
 use csp_verify::{
-    fault_conformance, find_deadlocks, DeadlockReport, FaultConformance, FaultSweep, SatChecker,
-    SatResult,
+    fault_conformance, find_deadlocks, find_deadlocks_compiled, DeadlockReport, FaultConformance,
+    FaultSweep, SatChecker, SatResult,
 };
 
 use crate::options::{ConformanceOptions, SatOptions};
@@ -392,6 +394,7 @@ impl Workbench {
             .with_env(self.env.clone())
             .with_funcs(self.funcs.clone())
             .with_internal_budget_factor(opts.internal_budget_factor)
+            .with_engine(opts.engine)
             .with_collector(collector.clone());
         Ok(checker.check_name(name, &assertion, opts.depth)?)
     }
@@ -447,7 +450,7 @@ impl Workbench {
             .iter()
             .map(|s| self.assertion(s))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(check_conformance(
+        Ok(check_conformance_with_engine(
             &Process::call(name),
             &self.env,
             &self.defs,
@@ -455,6 +458,7 @@ impl Workbench {
             &result.visible,
             &invariants,
             opts.replay_depth.unwrap_or(result.full.len().max(8)),
+            opts.engine,
         )?)
     }
 
@@ -527,25 +531,41 @@ impl Workbench {
     }
 
     /// Bounded deadlock search over the operational semantics — the
-    /// analysis §4 says the trace model cannot express.
+    /// analysis §4 says the trace model cannot express. Accepts a bare
+    /// depth or a [`SatOptions`] bundle (whose `engine` selects the
+    /// backend; both produce the same report).
     ///
     /// # Errors
     ///
     /// Fails on undefined names or evaluation errors.
-    pub fn deadlocks(&self, name: &str, depth: usize) -> Result<DeadlockReport, WorkbenchError> {
-        Ok(find_deadlocks(
-            &self.defs,
-            &self.universe,
-            &Process::call(name),
-            &self.env,
-            depth,
-        )?)
+    pub fn deadlocks(
+        &self,
+        name: &str,
+        opts: impl Into<SatOptions>,
+    ) -> Result<DeadlockReport, WorkbenchError> {
+        let opts = opts.into();
+        let process = Process::call(name);
+        let report = match opts.engine.resolve(&self.defs, &process) {
+            Engine::Compiled => find_deadlocks_compiled(
+                &self.defs,
+                &self.universe,
+                &process,
+                &self.env,
+                opts.depth,
+            )?,
+            _ => find_deadlocks(&self.defs, &self.universe, &process, &self.env, opts.depth)?,
+        };
+        Ok(report)
     }
 
     /// Bounded trace refinement: every behaviour of `implementation` is
     /// a behaviour of `specification`, up to the exploration depth
     /// (a bare depth or a [`SatOptions`] bundle). Returns the first
     /// counterexample trace on failure.
+    ///
+    /// With the compiled engine the check runs as a subset construction
+    /// over the interned transition graph — nothing is materialised; the
+    /// enumerative engine compares the explicit trace sets.
     ///
     /// # Errors
     ///
@@ -556,7 +576,31 @@ impl Workbench {
         specification: &str,
         opts: impl Into<SatOptions>,
     ) -> Result<Result<(), csp_trace::Trace>, WorkbenchError> {
-        let depth = opts.into().depth;
+        let opts = opts.into();
+        let depth = opts.depth;
+        let impl_p = Process::call(implementation);
+        let spec_p = Process::call(specification);
+        // Either side being a network is enough to prefer the compiled
+        // walk: the product construction pays off on whichever side has
+        // confluent interleavings.
+        let engine = match opts.engine {
+            Engine::Auto => {
+                if opts.engine.resolve(&self.defs, &impl_p) == Engine::Compiled
+                    || opts.engine.resolve(&self.defs, &spec_p) == Engine::Compiled
+                {
+                    Engine::Compiled
+                } else {
+                    Engine::Enumerative
+                }
+            }
+            e => e,
+        };
+        if engine == Engine::Compiled {
+            let mut lts = CompiledLts::new(&self.defs, &self.universe);
+            let i = lts.start(implementation, &self.env);
+            let s = lts.start(specification, &self.env);
+            return Ok(lts.refines(i, s, depth, depth * opts.internal_budget_factor)?);
+        }
         let lts = csp_semantics::Lts::new(&self.defs, &self.universe);
         let impl_ts = lts.traces(&lts.initial(implementation, &self.env), depth)?;
         let spec_ts = lts.traces(&lts.initial(specification, &self.env), depth)?;
@@ -849,6 +893,52 @@ mod tests {
             .unwrap();
         let report = jammed.deadlocks("net", 3).unwrap();
         assert!(!report.deadlock_free());
+    }
+
+    #[test]
+    fn engine_selection_through_workbench() {
+        let wb = pipeline_wb();
+        for engine in [Engine::Enumerative, Engine::Compiled] {
+            let v = wb
+                .check_sat(
+                    "pipeline",
+                    "output <= input",
+                    SatOptions::from(3).with_engine(engine),
+                )
+                .unwrap();
+            assert!(v.holds());
+            assert_eq!(v.engine(), engine);
+        }
+        // Auto resolves to compiled for the hidden-wire network and to
+        // the enumerative oracle for a lone sequential component.
+        let v = wb.check_sat("pipeline", "output <= input", 3).unwrap();
+        assert_eq!(v.engine(), Engine::Compiled);
+        let v = wb.check_sat("copier", "wire <= input", 3).unwrap();
+        assert_eq!(v.engine(), Engine::Enumerative);
+        // Deadlock search: identical reports from both backends.
+        let a = wb
+            .deadlocks("pipeline", SatOptions::from(3).with_engine(Engine::Enumerative))
+            .unwrap();
+        let b = wb
+            .deadlocks("pipeline", SatOptions::from(3).with_engine(Engine::Compiled))
+            .unwrap();
+        assert_eq!(a.states_explored, b.states_explored);
+        assert_eq!(a.deadlocks.len(), b.deadlocks.len());
+    }
+
+    #[test]
+    fn compiled_refinement_through_workbench() {
+        let mut wb = Workbench::new().with_universe(Universe::new(1));
+        wb.define_source(
+            "spec = a?x:NAT -> spec | b!0 -> spec
+             impl = a?x:NAT -> impl
+             bad = c!9 -> bad",
+        )
+        .unwrap();
+        let opts = SatOptions::from(3).with_engine(Engine::Compiled);
+        assert!(wb.refines("impl", "spec", opts.clone()).unwrap().is_ok());
+        let cex = wb.refines("bad", "spec", opts).unwrap().unwrap_err();
+        assert_eq!(cex.len(), 1);
     }
 
     #[test]

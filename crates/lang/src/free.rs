@@ -302,7 +302,7 @@ mod tests {
             chan: ChanRef::indexed("c", Expr::var("x")),
             var: "x".into(),
             set: SetExpr::Range(Box::new(Expr::int(0)), Box::new(Expr::var("x"))),
-            then: Box::new(Process::Stop),
+            then: std::sync::Arc::new(Process::Stop),
         };
         assert!(free_vars_process(&p).contains("x"));
     }
@@ -330,14 +330,14 @@ mod tests {
             chan: ChanRef::indexed("row", Expr::var("i")),
             var: "x".into(),
             set: SetExpr::Nat,
-            then: Box::new(Process::Input {
+            then: std::sync::Arc::new(Process::Input {
                 chan: ChanRef::indexed("col", Expr::var("i").sub(Expr::int(1))),
                 var: "y".into(),
                 set: SetExpr::Nat,
-                then: Box::new(Process::Output {
+                then: std::sync::Arc::new(Process::Output {
                     chan: ChanRef::indexed("col", Expr::var("i")),
                     msg: Expr::var("x").add(Expr::var("y")),
-                    then: Box::new(Process::call1("mult", Expr::var("i"))),
+                    then: std::sync::Arc::new(Process::call1("mult", Expr::var("i"))),
                 }),
             }),
         };

@@ -66,5 +66,8 @@ pub use parser::{
 pub use process::{ChanRef, Process};
 pub use setexpr::{MsgSet, SetExpr};
 pub use span::{DefSpans, SourceMap, Span, SpanTree};
-pub use subst::{close_process, subst_expr, subst_expr_with, subst_process, subst_process_with};
+pub use subst::{
+    close_process, process_has_free, subst_expr, subst_expr_with, subst_process,
+    subst_process_with,
+};
 pub use validate::{is_well_formed, validate, ValidationIssue};

@@ -53,6 +53,8 @@
 //! [`Process::Error`] hole into the failed definition so every *other*
 //! definition still parses and can be analysed.
 
+use std::sync::Arc;
+
 use csp_trace::Value;
 
 use crate::{
@@ -1030,7 +1032,7 @@ impl Parser {
                 return Ok((
                     Process::Hide {
                         channels,
-                        body: Box::new(body),
+                        body: Arc::new(body),
                     },
                     SpanTree::node(kw_span, vec![body_spans]),
                 ));
@@ -1065,8 +1067,8 @@ impl Parser {
                 };
                 let (right, rspans) = self.proc_bp(r_bp)?;
                 left = Process::Parallel {
-                    left: Box::new(left),
-                    right: Box::new(right),
+                    left: Arc::new(left),
+                    right: Arc::new(right),
                     left_alpha,
                     right_alpha,
                 };
@@ -1130,7 +1132,7 @@ impl Parser {
                     Process::Output {
                         chan: ChanRef::with_indices(&name, subs),
                         msg,
-                        then: Box::new(then),
+                        then: Arc::new(then),
                     },
                     SpanTree::node(name_span, vec![then_spans]),
                 ))
@@ -1147,7 +1149,7 @@ impl Parser {
                         chan: ChanRef::with_indices(&name, subs),
                         var,
                         set,
-                        then: Box::new(then),
+                        then: Arc::new(then),
                     },
                     SpanTree::node(name_span, vec![then_spans]),
                 ))

@@ -1,6 +1,7 @@
 //! Process expressions — §1.2 of the paper.
 
 use std::fmt;
+use std::sync::Arc;
 
 use csp_trace::Channel;
 
@@ -104,8 +105,11 @@ impl fmt::Display for ChanRef {
 ///
 /// Recursion is expressed exclusively through [`Process::Call`] to a name
 /// defined in a [`Definitions`](crate::Definitions) list, exactly as in
-/// the paper — so the syntax tree itself is acyclic and plain `Box`
-/// ownership suffices.
+/// the paper — so the syntax tree itself is acyclic. Subterms are held in
+/// [`Arc`] so that the operational semantics can rebuild the stationary
+/// parts of a network term (the unchanged side of a `||`, the body of a
+/// `chan L; …`) by reference-count bumps instead of deep copies; terms
+/// are immutable after construction, which keeps the sharing sound.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Process {
     /// `STOP` — the process that never does anything (§1.2(1)).
@@ -126,7 +130,7 @@ pub enum Process {
         /// The message expression.
         msg: Expr,
         /// The continuation.
-        then: Box<Process>,
+        then: Arc<Process>,
     },
     /// `c?x:M -> P` — communicate any value of `M` on `c`, binding it to
     /// `x` in `P` (§1.2(5)).
@@ -138,11 +142,11 @@ pub enum Process {
         /// The set of acceptable messages.
         set: SetExpr,
         /// The continuation, in which `var` is bound.
-        then: Box<Process>,
+        then: Arc<Process>,
     },
     /// `P | Q` — behave like `P` or like `Q`; the choice may be regarded
     /// as non-deterministic (§1.2(6)).
-    Choice(Box<Process>, Box<Process>),
+    Choice(Arc<Process>, Arc<Process>),
     /// `P || Q` — a network of `P` and `Q` connected by their common
     /// channels (§1.2(7)). The alphabets `X` and `Y` default to the sets of
     /// channel names occurring in each operand (the paper's convention when
@@ -150,9 +154,9 @@ pub enum Process {
     /// be given explicitly for open networks.
     Parallel {
         /// Left operand.
-        left: Box<Process>,
+        left: Arc<Process>,
         /// Right operand.
-        right: Box<Process>,
+        right: Arc<Process>,
         /// Explicit alphabet of the left operand (base channel names);
         /// `None` means "infer from the text of the operand".
         left_alpha: Option<Vec<ChanRef>>,
@@ -167,7 +171,7 @@ pub enum Process {
         /// parser to the individual elements when bounds are constant.
         channels: Vec<ChanRef>,
         /// The network whose internal channels are concealed.
-        body: Box<Process>,
+        body: Arc<Process>,
     },
     /// A hole left by error recovery: the recovering parser
     /// ([`parse_module`](crate::parse_module)) could not parse this
@@ -200,7 +204,7 @@ impl Process {
         Process::Output {
             chan: chan.into(),
             msg,
-            then: Box::new(then),
+            then: Arc::new(then),
         }
     }
 
@@ -210,20 +214,20 @@ impl Process {
             chan: chan.into(),
             var: var.to_string(),
             set,
-            then: Box::new(then),
+            then: Arc::new(then),
         }
     }
 
     /// `self | other` builder.
     pub fn or(self, other: Process) -> Process {
-        Process::Choice(Box::new(self), Box::new(other))
+        Process::Choice(Arc::new(self), Arc::new(other))
     }
 
     /// `self || other` builder with inferred alphabets.
     pub fn par(self, other: Process) -> Process {
         Process::Parallel {
-            left: Box::new(self),
-            right: Box::new(other),
+            left: Arc::new(self),
+            right: Arc::new(other),
             left_alpha: None,
             right_alpha: None,
         }
@@ -233,7 +237,7 @@ impl Process {
     pub fn hide(self, channels: Vec<ChanRef>) -> Process {
         Process::Hide {
             channels,
-            body: Box::new(self),
+            body: Arc::new(self),
         }
     }
 

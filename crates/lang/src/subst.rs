@@ -7,9 +7,77 @@
 //! variable capture can occur; binders (`c?x:M -> P`) simply stop the
 //! substitution of their own variable.
 
+use std::sync::Arc;
+
 use csp_trace::Value;
 
 use crate::{ChanRef, Env, EvalError, Expr, Process, SetExpr};
+
+fn expr_has_free(e: &Expr, x: &str) -> bool {
+    match e {
+        Expr::Const(_) => false,
+        Expr::Var(y) => y == x,
+        Expr::Bin(_, a, b) => expr_has_free(a, x) || expr_has_free(b, x),
+        Expr::Un(_, a) => expr_has_free(a, x),
+        Expr::Tuple(es) => es.iter().any(|e| expr_has_free(e, x)),
+        Expr::ArrayRef(_, idx) => expr_has_free(idx, x),
+    }
+}
+
+fn setexpr_has_free(s: &SetExpr, x: &str) -> bool {
+    match s {
+        SetExpr::Nat | SetExpr::Named(_) => false,
+        SetExpr::Range(lo, hi) => expr_has_free(lo, x) || expr_has_free(hi, x),
+        SetExpr::Enum(es) => es.iter().any(|e| expr_has_free(e, x)),
+    }
+}
+
+fn chanref_has_free(c: &ChanRef, x: &str) -> bool {
+    c.indices().iter().any(|e| expr_has_free(e, x))
+}
+
+/// True when variable `x` occurs free in `p` — exactly when
+/// [`subst_process`] for `x` could change the term. A read-only
+/// traversal, so callers can use it to skip no-op substitutions (the
+/// common case when re-closing an already-closed network state).
+pub fn process_has_free(p: &Process, x: &str) -> bool {
+    match p {
+        Process::Stop | Process::Error(_) => false,
+        Process::Call { args, .. } => args.iter().any(|e| expr_has_free(e, x)),
+        Process::Output { chan, msg, then } => {
+            chanref_has_free(chan, x) || expr_has_free(msg, x) || process_has_free(then, x)
+        }
+        Process::Input {
+            chan,
+            var,
+            set,
+            then,
+        } => {
+            chanref_has_free(chan, x)
+                || setexpr_has_free(set, x)
+                || (var != x && process_has_free(then, x))
+        }
+        Process::Choice(a, b) => process_has_free(a, x) || process_has_free(b, x),
+        Process::Parallel {
+            left,
+            right,
+            left_alpha,
+            right_alpha,
+        } => {
+            process_has_free(left, x)
+                || process_has_free(right, x)
+                || left_alpha
+                    .as_ref()
+                    .map_or(false, |cs| cs.iter().any(|c| chanref_has_free(c, x)))
+                || right_alpha
+                    .as_ref()
+                    .map_or(false, |cs| cs.iter().any(|c| chanref_has_free(c, x)))
+        }
+        Process::Hide { channels, body } => {
+            channels.iter().any(|c| chanref_has_free(c, x)) || process_has_free(body, x)
+        }
+    }
+}
 
 /// `e^x_v` — replaces every free occurrence of variable `x` in `e` by the
 /// constant `v`.
@@ -93,7 +161,7 @@ pub fn subst_process(p: &Process, x: &str, v: &Value) -> Process {
         Process::Output { chan, msg, then } => Process::Output {
             chan: subst_chanref(chan, x, v),
             msg: subst_expr(msg, x, v),
-            then: Box::new(subst_process(then, x, v)),
+            then: Arc::new(subst_process(then, x, v)),
         },
         Process::Input {
             chan,
@@ -105,7 +173,7 @@ pub fn subst_process(p: &Process, x: &str, v: &Value) -> Process {
                 // x is rebound below; substitution stops here.
                 then.clone()
             } else {
-                Box::new(subst_process(then, x, v))
+                Arc::new(subst_process(then, x, v))
             };
             Process::Input {
                 chan: subst_chanref(chan, x, v),
@@ -115,8 +183,8 @@ pub fn subst_process(p: &Process, x: &str, v: &Value) -> Process {
             }
         }
         Process::Choice(a, b) => Process::Choice(
-            Box::new(subst_process(a, x, v)),
-            Box::new(subst_process(b, x, v)),
+            Arc::new(subst_process(a, x, v)),
+            Arc::new(subst_process(b, x, v)),
         ),
         Process::Parallel {
             left,
@@ -124,8 +192,8 @@ pub fn subst_process(p: &Process, x: &str, v: &Value) -> Process {
             left_alpha,
             right_alpha,
         } => Process::Parallel {
-            left: Box::new(subst_process(left, x, v)),
-            right: Box::new(subst_process(right, x, v)),
+            left: Arc::new(subst_process(left, x, v)),
+            right: Arc::new(subst_process(right, x, v)),
             left_alpha: left_alpha
                 .as_ref()
                 .map(|cs| cs.iter().map(|c| subst_chanref(c, x, v)).collect()),
@@ -135,7 +203,7 @@ pub fn subst_process(p: &Process, x: &str, v: &Value) -> Process {
         },
         Process::Hide { channels, body } => Process::Hide {
             channels: channels.iter().map(|c| subst_chanref(c, x, v)).collect(),
-            body: Box::new(subst_process(body, x, v)),
+            body: Arc::new(subst_process(body, x, v)),
         },
     }
 }
@@ -150,11 +218,18 @@ pub fn subst_process(p: &Process, x: &str, v: &Value) -> Process {
 /// but returns `Result` so the definition-resolution pipeline composes
 /// with genuine evaluation errors.
 pub fn close_process(p: &Process, env: &Env) -> Result<Process, EvalError> {
-    let mut out = p.clone();
+    // Substitute only the bindings that actually occur free: re-closing an
+    // already-closed state (every rebuild step of the operational
+    // semantics) then costs one read-only scan per binding and a single
+    // shallow clone, instead of a full rebuild per binding.
+    let mut out: Option<Process> = None;
     for (x, v) in env.iter() {
-        out = subst_process(&out, x, v);
+        let cur = out.as_ref().unwrap_or(p);
+        if process_has_free(cur, x) {
+            out = Some(subst_process(cur, x, v));
+        }
     }
-    Ok(out)
+    Ok(out.unwrap_or_else(|| p.clone()))
 }
 
 #[cfg(test)]
@@ -208,7 +283,7 @@ mod tests {
             chan: ChanRef::indexed("row", Expr::var("x")),
             var: "x".to_string(),
             set: SetExpr::Range(Box::new(Expr::int(0)), Box::new(Expr::var("x"))),
-            then: Box::new(Process::Stop),
+            then: std::sync::Arc::new(Process::Stop),
         };
         let p2 = subst_process(&p, "x", &Value::Int(3));
         match p2 {
@@ -306,7 +381,7 @@ pub fn subst_process_with(p: &Process, x: &str, r: &Expr) -> Process {
         Process::Output { chan, msg, then } => Process::Output {
             chan: sub_chan(chan),
             msg: subst_expr_with(msg, x, r),
-            then: Box::new(subst_process_with(then, x, r)),
+            then: Arc::new(subst_process_with(then, x, r)),
         },
         Process::Input {
             chan,
@@ -320,12 +395,12 @@ pub fn subst_process_with(p: &Process, x: &str, r: &Expr) -> Process {
             then: if var == x {
                 then.clone()
             } else {
-                Box::new(subst_process_with(then, x, r))
+                Arc::new(subst_process_with(then, x, r))
             },
         },
         Process::Choice(a, b) => Process::Choice(
-            Box::new(subst_process_with(a, x, r)),
-            Box::new(subst_process_with(b, x, r)),
+            Arc::new(subst_process_with(a, x, r)),
+            Arc::new(subst_process_with(b, x, r)),
         ),
         Process::Parallel {
             left,
@@ -333,8 +408,8 @@ pub fn subst_process_with(p: &Process, x: &str, r: &Expr) -> Process {
             left_alpha,
             right_alpha,
         } => Process::Parallel {
-            left: Box::new(subst_process_with(left, x, r)),
-            right: Box::new(subst_process_with(right, x, r)),
+            left: Arc::new(subst_process_with(left, x, r)),
+            right: Arc::new(subst_process_with(right, x, r)),
             left_alpha: left_alpha
                 .as_ref()
                 .map(|cs| cs.iter().map(&sub_chan).collect()),
@@ -344,7 +419,7 @@ pub fn subst_process_with(p: &Process, x: &str, r: &Expr) -> Process {
         },
         Process::Hide { channels, body } => Process::Hide {
             channels: channels.iter().map(&sub_chan).collect(),
-            body: Box::new(subst_process_with(body, x, r)),
+            body: Arc::new(subst_process_with(body, x, r)),
         },
     }
 }

@@ -1,0 +1,693 @@
+//! The compiled verification backend: definitions lowered to an explicit
+//! labelled transition system with interned states.
+//!
+//! The enumerative engine ([`Lts::traces_budgeted`]) recomputes the
+//! transition relation at every `(trace, configuration)` pair it visits —
+//! for a confluent network the same configuration is re-stepped once per
+//! interleaving that reaches it, and each step re-resolves alphabets and
+//! re-closes operand environments. [`CompiledLts`] removes exactly that
+//! redundancy: configurations are interned into an arena of [`StateId`]s
+//! the first time they are seen, the enabled steps of each state are
+//! computed once (on the fly, so parallel composition and hiding are
+//! still product automata over *reachable* states only, never
+//! materialised trace sets), and every later visit is a table lookup.
+//!
+//! On top of the compiled successor rows, reachability-style checks
+//! (deadlock search, trace refinement) run over [`StateSet`] bitset rows
+//! instead of ordered configuration sets.
+//!
+//! The enumerative engine stays authoritative: it is the direct
+//! transcription of the paper's semantics, so the compiled engine is
+//! validated against it the same way the interned trace engine is
+//! validated against `NaiveTraceSet` — identical budgets, identical
+//! exploration order, byte-identical trace sets (see the tests here and
+//! the property harness in `csp-verify`). [`Engine`] is the selector the
+//! higher layers thread through their option bundles.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use csp_lang::{Definitions, Env, EvalError, Process};
+use csp_trace::{Event, Trace, TraceSet};
+
+use crate::{Config, Lts, Step, Universe};
+
+/// Which verification backend answers a query.
+///
+/// The selector is `#[non_exhaustive]`: future backends (e.g. a failures
+/// model) can be added without breaking callers. Parse/display round-trip
+/// through the CLI spelling:
+///
+/// ```
+/// use csp_semantics::Engine;
+///
+/// let e: Engine = "compiled".parse().unwrap();
+/// assert_eq!(e, Engine::Compiled);
+/// assert_eq!(e.to_string(), "compiled");
+/// assert_eq!(Engine::default(), Engine::Auto);
+/// ```
+#[non_exhaustive]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Engine {
+    /// The enumerative trace-set engine — the paper's semantics
+    /// transcribed directly; kept as the cross-validation oracle.
+    Enumerative,
+    /// The compiled-LTS engine: interned states, memoised successor
+    /// rows, bitset reachability.
+    Compiled,
+    /// Resolve per query: compiled for networks (any reachable parallel
+    /// composition or hiding, where re-stepping is quadratic pain),
+    /// enumerative for plain sequential terms (where interning is pure
+    /// overhead).
+    #[default]
+    Auto,
+}
+
+impl Engine {
+    /// The CLI spelling (`enumerative` / `compiled` / `auto`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Engine::Enumerative => "enumerative",
+            Engine::Compiled => "compiled",
+            Engine::Auto => "auto",
+        }
+    }
+
+    /// Resolves `Auto` against a concrete query: compiled when the
+    /// definitions reachable from `root` contain a parallel composition
+    /// or hiding, enumerative otherwise. `Enumerative` and `Compiled`
+    /// resolve to themselves.
+    pub fn resolve(self, defs: &Definitions, root: &Process) -> Engine {
+        match self {
+            Engine::Auto => {
+                if prefers_compiled(defs, root) {
+                    Engine::Compiled
+                } else {
+                    Engine::Enumerative
+                }
+            }
+            other => other,
+        }
+    }
+}
+
+impl std::fmt::Display for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "enumerative" => Ok(Engine::Enumerative),
+            "compiled" => Ok(Engine::Compiled),
+            "auto" => Ok(Engine::Auto),
+            other => Err(format!(
+                "unknown engine `{other}` (expected `enumerative`, `compiled`, or `auto`)"
+            )),
+        }
+    }
+}
+
+/// True when any definition reachable from `root` composes processes in
+/// parallel or hides channels — the shapes whose state spaces revisit
+/// configurations across interleavings.
+fn prefers_compiled(defs: &Definitions, root: &Process) -> bool {
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    let mut stack: Vec<&Process> = vec![root];
+    while let Some(p) = stack.pop() {
+        match p {
+            Process::Parallel { .. } | Process::Hide { .. } => return true,
+            Process::Stop | Process::Error(_) => {}
+            Process::Call { name, .. } => {
+                if seen.insert(name.as_str()) {
+                    if let Some(def) = defs.get(name) {
+                        stack.push(def.body());
+                    }
+                }
+            }
+            Process::Output { then, .. } | Process::Input { then, .. } => stack.push(then),
+            Process::Choice(a, b) => {
+                stack.push(a);
+                stack.push(b);
+            }
+        }
+    }
+    false
+}
+
+/// An interned configuration in a [`CompiledLts`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(u32);
+
+impl StateId {
+    /// The arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One compiled transition: the target is a [`StateId`], not a
+/// configuration, so following it is an array index instead of a term
+/// rewrite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompiledStep {
+    /// An externally visible communication.
+    Visible(Event, StateId),
+    /// A concealed communication.
+    Internal(StateId),
+}
+
+/// A set of [`StateId`]s as a bitset row (one bit per arena slot) — the
+/// representation the reachability checks iterate over.
+///
+/// Invariant: no trailing zero words, so equal sets compare equal (the
+/// refinement walk keys its memo on these).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct StateSet {
+    words: Vec<u64>,
+}
+
+impl StateSet {
+    /// The empty set.
+    pub fn new() -> Self {
+        StateSet::default()
+    }
+
+    /// Inserts a state; returns `true` when it was not already present.
+    pub fn insert(&mut self, id: StateId) -> bool {
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let fresh = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        fresh
+    }
+
+    /// True when the state is in the set.
+    pub fn contains(&self, id: StateId) -> bool {
+        let (w, b) = (id.index() / 64, id.index() % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Number of states in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no state is in the set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// The member states, ascending.
+    pub fn iter(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            (0..64)
+                .filter(move |b| word & (1 << b) != 0)
+                .map(move |b| StateId((wi * 64 + b) as u32))
+        })
+    }
+}
+
+impl FromIterator<StateId> for StateSet {
+    fn from_iter<I: IntoIterator<Item = StateId>>(iter: I) -> Self {
+        let mut set = StateSet::new();
+        for id in iter {
+            set.insert(id);
+        }
+        set
+    }
+}
+
+/// The compiled transition-system view of a definition list: an arena of
+/// interned configurations with memoised successor rows, grown on the
+/// fly as checks reach new states.
+#[derive(Debug)]
+pub struct CompiledLts<'a> {
+    lts: Lts<'a>,
+    states: Vec<Config>,
+    index: BTreeMap<Config, u32>,
+    rows: Vec<Option<Vec<CompiledStep>>>,
+    transitions: usize,
+}
+
+impl<'a> CompiledLts<'a> {
+    /// An empty arena over the given definitions and universe.
+    pub fn new(defs: &'a Definitions, universe: &'a Universe) -> Self {
+        CompiledLts {
+            lts: Lts::new(defs, universe),
+            states: Vec::new(),
+            index: BTreeMap::new(),
+            rows: Vec::new(),
+            transitions: 0,
+        }
+    }
+
+    /// Interns a configuration, returning its arena id (stable for the
+    /// lifetime of the arena; the same configuration always gets the
+    /// same id).
+    pub fn intern(&mut self, config: Config) -> StateId {
+        if let Some(&i) = self.index.get(&config) {
+            return StateId(i);
+        }
+        let i = u32::try_from(self.states.len()).expect("state arena exceeds u32");
+        self.states.push(config.clone());
+        self.index.insert(config, i);
+        self.rows.push(None);
+        StateId(i)
+    }
+
+    /// Interns the initial configuration of a named process.
+    pub fn start(&mut self, name: &str, env: &Env) -> StateId {
+        let config = self.lts.initial(name, env);
+        self.intern(config)
+    }
+
+    /// The configuration behind an id.
+    pub fn state(&self, id: StateId) -> &Config {
+        &self.states[id.index()]
+    }
+
+    /// Distinct configurations interned so far.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Transitions in the compiled rows so far.
+    pub fn num_transitions(&self) -> usize {
+        self.transitions
+    }
+
+    /// The successor row of a state, compiling it on first access. The
+    /// steps keep the exact order [`Lts::steps`] produces them in, so
+    /// walks over the compiled graph reproduce the enumerative engine's
+    /// exploration order (and therefore its budget-cut trace sets)
+    /// bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures from the transition relation.
+    pub fn steps_of(&mut self, id: StateId) -> Result<&[CompiledStep], EvalError> {
+        if self.rows[id.index()].is_none() {
+            let config = self.states[id.index()].clone();
+            let steps = self.lts.steps(&config)?;
+            let row: Vec<CompiledStep> = steps
+                .into_iter()
+                .map(|s| match s {
+                    Step::Visible(e, c) => CompiledStep::Visible(e, self.intern(c)),
+                    Step::Internal(c) => CompiledStep::Internal(self.intern(c)),
+                })
+                .collect();
+            self.transitions += row.len();
+            self.rows[id.index()] = Some(row);
+        }
+        Ok(self.rows[id.index()].as_deref().expect("row just compiled"))
+    }
+
+    /// The set of visible traces of length at most `depth`, exploring at
+    /// most `internal_budget` concealed communications along any path —
+    /// the compiled counterpart of [`Lts::traces_budgeted`], guaranteed
+    /// to produce the identical trace set (same dedup, same order, same
+    /// budget cuts; only the per-visit cost differs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures from the transition relation.
+    pub fn traces_budgeted(
+        &mut self,
+        start: StateId,
+        depth: usize,
+        internal_budget: usize,
+    ) -> Result<TraceSet, EvalError> {
+        let mut out = TraceSet::stop();
+        let mut seen: BTreeSet<(Trace, u32)> = BTreeSet::new();
+        self.walk(
+            start,
+            depth,
+            internal_budget,
+            &Trace::empty(),
+            &mut out,
+            &mut seen,
+        )?;
+        Ok(out)
+    }
+
+    /// [`traces_budgeted`](Self::traces_budgeted) with the default
+    /// internal budget (`depth × 3`, matching [`Lts::traces`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures from the transition relation.
+    pub fn traces(&mut self, start: StateId, depth: usize) -> Result<TraceSet, EvalError> {
+        self.traces_budgeted(start, depth, depth * 3)
+    }
+
+    fn walk(
+        &mut self,
+        id: StateId,
+        depth: usize,
+        internal_budget: usize,
+        prefix: &Trace,
+        out: &mut TraceSet,
+        seen: &mut BTreeSet<(Trace, u32)>,
+    ) -> Result<(), EvalError> {
+        if !seen.insert((prefix.clone(), id.0)) {
+            return Ok(());
+        }
+        out.insert_closed(prefix.clone());
+        let n = self.steps_of(id)?.len();
+        for k in 0..n {
+            let step = self.rows[id.index()].as_ref().expect("compiled")[k].clone();
+            match step {
+                CompiledStep::Visible(e, next) => {
+                    if depth > 0 {
+                        self.walk(
+                            next,
+                            depth - 1,
+                            internal_budget,
+                            &prefix.snoc(e),
+                            out,
+                            seen,
+                        )?;
+                    }
+                }
+                CompiledStep::Internal(next) => {
+                    if internal_budget > 0 {
+                        self.walk(next, depth, internal_budget - 1, prefix, out, seen)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Every state reachable from `set` by at most `budget` concealed
+    /// steps (the τ-closure, bounded like the trace walks bound hidden
+    /// chatter).
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures from the transition relation.
+    pub fn tau_closure(&mut self, set: StateSet, budget: usize) -> Result<StateSet, EvalError> {
+        let mut closed = set;
+        let mut frontier: Vec<StateId> = closed.iter().collect();
+        let mut layer = 0;
+        while !frontier.is_empty() && layer < budget {
+            let mut next = Vec::new();
+            for id in frontier {
+                let n = self.steps_of(id)?.len();
+                for k in 0..n {
+                    if let CompiledStep::Internal(t) =
+                        self.rows[id.index()].as_ref().expect("compiled")[k]
+                    {
+                        if closed.insert(t) {
+                            next.push(t);
+                        }
+                    }
+                }
+            }
+            frontier = next;
+            layer += 1;
+        }
+        Ok(closed)
+    }
+
+    /// Bounded trace refinement by subset construction: every visible
+    /// behaviour of `impl_start` up to `depth` events must be matched by
+    /// `spec_start`. The walk pairs each implementation state with the
+    /// bitset of specification states reachable on the same visible
+    /// trace (τ-closed after every event); a pair whose specification
+    /// side empties yields the counterexample trace. Nothing is
+    /// materialised — the check is reachability over compiled rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures from the transition relation.
+    pub fn refines(
+        &mut self,
+        impl_start: StateId,
+        spec_start: StateId,
+        depth: usize,
+        internal_budget: usize,
+    ) -> Result<Result<(), Trace>, EvalError> {
+        let spec0 = self.tau_closure(StateSet::from_iter([spec_start]), internal_budget)?;
+        let mut seen: BTreeSet<(u32, StateSet, usize, usize)> = BTreeSet::new();
+        self.refine_walk(
+            impl_start,
+            &spec0,
+            depth,
+            internal_budget,
+            &Trace::empty(),
+            &mut seen,
+        )
+    }
+
+    fn refine_walk(
+        &mut self,
+        id: StateId,
+        spec: &StateSet,
+        depth: usize,
+        internal_left: usize,
+        prefix: &Trace,
+        seen: &mut BTreeSet<(u32, StateSet, usize, usize)>,
+    ) -> Result<Result<(), Trace>, EvalError> {
+        if !seen.insert((id.0, spec.clone(), depth, internal_left)) {
+            return Ok(Ok(()));
+        }
+        let n = self.steps_of(id)?.len();
+        for k in 0..n {
+            let step = self.rows[id.index()].as_ref().expect("compiled")[k].clone();
+            match step {
+                CompiledStep::Visible(e, next) => {
+                    if depth == 0 {
+                        continue;
+                    }
+                    let mut after = StateSet::new();
+                    for s in spec.iter().collect::<Vec<_>>() {
+                        let m = self.steps_of(s)?.len();
+                        for j in 0..m {
+                            if let CompiledStep::Visible(e2, t) =
+                                self.rows[s.index()].as_ref().expect("compiled")[j]
+                            {
+                                if e2 == e {
+                                    after.insert(t);
+                                }
+                            }
+                        }
+                    }
+                    let trace = prefix.snoc(e);
+                    if after.is_empty() {
+                        return Ok(Err(trace));
+                    }
+                    let after = self.tau_closure(after, internal_left)?;
+                    if let Err(cex) =
+                        self.refine_walk(next, &after, depth - 1, internal_left, &trace, seen)?
+                    {
+                        return Ok(Err(cex));
+                    }
+                }
+                CompiledStep::Internal(next) => {
+                    if internal_left > 0 {
+                        if let Err(cex) = self.refine_walk(
+                            next,
+                            spec,
+                            depth,
+                            internal_left - 1,
+                            prefix,
+                            seen,
+                        )? {
+                            return Ok(Err(cex));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Ok(()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use csp_lang::{examples, parse_definitions};
+    use csp_trace::Value;
+
+    #[test]
+    fn engine_parse_display_round_trip() {
+        for e in [Engine::Enumerative, Engine::Compiled, Engine::Auto] {
+            let back: Engine = e.to_string().parse().unwrap();
+            assert_eq!(back, e);
+        }
+        let err = "turbo".parse::<Engine>().unwrap_err();
+        assert!(err.contains("turbo") && err.contains("enumerative"), "{err}");
+    }
+
+    #[test]
+    fn auto_resolves_by_network_shape() {
+        let defs = examples::pipeline();
+        // The pipeline hides `wire` and composes in parallel: compiled.
+        assert_eq!(
+            Engine::Auto.resolve(&defs, &Process::call("pipeline")),
+            Engine::Compiled
+        );
+        // A single sequential component: enumerative.
+        assert_eq!(
+            Engine::Auto.resolve(&defs, &Process::call("copier")),
+            Engine::Enumerative
+        );
+        // Explicit choices always win.
+        assert_eq!(
+            Engine::Compiled.resolve(&defs, &Process::call("copier")),
+            Engine::Compiled
+        );
+        assert_eq!(
+            Engine::Enumerative.resolve(&defs, &Process::call("pipeline")),
+            Engine::Enumerative
+        );
+    }
+
+    #[test]
+    fn state_sets_behave_like_sets() {
+        let mut s = StateSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(StateId(3)));
+        assert!(s.insert(StateId(200)));
+        assert!(!s.insert(StateId(3)));
+        assert!(s.contains(StateId(200)) && !s.contains(StateId(4)));
+        assert_eq!(s.len(), 2);
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![StateId(3), StateId(200)]
+        );
+        let t: StateSet = [StateId(200), StateId(3)].into_iter().collect();
+        assert_eq!(s, t, "order-insensitive equality");
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let defs = examples::pipeline();
+        let uni = Universe::new(1);
+        let mut c = CompiledLts::new(&defs, &uni);
+        let a = c.start("pipeline", &Env::new());
+        let b = c.start("pipeline", &Env::new());
+        assert_eq!(a, b);
+        assert_eq!(c.num_states(), 1);
+    }
+
+    #[test]
+    fn compiled_traces_equal_enumerative_on_pipeline() {
+        let defs = examples::pipeline();
+        let uni = Universe::new(1);
+        let lts = Lts::new(&defs, &uni);
+        let env = Env::new();
+        for name in ["copier", "recopier", "pipeline"] {
+            for depth in 0..=4 {
+                let mut c = CompiledLts::new(&defs, &uni);
+                let start = c.start(name, &env);
+                let compiled = c.traces(start, depth).unwrap();
+                let enumerated = lts.traces(&lts.initial(name, &env), depth).unwrap();
+                assert_eq!(compiled, enumerated, "{name} at depth {depth}");
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_traces_equal_enumerative_on_protocol() {
+        let defs = examples::protocol();
+        let uni = Universe::new(0).with_named("M", [Value::nat(0), Value::nat(1)]);
+        let lts = Lts::new(&defs, &uni);
+        let env = Env::new();
+        for depth in 0..=3 {
+            let mut c = CompiledLts::new(&defs, &uni);
+            let start = c.start("protocol", &env);
+            let compiled = c.traces(start, depth).unwrap();
+            let enumerated = lts.traces(&lts.initial("protocol", &env), depth).unwrap();
+            assert_eq!(compiled, enumerated, "protocol at depth {depth}");
+        }
+    }
+
+    #[test]
+    fn compiled_traces_equal_enumerative_on_multiplier() {
+        let defs = parse_definitions(csp_lang::examples::MULTIPLIER_SRC).unwrap();
+        let env = examples::multiplier_env(&[2, 3, 5]);
+        let uni = Universe::new(10);
+        let lts = Lts::new(&defs, &uni);
+        let mut c = CompiledLts::new(&defs, &uni);
+        let start = c.intern(Config::new(Process::call("multiplier"), env.clone()));
+        let compiled = c.traces_budgeted(start, 4, 16).unwrap();
+        let enumerated = lts
+            .traces_budgeted(&Config::new(Process::call("multiplier"), env), 4, 16)
+            .unwrap();
+        assert_eq!(compiled, enumerated);
+        // The whole point: far fewer states than (trace, state) visits.
+        assert!(c.num_states() > 1);
+        assert!(c.num_states() < compiled.len() * 4);
+    }
+
+    #[test]
+    fn compiled_refinement_agrees_with_trace_subset() {
+        let defs = parse_definitions(
+            "spec = a?x:NAT -> spec | b!0 -> spec
+             good = a?x:NAT -> good
+             bad = c!9 -> bad",
+        )
+        .unwrap();
+        let uni = Universe::new(1);
+        let env = Env::new();
+        let mut c = CompiledLts::new(&defs, &uni);
+        let spec = c.start("spec", &env);
+        let good = c.start("good", &env);
+        let bad = c.start("bad", &env);
+        assert!(c.refines(good, spec, 3, 9).unwrap().is_ok());
+        let cex = c.refines(bad, spec, 3, 9).unwrap().unwrap_err();
+        assert_eq!(cex.len(), 1, "shortest counterexample: {cex}");
+        // Reflexivity.
+        assert!(c.refines(spec, spec, 3, 9).unwrap().is_ok());
+    }
+
+    #[test]
+    fn compiled_refinement_sees_through_hiding() {
+        // pipeline (with wire hidden) refines the one-place buffer spec
+        // only via τ-closure over the hidden synchronisations.
+        let defs = parse_definitions(
+            "copier = input?x:NAT -> wire!x -> copier
+             recopier = wire?y:NAT -> output!y -> recopier
+             pipeline = chan wire; (copier || recopier)
+             anyio = input?x:NAT -> anyio | output!0 -> anyio | output!1 -> anyio",
+        )
+        .unwrap();
+        let uni = Universe::new(1);
+        let env = Env::new();
+        let mut c = CompiledLts::new(&defs, &uni);
+        let impl_s = c.start("pipeline", &env);
+        let spec_s = c.start("anyio", &env);
+        assert!(c.refines(impl_s, spec_s, 3, 9).unwrap().is_ok());
+        // And the reverse direction fails: anyio can output before any
+        // input, which the pipeline never does.
+        let cex = c.refines(spec_s, impl_s, 3, 9).unwrap().unwrap_err();
+        assert!(cex.len() >= 1);
+    }
+
+    #[test]
+    fn rows_are_compiled_once() {
+        let defs = examples::pipeline();
+        let uni = Universe::new(1);
+        let mut c = CompiledLts::new(&defs, &uni);
+        let start = c.start("pipeline", &env_new());
+        c.traces(start, 3).unwrap();
+        let states = c.num_states();
+        let transitions = c.num_transitions();
+        // A second walk re-uses every row: no new states, no new rows.
+        c.traces(start, 3).unwrap();
+        assert_eq!(c.num_states(), states);
+        assert_eq!(c.num_transitions(), transitions);
+    }
+
+    fn env_new() -> Env {
+        Env::new()
+    }
+}

@@ -213,7 +213,7 @@ impl<'a> Semantics<'a> {
     }
 }
 
-fn resolve_chanrefs(cs: &[ChanRef], env: &Env) -> Result<ChannelSet, EvalError> {
+pub(crate) fn resolve_chanrefs(cs: &[ChanRef], env: &Env) -> Result<ChannelSet, EvalError> {
     cs.iter().map(|c| c.resolve(env)).collect()
 }
 

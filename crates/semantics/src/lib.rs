@@ -15,6 +15,12 @@
 //!   use.
 //! * [`compare`]/[`refines`] — trace-set equality and refinement with
 //!   counterexample reporting (e.g. the §4 identity `STOP | P = P`).
+//! * [`CompiledLts`] — the compiled backend: the same transition relation
+//!   with configurations interned into a [`StateId`] arena and successor
+//!   rows memoised, so reachability-style checks (deadlock, refinement)
+//!   run over [`StateSet`] bitsets instead of re-stepping terms.
+//!   [`Engine`] selects between the backends and is re-exported by
+//!   `csp-core` as the option-level selector.
 //!
 //! ```
 //! use csp_lang::{examples, Env};
@@ -33,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compiled;
 mod denote;
 mod equiv;
 mod lts;
@@ -40,6 +47,7 @@ mod universe;
 
 pub mod fixpoint;
 
+pub use compiled::{CompiledLts, CompiledStep, Engine, StateId, StateSet};
 pub use denote::Semantics;
 pub use equiv::{compare, refines, Discrepancy};
 pub use fixpoint::{fixpoint, fixpoint_with, Approximation, FixpointRun, ProcKey};

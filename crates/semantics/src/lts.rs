@@ -14,7 +14,8 @@
 //! exponentially cheaper for networks like the multiplier array and is
 //! what the benchmark harness uses for the larger experiments.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
 
 use csp_lang::{ChanRef, Definitions, Env, EvalError, Expr, Process};
 use csp_trace::{ChannelSet, Event, Trace, TraceSet};
@@ -25,13 +26,22 @@ use crate::Universe;
 /// variables (input payloads, array parameters, host constants).
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Config {
-    process: Process,
+    process: Arc<Process>,
     env: Env,
 }
 
 impl Config {
     /// Creates a configuration.
     pub fn new(process: Process, env: Env) -> Self {
+        Config {
+            process: Arc::new(process),
+            env,
+        }
+    }
+
+    /// A configuration sharing an existing term — successor construction
+    /// in the transition relation reuses unchanged subterms this way.
+    fn from_arc(process: Arc<Process>, env: Env) -> Self {
         Config { process, env }
     }
 
@@ -62,6 +72,13 @@ pub struct Lts<'a> {
     defs: &'a Definitions,
     universe: &'a Universe,
     fuel0: usize,
+    /// Resolved parallel alphabets, keyed by the explicit channel list.
+    /// Once a `||` has been expanded its alphabets are materialised into
+    /// every successor term as constant channel references, so the same
+    /// lists are re-resolved on every subsequent step of the network;
+    /// caching them skips that churn. Only constant (environment-free)
+    /// lists are cached. Shared across clones.
+    alpha_memo: Arc<Mutex<BTreeMap<Vec<ChanRef>, Arc<ChannelSet>>>>,
 }
 
 impl<'a> Lts<'a> {
@@ -71,7 +88,40 @@ impl<'a> Lts<'a> {
             defs,
             universe,
             fuel0: (defs.len() + 2).max(8),
+            alpha_memo: Arc::new(Mutex::new(BTreeMap::new())),
         }
+    }
+
+    /// The alphabet of one `||` operand: an explicit channel list is
+    /// resolved (with memoisation when it is constant), an absent one is
+    /// inferred from the operand's text.
+    fn resolve_alpha(
+        &self,
+        explicit: Option<&[ChanRef]>,
+        operand: &Process,
+        env: &Env,
+    ) -> Result<Arc<ChannelSet>, EvalError> {
+        let Some(refs) = explicit else {
+            return Ok(Arc::new(csp_lang::channel_alphabet(
+                operand, self.defs, env,
+            )?));
+        };
+        let constant = refs
+            .iter()
+            .all(|c| c.indices().iter().all(Expr::is_closed));
+        if constant {
+            if let Some(hit) = self.alpha_memo.lock().expect("alphabet memo").get(refs) {
+                return Ok(Arc::clone(hit));
+            }
+        }
+        let set = Arc::new(crate::denote::resolve_chanrefs(refs, env)?);
+        if constant {
+            self.alpha_memo
+                .lock()
+                .expect("alphabet memo")
+                .insert(refs.to_vec(), Arc::clone(&set));
+        }
+        Ok(set)
     }
 
     /// The initial configuration for a named process.
@@ -110,7 +160,7 @@ impl<'a> Lts<'a> {
                 let v = msg.eval(env)?;
                 Ok(vec![Step::Visible(
                     Event::new(c, v),
-                    Config::new((**then).clone(), env.clone()),
+                    Config::from_arc(Arc::clone(then), env.clone()),
                 )])
             }
             Process::Input {
@@ -125,7 +175,7 @@ impl<'a> Lts<'a> {
                 for v in self.universe.enumerate(&m)? {
                     out.push(Step::Visible(
                         Event::new(c.clone(), v.clone()),
-                        Config::new((**then).clone(), env.bind(var, v)),
+                        Config::from_arc(Arc::clone(then), env.bind(var, v)),
                     ));
                 }
                 Ok(out)
@@ -146,33 +196,40 @@ impl<'a> Lts<'a> {
                 // Alphabets are fixed at composition time (§1.2(7)); once
                 // computed they are materialised into successor terms so
                 // they do not drift as the operands evolve.
-                let (x, y) = crate::Semantics::new(self.defs, self.universe).parallel_alphabets(
-                    left,
-                    right,
-                    left_alpha.as_deref(),
-                    right_alpha.as_deref(),
-                    env,
-                )?;
+                let x = self.resolve_alpha(left_alpha.as_deref(), left, env)?;
+                let y = self.resolve_alpha(right_alpha.as_deref(), right, env)?;
                 let sync = x.intersection(&y);
                 let ls = self.steps_inner(left, env, fuel)?;
                 let rs = self.steps_inner(right, env, fuel)?;
                 let mut out = Vec::new();
-                let rebuild = |l: &Process, le: &Env, r: &Process, re: &Env| {
-                    // Operand environments can diverge (each side binds its
-                    // own input variables), so successors are closed with
-                    // their own environment before recombination. Host
-                    // constants (array cells like `v[1]`) are not variables
-                    // and survive in the shared outer environment.
-                    let lc =
-                        csp_lang::close_process(l, le).expect("closing with constants cannot fail");
-                    let rc =
-                        csp_lang::close_process(r, re).expect("closing with constants cannot fail");
-                    Process::Parallel {
-                        left: Box::new(lc),
-                        right: Box::new(rc),
-                        left_alpha: Some(channelset_to_refs(&x)),
-                        right_alpha: Some(channelset_to_refs(&y)),
+                let x_refs = channelset_to_refs(&x);
+                let y_refs = channelset_to_refs(&y);
+                // Operand environments can diverge (each side binds its own
+                // input variables), so successors are closed with their own
+                // environment before recombination. Host constants (array
+                // cells like `v[1]`) are not variables and survive in the
+                // shared outer environment. Closing is the identity on the
+                // (typical) already-closed operand, in which case the term
+                // is shared rather than copied.
+                let close_arc = |p: &Arc<Process>, e: &Env| -> Arc<Process> {
+                    if e.iter().any(|(v, _)| csp_lang::process_has_free(p, v)) {
+                        Arc::new(
+                            csp_lang::close_process(p, e)
+                                .expect("closing with constants cannot fail"),
+                        )
+                    } else {
+                        Arc::clone(p)
                     }
+                };
+                // The side that did not move is the same for every
+                // interleaved step: close it once and share it.
+                let left_stat = close_arc(left, env);
+                let right_stat = close_arc(right, env);
+                let rebuild = |l: Arc<Process>, r: Arc<Process>| Process::Parallel {
+                    left: l,
+                    right: r,
+                    left_alpha: Some(x_refs.clone()),
+                    right_alpha: Some(y_refs.clone()),
                 };
                 for step in &ls {
                     if let Step::Visible(e, lc) = step {
@@ -180,7 +237,10 @@ impl<'a> Lts<'a> {
                             out.push(Step::Visible(
                                 *e,
                                 Config::new(
-                                    rebuild(lc.process(), lc.env(), right, env),
+                                    rebuild(
+                                        close_arc(&lc.process, &lc.env),
+                                        Arc::clone(&right_stat),
+                                    ),
                                     env.clone(),
                                 ),
                             ));
@@ -193,10 +253,8 @@ impl<'a> Lts<'a> {
                                             *e,
                                             Config::new(
                                                 rebuild(
-                                                    lc.process(),
-                                                    lc.env(),
-                                                    rc.process(),
-                                                    rc.env(),
+                                                    close_arc(&lc.process, &lc.env),
+                                                    close_arc(&rc.process, &rc.env),
                                                 ),
                                                 env.clone(),
                                             ),
@@ -213,7 +271,10 @@ impl<'a> Lts<'a> {
                             out.push(Step::Visible(
                                 *e,
                                 Config::new(
-                                    rebuild(left, env, rc.process(), rc.env()),
+                                    rebuild(
+                                        Arc::clone(&left_stat),
+                                        close_arc(&rc.process, &rc.env),
+                                    ),
                                     env.clone(),
                                 ),
                             ));
@@ -228,37 +289,27 @@ impl<'a> Lts<'a> {
                     .map(|c| c.resolve(env))
                     .collect::<Result<_, _>>()?;
                 let mut out = Vec::new();
+                // Successor configs are owned here, so the hiding wrapper is
+                // rebuilt around the *moved* body term — no deep copy.
+                let rewrap = |c: Config| {
+                    Config::new(
+                        Process::Hide {
+                            channels: channels.clone(),
+                            body: c.process,
+                        },
+                        c.env,
+                    )
+                };
                 for step in self.steps_inner(body, env, fuel)? {
                     match step {
                         Step::Visible(e, c) if hidden.contains(e.channel()) => {
-                            out.push(Step::Internal(Config::new(
-                                Process::Hide {
-                                    channels: channels.clone(),
-                                    body: Box::new(c.process().clone()),
-                                },
-                                c.env().clone(),
-                            )));
+                            out.push(Step::Internal(rewrap(c)));
                         }
                         Step::Visible(e, c) => {
-                            out.push(Step::Visible(
-                                e,
-                                Config::new(
-                                    Process::Hide {
-                                        channels: channels.clone(),
-                                        body: Box::new(c.process().clone()),
-                                    },
-                                    c.env().clone(),
-                                ),
-                            ));
+                            out.push(Step::Visible(e, rewrap(c)));
                         }
                         Step::Internal(c) => {
-                            out.push(Step::Internal(Config::new(
-                                Process::Hide {
-                                    channels: channels.clone(),
-                                    body: Box::new(c.process().clone()),
-                                },
-                                c.env().clone(),
-                            )));
+                            out.push(Step::Internal(rewrap(c)));
                         }
                     }
                 }

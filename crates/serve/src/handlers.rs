@@ -19,8 +19,8 @@ use std::time::Instant;
 
 use csp_core::obs::{json_string, parse_json, JsonValue};
 use csp_core::{
-    hash_field, render_json, AnalysisDb, Env, FaultPlan, ParseError, RunOptions, SatResult,
-    Scheduler, Universe, Value, Workbench, HASH_SEED,
+    hash_field, render_json, AnalysisDb, Engine, Env, FaultPlan, ParseError, Process, RunOptions,
+    SatOptions, SatResult, Scheduler, Universe, Value, Workbench, HASH_SEED,
 };
 
 use crate::http::{Request, Response};
@@ -187,6 +187,14 @@ fn handle_verify(
         let body = run(state, &p)?;
         return Ok((Arc::from(body), CacheStatus::Bypass));
     }
+    // Engine-aware endpoints count their selector per request (hits
+    // included), so /metrics shows the backend mix regardless of cache
+    // temperature.
+    if matches!(endpoint, "check" | "prove") {
+        state
+            .collector()
+            .add(format!("serve.engine.{}", p.engine.as_str()), 1);
+    }
     let key = p.cache_key(endpoint);
     if let Some(hit) = state.cache().get(key) {
         return Ok((hit, CacheStatus::Hit));
@@ -242,21 +250,28 @@ fn check(state: &ServeState, p: &Params) -> Result<String, HandlerError> {
         .checkout(p.wb_key(), || p.build_workbench())
         .map_err(HandlerError::miss)?;
     let session = pooled.wb.session_with(state.collector().clone());
-    let verdict = session.check_sat(process, assertion, p.depth);
+    let verdict = session.check_sat(
+        process,
+        assertion,
+        SatOptions::from(p.depth).with_engine(p.engine),
+    );
     let data = match verdict {
         Ok(SatResult::Holds {
             traces_checked,
             depth,
+            engine,
         }) => format!(
-            "{{\"process\":{},\"assertion\":{},\"holds\":true,\
+            "{{\"process\":{},\"assertion\":{},\"engine\":{},\"holds\":true,\
              \"traces_checked\":{traces_checked},\"depth\":{depth}}}",
             json_string(process),
             json_string(assertion),
+            json_string(engine.as_str()),
         ),
-        Ok(SatResult::Counterexample { trace }) => format!(
-            "{{\"process\":{},\"assertion\":{},\"holds\":false,\"counterexample\":{}}}",
+        Ok(SatResult::Counterexample { trace, engine }) => format!(
+            "{{\"process\":{},\"assertion\":{},\"engine\":{},\"holds\":false,\"counterexample\":{}}}",
             json_string(process),
             json_string(assertion),
+            json_string(engine.as_str()),
             json_string(&trace.to_string()),
         ),
         Err(e) => {
@@ -298,15 +313,23 @@ fn prove(state: &ServeState, p: &Params) -> Result<String, HandlerError> {
             )
         })
         .collect();
+    // The proof checker itself is symbolic; the engine member reports
+    // what the selector resolves to for the concluded process, so
+    // callers see the same resolution `check` would use.
+    let resolved = p
+        .engine
+        .resolve(pooled.wb.definitions(), &Process::call(&p.specs[0].0));
     let data = match session.prove_auto(&specs) {
         Ok(report) => format!(
-            "{{\"specs\":[{}],\"proved\":true,\"rules\":{}}}",
+            "{{\"specs\":[{}],\"engine\":{},\"proved\":true,\"rules\":{}}}",
             specs_json.join(","),
+            json_string(resolved.as_str()),
             report.rule_count(),
         ),
         Err(e) => format!(
-            "{{\"specs\":[{}],\"proved\":false,\"error\":{}}}",
+            "{{\"specs\":[{}],\"engine\":{},\"proved\":false,\"error\":{}}}",
             specs_json.join(","),
+            json_string(resolved.as_str()),
             json_string(&e.to_string()),
         ),
     };
@@ -489,6 +512,7 @@ struct Params {
     binds: Vec<(String, Vec<i64>)>,
     channels: Vec<String>,
     fault_plan: Option<String>,
+    engine: Engine,
 }
 
 impl Params {
@@ -603,6 +627,10 @@ impl Params {
             binds,
             channels,
             fault_plan: str_field("fault_plan")?,
+            engine: match str_field("engine")? {
+                Some(s) => s.parse::<Engine>()?,
+                None => Engine::Auto,
+            },
         })
     }
 
@@ -627,6 +655,9 @@ impl Params {
         h = hash_field(h, &(self.depth as u64).to_le_bytes());
         h = hash_field(h, &(self.steps as u64).to_le_bytes());
         h = hash_field(h, &self.seed.to_le_bytes());
+        // Compiled and enumerative responses carry their engine in the
+        // body, so they must never alias in the cache.
+        h = hash_field(h, self.engine.as_str().as_bytes());
         h
     }
 

@@ -47,6 +47,7 @@ mod channel;
 mod display;
 mod event;
 pub mod fx;
+pub mod hash;
 mod history;
 mod interleave;
 mod intern;

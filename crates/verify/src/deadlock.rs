@@ -18,7 +18,7 @@
 use std::collections::BTreeSet;
 
 use csp_lang::{Definitions, Env, EvalError, Process};
-use csp_semantics::{Config, Lts, Step, Universe};
+use csp_semantics::{CompiledLts, CompiledStep, Config, Lts, StateSet, Step, Universe};
 use csp_trace::Trace;
 
 /// A reachable dead configuration.
@@ -115,6 +115,64 @@ pub fn find_deadlocks(
     Ok(report)
 }
 
+/// The compiled-backend mirror of [`find_deadlocks`]: the identical
+/// breadth-first search run over a [`CompiledLts`] arena, with the seen
+/// set a [`StateSet`] bitset instead of an ordered configuration set and
+/// every re-visit a row lookup instead of a re-step. Produces the same
+/// report (same witnesses, same order, same `states_explored`) — the
+/// equivalence is asserted by the property harness in `tests/`.
+///
+/// # Errors
+///
+/// Propagates evaluation failures from the transition relation.
+pub fn find_deadlocks_compiled(
+    defs: &Definitions,
+    universe: &Universe,
+    process: &Process,
+    env: &Env,
+    depth: usize,
+) -> Result<DeadlockReport, EvalError> {
+    let mut lts = CompiledLts::new(defs, universe);
+    let mut report = DeadlockReport::default();
+    let mut seen = StateSet::new();
+    let mut dead_seen: BTreeSet<String> = BTreeSet::new();
+    let start = lts.intern(Config::new(process.clone(), env.clone()));
+    let mut frontier = vec![(start, Trace::empty(), 0usize)];
+    seen.insert(start);
+
+    while let Some((id, trace, internal_used)) = pop_front(&mut frontier) {
+        report.states_explored += 1;
+        let n = lts.steps_of(id)?.len();
+        if n == 0 {
+            let state = lts.state(id).process().to_string();
+            if dead_seen.insert(state.clone()) {
+                report.deadlocks.push(Deadlock {
+                    trace: trace.clone(),
+                    terminated: all_stop(lts.state(id).process()),
+                    state,
+                });
+            }
+            continue;
+        }
+        for k in 0..n {
+            match lts.steps_of(id)?[k].clone() {
+                CompiledStep::Visible(e, next) => {
+                    if trace.len() < depth && seen.insert(next) {
+                        frontier.push((next, trace.snoc(e), internal_used));
+                    }
+                }
+                CompiledStep::Internal(next) => {
+                    if internal_used < depth * 3 && seen.insert(next) {
+                        frontier.push((next, trace.clone(), internal_used + 1));
+                    }
+                }
+            }
+        }
+    }
+    report.complete = true;
+    Ok(report)
+}
+
 fn pop_front<T>(v: &mut Vec<T>) -> Option<T> {
     if v.is_empty() {
         None
@@ -203,6 +261,37 @@ mod tests {
         let hidden = parse_process("chan a; lp").unwrap();
         let report = find_deadlocks(&defs, &uni, &hidden, &Env::new(), 2).unwrap();
         assert!(report.deadlocks.is_empty());
+    }
+
+    #[test]
+    fn compiled_search_matches_enumerative_reports() {
+        let fixtures: Vec<(Definitions, &str)> = vec![
+            (examples::pipeline(), "pipeline"),
+            (
+                parse_definitions(
+                    "left = w!1 -> w!2 -> STOP
+                     right = w?x:{1} -> w?y:{9} -> STOP
+                     net = left || right",
+                )
+                .unwrap(),
+                "net",
+            ),
+            (parse_definitions("once = a!1 -> b!2 -> STOP").unwrap(), "once"),
+        ];
+        for (defs, name) in &fixtures {
+            let uni = Universe::new(9);
+            let p = Process::call(name);
+            let a = find_deadlocks(defs, &uni, &p, &Env::new(), 4).unwrap();
+            let b = find_deadlocks_compiled(defs, &uni, &p, &Env::new(), 4).unwrap();
+            assert_eq!(a.states_explored, b.states_explored, "{name}");
+            assert_eq!(a.complete, b.complete);
+            assert_eq!(a.deadlocks.len(), b.deadlocks.len(), "{name}");
+            for (x, y) in a.deadlocks.iter().zip(&b.deadlocks) {
+                assert_eq!(x.trace, y.trace, "{name}");
+                assert_eq!(x.state, y.state, "{name}");
+                assert_eq!(x.terminated, y.terminated, "{name}");
+            }
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use csp_assert::{AssertError, Assertion, EvalCtx, FuncTable};
 use csp_lang::{Definitions, Env, Process};
 use csp_obs::Collector;
-use csp_semantics::{Config, Lts, Universe};
+use csp_semantics::{CompiledLts, Config, Engine, Lts, Universe};
 use csp_trace::Trace;
 use rayon::prelude::*;
 
@@ -26,11 +26,15 @@ pub enum SatResult {
         traces_checked: usize,
         /// The exploration depth.
         depth: usize,
+        /// The backend that produced the verdict (never `Auto`).
+        engine: Engine,
     },
     /// A reachable trace falsifies the assertion.
     Counterexample {
         /// The falsifying trace.
         trace: Trace,
+        /// The backend that produced the verdict (never `Auto`).
+        engine: Engine,
     },
 }
 
@@ -38,6 +42,13 @@ impl SatResult {
     /// True if no counterexample was found.
     pub fn holds(&self) -> bool {
         matches!(self, SatResult::Holds { .. })
+    }
+
+    /// The backend that answered (resolved, never [`Engine::Auto`]).
+    pub fn engine(&self) -> Engine {
+        match self {
+            SatResult::Holds { engine, .. } | SatResult::Counterexample { engine, .. } => *engine,
+        }
     }
 }
 
@@ -50,6 +61,7 @@ pub struct SatChecker<'a> {
     env: Env,
     internal_budget_factor: usize,
     collector: Collector,
+    engine: Engine,
 }
 
 impl<'a> SatChecker<'a> {
@@ -63,7 +75,16 @@ impl<'a> SatChecker<'a> {
             env: Env::new(),
             internal_budget_factor: 3,
             collector: Collector::disabled(),
+            engine: Engine::Auto,
         }
+    }
+
+    /// Selects the verification backend; [`Engine::Auto`] (the default)
+    /// picks per query based on the network shape.
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
     }
 
     /// Replaces the host environment (e.g. the multiplier's vector).
@@ -111,12 +132,23 @@ impl<'a> SatChecker<'a> {
     ) -> Result<SatResult, AssertError> {
         let mut root = self.collector.span("satcheck");
         root.record("depth", depth);
-        let lts = Lts::new(self.defs, self.universe);
+        let engine = self.engine.resolve(self.defs, process);
+        root.record("engine", engine.as_str());
         let start = Config::new(process.clone(), self.env.clone());
         let explore_span = root.child("satcheck.explore");
-        let traces = lts
-            .traces_budgeted(&start, depth, depth * self.internal_budget_factor)
-            .map_err(AssertError::Eval)?;
+        let budget = depth * self.internal_budget_factor;
+        let traces = match engine {
+            Engine::Compiled => {
+                let mut compiled = CompiledLts::new(self.defs, self.universe);
+                let s = compiled.intern(start);
+                compiled
+                    .traces_budgeted(s, depth, budget)
+                    .map_err(AssertError::Eval)?
+            }
+            _ => Lts::new(self.defs, self.universe)
+                .traces_budgeted(&start, depth, budget)
+                .map_err(AssertError::Eval)?,
+        };
         explore_span.end();
         // Each moment is checked independently; fan out, then scan the
         // verdicts in trace order so the reported counterexample is the
@@ -140,6 +172,7 @@ impl<'a> SatChecker<'a> {
                 root.record("counterexample", true);
                 return Ok(SatResult::Counterexample {
                     trace: trace.clone(),
+                    engine,
                 });
             }
             checked += 1;
@@ -148,6 +181,7 @@ impl<'a> SatChecker<'a> {
         Ok(SatResult::Holds {
             traces_checked: checked,
             depth,
+            engine,
         })
     }
 
@@ -189,7 +223,7 @@ mod tests {
         let res = checker.check_name("copier", &r, 5).unwrap();
         match res {
             SatResult::Holds { traces_checked, .. } => assert!(traces_checked > 10),
-            SatResult::Counterexample { trace } => panic!("spurious cex: {trace}"),
+            SatResult::Counterexample { trace, .. } => panic!("spurious cex: {trace}"),
         }
     }
 
@@ -201,7 +235,7 @@ mod tests {
         let r = parse_assertion("input <= wire", &info()).unwrap();
         let res = checker.check_name("copier", &r, 4).unwrap();
         match res {
-            SatResult::Counterexample { trace } => {
+            SatResult::Counterexample { trace, .. } => {
                 // Minimal counterexample: one input, no wire yet.
                 assert_eq!(trace.len(), 1);
             }
@@ -281,6 +315,60 @@ mod tests {
         )
         .unwrap();
         assert!(!checker.check_name("multiplier", &wrong, 4).unwrap().holds());
+    }
+
+    #[test]
+    fn engines_agree_and_report_themselves() {
+        let defs = examples::pipeline();
+        let uni = Universe::new(1);
+        let r = parse_assertion("output <= input", &info()).unwrap();
+        let wrong = parse_assertion("input <= output", &info()).unwrap();
+        for name in ["copier", "pipeline"] {
+            let base = SatChecker::new(&defs, &uni);
+            for assertion in [&r, &wrong] {
+                let enumerative = base
+                    .clone()
+                    .with_engine(Engine::Enumerative)
+                    .check_name(name, assertion, 4)
+                    .unwrap();
+                let compiled = base
+                    .clone()
+                    .with_engine(Engine::Compiled)
+                    .check_name(name, assertion, 4)
+                    .unwrap();
+                assert_eq!(enumerative.engine(), Engine::Enumerative);
+                assert_eq!(compiled.engine(), Engine::Compiled);
+                assert_eq!(enumerative.holds(), compiled.holds(), "{name}");
+                // Identical exploration order ⇒ identical verdict detail.
+                match (&enumerative, &compiled) {
+                    (
+                        SatResult::Holds {
+                            traces_checked: a, ..
+                        },
+                        SatResult::Holds {
+                            traces_checked: b, ..
+                        },
+                    ) => assert_eq!(a, b, "{name}"),
+                    (
+                        SatResult::Counterexample { trace: a, .. },
+                        SatResult::Counterexample { trace: b, .. },
+                    ) => assert_eq!(a, b, "{name}"),
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_picks_compiled_for_networks_only() {
+        let defs = examples::pipeline();
+        let uni = Universe::new(1);
+        let checker = SatChecker::new(&defs, &uni);
+        let r = parse_assertion("wire <= input", &info()).unwrap();
+        let res = checker.check_name("copier", &r, 3).unwrap();
+        assert_eq!(res.engine(), Engine::Enumerative);
+        let res = checker.check_name("pipeline", &r, 3).unwrap();
+        assert_eq!(res.engine(), Engine::Compiled);
     }
 
     #[test]

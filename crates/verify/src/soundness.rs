@@ -217,7 +217,7 @@ fn validate_output(seed: u64, instances: usize) -> Result<RuleReport, csp_assert
         let out = Process::Output {
             chan: c,
             msg: e,
-            then: Box::new(p.clone()),
+            then: std::sync::Arc::new(p.clone()),
         };
         if !holds(&defs, &out, &r)? {
             report.violations.push(format!("{out} !sat {r}"));
@@ -262,7 +262,7 @@ fn validate_input(seed: u64, instances: usize) -> Result<RuleReport, csp_assert:
             chan: c,
             var: "fresh_x".to_string(),
             set,
-            then: Box::new(p.clone()),
+            then: std::sync::Arc::new(p.clone()),
         };
         if !holds(&defs, &inp, &r)? {
             report.violations.push(format!("{inp} !sat {r}"));

@@ -26,10 +26,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Model-check the §2 invariant `output ≤ input`.
     match wb.check_sat("pipeline", "output <= input", 4)? {
-        SatResult::Holds { traces_checked, .. } => {
-            println!("\nmodel check: output <= input holds on {traces_checked} traces");
+        SatResult::Holds {
+            traces_checked,
+            engine,
+            ..
+        } => {
+            println!(
+                "\nmodel check: output <= input holds on {traces_checked} traces \
+                 (engine {engine})"
+            );
         }
-        SatResult::Counterexample { trace } => {
+        SatResult::Counterexample { trace, .. } => {
             println!("\nmodel check FAILED: {trace}");
             return Ok(());
         }

@@ -5,17 +5,28 @@
 //! csp validate  <file.csp> [--json]          (deprecated alias of lint)
 //! csp traces    <file.csp> --process NAME [--depth N] [--nat-bound K]
 //! csp check     <file.csp> --process NAME --assert EXPR [--depth N]
+//!               [--engine enumerative|compiled|auto]
 //! csp prove     <file.csp> --spec NAME=EXPR [--spec NAME=EXPR ...]
+//!               [--engine enumerative|compiled|auto] [--json]
 //! csp run       <file.csp> --process NAME [--steps N] [--seed S]
 //!               [--fault-plan SPEC] [--deadline-ms T] [--livelock-window W]
 //!               [--watch[=MS]]
 //! csp deadlock  <file.csp> --process NAME [--depth N]
 //! csp profile   <file.csp> [--depth N] [--folded-out PATH]
 //!               [--diff OLD.json] [--noise-ms X]
-//! csp bench     report [--history PATH]
+//! csp bench     report [--history PATH] [--engine E]
 //! csp serve     [--addr HOST:PORT] [--workers N] [--cache-cap N]
 //! csp lsp
 //! ```
+//!
+//! Verification commands (`check`, `prove`, `deadlock`) accept
+//! `--engine enumerative|compiled|auto` to pick the backend: the
+//! enumerative engine re-derives traces from the operational semantics
+//! on every visit, while the compiled engine interns reachable states
+//! into an explicit LTS and answers by bitset reachability. `auto` (the
+//! default) selects compiled for networks (`||` / `chan … ;` hiding) and
+//! enumerative for sequential processes. Verdicts agree; the resolved
+//! engine is reported in `--json` envelopes as `"engine"`.
 //!
 //! Common options: `--nat-bound K` (finite carrier for NAT, default 2),
 //! `--set M=v1,v2,…` (interpret a named abstract set), `--bind v=1,2,3`
@@ -116,22 +127,29 @@ const USAGE: &str = "usage:
                 DEPRECATED: alias of `csp lint`; use `csp lint` directly
   csp traces    <file.csp> --process NAME [--depth N]
   csp check     <file.csp> --process NAME --assert EXPR [--depth N]
+                [--engine enumerative|compiled|auto]
   csp prove     <file.csp> --spec NAME=EXPR [--spec NAME=EXPR ...]
+                [--engine enumerative|compiled|auto] [--json]
   csp run       <file.csp> --process NAME [--steps N] [--seed S]
                 [--fault-plan SPEC] [--deadline-ms T] [--livelock-window W]
                 [--watch[=MS]]
   csp deadlock  <file.csp> --process NAME [--depth N]
+                [--engine enumerative|compiled|auto]
   csp profile   <file.csp> [--depth N] [--folded-out PATH]
                 [--process NAME --assert EXPR] [--diff OLD.json]
-  csp bench     report [--history PATH]
+  csp bench     report [--history PATH] [--engine E]
   csp serve     [--addr HOST:PORT] [--workers N] [--cache-cap N]
                 persistent HTTP verification service (see below)
   csp lsp       speak the Language Server Protocol over stdio
 options:
   --json               machine-readable output, wrapped in the versioned
                        envelope {\"schema\":\"csp/v1\",\"command\":…,\"data\":…}
-                       (lint/validate/check/profile)
+                       (lint/validate/check/prove/profile)
   --deny warnings      treat lint warnings as errors (exit 1)
+  --engine E           verification backend for check/prove/deadlock:
+                       enumerative (trace re-derivation), compiled
+                       (interned-state LTS + bitset reachability), or
+                       auto (compiled for networks; the default)
   --trace-out PATH     write the recorded span stream as JSONL
                        (lint/check/prove/run/profile)
   --chrome-out PATH    write the span tree as Chrome trace-event JSON
@@ -182,6 +200,7 @@ struct Opts {
     process: Option<String>,
     assertion: Option<String>,
     specs: Vec<(String, String)>,
+    engine: Engine,
     depth: usize,
     steps: usize,
     seed: u64,
@@ -211,6 +230,7 @@ fn parse_opts(args: &[String], multi_file: bool) -> Result<Opts, String> {
         process: None,
         assertion: None,
         specs: Vec::new(),
+        engine: Engine::Auto,
         depth: 4,
         steps: 32,
         seed: 0,
@@ -257,6 +277,7 @@ fn parse_opts(args: &[String], multi_file: bool) -> Result<Opts, String> {
                 opts.specs
                     .push((name.trim().to_string(), inv.trim().to_string()));
             }
+            "--engine" => opts.engine = value("--engine")?.parse()?,
             "--depth" => {
                 opts.depth = value("--depth")?
                     .parse()
@@ -529,41 +550,49 @@ fn dispatch(args: &[String]) -> Result<bool, String> {
                 .ok_or_else(|| "--assert EXPR is required".to_string())?;
             let session = observed_session(&wb, &opts);
             let verdict = session
-                .check_sat(name, assertion, opts.depth)
+                .check_sat(
+                    name,
+                    assertion,
+                    SatOptions::from(opts.depth).with_engine(opts.engine),
+                )
                 .map_err(|e| e.to_string())?;
             let clean = match &verdict {
                 SatResult::Holds {
                     traces_checked,
                     depth,
+                    engine,
                 } => {
                     if opts.json {
                         let mut data = format!(
                             "{{\"process\":{name:?},\"assertion\":{assertion:?},\
                              \"holds\":true,\"traces_checked\":{traces_checked},\
-                             \"depth\":{depth}"
+                             \"depth\":{depth},\"engine\":{:?}",
+                            engine.as_str()
                         );
                         append_metrics(&mut data, &session, &opts);
                         data.push('}');
                         println!("{}", envelope("check", &data));
                     } else {
                         println!(
-                            "holds: {name} sat {assertion} on {traces_checked} traces (depth {depth})"
+                            "holds: {name} sat {assertion} on {traces_checked} traces \
+                             (depth {depth}, engine {engine})"
                         );
                     }
                     true
                 }
-                SatResult::Counterexample { trace } => {
+                SatResult::Counterexample { trace, engine } => {
                     if opts.json {
                         let mut data = format!(
                             "{{\"process\":{name:?},\"assertion\":{assertion:?},\
-                             \"holds\":false,\"counterexample\":{:?}",
-                            trace.to_string()
+                             \"holds\":false,\"counterexample\":{:?},\"engine\":{:?}",
+                            trace.to_string(),
+                            engine.as_str()
                         );
                         append_metrics(&mut data, &session, &opts);
                         data.push('}');
                         println!("{}", envelope("check", &data));
                     } else {
-                        println!("REFUTED: {name} sat {assertion}");
+                        println!("REFUTED: {name} sat {assertion} (engine {engine})");
                         println!("counterexample: {trace}");
                         print!("{}", timeline(trace));
                     }
@@ -583,14 +612,54 @@ fn dispatch(args: &[String]) -> Result<bool, String> {
                 .map(|(n, a)| (n.as_str(), a.as_str()))
                 .collect();
             let session = observed_session(&wb, &opts);
+            // The proof checker itself is symbolic — the engine matters
+            // only to the model-checking cross-validation — but the
+            // envelope still reports what the selection resolves to for
+            // the first spec's process, so callers see one consistent
+            // `"engine"` member across check and prove.
+            let resolved = opts
+                .engine
+                .resolve(wb.definitions(), &Process::call(specs[0].0));
             let clean = match session.prove_auto(&specs) {
                 Ok(report) => {
                     let title = format!("proof: {} sat {}", specs[0].0, specs[0].1);
-                    println!("{}", render_report(&title, &report));
+                    if opts.json {
+                        let spec_json: Vec<String> = specs
+                            .iter()
+                            .map(|(n, a)| format!("{{\"name\":{n:?},\"assertion\":{a:?}}}"))
+                            .collect();
+                        let mut data = format!(
+                            "{{\"specs\":[{}],\"proved\":true,\"engine\":{:?},\"report\":{}",
+                            spec_json.join(","),
+                            resolved.as_str(),
+                            csp::obs::json_string(&render_report(&title, &report))
+                        );
+                        append_metrics(&mut data, &session, &opts);
+                        data.push('}');
+                        println!("{}", envelope("prove", &data));
+                    } else {
+                        println!("{}", render_report(&title, &report));
+                    }
                     true
                 }
                 Err(e) => {
-                    println!("proof failed: {e}");
+                    if opts.json {
+                        let spec_json: Vec<String> = specs
+                            .iter()
+                            .map(|(n, a)| format!("{{\"name\":{n:?},\"assertion\":{a:?}}}"))
+                            .collect();
+                        let mut data = format!(
+                            "{{\"specs\":[{}],\"proved\":false,\"engine\":{:?},\"error\":{}",
+                            spec_json.join(","),
+                            resolved.as_str(),
+                            csp::obs::json_string(&e.to_string())
+                        );
+                        append_metrics(&mut data, &session, &opts);
+                        data.push('}');
+                        println!("{}", envelope("prove", &data));
+                    } else {
+                        println!("proof failed: {e}");
+                    }
                     false
                 }
             };
@@ -649,7 +718,9 @@ fn dispatch(args: &[String]) -> Result<bool, String> {
         }
         "deadlock" => {
             let name = need_process(&opts)?;
-            let report = wb.deadlocks(name, opts.depth).map_err(|e| e.to_string())?;
+            let report = wb
+                .deadlocks(name, SatOptions::from(opts.depth).with_engine(opts.engine))
+                .map_err(|e| e.to_string())?;
             println!(
                 "explored {} state(s) to depth {}",
                 report.states_explored, opts.depth
@@ -930,7 +1001,11 @@ fn run_profile(opts: &Opts) -> Result<bool, String> {
         if let (Some(name), Some(assertion)) = (opts.process.as_deref(), opts.assertion.as_deref())
         {
             session
-                .check_sat(name, assertion, opts.depth)
+                .check_sat(
+                    name,
+                    assertion,
+                    SatOptions::from(opts.depth).with_engine(opts.engine),
+                )
                 .map_err(|e| e.to_string())
                 .map(|_| ())
         } else {
@@ -1134,6 +1209,7 @@ fn run_bench_report(args: &[String]) -> Result<bool, String> {
         None => return Err("bench expects a subcommand: `csp bench report`".to_string()),
     }
     let mut history = "BENCH_history.jsonl".to_string();
+    let mut engine_filter: Option<Engine> = None;
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--history" => {
@@ -1141,6 +1217,13 @@ fn run_bench_report(args: &[String]) -> Result<bool, String> {
                     .next()
                     .cloned()
                     .ok_or_else(|| "--history requires a value".to_string())?;
+            }
+            "--engine" => {
+                engine_filter = Some(
+                    it.next()
+                        .ok_or_else(|| "--engine requires a value".to_string())?
+                        .parse()?,
+                );
             }
             other => return Err(format!("unknown option `{other}` for `bench report`")),
         }
@@ -1150,6 +1233,7 @@ fn run_bench_report(args: &[String]) -> Result<bool, String> {
         samples: u64,
         total_wall_ms: f64,
         benches: Vec<(String, f64)>,
+        engines: Vec<(String, String)>,
     }
     let src =
         std::fs::read_to_string(&history).map_err(|e| format!("cannot read {history}: {e}"))?;
@@ -1170,6 +1254,17 @@ fn run_bench_report(args: &[String]) -> Result<bool, String> {
             .iter()
             .filter_map(|(name, ms)| ms.as_f64().map(|ms| (name.clone(), ms)))
             .collect();
+        // Rows written before the engine split have no engines map.
+        let engines = v
+            .get("engines")
+            .and_then(JsonValue::entries)
+            .map(|entries| {
+                entries
+                    .iter()
+                    .filter_map(|(name, e)| e.as_str().map(|e| (name.clone(), e.to_string())))
+                    .collect()
+            })
+            .unwrap_or_default();
         rows.push(Row {
             unix_ms: v.get("unix_ms").and_then(JsonValue::as_u64).unwrap_or(0),
             samples: v.get("samples").and_then(JsonValue::as_u64).unwrap_or(0),
@@ -1178,6 +1273,7 @@ fn run_bench_report(args: &[String]) -> Result<bool, String> {
                 .and_then(JsonValue::as_f64)
                 .unwrap_or(0.0),
             benches,
+            engines,
         });
     }
     if rows.is_empty() {
@@ -1207,8 +1303,26 @@ fn run_bench_report(args: &[String]) -> Result<bool, String> {
     }
     let (first, last) = (&rows[0], &rows[rows.len() - 1]);
     if rows.len() > 1 {
-        println!("per-bench (first → last):");
+        match &engine_filter {
+            Some(e) => println!("per-bench (first → last, engine {e}):"),
+            None => println!("per-bench (first → last):"),
+        }
+        let mut shown = 0usize;
         for (name, new_ms) in &last.benches {
+            let engine = last
+                .engines
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, e)| e.as_str());
+            if let Some(want) = &engine_filter {
+                // Only benches recorded on the requested engine; rows
+                // written before the engine split never match.
+                if engine != Some(want.as_str()) {
+                    continue;
+                }
+            }
+            shown += 1;
+            let tag = engine.map(|e| format!("  [{e}]")).unwrap_or_default();
             let old = first
                 .benches
                 .iter()
@@ -1216,10 +1330,15 @@ fn run_bench_report(args: &[String]) -> Result<bool, String> {
                 .map(|(_, ms)| *ms);
             match old {
                 Some(old_ms) if old_ms > 0.0 => println!(
-                    "  {name:<28} {old_ms:>10.3} → {new_ms:>10.3} ms  {:+.1}%",
+                    "  {name:<28} {old_ms:>10.3} → {new_ms:>10.3} ms  {:+.1}%{tag}",
                     (new_ms - old_ms) / old_ms * 100.0
                 ),
-                _ => println!("  {name:<28} {:>10} → {new_ms:>10.3} ms  (new)", "—"),
+                _ => println!("  {name:<28} {:>10} → {new_ms:>10.3} ms  (new){tag}", "—"),
+            }
+        }
+        if let Some(e) = &engine_filter {
+            if shown == 0 {
+                println!("  no benches recorded on engine {e}");
             }
         }
     }

@@ -647,6 +647,207 @@ fn bench_report_renders_the_history_trajectory() {
     assert!(stdout.contains("+12.4%"), "{stdout}");
 }
 
+/// `--engine` pins the backend, and the human-readable verdict names the
+/// engine that actually ran — so a log line is enough to tell which
+/// semantics produced it.
+#[test]
+fn check_engine_flag_selects_the_backend() {
+    let f = write_fixture("engine_flag.csp", PIPELINE);
+    let path = f.to_str().unwrap();
+    let base = [
+        "check",
+        path,
+        "--process",
+        "pipeline",
+        "--assert",
+        "output <= input",
+        "--depth",
+        "3",
+        "--nat-bound",
+        "1",
+    ];
+    for engine in ["enumerative", "compiled"] {
+        let mut args = base.to_vec();
+        args.extend_from_slice(&["--engine", engine]);
+        let (stdout, _, code) = csp(&args);
+        assert_eq!(code, Some(0), "{stdout}");
+        assert!(
+            stdout.contains(&format!("(depth 3, engine {engine})")),
+            "{stdout}"
+        );
+    }
+}
+
+/// Without `--engine`, `Auto` resolves per query: compiled for the hidden
+/// `pipeline` network, enumerative for the sequential `copier` — and the
+/// report shows the resolved engine, never the literal `auto`.
+#[test]
+fn check_auto_engine_resolves_per_process_shape() {
+    let f = write_fixture("engine_auto.csp", PIPELINE);
+    let path = f.to_str().unwrap();
+    let (stdout, _, code) = csp(&[
+        "check",
+        path,
+        "--process",
+        "pipeline",
+        "--assert",
+        "output <= input",
+        "--depth",
+        "3",
+        "--nat-bound",
+        "1",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("engine compiled)"), "{stdout}");
+
+    let (stdout, _, code) = csp(&[
+        "check",
+        path,
+        "--process",
+        "copier",
+        "--assert",
+        "wire <= input",
+        "--depth",
+        "3",
+        "--nat-bound",
+        "1",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("engine enumerative)"), "{stdout}");
+}
+
+#[test]
+fn check_rejects_unknown_engines_as_usage_errors() {
+    let f = write_fixture("engine_bad.csp", PIPELINE);
+    let (_, stderr, code) = csp(&[
+        "check",
+        f.to_str().unwrap(),
+        "--process",
+        "pipeline",
+        "--assert",
+        "output <= input",
+        "--engine",
+        "quantum",
+    ]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("unknown engine `quantum`"), "{stderr}");
+    assert!(
+        stderr.contains("expected `enumerative`, `compiled`, or `auto`"),
+        "{stderr}"
+    );
+}
+
+/// The `csp/v1` check envelope records the engine that ran, so machine
+/// consumers can split verdicts per backend.
+#[test]
+fn check_json_envelope_reports_the_engine() {
+    let f = write_fixture("engine_json.csp", PIPELINE);
+    let path = f.to_str().unwrap();
+    for engine in ["enumerative", "compiled"] {
+        let (stdout, _, code) = csp(&[
+            "check",
+            path,
+            "--process",
+            "pipeline",
+            "--assert",
+            "output <= input",
+            "--depth",
+            "3",
+            "--nat-bound",
+            "1",
+            "--json",
+            "--engine",
+            engine,
+        ]);
+        assert_eq!(code, Some(0), "{stdout}");
+        assert!(
+            stdout.starts_with("{\"schema\":\"csp/v1\",\"command\":\"check\",\"data\":"),
+            "{stdout}"
+        );
+        assert!(stdout.contains("\"holds\":true"), "{stdout}");
+        assert!(
+            stdout.contains(&format!("\"engine\":\"{engine}\"")),
+            "{stdout}"
+        );
+    }
+}
+
+/// `csp prove --json` carries the same `"engine"` member as check; the
+/// sequential copier resolves `Auto` to the enumerative engine.
+#[test]
+fn prove_json_envelope_reports_the_engine() {
+    let f = write_fixture("engine_prove.csp", PIPELINE);
+    let (stdout, _, code) = csp(&[
+        "prove",
+        f.to_str().unwrap(),
+        "--spec",
+        "copier=wire <= input",
+        "--nat-bound",
+        "1",
+        "--json",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(
+        stdout.starts_with("{\"schema\":\"csp/v1\",\"command\":\"prove\",\"data\":"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"proved\":true"), "{stdout}");
+    assert!(stdout.contains("\"engine\":\"enumerative\""), "{stdout}");
+}
+
+/// `bench report --engine E` keeps only benches recorded on that engine
+/// (tagged per row) and says so explicitly when nothing matches — rows
+/// written before the engine split never match a filter.
+#[test]
+fn bench_report_filters_benches_per_engine() {
+    let hist = write_fixture(
+        "bench_report_engines.jsonl",
+        "{\"schema\": \"csp-bench-history/v1\", \"unix_ms\": 1754500000000, \
+          \"samples\": 2, \"total_wall_ms\": 100.000, \
+          \"benches\": {\"lts/pipeline_d8\": 2.000, \"fixpoint.depth4\": 60.000}, \
+          \"engines\": {\"lts/pipeline_d8\": \"compiled\", \"fixpoint.depth4\": \"enumerative\"}}\n\
+         {\"schema\": \"csp-bench-history/v1\", \"unix_ms\": 1754500600000, \
+          \"samples\": 2, \"total_wall_ms\": 90.000, \
+          \"benches\": {\"lts/pipeline_d8\": 1.500, \"fixpoint.depth4\": 61.000}, \
+          \"engines\": {\"lts/pipeline_d8\": \"compiled\", \"fixpoint.depth4\": \"enumerative\"}}\n",
+    );
+    let path = hist.to_str().unwrap();
+    let (stdout, _, code) = csp(&["bench", "report", "--history", path, "--engine", "compiled"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(
+        stdout.contains("per-bench (first → last, engine compiled):"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("lts/pipeline_d8"), "{stdout}");
+    assert!(stdout.contains("[compiled]"), "{stdout}");
+    assert!(!stdout.contains("fixpoint.depth4"), "{stdout}");
+
+    // A history written before the engine split carries no engines map, so
+    // every bench is filtered out.
+    let legacy = write_fixture(
+        "bench_report_legacy.jsonl",
+        "{\"schema\": \"csp-bench-history/v1\", \"unix_ms\": 1754500000000, \
+          \"samples\": 2, \"total_wall_ms\": 100.000, \
+          \"benches\": {\"fixpoint.depth4\": 60.000}}\n\
+         {\"schema\": \"csp-bench-history/v1\", \"unix_ms\": 1754500600000, \
+          \"samples\": 2, \"total_wall_ms\": 90.000, \
+          \"benches\": {\"fixpoint.depth4\": 61.000}}\n",
+    );
+    let (stdout, _, code) = csp(&[
+        "bench",
+        "report",
+        "--history",
+        legacy.to_str().unwrap(),
+        "--engine",
+        "compiled",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(
+        stdout.contains("no benches recorded on engine compiled"),
+        "{stdout}"
+    );
+}
+
 #[test]
 fn bench_report_rejects_unknown_subcommands() {
     let (_, stderr, code) = csp(&["bench", "mystery"]);

@@ -229,7 +229,7 @@ fn buffer_capacity_is_exactly_two() {
         .unwrap()
         .holds());
     match wb.check_sat("buffer2", "#in <= #out + 1", 5).unwrap() {
-        SatResult::Counterexample { trace } => {
+        SatResult::Counterexample { trace, .. } => {
             // Two inputs in flight, none delivered yet.
             assert_eq!(trace.len(), 2, "{trace}");
         }

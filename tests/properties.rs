@@ -297,3 +297,130 @@ proptest! {
         prop_assert_eq!(d3.up_to_depth(2), d2);
     }
 }
+
+// ------------------------------------------------- engine equivalence --
+
+/// Closed random networks: two sequential terms in parallel, optionally
+/// concealing one channel — the shapes on which the compiled and
+/// enumerative engines take genuinely different code paths (product
+/// construction and τ-steps).
+fn arb_network() -> impl Strategy<Value = Process> {
+    (
+        arb_process(),
+        arb_process(),
+        prop_oneof![Just(None), Just(Some("a")), Just(Some("b")), Just(Some("c"))],
+    )
+        .prop_map(|(p, q, hide)| {
+            let net = p.par(q);
+            match hide {
+                Some(c) => net.hide(vec![csp::ChanRef::simple(c)]),
+                None => net,
+            }
+        })
+}
+
+proptest! {
+    /// The compiled arena reproduces the enumerative engine's trace set
+    /// exactly, and both agree with the `NaiveTraceSet` reference
+    /// closure — the cross-validation triangle the engine selector
+    /// relies on.
+    #[test]
+    fn compiled_and_enumerative_traces_agree(p in arb_network()) {
+        let defs = Definitions::new();
+        let uni = Universe::small();
+        let depth = 3;
+        let budget = depth * 4;
+        let start = Config::new(p.clone(), Env::new());
+
+        let enumerative = Lts::new(&defs, &uni)
+            .traces_budgeted(&start, depth, budget)
+            .expect("enumerative");
+        let mut arena = csp::CompiledLts::new(&defs, &uni);
+        let s = arena.intern(start);
+        let compiled = arena.traces_budgeted(s, depth, budget).expect("compiled");
+        prop_assert_eq!(&compiled, &enumerative);
+
+        let naive_c = csp::NaiveTraceSet::closure_of(compiled.iter().cloned());
+        let naive_e = csp::NaiveTraceSet::closure_of(enumerative.iter().cloned());
+        prop_assert_eq!(naive_c, naive_e);
+    }
+
+    /// `sat` verdicts agree between engines on random networks and
+    /// random `InstanceGen` assertions: same holds/refuted answer, same
+    /// number of moments checked, same counterexample.
+    #[test]
+    fn sat_verdicts_agree_across_engines(p in arb_network(), seed in 0u64..1024) {
+        let defs = Definitions::new();
+        let uni = Universe::small();
+        let assertion = csp::InstanceGen::new(seed).assertion();
+
+        let enum_res = csp::SatChecker::new(&defs, &uni)
+            .with_engine(csp::Engine::Enumerative)
+            .check(&p, &assertion, 3)
+            .expect("enumerative sat");
+        let comp_res = csp::SatChecker::new(&defs, &uni)
+            .with_engine(csp::Engine::Compiled)
+            .check(&p, &assertion, 3)
+            .expect("compiled sat");
+
+        prop_assert_eq!(enum_res.holds(), comp_res.holds());
+        match (enum_res, comp_res) {
+            (
+                csp::SatResult::Holds { traces_checked: a, .. },
+                csp::SatResult::Holds { traces_checked: b, .. },
+            ) => prop_assert_eq!(a, b),
+            (
+                csp::SatResult::Counterexample { trace: a, .. },
+                csp::SatResult::Counterexample { trace: b, .. },
+            ) => prop_assert_eq!(a, b),
+            _ => unreachable!("holds() equality already checked"),
+        }
+    }
+
+    /// Compiled refinement (subset construction over bitset rows) agrees
+    /// with the enumerative trace-subset check in both directions.
+    #[test]
+    fn refinement_agrees_with_trace_subset(imp in arb_network(), spec in arb_network()) {
+        let defs = Definitions::new();
+        let uni = Universe::small();
+        let depth = 3;
+        let budget = depth * 4;
+
+        let lts = Lts::new(&defs, &uni);
+        let imp_ts = lts
+            .traces_budgeted(&Config::new(imp.clone(), Env::new()), depth, budget)
+            .expect("impl traces");
+        let spec_ts = lts
+            .traces_budgeted(&Config::new(spec.clone(), Env::new()), depth, budget)
+            .expect("spec traces");
+        let subset = imp_ts.is_subset(&spec_ts);
+
+        let mut arena = csp::CompiledLts::new(&defs, &uni);
+        let i = arena.intern(Config::new(imp, Env::new()));
+        let s = arena.intern(Config::new(spec, Env::new()));
+        let verdict = arena.refines(i, s, depth, budget).expect("refines");
+
+        match verdict {
+            Ok(()) => prop_assert!(subset, "compiled says refines, subset check disagrees"),
+            Err(cex) => {
+                prop_assert!(!subset, "compiled refuted but subset holds: {}", cex);
+                prop_assert!(imp_ts.contains(&cex), "counterexample not an impl trace");
+                prop_assert!(!spec_ts.contains(&cex), "counterexample admitted by spec");
+            }
+        }
+    }
+
+    /// The deadlock searches produce the same report — same witnesses in
+    /// the same order, same exploration count — on either backend.
+    #[test]
+    fn deadlock_reports_agree_across_engines(p in arb_network()) {
+        let defs = Definitions::new();
+        let uni = Universe::small();
+        let enum_rep =
+            csp::find_deadlocks(&defs, &uni, &p, &Env::new(), 3).expect("enumerative");
+        let comp_rep =
+            csp::find_deadlocks_compiled(&defs, &uni, &p, &Env::new(), 3).expect("compiled");
+        prop_assert_eq!(enum_rep.deadlock_free(), comp_rep.deadlock_free());
+        prop_assert_eq!(format!("{enum_rep:?}"), format!("{comp_rep:?}"));
+    }
+}

@@ -213,3 +213,87 @@ fn socket_round_trip_reports_prometheus_counters() {
     );
     handle.stop();
 }
+
+/// The engine selector is folded into the response-cache key (compiled
+/// and enumerative answers to one query never alias), reported in the
+/// envelope `data`, counted per engine in `/metrics`, and rejected with
+/// a 400 when unknown — all without breaking the cache-counter
+/// partition.
+#[test]
+fn engine_is_keyed_counted_and_reported() {
+    let state = ServeState::new(16, 2);
+    let src = json_escape(PIPELINE);
+    let check_with = |engine: &str| {
+        format!(
+            "{{\"source\":\"{src}\",\"process\":\"pipeline\",\
+             \"assertion\":\"output <= input\",\"depth\":3,\"nat_bound\":1,\
+             \"engine\":\"{engine}\"}}"
+        )
+    };
+
+    let compiled = state.post("/v1/check", &check_with("compiled"));
+    assert_eq!(
+        compiled.status,
+        200,
+        "{}",
+        String::from_utf8_lossy(&compiled.body)
+    );
+    assert_eq!(header(&compiled, "X-Csp-Cache"), Some("miss"));
+    assert!(
+        String::from_utf8_lossy(&compiled.body).contains("\"engine\":\"compiled\""),
+        "{}",
+        String::from_utf8_lossy(&compiled.body)
+    );
+
+    // Same query, different engine: must be a fresh key, and the body
+    // must say which backend answered.
+    let enumerative = state.post("/v1/check", &check_with("enumerative"));
+    assert_eq!(header(&enumerative, "X-Csp-Cache"), Some("miss"));
+    assert!(
+        String::from_utf8_lossy(&enumerative.body).contains("\"engine\":\"enumerative\"")
+    );
+    assert_ne!(compiled.body, enumerative.body);
+
+    // Re-posting the compiled query is a verbatim hit.
+    let again = state.post("/v1/check", &check_with("compiled"));
+    assert_eq!(header(&again, "X-Csp-Cache"), Some("hit"));
+    assert_eq!(again.body, compiled.body);
+
+    // `auto` resolves (the pipeline hides a channel, so: compiled) and
+    // reports the *resolution*, not the selector.
+    let auto = state.post("/v1/check", &check_with("auto"));
+    assert_eq!(header(&auto, "X-Csp-Cache"), Some("miss"));
+    assert!(String::from_utf8_lossy(&auto.body).contains("\"engine\":\"compiled\""));
+
+    // Prove envelopes carry the member too.
+    let prove_body = format!(
+        "{{\"source\":\"{src}\",\"nat_bound\":1,\"engine\":\"enumerative\",\
+         \"specs\":[{{\"process\":\"copier\",\"assertion\":\"wire <= input\"}}]}}"
+    );
+    let prove = state.post("/v1/prove", &prove_body);
+    assert_eq!(
+        prove.status,
+        200,
+        "{}",
+        String::from_utf8_lossy(&prove.body)
+    );
+    assert!(String::from_utf8_lossy(&prove.body).contains("\"engine\":\"enumerative\""));
+
+    // An unknown engine is a 400 naming the valid spellings.
+    let bad = state.post("/v1/check", &check_with("turbo"));
+    assert_eq!(bad.status, 400);
+    assert!(String::from_utf8_lossy(&bad.body).contains("enumerative"));
+
+    // Ledger intact, per-engine counters as posted (the rejected
+    // request never parsed an engine, so it counts nowhere).
+    let snap = state.metrics();
+    assert_eq!(snap.counter("serve.engine.compiled"), 2);
+    assert_eq!(snap.counter("serve.engine.enumerative"), 2);
+    assert_eq!(snap.counter("serve.engine.auto"), 1);
+    let hit = snap.counter("serve.cache.hit");
+    let miss = snap.counter("serve.cache.miss");
+    let bypass = snap.counter("serve.cache.bypass");
+    assert_eq!(hit + miss + bypass, snap.counter("serve.requests"));
+    assert_eq!(hit, 1);
+    assert_eq!(bypass, 1);
+}

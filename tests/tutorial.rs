@@ -195,6 +195,48 @@ fn section_14_verification_service_claims() {
 }
 
 #[test]
+fn section_15_engine_selection_claims() {
+    // §15's claims: both engines answer the pipeline check identically
+    // (the quoted "17 traces"), `SatResult::engine()` reports the
+    // resolved backend, and the `Auto` default resolves compiled for
+    // the hidden network but enumerative for the sequential copier.
+    let mut wb = Workbench::new().with_universe(Universe::new(1));
+    wb.define_source(csp::examples::PIPELINE_SRC).unwrap();
+
+    let checked = |engine: Engine| -> (usize, Engine) {
+        let verdict = wb
+            .check_sat(
+                "pipeline",
+                "output <= input",
+                SatOptions::from(3).with_engine(engine),
+            )
+            .unwrap();
+        match verdict {
+            SatResult::Holds {
+                traces_checked,
+                engine,
+                ..
+            } => (traces_checked, engine),
+            SatResult::Counterexample { trace, .. } => panic!("refuted: {trace}"),
+        }
+    };
+    let (enum_traces, enum_engine) = checked(Engine::Enumerative);
+    let (comp_traces, comp_engine) = checked(Engine::Compiled);
+    assert_eq!(enum_engine, Engine::Enumerative);
+    assert_eq!(comp_engine, Engine::Compiled);
+    // The quoted verdict line: "... on 17 traces (depth 3, ...)".
+    assert_eq!(enum_traces, 17);
+    assert_eq!(comp_traces, enum_traces, "engines agree trace for trace");
+
+    // `Auto` resolves per query shape and reports the resolved engine,
+    // never the literal `auto`.
+    let auto_net = wb.check_sat("pipeline", "output <= input", 3).unwrap();
+    assert_eq!(auto_net.engine(), Engine::Compiled);
+    let auto_seq = wb.check_sat("copier", "wire <= input", 3).unwrap();
+    assert_eq!(auto_seq.engine(), Engine::Enumerative);
+}
+
+#[test]
 fn section_13_language_server_claims() {
     // §13's analysis claims, asserted against the same `AnalysisDb` the
     // server uses: hover data (alphabet + trace-depth bound), recovery
