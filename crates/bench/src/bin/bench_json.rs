@@ -432,6 +432,43 @@ fn workloads() -> Vec<Workload> {
         }),
     ));
 
+    // Online-monitoring overhead — the PR-10 causal-observability
+    // workload: a crash-and-replay pipeline run with the runtime
+    // monitor replaying every visible event through the compiled LTS
+    // and re-checking `output <= input` on each prefix. The ±30% gate
+    // against the committed baseline is the monitor-overhead budget;
+    // `tests/causal_monitor.rs` separately asserts the monitored/
+    // unmonitored ratio stays under 2×.
+    v.push((
+        "run/monitor_overhead",
+        Box::new(|c| {
+            let wb = pipeline_workbench();
+            let spec = wb.monitor_spec(["output <= input"]).expect("assertion");
+            let res = wb
+                .session_with(c.clone())
+                .run(
+                    "pipeline",
+                    RunOptions {
+                        max_steps: 96,
+                        scheduler: Scheduler::seeded(7),
+                        faults: FaultPlan::none()
+                            .crash("copier", 12)
+                            .with_restart(RestartPolicy::Replay),
+                        monitor: Some(spec),
+                        ..RunOptions::default()
+                    },
+                )
+                .expect("runs");
+            let monitor = res.monitor.as_ref().expect("monitored");
+            assert!(monitor.is_conforming(), "fault-free replay must conform");
+            Metrics {
+                traces: monitor.events_checked as u64,
+                peak_set: res.causal.len() as u64,
+                engine: "compiled",
+            }
+        }),
+    ));
+
     v
 }
 

@@ -643,7 +643,10 @@ mod tests {
         r.benches[0].engine = "compiled".to_string();
         let parsed = Report::from_json(&r.to_json()).expect("parses");
         assert_eq!(parsed.benches[0].engine, "compiled");
-        assert_eq!(parsed.benches[1].engine, "", "engine-free rows stay engine-free");
+        assert_eq!(
+            parsed.benches[1].engine, "",
+            "engine-free rows stay engine-free"
+        );
         // A pre-engine report (no "engine" members) still parses.
         let legacy = report(&[("a", 1.0)]).to_json();
         assert!(!legacy.contains("\"engine\""));

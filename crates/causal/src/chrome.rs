@@ -1,0 +1,108 @@
+//! Causal-edge-annotated Chrome trace exporter: one track (`tid`) per
+//! component, one complete slice per communication on each participant's
+//! track, and a *flow event* (`ph:"s"` → `ph:"f"`) from the sender's
+//! slice to the receiver's slice so the viewer draws the causal arrow
+//! between process tracks. Supervision events become instant events on
+//! the affected component's track.
+//!
+//! Timestamps are synthetic — the committed event index in microseconds
+//! — because the causal order, not wall time, is the semantic content.
+
+use crate::{json_str, CausalEventKind, CausalLog};
+
+/// Renders the log as a Chrome trace-event JSON document
+/// (`{"traceEvents":[…]}`), loadable by `chrome://tracing` and Perfetto.
+pub fn chrome_causal_trace(log: &CausalLog) -> String {
+    let mut events: Vec<String> = Vec::new();
+    for (i, label) in log.labels().iter().enumerate() {
+        events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{i},\"args\":{{\"name\":{}}}}}",
+            json_str(label)
+        ));
+    }
+    for e in log.events() {
+        let ts = e.seq * 1000;
+        match &e.kind {
+            CausalEventKind::Comm {
+                event,
+                sender,
+                receiver,
+                hidden,
+            } => {
+                let name = json_str(&event.to_string());
+                for &p in &e.participants {
+                    events.push(format!(
+                        "{{\"name\":{name},\"ph\":\"X\",\"pid\":1,\"tid\":{p},\"ts\":{ts},\"dur\":800,\
+                         \"args\":{{\"seq\":{},\"step\":{},\"clock\":{},\"hidden\":{}}}}}",
+                        e.seq,
+                        e.step,
+                        json_str(&e.clock.to_string()),
+                        hidden
+                    ));
+                }
+                if let (Some(s), Some(r)) = (sender, receiver) {
+                    if s != r {
+                        events.push(format!(
+                            "{{\"name\":{name},\"cat\":\"causal\",\"ph\":\"s\",\"id\":{},\"pid\":1,\"tid\":{s},\"ts\":{}}}",
+                            e.seq,
+                            ts + 100
+                        ));
+                        events.push(format!(
+                            "{{\"name\":{name},\"cat\":\"causal\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{},\"pid\":1,\"tid\":{r},\"ts\":{}}}",
+                            e.seq,
+                            ts + 700
+                        ));
+                    }
+                }
+            }
+            other => {
+                let p = e.participants.first().copied().unwrap_or(0);
+                events.push(format!(
+                    "{{\"name\":{},\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{p},\"ts\":{ts},\
+                     \"args\":{{\"seq\":{},\"clock\":{}}}}}",
+                    json_str(&other.label()),
+                    e.seq,
+                    json_str(&e.clock.to_string())
+                ));
+            }
+        }
+    }
+    format!("{{\"traceEvents\":[{}]}}", events.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CausalEventKind, CausalLog, VectorClock};
+    use csp_trace::{Channel, Event, Value};
+
+    #[test]
+    fn flow_events_link_sender_to_receiver() {
+        let mut log = CausalLog::new(vec!["a".into(), "b".into()], 8);
+        let mut p0 = VectorClock::new(2);
+        p0.tick(0);
+        let mut p1 = VectorClock::new(2);
+        p1.tick(1);
+        let mut merged = p0.clone();
+        merged.merge(&p1);
+        log.push(
+            0,
+            CausalEventKind::Comm {
+                event: Event::new(Channel::simple("w"), Value::nat(3)),
+                sender: Some(0),
+                receiver: Some(1),
+                hidden: false,
+            },
+            vec![0, 1],
+            vec![p0, p1],
+            merged,
+        );
+        let json = chrome_causal_trace(&log);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"ph\":\"s\"") && json.contains("\"ph\":\"f\""));
+        assert!(json.contains("\"clock\":\"[1,1]\""));
+        // Two slices (one per participant track) for the one event.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+    }
+}

@@ -100,10 +100,12 @@ pub use csp_proof::{
     Judgement, Obligation, Proof, ProofError, SynthError,
 };
 pub use csp_runtime::{
-    check_conformance, check_conformance_with_engine, flatten, Component, ComponentFailure,
-    ComponentSel, ConformanceReport,
-    Executor, FailureReason, Fault, FaultError, FaultPlan, Network, RestartPolicy, RunError,
-    RunOptions, RunOutcome, RunResult, Scheduler, Supervision,
+    check_conformance, check_conformance_with_engine, chrome_causal_trace, flatten, msc,
+    CausalError, CausalEvent, CausalEventKind, CausalLog, Component, ComponentFailure,
+    ComponentSel, ConformanceReport, Executor, FailureReason, Fault, FaultError, FaultPlan,
+    Monitor, MonitorReport, MonitorSpec, MonitorVerdict, MonitorViolation, Network, RestartPolicy,
+    RunError, RunOptions, RunOutcome, RunResult, Scheduler, Supervision, VectorClock,
+    ViolationKind,
 };
 pub use csp_semantics::{
     compare, fixpoint, fixpoint_with, refines, CompiledLts, CompiledStep, Config, Discrepancy,
@@ -115,18 +117,18 @@ pub use csp_trace::{
 };
 pub use csp_verify::{
     cross_validate_scripts, fault_conformance, find_deadlocks, find_deadlocks_compiled,
-    stop_choice_identity,
-    validate_all_rules, CrossValidation, Deadlock, DeadlockReport, DegradedRun, FaultConfError,
-    FaultConformance, FaultSweep, InstanceGen, RuleReport, SatChecker, SatResult,
+    stop_choice_identity, validate_all_rules, CrossValidation, Deadlock, DeadlockReport,
+    DegradedRun, FaultConfError, FaultConformance, FaultSweep, InstanceGen, RuleReport, SatChecker,
+    SatResult,
 };
 
 /// Convenient glob-import surface: `use csp_core::prelude::*;`.
 pub mod prelude {
     pub use crate::{
-        Assertion, Channel, Collector, ConformanceOptions, Definitions, Engine, Env, Event,
-        FaultPlan,
-        FaultSweep, Judgement, Metered, MetricsSnapshot, Process, Proof, RestartPolicy, RunOptions,
-        RunOutcome, SatOptions, SatResult, Scheduler, Session, Supervision, Trace, TraceSet,
-        Universe, Value, Workbench, WorkbenchError,
+        Assertion, CausalLog, Channel, Collector, ConformanceOptions, Definitions, Engine, Env,
+        Event, FaultPlan, FaultSweep, Judgement, Metered, MetricsSnapshot, MonitorReport,
+        MonitorSpec, Process, Proof, RestartPolicy, RunOptions, RunOutcome, SatOptions, SatResult,
+        Scheduler, Session, Supervision, Trace, TraceSet, Universe, Value, VectorClock, Workbench,
+        WorkbenchError,
     };
 }

@@ -206,6 +206,9 @@ impl<'wb> Session<'wb> {
         snap.set_counter("trace.intern_hits", ops.intern_hits);
         snap.set_counter("trace.intern_misses", ops.intern_misses);
         snap.set_counter("trace.intern_hit_rate_pct", ops.intern_hit_rate_pct());
+        // Ring-buffer overflow is otherwise only visible in JSONL; the
+        // snapshot carries it so Prometheus can expose it as a gauge.
+        snap.set_counter("obs.events_dropped", self.collector.dropped());
         snap
     }
 

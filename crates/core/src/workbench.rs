@@ -344,6 +344,25 @@ impl Workbench {
         Ok(csp_assert::parse_assertion(src, &self.channel_info())?)
     }
 
+    /// Builds an online-monitor spec from assertion sources (empty =
+    /// trace-membership checking only), for [`crate::RunOptions`]'s
+    /// `monitor` field.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any assertion does not parse against the session's
+    /// channel vocabulary.
+    pub fn monitor_spec<'s>(
+        &self,
+        invariants: impl IntoIterator<Item = &'s str>,
+    ) -> Result<csp_runtime::MonitorSpec, WorkbenchError> {
+        let mut spec = csp_runtime::MonitorSpec::new();
+        for src in invariants {
+            spec = spec.with_assertion(self.assertion(src)?);
+        }
+        Ok(spec)
+    }
+
     /// The traces of a named process to the given depth (operational
     /// exploration; agrees with the denotational semantics).
     ///
@@ -917,10 +936,16 @@ mod tests {
         assert_eq!(v.engine(), Engine::Enumerative);
         // Deadlock search: identical reports from both backends.
         let a = wb
-            .deadlocks("pipeline", SatOptions::from(3).with_engine(Engine::Enumerative))
+            .deadlocks(
+                "pipeline",
+                SatOptions::from(3).with_engine(Engine::Enumerative),
+            )
             .unwrap();
         let b = wb
-            .deadlocks("pipeline", SatOptions::from(3).with_engine(Engine::Compiled))
+            .deadlocks(
+                "pipeline",
+                SatOptions::from(3).with_engine(Engine::Compiled),
+            )
             .unwrap();
         assert_eq!(a.states_explored, b.states_explored);
         assert_eq!(a.deadlocks.len(), b.deadlocks.len());

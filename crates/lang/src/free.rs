@@ -189,6 +189,101 @@ pub fn channel_alphabet(
     Ok(out)
 }
 
+/// The subset of a process's alphabet it can ever *write* on — the
+/// channels appearing in output position (`c!e`). Together with
+/// [`channel_alphabet`] this recovers the direction of a committed
+/// communication: among the components synchronizing on a channel, the
+/// one with the channel in its output set is the sender, the others are
+/// readers. Same traversal rules (and error cases) as
+/// [`channel_alphabet`].
+///
+/// # Errors
+///
+/// Fails if a channel subscript or call argument contains a variable not
+/// bound in `env`, or a referenced process is undefined.
+///
+/// # Examples
+///
+/// ```
+/// use csp_lang::{output_channels, parse_definitions, Env};
+/// use csp_trace::Channel;
+///
+/// let defs = parse_definitions(
+///     "copier = input?x:NAT -> wire!x -> copier",
+/// ).unwrap();
+/// let w = output_channels(defs.get("copier").unwrap().body(), &defs, &Env::new()).unwrap();
+/// assert!(w.contains(&Channel::simple("wire")));
+/// assert!(!w.contains(&Channel::simple("input")));
+/// ```
+pub fn output_channels(
+    p: &Process,
+    defs: &Definitions,
+    env: &Env,
+) -> Result<ChannelSet, EvalError> {
+    let mut out = ChannelSet::new();
+    let mut visited = BTreeSet::new();
+    walk_outputs(p, defs, env, &mut out, &mut visited)?;
+    Ok(out)
+}
+
+fn walk_outputs(
+    p: &Process,
+    defs: &Definitions,
+    env: &Env,
+    out: &mut ChannelSet,
+    visited: &mut BTreeSet<(String, Vec<Value>)>,
+) -> Result<(), EvalError> {
+    match p {
+        Process::Stop | Process::Error(_) => Ok(()),
+        Process::Call { name, args } => {
+            let vals = args
+                .iter()
+                .map(|e| e.eval(env))
+                .collect::<Result<Vec<_>, _>>()?;
+            let key = (name.clone(), vals.clone());
+            if visited.insert(key) {
+                let (body, scope) = defs.resolve_call(name, &vals, env)?;
+                walk_outputs(body, defs, &scope, out, visited)?;
+            }
+            Ok(())
+        }
+        Process::Output { chan, then, .. } => {
+            out.insert(chan.resolve(env)?);
+            walk_outputs(then, defs, env, out, visited)
+        }
+        Process::Input {
+            chan: _,
+            var,
+            set,
+            then,
+        } => {
+            let m = set.eval(env)?;
+            match m.enumerate(0, &|_| None) {
+                Ok(vals) if !vals.is_empty() => {
+                    for v in vals {
+                        let scope = env.bind(var, v);
+                        walk_outputs(then, defs, &scope, out, visited)?;
+                    }
+                    Ok(())
+                }
+                _ => {
+                    let scope = env.bind(var, Value::nat(0));
+                    walk_outputs(then, defs, &scope, out, visited)
+                }
+            }
+        }
+        Process::Choice(a, b) => {
+            walk_outputs(a, defs, env, out, visited)?;
+            walk_outputs(b, defs, env, out, visited)
+        }
+        Process::Parallel { left, right, .. } => {
+            walk_outputs(left, defs, env, out, visited)?;
+            walk_outputs(right, defs, env, out, visited)
+        }
+        Process::Hide { channels: _, body } => walk_outputs(body, defs, env, out, visited),
+    }
+}
+
 fn walk_alphabet(
     p: &Process,
     defs: &Definitions,

@@ -58,7 +58,7 @@ pub use defs::{Definition, Definitions};
 pub use env::Env;
 pub use error::{EvalError, LangError, ParseError};
 pub use expr::{BinOp, Expr, UnOp};
-pub use free::{channel_alphabet, free_vars_expr, free_vars_process};
+pub use free::{channel_alphabet, free_vars_expr, free_vars_process, output_channels};
 pub use parser::{
     parse_definitions, parse_definitions_spanned, parse_expr, parse_module, parse_process,
     parse_process_spanned, parse_set_expr, ParsedModule,
@@ -67,7 +67,6 @@ pub use process::{ChanRef, Process};
 pub use setexpr::{MsgSet, SetExpr};
 pub use span::{DefSpans, SourceMap, Span, SpanTree};
 pub use subst::{
-    close_process, process_has_free, subst_expr, subst_expr_with, subst_process,
-    subst_process_with,
+    close_process, process_has_free, subst_expr, subst_expr_with, subst_process, subst_process_with,
 };
 pub use validate::{is_well_formed, validate, ValidationIssue};

@@ -68,10 +68,10 @@ pub fn process_has_free(p: &Process, x: &str) -> bool {
                 || process_has_free(right, x)
                 || left_alpha
                     .as_ref()
-                    .map_or(false, |cs| cs.iter().any(|c| chanref_has_free(c, x)))
+                    .is_some_and(|cs| cs.iter().any(|c| chanref_has_free(c, x)))
                 || right_alpha
                     .as_ref()
-                    .map_or(false, |cs| cs.iter().any(|c| chanref_has_free(c, x)))
+                    .is_some_and(|cs| cs.iter().any(|c| chanref_has_free(c, x)))
         }
         Process::Hide { channels, body } => {
             channels.iter().any(|c| chanref_has_free(c, x)) || process_has_free(body, x)

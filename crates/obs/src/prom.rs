@@ -24,6 +24,18 @@ pub fn render_prometheus(m: &MetricsSnapshot) -> String {
             out.push_str(&format!("csp_counter{{name={}}} {v}\n", label(name)));
         }
     }
+    // Ring-buffer overflow gets a dedicated gauge family so dashboards
+    // can alert on sampler blind spots without knowing our name scheme.
+    // The value also appears under `csp_counter` above; the parser
+    // treats both as the same counter, so round-tripping stays exact.
+    if let Some(v) = m.counters.get("obs.events_dropped") {
+        out.push_str("# HELP csp_events_dropped Spans evicted from the observation ring buffer.\n");
+        out.push_str("# TYPE csp_events_dropped gauge\n");
+        out.push_str(&format!(
+            "csp_events_dropped{{name={}}} {v}\n",
+            label("obs.events_dropped")
+        ));
+    }
     if !m.histograms.is_empty() {
         out.push_str("# HELP csp_duration_ns Fixed-bucket duration histograms (nanoseconds).\n");
         out.push_str("# TYPE csp_duration_ns histogram\n");
@@ -149,6 +161,11 @@ pub fn parse_prometheus(src: &str) -> Result<MetricsSnapshot, PromError> {
         })?;
         match sample.family.as_str() {
             "csp_counter" => {
+                m.counters.insert(name, sample.value);
+            }
+            // Mirror of the `obs.events_dropped` counter; inserting it
+            // again is idempotent, so the exposition round-trips.
+            "csp_events_dropped" => {
                 m.counters.insert(name, sample.value);
             }
             "csp_duration_ns_bucket" => {
@@ -340,6 +357,19 @@ mod tests {
         m.set_counter("weird\"name\\with\nstuff", 1);
         let text = render_prometheus(&m);
         assert_eq!(parse_prometheus(&text).unwrap(), m);
+    }
+
+    #[test]
+    fn events_dropped_gets_its_own_gauge_family() {
+        let mut m = MetricsSnapshot::new();
+        m.set_counter("obs.events_dropped", 9);
+        let text = render_prometheus(&m);
+        assert!(text.contains("# TYPE csp_events_dropped gauge"));
+        assert!(text.contains("csp_events_dropped{name=\"obs.events_dropped\"} 9"));
+        assert_eq!(parse_prometheus(&text).unwrap(), m);
+        // Absent counter, absent family.
+        let none = render_prometheus(&MetricsSnapshot::new());
+        assert!(!none.contains("csp_events_dropped"));
     }
 
     #[test]

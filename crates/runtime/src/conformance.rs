@@ -197,8 +197,10 @@ fn collect_after(
     Ok(())
 }
 
-/// [`collect_after`] over compiled rows.
-fn collect_after_compiled(
+/// [`collect_after`] over compiled rows. Also the stepping primitive of
+/// the online [`crate::Monitor`], which tracks the same frontier one
+/// event at a time while the run executes.
+pub(crate) fn collect_after_compiled(
     lts: &mut CompiledLts<'_>,
     id: StateId,
     event: &csp_trace::Event,

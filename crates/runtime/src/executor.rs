@@ -25,12 +25,16 @@ use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
 use std::thread;
 use std::time::Instant;
 
+use std::collections::BTreeMap;
+
+use csp_causal::{CausalEventKind, CausalLog, VectorClock};
 use csp_lang::{Definitions, Env, EvalError, Process};
 use csp_obs::{Collector, Metered, MetricsSnapshot};
 use csp_semantics::{Config, Lts, Step, Universe};
 use csp_trace::{Event, Trace};
 
 use crate::fault::{Fault, FaultError, FaultPlan, RestartPolicy};
+use crate::monitor::{Monitor, MonitorReport, MonitorSpec};
 use crate::net::{flatten, Component, NetError, Network};
 use crate::supervisor::{ComponentFailure, FailureReason, RunOutcome, Supervision};
 use crate::Scheduler;
@@ -50,6 +54,13 @@ pub struct RunOptions {
     /// Observation stream for per-round spans and counters (default:
     /// [`Collector::disabled`], costing one branch per round).
     pub collector: Collector,
+    /// Online monitor checking trace-membership and assertions while the
+    /// run executes (default: off).
+    pub monitor: Option<MonitorSpec>,
+    /// Capacity of the causal event log; beyond it new events are
+    /// counted as dropped, keeping the retained prefix self-consistent
+    /// (default: 4096).
+    pub causal_cap: usize,
 }
 
 impl Default for RunOptions {
@@ -60,6 +71,8 @@ impl Default for RunOptions {
             faults: FaultPlan::none(),
             supervision: Supervision::default(),
             collector: Collector::disabled(),
+            monitor: None,
+            causal_cap: 4096,
         }
     }
 }
@@ -83,6 +96,13 @@ pub struct RunResult {
     /// What the run cost: round, pick, fault, and recovery counts
     /// (always populated from cheap local tallies).
     pub metrics: MetricsSnapshot,
+    /// The causal event log: every communication and supervision event,
+    /// vector-clock stamped (bounded by [`RunOptions::causal_cap`]).
+    pub causal: CausalLog,
+    /// Final per-component vector clocks at the end of the run.
+    pub clocks: Vec<VectorClock>,
+    /// The online monitor's report, when one was requested.
+    pub monitor: Option<MonitorReport>,
 }
 
 impl Metered for RunResult {
@@ -226,6 +246,7 @@ impl<'a> Executor<'a> {
         let mut rounds = 0u64;
         let mut picks = 0u64;
         let mut faults_fired = 0u64;
+        let mut chan_ready: BTreeMap<String, u64> = BTreeMap::new();
 
         // Resolve fault targets to indices once, up front.
         let mut crashes: Vec<(usize, usize, bool)> = Vec::new(); // (index, at_step, fired)
@@ -254,7 +275,16 @@ impl<'a> Executor<'a> {
             .map(|s| s.resolve(&net.components).expect("resolve_all checked"))
             .collect();
 
-        let (full, failures, terminal, saw_deadlock) = thread::scope(|scope| {
+        // The monitor borrows the definitions for the lifetime of the
+        // run, so it lives outside the thread scope; only the (single
+        // threaded) coordinator loop feeds it.
+        let mut monitor: Option<Monitor<'a>> = opts
+            .monitor
+            .take()
+            .map(|spec| Monitor::new(process, env, self.defs, self.universe, spec));
+        let labels: Vec<String> = net.components.iter().map(|c| c.label.clone()).collect();
+
+        let (full, failures, log, clocks, terminal, saw_deadlock) = thread::scope(|scope| {
             let mut co = Coordinator {
                 scope,
                 defs: self.defs,
@@ -271,6 +301,8 @@ impl<'a> Executor<'a> {
                     .collect(),
                 full: Vec::new(),
                 failures: Vec::new(),
+                clocks: vec![VectorClock::new(net.components.len()); net.components.len()],
+                log: CausalLog::new(labels, opts.causal_cap),
             };
 
             let mut terminal: Option<RunOutcome> = None;
@@ -313,6 +345,12 @@ impl<'a> Executor<'a> {
                         if !matches!(co.slots[*index].state, SlotState::Dead) {
                             let slot = &mut co.slots[*index];
                             slot.stall_rounds = slot.stall_rounds.max(*rounds);
+                            co.record_control(
+                                *index,
+                                CausalEventKind::Fault {
+                                    detail: format!("stalled for {rounds} rounds"),
+                                },
+                            );
                         }
                     }
                 }
@@ -342,6 +380,21 @@ impl<'a> Executor<'a> {
                 }
                 enabled.sort();
                 enabled.dedup();
+
+                // Channel occupancy: rounds in which each channel had an
+                // enabled event waiting. Tallied only under observation
+                // so the unobserved fast path stays allocation-free.
+                if co.collector.is_enabled() {
+                    let mut seen = std::collections::BTreeSet::new();
+                    for e in &enabled {
+                        seen.insert(e.channel());
+                    }
+                    for c in seen {
+                        let name = c.to_string();
+                        *chan_ready.entry(name.clone()).or_insert(0) += 1;
+                        co.collector.add(format!("run.chan.{name}.ready_rounds"), 1);
+                    }
+                }
 
                 if enabled.is_empty() {
                     if co
@@ -399,6 +452,18 @@ impl<'a> Executor<'a> {
                 }
                 co.full.push(chosen);
                 co.collector.add("run.steps", 1);
+                if co.collector.is_enabled() {
+                    co.collector
+                        .add(format!("run.chan.{}.events", chosen.channel()), 1);
+                }
+                let committed_hidden = net.hidden.contains(chosen.channel());
+                co.record_comm(chosen, committed_hidden);
+                if !committed_hidden {
+                    if let Some(m) = monitor.as_mut() {
+                        co.collector.add("run.monitor.events", 1);
+                        m.observe(chosen, co.full.len() - 1);
+                    }
+                }
                 if net.hidden.contains(chosen.channel()) {
                     hidden_streak += 1;
                     let window = opts.supervision.livelock_window;
@@ -437,8 +502,26 @@ impl<'a> Executor<'a> {
             // Single teardown point for every exit path: no component
             // thread outlives the run.
             co.halt_and_join();
-            (co.full, co.failures, terminal, saw_deadlock)
+            (
+                co.full,
+                co.failures,
+                co.log,
+                co.clocks,
+                terminal,
+                saw_deadlock,
+            )
         });
+
+        // Late-bind the violation's causal history: it needs the
+        // complete log, which only exists once the run is over.
+        if let Some(m) = monitor.as_mut() {
+            if let Some(vstep) = m.violation_step() {
+                if let Some(e) = log.events().iter().find(|e| e.step == vstep && e.is_comm()) {
+                    m.attach_causal_history(log.causal_history(e.seq));
+                }
+            }
+        }
+        let monitor_report = monitor.map(|m| m.report());
 
         let outcome = terminal.unwrap_or_else(|| {
             if let Some(f) = failures
@@ -477,7 +560,28 @@ impl<'a> Executor<'a> {
                 failures.iter().filter(|f| f.recovered).count() as u64,
             )
             .set_counter("run.steps", full.len() as u64)
-            .set_counter("run.hidden_events", (full.len() - visible.len()) as u64);
+            .set_counter("run.hidden_events", (full.len() - visible.len()) as u64)
+            .set_counter("run.causal.events", log.len() as u64)
+            .set_counter("run.causal.dropped", log.dropped() as u64);
+        // Per-channel throughput: one counter per distinct channel of
+        // the committed trace (mirrors the live `run.chan.*` adds).
+        let mut per_chan: BTreeMap<String, u64> = BTreeMap::new();
+        for e in full.iter() {
+            *per_chan.entry(e.channel().to_string()).or_insert(0) += 1;
+        }
+        for (chan, count) in per_chan {
+            metrics.set_counter(format!("run.chan.{chan}.events"), count);
+        }
+        for (chan, count) in chan_ready {
+            metrics.set_counter(format!("run.chan.{chan}.ready_rounds"), count);
+        }
+        if let Some(m) = &monitor_report {
+            metrics.set_counter("run.monitor.events", m.events_checked as u64);
+            metrics.set_counter(
+                "run.monitor.conforming",
+                u64::from(m.verdict.is_conforming()),
+            );
+        }
         // Everything else was incremented live; hidden-event accounting
         // needs the finished trace, so it lands here.
         collector.add("run.hidden_events", (full.len() - visible.len()) as u64);
@@ -489,6 +593,9 @@ impl<'a> Executor<'a> {
             outcome,
             failures,
             metrics,
+            causal: log,
+            clocks,
+            monitor: monitor_report,
         })
     }
 }
@@ -506,6 +613,11 @@ struct Coordinator<'run, 'scope, 'env> {
     slots: Vec<Slot<'scope>>,
     full: Vec<Event>,
     failures: Vec<ComponentFailure>,
+    /// Per-component vector clocks; entry `i` is component `i`'s view.
+    clocks: Vec<VectorClock>,
+    /// The bounded causal event log (the coordinator is the only
+    /// writer, so no locking is involved).
+    log: CausalLog,
 }
 
 impl<'run, 'scope, 'env> Coordinator<'run, 'scope, 'env> {
@@ -513,6 +625,58 @@ impl<'run, 'scope, 'env> Coordinator<'run, 'scope, 'env> {
         self.supervision
             .deadline
             .is_some_and(|d| self.start.elapsed() >= d)
+    }
+
+    /// Stamps a just-committed communication (the last event of `full`):
+    /// every participant ticks its own clock entry, the event carries
+    /// the pointwise max, and every participant adopts it — Lamport's
+    /// rule specialised to the synchronous multi-party rendezvous of
+    /// §1.2(8).
+    fn record_comm(&mut self, event: Event, hidden: bool) {
+        let step = self.full.len() - 1;
+        let participants: Vec<usize> = (0..self.net.components.len())
+            .filter(|&j| self.net.components[j].alphabet.contains(event.channel()))
+            .collect();
+        let writers: Vec<usize> = participants
+            .iter()
+            .copied()
+            .filter(|&j| self.net.components[j].writes.contains(event.channel()))
+            .collect();
+        let sender = (writers.len() == 1).then(|| writers[0]);
+        let receiver = sender.and_then(|s| participants.iter().copied().find(|&p| p != s));
+        let mut pre_clocks = Vec::with_capacity(participants.len());
+        let mut merged = VectorClock::new(self.clocks.len());
+        for &p in &participants {
+            let mut c = self.clocks[p].clone();
+            c.tick(p);
+            merged.merge(&c);
+            pre_clocks.push(c);
+        }
+        for &p in &participants {
+            self.clocks[p] = merged.clone();
+        }
+        self.log.push(
+            step,
+            CausalEventKind::Comm {
+                event,
+                sender,
+                receiver,
+                hidden,
+            },
+            participants,
+            pre_clocks,
+            merged,
+        );
+    }
+
+    /// Stamps a supervision event (fault, death, restart) as a local
+    /// step of component `i`.
+    fn record_control(&mut self, i: usize, kind: CausalEventKind) {
+        let step = self.full.len();
+        let mut c = self.clocks[i].clone();
+        c.tick(i);
+        self.clocks[i] = c.clone();
+        self.log.push(step, kind, vec![i], vec![c.clone()], c);
     }
 
     /// The offer the enabled-set computation may use for component `i`.
@@ -604,6 +768,12 @@ impl<'run, 'scope, 'env> Coordinator<'run, 'scope, 'env> {
         self.slots[i].stall_rounds = 0;
         let at_step = self.full.len();
         let label = self.net.components[i].label.clone();
+        self.record_control(
+            i,
+            CausalEventKind::Death {
+                detail: reason.to_string(),
+            },
+        );
         self.failures.push(ComponentFailure {
             index: i,
             label,
@@ -658,6 +828,12 @@ impl<'run, 'scope, 'env> Coordinator<'run, 'scope, 'env> {
                     if let Some(h) = fresh.handle.take() {
                         let _ = h.join();
                     }
+                    self.record_control(
+                        i,
+                        CausalEventKind::Death {
+                            detail: FailureReason::ReplayDiverged.to_string(),
+                        },
+                    );
                     self.failures.push(ComponentFailure {
                         index: i,
                         label: self.net.components[i].label.clone(),
@@ -677,6 +853,7 @@ impl<'run, 'scope, 'env> Coordinator<'run, 'scope, 'env> {
             f.recovered = true;
             self.collector.add("run.restarts", 1);
         }
+        self.record_control(i, CausalEventKind::Restart);
     }
 
     /// Tears the network down: every live thread gets `Halt`, every

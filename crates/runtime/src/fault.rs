@@ -416,6 +416,7 @@ mod tests {
                     process: csp_lang::Process::Stop,
                     env: Env::new(),
                     alphabet: csp_trace::ChannelSet::new(),
+                    writes: csp_trace::ChannelSet::new(),
                 })
                 .collect()
         };

@@ -42,6 +42,7 @@
 mod conformance;
 mod executor;
 mod fault;
+mod monitor;
 mod net;
 mod scheduler;
 mod supervisor;
@@ -49,6 +50,14 @@ mod supervisor;
 pub use conformance::{check_conformance, check_conformance_with_engine, ConformanceReport};
 pub use executor::{Executor, RunError, RunOptions, RunResult};
 pub use fault::{ComponentSel, Fault, FaultError, FaultPlan, RestartPolicy};
+pub use monitor::{
+    Monitor, MonitorReport, MonitorSpec, MonitorVerdict, MonitorViolation, ViolationKind,
+};
 pub use net::{flatten, Component, NetError, Network};
 pub use scheduler::Scheduler;
 pub use supervisor::{ComponentFailure, FailureReason, RunOutcome, Supervision};
+
+// Re-export the causal layer so downstream users get clocks and logs
+// from the same crate that produces them.
+pub use csp_causal::chrome::chrome_causal_trace;
+pub use csp_causal::{msc, CausalError, CausalEvent, CausalEventKind, CausalLog, VectorClock};

@@ -8,7 +8,7 @@
 //! would require dynamic process creation the paper's language cannot
 //! express anyway (recursion is the only control structure).
 
-use csp_lang::{channel_alphabet, Definitions, Env, EvalError, Process};
+use csp_lang::{channel_alphabet, output_channels, Definitions, Env, EvalError, Process};
 use csp_trace::ChannelSet;
 
 /// One sequential component of a network.
@@ -23,6 +23,10 @@ pub struct Component {
     /// Its channel alphabet — every event on these channels requires its
     /// participation.
     pub alphabet: ChannelSet,
+    /// The channels it can *write* on (output position `c!e`) — used to
+    /// orient committed communications (sender vs. readers) in the
+    /// causal log.
+    pub writes: ChannelSet,
 }
 
 /// A flattened network ready for execution.
@@ -147,11 +151,13 @@ fn push_component(
     components: &mut Vec<Component>,
 ) -> Result<(), NetError> {
     let alphabet = channel_alphabet(p, defs, env)?;
+    let writes = output_channels(p, defs, env)?;
     components.push(Component {
         label: p.to_string(),
         process: p.clone(),
         env: env.clone(),
         alphabet,
+        writes,
     });
     Ok(())
 }

@@ -365,14 +365,7 @@ impl<'a> CompiledLts<'a> {
             match step {
                 CompiledStep::Visible(e, next) => {
                     if depth > 0 {
-                        self.walk(
-                            next,
-                            depth - 1,
-                            internal_budget,
-                            &prefix.snoc(e),
-                            out,
-                            seen,
-                        )?;
+                        self.walk(next, depth - 1, internal_budget, &prefix.snoc(e), out, seen)?;
                     }
                 }
                 CompiledStep::Internal(next) => {
@@ -492,14 +485,9 @@ impl<'a> CompiledLts<'a> {
                 }
                 CompiledStep::Internal(next) => {
                     if internal_left > 0 {
-                        if let Err(cex) = self.refine_walk(
-                            next,
-                            spec,
-                            depth,
-                            internal_left - 1,
-                            prefix,
-                            seen,
-                        )? {
+                        if let Err(cex) =
+                            self.refine_walk(next, spec, depth, internal_left - 1, prefix, seen)?
+                        {
                             return Ok(Err(cex));
                         }
                     }
@@ -523,7 +511,10 @@ mod tests {
             assert_eq!(back, e);
         }
         let err = "turbo".parse::<Engine>().unwrap_err();
-        assert!(err.contains("turbo") && err.contains("enumerative"), "{err}");
+        assert!(
+            err.contains("turbo") && err.contains("enumerative"),
+            "{err}"
+        );
     }
 
     #[test]
@@ -559,10 +550,7 @@ mod tests {
         assert!(!s.insert(StateId(3)));
         assert!(s.contains(StateId(200)) && !s.contains(StateId(4)));
         assert_eq!(s.len(), 2);
-        assert_eq!(
-            s.iter().collect::<Vec<_>>(),
-            vec![StateId(3), StateId(200)]
-        );
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![StateId(3), StateId(200)]);
         let t: StateSet = [StateId(200), StateId(3)].into_iter().collect();
         assert_eq!(s, t, "order-insensitive equality");
     }
@@ -669,7 +657,7 @@ mod tests {
         // And the reverse direction fails: anyio can output before any
         // input, which the pipeline never does.
         let cex = c.refines(spec_s, impl_s, 3, 9).unwrap().unwrap_err();
-        assert!(cex.len() >= 1);
+        assert!(!cex.is_empty());
     }
 
     #[test]

@@ -106,9 +106,7 @@ impl<'a> Lts<'a> {
                 operand, self.defs, env,
             )?));
         };
-        let constant = refs
-            .iter()
-            .all(|c| c.indices().iter().all(Expr::is_closed));
+        let constant = refs.iter().all(|c| c.indices().iter().all(Expr::is_closed));
         if constant {
             if let Some(hit) = self.alpha_memo.lock().expect("alphabet memo").get(refs) {
                 return Ok(Arc::clone(hit));

@@ -19,8 +19,8 @@ use std::time::Instant;
 
 use csp_core::obs::{json_string, parse_json, JsonValue};
 use csp_core::{
-    hash_field, render_json, AnalysisDb, Engine, Env, FaultPlan, ParseError, Process, RunOptions,
-    SatOptions, SatResult, Scheduler, Universe, Value, Workbench, HASH_SEED,
+    hash_field, render_json, AnalysisDb, Engine, Env, FaultPlan, MonitorSpec, ParseError, Process,
+    RunOptions, SatOptions, SatResult, Scheduler, Universe, Value, Workbench, HASH_SEED,
 };
 
 use crate::http::{Request, Response};
@@ -350,6 +350,19 @@ fn run(state: &ServeState, p: &Params) -> Result<String, HandlerError> {
         .pool()
         .checkout(p.wb_key(), || p.build_workbench())
         .map_err(HandlerError::bypass)?;
+    // `"monitor": true` = online trace-membership checking; a string is
+    // additionally checked as a `sat` assertion on every visible prefix.
+    let monitor = match &p.monitor {
+        None => None,
+        Some(src) if src.is_empty() => Some(MonitorSpec::new()),
+        Some(src) => match pooled.wb.assertion(src) {
+            Ok(a) => Some(MonitorSpec::new().with_assertion(a)),
+            Err(e) => {
+                state.pool().checkin(pooled);
+                return Err(HandlerError::bypass(e.to_string()));
+            }
+        },
+    };
     let session = pooled.wb.session_with(state.collector().clone());
     let result = session.run(
         process,
@@ -357,6 +370,7 @@ fn run(state: &ServeState, p: &Params) -> Result<String, HandlerError> {
             max_steps: p.steps,
             scheduler: Scheduler::seeded(p.seed),
             faults,
+            monitor,
             ..RunOptions::default()
         },
     );
@@ -383,15 +397,61 @@ fn run(state: &ServeState, p: &Params) -> Result<String, HandlerError> {
         .collect();
     let data = format!(
         "{{\"process\":{},\"steps\":{},\"outcome\":{},\"clean\":{},\
-         \"visible\":{},\"failures\":[{}]}}",
+         \"visible\":{},\"failures\":[{}],\"supervision\":{},\"monitor\":{}}}",
         json_string(process),
         result.steps,
         json_string(&result.outcome.to_string()),
         result.outcome.is_clean(),
         json_string(&result.visible.to_string()),
         failures.join(","),
+        render_supervision(&result),
+        render_monitor(&result),
     );
     Ok(envelope("serve.run", &data))
+}
+
+/// The machine-readable supervision summary of a finished run: how many
+/// components died, how many deaths a restart policy recovered, and the
+/// causal-log size (fault/supervision events included).
+pub fn render_supervision(result: &csp_core::RunResult) -> String {
+    format!(
+        "{{\"deaths\":{},\"recovered\":{},\"causal_events\":{},\"causal_dropped\":{}}}",
+        result.failures.len(),
+        result.recoveries(),
+        result.causal.len(),
+        result.causal.dropped(),
+    )
+}
+
+/// The `"monitor"` member of a run response: `null` when monitoring was
+/// off, else the verdict plus the first violation (if any) with its
+/// causal history.
+pub fn render_monitor(result: &csp_core::RunResult) -> String {
+    let Some(m) = &result.monitor else {
+        return "null".to_string();
+    };
+    let violation = match &m.violation {
+        None => "null".to_string(),
+        Some(v) => format!(
+            "{{\"step\":{},\"visible_index\":{},\"event\":{},\"kind\":{},\"causal_history\":[{}]}}",
+            v.step,
+            v.visible_index,
+            json_string(&v.event.to_string()),
+            json_string(&v.kind.to_string()),
+            v.causal_history
+                .iter()
+                .map(usize::to_string)
+                .collect::<Vec<_>>()
+                .join(","),
+        ),
+    };
+    format!(
+        "{{\"verdict\":{},\"conforming\":{},\"events_checked\":{},\"violation\":{}}}",
+        json_string(&m.verdict.to_string()),
+        m.is_conforming(),
+        m.events_checked,
+        violation,
+    )
 }
 
 /// `/v1/profile`: the parse → fixpoint → verify pipeline, timed per
@@ -513,6 +573,9 @@ struct Params {
     channels: Vec<String>,
     fault_plan: Option<String>,
     engine: Engine,
+    /// `/v1/run` online monitoring: `Some("")` (from `"monitor": true`)
+    /// means membership-only, a non-empty string adds a `sat` assertion.
+    monitor: Option<String>,
 }
 
 impl Params {
@@ -613,6 +676,19 @@ impl Params {
                 );
             }
         }
+        let monitor = match v.get("monitor") {
+            None => None,
+            Some(f) => match (f.as_bool(), f.as_str()) {
+                (Some(true), _) => Some(String::new()),
+                (Some(false), _) => None,
+                (_, Some(s)) => Some(s.to_string()),
+                _ => {
+                    return Err(
+                        "field `monitor` must be a boolean or an assertion string".to_string()
+                    )
+                }
+            },
+        };
         Ok(Params {
             source,
             module: str_field("module")?.unwrap_or_else(|| "default".to_string()),
@@ -631,6 +707,7 @@ impl Params {
                 Some(s) => s.parse::<Engine>()?,
                 None => Engine::Auto,
             },
+            monitor,
         })
     }
 
@@ -648,6 +725,7 @@ impl Params {
         h = hash_opt(h, self.process.as_deref());
         h = hash_opt(h, self.assertion.as_deref());
         h = hash_opt(h, self.fault_plan.as_deref());
+        h = hash_opt(h, self.monitor.as_deref());
         for (n, a) in &self.specs {
             h = hash_field(h, n.as_bytes());
             h = hash_field(h, a.as_bytes());

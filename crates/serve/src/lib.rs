@@ -10,12 +10,12 @@
 //! The point of staying resident is the **cross-request cache**: every
 //! verification verdict is a pure function of its request body, so
 //! results are keyed by FNV-1a content hashes (the same hashing the
-//! incremental [`AnalysisDb`](csp_core::AnalysisDb) uses) and replayed
+//! incremental [`AnalysisDb`] uses) and replayed
 //! for identical requests. Three reuse layers, cheapest first:
 //!
-//! 1. rendered-response cache ([`VerifyCache`](csp_core::VerifyCache)) —
+//! 1. rendered-response cache ([`VerifyCache`]) —
 //!    a repeated request costs one hash + one map lookup;
-//! 2. pooled [`AnalysisDb`](csp_core::AnalysisDb)s per module — an
+//! 2. pooled [`AnalysisDb`]s per module — an
 //!    *edited* re-lint pays only for the definitions whose content hash
 //!    moved;
 //! 3. pooled parsed [`Workbench`](csp_core::Workbench)es — a new query
@@ -52,6 +52,7 @@ mod handlers;
 pub mod http;
 
 pub use client::{Client, ClientResponse};
+pub use handlers::{render_monitor, render_supervision};
 
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -176,6 +177,7 @@ impl ServeState {
         snap.set_counter("serve.pool.builds", self.pool.builds());
         snap.set_counter("serve.pool.reuses", self.pool.reuses());
         snap.set_counter("serve.workers", self.workers as u64);
+        snap.set_counter("obs.events_dropped", self.collector.dropped());
         snap
     }
 

@@ -276,7 +276,10 @@ mod tests {
                 .unwrap(),
                 "net",
             ),
-            (parse_definitions("once = a!1 -> b!2 -> STOP").unwrap(), "once"),
+            (
+                parse_definitions("once = a!1 -> b!2 -> STOP").unwrap(),
+                "once",
+            ),
         ];
         for (defs, name) in &fixtures {
             let uni = Universe::new(9);

@@ -10,7 +10,8 @@
 //!               [--engine enumerative|compiled|auto] [--json]
 //! csp run       <file.csp> --process NAME [--steps N] [--seed S]
 //!               [--fault-plan SPEC] [--deadline-ms T] [--livelock-window W]
-//!               [--watch[=MS]]
+//!               [--watch[=MS]] [--monitor[=ASSERT]] [--msc-out F]
+//!               [--causal-out F] [--json]
 //! csp deadlock  <file.csp> --process NAME [--depth N]
 //! csp profile   <file.csp> [--depth N] [--folded-out PATH]
 //!               [--diff OLD.json] [--noise-ms X]
@@ -45,9 +46,24 @@
 //! run against a prior `csp profile --json` capture and prints signed
 //! per-span/per-counter deltas above a `--noise-ms` threshold.
 //! `csp run --watch` streams a live status line (round, scheduler
-//! picks, live/dead components, events/s, dropped events) to stderr
-//! while the executor runs. `csp bench report` prints the trajectory
-//! recorded in `BENCH_history.jsonl` by `bench-json --history`.
+//! picks, live/dead components, events/s from the per-channel
+//! throughput counters, dropped events) to stderr while the executor
+//! runs. `csp bench report` prints the trajectory recorded in
+//! `BENCH_history.jsonl` by `bench-json --history`.
+//!
+//! Causal observability (`csp run`): every communication is stamped
+//! with per-process vector clocks and recorded in a bounded causal
+//! event log alongside fault/supervision events. `--msc-out F` writes
+//! the log as a Mermaid `sequenceDiagram` message-sequence chart,
+//! `--causal-out F` as JSONL (one causal event per line, clocks
+//! included). `--monitor` replays the observed trace step-by-step
+//! through the compiled LTS while the run executes and reports a
+//! verdict (conforming / violated / aborted); `--monitor=ASSERT`
+//! additionally checks a `sat` assertion on every visible prefix. A
+//! violation names the first divergent event and its causal history,
+//! and flips the exit status to 1. `csp run --json` wraps the outcome,
+//! visible trace, failures, supervision summary, and monitor verdict
+//! in the `csp/v1` envelope.
 //!
 //! All `--json` output shares one versioned envelope:
 //! `{"schema":"csp/v1","command":"<cmd>","data":…}`.
@@ -132,7 +148,8 @@ const USAGE: &str = "usage:
                 [--engine enumerative|compiled|auto] [--json]
   csp run       <file.csp> --process NAME [--steps N] [--seed S]
                 [--fault-plan SPEC] [--deadline-ms T] [--livelock-window W]
-                [--watch[=MS]]
+                [--watch[=MS]] [--monitor[=ASSERT]] [--msc-out F]
+                [--causal-out F] [--json]
   csp deadlock  <file.csp> --process NAME [--depth N]
                 [--engine enumerative|compiled|auto]
   csp profile   <file.csp> [--depth N] [--folded-out PATH]
@@ -144,7 +161,7 @@ const USAGE: &str = "usage:
 options:
   --json               machine-readable output, wrapped in the versioned
                        envelope {\"schema\":\"csp/v1\",\"command\":…,\"data\":…}
-                       (lint/validate/check/prove/profile)
+                       (lint/validate/check/prove/run/profile)
   --deny warnings      treat lint warnings as errors (exit 1)
   --engine E           verification backend for check/prove/deadlock:
                        enumerative (trace re-derivation), compiled
@@ -167,6 +184,15 @@ options:
                        X ms (default 1.0)
   --watch[=MS]         `run`: stream a live status line to stderr,
                        sampled every MS milliseconds (default 250)
+  --monitor[=ASSERT]   `run`: online runtime verification — replay the
+                       observed trace through the compiled LTS as it
+                       happens (trace membership), plus check ASSERT as
+                       a `sat` assertion on every visible prefix;
+                       repeatable; a violation exits 1
+  --msc-out PATH       `run`: write the causal log as a Mermaid
+                       sequenceDiagram message-sequence chart
+  --causal-out PATH    `run`: write the causal event log (vector
+                       clocks included) as JSONL
   --history PATH       `bench report`: the history JSONL to read
                        (default BENCH_history.jsonl)
   --nat-bound K        finite carrier for NAT (default 2)
@@ -219,6 +245,10 @@ struct Opts {
     diff: Option<String>,
     noise_ms: f64,
     watch: Option<u64>,
+    monitor: bool,
+    monitor_asserts: Vec<String>,
+    msc_out: Option<String>,
+    causal_out: Option<String>,
 }
 
 fn parse_opts(args: &[String], multi_file: bool) -> Result<Opts, String> {
@@ -249,6 +279,10 @@ fn parse_opts(args: &[String], multi_file: bool) -> Result<Opts, String> {
         diff: None,
         noise_ms: 1.0,
         watch: None,
+        monitor: false,
+        monitor_asserts: Vec::new(),
+        msc_out: None,
+        causal_out: None,
     };
     let mut it = args.iter();
     let mut positional = Vec::new();
@@ -353,6 +387,17 @@ fn parse_opts(args: &[String], multi_file: bool) -> Result<Opts, String> {
                     .parse()
                     .map_err(|_| "--noise-ms expects a number".to_string())?;
             }
+            "--monitor" => opts.monitor = true,
+            other if other.starts_with("--monitor=") => {
+                opts.monitor = true;
+                let assert = &other["--monitor=".len()..];
+                if assert.is_empty() {
+                    return Err("--monitor= expects an assertion".to_string());
+                }
+                opts.monitor_asserts.push(assert.to_string());
+            }
+            "--msc-out" => opts.msc_out = Some(value("--msc-out")?),
+            "--causal-out" => opts.causal_out = Some(value("--causal-out")?),
             "--watch" => opts.watch = Some(250),
             other if other.starts_with("--watch=") => {
                 let ms: u64 = other["--watch=".len()..]
@@ -677,6 +722,17 @@ fn dispatch(args: &[String]) -> Result<bool, String> {
                 supervision = supervision.with_deadline(std::time::Duration::from_millis(ms));
             }
             supervision = supervision.with_livelock_window(opts.livelock_window);
+            // `--monitor` alone checks online trace-membership; each
+            // `--monitor=ASSERT` additionally checks a `sat` assertion
+            // on every visible prefix as the run executes.
+            let monitor = if opts.monitor {
+                Some(
+                    wb.monitor_spec(opts.monitor_asserts.iter().map(String::as_str))
+                        .map_err(|e| e.to_string())?,
+                )
+            } else {
+                None
+            };
             let session = observed_session(&wb, &opts);
             let watch = opts.watch.map(|interval_ms| {
                 let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
@@ -692,6 +748,7 @@ fn dispatch(args: &[String]) -> Result<bool, String> {
                     scheduler: Scheduler::seeded(opts.seed),
                     faults,
                     supervision,
+                    monitor,
                     ..RunOptions::default()
                 },
             );
@@ -700,21 +757,82 @@ fn dispatch(args: &[String]) -> Result<bool, String> {
                 let _ = handle.join();
             }
             let res = res.map_err(|e| e.to_string())?;
-            println!("{} event(s); outcome: {}", res.steps, res.outcome);
-            for f in &res.failures {
-                println!(
-                    "  fault: `{}` {} at step {}{}",
-                    f.label,
-                    f.reason,
-                    f.at_step,
-                    if f.recovered { " (recovered)" } else { "" }
+            if let Some(path) = &opts.msc_out {
+                std::fs::write(path, csp::msc::render_mermaid(&res.causal))
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!("wrote MSC ({} causal event(s)) to {path}", res.causal.len());
+            }
+            if let Some(path) = &opts.causal_out {
+                std::fs::write(path, res.causal.to_jsonl())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                eprintln!(
+                    "wrote causal log ({} event(s), {} dropped) to {path}",
+                    res.causal.len(),
+                    res.causal.dropped()
                 );
             }
-            println!("visible trace:");
-            println!("  {}", res.visible);
-            print!("{}", timeline(&res.visible));
+            let monitor_ok = res
+                .monitor
+                .as_ref()
+                .is_none_or(MonitorReport::is_conforming);
+            if opts.json {
+                let failures: Vec<String> = res
+                    .failures
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{{\"label\":{},\"reason\":{},\"at_step\":{},\"recovered\":{}}}",
+                            csp::obs::json_string(&f.label),
+                            csp::obs::json_string(&f.reason.to_string()),
+                            f.at_step,
+                            f.recovered,
+                        )
+                    })
+                    .collect();
+                let mut data = format!(
+                    "{{\"process\":{},\"steps\":{},\"outcome\":{},\"clean\":{},\
+                     \"visible\":{},\"failures\":[{}],\"supervision\":{},\"monitor\":{}",
+                    csp::obs::json_string(name),
+                    res.steps,
+                    csp::obs::json_string(&res.outcome.to_string()),
+                    res.outcome.is_clean(),
+                    csp::obs::json_string(&res.visible.to_string()),
+                    failures.join(","),
+                    csp::serve::render_supervision(&res),
+                    csp::serve::render_monitor(&res),
+                );
+                append_metrics(&mut data, &session, &opts);
+                data.push('}');
+                println!("{}", envelope("run", &data));
+            } else {
+                println!("{} event(s); outcome: {}", res.steps, res.outcome);
+                for f in &res.failures {
+                    println!(
+                        "  fault: `{}` {} at step {}{}",
+                        f.label,
+                        f.reason,
+                        f.at_step,
+                        if f.recovered { " (recovered)" } else { "" }
+                    );
+                }
+                println!("visible trace:");
+                println!("  {}", res.visible);
+                print!("{}", timeline(&res.visible));
+                if let Some(m) = &res.monitor {
+                    println!(
+                        "monitor: {} ({} event(s) checked)",
+                        m.verdict, m.events_checked
+                    );
+                    if let Some(v) = &m.violation {
+                        println!("  {v}");
+                    }
+                    if let Some(e) = &m.error {
+                        println!("  monitor aborted: {e}");
+                    }
+                }
+            }
             finish_observation(&session, &opts)?;
-            Ok(res.outcome.is_clean())
+            Ok(res.outcome.is_clean() && monitor_ok)
         }
         "deadlock" => {
             let name = need_process(&opts)?;
@@ -763,6 +881,28 @@ fn observed_session<'wb>(wb: &'wb Workbench, opts: &Opts) -> Session<'wb> {
     }
 }
 
+/// Total committed events summed over the executor's live per-channel
+/// throughput counters (`run.chan.<name>.events`). The `--watch`
+/// events/s column derives from these rather than `run.steps`, so the
+/// rate agrees with the per-channel breakdown in `/metrics`.
+fn chan_events_total(m: &MetricsSnapshot) -> u64 {
+    chan_event_counters(m).map(|(_, v)| v).sum()
+}
+
+/// The channel with the most committed events so far, if any.
+fn busiest_channel(m: &MetricsSnapshot) -> Option<(&str, u64)> {
+    // max_by_key keeps the *last* maximum; alphabetical iteration order
+    // therefore breaks ties toward the later channel name, stably.
+    chan_event_counters(m).max_by_key(|&(_, v)| v)
+}
+
+fn chan_event_counters(m: &MetricsSnapshot) -> impl Iterator<Item = (&str, u64)> {
+    m.counters.iter().filter_map(|(k, v)| {
+        let name = k.strip_prefix("run.chan.")?.strip_suffix(".events")?;
+        Some((name, *v))
+    })
+}
+
 /// One line of `csp run --watch` output, rendered from a live counter
 /// snapshot taken while the executor is still running.
 fn watch_status(m: &MetricsSnapshot, dropped: u64, events_per_s: f64) -> String {
@@ -770,9 +910,13 @@ fn watch_status(m: &MetricsSnapshot, dropped: u64, events_per_s: f64) -> String 
     let deaths = m.counter("run.deaths");
     let restarts = m.counter("run.restarts");
     let live = components.saturating_sub(deaths.saturating_sub(restarts));
+    let busiest = match busiest_channel(m) {
+        Some((name, n)) if n > 0 => format!(" | busiest {name} ({n} ev)"),
+        _ => String::new(),
+    };
     format!(
         "watch: round {} | picks {} | components {live}/{components} live \
-         ({deaths} dead, {restarts} restarted) | {events_per_s:.0} events/s | dropped {}",
+         ({deaths} dead, {restarts} restarted) | {events_per_s:.0} events/s{busiest} | dropped {}",
         m.counter("run.rounds"),
         m.counter("run.scheduler_picks"),
         dropped,
@@ -799,7 +943,9 @@ fn watch_loop(collector: &Collector, interval_ms: u64, stop: &std::sync::atomic:
     loop {
         let done = stop.load(Relaxed);
         let m = collector.snapshot();
-        let steps = m.counter("run.steps");
+        // Throughput from the causal layer's per-channel counters (their
+        // sum equals run.steps: hidden events count on both sides).
+        let steps = chan_events_total(&m);
         let now = Instant::now();
         let dt = now.duration_since(last_t).as_secs_f64();
         let rate = if dt > 1e-9 {

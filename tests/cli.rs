@@ -1024,3 +1024,98 @@ fn profile_json_envelope_reports_phases() {
     assert!(stdout.contains("\"metrics\":{\"counters\""), "{stdout}");
     assert!(folded.exists());
 }
+
+#[test]
+fn run_monitor_msc_and_json_envelope() {
+    let f = write_fixture("run_monitor.csp", PIPELINE);
+    let dir = std::env::temp_dir().join("hoare-csp-cli-tests");
+    let msc = dir.join("run_monitor.mmd");
+    let causal = dir.join("run_monitor.jsonl");
+    let (stdout, stderr, code) = csp(&[
+        "run",
+        f.to_str().unwrap(),
+        "--process",
+        "pipeline",
+        "--steps",
+        "16",
+        "--seed",
+        "7",
+        "--nat-bound",
+        "1",
+        "--monitor=output <= input",
+        "--fault-plan",
+        "crash:copier@6;restart:replay",
+        "--msc-out",
+        msc.to_str().unwrap(),
+        "--causal-out",
+        causal.to_str().unwrap(),
+        "--json",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}{stderr}");
+    // The envelope carries the supervision summary and monitor verdict.
+    assert!(
+        stdout.contains("\"schema\":\"csp/v1\",\"command\":\"run\""),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("\"supervision\":{\"deaths\":1,\"recovered\":1,"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"verdict\":\"conforming\""), "{stdout}");
+    assert!(stdout.contains("\"violation\":null"), "{stdout}");
+    // The exports landed: a Mermaid chart and a JSONL log with header.
+    let mmd = std::fs::read_to_string(&msc).unwrap();
+    assert!(mmd.starts_with("sequenceDiagram"), "{mmd}");
+    assert!(mmd.contains("participant P0 as copier"), "{mmd}");
+    let log = std::fs::read_to_string(&causal).unwrap();
+    assert!(log
+        .lines()
+        .next()
+        .unwrap()
+        .contains("\"labels\":[\"copier\",\"recopier\"]"));
+    assert!(log.contains("\"kind\":\"comm\""), "{log}");
+    assert!(stderr.contains("wrote MSC"), "{stderr}");
+}
+
+#[test]
+fn run_monitor_violation_exits_one_and_names_the_event() {
+    let f = write_fixture("run_violation.csp", PIPELINE);
+    let (stdout, stderr, code) = csp(&[
+        "run",
+        f.to_str().unwrap(),
+        "--process",
+        "pipeline",
+        "--steps",
+        "16",
+        "--seed",
+        "7",
+        "--monitor=#output <= 1",
+    ]);
+    assert_eq!(code, Some(1), "{stdout}{stderr}");
+    assert!(stdout.contains("monitor: violated"), "{stdout}");
+    assert!(stdout.contains("falsified"), "{stdout}");
+}
+
+#[test]
+fn run_watch_reports_busiest_channel() {
+    let f = write_fixture("run_watch_chan.csp", PIPELINE);
+    let (stdout, stderr, code) = csp(&[
+        "run",
+        f.to_str().unwrap(),
+        "--process",
+        "pipeline",
+        "--steps",
+        "12",
+        "--seed",
+        "7",
+        "--nat-bound",
+        "1",
+        "--watch=10",
+    ]);
+    assert_eq!(code, Some(0), "{stdout}{stderr}");
+    let last = stderr.lines().rfind(|l| l.starts_with("watch:")).unwrap();
+    // The final sample derives throughput from the per-channel
+    // counters; the hidden wire carries a third of all events.
+    assert!(last.contains("busiest "), "{stderr}");
+    assert!(last.contains("(4 ev)"), "{stderr}");
+}

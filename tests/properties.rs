@@ -308,7 +308,12 @@ fn arb_network() -> impl Strategy<Value = Process> {
     (
         arb_process(),
         arb_process(),
-        prop_oneof![Just(None), Just(Some("a")), Just(Some("b")), Just(Some("c"))],
+        prop_oneof![
+            Just(None),
+            Just(Some("a")),
+            Just(Some("b")),
+            Just(Some("c"))
+        ],
     )
         .prop_map(|(p, q, hide)| {
             let net = p.par(q);

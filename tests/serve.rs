@@ -211,6 +211,15 @@ fn socket_round_trip_reports_prometheus_counters() {
         "{}",
         metrics.body
     );
+    // Ring-buffer overflow is first-class in the exposition: the
+    // `csp_events_dropped` gauge is present even while it reads 0.
+    assert!(
+        metrics
+            .body
+            .contains("csp_events_dropped{name=\"obs.events_dropped\"} 0"),
+        "{}",
+        metrics.body
+    );
     handle.stop();
 }
 
@@ -249,9 +258,7 @@ fn engine_is_keyed_counted_and_reported() {
     // must say which backend answered.
     let enumerative = state.post("/v1/check", &check_with("enumerative"));
     assert_eq!(header(&enumerative, "X-Csp-Cache"), Some("miss"));
-    assert!(
-        String::from_utf8_lossy(&enumerative.body).contains("\"engine\":\"enumerative\"")
-    );
+    assert!(String::from_utf8_lossy(&enumerative.body).contains("\"engine\":\"enumerative\""));
     assert_ne!(compiled.body, enumerative.body);
 
     // Re-posting the compiled query is a verbatim hit.
@@ -296,4 +303,47 @@ fn engine_is_keyed_counted_and_reported() {
     assert_eq!(hit + miss + bypass, snap.counter("serve.requests"));
     assert_eq!(hit, 1);
     assert_eq!(bypass, 1);
+}
+
+/// `/v1/run` monitoring: `"monitor": true` checks trace membership,
+/// an assertion string additionally re-checks it per prefix, and the
+/// response always carries machine-readable `"supervision"` and
+/// `"monitor"` members (the latter `null` when monitoring is off).
+#[test]
+fn run_endpoint_reports_monitor_and_supervision() {
+    let state = ServeState::new(16, 2);
+    let body = |monitor: &str| {
+        format!(
+            "{{\"source\":\"{}\",\"process\":\"pipeline\",\"steps\":12,\
+             \"seed\":7,\"nat_bound\":1,\"monitor\":{monitor}}}",
+            json_escape(PIPELINE)
+        )
+    };
+
+    let off = state.post("/v1/run", &body("false"));
+    assert_eq!(off.status, 200);
+    let off_text = String::from_utf8(off.body).unwrap();
+    assert!(off_text.contains("\"monitor\":null"));
+    assert!(off_text.contains("\"supervision\":{\"deaths\":0,\"recovered\":0,"));
+
+    let on = state.post("/v1/run", &body("true"));
+    let on_text = String::from_utf8(on.body).unwrap();
+    assert!(on_text.contains("\"verdict\":\"conforming\""));
+    assert!(on_text.contains("\"violation\":null"));
+
+    let held = state.post("/v1/run", &body("\"output <= input\""));
+    let held_text = String::from_utf8(held.body).unwrap();
+    assert!(held_text.contains("\"verdict\":\"conforming\""));
+
+    let refuted = state.post("/v1/run", &body("\"#output <= 1\""));
+    let refuted_text = String::from_utf8(refuted.body).unwrap();
+    assert!(refuted_text.contains("\"verdict\":\"violated\""));
+    assert!(refuted_text.contains("\"kind\":\"assertion `#output <= 1` falsified\""));
+    assert!(refuted_text.contains("\"causal_history\":["));
+
+    // A malformed monitor field is a 400, classified as bypass.
+    let bad = state.post("/v1/run", &body("17"));
+    assert_eq!(bad.status, 400);
+    let unparsable = state.post("/v1/run", &body("\"not an assertion\""));
+    assert_eq!(unparsable.status, 400);
 }

@@ -261,3 +261,73 @@ fn section_13_language_server_claims() {
     assert_eq!(stats.relinted, 1);
     assert!(stats.cached >= 2);
 }
+
+#[test]
+fn section_16_causal_monitor_claims() {
+    // §16's claims, asserted against the exact commands quoted there:
+    // the seeded crash-and-replay run conforms with 16 events checked,
+    // its MSC opens with the quoted participant lines and a death note,
+    // the log validates, and the `#output <= 2` variant is violated at
+    // step 9 / visible #6.
+    let mut wb = Workbench::new().with_universe(Universe::new(2));
+    wb.define_source(csp::examples::PIPELINE_SRC).unwrap();
+    let run_with = |spec: MonitorSpec| {
+        wb.run(
+            "pipeline",
+            RunOptions {
+                max_steps: 24,
+                scheduler: Scheduler::seeded(7),
+                faults: FaultPlan::parse("crash:copier@6;restart:replay").unwrap(),
+                monitor: Some(spec),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap()
+    };
+
+    let res = run_with(wb.monitor_spec(["output <= input"]).unwrap());
+    let monitor = res.monitor.as_ref().unwrap();
+    assert!(monitor.is_conforming());
+    assert_eq!(monitor.events_checked, 16);
+    assert_eq!(res.causal.len(), 26);
+    assert_eq!(res.causal.dropped(), 0);
+    res.causal.validate().expect("clock-consistent");
+    let mmd = csp::msc::render_mermaid(&res.causal);
+    assert!(mmd.starts_with(
+        "sequenceDiagram\n    participant P0 as copier\n    participant P1 as recopier\n"
+    ));
+    assert!(mmd.contains("Note over P0: death: injected crash"));
+    assert!(mmd.contains("Note over P0: restart"));
+    // The chart round-trips the happens-before relation, as promised.
+    let parsed = csp::msc::parse_mermaid(&mmd).unwrap();
+    assert_eq!(parsed.hb_edges(), res.causal.comm_hb_edges());
+
+    // The quoted violation: seed 7 without faults, `#output <= 2`.
+    let violated = wb
+        .run(
+            "pipeline",
+            RunOptions {
+                max_steps: 24,
+                scheduler: Scheduler::seeded(7),
+                monitor: Some(wb.monitor_spec(["#output <= 2"]).unwrap()),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+    let monitor = violated.monitor.as_ref().unwrap();
+    assert!(!monitor.is_conforming());
+    assert_eq!(monitor.events_checked, 7);
+    let v = monitor.violation.as_ref().unwrap();
+    assert_eq!((v.step, v.visible_index), (9, 6));
+    assert_eq!(
+        v.to_string(),
+        "step 9 (visible #6) `output.2`: assertion `#output <= 2` falsified"
+    );
+
+    // The envelope members the section describes.
+    assert_eq!(
+        csp::serve::render_supervision(&res),
+        "{\"deaths\":1,\"recovered\":1,\"causal_events\":26,\"causal_dropped\":0}"
+    );
+    assert!(csp::serve::render_monitor(&res).contains("\"verdict\":\"conforming\""));
+}
